@@ -1,0 +1,124 @@
+//! Day-granularity dates.
+//!
+//! The paper models time values as days; we represent a date as the number
+//! of days since the Unix epoch (1970-01-01) in a proleptic Gregorian
+//! calendar. The civil-from-days / days-from-civil conversions use Howard
+//! Hinnant's well-known constant-time algorithms, so no external date crate
+//! is needed.
+
+use crate::error::{AlgebraError, Result};
+
+/// Days since 1970-01-01 (may be negative).
+pub type Day = i32;
+
+/// The "until changed" / forever sentinel used for open-ended periods
+/// (e.g. a position that is still occupied). Large enough to sort after
+/// every real date yet leave headroom for arithmetic.
+pub const FOREVER: Day = i32::MAX / 2;
+
+/// Convert a civil date to a day number. Months are 1-12, days 1-31.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> Day {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((m + 9) % 12) as i64; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + (d as i64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era as i64 * 146_097 + doe - 719_468) as Day
+}
+
+/// Convert a day number back to a civil `(year, month, day)` triple.
+pub fn civil_from_days(z: Day) -> (i32, u32, u32) {
+    let z = z as i64 + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    ((y + i64::from(m <= 2)) as i32, m, d)
+}
+
+/// Shorthand for [`days_from_civil`]; handy in tests and workload code.
+pub fn day(y: i32, m: u32, d: u32) -> Day {
+    days_from_civil(y, m, d)
+}
+
+/// Parse a `YYYY-MM-DD` literal into a day number, validating ranges.
+pub fn parse_date(s: &str) -> Result<Day> {
+    let mut parts = s.splitn(3, '-');
+    let err = || AlgebraError::BadDate(s.to_string());
+    // A leading '-' would make the year part empty; we only accept CE years.
+    let y: i32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let m: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    let d: u32 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return Err(err());
+    }
+    let days = days_from_civil(y, m, d);
+    // Round-trip to reject e.g. Feb 30.
+    if civil_from_days(days) != (y, m, d) {
+        return Err(err());
+    }
+    Ok(days)
+}
+
+/// Render a day number as `YYYY-MM-DD`; the forever sentinel prints as
+/// `9999-12-31` so generated SQL stays parseable.
+pub fn format_date(d: Day) -> String {
+    if d >= FOREVER {
+        return "9999-12-31".to_string();
+    }
+    let (y, m, dd) = civil_from_days(d);
+    format!("{y:04}-{m:02}-{dd:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_day_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(days_from_civil(2000, 1, 1), 10_957);
+        assert_eq!(days_from_civil(1995, 1, 1), 9_131);
+        // The paper's example: 1995-01-01 .. 2000-01-01 spans 1826 days,
+        // so T1 ranges over 1826 - 7 = 1819 distinct start values.
+        assert_eq!(
+            days_from_civil(2000, 1, 1) - days_from_civil(1995, 1, 1),
+            1826
+        );
+    }
+
+    #[test]
+    fn round_trip_many() {
+        for z in (-200_000..200_000).step_by(17) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn parse_and_format() {
+        assert_eq!(parse_date("1997-02-01").unwrap(), day(1997, 2, 1));
+        assert_eq!(format_date(day(1997, 2, 1)), "1997-02-01");
+        assert!(parse_date("1997-02-30").is_err());
+        assert!(parse_date("1997-13-01").is_err());
+        assert!(parse_date("nonsense").is_err());
+        assert_eq!(format_date(FOREVER), "9999-12-31");
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(parse_date("2000-02-29").unwrap(), day(2000, 2, 29));
+        assert!(parse_date("1900-02-29").is_err()); // 1900 is not a leap year
+        assert!(parse_date("1996-02-29").is_ok());
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type shared by the algebra layer.
+
+use std::fmt;
+
+/// Errors raised while constructing or evaluating algebra objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// A column name could not be resolved against a schema.
+    UnknownColumn(String),
+    /// A column name matched more than one attribute.
+    AmbiguousColumn(String),
+    /// An operation was applied to values of incompatible types.
+    TypeMismatch(String),
+    /// An expression was evaluated before being bound to a schema.
+    Unbound(String),
+    /// A malformed date literal or out-of-range date component.
+    BadDate(String),
+    /// Generic schema-level violation (e.g. missing period attributes).
+    Schema(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            AlgebraError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            AlgebraError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            AlgebraError::Unbound(m) => write!(f, "unbound expression: {m}"),
+            AlgebraError::BadDate(m) => write!(f, "bad date: {m}"),
+            AlgebraError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Convenience alias used throughout the algebra layer.
+pub type Result<T> = std::result::Result<T, AlgebraError>;

@@ -1,0 +1,451 @@
+//! Scalar expressions.
+//!
+//! One expression type serves three masters: predicate/projection
+//! evaluation in the middleware algorithms, selectivity analysis in the
+//! optimizer, and SQL rendering in the Translator-To-SQL (the `Display`
+//! impl emits valid SQL for the mini-DBMS dialect).
+
+use crate::date::format_date;
+use crate::error::{AlgebraError, Result};
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(self, o: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => o == Ordering::Equal,
+            CmpOp::Ne => o != Ordering::Equal,
+            CmpOp::Lt => o == Ordering::Less,
+            CmpOp::Le => o != Ordering::Greater,
+            CmpOp::Gt => o == Ordering::Greater,
+            CmpOp::Ge => o != Ordering::Less,
+        }
+    }
+
+    pub fn flip(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        }
+    }
+
+    pub fn sql(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArithOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+impl ArithOp {
+    pub fn sql(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+}
+
+/// A scalar expression over one tuple. Column references carry both the
+/// source name (for SQL rendering and optimizer analysis) and, once
+/// [`Expr::bind`] has run, the resolved index (for evaluation).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    Col { name: String, index: Option<usize> },
+    Lit(Value),
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    Greatest(Vec<Expr>),
+    Least(Vec<Expr>),
+    /// `IS NULL` (`negated = true` for `IS NOT NULL`).
+    IsNull(Box<Expr>, bool),
+}
+
+impl Expr {
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Col { name: name.into(), index: None }
+    }
+
+    pub fn lit(v: impl crate::tuple::IntoValue) -> Expr {
+        Expr::Lit(v.into_value())
+    }
+
+    pub fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(l), Box::new(r))
+    }
+
+    pub fn eq(l: Expr, r: Expr) -> Expr {
+        Expr::cmp(CmpOp::Eq, l, r)
+    }
+
+    pub fn and(l: Expr, r: Expr) -> Expr {
+        Expr::And(Box::new(l), Box::new(r))
+    }
+
+    pub fn or(l: Expr, r: Expr) -> Expr {
+        Expr::Or(Box::new(l), Box::new(r))
+    }
+
+    /// Named to match [`Expr::and`]/[`Expr::or`]; this is a constructor,
+    /// not the `std::ops::Not` trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Expr {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Conjoin a list of predicates; `None` for an empty list.
+    pub fn and_all(mut preds: Vec<Expr>) -> Option<Expr> {
+        let mut acc = preds.pop()?;
+        while let Some(p) = preds.pop() {
+            acc = Expr::and(p, acc);
+        }
+        Some(acc)
+    }
+
+    /// Split a predicate into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::And(l, r) => {
+                let mut v = l.conjuncts();
+                v.extend(r.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// The `Overlaps(a, b)` predicate of Section 3.3 over period columns:
+    /// `t1 < b AND t2 > a`.
+    pub fn overlaps(t1: &str, t2: &str, a: Expr, b: Expr) -> Expr {
+        Expr::and(
+            Expr::cmp(CmpOp::Lt, Expr::col(t1), b),
+            Expr::cmp(CmpOp::Gt, Expr::col(t2), a),
+        )
+    }
+
+    /// Resolve every column reference against `schema`.
+    pub fn bind(&mut self, schema: &Schema) -> Result<()> {
+        self.try_visit_mut(&mut |e| {
+            if let Expr::Col { name, index } = e {
+                *index = Some(schema.index_of(name)?);
+            }
+            Ok(())
+        })
+    }
+
+    /// A bound copy of this expression.
+    pub fn bound(&self, schema: &Schema) -> Result<Expr> {
+        let mut e = self.clone();
+        e.bind(schema)?;
+        Ok(e)
+    }
+
+    fn try_visit_mut(&mut self, f: &mut impl FnMut(&mut Expr) -> Result<()>) -> Result<()> {
+        f(self)?;
+        match self {
+            Expr::Col { .. } | Expr::Lit(_) => Ok(()),
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+                l.try_visit_mut(f)?;
+                r.try_visit_mut(f)
+            }
+            Expr::Not(e) | Expr::IsNull(e, _) => e.try_visit_mut(f),
+            Expr::Greatest(es) | Expr::Least(es) => {
+                es.iter_mut().try_for_each(|e| e.try_visit_mut(f))
+            }
+        }
+    }
+
+    /// Visit every node (read-only).
+    pub fn visit(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Col { .. } | Expr::Lit(_) => {}
+            Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+                l.visit(f);
+                r.visit(f);
+            }
+            Expr::Not(e) | Expr::IsNull(e, _) => e.visit(f),
+            Expr::Greatest(es) | Expr::Least(es) => es.iter().for_each(|e| e.visit(f)),
+        }
+    }
+
+    /// The set of column names referenced — the paper's `attr(P)` function
+    /// (preconditions of rules E1/E5).
+    pub fn columns(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Col { name, .. } = e {
+                if !out.iter().any(|n: &String| n.eq_ignore_ascii_case(name)) {
+                    out.push(name.clone());
+                }
+            }
+        });
+        out
+    }
+
+    /// Number of atomic comparisons — the `f(P)` coefficient of the
+    /// `FILTER^M` cost formula (Figure 6).
+    pub fn complexity(&self) -> usize {
+        let mut n = 0;
+        self.visit(&mut |e| {
+            if matches!(e, Expr::Cmp(..) | Expr::IsNull(..)) {
+                n += 1;
+            }
+        });
+        n.max(1)
+    }
+
+    /// Evaluate against a tuple. Column references must be bound.
+    pub fn eval(&self, t: &Tuple) -> Result<Value> {
+        match self {
+            Expr::Col { name, index } => match index {
+                Some(i) => Ok(t[*i].clone()),
+                None => Err(AlgebraError::Unbound(name.clone())),
+            },
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(t)?;
+                let rv = r.eval(t)?;
+                Ok(match lv.sql_cmp(&rv) {
+                    Some(o) => Value::Int(op.eval(o) as i64),
+                    None => Value::Null,
+                })
+            }
+            Expr::And(l, r) => {
+                let a = l.eval_bool(t)?;
+                let b = r.eval_bool(t)?;
+                Ok(tvl(match (a, b) {
+                    (Some(false), _) | (_, Some(false)) => Some(false),
+                    (Some(true), Some(true)) => Some(true),
+                    _ => None,
+                }))
+            }
+            Expr::Or(l, r) => {
+                let a = l.eval_bool(t)?;
+                let b = r.eval_bool(t)?;
+                Ok(tvl(match (a, b) {
+                    (Some(true), _) | (_, Some(true)) => Some(true),
+                    (Some(false), Some(false)) => Some(false),
+                    _ => None,
+                }))
+            }
+            Expr::Not(e) => Ok(tvl(e.eval_bool(t)?.map(|b| !b))),
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(t)?;
+                let rv = r.eval(t)?;
+                match op {
+                    ArithOp::Add => lv.add(&rv),
+                    ArithOp::Sub => lv.sub(&rv),
+                    ArithOp::Mul => lv.mul(&rv),
+                    ArithOp::Div => lv.div(&rv),
+                }
+            }
+            Expr::Greatest(es) => fold_extreme(es, t, Ordering::Greater),
+            Expr::Least(es) => fold_extreme(es, t, Ordering::Less),
+            Expr::IsNull(e, negated) => {
+                let v = e.eval(t)?;
+                Ok(Value::Int((v.is_null() != *negated) as i64))
+            }
+        }
+    }
+
+    /// Evaluate as a three-valued boolean (`None` = SQL UNKNOWN).
+    pub fn eval_bool(&self, t: &Tuple) -> Result<Option<bool>> {
+        Ok(match self.eval(t)? {
+            Value::Null => None,
+            Value::Int(i) => Some(i != 0),
+            Value::Double(d) => Some(d != 0.0),
+            _ => None,
+        })
+    }
+
+    /// Predicate check: UNKNOWN filters the tuple out, as in SQL WHERE.
+    pub fn matches(&self, t: &Tuple) -> Result<bool> {
+        Ok(self.eval_bool(t)?.unwrap_or(false))
+    }
+}
+
+fn tvl(b: Option<bool>) -> Value {
+    match b {
+        Some(b) => Value::Int(b as i64),
+        None => Value::Null,
+    }
+}
+
+fn fold_extreme(es: &[Expr], t: &Tuple, want: Ordering) -> Result<Value> {
+    let mut best: Option<Value> = None;
+    for e in es {
+        let v = e.eval(t)?;
+        if v.is_null() {
+            return Ok(Value::Null); // SQL GREATEST/LEAST: any NULL => NULL
+        }
+        best = Some(match best {
+            None => v,
+            Some(b) => {
+                if v.sql_cmp(&b) == Some(want) {
+                    v
+                } else {
+                    b
+                }
+            }
+        });
+    }
+    Ok(best.unwrap_or(Value::Null))
+}
+
+impl fmt::Display for Expr {
+    /// Renders the expression as SQL in the mini-DBMS dialect.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col { name, .. } => write!(f, "{name}"),
+            Expr::Lit(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Expr::Lit(Value::Date(d)) => write!(f, "DATE '{}'", format_date(*d)),
+            Expr::Lit(v) => write!(f, "{v}"),
+            // parenthesized so nested comparisons (booleans compared as
+            // integers) re-parse unambiguously
+            Expr::Cmp(op, l, r) => write!(f, "({l} {} {r})", op.sql()),
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            // wrapped so the NOT's scope survives re-parsing even in
+            // operand position (SQL's NOT binds looser than arithmetic)
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Arith(op, l, r) => write!(f, "({l} {} {r})", op.sql()),
+            Expr::Greatest(es) => write_fn(f, "GREATEST", es),
+            Expr::Least(es) => write_fn(f, "LEAST", es),
+            Expr::IsNull(e, false) => write!(f, "({e} IS NULL)"),
+            Expr::IsNull(e, true) => write!(f, "({e} IS NOT NULL)"),
+        }
+    }
+}
+
+fn write_fn(f: &mut fmt::Formatter<'_>, name: &str, es: &[Expr]) -> fmt::Result {
+    write!(f, "{name}(")?;
+    for (i, e) in es.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{e}")?;
+    }
+    write!(f, ")")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attr, Schema};
+    use crate::tup;
+    use crate::value::Type;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attr::new("A", Type::Int),
+            Attr::new("B", Type::Int),
+            Attr::new("S", Type::Str),
+        ])
+    }
+
+    #[test]
+    fn bind_and_eval() {
+        let e = Expr::and(
+            Expr::cmp(CmpOp::Lt, Expr::col("A"), Expr::col("B")),
+            Expr::cmp(CmpOp::Eq, Expr::col("S"), Expr::lit("x")),
+        )
+        .bound(&schema())
+        .unwrap();
+        assert!(e.matches(&tup![1, 2, "x"]).unwrap());
+        assert!(!e.matches(&tup![3, 2, "x"]).unwrap());
+        assert!(!e.matches(&tup![1, 2, "y"]).unwrap());
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let e = Expr::cmp(CmpOp::Eq, Expr::col("A"), Expr::lit(1))
+            .bound(&schema())
+            .unwrap();
+        let t = Tuple::new(vec![Value::Null, Value::Int(0), Value::Str("".into())]);
+        assert_eq!(e.eval_bool(&t).unwrap(), None);
+        assert!(!e.matches(&t).unwrap());
+        // NULL OR TRUE = TRUE
+        let e2 = Expr::or(e.clone(), Expr::lit(1)).bound(&schema()).unwrap();
+        assert_eq!(e2.eval_bool(&t).unwrap(), Some(true));
+    }
+
+    #[test]
+    fn greatest_least() {
+        let e = Expr::Greatest(vec![Expr::col("A"), Expr::col("B")])
+            .bound(&schema())
+            .unwrap();
+        assert_eq!(e.eval(&tup![3, 7, ""]).unwrap(), Value::Int(7));
+        let e = Expr::Least(vec![Expr::col("A"), Expr::col("B")])
+            .bound(&schema())
+            .unwrap();
+        assert_eq!(e.eval(&tup![3, 7, ""]).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let e = Expr::and(
+            Expr::cmp(CmpOp::Lt, Expr::col("T1"), Expr::lit(Value::Date(0))),
+            Expr::cmp(CmpOp::Eq, Expr::col("S"), Expr::lit("o'brien")),
+        );
+        assert_eq!(
+            e.to_string(),
+            "((T1 < DATE '1970-01-01') AND (S = 'o''brien'))"
+        );
+    }
+
+    #[test]
+    fn columns_and_complexity() {
+        let e = Expr::overlaps("T1", "T2", Expr::lit(5), Expr::lit(10));
+        assert_eq!(e.columns(), vec!["T1".to_string(), "T2".to_string()]);
+        assert_eq!(e.complexity(), 2);
+    }
+
+    #[test]
+    fn conjunct_split_and_join() {
+        let e = Expr::and_all(vec![Expr::lit(1), Expr::lit(2), Expr::lit(3)]).unwrap();
+        assert_eq!(e.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn unbound_eval_errors() {
+        let e = Expr::col("A");
+        assert!(e.eval(&tup![1]).is_err());
+    }
+}

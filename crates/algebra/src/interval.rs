@@ -1,0 +1,140 @@
+//! Closed-open time periods `[start, end)` at day granularity.
+
+use crate::date::Day;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A valid-time period with closed-open semantics: a tuple with period
+/// `[t1, t2)` holds at every day `t` with `t1 <= t < t2`. The paper's
+/// POSITION example ("Tom occupied position 1 from day 2 through day 19,
+/// with T1=2, T2=20") follows exactly this convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Period {
+    pub start: Day,
+    pub end: Day,
+}
+
+impl Period {
+    pub fn new(start: Day, end: Day) -> Self {
+        Period { start, end }
+    }
+
+    /// A period is valid when it is non-empty.
+    pub fn is_valid(&self) -> bool {
+        self.start < self.end
+    }
+
+    pub fn duration(&self) -> i64 {
+        (self.end as i64 - self.start as i64).max(0)
+    }
+
+    /// The `Overlaps` predicate of Section 3.3:
+    /// `T1 < other.end AND T2 > other.start`.
+    pub fn overlaps(&self, other: &Period) -> bool {
+        self.start < other.end && self.end > other.start
+    }
+
+    /// Timeslice membership: does the period contain day `t`?
+    /// (`T1 <= t AND T2 > t`.)
+    pub fn contains(&self, t: Day) -> bool {
+        self.start <= t && self.end > t
+    }
+
+    /// Intersection used by the temporal join: `[GREATEST(T1, T1'),
+    /// LEAST(T2, T2'))`; `None` when empty.
+    pub fn intersect(&self, other: &Period) -> Option<Period> {
+        let p = Period::new(self.start.max(other.start), self.end.min(other.end));
+        p.is_valid().then_some(p)
+    }
+
+    /// Are the two periods adjacent or overlapping (coalescible)?
+    pub fn meets_or_overlaps(&self, other: &Period) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Smallest period covering both (only meaningful when
+    /// [`Self::meets_or_overlaps`]).
+    pub fn merge(&self, other: &Period) -> Period {
+        Period::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Set difference `self - other`, yielding 0, 1 or 2 fragments.
+    pub fn subtract(&self, other: &Period) -> Vec<Period> {
+        let mut out = Vec::new();
+        let left = Period::new(self.start, self.end.min(other.start));
+        let right = Period::new(self.start.max(other.end), self.end);
+        if left.is_valid() {
+            out.push(left);
+        }
+        if right.is_valid() {
+            out.push(right);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Period {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn overlap_basics() {
+        let a = Period::new(2, 20);
+        let b = Period::new(5, 25);
+        assert!(a.overlaps(&b));
+        assert_eq!(a.intersect(&b), Some(Period::new(5, 20)));
+        assert!(!Period::new(0, 5).overlaps(&Period::new(5, 10))); // closed-open: touching != overlap
+        assert!(Period::new(0, 5).meets_or_overlaps(&Period::new(5, 10)));
+    }
+
+    #[test]
+    fn contains_is_closed_open() {
+        let p = Period::new(2, 20);
+        assert!(p.contains(2));
+        assert!(p.contains(19));
+        assert!(!p.contains(20));
+        assert!(!p.contains(1));
+    }
+
+    #[test]
+    fn subtract_cases() {
+        let p = Period::new(0, 10);
+        assert_eq!(p.subtract(&Period::new(3, 6)), vec![Period::new(0, 3), Period::new(6, 10)]);
+        assert_eq!(p.subtract(&Period::new(-5, 5)), vec![Period::new(5, 10)]);
+        assert_eq!(p.subtract(&Period::new(-5, 15)), vec![]);
+        assert_eq!(p.subtract(&Period::new(20, 30)), vec![Period::new(0, 10)]);
+    }
+
+    proptest! {
+        #[test]
+        fn overlap_symmetric(a0 in -100i32..100, a1 in -100i32..100, b0 in -100i32..100, b1 in -100i32..100) {
+            let a = Period::new(a0.min(a1), a0.max(a1) + 1);
+            let b = Period::new(b0.min(b1), b0.max(b1) + 1);
+            prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+            prop_assert_eq!(a.intersect(&b), b.intersect(&a));
+        }
+
+        #[test]
+        fn intersect_iff_overlaps(a0 in -100i32..100, al in 1i32..50, b0 in -100i32..100, bl in 1i32..50) {
+            let a = Period::new(a0, a0 + al);
+            let b = Period::new(b0, b0 + bl);
+            prop_assert_eq!(a.overlaps(&b), a.intersect(&b).is_some());
+        }
+
+        #[test]
+        fn subtract_preserves_days(a0 in -50i32..50, al in 1i32..30, b0 in -50i32..50, bl in 1i32..30) {
+            let a = Period::new(a0, a0 + al);
+            let b = Period::new(b0, b0 + bl);
+            let kept: i64 = a.subtract(&b).iter().map(|p| p.duration()).sum();
+            let cut = a.intersect(&b).map_or(0, |p| p.duration());
+            prop_assert_eq!(kept + cut, a.duration());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Sort orders and the `IsPrefixOf` predicate used by rules T10–T12.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One sort key: column name plus direction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SortKey {
+    pub col: String,
+    pub desc: bool,
+}
+
+impl SortKey {
+    pub fn asc(col: impl Into<String>) -> Self {
+        SortKey { col: col.into(), desc: false }
+    }
+
+    pub fn desc(col: impl Into<String>) -> Self {
+        SortKey { col: col.into(), desc: true }
+    }
+}
+
+impl fmt::Display for SortKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.col, if self.desc { " DESC" } else { "" })
+    }
+}
+
+/// A lexicographic sort specification. The empty spec means "no required
+/// order" / "order unknown".
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SortSpec(pub Vec<SortKey>);
+
+impl SortSpec {
+    pub fn none() -> Self {
+        SortSpec(Vec::new())
+    }
+
+    pub fn by<I, S>(cols: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SortSpec(cols.into_iter().map(SortKey::asc).collect())
+    }
+
+    pub fn keys(&self) -> &[SortKey] {
+        &self.0
+    }
+
+    pub fn is_none(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The paper's `IsPrefixOf(A, B)` predicate: `self` is a prefix of
+    /// `other` (column names compared case-insensitively, directions must
+    /// match).
+    pub fn is_prefix_of(&self, other: &SortSpec) -> bool {
+        self.0.len() <= other.0.len()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| a.col.eq_ignore_ascii_case(&b.col) && a.desc == b.desc)
+    }
+
+    /// Does a relation known to be ordered by `self` satisfy a requirement
+    /// of order `required`? (Rule T10: `sort_A(r) -> r` when
+    /// `IsPrefixOf(A, Order(r))`.)
+    pub fn satisfies(&self, required: &SortSpec) -> bool {
+        required.is_prefix_of(self)
+    }
+
+    /// Resolve column names to indices against a schema; keys that fail to
+    /// resolve are dropped (the order they promised cannot be expressed over
+    /// this schema).
+    pub fn resolve(&self, schema: &Schema) -> Vec<(usize, bool)> {
+        self.0
+            .iter()
+            .filter_map(|k| schema.index_of(&k.col).ok().map(|i| (i, k.desc)))
+            .collect()
+    }
+
+    /// Comparator over tuples for this spec (resolved against `schema`).
+    pub fn comparator(&self, schema: &Schema) -> impl Fn(&Tuple, &Tuple) -> Ordering {
+        let keys = self.resolve(schema);
+        move |a: &Tuple, b: &Tuple| {
+            for &(i, desc) in &keys {
+                let o = a[i].total_cmp(&b[i]);
+                let o = if desc { o.reverse() } else { o };
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            Ordering::Equal
+        }
+    }
+
+    /// Restrict this order to the columns present in `schema` — the order
+    /// that survives a projection. Stops at the first missing column since
+    /// lexicographic order beyond a dropped key is meaningless.
+    pub fn project_onto(&self, schema: &Schema) -> SortSpec {
+        let mut keys = Vec::new();
+        for k in &self.0 {
+            if schema.has(&k.col) {
+                keys.push(k.clone());
+            } else {
+                break;
+            }
+        }
+        SortSpec(keys)
+    }
+}
+
+impl fmt::Display for SortSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, k) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_semantics() {
+        let ab = SortSpec::by(["A", "B"]);
+        let a = SortSpec::by(["A"]);
+        let abc = SortSpec::by(["a", "b", "c"]);
+        assert!(a.is_prefix_of(&ab));
+        assert!(ab.is_prefix_of(&abc)); // case-insensitive
+        assert!(!ab.is_prefix_of(&a));
+        assert!(abc.satisfies(&ab));
+        assert!(!a.satisfies(&ab));
+        assert!(SortSpec::none().is_prefix_of(&a));
+        assert!(a.satisfies(&SortSpec::none()));
+    }
+
+    #[test]
+    fn direction_matters() {
+        let asc = SortSpec::by(["A"]);
+        let desc = SortSpec(vec![SortKey::desc("A")]);
+        assert!(!asc.is_prefix_of(&desc));
+    }
+}

@@ -1,0 +1,180 @@
+//! Relations with list semantics.
+
+use crate::order::SortSpec;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::fmt;
+use std::sync::Arc;
+
+/// A relation: a *list* of tuples over a schema. Duplicates and order are
+/// significant, matching the paper's foundation where expressions may be
+/// equivalent as lists or merely as multisets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    schema: Arc<Schema>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    pub fn new(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        Relation { schema, tuples }
+    }
+
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    pub fn push(&mut self, t: Tuple) {
+        debug_assert_eq!(t.len(), self.schema.len());
+        self.tuples.push(t);
+    }
+
+    /// Total payload size in bytes — the `size(r)` statistic of the cost
+    /// formulas is `cardinality(r) * avg_tuple_size`, which equals this.
+    pub fn byte_size(&self) -> usize {
+        self.tuples.iter().map(Tuple::byte_size).sum()
+    }
+
+    pub fn avg_tuple_bytes(&self) -> f64 {
+        if self.tuples.is_empty() {
+            self.schema.est_tuple_bytes() as f64
+        } else {
+            self.byte_size() as f64 / self.tuples.len() as f64
+        }
+    }
+
+    /// Sort in place by the given specification (stable).
+    pub fn sort_by(&mut self, spec: &SortSpec) {
+        let cmp = spec.comparator(&self.schema);
+        self.tuples.sort_by(cmp);
+    }
+
+    /// Is the relation sorted according to `spec`?
+    pub fn is_sorted_by(&self, spec: &SortSpec) -> bool {
+        let cmp = spec.comparator(&self.schema);
+        self.tuples.windows(2).all(|w| cmp(&w[0], &w[1]) != std::cmp::Ordering::Greater)
+    }
+
+    /// List equivalence: same tuples in the same order (the paper's
+    /// strongest equality, `≡_L`).
+    pub fn list_eq(&self, other: &Relation) -> bool {
+        self.tuples == other.tuples
+    }
+
+    /// Multiset equivalence: same tuples with the same multiplicities,
+    /// order ignored (`≡_M`).
+    pub fn multiset_eq(&self, other: &Relation) -> bool {
+        if self.tuples.len() != other.tuples.len() {
+            return false;
+        }
+        let canon = |r: &Relation| {
+            let mut ts = r.tuples.clone();
+            ts.sort_by(|a, b| {
+                a.values()
+                    .iter()
+                    .zip(b.values())
+                    .map(|(x, y)| x.total_cmp(y))
+                    .find(|o| *o != std::cmp::Ordering::Equal)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            ts
+        };
+        canon(self) == canon(other)
+    }
+}
+
+impl fmt::Display for Relation {
+    /// ASCII table rendering (handy in examples and EXPLAIN output).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let headers: Vec<String> = self.schema.names().map(str::to_string).collect();
+        let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+        let rows: Vec<Vec<String>> = self
+            .tuples
+            .iter()
+            .map(|t| t.values().iter().map(ToString::to_string).collect())
+            .collect();
+        for row in &rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>| {
+            write!(f, "+")?;
+            for w in &widths {
+                write!(f, "{}+", "-".repeat(w + 2))?;
+            }
+            writeln!(f)
+        };
+        line(f)?;
+        write!(f, "|")?;
+        for (h, w) in headers.iter().zip(&widths) {
+            write!(f, " {h:w$} |")?;
+        }
+        writeln!(f)?;
+        line(f)?;
+        for row in &rows {
+            write!(f, "|")?;
+            for (c, w) in row.iter().zip(&widths) {
+                write!(f, " {c:w$} |")?;
+            }
+            writeln!(f)?;
+        }
+        line(f)?;
+        write!(f, "{} tuple(s)", self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attr;
+    use crate::tup;
+    use crate::value::Type;
+
+    fn rel(tuples: Vec<Tuple>) -> Relation {
+        let s = Schema::new(vec![Attr::new("A", Type::Int), Attr::new("B", Type::Str)]).shared();
+        Relation::new(s, tuples)
+    }
+
+    #[test]
+    fn list_vs_multiset_equivalence() {
+        let r1 = rel(vec![tup![1, "x"], tup![2, "y"]]);
+        let r2 = rel(vec![tup![2, "y"], tup![1, "x"]]);
+        assert!(!r1.list_eq(&r2));
+        assert!(r1.multiset_eq(&r2));
+        // duplicates matter for multisets
+        let r3 = rel(vec![tup![1, "x"], tup![1, "x"]]);
+        let r4 = rel(vec![tup![1, "x"]]);
+        assert!(!r3.multiset_eq(&r4));
+    }
+
+    #[test]
+    fn sorting() {
+        let mut r = rel(vec![tup![3, "c"], tup![1, "a"], tup![2, "b"]]);
+        let spec = SortSpec::by(["A"]);
+        assert!(!r.is_sorted_by(&spec));
+        r.sort_by(&spec);
+        assert!(r.is_sorted_by(&spec));
+        assert_eq!(r.tuples()[0], tup![1, "a"]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Relation schemas.
+
+use crate::error::{AlgebraError, Result};
+use crate::value::Type;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A named, typed attribute. Names may be qualified (`"P.PosID"`); lookup
+/// resolves both qualified and bare forms.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attr {
+    pub name: String,
+    pub ty: Type,
+}
+
+impl Attr {
+    pub fn new(name: impl Into<String>, ty: Type) -> Self {
+        Attr { name: name.into(), ty }
+    }
+
+    /// The attribute name without any `alias.` qualifier.
+    pub fn bare_name(&self) -> &str {
+        self.name.rsplit('.').next().unwrap_or(&self.name)
+    }
+}
+
+/// The schema of a relation: an attribute list, plus (for temporal
+/// relations) which attribute pair forms the valid-time period `[T1, T2)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attrs: Vec<Attr>,
+    /// Indices of the `(T1, T2)` period attributes, if temporal.
+    period: Option<(usize, usize)>,
+}
+
+impl Schema {
+    pub fn new(attrs: Vec<Attr>) -> Self {
+        Schema { attrs, period: None }
+    }
+
+    /// Build a temporal schema; `t1`/`t2` are resolved by name and must
+    /// exist.
+    pub fn temporal(attrs: Vec<Attr>, t1: &str, t2: &str) -> Result<Self> {
+        let mut s = Schema { attrs, period: None };
+        let i1 = s.index_of(t1)?;
+        let i2 = s.index_of(t2)?;
+        s.period = Some((i1, i2));
+        Ok(s)
+    }
+
+    /// Convention used across TANGO: a schema with attributes named `T1`
+    /// and `T2` is temporal.
+    pub fn with_inferred_period(attrs: Vec<Attr>) -> Self {
+        let mut s = Schema { attrs, period: None };
+        let i1 = s.index_of("T1").ok();
+        let i2 = s.index_of("T2").ok();
+        if let (Some(i1), Some(i2)) = (i1, i2) {
+            s.period = Some((i1, i2));
+        }
+        s
+    }
+
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    pub fn len(&self) -> usize {
+        self.attrs.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    pub fn period(&self) -> Option<(usize, usize)> {
+        self.period
+    }
+
+    pub fn is_temporal(&self) -> bool {
+        self.period.is_some()
+    }
+
+    pub fn attr(&self, i: usize) -> &Attr {
+        &self.attrs[i]
+    }
+
+    /// Resolve a (possibly qualified) column name, case-insensitively.
+    ///
+    /// Resolution order: exact match on the full name, then match on the
+    /// bare (unqualified) part. A bare name matching several qualified
+    /// attributes is ambiguous.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        let eq = |a: &str, b: &str| a.eq_ignore_ascii_case(b);
+        if let Some(i) = self.attrs.iter().position(|a| eq(&a.name, name)) {
+            return Ok(i);
+        }
+        let bare = name.rsplit('.').next().unwrap_or(name);
+        let mut hits = self
+            .attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| eq(a.bare_name(), bare));
+        match (hits.next(), hits.next()) {
+            (Some((i, _)), None) => Ok(i),
+            (Some(_), Some(_)) => Err(AlgebraError::AmbiguousColumn(name.to_string())),
+            _ => Err(AlgebraError::UnknownColumn(name.to_string())),
+        }
+    }
+
+    pub fn has(&self, name: &str) -> bool {
+        self.index_of(name).is_ok()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.attrs.iter().map(|a| a.name.as_str())
+    }
+
+    /// Rough per-tuple width estimate (bytes) from attribute types; strings
+    /// count a default payload of 16 bytes. Used when real statistics are
+    /// unavailable.
+    pub fn est_tuple_bytes(&self) -> usize {
+        self.attrs
+            .iter()
+            .map(|a| match a.ty {
+                Type::Int => 8,
+                Type::Double => 8,
+                Type::Date => 4,
+                Type::Str => 18,
+            })
+            .sum()
+    }
+
+    /// Return a copy where every attribute is qualified with `alias.`
+    /// (replacing any existing qualifier). The period marker is preserved.
+    pub fn qualified(&self, alias: &str) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| Attr::new(format!("{alias}.{}", a.bare_name()), a.ty))
+                .collect(),
+            period: self.period,
+        }
+    }
+
+    /// Return a copy with all qualifiers stripped.
+    pub fn unqualified(&self) -> Schema {
+        Schema {
+            attrs: self
+                .attrs
+                .iter()
+                .map(|a| Attr::new(a.bare_name().to_string(), a.ty))
+                .collect(),
+            period: self.period,
+        }
+    }
+
+    pub fn shared(self) -> Arc<Schema> {
+        Arc::new(self)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", a.name, a.ty)?;
+            if let Some((t1, t2)) = self.period {
+                if i == t1 {
+                    write!(f, " /*T1*/")?;
+                } else if i == t2 {
+                    write!(f, " /*T2*/")?;
+                }
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pos_schema() -> Schema {
+        Schema::with_inferred_period(vec![
+            Attr::new("PosID", Type::Int),
+            Attr::new("EmpName", Type::Str),
+            Attr::new("T1", Type::Date),
+            Attr::new("T2", Type::Date),
+        ])
+    }
+
+    #[test]
+    fn inferred_period() {
+        let s = pos_schema();
+        assert_eq!(s.period(), Some((2, 3)));
+        assert!(s.is_temporal());
+    }
+
+    #[test]
+    fn lookup_case_insensitive_and_qualified() {
+        let s = pos_schema().qualified("P");
+        assert_eq!(s.index_of("P.PosID").unwrap(), 0);
+        assert_eq!(s.index_of("posid").unwrap(), 0);
+        assert_eq!(s.index_of("p.empname").unwrap(), 1);
+        assert!(s.index_of("nope").is_err());
+    }
+
+    #[test]
+    fn ambiguity_detected() {
+        let mut attrs = pos_schema().qualified("A").attrs().to_vec();
+        attrs.extend(pos_schema().qualified("B").attrs().to_vec());
+        let s = Schema::new(attrs);
+        assert!(matches!(
+            s.index_of("PosID"),
+            Err(AlgebraError::AmbiguousColumn(_))
+        ));
+        assert_eq!(s.index_of("A.PosID").unwrap(), 0);
+        assert_eq!(s.index_of("B.PosID").unwrap(), 4);
+    }
+}

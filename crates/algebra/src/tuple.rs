@@ -1,0 +1,164 @@
+//! Tuples: fixed-arity value vectors.
+
+use crate::interval::Period;
+use crate::schema::Schema;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A tuple of scalar values. Tuples do not carry their schema; the
+/// enclosing relation or cursor does.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Tuple(pub Vec<Value>);
+
+impl Tuple {
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    pub fn set(&mut self, i: usize, v: Value) {
+        self.0[i] = v;
+    }
+
+    /// Extract the valid-time period using the schema's period indices.
+    /// Returns `None` for non-temporal schemas or null time attributes.
+    pub fn period(&self, schema: &Schema) -> Option<Period> {
+        let (i1, i2) = schema.period()?;
+        Some(Period::new(self.0[i1].as_day()?, self.0[i2].as_day()?))
+    }
+
+    /// Total wire/memory size estimate in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.0.iter().map(Value::byte_size).sum()
+    }
+
+    /// Project onto the given indices (cloning values).
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenate two tuples (join output construction).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.len() + other.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Self {
+        Tuple(v)
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Build a tuple from heterogeneous literals:
+/// `tup![1, "Tom", date(1995,1,1)]`.
+#[macro_export]
+macro_rules! tup {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::IntoValue::into_value($v)),*])
+    };
+}
+
+/// Conversion helper backing the [`tup!`] macro.
+pub trait IntoValue {
+    fn into_value(self) -> Value;
+}
+
+impl IntoValue for Value {
+    fn into_value(self) -> Value {
+        self
+    }
+}
+impl IntoValue for i64 {
+    fn into_value(self) -> Value {
+        Value::Int(self)
+    }
+}
+impl IntoValue for i32 {
+    fn into_value(self) -> Value {
+        Value::Int(self as i64)
+    }
+}
+impl IntoValue for f64 {
+    fn into_value(self) -> Value {
+        Value::Double(self)
+    }
+}
+impl IntoValue for &str {
+    fn into_value(self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl IntoValue for String {
+    fn into_value(self) -> Value {
+        Value::Str(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attr;
+    use crate::value::Type;
+
+    #[test]
+    fn tup_macro_and_period() {
+        let s = Schema::with_inferred_period(vec![
+            Attr::new("PosID", Type::Int),
+            Attr::new("T1", Type::Int),
+            Attr::new("T2", Type::Int),
+        ]);
+        let t = tup![1, 2, 20];
+        assert_eq!(t.period(&s), Some(Period::new(2, 20)));
+        assert_eq!(t.project(&[0]).values(), &[Value::Int(1)]);
+    }
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tup![1, "x"];
+        let b = tup![2.5];
+        assert_eq!(
+            a.concat(&b).values(),
+            &[Value::Int(1), Value::Str("x".into()), Value::Double(2.5)]
+        );
+    }
+}

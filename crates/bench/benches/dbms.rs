@@ -1,0 +1,80 @@
+//! Mini-DBMS throughput benchmarks: scan, filter, hash join, sort,
+//! aggregation and the bulk loader — the substrate's side of the cost
+//! model (`p_scan`, `p_jd`, `p_sd`, `p_td`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tango_algebra::{tup, Attr, Schema, Tuple, Type};
+use tango_minidb::{Connection, Database, Link, LinkProfile};
+
+fn setup(n: usize) -> Connection {
+    // instant wire: measure the engine, not the simulated link
+    let conn = Connection::new(Database::new(Link::new(LinkProfile::instant())));
+    conn.execute("CREATE TABLE T (K INT, V INT, S VARCHAR(16), T1 INT, T2 INT)").unwrap();
+    let mut x = 0xDEADBEEFu64;
+    let rows: Vec<Tuple> = (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let t1 = (x % 9000) as i64;
+            tup![
+                (x % (n as u64 / 8 + 1)) as i64,
+                (x % 1_000_000) as i64,
+                format!("s{:06}", x % 100_000),
+                t1,
+                t1 + 1 + (x % 200) as i64
+            ]
+        })
+        .collect();
+    conn.database().insert_rows("T", rows).unwrap();
+    conn.execute("ANALYZE TABLE T COMPUTE STATISTICS").unwrap();
+    conn
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 20_000;
+    let conn = setup(n);
+    let bytes = conn.table_stats("T").unwrap().size_bytes() as u64;
+
+    let cases = [
+        ("scan", "SELECT K, V, S, T1, T2 FROM T"),
+        ("filter", "SELECT K, V FROM T WHERE V < 500000 AND T1 > 1000"),
+        ("sort", "SELECT K, V FROM T ORDER BY K, T1"),
+        ("hash_join", "SELECT A.K, B.V FROM T A, T B WHERE A.K = B.K AND A.V < 100000"),
+        ("group_by", "SELECT K, COUNT(*) AS C, MIN(T1) AS M FROM T GROUP BY K"),
+        (
+            "union_distinct",
+            "SELECT K, T1 AS P FROM T UNION SELECT K, T2 FROM T",
+        ),
+    ];
+    let mut g = c.benchmark_group("minidb");
+    g.throughput(Throughput::Bytes(bytes));
+    for (name, sql) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &sql, |b, sql| {
+            b.iter(|| conn.query_all(sql).unwrap().len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_loader(c: &mut Criterion) {
+    let schema = Schema::new(vec![Attr::new("A", Type::Int), Attr::new("B", Type::Str)]);
+    let rows: Vec<Tuple> = (0..10_000).map(|i| tup![i as i64, format!("row{i}")]).collect();
+    let bytes: usize = rows.iter().map(Tuple::byte_size).sum();
+    let mut g = c.benchmark_group("loader");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("direct_path_10k", |b| {
+        b.iter(|| {
+            let conn = Connection::new(Database::new(Link::new(LinkProfile::instant())));
+            conn.load_direct("L", schema.clone(), rows.clone()).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queries, bench_loader
+}
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Criterion micro-benchmarks for the middleware algorithm library —
+//! per-operator throughput backing the Figure 6 cost formulas (each
+//! operator's time should scale ~linearly in `size(r)`, which is exactly
+//! what the `p` factors assume).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use tango_algebra::codec::{encode_tuple, Decoder};
+use tango_algebra::{tup, AggFunc, AggSpec, Attr, Relation, Schema, SortSpec, Type};
+use tango_xxl::{collect, MergeJoin, Sort, TemporalAggregate, TemporalMergeJoin, VecScan};
+
+fn temporal_relation(n: usize, groups: usize) -> Relation {
+    let schema = Arc::new(Schema::with_inferred_period(vec![
+        Attr::new("G", Type::Int),
+        Attr::new("V", Type::Int),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]));
+    let mut rows = Vec::with_capacity(n);
+    let mut x = 0x9E3779B97F4A7C15u64;
+    for i in 0..n {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let t1 = (x % 10_000) as i64;
+        rows.push(tup![(i % groups.max(1)) as i64, (x % 1000) as i64, t1, t1 + 1 + (x % 300) as i64]);
+    }
+    let mut rel = Relation::new(schema, rows);
+    rel.sort_by(&SortSpec::by(["G", "T1"]));
+    rel
+}
+
+fn bench_taggr(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taggr_m");
+    for n in [1_000usize, 10_000, 50_000] {
+        let rel = temporal_relation(n, n / 8);
+        g.throughput(Throughput::Bytes(rel.byte_size() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter(|| {
+                let agg = TemporalAggregate::new(
+                    Box::new(VecScan::new(rel.clone())),
+                    vec!["G".into()],
+                    vec![AggSpec::new(AggFunc::Count, Some("G"), "C")],
+                )
+                .unwrap();
+                collect(Box::new(agg)).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_temporal_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tmergejoin_m");
+    for n in [1_000usize, 10_000, 50_000] {
+        let rel = temporal_relation(n, n / 8);
+        g.throughput(Throughput::Bytes(2 * rel.byte_size() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter(|| {
+                let j = TemporalMergeJoin::new(
+                    Box::new(VecScan::new(rel.clone())),
+                    Box::new(VecScan::new(rel.clone())),
+                    &[("G".to_string(), "G".to_string())],
+                )
+                .unwrap();
+                collect(Box::new(j)).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_merge_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mergejoin_m");
+    for n in [10_000usize, 50_000] {
+        let rel = temporal_relation(n, n / 2);
+        g.throughput(Throughput::Bytes(2 * rel.byte_size() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter(|| {
+                let j = MergeJoin::new(
+                    Box::new(VecScan::new(rel.clone())),
+                    Box::new(VecScan::new(rel.clone())),
+                    &[("G".to_string(), "G".to_string())],
+                )
+                .unwrap();
+                collect(Box::new(j)).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_m");
+    for n in [10_000usize, 100_000] {
+        let mut rel = temporal_relation(n, 64);
+        rel.sort_by(&SortSpec::by(["V"])); // unsort w.r.t. the bench key
+        g.throughput(Throughput::Bytes(rel.byte_size() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &rel, |b, rel| {
+            b.iter(|| {
+                let s = Sort::new(Box::new(VecScan::new(rel.clone())), SortSpec::by(["G", "T1"]));
+                collect(Box::new(s)).unwrap().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let rel = temporal_relation(50_000, 1_000);
+    let mut buf = Vec::new();
+    for t in rel.tuples() {
+        encode_tuple(t, &mut buf);
+    }
+    let mut g = c.benchmark_group("wire_codec");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("encode_50k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            for t in rel.tuples() {
+                encode_tuple(t, &mut out);
+            }
+            out.len()
+        })
+    });
+    g.bench_function("decode_50k", |b| {
+        b.iter(|| {
+            let mut d = Decoder::new(&buf);
+            let mut n = 0;
+            while !d.is_done() {
+                d.decode_tuple().unwrap();
+                n += 1;
+            }
+            n
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_taggr, bench_temporal_join, bench_merge_join, bench_sort, bench_codec
+}
+criterion_main!(benches);

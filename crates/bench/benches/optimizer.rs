@@ -1,0 +1,46 @@
+//! Optimization-time benchmarks — the paper's claim that "for the tested
+//! queries, the middleware optimization overhead was very small"
+//! (Section 5.3). Each benchmark runs the full pipeline: parse the
+//! temporal SQL, explore the memo, and search for the best plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tango_algebra::date::day;
+use tango_bench::plans::{q1_sql, q2_sql, q3_sql, q4_sql};
+use tango_bench::{load_uis, uis_link_profile};
+use tango_uis::UisConfig;
+
+fn bench_optimize(c: &mut Criterion) {
+    let cfg = UisConfig::small(0xEC1);
+    let mut setup = load_uis(&cfg, uis_link_profile(), false);
+    setup.tango.refresh_statistics().unwrap();
+
+    let queries: Vec<(&str, String)> = vec![
+        ("query1", q1_sql("POSITION")),
+        ("query2", q2_sql(day(1983, 1, 1), day(1996, 1, 1))),
+        ("query3", q3_sql(day(1996, 1, 1))),
+        ("query4", q4_sql("POSITION")),
+    ];
+    let mut g = c.benchmark_group("optimize");
+    for (name, sql) in queries {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let q = setup.tango.optimize(&sql).unwrap();
+                (q.classes, q.elements)
+            })
+        });
+    }
+    g.finish();
+
+    // parser alone
+    let sql = q2_sql(day(1983, 1, 1), day(1996, 1, 1));
+    c.bench_function("parse_tsql_query2", |b| {
+        b.iter(|| setup.tango.parse(&sql).unwrap().size())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_optimize
+}
+criterion_main!(benches);

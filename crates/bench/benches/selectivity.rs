@@ -1,0 +1,85 @@
+//! Estimator micro-benchmarks: the Section 3.3 temporal selectivity
+//! functions and full statistics derivation must be cheap enough to run
+//! thousands of times inside the optimizer's search.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tango_algebra::{Attr, Expr, Schema, Type, Value};
+use tango_stats::stats::AttrStats;
+use tango_stats::{overlaps_cardinality, Histogram, RelationStats};
+
+fn stats_with_histograms(buckets: usize) -> RelationStats {
+    let vals: Vec<f64> = (0..100_000).map(|i| (i % 1819) as f64).collect();
+    let mut s = RelationStats { rows: 100_000.0, avg_tuple_bytes: 40.0, ..Default::default() };
+    for col in ["T1", "T2"] {
+        s.set_attr(
+            col,
+            AttrStats {
+                min: Some(0.0),
+                max: Some(1819.0),
+                distinct: 1819,
+                histogram: Histogram::build(vals.clone(), buckets),
+                avg_width: 4.0,
+                ..Default::default()
+            },
+        );
+    }
+    s.set_attr(
+        "PosID",
+        AttrStats { min: Some(1.0), max: Some(20_000.0), distinct: 16_000, avg_width: 8.0, ..Default::default() },
+    );
+    s
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let s = stats_with_histograms(20);
+    c.bench_function("overlaps_cardinality_hist20", |b| {
+        b.iter(|| overlaps_cardinality(700.0, 760.0, &s, "T1", "T2"))
+    });
+    let s_nohist = {
+        let mut x = s.clone();
+        for a in x.attrs.values_mut() {
+            a.histogram = None;
+        }
+        x
+    };
+    c.bench_function("overlaps_cardinality_uniform", |b| {
+        b.iter(|| overlaps_cardinality(700.0, 760.0, &s_nohist, "T1", "T2"))
+    });
+
+    let schema = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    let pred = Expr::and(
+        Expr::overlaps("T1", "T2", Expr::Lit(Value::Int(700)), Expr::Lit(Value::Int(760))),
+        Expr::eq(Expr::col("PosID"), Expr::lit(42)),
+    );
+    c.bench_function("derive_select", |b| {
+        b.iter(|| tango_stats::cardinality::derive_select(&pred, &s, &schema).rows)
+    });
+
+    let tjoin = tango_algebra::Logical::TJoin {
+        eq: vec![("PosID".to_string(), "PosID".to_string())],
+        left: Box::new(tango_algebra::Logical::Get { table: "_".into() }),
+        right: Box::new(tango_algebra::Logical::Get { table: "_".into() }),
+    };
+    let out_schema = tango_algebra::logical::tjoin_schema(
+        &[("PosID".to_string(), "PosID".to_string())],
+        &schema,
+        &schema,
+    )
+    .unwrap();
+    c.bench_function("derive_tjoin", |b| {
+        b.iter(|| {
+            tango_stats::derive_stats(&tjoin, &[&s, &s], &[&schema, &schema], &out_schema).rows
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_estimators
+}
+criterion_main!(benches);

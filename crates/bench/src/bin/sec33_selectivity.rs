@@ -1,0 +1,131 @@
+//! Section 3.3 — the temporal selectivity worked example.
+//!
+//! Relation R: 100,000 tuples, 7-day periods uniformly distributed over
+//! 1995-01-01 .. 2000-01-01; query `Overlaps(1997-02-01, 1997-02-08)`.
+//! The paper: the naive independent-predicate estimate is 24.7 % of the
+//! relation — "a factor of 40 too high" — while the proposed
+//! `StartBefore - EndBefore` estimate lands at ~0.8 %, close to the
+//! actual 0.4–0.8 %.
+//!
+//! This binary builds the relation *for real*, measures the actual
+//! result, and prints the three numbers side by side, plus a sweep over
+//! other windows and a skewed-data variant where histograms matter.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tango_algebra::date::{day, format_date};
+use tango_stats::temporal_sel::naive_overlaps_cardinality;
+use tango_stats::{overlaps_cardinality, RelationStats};
+use tango_stats::stats::AttrStats;
+use tango_stats::Histogram;
+
+struct Column {
+    t1: Vec<f64>,
+    t2: Vec<f64>,
+}
+
+fn uniform_relation(n: usize, seed: u64) -> Column {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lo = day(1995, 1, 1);
+    let hi = day(1999, 12, 25); // start so that start+7 <= 2000-01-01
+    let mut t1 = Vec::with_capacity(n);
+    let mut t2 = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = rng.gen_range(lo..=hi) as f64;
+        t1.push(s);
+        t2.push(s + 7.0);
+    }
+    Column { t1, t2 }
+}
+
+fn stats_of(c: &Column, histogram: bool) -> RelationStats {
+    let mut s = RelationStats { rows: c.t1.len() as f64, ..Default::default() };
+    let mk = |vals: &[f64]| AttrStats {
+        min: vals.iter().copied().reduce(f64::min),
+        max: vals.iter().copied().reduce(f64::max),
+        distinct: {
+            let mut v: Vec<i64> = vals.iter().map(|x| *x as i64).collect();
+            v.sort();
+            v.dedup();
+            v.len() as u64
+        },
+        histogram: histogram.then(|| Histogram::build(vals.to_vec(), 20).unwrap()),
+        ..Default::default()
+    };
+    s.set_attr("T1", mk(&c.t1));
+    s.set_attr("T2", mk(&c.t2));
+    s
+}
+
+fn actual(c: &Column, a: f64, b: f64) -> f64 {
+    c.t1.iter().zip(&c.t2).filter(|&(&s, &e)| s < b && e > a).count() as f64
+}
+
+fn main() {
+    let n = 100_000;
+    let c = uniform_relation(n, 0x533);
+    let s = stats_of(&c, false);
+
+    println!("== Section 3.3 — selectivity of temporal predicates ==");
+    println!("R: {n} tuples, 7-day periods uniform over 1995-01-01..2000-01-01\n");
+
+    let a = day(1997, 2, 1) as f64;
+    let b = day(1997, 2, 8) as f64;
+    let act = actual(&c, a, b);
+    let naive = naive_overlaps_cardinality(a, b, &s, "T1", "T2");
+    let proposed = overlaps_cardinality(a, b, &s, "T1", "T2");
+    println!("Overlaps(1997-02-01, 1997-02-08):");
+    println!("  actual:   {act:8.0} tuples ({:.2}% of R)", act / n as f64 * 100.0);
+    println!(
+        "  naive:    {naive:8.0} tuples ({:.2}% of R)  -> {:.0}x off",
+        naive / n as f64 * 100.0,
+        naive / act
+    );
+    println!(
+        "  proposed: {proposed:8.0} tuples ({:.2}% of R)  -> {:.1}x off",
+        proposed / n as f64 * 100.0,
+        proposed / act
+    );
+    println!("  paper:    naive 24.7%, proposed ~0.8%, actual 0.4-0.8% (factor-40 error)\n");
+
+    println!("window sweep (proposed vs naive error factor):");
+    println!("{:>12} {:>12} {:>9} {:>9} {:>9} {:>10} {:>10}", "A", "B", "actual", "naive", "prop.", "naive-err", "prop-err");
+    for (ya, yb) in [(1995, 1995), (1996, 1997), (1997, 1999), (1995, 2000)] {
+        let a = day(ya, 6, 1) as f64;
+        let b = day(yb, 9, 1) as f64;
+        let act = actual(&c, a, b).max(1.0);
+        let nv = naive_overlaps_cardinality(a, b, &s, "T1", "T2");
+        let pr = overlaps_cardinality(a, b, &s, "T1", "T2");
+        println!(
+            "{:>12} {:>12} {:>9.0} {:>9.0} {:>9.0} {:>9.1}x {:>9.1}x",
+            format_date(a as i32),
+            format_date(b as i32),
+            act,
+            nv,
+            pr,
+            nv / act,
+            pr / act
+        );
+    }
+
+    // skewed variant: histograms matter
+    println!("\nskewed starts (90% in 1995, 10% in 1999), window 1996-01-01..1996-07-01:");
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let mut t1 = Vec::new();
+    for _ in 0..(n * 9 / 10) {
+        t1.push(rng.gen_range(day(1995, 1, 1)..day(1996, 1, 1)) as f64);
+    }
+    for _ in 0..(n / 10) {
+        t1.push(rng.gen_range(day(1999, 1, 1)..day(2000, 1, 1)) as f64);
+    }
+    let t2: Vec<f64> = t1.iter().map(|v| v + 30.0).collect();
+    let skew = Column { t1, t2 };
+    let a = day(1996, 1, 1) as f64;
+    let b = day(1996, 7, 1) as f64;
+    let act = actual(&skew, a, b);
+    let without = overlaps_cardinality(a, b, &stats_of(&skew, false), "T1", "T2");
+    let with = overlaps_cardinality(a, b, &stats_of(&skew, true), "T1", "T2");
+    println!("  actual:             {act:8.0}");
+    println!("  proposed, no hist:  {without:8.0}  ({:.1}x off)", without / act.max(1.0));
+    println!("  proposed, histog.:  {with:8.0}  ({:.1}x off)", with / act.max(1.0));
+}

@@ -1,0 +1,51 @@
+//! # tango-bench
+//!
+//! The experiment harness for the performance study of Section 5 of the
+//! paper. One binary per table/figure:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `fig8_query1` | Figure 8 — Query 1 (temporal aggregation), 3 plans × POSITION sizes |
+//! | `fig10_query2` | Figure 10(a/b) — Query 2, 6 plans × selection-window end |
+//! | `fig11a_query3` | Figure 11(a) — Query 3 (temporal self-join), 2 plans × start bound |
+//! | `fig11b_query4` | Figure 11(b) — Query 4 (regular join), 3 plans × POSITION sizes |
+//! | `sec33_selectivity` | Section 3.3 worked example — naive vs proposed estimator |
+//! | `optimizer_stats` | Section 5.2 — classes/elements and chosen plan per query |
+//! | `calibration_study` | Ablation — default vs calibrated factors vs feedback |
+//!
+//! Reported times are wall-clock plus the simulated wire time (the
+//! virtual JDBC link), matching how the paper's numbers include both
+//! computation and transfer.
+
+pub mod plans;
+pub mod report;
+pub mod setup;
+
+pub use report::Table;
+pub use setup::{load_uis, uis_link_profile, Setup};
+
+use std::time::Duration;
+use tango_core::phys::PhysNode;
+use tango_core::Tango;
+
+/// Execute a fixed physical plan, returning (total time, result rows).
+/// Total time = compute wall time + virtual wire time, like the paper's
+/// measurements.
+pub fn time_plan(tango: &mut Tango, plan: &PhysNode) -> (Duration, usize) {
+    match tango.execute_physical(plan) {
+        Ok((rel, report)) => (report.total(), rel.len()),
+        Err(e) => panic!("plan failed: {e}\n{}", plan.render()),
+    }
+}
+
+/// Optimize + execute a temporal-SQL query (the "optimizer's choice"
+/// rows of the figures; includes optimization time, as in the paper).
+pub fn time_query(tango: &mut Tango, sql: &str) -> (Duration, usize, String) {
+    match tango.query(sql) {
+        Ok((rel, report)) => {
+            let t = report.total();
+            (t, rel.len(), report.optimized.explain())
+        }
+        Err(e) => panic!("query failed: {e}\nsql: {sql}"),
+    }
+}

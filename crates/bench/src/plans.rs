@@ -1,0 +1,359 @@
+//! Hand-built physical plans replicating the exact plan shapes of
+//! Figures 7, 9 and the Query 3/4 plan pairs of the paper, plus the
+//! temporal-SQL texts used for the "optimizer's choice" series.
+
+use std::sync::Arc;
+use tango_algebra::date::format_date;
+use tango_algebra::{
+    AggFunc, AggSpec, CmpOp, Day, Expr, ProjItem, SortSpec, Value,
+};
+use tango_core::phys::{Algo, PhysNode};
+use tango_minidb::Connection;
+
+/// PhysNode builder that derives schemas as it stacks algorithms.
+pub struct PlanBuilder {
+    conn: Connection,
+}
+
+impl PlanBuilder {
+    pub fn new(conn: &Connection) -> Self {
+        PlanBuilder { conn: conn.clone() }
+    }
+
+    pub fn scan(&self, table: &str) -> PhysNode {
+        let schema = self
+            .conn
+            .table_schema(table)
+            .unwrap_or_else(|| panic!("unknown table {table}"));
+        PhysNode { algo: Algo::ScanD(table.to_string()), schema: Arc::new(schema), children: vec![] }
+    }
+
+    pub fn un(&self, algo: Algo, child: PhysNode) -> PhysNode {
+        let schema = Arc::new(
+            algo.output_schema(&[child.schema.as_ref()])
+                .unwrap_or_else(|e| panic!("schema derivation failed for {}: {e}", algo.label())),
+        );
+        PhysNode { algo, schema, children: vec![child] }
+    }
+
+    pub fn bin(&self, algo: Algo, l: PhysNode, r: PhysNode) -> PhysNode {
+        let schema = Arc::new(
+            algo.output_schema(&[l.schema.as_ref(), r.schema.as_ref()])
+                .unwrap_or_else(|e| panic!("schema derivation failed for {}: {e}", algo.label())),
+        );
+        PhysNode { algo, schema, children: vec![l, r] }
+    }
+}
+
+fn eqp(l: &str, r: &str) -> Vec<(String, String)> {
+    vec![(l.to_string(), r.to_string())]
+}
+
+fn count_agg() -> (Vec<String>, Vec<AggSpec>) {
+    (
+        vec!["PosID".to_string()],
+        vec![AggSpec::new(AggFunc::Count, Some("PosID"), "Cnt")],
+    )
+}
+
+/// The overlap window predicate `T1 < end AND T2 > start`.
+pub fn window_pred(start: Day, end: Day) -> Expr {
+    Expr::overlaps(
+        "T1",
+        "T2",
+        Expr::Lit(Value::Date(start)),
+        Expr::Lit(Value::Date(end)),
+    )
+}
+
+pub fn payrate_pred() -> Expr {
+    Expr::cmp(CmpOp::Gt, Expr::col("PayRate"), Expr::lit(Value::Double(10.0)))
+}
+
+fn proj_cols(cols: &[&str]) -> Vec<ProjItem> {
+    cols.iter().map(|c| ProjItem::col(*c)).collect()
+}
+
+// ====================================================================
+// Query 1 (Figure 7): temporal aggregation over POSITION, sorted output
+// ====================================================================
+
+pub fn q1_sql(table: &str) -> String {
+    format!(
+        "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM {table} \
+         GROUP BY PosID ORDER BY PosID"
+    )
+}
+
+/// The three plans of Figure 7.
+pub fn q1_plans(b: &PlanBuilder, table: &str) -> Vec<(&'static str, PhysNode)> {
+    let (group_by, aggs) = count_agg();
+    let dbms_proj =
+        |b: &PlanBuilder| b.un(Algo::ProjectD(proj_cols(&["PosID", "T1", "T2"])), b.scan(table));
+    let sort_keys = SortSpec::by(["PosID", "T1"]);
+
+    // Plan 1: sort in the DBMS, aggregate in the middleware
+    let p1 = b.un(
+        Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() },
+        b.un(
+            Algo::TransferM,
+            b.un(Algo::SortD(sort_keys.clone()), dbms_proj(b)),
+        ),
+    );
+
+    // Plan 2: sort and aggregate in the middleware
+    let p2 = b.un(
+        Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() },
+        b.un(Algo::SortM(sort_keys.clone()), b.un(Algo::TransferM, dbms_proj(b))),
+    );
+
+    // Plan 3: everything in the DBMS (constant-period SQL)
+    let p3 = b.un(
+        Algo::TransferM,
+        b.un(
+            Algo::SortD(SortSpec::by(["PosID", "T1"])),
+            b.un(Algo::TAggrD { group_by, aggs }, dbms_proj(b)),
+        ),
+    );
+    vec![("plan1 (sortD+taggrM)", p1), ("plan2 (sortM+taggrM)", p2), ("plan3 (all DBMS)", p3)]
+}
+
+// ====================================================================
+// Query 2 (Figure 9): window + payrate selection, taggr ⋈ᵀ POSITION
+// ====================================================================
+
+pub fn q2_sql(start: Day, end: Day) -> String {
+    format!(
+        "VALIDTIME SELECT P.PosID, Cnt, P.EmpID FROM \
+           (VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION GROUP BY PosID) A, \
+           POSITION P \
+         WHERE A.PosID = P.PosID AND P.PayRate > 10 \
+           AND T1 < DATE '{}' AND T2 > DATE '{}' \
+         ORDER BY P.PosID",
+        format_date(end),
+        format_date(start),
+    )
+}
+
+/// The six plans discussed for Query 2 (four shown in Figure 9 plus the
+/// unpushed-selection and all-DBMS variants).
+pub fn q2_plans(b: &PlanBuilder, start: Day, end: Day) -> Vec<(&'static str, PhysNode)> {
+    let (group_by, aggs) = count_agg();
+    let win = window_pred(start, end);
+    let sortspec = SortSpec::by(["PosID", "T1"]);
+
+    // aggregation-side argument: σ_w then project to (PosID, T1, T2)
+    let a_side = |filtered: bool| {
+        let scan = b.scan("POSITION");
+        let input = if filtered { b.un(Algo::FilterD(win.clone()), scan) } else { scan };
+        b.un(Algo::ProjectD(proj_cols(&["PosID", "T1", "T2"])), input)
+    };
+    // middleware temporal aggregation over a DBMS-sorted argument
+    let agg_m = |filtered: bool| {
+        b.un(
+            Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() },
+            b.un(Algo::TransferM, b.un(Algo::SortD(sortspec.clone()), a_side(filtered))),
+        )
+    };
+    // join-side POSITION: σ_w ∧ payrate in the DBMS
+    let p_side = || {
+        b.un(
+            Algo::FilterD(Expr::and(win.clone(), payrate_pred())),
+            b.scan("POSITION"),
+        )
+    };
+    let eq = eqp("PosID", "PosID");
+
+    // Plan 1: taggr in the middleware; join, sort in the DBMS
+    let p1 = b.un(
+        Algo::TransferM,
+        b.un(
+            Algo::SortD(SortSpec::by(["PosID"])),
+            b.bin(Algo::TJoinD(eq.clone()), b.un(Algo::TransferD, agg_m(true)), p_side()),
+        ),
+    );
+
+    // Plan 2: + temporal join in the middleware (right side sorted in DBMS)
+    let p2 = b.bin(
+        Algo::TMergeJoinM(eq.clone()),
+        agg_m(true),
+        b.un(Algo::TransferM, b.un(Algo::SortD(SortSpec::by(["PosID"])), p_side())),
+    );
+
+    // Plan 3: + sorting in the middleware
+    let p3 = b.bin(
+        Algo::TMergeJoinM(eq.clone()),
+        agg_m(true),
+        b.un(Algo::SortM(SortSpec::by(["PosID"])), b.un(Algo::TransferM, p_side())),
+    );
+
+    // Plan 4: + selection in the middleware (whole base relation crosses
+    // the wire)
+    let p4 = b.bin(
+        Algo::TMergeJoinM(eq.clone()),
+        agg_m(true),
+        b.un(
+            Algo::SortM(SortSpec::by(["PosID"])),
+            b.un(
+                Algo::FilterM(Expr::and(win.clone(), payrate_pred())),
+                b.un(Algo::TransferM, b.scan("POSITION")),
+            ),
+        ),
+    );
+
+    // Plan 5: like Plan 1, but no selection on the aggregation argument
+    let p5 = b.un(
+        Algo::TransferM,
+        b.un(
+            Algo::SortD(SortSpec::by(["PosID"])),
+            b.bin(Algo::TJoinD(eq.clone()), b.un(Algo::TransferD, agg_m(false)), p_side()),
+        ),
+    );
+
+    // Plan 6: everything in the DBMS
+    let p6 = b.un(
+        Algo::TransferM,
+        b.un(
+            Algo::SortD(SortSpec::by(["PosID"])),
+            b.bin(
+                Algo::TJoinD(eq),
+                b.un(Algo::TAggrD { group_by, aggs }, a_side(true)),
+                p_side(),
+            ),
+        ),
+    );
+
+    vec![
+        ("plan1 (taggrM)", p1),
+        ("plan2 (taggrM+tjoinM)", p2),
+        ("plan3 (+sortM)", p3),
+        ("plan4 (+filterM)", p4),
+        ("plan5 (no arg filter)", p5),
+        ("plan6 (all DBMS)", p6),
+    ]
+}
+
+// ====================================================================
+// Query 3 (Figure 11a): temporal self-join
+// ====================================================================
+
+pub fn q3_sql(bound: Day) -> String {
+    format!(
+        "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+         WHERE A.PosID = B.PosID AND A.T1 < DATE '{0}' AND B.T1 < DATE '{0}' \
+         ORDER BY A.PosID",
+        format_date(bound),
+    )
+}
+
+pub fn q3_plans(b: &PlanBuilder, bound: Day) -> Vec<(&'static str, PhysNode)> {
+    let sel = Expr::cmp(CmpOp::Lt, Expr::col("T1"), Expr::Lit(Value::Date(bound)));
+    let side = || {
+        b.un(
+            Algo::ProjectD(proj_cols(&["PosID", "EmpID", "T1", "T2"])),
+            b.un(Algo::FilterD(sel.clone()), b.scan("POSITION")),
+        )
+    };
+    let eq = eqp("PosID", "PosID");
+
+    // Plan 1: all in the DBMS
+    let p1 = b.un(
+        Algo::TransferM,
+        b.un(
+            Algo::SortD(SortSpec::by(["PosID"])),
+            b.bin(Algo::TJoinD(eq.clone()), side(), side()),
+        ),
+    );
+
+    // Plan 2: temporal join in the middleware (both sides sorted in the
+    // DBMS; the merge output needs no final sort)
+    let sorted_side =
+        || b.un(Algo::TransferM, b.un(Algo::SortD(SortSpec::by(["PosID"])), side()));
+    let p2 = b.bin(Algo::TMergeJoinM(eq), sorted_side(), sorted_side());
+
+    vec![("plan1 (all DBMS)", p1), ("plan2 (tjoinM)", p2)]
+}
+
+// ====================================================================
+// Query 4 (Figure 11b): regular join POSITION ⋈ EMPLOYEE
+// ====================================================================
+
+pub fn q4_sql(pos_table: &str) -> String {
+    format!(
+        "SELECT P.PosID, E.EmpName, E.Address FROM {pos_table} P, EMPLOYEE E \
+         WHERE P.EmpID = E.EmpID ORDER BY P.PosID"
+    )
+}
+
+/// Plan 1 of Figure 11(b): sort + merge join + projection in the
+/// middleware. Plans 2/3 are forced DBMS join methods — issued as hinted
+/// SQL (`/*+ USE_NL */`, `/*+ USE_MERGE */`) exactly like the paper used
+/// Oracle hints; see the `fig11b_query4` binary.
+pub fn q4_plan1(b: &PlanBuilder, pos_table: &str) -> PhysNode {
+    let pos = b.un(
+        Algo::ProjectD(proj_cols(&["PosID", "EmpID"])),
+        b.scan(pos_table),
+    );
+    let emp = b.un(
+        Algo::ProjectD(proj_cols(&["EmpID", "EmpName", "Address"])),
+        b.scan("EMPLOYEE"),
+    );
+    let join = b.bin(
+        Algo::MergeJoinM(eqp("EmpID", "EmpID")),
+        b.un(Algo::SortM(SortSpec::by(["EmpID"])), b.un(Algo::TransferM, pos)),
+        b.un(Algo::SortM(SortSpec::by(["EmpID"])), b.un(Algo::TransferM, emp)),
+    );
+    b.un(
+        Algo::SortM(SortSpec::by(["PosID"])),
+        b.un(
+            Algo::ProjectM(proj_cols(&["PosID", "EmpName", "Address"])),
+            join,
+        ),
+    )
+}
+
+/// Hinted SQL for the DBMS-side plans of Query 4.
+pub fn q4_dbms_sql(pos_table: &str, hint: &str) -> String {
+    format!(
+        "SELECT {hint} P.PosID AS PosID, E.EmpName AS EmpName, E.Address AS Address \
+         FROM {pos_table} P, EMPLOYEE E WHERE P.EmpID = E.EmpID ORDER BY PosID"
+    )
+}
+
+/// Which site each interesting operator landed on — used to classify the
+/// optimizer's chosen plan against the fixed plan shapes.
+pub fn placement_summary(plan: &PhysNode) -> String {
+    let has = |f: &dyn Fn(&Algo) -> bool| plan.any(f);
+    let mut parts = Vec::new();
+    if has(&|a| matches!(a, Algo::TAggrM { .. })) {
+        parts.push("taggr=M");
+    }
+    if has(&|a| matches!(a, Algo::TAggrD { .. })) {
+        parts.push("taggr=D");
+    }
+    if has(&|a| matches!(a, Algo::TMergeJoinM(_))) {
+        parts.push("tjoin=M");
+    }
+    if has(&|a| matches!(a, Algo::TJoinD(_))) {
+        parts.push("tjoin=D");
+    }
+    if has(&|a| matches!(a, Algo::MergeJoinM(_))) {
+        parts.push("join=M");
+    }
+    if has(&|a| matches!(a, Algo::JoinD(_))) {
+        parts.push("join=D");
+    }
+    if has(&|a| matches!(a, Algo::SortM(_))) {
+        parts.push("sort=M");
+    }
+    if has(&|a| matches!(a, Algo::SortD(_))) {
+        parts.push("sort=D");
+    }
+    if has(&|a| matches!(a, Algo::FilterM(_))) {
+        parts.push("filter=M");
+    }
+    if has(&|a| matches!(a, Algo::TransferD)) {
+        parts.push("T^D");
+    }
+    parts.join(" ")
+}

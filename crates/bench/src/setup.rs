@@ -1,0 +1,68 @@
+//! Experiment environment: database + UIS data + calibrated middleware.
+
+use tango_algebra::Relation;
+use tango_core::Tango;
+use tango_minidb::{Connection, Database, Link, LinkProfile, WireMode};
+use tango_uis::{generate_employee, generate_position, UisConfig};
+
+/// The link profile used by all experiments: a LAN-ish simulated JDBC
+/// connection (Section 3.2 discusses the row-prefetch setting; 50 is a
+/// typical JDBC default).
+pub fn uis_link_profile() -> LinkProfile {
+    LinkProfile {
+        roundtrip_latency_us: 500.0,
+        bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+        row_prefetch: 50,
+        mode: WireMode::Virtual,
+    }
+}
+
+/// A ready experiment environment.
+pub struct Setup {
+    pub db: Database,
+    pub conn: Connection,
+    pub tango: Tango,
+    pub position: Relation,
+    pub employee: Relation,
+}
+
+/// Load the UIS dataset **server-side** (base relations pre-exist in the
+/// DBMS; loading them does not cross the middleware wire), ANALYZE
+/// everything, and calibrate the middleware's cost factors.
+pub fn load_uis(cfg: &UisConfig, profile: LinkProfile, calibrate: bool) -> Setup {
+    let db = Database::new(Link::new(profile));
+    let conn = Connection::new(db.clone());
+    let position = generate_position(cfg);
+    let employee = generate_employee(cfg);
+
+    db.create_table("POSITION", position.schema().as_ref().clone()).unwrap();
+    db.insert_rows("POSITION", position.tuples().to_vec()).unwrap();
+    db.create_table("EMPLOYEE", employee.schema().as_ref().clone()).unwrap();
+    db.insert_rows("EMPLOYEE", employee.tuples().to_vec()).unwrap();
+    // primary-key index on EMPLOYEE.EmpID (Oracle's USE_NL relies on it)
+    conn.execute("CREATE INDEX EMP_PK ON EMPLOYEE (EmpID)").unwrap();
+    db.analyze("POSITION").unwrap();
+    db.analyze("EMPLOYEE").unwrap();
+
+    let mut tango = Tango::connect(db.clone());
+    if calibrate {
+        tango.calibrate().expect("calibration failed");
+    }
+    db.link().reset();
+    Setup { db, conn, tango, position, employee }
+}
+
+/// Register a size variant of POSITION (first `n` tuples) as table
+/// `name`, ANALYZE it, and refresh the middleware statistics.
+pub fn load_position_variant(setup: &mut Setup, name: &str, n: usize) {
+    let sub = Relation::new(
+        setup.position.schema().clone(),
+        setup.position.tuples()[..n.min(setup.position.len())].to_vec(),
+    );
+    let _ = setup.db.drop_table(name, true);
+    setup.db.create_table(name, sub.schema().as_ref().clone()).unwrap();
+    setup.db.insert_rows(name, sub.into_tuples()).unwrap();
+    setup.db.analyze(name).unwrap();
+    setup.tango.refresh_statistics().unwrap();
+    setup.db.link().reset();
+}

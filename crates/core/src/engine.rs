@@ -1,0 +1,584 @@
+//! The Execution Engine (Figure 2 of the paper).
+//!
+//! An execution-ready plan is a sequence of algorithms with parameters
+//! and arguments. Middleware algorithms become pipelined `tango-xxl`
+//! cursors; each `TRANSFER^M` issues a SELECT produced by the
+//! Translator-To-SQL; each `TRANSFER^D` creates a uniquely named temp
+//! table and bulk-loads its argument during `open()` (the paper:
+//! "[init] fetches all tuples of the argument result set and copies
+//! them into the DBMS"). Temp tables are dropped at the end of the query.
+//!
+//! Every cursor is instrumented: per-algorithm inclusive time and output
+//! volume feed the adaptive cost-factor loop (`crate::feedback`).
+
+use crate::error::{Result, TangoError};
+use crate::phys::{Algo, PhysNode, Site};
+use crate::to_sql;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tango_algebra::{Relation, Schema, Tuple};
+use tango_minidb::{Connection, DbCursor};
+use tango_xxl::{
+    BoxCursor, Coalesce, Cursor, DupElim, Filter, MergeJoin, Project, Sort, TemporalAggregate,
+    TemporalDiff, TemporalMergeJoin,
+};
+
+/// Observed execution of one algorithm instance.
+#[derive(Debug, Clone)]
+pub struct StepReport {
+    pub algo: Algo,
+    pub label: String,
+    /// Inclusive wall time (children included), µs.
+    pub inclusive_us: f64,
+    /// Exclusive wall time, µs.
+    pub exclusive_us: f64,
+    pub out_rows: u64,
+    pub out_bytes: u64,
+    /// DBMS server compute time included in this step (µs) — nonzero only
+    /// for `TRANSFER^M`, whose query execution happens inside the DBMS.
+    pub server_us: f64,
+    /// Indices of child steps within the report.
+    pub children: Vec<usize>,
+}
+
+/// Whole-query execution report.
+#[derive(Debug, Clone)]
+pub struct ExecReport {
+    pub rows: usize,
+    /// Wall time of the whole execution (compute; excludes virtual wire).
+    pub wall: Duration,
+    /// Virtual wire time charged during this execution.
+    pub wire: Duration,
+    /// Per-algorithm observations (post-order).
+    pub steps: Vec<StepReport>,
+}
+
+impl ExecReport {
+    /// Total cost as the experiments report it: wall + simulated wire.
+    pub fn total(&self) -> Duration {
+        self.wall + self.wire
+    }
+}
+
+/// Execute an optimized physical plan against the DBMS connection,
+/// returning the materialized result and the execution report.
+pub fn execute(conn: &Connection, plan: &PhysNode) -> Result<(Relation, ExecReport)> {
+    if plan.algo.site() != Site::Middleware {
+        return Err(TangoError::Exec(
+            "plan root must be middleware-resident (delivery to the client)".into(),
+        ));
+    }
+    let wire_before = conn.link().total();
+    let mut ctx = Ctx { conn, temp_tables: Vec::new(), slots: Vec::new(), temp_seq: 0 };
+    let started = Instant::now();
+    let result = (|| -> Result<Relation> {
+        let mut root = ctx.build_mid(plan)?;
+        root.open()?;
+        let schema = root.schema().clone();
+        let mut rows = Vec::new();
+        while let Some(t) = root.next()? {
+            rows.push(t);
+        }
+        Ok(Relation::new(schema, rows))
+    })();
+    let wall = started.elapsed();
+    // drop temp tables whatever happened ("the table must be dropped at
+    // the end of the query")
+    for t in &ctx.temp_tables {
+        let _ = conn.execute(&format!("DROP TABLE IF EXISTS {t}"));
+    }
+    let result = result?;
+    let wire = conn.link().total().saturating_sub(wire_before);
+
+    // assemble step reports with exclusive times
+    let mut steps: Vec<StepReport> = ctx
+        .slots
+        .iter()
+        .map(|s| StepReport {
+            algo: s.algo.clone(),
+            label: s.algo.label(),
+            inclusive_us: s.ns.load(Ordering::Relaxed) as f64 / 1000.0,
+            exclusive_us: 0.0,
+            out_rows: s.rows.load(Ordering::Relaxed),
+            out_bytes: s.bytes.load(Ordering::Relaxed),
+            server_us: s.server_ns.load(Ordering::Relaxed) as f64 / 1000.0,
+            children: s.children.clone(),
+        })
+        .collect();
+    for i in 0..steps.len() {
+        let child_sum: f64 = steps[i]
+            .children
+            .iter()
+            .map(|&c| steps[c].inclusive_us)
+            .sum();
+        steps[i].exclusive_us = (steps[i].inclusive_us - child_sum).max(0.0);
+    }
+    let report = ExecReport { rows: result.len(), wall, wire, steps };
+    Ok((result, report))
+}
+
+struct Slot {
+    algo: Algo,
+    ns: AtomicU64,
+    rows: AtomicU64,
+    bytes: AtomicU64,
+    /// Server-side execution time observed by this step's query (shared
+    /// with the `TRANSFER^M` cursor that records it).
+    server_ns: Arc<AtomicU64>,
+    children: Vec<usize>,
+}
+
+struct Ctx<'a> {
+    conn: &'a Connection,
+    temp_tables: Vec<String>,
+    slots: Vec<Arc<Slot>>,
+    temp_seq: usize,
+}
+
+impl Ctx<'_> {
+    fn new_slot(&mut self, algo: Algo, children: Vec<usize>) -> (usize, Arc<Slot>) {
+        let slot = Arc::new(Slot {
+            algo,
+            ns: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            server_ns: Arc::new(AtomicU64::new(0)),
+            children,
+        });
+        self.slots.push(slot.clone());
+        (self.slots.len() - 1, slot)
+    }
+
+    /// Build the cursor for a middleware-resident node. Returns the cursor
+    /// and its slot index.
+    fn build_mid(&mut self, node: &PhysNode) -> Result<BoxCursor> {
+        Ok(self.build_mid_indexed(node)?.0)
+    }
+
+    fn build_mid_indexed(&mut self, node: &PhysNode) -> Result<(BoxCursor, usize)> {
+        // TRANSFER^M needs its slot's server-time sink, which exists only
+        // after the slot is created: defer its construction.
+        let mut server_sink: Option<Box<dyn FnOnce(Arc<AtomicU64>) -> BoxCursor>> = None;
+        let (inner, child_ids): (BoxCursor, Vec<usize>) = match &node.algo {
+            Algo::TransferM => {
+                // lower the DBMS subtree: replace T^D descendants with temp
+                // scans, building their loader cursors as prerequisites
+                let (clean, prereqs, prereq_ids) = self.lower_dbms(&node.children[0])?;
+                let sql = to_sql::render_select(&clean)?;
+                let conn = self.conn.clone();
+                let schema = node.schema.clone();
+                server_sink = Some(Box::new(move |sink: Arc<AtomicU64>| -> BoxCursor {
+                    Box::new(TransferMCursor {
+                        conn,
+                        sql,
+                        schema,
+                        prereqs,
+                        cur: None,
+                        server_ns: Some(sink),
+                    })
+                }));
+                // placeholder; replaced once the slot exists
+                (Box::new(EmptyCursor { schema: node.schema.clone() }) as BoxCursor, prereq_ids)
+            }
+            Algo::FilterM(pred) => {
+                let (c, id) = self.build_mid_indexed(&node.children[0])?;
+                (Box::new(Filter::new(c, pred.clone())) as BoxCursor, vec![id])
+            }
+            Algo::ProjectM(items) => {
+                let (c, id) = self.build_mid_indexed(&node.children[0])?;
+                (Box::new(Project::new(c, items.clone())?) as BoxCursor, vec![id])
+            }
+            Algo::SortM(spec) => {
+                let (c, id) = self.build_mid_indexed(&node.children[0])?;
+                (Box::new(Sort::new(c, spec.clone())) as BoxCursor, vec![id])
+            }
+            Algo::MergeJoinM(eq) => {
+                let (l, lid) = self.build_mid_indexed(&node.children[0])?;
+                let (r, rid) = self.build_mid_indexed(&node.children[1])?;
+                (Box::new(MergeJoin::new(l, r, eq)?) as BoxCursor, vec![lid, rid])
+            }
+            Algo::TMergeJoinM(eq) => {
+                let (l, lid) = self.build_mid_indexed(&node.children[0])?;
+                let (r, rid) = self.build_mid_indexed(&node.children[1])?;
+                (Box::new(TemporalMergeJoin::new(l, r, eq)?) as BoxCursor, vec![lid, rid])
+            }
+            Algo::TAggrM { group_by, aggs } => {
+                let (c, id) = self.build_mid_indexed(&node.children[0])?;
+                (
+                    Box::new(TemporalAggregate::new(c, group_by.clone(), aggs.clone())?)
+                        as BoxCursor,
+                    vec![id],
+                )
+            }
+            Algo::DupElimM => {
+                let (c, id) = self.build_mid_indexed(&node.children[0])?;
+                (Box::new(DupElim::new(c)) as BoxCursor, vec![id])
+            }
+            Algo::CoalesceM => {
+                let (c, id) = self.build_mid_indexed(&node.children[0])?;
+                (Box::new(Coalesce::new(c)?) as BoxCursor, vec![id])
+            }
+            Algo::TDiffM => {
+                let (l, lid) = self.build_mid_indexed(&node.children[0])?;
+                let (r, rid) = self.build_mid_indexed(&node.children[1])?;
+                (Box::new(TemporalDiff::new(l, r)?) as BoxCursor, vec![lid, rid])
+            }
+            other => {
+                return Err(TangoError::Exec(format!(
+                    "{} is not a middleware algorithm",
+                    other.label()
+                )))
+            }
+        };
+        let (idx, slot) = self.new_slot(node.algo.clone(), child_ids);
+        let inner = match server_sink.take() {
+            Some(cursor_builder) => cursor_builder(slot.server_ns.clone()),
+            None => inner,
+        };
+        let link = self.conn.link().clone();
+        Ok((Box::new(Instrumented { inner, slot, link }), idx))
+    }
+
+    /// Replace `T^D` nodes inside a DBMS fragment with temp-table scans;
+    /// returns the cleaned fragment plus the loader cursors that must be
+    /// opened before the fragment's SQL runs.
+    fn lower_dbms(
+        &mut self,
+        node: &PhysNode,
+    ) -> Result<(PhysNode, Vec<BoxCursor>, Vec<usize>)> {
+        if node.algo == Algo::TransferD {
+            let (input, input_id) = self.build_mid_indexed(&node.children[0])?;
+            self.temp_seq += 1;
+            let table = format!("TANGO_TMP_{}", self.temp_seq);
+            self.temp_tables.push(table.clone());
+            let loader = TransferDCursor {
+                conn: self.conn.clone(),
+                table: table.clone(),
+                schema: node.schema.clone(),
+                input: Some(input),
+            };
+            let (idx, slot) = self.new_slot(Algo::TransferD, vec![input_id]);
+            let link = self.conn.link().clone();
+            let instrumented: BoxCursor =
+                Box::new(Instrumented { inner: Box::new(loader), slot, link });
+            let scan = PhysNode {
+                algo: Algo::ScanD(table),
+                schema: node.schema.clone(),
+                children: vec![],
+            };
+            return Ok((scan, vec![instrumented], vec![idx]));
+        }
+        if node.algo.site() == Site::Middleware {
+            return Err(TangoError::Exec(format!(
+                "middleware algorithm {} below a DBMS fragment without a transfer",
+                node.algo.label()
+            )));
+        }
+        let mut children = Vec::with_capacity(node.children.len());
+        let mut prereqs = Vec::new();
+        let mut ids = Vec::new();
+        for c in &node.children {
+            let (cc, mut p, mut i) = self.lower_dbms(c)?;
+            children.push(cc);
+            prereqs.append(&mut p);
+            ids.append(&mut i);
+        }
+        Ok((
+            PhysNode { algo: node.algo.clone(), schema: node.schema.clone(), children },
+            prereqs,
+            ids,
+        ))
+    }
+}
+
+/// Cursor wrapper measuring time spent in `open`/`next` — wall clock
+/// *plus* any simulated wire time charged while the call ran (so the
+/// feedback loop sees transfer costs the way the experiments report
+/// them) — and the output volume.
+struct Instrumented {
+    inner: BoxCursor,
+    slot: Arc<Slot>,
+    link: Arc<tango_minidb::Link>,
+}
+
+impl Instrumented {
+    fn measure<T>(&mut self, f: impl FnOnce(&mut BoxCursor) -> T) -> T {
+        let w0 = self.link.total();
+        let t = Instant::now();
+        let r = f(&mut self.inner);
+        let spent = t.elapsed() + self.link.total().saturating_sub(w0);
+        self.slot.ns.fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
+        r
+    }
+}
+
+impl Cursor for Instrumented {
+    fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    fn open(&mut self) -> tango_xxl::Result<()> {
+        self.measure(|c| c.open())
+    }
+
+    fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
+        let r = self.measure(|c| c.next());
+        if let Ok(Some(tup)) = &r {
+            self.slot.rows.fetch_add(1, Ordering::Relaxed);
+            self.slot
+                .bytes
+                .fetch_add(tup.byte_size() as u64, Ordering::Relaxed);
+        }
+        r
+    }
+}
+
+/// Placeholder cursor swapped out before use (see `build_mid_indexed`).
+struct EmptyCursor {
+    schema: Arc<Schema>,
+}
+
+impl Cursor for EmptyCursor {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> tango_xxl::Result<()> {
+        Err(tango_xxl::ExecError::State("placeholder cursor used".into()))
+    }
+
+    fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
+        Err(tango_xxl::ExecError::State("placeholder cursor used".into()))
+    }
+}
+
+/// `TRANSFER^M`: issues the translated SELECT and streams the rows out
+/// of the (wire-charged) DBMS cursor. Any `T^D` loaders feeding temp
+/// tables referenced by the SQL are opened first.
+struct TransferMCursor {
+    conn: Connection,
+    sql: String,
+    schema: Arc<Schema>,
+    prereqs: Vec<BoxCursor>,
+    cur: Option<DbCursor>,
+    /// Sink for the producing statement's server-side execution time.
+    server_ns: Option<Arc<AtomicU64>>,
+}
+
+impl Cursor for TransferMCursor {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> tango_xxl::Result<()> {
+        for p in &mut self.prereqs {
+            p.open()?;
+        }
+        let cur = self
+            .conn
+            .query(&self.sql)
+            .map_err(|e| tango_xxl::ExecError::Dbms(e.to_string()))?;
+        if cur.schema().len() != self.schema.len() {
+            return Err(tango_xxl::ExecError::Dbms(format!(
+                "translated SQL arity mismatch: expected {}, got {}",
+                self.schema.len(),
+                cur.schema().len()
+            )));
+        }
+        if let Some(sink) = &self.server_ns {
+            sink.fetch_add(cur.server_time().as_nanos() as u64, Ordering::Relaxed);
+        }
+        self.cur = Some(cur);
+        Ok(())
+    }
+
+    fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
+        match &mut self.cur {
+            Some(c) => c.fetch().map_err(|e| tango_xxl::ExecError::Dbms(e.to_string())),
+            None => Err(tango_xxl::ExecError::State("TRANSFER^M not opened".into())),
+        }
+    }
+}
+
+/// `TRANSFER^D`: during `open`, drains its argument and direct-path
+/// loads it into a fresh DBMS table. Produces no tuples itself — it is a
+/// prerequisite step, as in Figure 5 where the top `TRANSFER^M` "does
+/// not take any arguments, but must be preceded by the `TRANSFER^D`".
+struct TransferDCursor {
+    conn: Connection,
+    table: String,
+    schema: Arc<Schema>,
+    input: Option<BoxCursor>,
+}
+
+impl Cursor for TransferDCursor {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> tango_xxl::Result<()> {
+        let mut input = self
+            .input
+            .take()
+            .ok_or_else(|| tango_xxl::ExecError::State("TRANSFER^D reopened".into()))?;
+        input.open()?;
+        let mut rows = Vec::new();
+        while let Some(t) = input.next()? {
+            rows.push(t);
+        }
+        self.conn
+            .load_direct(&self.table, self.schema.as_ref().clone(), rows)
+            .map_err(|e| tango_xxl::ExecError::Dbms(e.to_string()))?;
+        Ok(())
+    }
+
+    fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
+        Ok(None)
+    }
+}
+
+impl ExecReport {
+    /// Find the first step running the same algorithm *kind* (parameters
+    /// ignored for parameterized variants).
+    pub fn exec_step(&self, algo: &Algo) -> Option<&StepReport> {
+        self.steps
+            .iter()
+            .find(|s| std::mem::discriminant(&s.algo) == std::mem::discriminant(algo))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phys::PhysNode;
+    use std::sync::Arc;
+    use tango_algebra::{tup, AggFunc, AggSpec, Attr, Schema, SortSpec, Type};
+    use tango_minidb::{Connection, Database};
+
+    fn setup() -> Connection {
+        let c = Connection::new(Database::in_memory());
+        c.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")
+            .unwrap();
+        c.execute(
+            "INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)",
+        )
+        .unwrap();
+        c
+    }
+
+    fn scan(c: &Connection, table: &str) -> PhysNode {
+        PhysNode {
+            algo: Algo::ScanD(table.into()),
+            schema: Arc::new(c.table_schema(table).unwrap()),
+            children: vec![],
+        }
+    }
+
+    fn un(algo: Algo, child: PhysNode) -> PhysNode {
+        let schema = Arc::new(algo.output_schema(&[child.schema.as_ref()]).unwrap());
+        PhysNode { algo, schema, children: vec![child] }
+    }
+
+    fn bin(algo: Algo, l: PhysNode, r: PhysNode) -> PhysNode {
+        let schema =
+            Arc::new(algo.output_schema(&[l.schema.as_ref(), r.schema.as_ref()]).unwrap());
+        PhysNode { algo, schema, children: vec![l, r] }
+    }
+
+    /// The full Figure 5 shape: aggregate in the middleware, load the
+    /// result back via TRANSFER^D, temporal-join in the DBMS, fetch.
+    #[test]
+    fn transfer_d_round_trip_executes_figure5() {
+        let conn = setup();
+        let aggs = vec![AggSpec::new(AggFunc::Count, Some("PosID"), "COUNTofPosID")];
+        let agg_m = un(
+            Algo::TAggrM { group_by: vec!["PosID".into()], aggs },
+            un(
+                Algo::TransferM,
+                un(Algo::SortD(SortSpec::by(["PosID", "T1"])), scan(&conn, "POSITION")),
+            ),
+        );
+        let eq = vec![("PosID".to_string(), "PosID".to_string())];
+        let plan = un(
+            Algo::TransferM,
+            un(
+                Algo::SortD(SortSpec::by(["PosID"])),
+                bin(Algo::TJoinD(eq), un(Algo::TransferD, agg_m), scan(&conn, "POSITION")),
+            ),
+        );
+        let (rel, report) = execute(&conn, &plan).unwrap();
+        assert_eq!(rel.len(), 5); // Figure 3(b)
+        // temp table dropped afterwards
+        assert!(!conn
+            .database()
+            .table_names()
+            .iter()
+            .any(|t| t.starts_with("TANGO_TMP")));
+        // report contains the T^D step with its input accounted
+        let td = report
+            .exec_step(&Algo::TransferD)
+            .expect("TRANSFER^D step missing");
+        assert_eq!(td.out_rows, 0); // loader produces no stream
+        assert!(report.steps.iter().any(|s| matches!(s.algo, Algo::TAggrM { .. })));
+    }
+
+    /// A failing plan must still clean up its temp tables.
+    #[test]
+    fn temp_tables_cleaned_on_failure() {
+        let conn = setup();
+        // TransferD feeding a TJoinD whose other side references a
+        // missing table => the outer SQL fails after the load happened
+        let aggs = vec![AggSpec::new(AggFunc::Count, Some("PosID"), "C")];
+        let agg_m = un(
+            Algo::TAggrM { group_by: vec!["PosID".into()], aggs },
+            un(
+                Algo::TransferM,
+                un(Algo::SortD(SortSpec::by(["PosID", "T1"])), scan(&conn, "POSITION")),
+            ),
+        );
+        let ghost = PhysNode {
+            algo: Algo::ScanD("GHOST".into()),
+            schema: Arc::new(Schema::with_inferred_period(vec![
+                Attr::new("PosID", Type::Int),
+                Attr::new("T1", Type::Int),
+                Attr::new("T2", Type::Int),
+            ])),
+            children: vec![],
+        };
+        let eq = vec![("PosID".to_string(), "PosID".to_string())];
+        let plan = un(
+            Algo::TransferM,
+            bin(Algo::TJoinD(eq), un(Algo::TransferD, agg_m), ghost),
+        );
+        assert!(execute(&conn, &plan).is_err());
+        assert!(!conn
+            .database()
+            .table_names()
+            .iter()
+            .any(|t| t.starts_with("TANGO_TMP")));
+    }
+
+    #[test]
+    fn dbms_rooted_plans_are_rejected() {
+        let conn = setup();
+        let plan = scan(&conn, "POSITION");
+        assert!(execute(&conn, &plan).is_err());
+    }
+
+    #[test]
+    fn empty_results_flow_through() {
+        let conn = setup();
+        let plan = un(
+            Algo::FilterM(tango_algebra::Expr::eq(
+                tango_algebra::Expr::col("PosID"),
+                tango_algebra::Expr::lit(999),
+            )),
+            un(Algo::TransferM, scan(&conn, "POSITION")),
+        );
+        let (rel, report) = execute(&conn, &plan).unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(report.rows, 0);
+        let _ = tup![1]; // keep the tup! import exercised
+    }
+}

@@ -1,0 +1,46 @@
+//! Unified error type for the middleware.
+
+use std::fmt;
+
+#[derive(Debug, Clone)]
+pub enum TangoError {
+    Parse(String),
+    Algebra(tango_algebra::AlgebraError),
+    Dbms(String),
+    Exec(String),
+    Optimizer(String),
+}
+
+impl fmt::Display for TangoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TangoError::Parse(m) => write!(f, "temporal SQL parse error: {m}"),
+            TangoError::Algebra(e) => write!(f, "{e}"),
+            TangoError::Dbms(m) => write!(f, "dbms error: {m}"),
+            TangoError::Exec(m) => write!(f, "execution error: {m}"),
+            TangoError::Optimizer(m) => write!(f, "optimizer error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TangoError {}
+
+impl From<tango_algebra::AlgebraError> for TangoError {
+    fn from(e: tango_algebra::AlgebraError) -> Self {
+        TangoError::Algebra(e)
+    }
+}
+
+impl From<tango_minidb::DbError> for TangoError {
+    fn from(e: tango_minidb::DbError) -> Self {
+        TangoError::Dbms(e.to_string())
+    }
+}
+
+impl From<tango_xxl::ExecError> for TangoError {
+    fn from(e: tango_xxl::ExecError) -> Self {
+        TangoError::Exec(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, TangoError>;

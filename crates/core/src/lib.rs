@@ -1,0 +1,46 @@
+//! # tango-core
+//!
+//! The TANGO temporal middleware (Temporal Adaptive Next-Generation
+//! query Optimizer and processor) — the primary contribution of
+//! Slivinskas, Jensen & Snodgrass, *"Adaptable Query Optimization and
+//! Evaluation in Temporal Middleware"*, SIGMOD 2001.
+//!
+//! TANGO sits between client applications and a conventional DBMS
+//! (`tango-minidb` here). It accepts temporal SQL, optimizes the query
+//! with an extended Volcano optimizer that decides — operation by
+//! operation, using statistics and calibrated cost formulas — whether to
+//! evaluate in the middleware (with `tango-xxl` algorithms) or in the
+//! DBMS (as generated SQL), and pipelines the mixed plan through its
+//! execution engine. Transfer operators `T^M`/`T^D` move intermediate
+//! results across the (simulated) wire in either direction.
+//!
+//! Component map (Figure 1 of the paper → modules):
+//!
+//! | Paper component       | Module        |
+//! |-----------------------|---------------|
+//! | Parser                | [`tsql`]      |
+//! | Optimizer             | [`opt`] + [`rules`] (on the generic [`volcano`] crate) |
+//! | Statistics Collector  | [`collector`] |
+//! | Cost Estimator        | [`calibrate`] (+ [`feedback`] for the adaptive loop) |
+//! | Translator-To-SQL     | [`to_sql`]    |
+//! | Execution Engine      | [`engine`]    |
+//! | (cost formulas, Fig 6)| [`cost`]      |
+//! | (algorithms/sites)    | [`phys`]      |
+//!
+//! Start with [`session::Tango`].
+
+pub mod calibrate;
+pub mod collector;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod feedback;
+pub mod opt;
+pub mod phys;
+pub mod rules;
+pub mod session;
+pub mod to_sql;
+pub mod tsql;
+
+pub use error::{Result, TangoError};
+pub use session::{OptimizedQuery, Tango, TangoOptions};

@@ -1,0 +1,477 @@
+//! The middleware optimizer: TANGO's instantiation of the generic
+//! [`volcano`] optimizer generator.
+//!
+//! * Logical properties of an equivalence class: output schema +
+//!   derived statistics ([`GroupProps`]).
+//! * Physical properties: `(site, ordering)` ([`crate::phys::Req`]).
+//! * Heuristic Group 1 of the paper — "move to the middleware only those
+//!   operations that may be processed more efficiently there" — is
+//!   embodied in the algorithm inventory: exactly the operations with
+//!   efficient special-purpose middleware algorithms (temporal
+//!   aggregation, joins, temporal joins, plus the order-preserving
+//!   selection/projection that avoid needless transfers) have
+//!   middleware implementations; everything else can only run in the
+//!   DBMS.
+//! * Heuristic Group 2 — "eliminate redundant operations" — is
+//!   structural: transfers and sorts exist only as property *enforcers*,
+//!   so `T^M(T^D(r))` pairs (rules T7/T8) and redundant sorts (rules
+//!   T10–T12) cannot appear in winning plans.
+
+use crate::cost::CostFactors;
+use crate::error::{Result, TangoError};
+use crate::phys::{Algo, PhysNode, Req, Site, TOp};
+use crate::rules;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tango_algebra::{Logical, Schema, SortSpec};
+use tango_stats::RelationStats;
+use volcano::{Enforcer, Implementation, Memo, NewExpr, PhysPlan, SearchStats, Semantics};
+
+/// Logical properties of an equivalence class.
+#[derive(Debug, Clone)]
+pub struct GroupProps {
+    pub schema: Arc<Schema>,
+    pub stats: RelationStats,
+}
+
+/// Base-relation catalog snapshot fed by the Statistics Collector.
+pub type Catalog = HashMap<String, (Arc<Schema>, RelationStats)>;
+
+/// Optimizer feature switches (for the paper's comparisons and the
+/// ablation studies).
+#[derive(Debug, Clone, Copy)]
+pub struct OptOptions {
+    /// Enable the snapshot-preserving (but not list-exact) rule pushing a
+    /// time-window selection below temporal aggregation — needed to reach
+    /// the paper's Query 2 Plan 1 shape.
+    pub approx_rules: bool,
+    /// Enable the selection/projection pushdown rule groups 3/4.
+    pub pushdown_rules: bool,
+}
+
+impl Default for OptOptions {
+    fn default() -> Self {
+        OptOptions { approx_rules: true, pushdown_rules: true }
+    }
+}
+
+/// The Volcano semantics for TANGO.
+pub struct TangoSem {
+    pub catalog: Catalog,
+    pub factors: CostFactors,
+}
+
+impl TangoSem {
+    fn table(&self, name: &str) -> Option<&(Arc<Schema>, RelationStats)> {
+        self.catalog.get(&name.to_uppercase())
+    }
+
+    /// Order produced by `TAGGR^M`: grouping attributes then `T1`.
+    fn taggr_order(group_by: &[String]) -> SortSpec {
+        let mut cols: Vec<String> = group_by.to_vec();
+        cols.push("T1".to_string());
+        SortSpec::by(cols)
+    }
+
+    /// Order a coalesce/diff requires: all value attributes then `T1`.
+    fn value_order(schema: &Schema) -> SortSpec {
+        let period = schema.period();
+        let mut cols: Vec<String> = schema
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| period.is_none_or(|(a, b)| *i != a && *i != b))
+            .map(|(_, a)| a.name.clone())
+            .collect();
+        cols.push("T1".to_string());
+        SortSpec::by(cols)
+    }
+}
+
+impl Semantics for TangoSem {
+    type Op = TOp;
+    type Props = GroupProps;
+    type PhysProps = Req;
+    type Algo = Algo;
+
+    fn derive_props(&self, op: &TOp, children: &[&GroupProps]) -> GroupProps {
+        let child_schemas: Vec<&Schema> = children.iter().map(|p| p.schema.as_ref()).collect();
+        let schema = op
+            .output_schema(&child_schemas, &|t| {
+                self.table(t).map(|(s, _)| s.as_ref().clone())
+            })
+            .unwrap_or_else(|_| Schema::new(vec![]));
+        let stats = match op {
+            TOp::Get { table } => self
+                .table(table)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_else(|| RelationStats {
+                    rows: 1000.0,
+                    avg_tuple_bytes: schema.est_tuple_bytes() as f64,
+                    ..Default::default()
+                }),
+            _ => {
+                let child_stats: Vec<&RelationStats> =
+                    children.iter().map(|p| &p.stats).collect();
+                tango_stats::derive_stats(
+                    &op.as_logical(),
+                    &child_stats,
+                    &child_schemas,
+                    &schema,
+                )
+            }
+        };
+        GroupProps { schema: Arc::new(schema), stats }
+    }
+
+    fn implementations(
+        &self,
+        op: &TOp,
+        child_props: &[&GroupProps],
+        props: &GroupProps,
+        required: &Req,
+    ) -> Vec<Implementation<Self>> {
+        let mut out = Vec::new();
+        let cost = |algo: &Algo| {
+            let inputs: Vec<&RelationStats> = child_props.iter().map(|p| &p.stats).collect();
+            self.factors.cost(algo, &inputs, &props.stats)
+        };
+        match required.site {
+            // ---------------- DBMS-side generic algorithms ------------
+            // None of them guarantees an output order; `SORT^D` is the
+            // only way to deliver order at the DBMS (as enforcer).
+            Site::Dbms => {
+                if !required.order.is_none() {
+                    return out;
+                }
+                let dbms = Req::any(Site::Dbms);
+                match op {
+                    TOp::Get { table } => {
+                        if self.table(table).is_some() {
+                            let algo = Algo::ScanD(table.clone());
+                            // scan cost is over its own output
+                            let c = self.factors.cost(&algo, &[&props.stats], &props.stats);
+                            out.push(Implementation { algo, child_required: vec![], cost: c });
+                        }
+                    }
+                    TOp::Select { pred } => {
+                        let algo = Algo::FilterD(pred.clone());
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![dbms],
+                        });
+                    }
+                    TOp::Project { items } => {
+                        let algo = Algo::ProjectD(items.clone());
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![dbms],
+                        });
+                    }
+                    TOp::Join { eq } => {
+                        let algo = Algo::JoinD(eq.clone());
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![dbms.clone(), dbms],
+                        });
+                    }
+                    TOp::TJoin { eq } => {
+                        let algo = Algo::TJoinD(eq.clone());
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![dbms.clone(), dbms],
+                        });
+                    }
+                    TOp::Product => {
+                        let algo = Algo::ProductD;
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![dbms.clone(), dbms],
+                        });
+                    }
+                    TOp::TAggr { group_by, aggs } => {
+                        let algo =
+                            Algo::TAggrD { group_by: group_by.clone(), aggs: aggs.clone() };
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![dbms],
+                        });
+                    }
+                    TOp::DupElim => {
+                        let algo = Algo::DupElimD;
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![dbms],
+                        });
+                    }
+                    // no SQL implementation for coalescing / temporal
+                    // difference in the generic dialect: middleware only
+                    TOp::Coalesce | TOp::Diff => {}
+                }
+            }
+            // ---------------- middleware (XXL) algorithms -------------
+            Site::Middleware => match op {
+                // base relations live in the DBMS; reachable only via the
+                // TRANSFER^M enforcer
+                TOp::Get { .. } => {}
+                TOp::Select { pred } => {
+                    // FILTER^M is order-preserving: pass the requirement
+                    // through to the child (rule-E4 behaviour).
+                    let algo = Algo::FilterM(pred.clone());
+                    out.push(Implementation {
+                        cost: cost(&algo),
+                        algo,
+                        child_required: vec![Req::mid(required.order.clone())],
+                    });
+                }
+                TOp::Project { items } => {
+                    // order-preserving when the required order survives
+                    // the projection (precondition of rule E5)
+                    let order_ok = required
+                        .order
+                        .keys()
+                        .iter()
+                        .all(|k| props.schema.has(&k.col));
+                    if order_ok {
+                        let algo = Algo::ProjectM(items.clone());
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![Req::mid(required.order.clone())],
+                        });
+                    }
+                }
+                TOp::Join { eq } => {
+                    let lorder = SortSpec::by(eq.iter().map(|(l, _)| l.clone()));
+                    let rorder = SortSpec::by(eq.iter().map(|(_, r)| r.clone()));
+                    // sort-merge join output is ordered by the left join
+                    // attributes
+                    if lorder.satisfies(&required.order) {
+                        let algo = Algo::MergeJoinM(eq.clone());
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![Req::mid(lorder), Req::mid(rorder)],
+                        });
+                    }
+                }
+                TOp::TJoin { eq } => {
+                    let lorder = SortSpec::by(eq.iter().map(|(l, _)| l.clone()));
+                    let rorder = SortSpec::by(eq.iter().map(|(_, r)| r.clone()));
+                    if lorder.satisfies(&required.order) {
+                        let algo = Algo::TMergeJoinM(eq.clone());
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![Req::mid(lorder), Req::mid(rorder)],
+                        });
+                    }
+                }
+                // no special-purpose middleware Cartesian product: the
+                // DBMS handles products (heuristic group 1)
+                TOp::Product => {}
+                TOp::TAggr { group_by, aggs } => {
+                    let in_order = Self::taggr_order(group_by);
+                    let out_order = Self::taggr_order(group_by);
+                    if out_order.satisfies(&required.order) {
+                        let algo =
+                            Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() };
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![Req::mid(in_order)],
+                        });
+                    }
+                }
+                TOp::DupElim => {
+                    // hash-based, keeps first occurrences: order-preserving
+                    let algo = Algo::DupElimM;
+                    out.push(Implementation {
+                        cost: cost(&algo),
+                        algo,
+                        child_required: vec![Req::mid(required.order.clone())],
+                    });
+                }
+                TOp::Coalesce => {
+                    let order = Self::value_order(&props.schema);
+                    if order.satisfies(&required.order) {
+                        let algo = Algo::CoalesceM;
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![Req::mid(order)],
+                        });
+                    }
+                }
+                TOp::Diff => {
+                    let order = Self::value_order(&props.schema);
+                    if order.satisfies(&required.order) {
+                        let algo = Algo::TDiffM;
+                        out.push(Implementation {
+                            cost: cost(&algo),
+                            algo,
+                            child_required: vec![Req::mid(order.clone()), Req::mid(order)],
+                        });
+                    }
+                }
+            },
+        }
+        out
+    }
+
+    fn enforcers(&self, props: &GroupProps, required: &Req) -> Vec<Enforcer<Self>> {
+        let mut out = Vec::new();
+        let stats = [&props.stats];
+        // sorting enforces order at either site
+        if !required.order.is_none() {
+            let algo = match required.site {
+                Site::Middleware => Algo::SortM(required.order.clone()),
+                Site::Dbms => Algo::SortD(required.order.clone()),
+            };
+            out.push(Enforcer {
+                cost: self.factors.cost(&algo, &stats, &props.stats),
+                algo,
+                inner_required: Req::any(required.site),
+            });
+        }
+        match required.site {
+            Site::Middleware => {
+                // T^M preserves order (rule T6, type →_L): ask the DBMS
+                // side for the same order (SORT^D below, as in Query 1's
+                // Plan 1).
+                out.push(Enforcer {
+                    cost: self.factors.cost(&Algo::TransferM, &stats, &props.stats),
+                    algo: Algo::TransferM,
+                    inner_required: Req::dbms(required.order.clone()),
+                });
+            }
+            Site::Dbms => {
+                // T^D loads into an (unordered) table: only useful when no
+                // order is required.
+                if required.order.is_none() {
+                    out.push(Enforcer {
+                        cost: self.factors.cost(&Algo::TransferD, &stats, &props.stats),
+                        algo: Algo::TransferD,
+                        inner_required: Req::any(Site::Middleware),
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convert a parser-produced [`Logical`] tree into the memo form,
+/// stripping the top `T^M` and top-level sorts into required properties
+/// (site = middleware, the recorded ordering).
+pub fn to_initial(logical: &Logical) -> Result<(NewExpr<TOp>, SortSpec)> {
+    let mut node = logical;
+    let mut order = SortSpec::none();
+    loop {
+        match node {
+            Logical::TransferM { input } | Logical::TransferD { input } => node = input,
+            Logical::Sort { keys, input } => {
+                if order.is_none() {
+                    order = keys.clone();
+                }
+                node = input;
+            }
+            _ => break,
+        }
+    }
+    Ok((convert(node)?, order))
+}
+
+fn convert(l: &Logical) -> Result<NewExpr<TOp>> {
+    let kids: Vec<NewExpr<TOp>> =
+        l.children().into_iter().map(convert).collect::<Result<_>>()?;
+    Ok(match l {
+        // transfers and inner sorts are physical concerns: drop them
+        Logical::TransferM { .. } | Logical::TransferD { .. } | Logical::Sort { .. } => {
+            kids.into_iter().next().ok_or_else(|| {
+                TangoError::Optimizer("sort/transfer without input".into())
+            })?
+        }
+        Logical::Get { table } => NewExpr::Op(TOp::Get { table: table.clone() }, vec![]),
+        Logical::Select { pred, .. } => NewExpr::Op(TOp::Select { pred: pred.clone() }, kids),
+        Logical::Project { items, .. } => {
+            NewExpr::Op(TOp::Project { items: items.clone() }, kids)
+        }
+        Logical::Join { eq, .. } => NewExpr::Op(TOp::Join { eq: eq.clone() }, kids),
+        Logical::TJoin { eq, .. } => NewExpr::Op(TOp::TJoin { eq: eq.clone() }, kids),
+        Logical::Product { .. } => NewExpr::Op(TOp::Product, kids),
+        Logical::TAggr { group_by, aggs, .. } => NewExpr::Op(
+            TOp::TAggr { group_by: group_by.clone(), aggs: aggs.clone() },
+            kids,
+        ),
+        Logical::DupElim { .. } => NewExpr::Op(TOp::DupElim, kids),
+        Logical::Coalesce { .. } => NewExpr::Op(TOp::Coalesce, kids),
+        Logical::Diff { .. } => NewExpr::Op(TOp::Diff, kids),
+    })
+}
+
+/// The result of one optimization run.
+pub struct Optimized {
+    pub plan: PhysNode,
+    pub cost: f64,
+    /// Equivalence classes generated (the paper's per-query metric).
+    pub classes: usize,
+    /// Class elements generated.
+    pub elements: usize,
+    pub search: SearchStats,
+    pub rule_fires: Vec<(&'static str, usize)>,
+}
+
+/// Optimize a logical plan against a catalog snapshot.
+pub fn optimize_logical(
+    logical: &Logical,
+    catalog: Catalog,
+    factors: CostFactors,
+    options: OptOptions,
+) -> Result<Optimized> {
+    let (tree, order) = to_initial(logical)?;
+    let sem = TangoSem { catalog, factors };
+    let mut memo = Memo::new(sem);
+    let root = memo.insert_root(tree);
+    memo.explore(&rules::rule_set(options));
+    let mut search = SearchStats::default();
+    let best = volcano::optimize(&memo, root, Req::mid(order), &mut search)
+        .ok_or_else(|| TangoError::Optimizer("no feasible plan".into()))?;
+    let plan = annotate(&best.plan, &memo)?;
+    Ok(Optimized {
+        plan,
+        cost: best.cost,
+        classes: memo.group_count(),
+        elements: memo.expr_count(),
+        search,
+        rule_fires: memo.rule_fires().collect(),
+    })
+}
+
+/// Attach output schemas to a physical plan by bottom-up derivation.
+fn annotate(plan: &PhysPlan<Algo>, memo: &Memo<TangoSem>) -> Result<PhysNode> {
+    fn go(p: &PhysPlan<Algo>, sem: &TangoSem) -> Result<PhysNode> {
+        let children: Vec<PhysNode> =
+            p.children.iter().map(|c| go(c, sem)).collect::<Result<_>>()?;
+        let schema = match &p.algo {
+            Algo::ScanD(t) => sem
+                .table(t)
+                .map(|(s, _)| s.clone())
+                .ok_or_else(|| TangoError::Optimizer(format!("unknown table {t}")))?,
+            other => {
+                let kids: Vec<&Schema> =
+                    children.iter().map(|c| c.schema.as_ref()).collect();
+                Arc::new(other.output_schema(&kids)?)
+            }
+        };
+        Ok(PhysNode { algo: p.algo.clone(), schema, children })
+    }
+    go(plan, memo.semantics())
+}

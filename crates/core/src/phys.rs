@@ -1,0 +1,299 @@
+//! Physical machinery: evaluation sites, physical properties, the logical
+//! operator payload for the memo, and the physical algorithm inventory.
+//!
+//! The key design move (mirroring the paper): **where an operation runs
+//! is a physical property**. Required properties are pairs *(site,
+//! ordering)*; the transfer algorithms `TRANSFER^M` / `TRANSFER^D` are
+//! the *enforcers* of the site property exactly as `SORT^M` / `SORT^D`
+//! enforce orderings. This is how the optimizer "divides the processing
+//! between the middleware and the DBMS ... by appropriately inserting
+//! transfer operations into query plans" (Section 2.1), and it subsumes
+//! rules T1–T3 and T7–T8 structurally: a `T^M(T^D(r))` pair can never
+//! appear in a winning plan because enforcers are only inserted when the
+//! site actually changes.
+
+use std::sync::Arc;
+use tango_algebra::logical::{concat_schemas, taggr_schema, tjoin_schema};
+use tango_algebra::{AggSpec, Expr, Logical, ProjItem, Schema, SortSpec};
+
+/// Where a plan fragment is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Site {
+    /// Inside the DBMS (fragment becomes generated SQL).
+    Dbms,
+    /// Inside the middleware (fragment becomes XXL cursors).
+    Middleware,
+}
+
+/// Required physical properties: evaluation site plus ordering. The
+/// empty ordering means "any order".
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Req {
+    pub site: Site,
+    pub order: SortSpec,
+}
+
+impl Req {
+    pub fn mid(order: SortSpec) -> Req {
+        Req { site: Site::Middleware, order }
+    }
+
+    pub fn dbms(order: SortSpec) -> Req {
+        Req { site: Site::Dbms, order }
+    }
+
+    pub fn any(site: Site) -> Req {
+        Req { site, order: SortSpec::none() }
+    }
+}
+
+/// The logical operator payload stored in memo expressions. Children
+/// live in the memo; note the absence of `Sort` and the transfers — both
+/// are physical-property concerns (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum TOp {
+    Get { table: String },
+    Select { pred: Expr },
+    Project { items: Vec<ProjItem> },
+    Join { eq: Vec<(String, String)> },
+    TJoin { eq: Vec<(String, String)> },
+    Product,
+    TAggr { group_by: Vec<String>, aggs: Vec<AggSpec> },
+    DupElim,
+    Coalesce,
+    Diff,
+}
+
+impl TOp {
+    /// Reconstruct a [`Logical`] node (with dummy children) for the
+    /// statistics-derivation machinery, which dispatches on the operator
+    /// shape only.
+    pub fn as_logical(&self) -> Logical {
+        let dummy = || Box::new(Logical::Get { table: "_".into() });
+        match self {
+            TOp::Get { table } => Logical::Get { table: table.clone() },
+            TOp::Select { pred } => Logical::Select { pred: pred.clone(), input: dummy() },
+            TOp::Project { items } => Logical::Project { items: items.clone(), input: dummy() },
+            TOp::Join { eq } => Logical::Join { eq: eq.clone(), left: dummy(), right: dummy() },
+            TOp::TJoin { eq } => Logical::TJoin { eq: eq.clone(), left: dummy(), right: dummy() },
+            TOp::Product => Logical::Product { left: dummy(), right: dummy() },
+            TOp::TAggr { group_by, aggs } => Logical::TAggr {
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                input: dummy(),
+            },
+            TOp::DupElim => Logical::DupElim { input: dummy() },
+            TOp::Coalesce => Logical::Coalesce { input: dummy() },
+            TOp::Diff => Logical::Diff { left: dummy(), right: dummy() },
+        }
+    }
+
+    /// Output schema given child schemas; `table_schema` resolves `Get`.
+    pub fn output_schema(
+        &self,
+        children: &[&Schema],
+        table_schema: &dyn Fn(&str) -> Option<Schema>,
+    ) -> tango_algebra::Result<Schema> {
+        use tango_algebra::AlgebraError;
+        Ok(match self {
+            TOp::Get { table } => table_schema(table)
+                .ok_or_else(|| AlgebraError::Schema(format!("unknown table {table}")))?,
+            TOp::Select { .. } | TOp::DupElim | TOp::Coalesce => children[0].clone(),
+            TOp::Diff => children[0].clone(),
+            TOp::Project { items } => {
+                let mut attrs = Vec::with_capacity(items.len());
+                for it in items {
+                    let ty = tango_algebra::logical::infer_type(&it.expr, children[0])?;
+                    attrs.push(tango_algebra::Attr::new(it.alias.clone(), ty));
+                }
+                Schema::with_inferred_period(attrs)
+            }
+            TOp::Join { .. } | TOp::Product => concat_schemas(children[0], children[1]),
+            TOp::TJoin { eq } => tjoin_schema(eq, children[0], children[1])?,
+            TOp::TAggr { group_by, aggs } => taggr_schema(group_by, aggs, children[0])?,
+        })
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            TOp::Get { .. } => "GET",
+            TOp::Select { .. } => "SELECT",
+            TOp::Project { .. } => "PROJECT",
+            TOp::Join { .. } => "JOIN",
+            TOp::TJoin { .. } => "TJOIN",
+            TOp::Product => "PRODUCT",
+            TOp::TAggr { .. } => "TAGGR",
+            TOp::DupElim => "DUPELIM",
+            TOp::Coalesce => "COALESCE",
+            TOp::Diff => "DIFF",
+        }
+    }
+}
+
+/// Physical algorithms. Superscript convention from the paper:
+/// `...M` runs in the middleware, `...D` in the DBMS.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Algo {
+    // -- middleware algorithms (tango-xxl cursors) --
+    FilterM(Expr),
+    ProjectM(Vec<ProjItem>),
+    SortM(SortSpec),
+    MergeJoinM(Vec<(String, String)>),
+    TMergeJoinM(Vec<(String, String)>),
+    TAggrM { group_by: Vec<String>, aggs: Vec<AggSpec> },
+    DupElimM,
+    CoalesceM,
+    TDiffM,
+    /// DBMS → middleware: issues a SELECT (Figure 5's `TRANSFER^M`).
+    TransferM,
+    /// middleware → DBMS: CREATE TABLE + direct-path load (`TRANSFER^D`).
+    TransferD,
+    // -- generic DBMS algorithms (become SQL via the Translator) --
+    ScanD(String),
+    FilterD(Expr),
+    ProjectD(Vec<ProjItem>),
+    SortD(SortSpec),
+    JoinD(Vec<(String, String)>),
+    TJoinD(Vec<(String, String)>),
+    ProductD,
+    TAggrD { group_by: Vec<String>, aggs: Vec<AggSpec> },
+    DupElimD,
+}
+
+impl Algo {
+    pub fn site(&self) -> Site {
+        match self {
+            Algo::FilterM(_)
+            | Algo::ProjectM(_)
+            | Algo::SortM(_)
+            | Algo::MergeJoinM(_)
+            | Algo::TMergeJoinM(_)
+            | Algo::TAggrM { .. }
+            | Algo::DupElimM
+            | Algo::CoalesceM
+            | Algo::TDiffM
+            | Algo::TransferM => Site::Middleware,
+            Algo::TransferD
+            | Algo::ScanD(_)
+            | Algo::FilterD(_)
+            | Algo::ProjectD(_)
+            | Algo::SortD(_)
+            | Algo::JoinD(_)
+            | Algo::TJoinD(_)
+            | Algo::ProductD
+            | Algo::TAggrD { .. }
+            | Algo::DupElimD => Site::Dbms,
+        }
+    }
+
+    /// Display name matching the paper's superscript notation.
+    pub fn label(&self) -> String {
+        match self {
+            Algo::FilterM(_) => "FILTER^M".into(),
+            Algo::ProjectM(_) => "PROJECT^M".into(),
+            Algo::SortM(s) => format!("SORT^M [{s}]"),
+            Algo::MergeJoinM(_) => "MERGEJOIN^M".into(),
+            Algo::TMergeJoinM(_) => "TMERGEJOIN^M".into(),
+            Algo::TAggrM { .. } => "TAGGR^M".into(),
+            Algo::DupElimM => "DUPELIM^M".into(),
+            Algo::CoalesceM => "COALESCE^M".into(),
+            Algo::TDiffM => "TDIFF^M".into(),
+            Algo::TransferM => "TRANSFER^M".into(),
+            Algo::TransferD => "TRANSFER^D".into(),
+            Algo::ScanD(t) => format!("SCAN^D {t}"),
+            Algo::FilterD(_) => "FILTER^D".into(),
+            Algo::ProjectD(_) => "PROJECT^D".into(),
+            Algo::SortD(s) => format!("SORT^D [{s}]"),
+            Algo::JoinD(_) => "JOIN^D".into(),
+            Algo::TJoinD(_) => "TJOIN^D".into(),
+            Algo::ProductD => "PRODUCT^D".into(),
+            Algo::TAggrD { .. } => "TAGGR^D".into(),
+            Algo::DupElimD => "DUPELIM^D".into(),
+        }
+    }
+
+    /// Output schema given child schemas.
+    pub fn output_schema(&self, children: &[&Schema]) -> tango_algebra::Result<Schema> {
+        Ok(match self {
+            Algo::FilterM(_)
+            | Algo::FilterD(_)
+            | Algo::SortM(_)
+            | Algo::SortD(_)
+            | Algo::DupElimM
+            | Algo::DupElimD
+            | Algo::CoalesceM
+            | Algo::TransferM
+            | Algo::TransferD => children[0].clone(),
+            Algo::TDiffM => children[0].clone(),
+            Algo::ProjectM(items) | Algo::ProjectD(items) => {
+                TOp::Project { items: items.clone() }.output_schema(children, &|_| None)?
+            }
+            Algo::MergeJoinM(_) | Algo::JoinD(_) | Algo::ProductD => {
+                concat_schemas(children[0], children[1])
+            }
+            Algo::TMergeJoinM(eq) | Algo::TJoinD(eq) => {
+                tjoin_schema(eq, children[0], children[1])?
+            }
+            Algo::TAggrM { group_by, aggs } | Algo::TAggrD { group_by, aggs } => {
+                taggr_schema(group_by, aggs, children[0])?
+            }
+            Algo::ScanD(_) => {
+                return Err(tango_algebra::AlgebraError::Schema(
+                    "ScanD schema must come from the catalog".into(),
+                ))
+            }
+        })
+    }
+}
+
+/// A physical plan annotated with per-node output schemas — the form the
+/// engine lowers into executable steps.
+#[derive(Debug, Clone)]
+pub struct PhysNode {
+    pub algo: Algo,
+    pub schema: Arc<Schema>,
+    pub children: Vec<PhysNode>,
+}
+
+impl PhysNode {
+    /// Render the plan like Figure 7/9 of the paper.
+    pub fn render(&self) -> String {
+        fn go(n: &PhysNode, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(&n.algo.label());
+            match &n.algo {
+                Algo::FilterM(p) | Algo::FilterD(p) => {
+                    out.push_str(&format!(" [{p}]"));
+                }
+                Algo::TAggrM { group_by, aggs } | Algo::TAggrD { group_by, aggs } => {
+                    let a: Vec<String> = aggs.iter().map(ToString::to_string).collect();
+                    out.push_str(&format!(" [group by {}; {}]", group_by.join(", "), a.join(", ")));
+                }
+                Algo::MergeJoinM(eq)
+                | Algo::TMergeJoinM(eq)
+                | Algo::JoinD(eq)
+                | Algo::TJoinD(eq) => {
+                    let c: Vec<String> = eq.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                    out.push_str(&format!(" [{}]", c.join(" AND ")));
+                }
+                _ => {}
+            }
+            out.push('\n');
+            for c in &n.children {
+                go(c, depth + 1, out);
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PhysNode::node_count).sum::<usize>()
+    }
+
+    /// Does any node in this plan satisfy the predicate?
+    pub fn any(&self, f: &dyn Fn(&Algo) -> bool) -> bool {
+        f(&self.algo) || self.children.iter().any(|c| c.any(f))
+    }
+}

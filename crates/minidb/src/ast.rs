@@ -1,0 +1,82 @@
+//! SQL abstract syntax.
+
+use tango_algebra::{AggFunc, Expr, Type, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT ...` — returns the physical plan as text rows.
+    Explain(SelectStmt),
+    CreateTable { name: String, cols: Vec<(String, Type)> },
+    DropTable { name: String, if_exists: bool },
+    Insert { table: String, rows: Vec<Vec<Value>> },
+    Delete { table: String, pred: Option<Expr> },
+    Update { table: String, sets: Vec<(String, Expr)>, pred: Option<Expr> },
+    Analyze { table: String },
+    CreateIndex { name: String, table: String, col: String },
+}
+
+/// Join-method hints, Oracle style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinHint {
+    UseNl,
+    UseMerge,
+    UseHash,
+}
+
+/// One `SELECT` block (set operations chain blocks together).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStmt {
+    /// `VALIDTIME SELECT ...` — sequenced temporal semantics. The
+    /// mini-DBMS itself rejects such statements (a conventional DBMS has
+    /// no temporal support); the TANGO middleware parses them through
+    /// this same grammar and takes over.
+    pub validtime: bool,
+    /// `VALIDTIME COALESCE SELECT ...` — coalesce the temporal result
+    /// (middleware semantics; the DBMS rejects it like any VALIDTIME).
+    pub coalesce: bool,
+    pub hint: Option<JoinHint>,
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub from: Vec<FromItem>,
+    pub where_: Option<Expr>,
+    pub group_by: Vec<String>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(String, bool)>,
+    /// `UNION [ALL] <next block>`; ORDER BY of the last block applies to
+    /// the whole union.
+    pub set_op: Option<(SetOp, Box<SelectStmt>)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    UnionAll,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*`
+    Star,
+    /// A scalar expression with optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+    /// An aggregate call `F(arg)` / `COUNT(*)` with optional alias.
+    Agg { func: AggFunc, arg: Option<Expr>, alias: Option<String> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    Table { name: String, alias: Option<String> },
+    Subquery { query: Box<SelectStmt>, alias: String },
+}
+
+impl FromItem {
+    /// The name this item is addressed by in qualified column references.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            FromItem::Table { name, alias } => alias.as_deref().unwrap_or(name),
+            FromItem::Subquery { alias, .. } => alias,
+        }
+    }
+}

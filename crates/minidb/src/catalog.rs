@@ -1,0 +1,477 @@
+//! Catalog and storage: heap tables, B-tree indexes, ANALYZE statistics,
+//! and Oracle-style dictionary views.
+
+use crate::error::{DbError, Result};
+use crate::wire::Link;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tango_algebra::value::Key;
+use tango_algebra::{Attr, Relation, Schema, Tuple, Type, Value};
+use tango_stats::RelationStats;
+
+/// Number of histogram buckets ANALYZE collects per numeric column
+/// (Oracle's default height-balanced histogram size ballpark).
+pub const HISTOGRAM_BUCKETS: usize = 20;
+
+/// A stored table: schema, heap of rows, optional ANALYZE statistics.
+pub struct Table {
+    pub schema: Arc<Schema>,
+    pub rows: Vec<Tuple>,
+    pub stats: Option<RelationStats>,
+}
+
+impl Table {
+    pub fn byte_size(&self) -> usize {
+        self.rows.iter().map(Tuple::byte_size).sum()
+    }
+
+    pub fn blocks(&self) -> u64 {
+        (self.byte_size() as u64).div_ceil(8192).max(1)
+    }
+}
+
+/// A secondary B-tree index on one column.
+pub struct IndexDef {
+    pub name: String,
+    pub table: String,
+    pub col: String,
+    /// value key -> row ids
+    pub map: BTreeMap<Key, Vec<usize>>,
+}
+
+#[derive(Default)]
+pub struct DbInner {
+    pub tables: HashMap<String, Table>,
+    pub indexes: Vec<IndexDef>,
+}
+
+impl DbInner {
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(&name.to_uppercase())
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+    }
+
+    pub fn index_on(&self, table: &str, col: &str) -> Option<&IndexDef> {
+        self.indexes.iter().find(|ix| {
+            ix.table.eq_ignore_ascii_case(table) && ix.col.eq_ignore_ascii_case(col)
+        })
+    }
+
+    fn rebuild_index(&mut self, i: usize) -> Result<()> {
+        let (table_name, col) = (self.indexes[i].table.clone(), self.indexes[i].col.clone());
+        let table = self.table(&table_name)?;
+        let ci = table.schema.index_of(&col)?;
+        let mut map: BTreeMap<Key, Vec<usize>> = BTreeMap::new();
+        for (rid, row) in table.rows.iter().enumerate() {
+            map.entry(row[ci].key()).or_default().push(rid);
+        }
+        self.indexes[i].map = map;
+        Ok(())
+    }
+
+    pub fn refresh_indexes_for(&mut self, table: &str) -> Result<()> {
+        let ids: Vec<usize> = self
+            .indexes
+            .iter()
+            .enumerate()
+            .filter(|(_, ix)| ix.table.eq_ignore_ascii_case(table))
+            .map(|(i, _)| i)
+            .collect();
+        for i in ids {
+            self.rebuild_index(i)?;
+        }
+        Ok(())
+    }
+}
+
+/// The shared database instance. Cheap to clone; all clones see the same
+/// storage and the same simulated wire.
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<RwLock<DbInner>>,
+    pub(crate) link: Arc<Link>,
+    /// Accumulated server-side execution time (ns).
+    pub(crate) server_ns: Arc<AtomicU64>,
+}
+
+impl Database {
+    pub fn new(link: Link) -> Self {
+        Database {
+            inner: Arc::new(RwLock::new(DbInner::default())),
+            link: Arc::new(link),
+            server_ns: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    pub fn in_memory() -> Self {
+        Database::new(Link::default())
+    }
+
+    pub fn link(&self) -> &Arc<Link> {
+        &self.link
+    }
+
+    pub fn add_server_ns(&self, ns: u64) {
+        self.server_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Total server-side compute time so far.
+    pub fn server_time(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.server_ns.load(Ordering::Relaxed))
+    }
+
+    pub fn create_table(&self, name: &str, schema: Schema) -> Result<()> {
+        let mut inner = self.inner.write();
+        let key = name.to_uppercase();
+        if inner.tables.contains_key(&key) {
+            return Err(DbError::TableExists(name.to_string()));
+        }
+        inner
+            .tables
+            .insert(key, Table { schema: Arc::new(schema), rows: Vec::new(), stats: None });
+        Ok(())
+    }
+
+    pub fn drop_table(&self, name: &str, if_exists: bool) -> Result<()> {
+        let mut inner = self.inner.write();
+        let key = name.to_uppercase();
+        if inner.tables.remove(&key).is_none() && !if_exists {
+            return Err(DbError::NoSuchTable(name.to_string()));
+        }
+        inner.indexes.retain(|ix| !ix.table.eq_ignore_ascii_case(name));
+        Ok(())
+    }
+
+    pub fn insert_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let key = name.to_uppercase();
+        let table = inner
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let arity = table.schema.len();
+        let n = rows.len() as u64;
+        for r in &rows {
+            if r.len() != arity {
+                return Err(DbError::Semantic(format!(
+                    "insert arity mismatch: expected {arity}, got {}",
+                    r.len()
+                )));
+            }
+        }
+        table.rows.extend(rows);
+        table.stats = None; // stale until re-ANALYZEd
+        inner.refresh_indexes_for(name)?;
+        Ok(n)
+    }
+
+    /// Delete rows satisfying `pred` (all rows when `None`).
+    pub fn delete_rows(&self, name: &str, pred: Option<&tango_algebra::Expr>) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let key = name.to_uppercase();
+        let table = inner
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let before = table.rows.len();
+        match pred {
+            None => table.rows.clear(),
+            Some(p) => {
+                let bound = p.bound(&table.schema)?;
+                let mut err = None;
+                table.rows.retain(|t| match bound.matches(t) {
+                    Ok(m) => !m,
+                    Err(e) => {
+                        err = Some(e);
+                        true
+                    }
+                });
+                if let Some(e) = err {
+                    return Err(e.into());
+                }
+            }
+        }
+        let removed = (before - table.rows.len()) as u64;
+        table.stats = None;
+        inner.refresh_indexes_for(name)?;
+        Ok(removed)
+    }
+
+    /// Update columns of rows satisfying `pred`.
+    pub fn update_rows(
+        &self,
+        name: &str,
+        sets: &[(String, tango_algebra::Expr)],
+        pred: Option<&tango_algebra::Expr>,
+    ) -> Result<u64> {
+        let mut inner = self.inner.write();
+        let key = name.to_uppercase();
+        let table = inner
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let bound_pred = pred.map(|p| p.bound(&table.schema)).transpose()?;
+        let mut bound_sets = Vec::with_capacity(sets.len());
+        for (col, e) in sets {
+            let i = table.schema.index_of(col)?;
+            bound_sets.push((i, e.bound(&table.schema)?));
+        }
+        let mut n = 0u64;
+        for row in &mut table.rows {
+            let hit = match &bound_pred {
+                Some(p) => p.matches(row)?,
+                None => true,
+            };
+            if hit {
+                // evaluate all right-hand sides against the *old* row
+                let vals: Vec<(usize, Value)> = bound_sets
+                    .iter()
+                    .map(|(i, e)| e.eval(row).map(|v| (*i, v)))
+                    .collect::<tango_algebra::Result<_>>()?;
+                for (i, v) in vals {
+                    row.set(i, v);
+                }
+                n += 1;
+            }
+        }
+        table.stats = None;
+        inner.refresh_indexes_for(name)?;
+        Ok(n)
+    }
+
+    /// ANALYZE TABLE: collect full statistics including height-balanced
+    /// histograms on numeric/date columns.
+    pub fn analyze(&self, name: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        let key = name.to_uppercase();
+        let indexed: Vec<(String, bool)> = inner
+            .indexes
+            .iter()
+            .filter(|ix| ix.table.eq_ignore_ascii_case(name))
+            .map(|ix| (ix.col.to_uppercase(), false))
+            .collect();
+        let table = inner
+            .tables
+            .get_mut(&key)
+            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let rel = Relation::new(table.schema.clone(), table.rows.clone());
+        let mut stats = RelationStats::from_relation(&rel, HISTOGRAM_BUCKETS);
+        for (col, clustered) in indexed {
+            if let Some(a) = stats.attrs.get_mut(&col) {
+                a.indexed = true;
+                a.clustered = clustered;
+            }
+        }
+        table.stats = Some(stats);
+        Ok(())
+    }
+
+    pub fn create_index(&self, name: &str, table: &str, col: &str) -> Result<()> {
+        let mut inner = self.inner.write();
+        inner.table(table)?; // existence check
+        inner.indexes.push(IndexDef {
+            name: name.to_string(),
+            table: table.to_string(),
+            col: col.to_string(),
+            map: BTreeMap::new(),
+        });
+        let i = inner.indexes.len() - 1;
+        inner.rebuild_index(i)
+    }
+
+    pub fn table_schema(&self, name: &str) -> Option<Schema> {
+        if let Some(v) = dictionary_view_schema(name) {
+            return Some(v);
+        }
+        self.inner
+            .read()
+            .tables
+            .get(&name.to_uppercase())
+            .map(|t| t.schema.as_ref().clone())
+    }
+
+    pub fn table_stats(&self, name: &str) -> Option<RelationStats> {
+        self.inner
+            .read()
+            .tables
+            .get(&name.to_uppercase())
+            .and_then(|t| t.stats.clone())
+    }
+
+    pub fn table_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().tables.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+/// Schemas of the Oracle-style dictionary views.
+pub fn dictionary_view_schema(name: &str) -> Option<Schema> {
+    match name.to_uppercase().as_str() {
+        "USER_TABLES" => Some(Schema::new(vec![
+            Attr::new("TABLE_NAME", Type::Str),
+            Attr::new("NUM_ROWS", Type::Int),
+            Attr::new("BLOCKS", Type::Int),
+            Attr::new("AVG_ROW_LEN", Type::Double),
+        ])),
+        "USER_TAB_COLUMNS" => Some(Schema::new(vec![
+            Attr::new("TABLE_NAME", Type::Str),
+            Attr::new("COLUMN_NAME", Type::Str),
+            Attr::new("NUM_DISTINCT", Type::Int),
+            Attr::new("LOW_VALUE", Type::Double),
+            Attr::new("HIGH_VALUE", Type::Double),
+            Attr::new("NUM_NULLS", Type::Int),
+            Attr::new("AVG_COL_LEN", Type::Double),
+            Attr::new("INDEXED", Type::Int),
+        ])),
+        "USER_HISTOGRAMS" => Some(Schema::new(vec![
+            Attr::new("TABLE_NAME", Type::Str),
+            Attr::new("COLUMN_NAME", Type::Str),
+            Attr::new("ENDPOINT_NUMBER", Type::Int),
+            Attr::new("ENDPOINT_VALUE", Type::Double),
+        ])),
+        _ => None,
+    }
+}
+
+/// Materialize a dictionary view from current catalog state. Only tables
+/// that have been ANALYZEd appear (as in Oracle, where NUM_ROWS is null
+/// until statistics are gathered — we simply omit such tables).
+pub fn dictionary_view(name: &str, inner: &DbInner) -> Option<Relation> {
+    let schema = Arc::new(dictionary_view_schema(name)?);
+    let mut names: Vec<&String> = inner.tables.keys().collect();
+    names.sort();
+    let mut rows = Vec::new();
+    match name.to_uppercase().as_str() {
+        "USER_TABLES" => {
+            for t in names {
+                let table = &inner.tables[t];
+                if let Some(s) = &table.stats {
+                    rows.push(Tuple::new(vec![
+                        Value::Str(t.clone()),
+                        Value::Int(s.rows as i64),
+                        Value::Int(s.blocks as i64),
+                        Value::Double(s.avg_tuple_bytes),
+                    ]));
+                }
+            }
+        }
+        "USER_TAB_COLUMNS" => {
+            for t in names {
+                let table = &inner.tables[t];
+                if let Some(s) = &table.stats {
+                    for attr in table.schema.attrs() {
+                        let a = s.attr(&attr.name).cloned().unwrap_or_default();
+                        rows.push(Tuple::new(vec![
+                            Value::Str(t.clone()),
+                            Value::Str(attr.name.to_uppercase()),
+                            Value::Int(a.distinct as i64),
+                            a.min.map(Value::Double).unwrap_or(Value::Null),
+                            a.max.map(Value::Double).unwrap_or(Value::Null),
+                            Value::Int(a.nulls as i64),
+                            Value::Double(a.avg_width),
+                            Value::Int(a.indexed as i64),
+                        ]));
+                    }
+                }
+            }
+        }
+        "USER_HISTOGRAMS" => {
+            for t in names {
+                let table = &inner.tables[t];
+                if let Some(s) = &table.stats {
+                    for attr in table.schema.attrs() {
+                        if let Some(h) = s.attr(&attr.name).and_then(|a| a.histogram.as_ref()) {
+                            for (i, ep) in h.endpoints.iter().enumerate() {
+                                rows.push(Tuple::new(vec![
+                                    Value::Str(t.clone()),
+                                    Value::Str(attr.name.to_uppercase()),
+                                    Value::Int(i as i64),
+                                    Value::Double(*ep),
+                                ]));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(Relation::new(schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_algebra::tup;
+
+    fn db_with_table() -> Database {
+        let db = Database::in_memory();
+        let schema = Schema::with_inferred_period(vec![
+            Attr::new("PosID", Type::Int),
+            Attr::new("T1", Type::Int),
+            Attr::new("T2", Type::Int),
+        ]);
+        db.create_table("POSITION", schema).unwrap();
+        db.insert_rows(
+            "POSITION",
+            vec![tup![1, 2, 20], tup![1, 5, 25], tup![2, 5, 10]],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_analyze() {
+        let db = db_with_table();
+        assert!(db.table_stats("POSITION").is_none());
+        db.analyze("POSITION").unwrap();
+        let s = db.table_stats("POSITION").unwrap();
+        assert_eq!(s.rows, 3.0);
+        assert_eq!(s.attr("PosID").unwrap().distinct, 2);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let db = db_with_table();
+        assert!(matches!(
+            db.create_table("position", Schema::new(vec![])),
+            Err(DbError::TableExists(_))
+        ));
+        db.drop_table("POSITION", false).unwrap();
+        assert!(db.drop_table("POSITION", true).is_ok());
+        assert!(db.drop_table("POSITION", false).is_err());
+    }
+
+    #[test]
+    fn index_maintenance() {
+        let db = db_with_table();
+        db.create_index("IX1", "POSITION", "PosID").unwrap();
+        {
+            let inner = db.inner.read();
+            let ix = inner.index_on("POSITION", "posid").unwrap();
+            assert_eq!(ix.map.len(), 2);
+        }
+        db.insert_rows("POSITION", vec![tup![3, 1, 2]]).unwrap();
+        let inner = db.inner.read();
+        let ix = inner.index_on("POSITION", "PosID").unwrap();
+        assert_eq!(ix.map.len(), 3);
+    }
+
+    #[test]
+    fn dictionary_views() {
+        let db = db_with_table();
+        db.analyze("POSITION").unwrap();
+        let inner = db.inner.read();
+        let ut = dictionary_view("USER_TABLES", &inner).unwrap();
+        assert_eq!(ut.len(), 1);
+        assert_eq!(ut.tuples()[0][1], Value::Int(3));
+        let utc = dictionary_view("USER_TAB_COLUMNS", &inner).unwrap();
+        assert_eq!(utc.len(), 3);
+        let uh = dictionary_view("USER_HISTOGRAMS", &inner).unwrap();
+        assert!(!uh.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Error type for the mini-DBMS.
+
+use std::fmt;
+use tango_algebra::AlgebraError;
+
+#[derive(Debug, Clone)]
+pub enum DbError {
+    /// Lexical or syntactic error with a position hint.
+    Parse { msg: String, near: String },
+    /// Unknown table.
+    NoSuchTable(String),
+    /// Table already exists.
+    TableExists(String),
+    /// Semantic error (unknown column, arity mismatch, ...).
+    Semantic(String),
+    /// Expression-evaluation failure.
+    Algebra(AlgebraError),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse { msg, near } => write!(f, "SQL parse error: {msg} (near '{near}')"),
+            DbError::NoSuchTable(t) => write!(f, "table or view does not exist: {t}"),
+            DbError::TableExists(t) => write!(f, "name is already used by an existing object: {t}"),
+            DbError::Semantic(m) => write!(f, "{m}"),
+            DbError::Algebra(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<AlgebraError> for DbError {
+    fn from(e: AlgebraError) -> Self {
+        DbError::Algebra(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, DbError>;

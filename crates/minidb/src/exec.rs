@@ -1,0 +1,532 @@
+//! Physical plans and the materializing executor.
+//!
+//! Deliberately a different execution style from the middleware: the
+//! mini-DBMS evaluates operator-at-a-time, materializing every
+//! intermediate result, with hash-based joins and aggregation — the
+//! "conventional DBMS" the middleware treats as a very capable file
+//! system.
+
+use crate::catalog::{dictionary_view, DbInner};
+use crate::error::{DbError, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+use tango_algebra::value::Key;
+use tango_algebra::{AggFunc, Expr, Relation, Schema, SortSpec, Tuple, Value};
+
+/// One aggregate computed by `HashAgg`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggItem {
+    pub func: AggFunc,
+    /// `None` = `COUNT(*)`.
+    pub arg: Option<Expr>,
+    pub alias: String,
+}
+
+/// A physical plan node with its output schema (computed by the planner).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    pub op: PlanOp,
+    pub schema: Arc<Schema>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanOp {
+    /// Full table scan (base table or dictionary view).
+    Scan { table: String },
+    /// B-tree index range scan: `lo < col` and/or `col < hi` bounds
+    /// (inclusive flags per bound); residual predicates live in a parent
+    /// `Filter`.
+    IndexScan {
+        table: String,
+        col: String,
+        lo: Option<(Value, bool)>,
+        hi: Option<(Value, bool)>,
+    },
+    /// Re-expose a child under different attribute names (inline-view
+    /// aliasing).
+    Rename { input: Box<Plan> },
+    Filter { pred: Expr, input: Box<Plan> },
+    Project { items: Vec<(Expr, String)>, input: Box<Plan> },
+    Sort { keys: SortSpec, input: Box<Plan> },
+    HashJoin { lkeys: Vec<String>, rkeys: Vec<String>, left: Box<Plan>, right: Box<Plan> },
+    MergeJoin { lkeys: Vec<String>, rkeys: Vec<String>, left: Box<Plan>, right: Box<Plan> },
+    /// Nested loops with optional predicate (over the concatenated row).
+    NlJoin { pred: Option<Expr>, left: Box<Plan>, right: Box<Plan> },
+    /// Index nested-loop join: probe the B-tree index on `table.col`
+    /// with the left key — what Oracle's `USE_NL` hint does when the
+    /// inner table is indexed on the join column.
+    IndexNlJoin { lkey: String, table: String, col: String, left: Box<Plan> },
+    HashAgg { group_by: Vec<String>, aggs: Vec<AggItem>, input: Box<Plan> },
+    Distinct { input: Box<Plan> },
+    UnionAll { inputs: Vec<Plan> },
+}
+
+impl Plan {
+    /// Render the plan as indented text (the EXPLAIN output).
+    pub fn render(&self) -> String {
+        fn go(p: &Plan, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            let line = match &p.op {
+                PlanOp::Scan { table } => format!("TABLE SCAN {table}"),
+                PlanOp::IndexScan { table, col, .. } => {
+                    format!("INDEX RANGE SCAN {table}.{col}")
+                }
+                PlanOp::Rename { .. } => "VIEW".to_string(),
+                PlanOp::Filter { pred, .. } => format!("FILTER [{pred}]"),
+                PlanOp::Project { items, .. } => {
+                    format!("PROJECT [{} columns]", items.len())
+                }
+                PlanOp::Sort { keys, .. } => format!("SORT [{keys}]"),
+                PlanOp::HashJoin { lkeys, rkeys, .. } => format!(
+                    "HASH JOIN [{}]",
+                    lkeys
+                        .iter()
+                        .zip(rkeys)
+                        .map(|(l, r)| format!("{l}={r}"))
+                        .collect::<Vec<_>>()
+                        .join(" AND ")
+                ),
+                PlanOp::MergeJoin { lkeys, rkeys, .. } => format!(
+                    "MERGE JOIN [{}]",
+                    lkeys
+                        .iter()
+                        .zip(rkeys)
+                        .map(|(l, r)| format!("{l}={r}"))
+                        .collect::<Vec<_>>()
+                        .join(" AND ")
+                ),
+                PlanOp::NlJoin { .. } => "NESTED LOOPS".to_string(),
+                PlanOp::IndexNlJoin { table, col, .. } => {
+                    format!("INDEX NESTED LOOPS {table}.{col}")
+                }
+                PlanOp::HashAgg { group_by, aggs, .. } => format!(
+                    "HASH GROUP BY [{}] aggs={}",
+                    group_by.join(", "),
+                    aggs.len()
+                ),
+                PlanOp::Distinct { .. } => "HASH UNIQUE".to_string(),
+                PlanOp::UnionAll { .. } => "UNION ALL".to_string(),
+            };
+            out.push_str(&pad);
+            out.push_str(&line);
+            out.push('\n');
+            match &p.op {
+                PlanOp::Rename { input }
+                | PlanOp::Filter { input, .. }
+                | PlanOp::Project { input, .. }
+                | PlanOp::Sort { input, .. }
+                | PlanOp::HashAgg { input, .. }
+                | PlanOp::Distinct { input } => go(input, depth + 1, out),
+                PlanOp::IndexNlJoin { left, .. } => go(left, depth + 1, out),
+                PlanOp::HashJoin { left, right, .. }
+                | PlanOp::MergeJoin { left, right, .. }
+                | PlanOp::NlJoin { left, right, .. } => {
+                    go(left, depth + 1, out);
+                    go(right, depth + 1, out);
+                }
+                PlanOp::UnionAll { inputs } => {
+                    for i in inputs {
+                        go(i, depth + 1, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = String::new();
+        go(self, 0, &mut out);
+        out
+    }
+
+    /// Operator count (for EXPLAIN-ish reporting).
+    pub fn node_count(&self) -> usize {
+        1 + match &self.op {
+            PlanOp::Scan { .. } | PlanOp::IndexScan { .. } => 0,
+            PlanOp::Rename { input }
+            | PlanOp::Filter { input, .. }
+            | PlanOp::Project { input, .. }
+            | PlanOp::Sort { input, .. }
+            | PlanOp::HashAgg { input, .. }
+            | PlanOp::Distinct { input } => input.node_count(),
+            PlanOp::IndexNlJoin { left, .. } => left.node_count(),
+            PlanOp::HashJoin { left, right, .. }
+            | PlanOp::MergeJoin { left, right, .. }
+            | PlanOp::NlJoin { left, right, .. } => left.node_count() + right.node_count(),
+            PlanOp::UnionAll { inputs } => inputs.iter().map(Plan::node_count).sum(),
+        }
+    }
+}
+
+/// Execute a plan against the database (storage lock held by the caller).
+pub fn run(plan: &Plan, db: &DbInner) -> Result<Relation> {
+    match &plan.op {
+        PlanOp::Scan { table } => {
+            if let Some(v) = dictionary_view(table, db) {
+                return Ok(Relation::new(plan.schema.clone(), v.into_tuples()));
+            }
+            let t = db.table(table)?;
+            Ok(Relation::new(plan.schema.clone(), t.rows.clone()))
+        }
+        PlanOp::IndexScan { table, col, lo, hi } => {
+            let t = db.table(table)?;
+            let ix = db
+                .index_on(table, col)
+                .ok_or_else(|| DbError::Semantic(format!("no index on {table}.{col}")))?;
+            use std::ops::Bound;
+            let lo_b = match lo {
+                Some((v, true)) => Bound::Included(v.key()),
+                Some((v, false)) => Bound::Excluded(v.key()),
+                None => Bound::Unbounded,
+            };
+            let hi_b = match hi {
+                Some((v, true)) => Bound::Included(v.key()),
+                Some((v, false)) => Bound::Excluded(v.key()),
+                None => Bound::Unbounded,
+            };
+            let mut rows = Vec::new();
+            for (_, rids) in ix.map.range((lo_b, hi_b)) {
+                for &rid in rids {
+                    rows.push(t.rows[rid].clone());
+                }
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::Rename { input } => {
+            let r = run(input, db)?;
+            Ok(Relation::new(plan.schema.clone(), r.into_tuples()))
+        }
+        PlanOp::Filter { pred, input } => {
+            let r = run(input, db)?;
+            let bound = pred.bound(r.schema())?;
+            let mut rows = Vec::with_capacity(r.len() / 2);
+            for t in r.into_tuples() {
+                if bound.matches(&t)? {
+                    rows.push(t);
+                }
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::Project { items, input } => {
+            let r = run(input, db)?;
+            let bound: Vec<Expr> = items
+                .iter()
+                .map(|(e, _)| e.bound(r.schema()))
+                .collect::<tango_algebra::Result<_>>()?;
+            let mut rows = Vec::with_capacity(r.len());
+            for t in r.tuples() {
+                let mut vals = Vec::with_capacity(bound.len());
+                for e in &bound {
+                    vals.push(e.eval(t)?);
+                }
+                rows.push(Tuple::new(vals));
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::Sort { keys, input } => {
+            let mut r = run(input, db)?;
+            r.sort_by(keys);
+            Ok(Relation::new(plan.schema.clone(), r.into_tuples()))
+        }
+        PlanOp::HashJoin { lkeys, rkeys, left, right } => {
+            let l = run(left, db)?;
+            let r = run(right, db)?;
+            let li = resolve_keys(lkeys, l.schema())?;
+            let ri = resolve_keys(rkeys, r.schema())?;
+            // build on the right input
+            let mut table: HashMap<Vec<Key>, Vec<&Tuple>> = HashMap::new();
+            for t in r.tuples() {
+                if ri.iter().any(|&i| t[i].is_null()) {
+                    continue; // NULL keys never join
+                }
+                table.entry(ri.iter().map(|&i| t[i].key()).collect()).or_default().push(t);
+            }
+            let mut rows = Vec::new();
+            for lt in l.tuples() {
+                if li.iter().any(|&i| lt[i].is_null()) {
+                    continue;
+                }
+                let k: Vec<Key> = li.iter().map(|&i| lt[i].key()).collect();
+                if let Some(matches) = table.get(&k) {
+                    for rt in matches {
+                        rows.push(lt.concat(rt));
+                    }
+                }
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::MergeJoin { lkeys, rkeys, left, right } => {
+            let mut l = run(left, db)?;
+            let mut r = run(right, db)?;
+            let lspec = SortSpec::by(lkeys.iter().map(String::as_str));
+            let rspec = SortSpec::by(rkeys.iter().map(String::as_str));
+            l.sort_by(&lspec);
+            r.sort_by(&rspec);
+            let li = resolve_keys(lkeys, l.schema())?;
+            let ri = resolve_keys(rkeys, r.schema())?;
+            let (lt, rt) = (l.tuples(), r.tuples());
+            let mut rows = Vec::new();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < lt.len() && j < rt.len() {
+                let cmp = key_cmp(&lt[i], &li, &rt[j], &ri);
+                match cmp {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if li.iter().any(|&k| lt[i][k].is_null()) {
+                            i += 1;
+                            continue;
+                        }
+                        // group bounds
+                        let mut i2 = i;
+                        while i2 < lt.len()
+                            && key_cmp(&lt[i2], &li, &rt[j], &ri).is_eq()
+                        {
+                            i2 += 1;
+                        }
+                        let mut j2 = j;
+                        while j2 < rt.len()
+                            && key_cmp(&lt[i], &li, &rt[j2], &ri).is_eq()
+                        {
+                            j2 += 1;
+                        }
+                        for l_row in &lt[i..i2] {
+                            for r_row in &rt[j..j2] {
+                                rows.push(l_row.concat(r_row));
+                            }
+                        }
+                        i = i2;
+                        j = j2;
+                    }
+                }
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::NlJoin { pred, left, right } => {
+            let l = run(left, db)?;
+            let r = run(right, db)?;
+            let bound = match pred {
+                Some(p) => Some(p.bound(&plan.schema)?),
+                None => None,
+            };
+            let mut rows = Vec::new();
+            for lt in l.tuples() {
+                for rt in r.tuples() {
+                    let out = lt.concat(rt);
+                    match &bound {
+                        None => rows.push(out),
+                        Some(p) => {
+                            if p.matches(&out)? {
+                                rows.push(out);
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::IndexNlJoin { lkey, table, col, left } => {
+            let l = run(left, db)?;
+            let t = db.table(table)?;
+            let ix = db
+                .index_on(table, col)
+                .ok_or_else(|| DbError::Semantic(format!("no index on {table}.{col}")))?;
+            let ki = l.schema().index_of(lkey)?;
+            let mut rows = Vec::new();
+            for lt in l.tuples() {
+                if lt[ki].is_null() {
+                    continue;
+                }
+                if let Some(rids) = ix.map.get(&lt[ki].key()) {
+                    for &rid in rids {
+                        rows.push(lt.concat(&t.rows[rid]));
+                    }
+                }
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::HashAgg { group_by, aggs, input } => {
+            let r = run(input, db)?;
+            let gi = resolve_keys(group_by, r.schema())?;
+            let bound_args: Vec<Option<Expr>> = aggs
+                .iter()
+                .map(|a| a.arg.as_ref().map(|e| e.bound(r.schema())).transpose())
+                .collect::<tango_algebra::Result<_>>()?;
+            struct Group {
+                reprs: Vec<Value>,
+                accs: Vec<Acc>,
+            }
+            let mut order: Vec<Vec<Key>> = Vec::new();
+            let mut groups: HashMap<Vec<Key>, Group> = HashMap::new();
+            for t in r.tuples() {
+                let k: Vec<Key> = gi.iter().map(|&i| t[i].key()).collect();
+                let g = groups.entry(k.clone()).or_insert_with(|| {
+                    order.push(k);
+                    Group {
+                        reprs: gi.iter().map(|&i| t[i].clone()).collect(),
+                        accs: aggs.iter().map(|a| Acc::new(a.func)).collect(),
+                    }
+                });
+                for (acc, arg) in g.accs.iter_mut().zip(&bound_args) {
+                    let v = match arg {
+                        Some(e) => Some(e.eval(t)?),
+                        None => None,
+                    };
+                    acc.add(v.as_ref());
+                }
+            }
+            // A global aggregate over an empty input still yields one row.
+            if gi.is_empty() && groups.is_empty() {
+                order.push(Vec::new());
+                groups.insert(
+                    Vec::new(),
+                    Group { reprs: Vec::new(), accs: aggs.iter().map(|a| Acc::new(a.func)).collect() },
+                );
+            }
+            let mut rows = Vec::with_capacity(order.len());
+            for k in order {
+                let g = &groups[&k];
+                let mut vals = g.reprs.clone();
+                vals.extend(g.accs.iter().map(Acc::finish));
+                rows.push(Tuple::new(vals));
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::Distinct { input } => {
+            let r = run(input, db)?;
+            let mut seen = std::collections::HashSet::new();
+            let mut rows = Vec::new();
+            for t in r.into_tuples() {
+                let k: Vec<Key> = t.values().iter().map(Value::key).collect();
+                if seen.insert(k) {
+                    rows.push(t);
+                }
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+        PlanOp::UnionAll { inputs } => {
+            let mut rows = Vec::new();
+            for p in inputs {
+                let r = run(p, db)?;
+                if r.schema().len() != plan.schema.len() {
+                    return Err(DbError::Semantic("UNION arity mismatch".into()));
+                }
+                rows.extend(r.into_tuples());
+            }
+            Ok(Relation::new(plan.schema.clone(), rows))
+        }
+    }
+}
+
+fn resolve_keys(names: &[String], schema: &Schema) -> Result<Vec<usize>> {
+    names
+        .iter()
+        .map(|n| schema.index_of(n).map_err(DbError::from))
+        .collect()
+}
+
+fn key_cmp(l: &Tuple, li: &[usize], r: &Tuple, ri: &[usize]) -> std::cmp::Ordering {
+    for (&a, &b) in li.iter().zip(ri) {
+        let o = l[a].total_cmp(&r[b]);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// Aggregate accumulator (no removal; the DBMS aggregates whole groups).
+enum Acc {
+    Count(i64),
+    Sum { int: i64, float: f64, n: i64, saw_float: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl Acc {
+    fn new(f: AggFunc) -> Acc {
+        match f {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum { int: 0, float: 0.0, n: 0, saw_float: false },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn add(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::Count(n) => {
+                if v.is_none_or(|v| !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            Acc::Sum { int, float, n, saw_float } => match v {
+                Some(Value::Int(i)) => {
+                    *int += i;
+                    *n += 1;
+                }
+                Some(Value::Date(d)) => {
+                    *int += *d as i64;
+                    *n += 1;
+                }
+                Some(Value::Double(d)) => {
+                    *float += d;
+                    *n += 1;
+                    *saw_float = true;
+                }
+                _ => {}
+            },
+            Acc::Min(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null()
+                        && cur.as_ref().is_none_or(|c| {
+                            v.sql_cmp(c) == Some(std::cmp::Ordering::Less)
+                        })
+                    {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(v) = v {
+                    if !v.is_null()
+                        && cur.as_ref().is_none_or(|c| {
+                            v.sql_cmp(c) == Some(std::cmp::Ordering::Greater)
+                        })
+                    {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(x) = v.and_then(Value::as_f64) {
+                    *sum += x;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(&self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(*n),
+            Acc::Sum { int, float, n, saw_float } => {
+                if *n == 0 {
+                    Value::Null
+                } else if *saw_float {
+                    Value::Double(*float + *int as f64)
+                } else {
+                    Value::Int(*int)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Double(sum / *n as f64)
+                }
+            }
+        }
+    }
+}

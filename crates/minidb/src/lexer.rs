@@ -1,0 +1,212 @@
+//! SQL lexer.
+
+use crate::error::{DbError, Result};
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (uppercased for keywords comparison; original
+    /// case kept).
+    Ident(String),
+    Number(f64),
+    IntNumber(i64),
+    Str(String),
+    /// Punctuation / operator: `(`, `)`, `,`, `*`, `=`, `<`, `<=`, `>`,
+    /// `>=`, `<>`, `+`, `-`, `/`, `.`
+    Sym(&'static str),
+    /// Optimizer hint comment body, e.g. `USE_NL` from `/*+ USE_NL */`.
+    Hint(String),
+    Eof,
+}
+
+impl Tok {
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => s.clone(),
+            Tok::Number(n) => n.to_string(),
+            Tok::IntNumber(n) => n.to_string(),
+            Tok::Str(s) => format!("'{s}'"),
+            Tok::Sym(s) => (*s).to_string(),
+            Tok::Hint(h) => format!("/*+ {h} */"),
+            Tok::Eof => "<end of statement>".to_string(),
+        }
+    }
+}
+
+/// Tokenize an SQL string. `--` line comments and `/* */` block comments
+/// are skipped; `/*+ ... */` hint comments become [`Tok::Hint`].
+pub fn lex(sql: &str) -> Result<Vec<Tok>> {
+    let b = sql.as_bytes();
+    let mut i = 0usize;
+    let mut out = Vec::new();
+    let err = |msg: &str, i: usize| DbError::Parse {
+        msg: msg.to_string(),
+        near: sql[i..].chars().take(16).collect(),
+    };
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if i + 1 < b.len() && b[i + 1] == b'-' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let is_hint = i + 2 < b.len() && b[i + 2] == b'+';
+                let start = if is_hint { i + 3 } else { i + 2 };
+                let mut j = start;
+                while j + 1 < b.len() && !(b[j] == b'*' && b[j + 1] == b'/') {
+                    j += 1;
+                }
+                if j + 1 >= b.len() {
+                    return Err(err("unterminated comment", i));
+                }
+                if is_hint {
+                    out.push(Tok::Hint(sql[start..j].trim().to_string()));
+                }
+                i = j + 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                loop {
+                    if j >= b.len() {
+                        return Err(err("unterminated string literal", i));
+                    }
+                    if b[j] == b'\'' {
+                        if j + 1 < b.len() && b[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                        } else {
+                            break;
+                        }
+                    } else {
+                        s.push(b[j] as char);
+                        j += 1;
+                    }
+                }
+                out.push(Tok::Str(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut saw_dot = false;
+                while i < b.len()
+                    && ((b[i] as char).is_ascii_digit() || (b[i] == b'.' && !saw_dot))
+                {
+                    // a '.' must be followed by a digit to be part of the number
+                    if b[i] == b'.' {
+                        if i + 1 < b.len() && (b[i + 1] as char).is_ascii_digit() {
+                            saw_dot = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                let text = &sql[start..i];
+                if saw_dot {
+                    out.push(Tok::Number(
+                        text.parse().map_err(|_| err("bad number", start))?,
+                    ));
+                } else {
+                    out.push(Tok::IntNumber(
+                        text.parse().map_err(|_| err("bad number", start))?,
+                    ));
+                }
+            }
+            'a'..='z' | 'A'..='Z' | '_' | '"' => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    while j < b.len() && b[j] != b'"' {
+                        j += 1;
+                    }
+                    if j >= b.len() {
+                        return Err(err("unterminated quoted identifier", i));
+                    }
+                    out.push(Tok::Ident(sql[i + 1..j].to_string()));
+                    i = j + 1;
+                } else {
+                    let start = i;
+                    while i < b.len()
+                        && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    out.push(Tok::Ident(sql[start..i].to_string()));
+                }
+            }
+            '<' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Sym("<="));
+                    i += 2;
+                } else if i + 1 < b.len() && b[i + 1] == b'>' {
+                    out.push(Tok::Sym("<>"));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < b.len() && b[i + 1] == b'=' {
+                    out.push(Tok::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Tok::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' if i + 1 < b.len() && b[i + 1] == b'=' => {
+                out.push(Tok::Sym("<>"));
+                i += 2;
+            }
+            '(' | ')' | ',' | '*' | '=' | '+' | '-' | '/' | '.' | ';' => {
+                out.push(Tok::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '*' => "*",
+                    '=' => "=",
+                    '+' => "+",
+                    '-' => "-",
+                    '/' => "/",
+                    '.' => ".",
+                    _ => ";",
+                }));
+                i += 1;
+            }
+            other => return Err(err(&format!("unexpected character '{other}'"), i)),
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = lex("SELECT a.b, 'o''brien', 3.5, 42 FROM t -- comment\nWHERE x <= 5").unwrap();
+        assert!(toks.contains(&Tok::Ident("SELECT".into())));
+        assert!(toks.contains(&Tok::Str("o'brien".into())));
+        assert!(toks.contains(&Tok::Number(3.5)));
+        assert!(toks.contains(&Tok::IntNumber(42)));
+        assert!(toks.contains(&Tok::Sym("<=")));
+    }
+
+    #[test]
+    fn hints_survive_comments_die() {
+        let toks = lex("SELECT /*+ USE_NL */ * /* gone */ FROM t").unwrap();
+        assert!(toks.contains(&Tok::Hint("USE_NL".into())));
+        assert!(!toks.iter().any(|t| matches!(t, Tok::Hint(h) if h == "gone")));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(lex("SELECT 'oops").is_err());
+        assert!(lex("SELECT #").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # tango-minidb
+//!
+//! The conventional-DBMS substrate underneath the TANGO middleware.
+//!
+//! The paper ran on Oracle 8i accessed over JDBC; this crate plays that
+//! role in-process so the whole system is self-contained and
+//! deterministic. It is a *real* (small) relational engine, not a mock:
+//!
+//! * an SQL dialect with subqueries in `FROM`, `UNION`, `GROUP BY`,
+//!   aggregate functions, `GREATEST`/`LEAST`, date literals, and
+//!   Oracle-style optimizer hints (`/*+ USE_NL */`, `/*+ USE_MERGE */` —
+//!   Query 4 of the paper forces DBMS join methods exactly this way),
+//! * a heuristic planner (predicate pushdown, equi-join detection,
+//!   hash/merge/nested-loop join selection, index scans),
+//! * a materializing executor with its own operator set — intentionally
+//!   separate from the middleware's pipelined `tango-xxl` cursors,
+//! * a catalog with `ANALYZE`-collected statistics exposed both
+//!   programmatically and through Oracle-style dictionary views
+//!   (`USER_TABLES`, `USER_TAB_COLUMNS`, `USER_HISTOGRAMS`) that the
+//!   middleware's Statistics Collector queries,
+//! * a direct-path bulk loader (the `TRANSFER^D` fast path; a
+//!   conventional INSERT-based path exists for the ablation), and
+//! * a **simulated client/server wire**: every row fetched by a client
+//!   cursor is encoded, charged against a configurable link profile
+//!   (round-trip latency × row prefetch, bandwidth), and decoded again —
+//!   reproducing the transfer costs that drive the paper's middleware
+//!   placement decisions.
+
+pub mod ast;
+pub mod catalog;
+pub mod connection;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod planner;
+pub mod wire;
+
+pub use connection::{Connection, DbCursor};
+pub use catalog::Database;
+pub use error::{DbError, Result};
+pub use wire::{Link, LinkProfile, WireMode};

@@ -1,0 +1,666 @@
+//! Recursive-descent SQL parser.
+
+use crate::ast::*;
+use crate::error::{DbError, Result};
+use crate::lexer::{lex, Tok};
+use tango_algebra::date::parse_date;
+use tango_algebra::{AggFunc, ArithOp, CmpOp, Expr, Type, Value};
+
+/// Parse one SQL statement.
+pub fn parse(sql: &str) -> Result<Stmt> {
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_sym(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: &str) -> Result<T> {
+        Err(DbError::Parse { msg: msg.to_string(), near: self.peek().describe() })
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(&format!("expected {kw}"))
+        }
+    }
+
+    fn is_sym(&self, s: &str) -> bool {
+        matches!(self.peek(), Tok::Sym(x) if *x == s)
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if self.is_sym(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            self.err(&format!("expected '{s}'"))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            self.err("trailing input after statement")
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => Err(DbError::Parse {
+                msg: "expected identifier".into(),
+                near: other.describe(),
+            }),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Stmt> {
+        if self.is_kw("SELECT") || self.is_kw("VALIDTIME") {
+            return Ok(Stmt::Select(self.select()?));
+        }
+        if self.eat_kw("EXPLAIN") {
+            return Ok(Stmt::Explain(self.select()?));
+        }
+        if self.eat_kw("CREATE") {
+            if self.eat_kw("TABLE") {
+                return self.create_table();
+            }
+            if self.eat_kw("INDEX") {
+                let name = self.ident()?;
+                self.expect_kw("ON")?;
+                let table = self.ident()?;
+                self.expect_sym("(")?;
+                let col = self.ident()?;
+                self.expect_sym(")")?;
+                return Ok(Stmt::CreateIndex { name, table, col });
+            }
+            return self.err("expected TABLE or INDEX after CREATE");
+        }
+        if self.eat_kw("DROP") {
+            self.expect_kw("TABLE")?;
+            let mut if_exists = false;
+            if self.eat_kw("IF") {
+                self.expect_kw("EXISTS")?;
+                if_exists = true;
+            }
+            let name = self.ident()?;
+            return Ok(Stmt::DropTable { name, if_exists });
+        }
+        if self.eat_kw("INSERT") {
+            self.expect_kw("INTO")?;
+            let table = self.ident()?;
+            self.expect_kw("VALUES")?;
+            let mut rows = Vec::new();
+            loop {
+                self.expect_sym("(")?;
+                let mut row = Vec::new();
+                loop {
+                    row.push(self.literal()?);
+                    if !self.eat_sym(",") {
+                        break;
+                    }
+                }
+                self.expect_sym(")")?;
+                rows.push(row);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            return Ok(Stmt::Insert { table, rows });
+        }
+        if self.eat_kw("DELETE") {
+            self.expect_kw("FROM")?;
+            let table = self.ident()?;
+            let pred = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Delete { table, pred });
+        }
+        if self.eat_kw("UPDATE") {
+            let table = self.ident()?;
+            self.expect_kw("SET")?;
+            let mut sets = Vec::new();
+            loop {
+                let col = self.ident()?;
+                self.expect_sym("=")?;
+                sets.push((col, self.expr()?));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            let pred = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+            return Ok(Stmt::Update { table, sets, pred });
+        }
+        if self.eat_kw("ANALYZE") {
+            self.expect_kw("TABLE")?;
+            let table = self.ident()?;
+            // Oracle syntax: ANALYZE TABLE t COMPUTE STATISTICS
+            self.eat_kw("COMPUTE");
+            self.eat_kw("STATISTICS");
+            return Ok(Stmt::Analyze { table });
+        }
+        self.err("expected SELECT, EXPLAIN, CREATE, DROP, INSERT, DELETE, UPDATE, or ANALYZE")
+    }
+
+    fn create_table(&mut self) -> Result<Stmt> {
+        let name = self.ident()?;
+        self.expect_sym("(")?;
+        let mut cols = Vec::new();
+        loop {
+            let col = self.ident()?;
+            let ty_name = self.ident()?;
+            let ty = match ty_name.to_uppercase().as_str() {
+                "INT" | "INTEGER" | "NUMBER" | "BIGINT" | "SMALLINT" => Type::Int,
+                "DOUBLE" | "FLOAT" | "REAL" | "DECIMAL" => Type::Double,
+                "VARCHAR" | "VARCHAR2" | "CHAR" | "TEXT" => Type::Str,
+                "DATE" => Type::Date,
+                other => return self.err(&format!("unknown type {other}")),
+            };
+            if self.eat_sym("(") {
+                // length parameter, ignored
+                self.bump();
+                self.expect_sym(")")?;
+            }
+            cols.push((col, ty));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        Ok(Stmt::CreateTable { name, cols })
+    }
+
+    fn select(&mut self) -> Result<SelectStmt> {
+        let mut block = self.select_block()?;
+        if self.eat_kw("UNION") {
+            let op = if self.eat_kw("ALL") { SetOp::UnionAll } else { SetOp::Union };
+            let rest = self.select()?;
+            block.set_op = Some((op, Box::new(rest)));
+            // ORDER BY after a union applies to the whole result; our
+            // grammar attaches it to the last block, which the planner
+            // hoists.
+        }
+        Ok(block)
+    }
+
+    fn select_block(&mut self) -> Result<SelectStmt> {
+        let validtime = self.eat_kw("VALIDTIME");
+        let coalesce = validtime && self.eat_kw("COALESCE");
+        self.expect_kw("SELECT")?;
+        let mut s = SelectStmt { validtime, coalesce, ..SelectStmt::default() };
+        if let Tok::Hint(h) = self.peek() {
+            s.hint = match h.to_uppercase().as_str() {
+                "USE_NL" => Some(JoinHint::UseNl),
+                "USE_MERGE" => Some(JoinHint::UseMerge),
+                "USE_HASH" => Some(JoinHint::UseHash),
+                _ => None,
+            };
+            self.bump();
+        }
+        if self.eat_kw("DISTINCT") {
+            s.distinct = true;
+        }
+        loop {
+            s.items.push(self.select_item()?);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        loop {
+            s.from.push(self.from_item()?);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        if self.eat_kw("WHERE") {
+            s.where_ = Some(self.expr()?);
+        }
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                s.group_by.push(self.qualified_name()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw("HAVING") {
+            s.having = Some(self.expr()?);
+        }
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let col = self.qualified_name()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                s.order_by.push((col, desc));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        Ok(s)
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        if self.is_sym("*") {
+            self.bump();
+            return Ok(SelectItem::Star);
+        }
+        // aggregate call?
+        if let Tok::Ident(name) = self.peek().clone() {
+            let func = match name.to_uppercase().as_str() {
+                "COUNT" => Some(AggFunc::Count),
+                "SUM" => Some(AggFunc::Sum),
+                "MIN" => Some(AggFunc::Min),
+                "MAX" => Some(AggFunc::Max),
+                "AVG" => Some(AggFunc::Avg),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if self.toks.get(self.pos + 1) == Some(&Tok::Sym("(")) {
+                    self.bump(); // name
+                    self.bump(); // (
+                    let arg = if self.eat_sym("*") {
+                        None
+                    } else {
+                        Some(self.expr()?)
+                    };
+                    self.expect_sym(")")?;
+                    let alias = self.alias()?;
+                    return Ok(SelectItem::Agg { func, arg, alias });
+                }
+            }
+        }
+        let expr = self.expr()?;
+        let alias = self.alias()?;
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn alias(&mut self) -> Result<Option<String>> {
+        if self.eat_kw("AS") {
+            return Ok(Some(self.ident()?));
+        }
+        // bare alias: an identifier that is not a clause keyword
+        if let Tok::Ident(s) = self.peek() {
+            let up = s.to_uppercase();
+            const CLAUSES: &[&str] = &[
+                "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "UNION", "AND", "OR", "ON", "ASC",
+                "DESC",
+            ];
+            if !CLAUSES.contains(&up.as_str()) {
+                let s = s.clone();
+                self.bump();
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    // parses the FROM-clause grammar production (not a conversion)
+    #[allow(clippy::wrong_self_convention)]
+    fn from_item(&mut self) -> Result<FromItem> {
+        if self.eat_sym("(") {
+            let query = self.select()?;
+            self.expect_sym(")")?;
+            // subqueries require an alias (Oracle-style inline view)
+            let alias = match self.alias()? {
+                Some(a) => a,
+                None => return self.err("inline view requires an alias"),
+            };
+            return Ok(FromItem::Subquery { query: Box::new(query), alias });
+        }
+        let name = self.ident()?;
+        let alias = self.alias()?;
+        Ok(FromItem::Table { name, alias })
+    }
+
+    fn qualified_name(&mut self) -> Result<String> {
+        let mut name = self.ident()?;
+        if self.eat_sym(".") {
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        if self.eat_kw("NULL") {
+            return Ok(Value::Null);
+        }
+        if self.is_kw("DATE") {
+            self.bump();
+            if let Tok::Str(s) = self.bump() {
+                return Ok(Value::Date(parse_date(&s)?));
+            }
+            return self.err("expected date literal string");
+        }
+        let neg = self.eat_sym("-");
+        match self.bump() {
+            Tok::IntNumber(n) => Ok(Value::Int(if neg { -n } else { n })),
+            Tok::Number(n) => Ok(Value::Double(if neg { -n } else { n })),
+            Tok::Str(s) if !neg => Ok(Value::Str(s)),
+            other => Err(DbError::Parse { msg: "expected literal".into(), near: other.describe() }),
+        }
+    }
+
+    // ---- expressions ----
+
+    pub(crate) fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let r = self.and_expr()?;
+            e = Expr::or(e, r);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let r = self.not_expr()?;
+            e = Expr::and(e, r);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::not(self.not_expr()?));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr> {
+        let l = self.add_expr()?;
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull(Box::new(l), negated));
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.add_expr()?;
+            self.expect_kw("AND")?;
+            let hi = self.add_expr()?;
+            return Ok(Expr::and(
+                Expr::cmp(CmpOp::Ge, l.clone(), lo),
+                Expr::cmp(CmpOp::Le, l, hi),
+            ));
+        }
+        let op = match self.peek() {
+            Tok::Sym("=") => Some(CmpOp::Eq),
+            Tok::Sym("<>") => Some(CmpOp::Ne),
+            Tok::Sym("<") => Some(CmpOp::Lt),
+            Tok::Sym("<=") => Some(CmpOp::Le),
+            Tok::Sym(">") => Some(CmpOp::Gt),
+            Tok::Sym(">=") => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let r = self.add_expr()?;
+            return Ok(Expr::cmp(op, l, r));
+        }
+        Ok(l)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr> {
+        let mut e = self.mul_expr()?;
+        loop {
+            let op = if self.is_sym("+") {
+                ArithOp::Add
+            } else if self.is_sym("-") {
+                ArithOp::Sub
+            } else {
+                break;
+            };
+            self.bump();
+            let r = self.mul_expr()?;
+            e = Expr::Arith(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr> {
+        let mut e = self.unary_expr()?;
+        loop {
+            let op = if self.is_sym("*") {
+                ArithOp::Mul
+            } else if self.is_sym("/") {
+                ArithOp::Div
+            } else {
+                break;
+            };
+            self.bump();
+            let r = self.unary_expr()?;
+            e = Expr::Arith(op, Box::new(e), Box::new(r));
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr> {
+        // NOT is also accepted in operand position: the middleware's
+        // untyped expression algebra treats booleans as integers, and the
+        // Translator-To-SQL may render such expressions inside arithmetic
+        if self.eat_kw("NOT") {
+            return Ok(Expr::not(self.unary_expr()?));
+        }
+        if self.eat_sym("-") {
+            let e = self.unary_expr()?;
+            return Ok(match e {
+                Expr::Lit(Value::Int(i)) => Expr::Lit(Value::Int(-i)),
+                Expr::Lit(Value::Double(d)) => Expr::Lit(Value::Double(-d)),
+                other => Expr::Arith(ArithOp::Sub, Box::new(Expr::lit(0)), Box::new(other)),
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        if self.eat_sym("(") {
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            return Ok(e);
+        }
+        match self.bump() {
+            Tok::IntNumber(n) => Ok(Expr::Lit(Value::Int(n))),
+            Tok::Number(n) => Ok(Expr::Lit(Value::Double(n))),
+            Tok::Str(s) => Ok(Expr::Lit(Value::Str(s))),
+            Tok::Ident(name) => {
+                let up = name.to_uppercase();
+                if up == "NULL" {
+                    return Ok(Expr::Lit(Value::Null));
+                }
+                if up == "DATE" {
+                    if let Tok::Str(s) = self.peek().clone() {
+                        self.bump();
+                        return Ok(Expr::Lit(Value::Date(parse_date(&s)?)));
+                    }
+                }
+                if (up == "GREATEST" || up == "LEAST") && self.is_sym("(") {
+                    self.bump();
+                    let mut args = Vec::new();
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(")")?;
+                    return Ok(if up == "GREATEST" {
+                        Expr::Greatest(args)
+                    } else {
+                        Expr::Least(args)
+                    });
+                }
+                // qualified column reference
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    return Ok(Expr::col(format!("{name}.{col}")));
+                }
+                Ok(Expr::col(name))
+            }
+            other => Err(DbError::Parse { msg: "expected expression".into(), near: other.describe() }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_figure5_select() {
+        // The SELECT issued by TRANSFER^M in Figure 5 of the paper.
+        let sql = "SELECT A.PosID AS PosID, EmpName, \
+                   GREATEST(A.T1, B.T1) AS T1, LEAST(A.T2, B.T2) AS T2, COUNTofPosID \
+                   FROM TMP A, POSITION B \
+                   WHERE A.PosID = B.PosID AND A.T1 < B.T2 AND A.T2 > B.T1 \
+                   ORDER BY PosID";
+        let Stmt::Select(s) = parse(sql).unwrap() else {
+            panic!("expected select")
+        };
+        assert_eq!(s.items.len(), 5);
+        assert_eq!(s.from.len(), 2);
+        assert_eq!(s.from[0].binding_name(), "A");
+        assert!(s.where_.is_some());
+        assert_eq!(s.order_by, vec![("PosID".to_string(), false)]);
+    }
+
+    #[test]
+    fn parse_aggregates_and_grouping() {
+        let sql = "SELECT PosID, COUNT(*) AS C, MIN(T1) M FROM POSITION \
+                   GROUP BY PosID HAVING COUNT_ > 1 ORDER BY C DESC";
+        let Stmt::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert!(matches!(s.items[1], SelectItem::Agg { func: AggFunc::Count, arg: None, .. }));
+        assert!(matches!(&s.items[2], SelectItem::Agg { func: AggFunc::Min, alias: Some(a), .. } if a == "M"));
+        assert_eq!(s.group_by, vec!["PosID".to_string()]);
+        assert!(s.having.is_some());
+        assert_eq!(s.order_by, vec![("C".to_string(), true)]);
+    }
+
+    #[test]
+    fn parse_subquery_union_hint() {
+        let sql = "SELECT /*+ USE_NL */ X.g FROM \
+                   (SELECT PosID AS g, T1 t FROM P UNION ALL SELECT PosID, T2 FROM P) X \
+                   WHERE X.g > 3";
+        let Stmt::Select(s) = parse(sql).unwrap() else {
+            panic!()
+        };
+        assert_eq!(s.hint, Some(JoinHint::UseNl));
+        let FromItem::Subquery { query, alias } = &s.from[0] else {
+            panic!()
+        };
+        assert_eq!(alias, "X");
+        assert!(query.set_op.is_some());
+    }
+
+    #[test]
+    fn parse_ddl_dml() {
+        assert!(matches!(
+            parse("CREATE TABLE T (A INT, B VARCHAR(20), C DATE)").unwrap(),
+            Stmt::CreateTable { cols, .. } if cols.len() == 3 && cols[2].1 == Type::Date
+        ));
+        assert!(matches!(
+            parse("INSERT INTO T VALUES (1, 'x', DATE '1995-01-01'), (2, NULL, NULL)").unwrap(),
+            Stmt::Insert { rows, .. } if rows.len() == 2 && rows[0][2] == Value::Date(9131)
+        ));
+        assert!(matches!(
+            parse("DROP TABLE IF EXISTS T").unwrap(),
+            Stmt::DropTable { if_exists: true, .. }
+        ));
+        assert!(matches!(
+            parse("ANALYZE TABLE T COMPUTE STATISTICS").unwrap(),
+            Stmt::Analyze { .. }
+        ));
+        assert!(matches!(
+            parse("CREATE INDEX I ON T (A)").unwrap(),
+            Stmt::CreateIndex { .. }
+        ));
+    }
+
+    #[test]
+    fn parse_between_and_is_null() {
+        let Stmt::Select(s) =
+            parse("SELECT A FROM T WHERE A BETWEEN 1 AND 5 AND B IS NOT NULL").unwrap()
+        else {
+            panic!()
+        };
+        let w = s.where_.unwrap();
+        assert_eq!(w.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELECT FROM").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("CREATE TABLE T (A BOGUS)").is_err());
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM (SELECT b FROM t)").is_err()); // missing alias
+    }
+
+    #[test]
+    fn date_literals_in_expressions() {
+        let Stmt::Select(s) =
+            parse("SELECT A FROM T WHERE T1 < DATE '1997-02-08' AND T2 > DATE '1997-02-01'")
+                .unwrap()
+        else {
+            panic!()
+        };
+        let w = s.where_.unwrap();
+        assert!(w.to_string().contains("DATE '1997-02-08'"));
+    }
+}

@@ -1,0 +1,142 @@
+//! The simulated client/server wire.
+//!
+//! The paper's transfer costs come from JDBC round trips between the
+//! middleware (a Java process) and Oracle. In this reproduction both ends
+//! live in one process, so an in-process link charges each data movement
+//! against a configurable profile: a fixed latency per round trip (one
+//! round trip fetches `row_prefetch` rows — the JDBC row-prefetch setting
+//! the paper discusses in Section 3.2) plus a bandwidth term over the
+//! encoded bytes.
+//!
+//! By default charges accrue on a **virtual clock** (deterministic, free
+//! to run), and experiment harnesses report wall time + virtual wire
+//! time; `WireMode::Sleep` makes the link actually sleep instead.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireMode {
+    /// Accumulate charges on a virtual clock (default).
+    Virtual,
+    /// Really sleep for each charge (makes wall-clock benchmarks include
+    /// transfer time directly).
+    Sleep,
+}
+
+/// Link cost model.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkProfile {
+    /// Fixed cost per client/server round trip (µs).
+    pub roundtrip_latency_us: f64,
+    /// Payload bandwidth (bytes per second).
+    pub bytes_per_sec: f64,
+    /// Rows fetched per round trip by a client cursor (JDBC row prefetch).
+    pub row_prefetch: usize,
+    pub mode: WireMode,
+}
+
+impl Default for LinkProfile {
+    /// A LAN-ish profile close to the paper's setup: sub-millisecond round
+    /// trips, a few MB/s effective throughput, prefetch of 50 rows.
+    fn default() -> Self {
+        LinkProfile {
+            roundtrip_latency_us: 500.0,
+            bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+            row_prefetch: 50,
+            mode: WireMode::Virtual,
+        }
+    }
+}
+
+impl LinkProfile {
+    /// A free link: zero latency and infinite bandwidth. Used by unit
+    /// tests that do not exercise transfer costs.
+    pub fn instant() -> Self {
+        LinkProfile {
+            roundtrip_latency_us: 0.0,
+            bytes_per_sec: f64::INFINITY,
+            row_prefetch: 100,
+            mode: WireMode::Virtual,
+        }
+    }
+}
+
+/// The shared link; every [`crate::Connection`] of a database charges the
+/// same link.
+pub struct Link {
+    profile: LinkProfile,
+    accumulated_ns: AtomicU64,
+}
+
+impl Default for Link {
+    fn default() -> Self {
+        Link::new(LinkProfile::default())
+    }
+}
+
+impl Link {
+    pub fn new(profile: LinkProfile) -> Self {
+        Link { profile, accumulated_ns: AtomicU64::new(0) }
+    }
+
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Charge a transfer of `roundtrips` round trips carrying `bytes`
+    /// payload bytes; returns the charged duration.
+    pub fn charge(&self, roundtrips: u64, bytes: u64) -> Duration {
+        let us = self.profile.roundtrip_latency_us * roundtrips as f64
+            + bytes as f64 / self.profile.bytes_per_sec * 1e6;
+        let d = Duration::from_nanos((us * 1000.0) as u64);
+        self.accumulated_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        if self.profile.mode == WireMode::Sleep && !d.is_zero() {
+            std::thread::sleep(d);
+        }
+        d
+    }
+
+    /// Charge a cursor fetch of `rows` rows totalling `bytes` bytes: the
+    /// number of round trips is `ceil(rows / row_prefetch)`.
+    pub fn charge_fetch(&self, rows: u64, bytes: u64) -> Duration {
+        let prefetch = self.profile.row_prefetch.max(1) as u64;
+        self.charge(rows.div_ceil(prefetch).max(1), bytes)
+    }
+
+    /// Total virtual time charged so far.
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.accumulated_ns.load(Ordering::Relaxed))
+    }
+
+    pub fn reset(&self) {
+        self.accumulated_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let link = Link::new(LinkProfile {
+            roundtrip_latency_us: 1000.0,
+            bytes_per_sec: 1e6,
+            row_prefetch: 10,
+            mode: WireMode::Virtual,
+        });
+        // 25 rows -> 3 roundtrips (3ms) + 1e6 bytes at 1MB/s (1s)
+        let d = link.charge_fetch(25, 1_000_000);
+        assert!((d.as_secs_f64() - 1.003).abs() < 1e-6, "{d:?}");
+        assert_eq!(link.total(), d);
+        link.reset();
+        assert_eq!(link.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn instant_profile_is_free() {
+        let link = Link::new(LinkProfile::instant());
+        assert_eq!(link.charge_fetch(1_000_000, u64::MAX / 4), Duration::ZERO);
+    }
+}

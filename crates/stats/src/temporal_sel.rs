@@ -1,0 +1,242 @@
+//! Temporal selectivity estimation — Section 3.3 of the paper.
+//!
+//! Conventional DBMSs treat `T1`/`T2` like any other attributes and
+//! estimate the two halves of an `Overlaps` predicate independently,
+//! which the paper shows to be off by a factor of ~40. The fix is a piece
+//! of semantic query optimization: *the end of a period never precedes
+//! its start*, so the number of tuples overlapping `[A, B)` is
+//!
+//! ```text
+//! StartBefore(B, r) - EndBefore(A + 1, r)
+//! ```
+//!
+//! with both functions computable from ordinary min/max statistics or,
+//! when available, histograms on the time attributes.
+
+use crate::stats::RelationStats;
+
+/// Number of tuples with `attr < a`, estimated from min/max under a
+/// uniform assumption, or from the histogram when one exists. This single
+/// function implements both `StartBefore` (over `T1`) and `EndBefore`
+/// (over `T2`) from the paper.
+fn values_before(a: f64, stats: &RelationStats, attr: &str) -> f64 {
+    let Some(ast) = stats.attr(attr) else {
+        return stats.rows / 2.0; // nothing known: coin flip
+    };
+    if let Some(h) = &ast.histogram {
+        if h.values > 0 {
+            return h.values_below(a) / h.values as f64 * stats.rows;
+        }
+    }
+    let (min, max) = (ast.min_val(), ast.max_val());
+    if max <= min {
+        return if a > min { stats.rows } else { 0.0 };
+    }
+    (((a - min) / (max - min)) * stats.rows).clamp(0.0, stats.rows)
+}
+
+/// `StartBefore(A, r)`: estimated number of tuples whose period starts
+/// before `a` (`T1 < a`).
+pub fn start_before(a: f64, stats: &RelationStats, t1: &str) -> f64 {
+    values_before(a, stats, t1)
+}
+
+/// `EndBefore(A, r)`: estimated number of tuples whose period ends before
+/// `a` (`T2 < a`).
+pub fn end_before(a: f64, stats: &RelationStats, t2: &str) -> f64 {
+    values_before(a, stats, t2)
+}
+
+/// Result cardinality of `Overlaps(A, B)` — the predicate
+/// `T1 < B AND T2 > A` — using the paper's semantic estimator:
+/// `StartBefore(B, r) - EndBefore(A + 1, r)`.
+pub fn overlaps_cardinality(
+    a: f64,
+    b: f64,
+    stats: &RelationStats,
+    t1: &str,
+    t2: &str,
+) -> f64 {
+    let est = start_before(b, stats, t1) - end_before(a + 1.0, stats, t2);
+    est.clamp(0.0, stats.rows)
+}
+
+/// Result cardinality of the timeslice predicate `T1 <= A AND T2 > A`:
+/// `StartBefore(A + 1, r) - EndBefore(A + 1, r)`.
+pub fn timeslice_cardinality(a: f64, stats: &RelationStats, t1: &str, t2: &str) -> f64 {
+    let est = start_before(a + 1.0, stats, t1) - end_before(a + 1.0, stats, t2);
+    est.clamp(0.0, stats.rows)
+}
+
+/// The *naive* estimator current DBMSs effectively use: treat the two
+/// predicates of `Overlaps` as independent selections and multiply their
+/// selectivities. Kept for the Section 3.3 comparison experiment.
+pub fn naive_overlaps_cardinality(
+    a: f64,
+    b: f64,
+    stats: &RelationStats,
+    t1: &str,
+    t2: &str,
+) -> f64 {
+    if stats.rows <= 0.0 {
+        return 0.0;
+    }
+    let sel1 = start_before(b, stats, t1) / stats.rows; // T1 < B
+    let sel2 = 1.0 - end_before(a, stats, t2) / stats.rows - // T2 > A
+        0.0;
+    (sel1 * sel2 * stats.rows).clamp(0.0, stats.rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::AttrStats;
+    use tango_algebra::date::day;
+
+    /// The worked example of Section 3.3: 100,000 tuples, 7-day periods
+    /// uniformly distributed over 1995-01-01 .. 2000-01-01. T1 spans 1819
+    /// distinct day values; the query is Overlaps(1997-02-01, 1997-02-08).
+    fn paper_relation() -> RelationStats {
+        let mut s = RelationStats { rows: 100_000.0, ..Default::default() };
+        s.set_attr(
+            "T1",
+            AttrStats {
+                min: Some(day(1995, 1, 1) as f64),
+                max: Some(day(1999, 12, 25) as f64),
+                distinct: 1819,
+                ..Default::default()
+            },
+        );
+        s.set_attr(
+            "T2",
+            AttrStats {
+                min: Some(day(1995, 1, 8) as f64),
+                max: Some(day(2000, 1, 1) as f64),
+                distinct: 1819,
+                ..Default::default()
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn section_3_3_worked_example() {
+        let s = paper_relation();
+        let a = day(1997, 2, 1) as f64;
+        let b = day(1997, 2, 8) as f64;
+
+        // Naive estimate: ~24.7% of the relation — a factor of ~40 too high.
+        let naive = naive_overlaps_cardinality(a, b, &s, "T1", "T2");
+        let naive_sel = naive / s.rows;
+        assert!(
+            (0.22..0.28).contains(&naive_sel),
+            "naive selectivity should be ~24.7%, got {naive_sel}"
+        );
+
+        // Proposed estimate: ~0.7-0.8% of the relation.
+        let proposed = overlaps_cardinality(a, b, &s, "T1", "T2");
+        let proposed_sel = proposed / s.rows;
+        assert!(
+            (0.004..0.010).contains(&proposed_sel),
+            "proposed selectivity should be ~0.8%, got {proposed_sel}"
+        );
+
+        // "This is a factor of 40 too high": actual is 0.4%-0.8%; take the
+        // middle of the paper's actual band (~0.6%) as truth.
+        let actual = 0.006 * s.rows;
+        assert!(naive / actual > 25.0, "naive should be way off");
+        assert!(proposed / actual < 2.0, "proposed should be close");
+    }
+
+    #[test]
+    fn start_before_components_match_paper() {
+        let s = paper_relation();
+        // First predicate (T1 < 1997-02-08): 769/1819 = 42.3% of the relation.
+        let sb = start_before(day(1997, 2, 8) as f64, &s, "T1") / s.rows;
+        assert!((sb - 769.0 / 1819.0).abs() < 0.002, "got {sb}");
+    }
+
+    #[test]
+    fn timeslice_estimate() {
+        let s = paper_relation();
+        // A timeslice at any interior day should catch ~7 days worth of
+        // starts: 7/1819 of the relation (~385 tuples).
+        let est = timeslice_cardinality(day(1997, 6, 1) as f64, &s, "T1", "T2");
+        assert!((300.0..500.0).contains(&est), "got {est}");
+    }
+
+    #[test]
+    fn clamping() {
+        let s = paper_relation();
+        // window entirely before the data
+        let est = overlaps_cardinality(
+            day(1990, 1, 1) as f64,
+            day(1991, 1, 1) as f64,
+            &s,
+            "T1",
+            "T2",
+        );
+        assert_eq!(est, 0.0);
+        // window covering everything
+        let est = overlaps_cardinality(
+            day(1990, 1, 1) as f64,
+            day(2005, 1, 1) as f64,
+            &s,
+            "T1",
+            "T2",
+        );
+        assert_eq!(est, s.rows);
+    }
+
+    #[test]
+    fn histogram_beats_uniform_on_skew() {
+        // 90% of periods start in 1995, 10% in 1999 (like POSITION's skew
+        // towards recent years, just inverted).
+        let mut t1_vals: Vec<f64> = Vec::new();
+        for i in 0..9000 {
+            t1_vals.push((day(1995, 1, 1) + (i % 365)) as f64);
+        }
+        for i in 0..1000 {
+            t1_vals.push((day(1999, 1, 1) + (i % 365)) as f64);
+        }
+        let t2_vals: Vec<f64> = t1_vals.iter().map(|v| v + 30.0).collect();
+        let mut s = RelationStats { rows: 10_000.0, ..Default::default() };
+        let mk = |vals: &[f64], hist: bool| AttrStats {
+            min: vals.iter().copied().reduce(f64::min),
+            max: vals.iter().copied().reduce(f64::max),
+            distinct: 365,
+            histogram: hist.then(|| crate::histogram::Histogram::build(vals.to_vec(), 20).unwrap()),
+            ..Default::default()
+        };
+        let truth = t1_vals
+            .iter()
+            .zip(&t2_vals)
+            .filter(|&(&a, &b)| a < day(1996, 7, 1) as f64 && b > day(1996, 1, 1) as f64)
+            .count() as f64;
+
+        s.set_attr("T1", mk(&t1_vals, false));
+        s.set_attr("T2", mk(&t2_vals, false));
+        let uniform_est = overlaps_cardinality(
+            day(1996, 1, 1) as f64,
+            day(1996, 7, 1) as f64,
+            &s,
+            "T1",
+            "T2",
+        );
+
+        s.set_attr("T1", mk(&t1_vals, true));
+        s.set_attr("T2", mk(&t2_vals, true));
+        let hist_est = overlaps_cardinality(
+            day(1996, 1, 1) as f64,
+            day(1996, 7, 1) as f64,
+            &s,
+            "T1",
+            "T2",
+        );
+
+        assert!(
+            (hist_est - truth).abs() < (uniform_est - truth).abs(),
+            "histograms should improve the estimate: truth={truth} uniform={uniform_est} hist={hist_est}"
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! The worked example of Section 2.2 / Figure 3 of the paper.
+
+use std::sync::Arc;
+use tango_algebra::{tup, Attr, Relation, Schema, Type};
+
+/// Figure 3(a): the POSITION example relation (time values denote days).
+pub fn position() -> Relation {
+    let schema = Arc::new(Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpName", Type::Str),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]));
+    Relation::new(
+        schema,
+        vec![tup![1, "Tom", 2, 20], tup![1, "Jane", 5, 25], tup![2, "Tom", 5, 10]],
+    )
+}
+
+/// Figure 3(c): the temporal-aggregation result (count of employees per
+/// position over time).
+pub fn aggregation_result() -> Relation {
+    let schema = Arc::new(Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+        Attr::new("COUNT", Type::Int),
+    ]));
+    Relation::new(
+        schema,
+        vec![tup![1, 2, 5, 1], tup![1, 5, 20, 2], tup![1, 20, 25, 1], tup![2, 5, 10, 1]],
+    )
+}
+
+/// Figure 3(b): the final query result, as (PosID, EmpName,
+/// COUNTofPosID, T1, T2) — the paper prints the same columns in a
+/// different order.
+pub fn query_result() -> Relation {
+    let schema = Arc::new(Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpName", Type::Str),
+        Attr::new("COUNTofPosID", Type::Int),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]));
+    Relation::new(
+        schema,
+        vec![
+            tup![1, "Tom", 1, 2, 5],
+            tup![1, "Tom", 2, 5, 20],
+            tup![1, "Jane", 2, 5, 20],
+            tup![1, "Jane", 1, 20, 25],
+            tup![2, "Tom", 1, 5, 10],
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shapes() {
+        assert_eq!(super::position().len(), 3);
+        assert_eq!(super::aggregation_result().len(), 4);
+        assert_eq!(super::query_result().len(), 5);
+    }
+}

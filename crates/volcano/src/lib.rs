@@ -1,0 +1,218 @@
+//! # volcano
+//!
+//! A from-scratch, generic reimplementation of the Volcano optimizer
+//! generator (Graefe & McKenna, ICDE 1993) — the search engine TANGO's
+//! middleware optimizer is built on.
+//!
+//! The crate is *generic*: it knows nothing about relations, cost
+//! formulas, or SQL. An instantiation supplies a [`Semantics`]
+//! implementation describing
+//!
+//! * the logical operator type and how logical properties (schema,
+//!   statistics) are derived,
+//! * the physical algorithms implementing each operator, with their
+//!   per-child required physical properties and costs,
+//! * *enforcers* — algorithms that fix up physical properties (sorting
+//!   for orderings; in TANGO, the `T^M`/`T^D` transfer algorithms enforce
+//!   the *site* property, which is how the middleware "appropriately
+//!   inserts transfer operations into query plans"),
+//!
+//! plus a set of [`Rule`]s generating equivalent expressions.
+//!
+//! Terminology matches the paper's description of Volcano: a memo *group*
+//! is an **equivalence class**; a memo expression is a **class element**.
+//! [`Memo::group_count`] / [`Memo::expr_count`] reproduce the
+//! classes/elements measurements reported for each query in Section 5.2.
+
+pub mod memo;
+pub mod search;
+
+pub use memo::{ExprId, GroupId, MExpr, Memo, NewExpr, Rule, RuleKind, Semantics};
+pub use search::{optimize, Best, Enforcer, Implementation, PhysPlan, SearchStats};
+
+#[cfg(test)]
+mod toy_tests {
+    //! A miniature instantiation: a commutative binary `Add` over leaf
+    //! numbers with "cheap" and "pricey" implementations, verifying rule
+    //! application, deduplication, and cost-based search.
+
+    use super::*;
+    use std::collections::HashMap;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Op {
+        Leaf(i64),
+        Add,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Props {
+        magnitude: f64,
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Req {
+        Any,
+        Fancy,
+    }
+
+    struct Toy;
+
+    impl Semantics for Toy {
+        type Op = Op;
+        type Props = Props;
+        type PhysProps = Req;
+        type Algo = String;
+
+        fn derive_props(&self, op: &Op, children: &[&Props]) -> Props {
+            match op {
+                Op::Leaf(n) => Props { magnitude: *n as f64 },
+                Op::Add => Props {
+                    magnitude: children.iter().map(|p| p.magnitude).sum(),
+                },
+            }
+        }
+
+        fn implementations(
+            &self,
+            op: &Op,
+            _child_props: &[&Props],
+            props: &Props,
+            required: &Req,
+        ) -> Vec<Implementation<Self>> {
+            match (op, required) {
+                (Op::Leaf(n), Req::Any) => vec![Implementation {
+                    algo: format!("load({n})"),
+                    child_required: vec![],
+                    cost: 1.0,
+                }],
+                (Op::Add, Req::Any) => vec![
+                    Implementation {
+                        algo: "add_cheap".into(),
+                        child_required: vec![Req::Any, Req::Any],
+                        cost: props.magnitude,
+                    },
+                    Implementation {
+                        algo: "add_pricey".into(),
+                        child_required: vec![Req::Any, Req::Any],
+                        cost: props.magnitude * 10.0,
+                    },
+                ],
+                // nothing natively provides Fancy
+                _ => vec![],
+            }
+        }
+
+        fn enforcers(&self, _props: &Props, required: &Req) -> Vec<Enforcer<Self>> {
+            match required {
+                Req::Fancy => vec![Enforcer {
+                    algo: "fancify".into(),
+                    inner_required: Req::Any,
+                    cost: 2.5,
+                }],
+                Req::Any => vec![],
+            }
+        }
+    }
+
+    /// Add is commutative.
+    struct Commute;
+
+    impl Rule<Toy> for Commute {
+        fn name(&self) -> &'static str {
+            "commute-add"
+        }
+
+        fn kind(&self) -> RuleKind {
+            RuleKind::Multiset
+        }
+
+        fn apply(&self, memo: &Memo<Toy>, expr: ExprId) -> Vec<NewExpr<Op>> {
+            let e = memo.expr(expr);
+            if e.op == Op::Add {
+                vec![NewExpr::Op(
+                    Op::Add,
+                    vec![NewExpr::Group(e.children[1]), NewExpr::Group(e.children[0])],
+                )]
+            } else {
+                vec![]
+            }
+        }
+    }
+
+    #[test]
+    fn memo_dedups_and_rules_fire_once() {
+        let sem = Toy;
+        let tree = NewExpr::Op(
+            Op::Add,
+            vec![
+                NewExpr::Op(Op::Leaf(1), vec![]),
+                NewExpr::Op(Op::Leaf(2), vec![]),
+            ],
+        );
+        let mut memo = Memo::new(sem);
+        let root = memo.insert_root(tree);
+        assert_eq!(memo.group_count(), 3);
+        assert_eq!(memo.expr_count(), 3);
+        let rules: Vec<Box<dyn Rule<Toy>>> = vec![Box::new(Commute)];
+        memo.explore(&rules);
+        // commuted form adds exactly one new expression; applying the rule
+        // to the commuted form reproduces the original (dedup).
+        assert_eq!(memo.group_count(), 3);
+        assert_eq!(memo.expr_count(), 4);
+        assert_eq!(memo.exprs_in(root).len(), 2);
+    }
+
+    #[test]
+    fn search_picks_cheapest_and_uses_enforcers() {
+        let sem = Toy;
+        let tree = NewExpr::Op(
+            Op::Add,
+            vec![
+                NewExpr::Op(Op::Leaf(1), vec![]),
+                NewExpr::Op(Op::Leaf(2), vec![]),
+            ],
+        );
+        let mut memo = Memo::new(sem);
+        let root = memo.insert_root(tree);
+        let mut stats = SearchStats::default();
+        let best = optimize(&memo, root, Req::Any, &mut stats).expect("plan");
+        assert_eq!(best.plan.algo, "add_cheap");
+        assert!((best.cost - (3.0 + 1.0 + 1.0)).abs() < 1e-9);
+
+        let fancy = optimize(&memo, root, Req::Fancy, &mut stats).expect("plan");
+        assert_eq!(fancy.plan.algo, "fancify");
+        assert_eq!(fancy.plan.children[0].algo, "add_cheap");
+        assert!((fancy.cost - (best.cost + 2.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn identical_subtrees_share_groups() {
+        let sem = Toy;
+        let leaf = || NewExpr::Op(Op::Leaf(7), vec![]);
+        let tree = NewExpr::Op(Op::Add, vec![leaf(), leaf()]);
+        let mut memo = Memo::new(sem);
+        memo.insert_root(tree);
+        // leaf(7) appears once: 2 groups, 2 exprs
+        assert_eq!(memo.group_count(), 2);
+        assert_eq!(memo.expr_count(), 2);
+    }
+
+    #[test]
+    fn rule_fire_counts_tracked() {
+        let sem = Toy;
+        let tree = NewExpr::Op(
+            Op::Add,
+            vec![
+                NewExpr::Op(Op::Leaf(1), vec![]),
+                NewExpr::Op(Op::Leaf(2), vec![]),
+            ],
+        );
+        let mut memo = Memo::new(sem);
+        memo.insert_root(tree);
+        let rules: Vec<Box<dyn Rule<Toy>>> = vec![Box::new(Commute)];
+        memo.explore(&rules);
+        let fires: HashMap<&str, usize> = memo.rule_fires().collect();
+        assert_eq!(fires["commute-add"], 2); // original + commuted form
+    }
+}

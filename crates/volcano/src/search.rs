@@ -1,0 +1,158 @@
+//! Cost-based physical search over a memo.
+//!
+//! Top-down optimization with memoization on (group, required physical
+//! properties) — the second phase of the paper's two-phase optimizer
+//! ("for each algebraic operation in a plan, it assumes that each of the
+//! algorithms available for computing that operation is being used, and
+//! it estimates the consequent cost").
+
+use crate::memo::{ExprId, GroupId, Memo, Semantics};
+use std::collections::HashMap;
+
+/// A candidate physical implementation of one logical operator.
+pub struct Implementation<S: Semantics> {
+    pub algo: S::Algo,
+    /// Physical properties required from each child, in order.
+    pub child_required: Vec<S::PhysProps>,
+    /// The algorithm's own cost (children costs are added by the search).
+    pub cost: f64,
+}
+
+/// A property enforcer: wraps a plan for the *same group* optimized under
+/// the (weaker) `inner_required`.
+pub struct Enforcer<S: Semantics> {
+    pub algo: S::Algo,
+    pub inner_required: S::PhysProps,
+    pub cost: f64,
+}
+
+/// A complete physical plan.
+#[derive(Debug, Clone)]
+pub struct PhysPlan<A> {
+    pub algo: A,
+    pub children: Vec<PhysPlan<A>>,
+}
+
+impl<A> PhysPlan<A> {
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(PhysPlan::node_count).sum::<usize>()
+    }
+}
+
+/// The winner for one (group, required) pair.
+#[derive(Debug)]
+pub struct Best<S: Semantics> {
+    pub cost: f64,
+    pub plan: PhysPlan<S::Algo>,
+    /// Which class element the plan's root implements.
+    pub expr: ExprId,
+}
+
+impl<S: Semantics> Clone for Best<S> {
+    fn clone(&self) -> Self {
+        Best { cost: self.cost, plan: self.plan.clone(), expr: self.expr }
+    }
+}
+
+/// Search-effort accounting.
+#[derive(Debug, Default, Clone)]
+pub struct SearchStats {
+    pub optimize_calls: usize,
+    pub implementations_considered: usize,
+    pub enforcers_considered: usize,
+}
+
+/// Find the cheapest physical plan for `group` delivering `required`.
+pub fn optimize<S: Semantics>(
+    memo: &Memo<S>,
+    group: GroupId,
+    required: S::PhysProps,
+    stats: &mut SearchStats,
+) -> Option<Best<S>> {
+    let mut ctx = Ctx { memo, table: HashMap::new(), in_progress: Vec::new(), stats };
+    ctx.optimize(group, required)
+}
+
+struct Ctx<'a, S: Semantics> {
+    memo: &'a Memo<S>,
+    table: HashMap<(GroupId, S::PhysProps), Option<Best<S>>>,
+    /// Guard against enforcer cycles.
+    in_progress: Vec<(GroupId, S::PhysProps)>,
+    stats: &'a mut SearchStats,
+}
+
+impl<S: Semantics> Ctx<'_, S> {
+    fn optimize(&mut self, group: GroupId, required: S::PhysProps) -> Option<Best<S>> {
+        let key = (group, required.clone());
+        if let Some(hit) = self.table.get(&key) {
+            return hit.clone();
+        }
+        if self.in_progress.contains(&key) {
+            return None; // cycle via enforcers: prune
+        }
+        self.in_progress.push(key.clone());
+        self.stats.optimize_calls += 1;
+
+        let mut best: Option<Best<S>> = None;
+        let props = self.memo.props(group);
+
+        // 1. native implementations of every class element
+        for &eid in self.memo.exprs_in(group) {
+            let e = self.memo.expr(eid);
+            let child_props: Vec<&S::Props> =
+                e.children.iter().map(|&c| self.memo.props(c)).collect();
+            let impls =
+                self.memo
+                    .semantics()
+                    .implementations(&e.op, &child_props, props, &required);
+            for imp in impls {
+                self.stats.implementations_considered += 1;
+                debug_assert_eq!(imp.child_required.len(), e.children.len());
+                let mut cost = imp.cost;
+                let mut children = Vec::with_capacity(e.children.len());
+                let mut feasible = true;
+                for (&cg, creq) in e.children.iter().zip(&imp.child_required) {
+                    match self.optimize(cg, creq.clone()) {
+                        Some(b) => {
+                            cost += b.cost;
+                            children.push(b.plan);
+                        }
+                        None => {
+                            feasible = false;
+                            break;
+                        }
+                    }
+                }
+                if !feasible {
+                    continue;
+                }
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    best = Some(Best { cost, plan: PhysPlan { algo: imp.algo, children }, expr: eid });
+                }
+            }
+        }
+
+        // 2. enforcers wrapping a weaker requirement on the same group
+        for enf in self.memo.semantics().enforcers(props, &required) {
+            self.stats.enforcers_considered += 1;
+            if enf.inner_required == required {
+                continue; // would recurse forever
+            }
+            if let Some(inner) = self.optimize(group, enf.inner_required.clone()) {
+                let cost = enf.cost + inner.cost;
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    let expr = inner.expr;
+                    best = Some(Best {
+                        cost,
+                        plan: PhysPlan { algo: enf.algo, children: vec![inner.plan] },
+                        expr,
+                    });
+                }
+            }
+        }
+
+        self.in_progress.pop();
+        self.table.insert(key, best.clone());
+        best
+    }
+}

@@ -1,0 +1,76 @@
+//! The cursor (iterator) abstraction.
+//!
+//! Mirrors the `ResultSet` interface of the paper's Execution Engine
+//! (Figure 2): `init()` / `getNext()` become [`Cursor::open`] /
+//! [`Cursor::next`]. Opening may do real work — e.g. a sort materializes
+//! its input, and the `TRANSFER^D` algorithm in `tango-core` copies its
+//! whole argument into the DBMS during `open`.
+
+use std::fmt;
+use std::sync::Arc;
+use tango_algebra::{AlgebraError, Relation, Schema, Tuple};
+
+/// Errors raised during pipelined execution.
+#[derive(Debug, Clone)]
+pub enum ExecError {
+    Algebra(AlgebraError),
+    /// Failures from the underlying DBMS (bubbled up by transfer cursors).
+    Dbms(String),
+    State(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Algebra(e) => write!(f, "{e}"),
+            ExecError::Dbms(m) => write!(f, "dbms error: {m}"),
+            ExecError::State(m) => write!(f, "cursor state error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<AlgebraError> for ExecError {
+    fn from(e: AlgebraError) -> Self {
+        ExecError::Algebra(e)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, ExecError>;
+
+/// A pipelined tuple stream.
+pub trait Cursor: Send {
+    /// The schema of the tuples this cursor produces. Must be available
+    /// before `open`.
+    fn schema(&self) -> &Arc<Schema>;
+
+    /// Prepare the cursor (bind expressions, materialize inputs where the
+    /// algorithm requires it). Must be called exactly once before `next`.
+    fn open(&mut self) -> Result<()>;
+
+    /// Produce the next tuple, or `None` at end of stream.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+}
+
+pub type BoxCursor = Box<dyn Cursor>;
+
+/// Drain a cursor into a materialized [`Relation`] (opens it first).
+pub fn collect(mut c: BoxCursor) -> Result<Relation> {
+    c.open()?;
+    let schema = c.schema().clone();
+    let mut tuples = Vec::new();
+    while let Some(t) = c.next()? {
+        tuples.push(t);
+    }
+    Ok(Relation::new(schema, tuples))
+}
+
+/// Drain an already-open cursor.
+pub fn drain(c: &mut dyn Cursor) -> Result<Vec<Tuple>> {
+    let mut tuples = Vec::new();
+    while let Some(t) = c.next()? {
+        tuples.push(t);
+    }
+    Ok(tuples)
+}

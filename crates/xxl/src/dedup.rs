@@ -1,0 +1,68 @@
+//! Duplicate elimination — one of the operators the paper lists as a
+//! natural later addition to TANGO ("Additional algorithms may later be
+//! added ... including duplicate elimination, difference, and
+//! coalescing", Section 3.1).
+//!
+//! Hash-based; keeps the *first* occurrence, so the algorithm is
+//! order-preserving in the list-semantics sense: the output is the input
+//! list with later duplicates removed.
+
+use crate::cursor::{BoxCursor, Cursor, Result};
+use std::collections::HashSet;
+use std::sync::Arc;
+use tango_algebra::value::Key;
+use tango_algebra::{Schema, Tuple};
+
+pub struct DupElim {
+    input: BoxCursor,
+    seen: HashSet<Vec<Key>>,
+}
+
+impl DupElim {
+    pub fn new(input: BoxCursor) -> Self {
+        DupElim { input, seen: HashSet::new() }
+    }
+}
+
+impl Cursor for DupElim {
+    fn schema(&self) -> &Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.seen.clear();
+        self.input.open()
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        while let Some(t) = self.input.next()? {
+            let key: Vec<Key> = t.values().iter().map(|v| v.key()).collect();
+            if self.seen.insert(key) {
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect;
+    use crate::scan::VecScan;
+    use tango_algebra::{tup, Attr, Relation, Type};
+
+    #[test]
+    fn keeps_first_occurrence() {
+        let s = Arc::new(Schema::new(vec![
+            Attr::new("A", Type::Int),
+            Attr::new("B", Type::Str),
+        ]));
+        let r = Relation::new(
+            s,
+            vec![tup![1, "x"], tup![2, "y"], tup![1, "x"], tup![1, "z"]],
+        );
+        let got = collect(Box::new(DupElim::new(Box::new(VecScan::new(r))))).unwrap();
+        assert_eq!(got.tuples(), &[tup![1, "x"], tup![2, "y"], tup![1, "z"]]);
+    }
+}

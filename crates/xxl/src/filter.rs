@@ -1,0 +1,83 @@
+//! `FILTER^M` — middleware selection.
+//!
+//! The paper motivates a middleware selection algorithm even though DBMSs
+//! filter efficiently: "if there is a selection between two temporal
+//! algorithms to be performed in the middleware, it would be inefficient
+//! to transfer the intermediate result to the DBMS solely for the purpose
+//! of selection" (Section 3.3). The algorithm is order-preserving.
+
+use crate::cursor::{BoxCursor, Cursor, Result};
+use std::sync::Arc;
+use tango_algebra::{Expr, Schema, Tuple};
+
+pub struct Filter {
+    input: BoxCursor,
+    pred: Expr,
+    bound: Option<Expr>,
+}
+
+impl Filter {
+    pub fn new(input: BoxCursor, pred: Expr) -> Self {
+        Filter { input, pred, bound: None }
+    }
+}
+
+impl Cursor for Filter {
+    fn schema(&self) -> &Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()?;
+        self.bound = Some(self.pred.bound(self.input.schema())?);
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            let t = match self.input.next()? {
+                Some(t) => t,
+                None => return Ok(None),
+            };
+            let pred = self
+                .bound
+                .as_ref()
+                .ok_or_else(|| crate::cursor::ExecError::State("filter not opened".into()))?;
+            if pred.matches(&t)? {
+                return Ok(Some(t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect;
+    use crate::scan::VecScan;
+    use crate::testutil::figure3_position;
+    use tango_algebra::{tup, CmpOp};
+
+    #[test]
+    fn filters_and_preserves_order() {
+        let pred = Expr::cmp(CmpOp::Eq, Expr::col("PosID"), Expr::lit(1));
+        let got = collect(Box::new(Filter::new(
+            Box::new(VecScan::new(figure3_position())),
+            pred,
+        )))
+        .unwrap();
+        assert_eq!(got.tuples(), &[tup![1, "Tom", 2, 20], tup![1, "Jane", 5, 25]]);
+    }
+
+    #[test]
+    fn temporal_predicate() {
+        // Overlaps([4, 6)): T1 < 6 AND T2 > 4
+        let pred = Expr::overlaps("T1", "T2", Expr::lit(4), Expr::lit(6));
+        let got = collect(Box::new(Filter::new(
+            Box::new(VecScan::new(figure3_position())),
+            pred,
+        )))
+        .unwrap();
+        assert_eq!(got.len(), 3); // all three periods overlap [4, 6)
+    }
+}

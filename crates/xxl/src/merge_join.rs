@@ -1,0 +1,261 @@
+//! `MERGEJOIN^M` — sort-merge equi join.
+//!
+//! The paper implements both regular and temporal joins in the middleware
+//! as sort-merge joins (Section 4.1, rules T2/T3); inputs must be sorted
+//! on their join attributes. The output is ordered by the left input's
+//! join attributes, which is why the optimizer can sometimes skip a final
+//! sort.
+
+use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use tango_algebra::logical::concat_schemas;
+use tango_algebra::{Schema, Tuple};
+
+pub struct MergeJoin {
+    left: BoxCursor,
+    right: BoxCursor,
+    /// Resolved join-attribute indices (left, right).
+    keys: Vec<(usize, usize)>,
+    schema: Arc<Schema>,
+    state: Option<State>,
+}
+
+struct State {
+    /// Current left tuple under consideration.
+    left_cur: Option<Tuple>,
+    /// Buffered right group (all right tuples with the current key).
+    right_group: Vec<Tuple>,
+    /// Lookahead on the right input.
+    right_next: Option<Tuple>,
+    /// Output position within the current (left tuple × right group).
+    emit_idx: usize,
+    /// Does the current left tuple match the buffered right group?
+    matching: bool,
+}
+
+impl MergeJoin {
+    pub fn new(left: BoxCursor, right: BoxCursor, eq: &[(String, String)]) -> Result<Self> {
+        let mut keys = Vec::with_capacity(eq.len());
+        for (l, r) in eq {
+            keys.push((left.schema().index_of(l)?, right.schema().index_of(r)?));
+        }
+        if keys.is_empty() {
+            return Err(ExecError::State("merge join requires at least one key".into()));
+        }
+        let schema = Arc::new(concat_schemas(left.schema(), right.schema()));
+        Ok(MergeJoin { left, right, keys, schema, state: None })
+    }
+
+    fn key_cmp(&self, l: &Tuple, r: &Tuple) -> Ordering {
+        key_cmp(&self.keys, l, r)
+    }
+
+    /// Compare two right tuples on the right key columns.
+    fn right_key_eq(&self, a: &Tuple, b: &Tuple) -> bool {
+        self.keys
+            .iter()
+            .all(|&(_, ri)| a[ri].total_cmp(&b[ri]) == Ordering::Equal)
+    }
+}
+
+fn key_cmp(keys: &[(usize, usize)], l: &Tuple, r: &Tuple) -> Ordering {
+    for &(li, ri) in keys {
+        let o = l[li].total_cmp(&r[ri]);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+impl Cursor for MergeJoin {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        let left_cur = self.left.next()?;
+        let right_next = self.right.next()?;
+        self.state = Some(State {
+            left_cur,
+            right_group: Vec::new(),
+            right_next,
+            emit_idx: 0,
+            matching: false,
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            let st = self
+                .state
+                .as_mut()
+                .ok_or_else(|| ExecError::State("merge join not opened".into()))?;
+            // Emit pending pairs for the current left tuple.
+            if st.matching {
+                if let Some(l) = &st.left_cur {
+                    if st.emit_idx < st.right_group.len() {
+                        let out = l.concat(&st.right_group[st.emit_idx]);
+                        st.emit_idx += 1;
+                        return Ok(Some(out));
+                    }
+                }
+                // Exhausted the group for this left tuple: advance left; if
+                // the next left tuple has the same key, replay the group.
+                let prev = st.left_cur.take();
+                let nxt = self.left.next()?;
+                let st = self.state.as_mut().unwrap();
+                st.left_cur = nxt;
+                st.emit_idx = 0;
+                st.matching = match (&prev, &st.left_cur) {
+                    (Some(p), Some(c)) => self
+                        .keys
+                        .iter()
+                        .all(|&(li, _)| p[li].total_cmp(&c[li]) == Ordering::Equal),
+                    _ => false,
+                };
+                if st.matching {
+                    continue;
+                }
+            }
+            let st = self.state.as_mut().unwrap();
+            let Some(left) = st.left_cur.clone() else {
+                return Ok(None);
+            };
+            // Advance the right side until its key >= left key, buffering
+            // the group when equal.
+            if st.right_next.is_none() {
+                // No more right tuples can match this or any later left
+                // tuple unless a buffered group matches — check group.
+                if !st.right_group.is_empty()
+                    && key_cmp(&self.keys, &left, &st.right_group[0]).is_eq()
+                {
+                    let st = self.state.as_mut().unwrap();
+                    st.matching = true;
+                    st.emit_idx = 0;
+                    continue;
+                }
+                return Ok(None);
+            }
+            // If the buffered group already matches the left key, use it.
+            if !st.right_group.is_empty() && key_cmp(&self.keys, &left, &st.right_group[0]).is_eq() {
+                let st = self.state.as_mut().unwrap();
+                st.matching = true;
+                st.emit_idx = 0;
+                continue;
+            }
+            let r = st.right_next.clone().unwrap();
+            match self.key_cmp(&left, &r) {
+                Ordering::Less => {
+                    // left key too small: advance left
+                    let nxt = self.left.next()?;
+                    self.state.as_mut().unwrap().left_cur = nxt;
+                    if self.state.as_ref().unwrap().left_cur.is_none() {
+                        return Ok(None);
+                    }
+                }
+                Ordering::Greater => {
+                    // right key too small: discard and advance right
+                    let nxt = self.right.next()?;
+                    let st = self.state.as_mut().unwrap();
+                    st.right_group.clear();
+                    st.right_next = nxt;
+                }
+                Ordering::Equal => {
+                    // Buffer the whole right group with this key.
+                    let mut group = vec![r];
+                    loop {
+                        let nxt = self.right.next()?;
+                        match nxt {
+                            Some(t) if self.right_key_eq(&group[0], &t) => group.push(t),
+                            other => {
+                                let st = self.state.as_mut().unwrap();
+                                st.right_next = other;
+                                break;
+                            }
+                        }
+                    }
+                    let st = self.state.as_mut().unwrap();
+                    st.right_group = group;
+                    st.matching = true;
+                    st.emit_idx = 0;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect;
+    use crate::scan::VecScan;
+    use proptest::prelude::*;
+    use tango_algebra::{tup, Attr, Relation, SortSpec, Type};
+
+    fn rel(name_a: &str, name_b: &str, vals: Vec<(i64, i64)>) -> Relation {
+        let s = Arc::new(Schema::new(vec![
+            Attr::new(name_a, Type::Int),
+            Attr::new(name_b, Type::Int),
+        ]));
+        Relation::new(s, vals.into_iter().map(|(a, b)| tup![a, b]).collect())
+    }
+
+    fn join_pairs(l: Vec<(i64, i64)>, r: Vec<(i64, i64)>) -> Vec<Vec<i64>> {
+        let mut lr = rel("K", "X", l);
+        let mut rr = rel("K2", "Y", r);
+        lr.sort_by(&SortSpec::by(["K"]));
+        rr.sort_by(&SortSpec::by(["K2"]));
+        let mj = MergeJoin::new(
+            Box::new(VecScan::new(lr)),
+            Box::new(VecScan::new(rr)),
+            &[("K".to_string(), "K2".to_string())],
+        )
+        .unwrap();
+        collect(Box::new(mj))
+            .unwrap()
+            .tuples()
+            .iter()
+            .map(|t| t.values().iter().map(|v| v.as_int().unwrap()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn basic_join() {
+        let got = join_pairs(vec![(1, 10), (2, 20), (4, 40)], vec![(2, 200), (2, 201), (3, 300)]);
+        assert_eq!(got, vec![vec![2, 20, 2, 200], vec![2, 20, 2, 201]]);
+    }
+
+    #[test]
+    fn duplicate_left_keys_replay_group() {
+        let got = join_pairs(vec![(1, 10), (1, 11)], vec![(1, 100), (1, 101)]);
+        assert_eq!(got.len(), 4);
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_nested_loop(
+            l in proptest::collection::vec((0i64..8, 0i64..100), 0..40),
+            r in proptest::collection::vec((0i64..8, 0i64..100), 0..40),
+        ) {
+            let got = join_pairs(l.clone(), r.clone());
+            // reference: nested loop over sorted inputs
+            let mut ls = l; ls.sort();
+            let mut rs = r; rs.sort();
+            let mut expect = Vec::new();
+            for (lk, lx) in &ls {
+                for (rk, ry) in &rs {
+                    if lk == rk { expect.push(vec![*lk, *lx, *rk, *ry]); }
+                }
+            }
+            let mut got_sorted = got.clone();
+            got_sorted.sort();
+            expect.sort();
+            prop_assert_eq!(got_sorted, expect);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Scan over a materialized relation.
+
+use crate::cursor::{Cursor, Result};
+use std::sync::Arc;
+use tango_algebra::{Relation, Schema, Tuple};
+
+/// Streams the tuples of an in-memory relation in list order.
+pub struct VecScan {
+    schema: Arc<Schema>,
+    tuples: std::vec::IntoIter<Tuple>,
+    opened: bool,
+}
+
+impl VecScan {
+    pub fn new(rel: Relation) -> Self {
+        let schema = rel.schema().clone();
+        VecScan { schema, tuples: rel.into_tuples().into_iter(), opened: false }
+    }
+
+    /// Scan over explicit parts (schema + tuples).
+    pub fn from_parts(schema: Arc<Schema>, tuples: Vec<Tuple>) -> Self {
+        VecScan { schema, tuples: tuples.into_iter(), opened: false }
+    }
+}
+
+impl Cursor for VecScan {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        debug_assert!(self.opened, "scan consumed before open()");
+        Ok(self.tuples.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect;
+    use crate::testutil::figure3_position;
+
+    #[test]
+    fn scan_preserves_list_order() {
+        let rel = figure3_position();
+        let expected = rel.clone();
+        let got = collect(Box::new(VecScan::new(rel))).unwrap();
+        assert!(got.list_eq(&expected));
+    }
+}

@@ -1,0 +1,278 @@
+//! `SORT^M` — middleware sorting.
+//!
+//! Two implementations share the operator interface:
+//!
+//! * [`Sort`] materializes its input and sorts in memory (the default; the
+//!   paper's prototype worked in memory and listed very-large-relation
+//!   support as future work), and
+//! * [`ExternalSort`] is that future work: it spills sorted runs to
+//!   temporary files using the binary tuple codec and k-way merges them,
+//!   bounding memory by the run size.
+//!
+//! Both sorts are stable, so they refine any pre-existing order — a
+//! property rule T12 (`sort_A(sort_B(r)) → sort_A(r)` when
+//! `IsPrefixOf(B, A)`) depends on.
+
+use crate::cursor::{drain, BoxCursor, Cursor, ExecError, Result};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+use tango_algebra::codec::{encode_tuple, Decoder};
+use tango_algebra::{Schema, SortSpec, Tuple};
+
+/// In-memory sort.
+pub struct Sort {
+    input: BoxCursor,
+    spec: SortSpec,
+    out: Option<std::vec::IntoIter<Tuple>>,
+}
+
+impl Sort {
+    pub fn new(input: BoxCursor, spec: SortSpec) -> Self {
+        Sort { input, spec, out: None }
+    }
+}
+
+impl Cursor for Sort {
+    fn schema(&self) -> &Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()?;
+        let mut tuples = drain(self.input.as_mut())?;
+        let cmp = self.spec.comparator(self.input.schema());
+        tuples.sort_by(cmp);
+        self.out = Some(tuples.into_iter());
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        match &mut self.out {
+            Some(it) => Ok(it.next()),
+            None => Err(ExecError::State("sort not opened".into())),
+        }
+    }
+}
+
+/// External merge sort: sorted runs of at most `run_size` tuples are
+/// spilled to temporary files and merged with a loser-tree (binary heap).
+pub struct ExternalSort {
+    input: BoxCursor,
+    spec: SortSpec,
+    run_size: usize,
+    merge: Option<MergeState>,
+}
+
+struct Run {
+    reader: BufReader<File>,
+    path: PathBuf,
+}
+
+impl Drop for Run {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+impl Run {
+    fn next_tuple(&mut self) -> Result<Option<Tuple>> {
+        let mut len_buf = [0u8; 4];
+        match self.reader.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(ExecError::State(format!("spill read: {e}"))),
+        }
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let mut buf = vec![0u8; len];
+        self.reader
+            .read_exact(&mut buf)
+            .map_err(|e| ExecError::State(format!("spill read: {e}")))?;
+        Ok(Some(Decoder::new(&buf).decode_tuple()?))
+    }
+}
+
+struct HeapEntry {
+    tuple: Tuple,
+    run: usize,
+    seq: usize,
+    keys: Vec<(usize, bool)>,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for ascending output. Ties
+        // break on (run, seq) to keep the merge stable.
+        let mut o = Ordering::Equal;
+        for &(i, desc) in &self.keys {
+            o = self.tuple[i].total_cmp(&other.tuple[i]);
+            if desc {
+                o = o.reverse();
+            }
+            if o != Ordering::Equal {
+                break;
+            }
+        }
+        o.then(self.run.cmp(&other.run))
+            .then(self.seq.cmp(&other.seq))
+            .reverse()
+    }
+}
+
+struct MergeState {
+    runs: Vec<Run>,
+    heap: BinaryHeap<HeapEntry>,
+    keys: Vec<(usize, bool)>,
+    seq: usize,
+}
+
+impl ExternalSort {
+    pub fn new(input: BoxCursor, spec: SortSpec, run_size: usize) -> Self {
+        ExternalSort { input, spec, run_size: run_size.max(2), merge: None }
+    }
+}
+
+impl Cursor for ExternalSort {
+    fn schema(&self) -> &Arc<Schema> {
+        self.input.schema()
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()?;
+        let cmp = self.spec.comparator(self.input.schema());
+        let keys = self.spec.resolve(self.input.schema());
+        let dir = std::env::temp_dir();
+        let mut runs = Vec::new();
+        let mut chunk: Vec<Tuple> = Vec::with_capacity(self.run_size);
+        let mut spill = |chunk: &mut Vec<Tuple>| -> Result<()> {
+            if chunk.is_empty() {
+                return Ok(());
+            }
+            chunk.sort_by(&cmp);
+            static RUN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+            let id = RUN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let path = dir.join(format!("tango-sort-{}-{id}.run", std::process::id()));
+            let file =
+                File::create(&path).map_err(|e| ExecError::State(format!("spill create: {e}")))?;
+            let mut w = BufWriter::new(file);
+            let mut buf = Vec::new();
+            for t in chunk.drain(..) {
+                buf.clear();
+                encode_tuple(&t, &mut buf);
+                w.write_all(&(buf.len() as u32).to_le_bytes())
+                    .and_then(|_| w.write_all(&buf))
+                    .map_err(|e| ExecError::State(format!("spill write: {e}")))?;
+            }
+            w.flush().map_err(|e| ExecError::State(format!("spill flush: {e}")))?;
+            drop(w);
+            let file =
+                File::open(&path).map_err(|e| ExecError::State(format!("spill open: {e}")))?;
+            runs.push(Run { reader: BufReader::new(file), path });
+            Ok(())
+        };
+        while let Some(t) = self.input.next()? {
+            chunk.push(t);
+            if chunk.len() >= self.run_size {
+                spill(&mut chunk)?;
+            }
+        }
+        spill(&mut chunk)?;
+        let mut heap = BinaryHeap::with_capacity(runs.len());
+        let mut seq = 0usize;
+        for (i, run) in runs.iter_mut().enumerate() {
+            if let Some(t) = run.next_tuple()? {
+                heap.push(HeapEntry { tuple: t, run: i, seq, keys: keys.clone() });
+                seq += 1;
+            }
+        }
+        self.merge = Some(MergeState { runs, heap, keys, seq });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        let m = self
+            .merge
+            .as_mut()
+            .ok_or_else(|| ExecError::State("external sort not opened".into()))?;
+        let Some(top) = m.heap.pop() else {
+            return Ok(None);
+        };
+        if let Some(t) = m.runs[top.run].next_tuple()? {
+            m.heap.push(HeapEntry { tuple: t, run: top.run, seq: m.seq, keys: m.keys.clone() });
+            m.seq += 1;
+        }
+        Ok(Some(top.tuple))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect;
+    use crate::scan::VecScan;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+    use tango_algebra::{tup, Attr, Relation, Type, Value};
+
+    fn rel(vals: Vec<(i64, i64)>) -> Relation {
+        let s = Arc::new(Schema::new(vec![
+            Attr::new("A", Type::Int),
+            Attr::new("B", Type::Int),
+        ]));
+        Relation::new(s, vals.into_iter().map(|(a, b)| tup![a, b]).collect())
+    }
+
+    #[test]
+    fn in_memory_sort() {
+        let r = rel(vec![(3, 1), (1, 2), (2, 0), (1, 1)]);
+        let got = collect(Box::new(Sort::new(Box::new(VecScan::new(r)), SortSpec::by(["A", "B"]))))
+            .unwrap();
+        let keys: Vec<(i64, i64)> = got
+            .tuples()
+            .iter()
+            .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap()))
+            .collect();
+        assert_eq!(keys, vec![(1, 1), (1, 2), (2, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        // equal keys keep input order
+        let s = Arc::new(Schema::new(vec![
+            Attr::new("K", Type::Int),
+            Attr::new("Tag", Type::Str),
+        ]));
+        let r = Relation::new(
+            s,
+            vec![tup![1, "first"], tup![0, "x"], tup![1, "second"]],
+        );
+        let got =
+            collect(Box::new(Sort::new(Box::new(VecScan::new(r)), SortSpec::by(["K"])))).unwrap();
+        assert_eq!(got.tuples()[1][1], Value::Str("first".into()));
+        assert_eq!(got.tuples()[2][1], Value::Str("second".into()));
+    }
+
+    proptest! {
+        #[test]
+        fn external_sort_matches_in_memory(vals in proptest::collection::vec((0i64..50, 0i64..50), 0..200), run in 2usize..40) {
+            let spec = SortSpec::by(["A", "B"]);
+            let mem = collect(Box::new(Sort::new(Box::new(VecScan::new(rel(vals.clone()))), spec.clone()))).unwrap();
+            let ext = collect(Box::new(ExternalSort::new(Box::new(VecScan::new(rel(vals))), spec, run))).unwrap();
+            prop_assert!(mem.list_eq(&ext), "external sort diverged from in-memory sort");
+        }
+    }
+}

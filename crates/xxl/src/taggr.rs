@@ -1,0 +1,503 @@
+//! `TAGGR^M` — middleware temporal aggregation (ξᵀ), Section 3.4.
+//!
+//! The argument must be sorted on the grouping attributes and `T1`; the
+//! algorithm internally sorts a second copy of each group on `T2` and
+//! traverses both "similarly to sort-merge join", computing aggregate
+//! values group by group over the *constant periods* induced by the
+//! period endpoints. Each input tuple is read once and only one group is
+//! resident at a time.
+//!
+//! The output is ordered on (grouping attributes, `T1`), which is why
+//! Query 1's best plan needs no final sort (Figure 7, Plan 1).
+
+use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use tango_algebra::logical::taggr_schema;
+use tango_algebra::value::Key;
+use tango_algebra::{AggFunc, AggSpec, Day, Schema, Tuple, Type, Value};
+
+pub struct TemporalAggregate {
+    input: BoxCursor,
+    group_idx: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    agg_arg_idx: Vec<Option<usize>>,
+    period: (usize, usize),
+    date_typed: bool,
+    schema: Arc<Schema>,
+    /// Lookahead tuple belonging to the *next* group.
+    pending: Option<Tuple>,
+    /// Constant-period rows produced for the current group.
+    out: VecDeque<Tuple>,
+    opened: bool,
+    done: bool,
+}
+
+impl TemporalAggregate {
+    pub fn new(input: BoxCursor, group_by: Vec<String>, aggs: Vec<AggSpec>) -> Result<Self> {
+        let in_schema = input.schema();
+        let period = in_schema
+            .period()
+            .ok_or_else(|| ExecError::State("temporal aggregation: input not temporal".into()))?;
+        let mut group_idx = Vec::with_capacity(group_by.len());
+        for g in &group_by {
+            group_idx.push(in_schema.index_of(g)?);
+        }
+        let mut agg_arg_idx = Vec::with_capacity(aggs.len());
+        for a in &aggs {
+            agg_arg_idx.push(match &a.arg {
+                Some(c) => Some(in_schema.index_of(c)?),
+                None => None,
+            });
+        }
+        let date_typed = matches!(in_schema.attr(period.0).ty, Type::Date);
+        let schema = Arc::new(taggr_schema(&group_by, &aggs, in_schema)?);
+        Ok(TemporalAggregate {
+            input,
+            group_idx,
+            aggs,
+            agg_arg_idx,
+            period,
+            date_typed,
+            schema,
+            pending: None,
+            out: VecDeque::new(),
+            opened: false,
+            done: false,
+        })
+    }
+
+    fn same_group(&self, a: &Tuple, b: &Tuple) -> bool {
+        self.group_idx
+            .iter()
+            .all(|&i| a[i].total_cmp(&b[i]) == std::cmp::Ordering::Equal)
+    }
+
+    fn time_value(&self, d: Day) -> Value {
+        if self.date_typed {
+            Value::Date(d)
+        } else {
+            Value::Int(d as i64)
+        }
+    }
+
+    /// Read the next group from the input and compute its constant-period
+    /// rows into `self.out`. Returns `false` at end of input.
+    fn process_next_group(&mut self) -> Result<bool> {
+        let first = match self.pending.take() {
+            Some(t) => t,
+            None => match self.input.next()? {
+                Some(t) => t,
+                None => return Ok(false),
+            },
+        };
+        // First copy: the group's tuples ordered by T1 (input order).
+        let mut group = vec![first];
+        loop {
+            match self.input.next()? {
+                Some(t) if self.same_group(&group[0], &t) => group.push(t),
+                other => {
+                    self.pending = other;
+                    break;
+                }
+            }
+        }
+        let (it1, it2) = self.period;
+        // Drop tuples with empty or null periods: they hold at no time
+        // point and contribute nothing.
+        group.retain(|t| match (t[it1].as_day(), t[it2].as_day()) {
+            (Some(a), Some(b)) => a < b,
+            _ => false,
+        });
+        if group.is_empty() {
+            return Ok(true); // an empty group produces no constant periods
+        }
+        // Second copy, sorted on T2 (the algorithm's internal sort).
+        let mut by_end: Vec<usize> = (0..group.len()).collect();
+        by_end.sort_by_key(|&i| group[i][it2].as_day().unwrap());
+
+        let mut states: Vec<Box<dyn AggState>> = self
+            .aggs
+            .iter()
+            .map(|a| new_state(a.func))
+            .collect();
+        let group_vals: Vec<Value> = self.group_idx.iter().map(|&i| group[0][i].clone()).collect();
+
+        let mut i = 0usize; // next start event (group is sorted by T1)
+        let mut j = 0usize; // next end event (via by_end)
+        let mut active = 0usize;
+        let mut prev: Option<Day> = None;
+        while j < group.len() {
+            let end_t = group[by_end[j]][it2].as_day().unwrap();
+            let t = if i < group.len() {
+                end_t.min(group[i][it1].as_day().unwrap())
+            } else {
+                end_t
+            };
+            if let Some(p) = prev {
+                if p < t && active > 0 {
+                    let mut row =
+                        Vec::with_capacity(group_vals.len() + 2 + self.aggs.len());
+                    row.extend(group_vals.iter().cloned());
+                    row.push(self.time_value(p));
+                    row.push(self.time_value(t));
+                    for s in &states {
+                        row.push(s.current());
+                    }
+                    self.out.push_back(Tuple::new(row));
+                }
+            }
+            while i < group.len() && group[i][it1].as_day().unwrap() == t {
+                let tup = &group[i];
+                for (s, arg) in states.iter_mut().zip(&self.agg_arg_idx) {
+                    s.add(arg.map(|a| &tup[a]));
+                }
+                active += 1;
+                i += 1;
+            }
+            while j < group.len() && group[by_end[j]][it2].as_day().unwrap() == t {
+                let tup = &group[by_end[j]];
+                for (s, arg) in states.iter_mut().zip(&self.agg_arg_idx) {
+                    s.remove(arg.map(|a| &tup[a]));
+                }
+                active -= 1;
+                j += 1;
+            }
+            prev = Some(t);
+        }
+        Ok(true)
+    }
+}
+
+impl Cursor for TemporalAggregate {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.input.open()?;
+        self.opened = true;
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if !self.opened {
+            return Err(ExecError::State("temporal aggregation not opened".into()));
+        }
+        loop {
+            if let Some(t) = self.out.pop_front() {
+                return Ok(Some(t));
+            }
+            if self.done {
+                return Ok(None);
+            }
+            if !self.process_next_group()? {
+                self.done = true;
+            }
+        }
+    }
+}
+
+/// Incremental aggregate state with add/remove (the sweep enters and
+/// leaves tuples as their periods start and end).
+trait AggState: Send {
+    fn add(&mut self, v: Option<&Value>);
+    fn remove(&mut self, v: Option<&Value>);
+    fn current(&self) -> Value;
+}
+
+fn new_state(f: AggFunc) -> Box<dyn AggState> {
+    match f {
+        AggFunc::Count => Box::new(CountState { n: 0 }),
+        AggFunc::Sum => Box::new(SumState { int: 0, float: 0.0, n: 0, saw_float: false }),
+        AggFunc::Avg => Box::new(AvgState { sum: 0.0, n: 0 }),
+        AggFunc::Min => Box::new(ExtState { vals: BTreeMap::new(), min: true }),
+        AggFunc::Max => Box::new(ExtState { vals: BTreeMap::new(), min: false }),
+    }
+}
+
+struct CountState {
+    n: i64,
+}
+
+impl AggState for CountState {
+    fn add(&mut self, v: Option<&Value>) {
+        // COUNT(*) counts rows; COUNT(col) counts non-null values.
+        if v.is_none_or(|v| !v.is_null()) {
+            self.n += 1;
+        }
+    }
+    fn remove(&mut self, v: Option<&Value>) {
+        if v.is_none_or(|v| !v.is_null()) {
+            self.n -= 1;
+        }
+    }
+    fn current(&self) -> Value {
+        Value::Int(self.n)
+    }
+}
+
+struct SumState {
+    int: i64,
+    float: f64,
+    n: i64,
+    saw_float: bool,
+}
+
+impl SumState {
+    fn apply(&mut self, v: Option<&Value>, sign: i64) {
+        match v {
+            Some(Value::Int(i)) => {
+                self.int += sign * i;
+                self.n += sign;
+            }
+            Some(Value::Double(d)) => {
+                self.float += sign as f64 * d;
+                self.n += sign;
+                self.saw_float = true;
+            }
+            Some(Value::Date(d)) => {
+                self.int += sign * *d as i64;
+                self.n += sign;
+            }
+            _ => {}
+        }
+    }
+}
+
+impl AggState for SumState {
+    fn add(&mut self, v: Option<&Value>) {
+        self.apply(v, 1);
+    }
+    fn remove(&mut self, v: Option<&Value>) {
+        self.apply(v, -1);
+    }
+    fn current(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else if self.saw_float {
+            Value::Double(self.float + self.int as f64)
+        } else {
+            Value::Int(self.int)
+        }
+    }
+}
+
+struct AvgState {
+    sum: f64,
+    n: i64,
+}
+
+impl AggState for AvgState {
+    fn add(&mut self, v: Option<&Value>) {
+        if let Some(x) = v.and_then(Value::as_f64) {
+            self.sum += x;
+            self.n += 1;
+        }
+    }
+    fn remove(&mut self, v: Option<&Value>) {
+        if let Some(x) = v.and_then(Value::as_f64) {
+            self.sum -= x;
+            self.n -= 1;
+        }
+    }
+    fn current(&self) -> Value {
+        if self.n == 0 {
+            Value::Null
+        } else {
+            Value::Double(self.sum / self.n as f64)
+        }
+    }
+}
+
+/// MIN/MAX need a multiset because a value leaving the sweep may not be
+/// the extreme one.
+struct ExtState {
+    vals: BTreeMap<Key, (Value, usize)>,
+    min: bool,
+}
+
+impl AggState for ExtState {
+    fn add(&mut self, v: Option<&Value>) {
+        if let Some(v) = v {
+            if !v.is_null() {
+                self.vals
+                    .entry(v.key())
+                    .or_insert_with(|| (v.clone(), 0))
+                    .1 += 1;
+            }
+        }
+    }
+    fn remove(&mut self, v: Option<&Value>) {
+        if let Some(v) = v {
+            if !v.is_null() {
+                if let Some(e) = self.vals.get_mut(&v.key()) {
+                    e.1 -= 1;
+                    if e.1 == 0 {
+                        self.vals.remove(&v.key());
+                    }
+                }
+            }
+        }
+    }
+    fn current(&self) -> Value {
+        let entry = if self.min {
+            self.vals.values().next()
+        } else {
+            self.vals.values().next_back()
+        };
+        entry.map(|(v, _)| v.clone()).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect;
+    use crate::scan::VecScan;
+    use crate::testutil::figure3_position;
+    use proptest::prelude::*;
+    use tango_algebra::{tup, Attr, Relation, SortSpec};
+
+    /// Figure 3(c): the aggregation result of the paper's example.
+    #[test]
+    fn figure3_aggregation_result() {
+        let mut pos = figure3_position();
+        pos.sort_by(&SortSpec::by(["PosID", "T1"]));
+        let agg = TemporalAggregate::new(
+            Box::new(VecScan::new(pos)),
+            vec!["PosID".into()],
+            vec![AggSpec::new(AggFunc::Count, Some("PosID"), "COUNT")],
+        )
+        .unwrap();
+        let got = collect(Box::new(agg)).unwrap();
+        let expected = vec![
+            tup![1, 2, 5, 1],
+            tup![1, 5, 20, 2],
+            tup![1, 20, 25, 1],
+            tup![2, 5, 10, 1],
+        ];
+        assert_eq!(got.tuples(), expected.as_slice());
+        assert_eq!(
+            got.schema().names().collect::<Vec<_>>(),
+            vec!["PosID", "T1", "T2", "COUNT"]
+        );
+    }
+
+    #[test]
+    fn no_grouping_attributes() {
+        let mut pos = figure3_position();
+        pos.sort_by(&SortSpec::by(["T1"]));
+        let agg = TemporalAggregate::new(
+            Box::new(VecScan::new(pos)),
+            vec![],
+            vec![AggSpec::count_star("C")],
+        )
+        .unwrap();
+        let got = collect(Box::new(agg)).unwrap();
+        // periods: [2,20) [5,25) [5,10); endpoints 2,5,10,20,25
+        let expected = vec![
+            tup![2, 5, 1],
+            tup![5, 10, 3],
+            tup![10, 20, 2],
+            tup![20, 25, 1],
+        ];
+        assert_eq!(got.tuples(), expected.as_slice());
+    }
+
+    #[test]
+    fn min_max_sum_avg() {
+        let s = Arc::new(Schema::with_inferred_period(vec![
+            Attr::new("G", Type::Int),
+            Attr::new("V", Type::Int),
+            Attr::new("T1", Type::Int),
+            Attr::new("T2", Type::Int),
+        ]));
+        let rel = Relation::new(
+            s,
+            vec![tup![1, 10, 0, 10], tup![1, 4, 5, 15], tup![1, 7, 5, 8]],
+        );
+        let agg = TemporalAggregate::new(
+            Box::new(VecScan::new(rel)),
+            vec!["G".into()],
+            vec![
+                AggSpec::new(AggFunc::Min, Some("V"), "MinV"),
+                AggSpec::new(AggFunc::Max, Some("V"), "MaxV"),
+                AggSpec::new(AggFunc::Sum, Some("V"), "SumV"),
+                AggSpec::new(AggFunc::Avg, Some("V"), "AvgV"),
+            ],
+        )
+        .unwrap();
+        let got = collect(Box::new(agg)).unwrap();
+        let expected = vec![
+            tup![1, 0, 5, 10, 10, 10, Value::Double(10.0)],
+            tup![1, 5, 8, 4, 10, 21, Value::Double(7.0)],
+            tup![1, 8, 10, 4, 10, 14, Value::Double(7.0)],
+            tup![1, 10, 15, 4, 4, 4, Value::Double(4.0)],
+        ];
+        assert_eq!(got.tuples(), expected.as_slice());
+    }
+
+    fn input_rel(vals: &[(i64, i32, i32)]) -> Relation {
+        let s = Arc::new(Schema::with_inferred_period(vec![
+            Attr::new("G", Type::Int),
+            Attr::new("T1", Type::Int),
+            Attr::new("T2", Type::Int),
+        ]));
+        Relation::new(s, vals.iter().map(|&(g, a, b)| tup![g, a, b]).collect())
+    }
+
+    proptest! {
+        /// Invariant: at every time point, the COUNT reported by the
+        /// constant-period output equals the number of input tuples of
+        /// that group whose period contains the point.
+        #[test]
+        fn count_matches_pointwise(vals in proptest::collection::vec((0i64..4, 0i32..30, 1i32..12), 1..60)) {
+            let fixed: Vec<(i64, i32, i32)> = vals.into_iter().map(|(g, t1, d)| (g, t1, t1 + d)).collect();
+            let mut rel = input_rel(&fixed);
+            rel.sort_by(&SortSpec::by(["G", "T1"]));
+            let agg = TemporalAggregate::new(
+                Box::new(VecScan::new(rel)),
+                vec!["G".into()],
+                vec![AggSpec::count_star("C")],
+            ).unwrap();
+            let got = collect(Box::new(agg)).unwrap();
+            // constant periods per group must not overlap and be maximal
+            for t in 0..45i32 {
+                for g in 0..4i64 {
+                    let truth = fixed.iter().filter(|&&(gg, a, b)| gg == g && a <= t && t < b).count() as i64;
+                    let reported: Vec<i64> = got.tuples().iter()
+                        .filter(|r| r[0].as_int() == Some(g)
+                            && r[1].as_int().unwrap() <= t as i64
+                            && (t as i64) < r[2].as_int().unwrap())
+                        .map(|r| r[3].as_int().unwrap())
+                        .collect();
+                    if truth == 0 {
+                        prop_assert!(reported.is_empty(), "g={g} t={t}: expected gap, got {reported:?}");
+                    } else {
+                        prop_assert_eq!(&reported, &vec![truth], "g={} t={}", g, t);
+                    }
+                }
+            }
+        }
+
+        /// The output is ordered by (G, T1): the order-preservation claim
+        /// the optimizer exploits.
+        #[test]
+        fn output_order(vals in proptest::collection::vec((0i64..4, 0i32..30, 1i32..12), 1..60)) {
+            let fixed: Vec<(i64, i32, i32)> = vals.into_iter().map(|(g, t1, d)| (g, t1, t1 + d)).collect();
+            let mut rel = input_rel(&fixed);
+            rel.sort_by(&SortSpec::by(["G", "T1"]));
+            let agg = TemporalAggregate::new(
+                Box::new(VecScan::new(rel)),
+                vec!["G".into()],
+                vec![AggSpec::count_star("C")],
+            ).unwrap();
+            let got = collect(Box::new(agg)).unwrap();
+            prop_assert!(got.is_sorted_by(&SortSpec::by(["G", "T1"])));
+            // cardinality bounds from Section 3.4
+            let n = fixed.len();
+            prop_assert!(got.len() < 2 * n);
+        }
+    }
+}

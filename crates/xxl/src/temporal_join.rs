@@ -1,0 +1,343 @@
+//! `TMERGEJOIN^M` — temporal sort-merge join (⋈ᵀ).
+//!
+//! Matches tuples with equal join-attribute values whose valid-time
+//! periods overlap, producing the intersected period
+//! `[GREATEST(T1, T1'), LEAST(T2, T2'))` — the algebraic counterpart of
+//! the SQL emitted for DBMS-side temporal joins (Figure 5).
+//!
+//! Inputs must be sorted on the join attributes; the output is ordered by
+//! them, so a query that sorts its result on the join key needs no extra
+//! sort after this algorithm (exploited by Queries 2 and 3 in the paper).
+
+use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use tango_algebra::logical::tjoin_schema;
+use tango_algebra::{Period, Schema, Tuple, Value};
+
+pub struct TemporalMergeJoin {
+    left: BoxCursor,
+    right: BoxCursor,
+    lkeys: Vec<usize>,
+    rkeys: Vec<usize>,
+    /// Left attribute indices copied to the output (non-period).
+    lkeep: Vec<usize>,
+    /// Right attribute indices copied to the output (non-period, non-key).
+    rkeep: Vec<usize>,
+    lperiod: (usize, usize),
+    rperiod: (usize, usize),
+    date_typed: bool,
+    schema: Arc<Schema>,
+    state: Option<State>,
+}
+
+struct State {
+    lgroup: Vec<Tuple>,
+    rgroup: Vec<Tuple>,
+    lnext: Option<Tuple>,
+    rnext: Option<Tuple>,
+    i: usize,
+    j: usize,
+}
+
+impl TemporalMergeJoin {
+    pub fn new(left: BoxCursor, right: BoxCursor, eq: &[(String, String)]) -> Result<Self> {
+        let ls = left.schema();
+        let rs = right.schema();
+        let lperiod = ls
+            .period()
+            .ok_or_else(|| ExecError::State("temporal join: left input not temporal".into()))?;
+        let rperiod = rs
+            .period()
+            .ok_or_else(|| ExecError::State("temporal join: right input not temporal".into()))?;
+        let mut lkeys = Vec::new();
+        let mut rkeys = Vec::new();
+        for (l, r) in eq {
+            lkeys.push(ls.index_of(l)?);
+            rkeys.push(rs.index_of(r)?);
+        }
+        if lkeys.is_empty() {
+            return Err(ExecError::State("temporal join requires at least one key".into()));
+        }
+        let lkeep: Vec<usize> =
+            (0..ls.len()).filter(|&i| i != lperiod.0 && i != lperiod.1).collect();
+        let rkeep: Vec<usize> = (0..rs.len())
+            .filter(|&i| i != rperiod.0 && i != rperiod.1 && !rkeys.contains(&i))
+            .collect();
+        let eq_owned: Vec<(String, String)> = eq.to_vec();
+        let schema = Arc::new(tjoin_schema(&eq_owned, ls, rs)?);
+        let date_typed = matches!(
+            schema.attr(schema.period().unwrap().0).ty,
+            tango_algebra::Type::Date
+        );
+        Ok(TemporalMergeJoin {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            lkeep,
+            rkeep,
+            lperiod,
+            rperiod,
+            date_typed,
+            schema,
+            state: None,
+        })
+    }
+
+    /// Read all consecutive tuples sharing the key of `first` from `input`.
+    fn read_group(
+        input: &mut dyn Cursor,
+        first: Tuple,
+        keys: &[usize],
+    ) -> Result<(Vec<Tuple>, Option<Tuple>)> {
+        let mut group = vec![first];
+        loop {
+            match input.next()? {
+                Some(t) => {
+                    let same = keys
+                        .iter()
+                        .all(|&k| t[k].total_cmp(&group[0][k]) == Ordering::Equal);
+                    if same {
+                        group.push(t);
+                    } else {
+                        return Ok((group, Some(t)));
+                    }
+                }
+                None => return Ok((group, None)),
+            }
+        }
+    }
+}
+
+fn key_cmp(lkeys: &[usize], rkeys: &[usize], l: &Tuple, r: &Tuple) -> Ordering {
+    for (&li, &ri) in lkeys.iter().zip(rkeys) {
+        let o = l[li].total_cmp(&r[ri]);
+        if o != Ordering::Equal {
+            return o;
+        }
+    }
+    Ordering::Equal
+}
+
+fn emit(lkeep: &[usize], rkeep: &[usize], date_typed: bool, l: &Tuple, r: &Tuple, p: Period) -> Tuple {
+    let mut out = Vec::with_capacity(lkeep.len() + rkeep.len() + 2);
+    for &i in lkeep {
+        out.push(l[i].clone());
+    }
+    for &i in rkeep {
+        out.push(r[i].clone());
+    }
+    if date_typed {
+        out.push(Value::Date(p.start));
+        out.push(Value::Date(p.end));
+    } else {
+        out.push(Value::Int(p.start as i64));
+        out.push(Value::Int(p.end as i64));
+    }
+    Tuple::new(out)
+}
+
+impl Cursor for TemporalMergeJoin {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> Result<()> {
+        self.left.open()?;
+        self.right.open()?;
+        let lnext = self.left.next()?;
+        let rnext = self.right.next()?;
+        self.state = Some(State {
+            lgroup: Vec::new(),
+            rgroup: Vec::new(),
+            lnext,
+            rnext,
+            i: 0,
+            j: 0,
+        });
+        Ok(())
+    }
+
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            let st = self
+                .state
+                .as_mut()
+                .ok_or_else(|| ExecError::State("temporal join not opened".into()))?;
+            // Emit remaining overlapping pairs of the buffered groups.
+            while st.i < st.lgroup.len() {
+                while st.j < st.rgroup.len() {
+                    let l = &st.lgroup[st.i];
+                    let r = &st.rgroup[st.j];
+                    st.j += 1;
+                    let lp = Period::new(
+                        l[self.lperiod.0].as_day().unwrap_or(0),
+                        l[self.lperiod.1].as_day().unwrap_or(0),
+                    );
+                    let rp = Period::new(
+                        r[self.rperiod.0].as_day().unwrap_or(0),
+                        r[self.rperiod.1].as_day().unwrap_or(0),
+                    );
+                    if let Some(p) = lp.intersect(&rp) {
+                        let out =
+                            emit(&self.lkeep, &self.rkeep, self.date_typed, l, r, p);
+                        return Ok(Some(out));
+                    }
+                }
+                st.j = 0;
+                st.i += 1;
+            }
+            st.lgroup.clear();
+            st.rgroup.clear();
+            st.i = 0;
+            st.j = 0;
+            // Align the two inputs on the next common key.
+            loop {
+                let st = self.state.as_mut().unwrap();
+                let (Some(l), Some(r)) = (&st.lnext, &st.rnext) else {
+                    return Ok(None);
+                };
+                match key_cmp(&self.lkeys, &self.rkeys, l, r) {
+                    Ordering::Less => {
+                        let n = self.left.next()?;
+                        self.state.as_mut().unwrap().lnext = n;
+                    }
+                    Ordering::Greater => {
+                        let n = self.right.next()?;
+                        self.state.as_mut().unwrap().rnext = n;
+                    }
+                    Ordering::Equal => break,
+                }
+            }
+            // Buffer both groups and restart emission.
+            let st = self.state.as_mut().unwrap();
+            let lfirst = st.lnext.take().unwrap();
+            let rfirst = st.rnext.take().unwrap();
+            let (lg, ln) = Self::read_group(self.left.as_mut(), lfirst, &self.lkeys)?;
+            let (rg, rn) = Self::read_group(self.right.as_mut(), rfirst, &self.rkeys)?;
+            let st = self.state.as_mut().unwrap();
+            st.lgroup = lg;
+            st.rgroup = rg;
+            st.lnext = ln;
+            st.rnext = rn;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cursor::collect;
+    use crate::scan::VecScan;
+    use crate::taggr::TemporalAggregate;
+    use crate::testutil::figure3_position;
+    use proptest::prelude::*;
+    use tango_algebra::{tup, AggFunc, AggSpec, Attr, Relation, SortSpec, Type};
+
+    /// The Section 2.2 example: temporally join the aggregation result of
+    /// Figure 3(c) with POSITION on PosID, producing Figure 3(b).
+    #[test]
+    fn figure3_query_result() {
+        let pos = figure3_position();
+        let mut sorted = pos.clone();
+        sorted.sort_by(&SortSpec::by(["PosID", "T1"]));
+        let agg = TemporalAggregate::new(
+            Box::new(VecScan::new(sorted.clone())),
+            vec!["PosID".into()],
+            vec![AggSpec::new(AggFunc::Count, Some("PosID"), "COUNTofPosID")],
+        )
+        .unwrap();
+        let tj = TemporalMergeJoin::new(
+            Box::new(VecScan::new(sorted)),
+            Box::new(agg),
+            &[("PosID".to_string(), "PosID".to_string())],
+        )
+        .unwrap();
+        let got = collect(Box::new(tj)).unwrap();
+        // Figure 3(b), modulo column order: our layout is
+        // (PosID, EmpName, COUNTofPosID, T1, T2).
+        let expected = vec![
+            tup![1, "Tom", 1, 2, 5],
+            tup![1, "Tom", 2, 5, 20],
+            tup![1, "Jane", 2, 5, 20],
+            tup![1, "Jane", 1, 20, 25],
+            tup![2, "Tom", 1, 5, 10],
+        ];
+        assert_eq!(got.tuples(), expected.as_slice());
+        assert_eq!(
+            got.schema().names().collect::<Vec<_>>(),
+            vec!["PosID", "EmpName", "COUNTofPosID", "T1", "T2"]
+        );
+    }
+
+    fn temporal_rel(vals: &[(i64, i64, i32, i32)]) -> Relation {
+        let s = Arc::new(Schema::with_inferred_period(vec![
+            Attr::new("K", Type::Int),
+            Attr::new("V", Type::Int),
+            Attr::new("T1", Type::Int),
+            Attr::new("T2", Type::Int),
+        ]));
+        Relation::new(
+            s,
+            vals.iter().map(|&(k, v, t1, t2)| tup![k, v, t1, t2]).collect(),
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_nested_loop_reference(
+            l in proptest::collection::vec((0i64..5, 0i64..100, 0i32..20, 1i32..10), 0..30),
+            r in proptest::collection::vec((0i64..5, 0i64..100, 0i32..20, 1i32..10), 0..30),
+        ) {
+            let fix = |v: Vec<(i64, i64, i32, i32)>| -> Vec<(i64, i64, i32, i32)> {
+                v.into_iter().map(|(k, x, t1, d)| (k, x, t1, t1 + d)).collect()
+            };
+            let (l, r) = (fix(l), fix(r));
+            let mut lr = temporal_rel(&l);
+            let mut rr = temporal_rel(&r);
+            lr.sort_by(&SortSpec::by(["K"]));
+            rr.sort_by(&SortSpec::by(["K"]));
+            let tj = TemporalMergeJoin::new(
+                Box::new(VecScan::new(lr)),
+                Box::new(VecScan::new(rr)),
+                &[("K".to_string(), "K".to_string())],
+            ).unwrap();
+            let got = collect(Box::new(tj)).unwrap();
+
+            let mut expect = Vec::new();
+            let mut ls = l; ls.sort();
+            let mut rs = r; rs.sort();
+            for &(lk, lv, lt1, lt2) in &ls {
+                for &(rk, rv, rt1, rt2) in &rs {
+                    if lk == rk {
+                        if let Some(p) = Period::new(lt1, lt2).intersect(&Period::new(rt1, rt2)) {
+                            expect.push(tup![lk, lv, rv, p.start, p.end]);
+                        }
+                    }
+                }
+            }
+            let schema = got.schema().clone();
+            let expected_rel = Relation::new(schema, expect);
+            prop_assert!(got.multiset_eq(&expected_rel));
+        }
+
+        #[test]
+        fn output_ordered_by_join_key(
+            l in proptest::collection::vec((0i64..5, 0i64..10, 0i32..20, 1i32..10), 0..30),
+        ) {
+            let fixed: Vec<_> = l.into_iter().map(|(k, x, t1, d)| (k, x, t1, t1 + d)).collect();
+            let mut rel1 = temporal_rel(&fixed);
+            let mut rel2 = temporal_rel(&fixed);
+            rel1.sort_by(&SortSpec::by(["K"]));
+            rel2.sort_by(&SortSpec::by(["K"]));
+            let tj = TemporalMergeJoin::new(
+                Box::new(VecScan::new(rel1)),
+                Box::new(VecScan::new(rel2)),
+                &[("K".to_string(), "K".to_string())],
+            ).unwrap();
+            let got = collect(Box::new(tj)).unwrap();
+            prop_assert!(got.is_sorted_by(&SortSpec::by(["K"])));
+        }
+    }
+}

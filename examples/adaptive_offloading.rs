@@ -1,0 +1,69 @@
+//! Adaptive cost-based offloading — the crossover of the paper's Query 3.
+//!
+//! A temporal self-join ("which employee pairs held the same position at
+//! the same time?") is cheap in the DBMS while its selection is tight,
+//! but once the join result outgrows the arguments the DBMS plan pays to
+//! sort and ship a huge result, and evaluating the temporal join in the
+//! middleware wins.
+//!
+//! This example sweeps the selection bound and shows, per step:
+//! * the measured time of both fixed strategies,
+//! * which strategy the cost-based optimizer picked,
+//! * how runtime feedback nudges the cost factors between steps.
+//!
+//! Run with: `cargo run --release --example adaptive_offloading`
+
+use tango::core::phys::Algo;
+use tango::core::Tango;
+use tango::minidb::{Connection, Database, Link, LinkProfile};
+use tango::uis::{generate_position, UisConfig};
+use tango_algebra::date::{day, format_date};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = UisConfig { position_rows: 20_000, employee_rows: 8_000, seed: 0xEC1 };
+    println!("generating POSITION x{} ...", cfg.position_rows);
+    let db = Database::new(Link::new(LinkProfile::default()));
+    let conn = Connection::new(db.clone());
+    let position = generate_position(&cfg);
+    db.create_table("POSITION", position.schema().as_ref().clone())?;
+    db.insert_rows("POSITION", position.into_tuples())?;
+    conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS")?;
+
+    let mut tango = Tango::connect(db.clone());
+    tango.calibrate()?;
+    tango.options_mut().feedback = true; // adapt factors from observations
+
+    println!(
+        "\n{:>12} {:>10} {:>12} {:>14}   chosen",
+        "T1 <", "rows", "time", "p_tm (µs/B)"
+    );
+    for year in [1986, 1990, 1994, 1998, 2000] {
+        let bound = day(year, 1, 1);
+        let sql = format!(
+            "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+             WHERE A.PosID = B.PosID AND A.T1 < DATE '{0}' AND B.T1 < DATE '{0}' \
+             ORDER BY A.PosID",
+            format_date(bound)
+        );
+        db.link().reset();
+        let (rel, report) = tango.query(&sql)?;
+        let site = if report.optimized.plan.any(&|a| matches!(a, Algo::TMergeJoinM(_))) {
+            "temporal join in MIDDLEWARE"
+        } else {
+            "temporal join in DBMS"
+        };
+        println!(
+            "{:>12} {:>10} {:>11.2}s {:>14.3}   {site}",
+            format_date(bound),
+            rel.len(),
+            report.total().as_secs_f64(),
+            tango.factors().p_tm,
+        );
+    }
+    println!(
+        "\nThe optimizer keeps tight selections in the DBMS and moves the join \
+         into the middleware once the result outgrows its arguments; the p_tm \
+         column shows the transfer cost factor adapting from observed runs."
+    );
+    Ok(())
+}

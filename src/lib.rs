@@ -1,0 +1,18 @@
+//! # TANGO — temporal middleware for conventional DBMSs
+//!
+//! Umbrella crate re-exporting the whole TANGO workspace: a reproduction
+//! of *“Adaptable Query Optimization and Evaluation in Temporal
+//! Middleware”* (Slivinskas, Jensen & Snodgrass, SIGMOD 2001).
+//!
+//! Start with [`core::session::Tango`] (re-exported as [`Tango`]) — see
+//! `examples/quickstart.rs` for a complete tour.
+
+pub use tango_algebra as algebra;
+pub use tango_core as core;
+pub use tango_minidb as minidb;
+pub use tango_stats as stats;
+pub use tango_uis as uis;
+pub use tango_xxl as xxl;
+pub use volcano;
+
+pub use tango_core::session::Tango;

@@ -1,0 +1,115 @@
+//! Concurrency: the mini-DBMS is shared state behind a `parking_lot`
+//! RwLock and the wire is a shared atomic clock; many middleware sessions
+//! and raw connections must be able to hammer one database concurrently.
+
+use std::sync::Arc;
+use std::thread;
+use tango::algebra::tup;
+use tango::minidb::{Connection, Database, Link, LinkProfile};
+use tango::Tango;
+
+fn seed_db() -> Database {
+    let db = Database::new(Link::new(LinkProfile::instant()));
+    let conn = Connection::new(db.clone());
+    conn.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")
+        .unwrap();
+    let rows: Vec<_> = (0..2_000)
+        .map(|i: i64| tup![i % 50, format!("emp{i}"), i % 100, i % 100 + 10])
+        .collect();
+    db.insert_rows("POSITION", rows).unwrap();
+    conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
+    db
+}
+
+#[test]
+fn concurrent_readers_agree() {
+    let db = seed_db();
+    let expected = Connection::new(db.clone())
+        .query_all("SELECT PosID, COUNT(*) AS C FROM POSITION GROUP BY PosID ORDER BY PosID")
+        .unwrap();
+    let expected = Arc::new(expected);
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let db = db.clone();
+        let expected = expected.clone();
+        handles.push(thread::spawn(move || {
+            let conn = Connection::new(db);
+            for _ in 0..20 {
+                let got = conn
+                    .query_all(
+                        "SELECT PosID, COUNT(*) AS C FROM POSITION GROUP BY PosID ORDER BY PosID",
+                    )
+                    .unwrap();
+                assert!(got.list_eq(&expected));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn concurrent_middleware_sessions() {
+    let db = seed_db();
+    let mut handles = Vec::new();
+    for t in 0..4 {
+        let db = db.clone();
+        handles.push(thread::spawn(move || {
+            let mut tango = Tango::connect(db);
+            for i in 0..5 {
+                let (rel, _) = tango
+                    .query(&format!(
+                        "VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION \
+                         WHERE PosID < {} GROUP BY PosID ORDER BY PosID",
+                        10 + (t * 5 + i) % 30
+                    ))
+                    .unwrap();
+                assert!(!rel.is_empty());
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+/// Writers (temp-table churn from `TRANSFER^D`-style loads) interleaved
+/// with readers must neither deadlock nor corrupt the catalog.
+#[test]
+fn readers_with_temp_table_churn() {
+    let db = seed_db();
+    let writer = {
+        let db = db.clone();
+        thread::spawn(move || {
+            let conn = Connection::new(db);
+            for i in 0..30 {
+                let name = format!("TMP_CHURN_{i}");
+                conn.load_direct(
+                    &name,
+                    tango::algebra::Schema::new(vec![tango::algebra::Attr::new(
+                        "X",
+                        tango::algebra::Type::Int,
+                    )]),
+                    (0..100).map(|j| tup![j as i64]).collect(),
+                )
+                .unwrap();
+                conn.execute(&format!("DROP TABLE {name}")).unwrap();
+            }
+        })
+    };
+    let reader = {
+        let db = db.clone();
+        thread::spawn(move || {
+            let conn = Connection::new(db);
+            for _ in 0..50 {
+                let r = conn.query_all("SELECT COUNT(*) AS C FROM POSITION").unwrap();
+                assert_eq!(r.tuples()[0][0].as_int(), Some(2_000));
+            }
+        })
+    };
+    writer.join().unwrap();
+    reader.join().unwrap();
+    // all temp tables gone
+    assert!(db.table_names().iter().all(|t| !t.starts_with("TMP_CHURN")));
+}

@@ -1,0 +1,186 @@
+//! Plan-placement equivalence: for randomized temporal data and a family
+//! of temporal queries, every operator placement the optimizer may choose
+//! must produce the same multiset of tuples. We force placements by
+//! skewing cost factors to extremes and compare results.
+//!
+//! (The snapshot-approximate `G4-taggr-window-push(approx)` rule is
+//! disabled here; its semantics are verified separately below.)
+
+use proptest::prelude::*;
+use tango::algebra::{tup, Attr, Relation, Schema, SortSpec, Type, Value};
+use tango::core::cost::CostFactors;
+use tango::minidb::{Connection, Database, Link, LinkProfile};
+use tango::Tango;
+
+fn make_db(rows: &[(i64, i64, f64, i32, i32)]) -> Database {
+    let db = Database::new(Link::new(LinkProfile::instant()));
+    let schema = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("PayRate", Type::Double),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    db.create_table("POSITION", schema).unwrap();
+    db.insert_rows(
+        "POSITION",
+        rows.iter()
+            .map(|&(p, e, pay, t1, t2)| tup![p, e, Value::Double(pay), t1, t2])
+            .collect(),
+    )
+    .unwrap();
+    Connection::new(db.clone())
+        .execute("ANALYZE TABLE POSITION COMPUTE STATISTICS")
+        .unwrap();
+    db
+}
+
+fn run_with_factors(db: &Database, sql: &str, factors: CostFactors) -> (Relation, String) {
+    let mut tango = Tango::connect(db.clone());
+    tango.options_mut().opt.approx_rules = false;
+    tango.set_factors(factors);
+    let (rel, report) = tango.query(sql).unwrap_or_else(|e| panic!("{e}\nsql: {sql}"));
+    (rel, report.optimized.explain())
+}
+
+fn mid_heavy() -> CostFactors {
+    CostFactors {
+        p_tm: 1e-9,
+        p_td: 1e9,
+        p_taggm1: 1e-9,
+        p_mjm: 1e-9,
+        p_taggd1: 1e9,
+        p_jd: 1e9,
+        ..Default::default()
+    }
+}
+
+fn dbms_heavy() -> CostFactors {
+    CostFactors {
+        p_tm: 1e9,
+        p_taggm1: 1e9,
+        p_mjm: 1e9,
+        p_sem: 1e9,
+        p_taggd1: 1e-9,
+        p_jd: 1e-9,
+        ..Default::default()
+    }
+}
+
+fn queries() -> Vec<String> {
+    vec![
+        // Query 1 flavour: temporal aggregation
+        "VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION GROUP BY PosID ORDER BY PosID"
+            .to_string(),
+        // global temporal aggregation with several functions
+        "VALIDTIME SELECT COUNT(EmpID) AS C, MIN(PayRate) AS MN, MAX(PayRate) AS MX \
+         FROM POSITION WHERE PosID < 3 GROUP BY PosID"
+            .to_string(),
+        // Query 3 flavour: temporal self-join with selections
+        "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+         WHERE A.PosID = B.PosID AND A.T1 < 40 AND B.T1 < 40 ORDER BY A.PosID"
+            .to_string(),
+        // Query 2 flavour: nested temporal aggregation + temporal join
+        "VALIDTIME SELECT P.PosID, C, P.EmpID FROM \
+           (VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION GROUP BY PosID) A, \
+           POSITION P WHERE A.PosID = P.PosID AND P.PayRate > 5 ORDER BY P.PosID"
+            .to_string(),
+        // regular projection/selection pipeline
+        "SELECT EmpID, PosID FROM POSITION WHERE PayRate > 5 AND PosID < 4 ORDER BY EmpID, PosID"
+            .to_string(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #[test]
+    fn middleware_and_dbms_placements_agree(
+        rows in proptest::collection::vec(
+            (1i64..6, 1i64..8, 0.0f64..20.0, 0i32..50, 1i32..30),
+            1..40,
+        ),
+    ) {
+        let fixed: Vec<(i64, i64, f64, i32, i32)> =
+            rows.into_iter().map(|(p, e, pay, t1, d)| (p, e, pay, t1, t1 + d)).collect();
+        let db = make_db(&fixed);
+        for sql in queries() {
+            let (mid, mid_plan) = run_with_factors(&db, &sql, mid_heavy());
+            let (dbms, dbms_plan) = run_with_factors(&db, &sql, dbms_heavy());
+            prop_assert!(
+                mid.multiset_eq(&dbms),
+                "placements disagree for {sql}\nmid plan:\n{mid_plan}\nmid:\n{mid}\ndbms plan:\n{dbms_plan}\ndbms:\n{dbms}"
+            );
+        }
+    }
+}
+
+/// The approximate window-push rule must preserve *snapshot* semantics:
+/// within the window, the aggregate at every time point is unchanged.
+#[test]
+fn approx_window_push_preserves_snapshots() {
+    let rows: Vec<(i64, i64, f64, i32, i32)> = vec![
+        (1, 1, 9.0, 0, 100),
+        (1, 2, 9.0, 10, 30),
+        (1, 3, 9.0, 25, 60),
+        (2, 4, 9.0, 5, 95),
+        (2, 5, 9.0, 40, 45),
+    ];
+    let db = make_db(&rows);
+    let sql = "VALIDTIME SELECT P.PosID, C, P.EmpID FROM \
+               (VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION GROUP BY PosID) A, \
+               POSITION P WHERE A.PosID = P.PosID AND T1 < 50 AND T2 > 20 ORDER BY P.PosID";
+
+    let run = |approx: bool| -> Relation {
+        let mut tango = Tango::connect(db.clone());
+        tango.options_mut().opt.approx_rules = approx;
+        // force the middleware so the pushed/unpushed variants actually differ
+        tango.set_factors(mid_heavy());
+        tango.query(sql).unwrap().0
+    };
+    let with_push = run(true);
+    let without_push = run(false);
+
+    // compare snapshots at every point inside the window (20..50)
+    let snap = |rel: &Relation, t: i64| -> Vec<(i64, i64, i64)> {
+        let s = rel.schema().clone();
+        let (i1, i2) = s.period().unwrap();
+        let mut v: Vec<(i64, i64, i64)> = rel
+            .tuples()
+            .iter()
+            .filter(|r| r[i1].as_int().unwrap() <= t && t < r[i2].as_int().unwrap())
+            .map(|r| {
+                (
+                    r[0].as_int().unwrap(),
+                    r[1].as_int().unwrap(),
+                    r[2].as_int().unwrap(),
+                )
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    for t in 20..50 {
+        assert_eq!(
+            snap(&with_push, t),
+            snap(&without_push, t),
+            "snapshot diverges at t={t}"
+        );
+    }
+}
+
+/// Sorted delivery: whatever the placement, ORDER BY must hold.
+#[test]
+fn order_by_is_respected_everywhere() {
+    let rows: Vec<(i64, i64, f64, i32, i32)> =
+        (0..30).map(|i| ((i * 7) % 5, i, 8.0, (i % 10) as i32, (i % 10 + 3) as i32)).collect();
+    let db = make_db(&rows);
+    let sql = "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+               WHERE A.PosID = B.PosID ORDER BY A.PosID";
+    for f in [mid_heavy(), dbms_heavy(), CostFactors::default()] {
+        let (rel, plan) = run_with_factors(&db, sql, f);
+        assert!(
+            rel.is_sorted_by(&SortSpec::by(["PosID"])),
+            "unsorted output from plan:\n{plan}"
+        );
+    }
+}
