@@ -91,10 +91,7 @@ mod tests {
         assert_eq!(days_from_civil(1995, 1, 1), 9_131);
         // The paper's example: 1995-01-01 .. 2000-01-01 spans 1826 days,
         // so T1 ranges over 1826 - 7 = 1819 distinct start values.
-        assert_eq!(
-            days_from_civil(2000, 1, 1) - days_from_civil(1995, 1, 1),
-            1826
-        );
+        assert_eq!(days_from_civil(2000, 1, 1) - days_from_civil(1995, 1, 1), 1826);
     }
 
     #[test]

@@ -84,7 +84,10 @@ impl ArithOp {
 /// [`Expr::bind`] has run, the resolved index (for evaluation).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Expr {
-    Col { name: String, index: Option<usize> },
+    Col {
+        name: String,
+        index: Option<usize>,
+    },
     Lit(Value),
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
     And(Box<Expr>, Box<Expr>),
@@ -153,10 +156,7 @@ impl Expr {
     /// The `Overlaps(a, b)` predicate of Section 3.3 over period columns:
     /// `t1 < b AND t2 > a`.
     pub fn overlaps(t1: &str, t2: &str, a: Expr, b: Expr) -> Expr {
-        Expr::and(
-            Expr::cmp(CmpOp::Lt, Expr::col(t1), b),
-            Expr::cmp(CmpOp::Gt, Expr::col(t2), a),
-        )
+        Expr::and(Expr::cmp(CmpOp::Lt, Expr::col(t1), b), Expr::cmp(CmpOp::Gt, Expr::col(t2), a))
     }
 
     /// Resolve every column reference against `schema`.
@@ -395,9 +395,7 @@ mod tests {
 
     #[test]
     fn three_valued_logic() {
-        let e = Expr::cmp(CmpOp::Eq, Expr::col("A"), Expr::lit(1))
-            .bound(&schema())
-            .unwrap();
+        let e = Expr::cmp(CmpOp::Eq, Expr::col("A"), Expr::lit(1)).bound(&schema()).unwrap();
         let t = Tuple::new(vec![Value::Null, Value::Int(0), Value::Str("".into())]);
         assert_eq!(e.eval_bool(&t).unwrap(), None);
         assert!(!e.matches(&t).unwrap());
@@ -408,13 +406,9 @@ mod tests {
 
     #[test]
     fn greatest_least() {
-        let e = Expr::Greatest(vec![Expr::col("A"), Expr::col("B")])
-            .bound(&schema())
-            .unwrap();
+        let e = Expr::Greatest(vec![Expr::col("A"), Expr::col("B")]).bound(&schema()).unwrap();
         assert_eq!(e.eval(&tup![3, 7, ""]).unwrap(), Value::Int(7));
-        let e = Expr::Least(vec![Expr::col("A"), Expr::col("B")])
-            .bound(&schema())
-            .unwrap();
+        let e = Expr::Least(vec![Expr::col("A"), Expr::col("B")]).bound(&schema()).unwrap();
         assert_eq!(e.eval(&tup![3, 7, ""]).unwrap(), Value::Int(3));
     }
 
@@ -424,10 +418,7 @@ mod tests {
             Expr::cmp(CmpOp::Lt, Expr::col("T1"), Expr::lit(Value::Date(0))),
             Expr::cmp(CmpOp::Eq, Expr::col("S"), Expr::lit("o'brien")),
         );
-        assert_eq!(
-            e.to_string(),
-            "((T1 < DATE '1970-01-01') AND (S = 'o''brien'))"
-        );
+        assert_eq!(e.to_string(), "((T1 < DATE '1970-01-01') AND (S = 'o''brien'))");
     }
 
     #[test]

@@ -282,9 +282,7 @@ pub fn infer_type(e: &Expr, schema: &Schema) -> Result<Type> {
 pub fn concat_schemas(l: &Schema, r: &Schema) -> Schema {
     let mut attrs: Vec<Attr> = l.attrs().to_vec();
     for a in r.attrs() {
-        let clash = attrs
-            .iter()
-            .any(|b| b.name.eq_ignore_ascii_case(&a.name));
+        let clash = attrs.iter().any(|b| b.name.eq_ignore_ascii_case(&a.name));
         let name = if clash { format!("{}_2", a.name) } else { a.name.clone() };
         attrs.push(Attr::new(name, a.ty));
     }
@@ -298,9 +296,9 @@ pub fn tjoin_schema(eq: &[(String, String)], l: &Schema, r: &Schema) -> Result<S
     let (lt1, lt2) = l
         .period()
         .ok_or_else(|| AlgebraError::Schema("temporal join over non-temporal left input".into()))?;
-    let (rt1, rt2) = r
-        .period()
-        .ok_or_else(|| AlgebraError::Schema("temporal join over non-temporal right input".into()))?;
+    let (rt1, rt2) = r.period().ok_or_else(|| {
+        AlgebraError::Schema("temporal join over non-temporal right input".into())
+    })?;
     let mut attrs = Vec::new();
     for (i, a) in l.attrs().iter().enumerate() {
         if i != lt1 && i != lt2 {
@@ -311,9 +309,7 @@ pub fn tjoin_schema(eq: &[(String, String)], l: &Schema, r: &Schema) -> Result<S
         if i == rt1 || i == rt2 {
             continue;
         }
-        let is_join_col = eq.iter().any(|(_, rc)|
-
-            r.index_of(rc).map(|j| j == i).unwrap_or(false));
+        let is_join_col = eq.iter().any(|(_, rc)| r.index_of(rc).map(|j| j == i).unwrap_or(false));
         if is_join_col {
             continue;
         }
@@ -330,9 +326,9 @@ pub fn tjoin_schema(eq: &[(String, String)], l: &Schema, r: &Schema) -> Result<S
 /// Temporal aggregation output schema: grouping attributes, `T1`, `T2`,
 /// then the aggregate aliases (the shape of Figure 3(c)).
 pub fn taggr_schema(group_by: &[String], aggs: &[AggSpec], input: &Schema) -> Result<Schema> {
-    let (t1, _) = input
-        .period()
-        .ok_or_else(|| AlgebraError::Schema("temporal aggregation over non-temporal input".into()))?;
+    let (t1, _) = input.period().ok_or_else(|| {
+        AlgebraError::Schema("temporal aggregation over non-temporal input".into())
+    })?;
     let mut attrs = Vec::new();
     for g in group_by {
         let i = input.index_of(g)?;
@@ -378,8 +374,7 @@ impl fmt::Display for Logical {
                 }
                 Logical::Sort { keys, .. } => write!(f, " [{keys}]")?,
                 Logical::Join { eq, .. } | Logical::TJoin { eq, .. } => {
-                    let conds: Vec<String> =
-                        eq.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                    let conds: Vec<String> = eq.iter().map(|(l, r)| format!("{l}={r}")).collect();
                     write!(f, " [{}]", conds.join(" AND "))?
                 }
                 Logical::TAggr { group_by, aggs, .. } => {
@@ -434,16 +429,11 @@ mod tests {
             vec![AggSpec::new(AggFunc::Count, Some("PosID"), "COUNTofPosID")],
         );
         let s = agg.output_schema(&src()).unwrap();
-        assert_eq!(
-            s.names().collect::<Vec<_>>(),
-            vec!["PosID", "T1", "T2", "COUNTofPosID"]
-        );
+        assert_eq!(s.names().collect::<Vec<_>>(), vec!["PosID", "T1", "T2", "COUNTofPosID"]);
         assert!(s.is_temporal());
 
-        let joined = agg.tjoin(
-            Logical::get("POSITION"),
-            vec![("PosID".to_string(), "PosID".to_string())],
-        );
+        let joined =
+            agg.tjoin(Logical::get("POSITION"), vec![("PosID".to_string(), "PosID".to_string())]);
         let s = joined.output_schema(&src()).unwrap();
         // left (agg) non-period attrs, right non-period attrs minus join col, T1, T2
         assert_eq!(
@@ -455,10 +445,8 @@ mod tests {
 
     #[test]
     fn join_schema_renames_clashes() {
-        let j = Logical::get("POSITION").join(
-            Logical::get("POSITION"),
-            vec![("PosID".to_string(), "PosID".to_string())],
-        );
+        let j = Logical::get("POSITION")
+            .join(Logical::get("POSITION"), vec![("PosID".to_string(), "PosID".to_string())]);
         let s = j.output_schema(&src()).unwrap();
         assert_eq!(
             s.names().collect::<Vec<_>>(),

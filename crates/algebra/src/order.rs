@@ -78,10 +78,7 @@ impl SortSpec {
     /// resolve are dropped (the order they promised cannot be expressed over
     /// this schema).
     pub fn resolve(&self, schema: &Schema) -> Vec<(usize, bool)> {
-        self.0
-            .iter()
-            .filter_map(|k| schema.index_of(&k.col).ok().map(|i| (i, k.desc)))
-            .collect()
+        self.0.iter().filter_map(|k| schema.index_of(&k.col).ok().map(|i| (i, k.desc))).collect()
     }
 
     /// Comparator over tuples for this spec (resolved against `schema`).

@@ -96,11 +96,7 @@ impl Schema {
             return Ok(i);
         }
         let bare = name.rsplit('.').next().unwrap_or(name);
-        let mut hits = self
-            .attrs
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| eq(a.bare_name(), bare));
+        let mut hits = self.attrs.iter().enumerate().filter(|(_, a)| eq(a.bare_name(), bare));
         match (hits.next(), hits.next()) {
             (Some((i, _)), None) => Ok(i),
             (Some(_), Some(_)) => Err(AlgebraError::AmbiguousColumn(name.to_string())),
@@ -147,11 +143,7 @@ impl Schema {
     /// Return a copy with all qualifiers stripped.
     pub fn unqualified(&self) -> Schema {
         Schema {
-            attrs: self
-                .attrs
-                .iter()
-                .map(|a| Attr::new(a.bare_name().to_string(), a.ty))
-                .collect(),
+            attrs: self.attrs.iter().map(|a| Attr::new(a.bare_name().to_string(), a.ty)).collect(),
             period: self.period,
         }
     }
@@ -215,10 +207,7 @@ mod tests {
         let mut attrs = pos_schema().qualified("A").attrs().to_vec();
         attrs.extend(pos_schema().qualified("B").attrs().to_vec());
         let s = Schema::new(attrs);
-        assert!(matches!(
-            s.index_of("PosID"),
-            Err(AlgebraError::AmbiguousColumn(_))
-        ));
+        assert!(matches!(s.index_of("PosID"), Err(AlgebraError::AmbiguousColumn(_))));
         assert_eq!(s.index_of("A.PosID").unwrap(), 0);
         assert_eq!(s.index_of("B.PosID").unwrap(), 4);
     }

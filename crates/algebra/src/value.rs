@@ -133,9 +133,7 @@ impl Value {
                     if let (Some(x), Some(y)) = (a.as_int(), b.as_int()) {
                         x.cmp(&y)
                     } else {
-                        a.as_num()
-                            .unwrap_or(f64::NAN)
-                            .total_cmp(&b.as_num().unwrap_or(f64::NAN))
+                        a.as_num().unwrap_or(f64::NAN).total_cmp(&b.as_num().unwrap_or(f64::NAN))
                     }
                 }
             },
@@ -172,9 +170,9 @@ impl Value {
         match (self, other) {
             (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
             (Value::Date(d), b) if op == "+" || op == "-" => {
-                let delta = b.as_int().ok_or_else(|| {
-                    AlgebraError::TypeMismatch(format!("DATE {op} {other}"))
-                })?;
+                let delta = b
+                    .as_int()
+                    .ok_or_else(|| AlgebraError::TypeMismatch(format!("DATE {op} {other}")))?;
                 let delta = if op == "-" { -delta } else { delta };
                 Ok(Value::Date(*d + delta as Day))
             }
@@ -280,14 +278,8 @@ mod tests {
 
     #[test]
     fn mixed_numeric_comparison() {
-        assert_eq!(
-            Value::Int(3).sql_cmp(&Value::Double(3.5)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Value::Date(10).sql_cmp(&Value::Int(10)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::Int(3).sql_cmp(&Value::Double(3.5)), Some(Ordering::Less));
+        assert_eq!(Value::Date(10).sql_cmp(&Value::Int(10)), Some(Ordering::Equal));
         assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
         assert_eq!(Value::Str("a".into()).sql_cmp(&Value::Int(1)), None);
     }
@@ -316,14 +308,8 @@ mod tests {
 
     #[test]
     fn date_arithmetic() {
-        assert_eq!(
-            Value::Date(100).add(&Value::Int(1)).unwrap(),
-            Value::Date(101)
-        );
-        assert_eq!(
-            Value::Date(100).sub(&Value::Int(7)).unwrap(),
-            Value::Date(93)
-        );
+        assert_eq!(Value::Date(100).add(&Value::Int(1)).unwrap(), Value::Date(101));
+        assert_eq!(Value::Date(100).sub(&Value::Int(7)).unwrap(), Value::Date(93));
     }
 
     #[test]

@@ -42,10 +42,7 @@ fn bench_queries(c: &mut Criterion) {
         ("sort", "SELECT K, V FROM T ORDER BY K, T1"),
         ("hash_join", "SELECT A.K, B.V FROM T A, T B WHERE A.K = B.K AND A.V < 100000"),
         ("group_by", "SELECT K, COUNT(*) AS C, MIN(T1) AS M FROM T GROUP BY K"),
-        (
-            "union_distinct",
-            "SELECT K, T1 AS P FROM T UNION SELECT K, T2 FROM T",
-        ),
+        ("union_distinct", "SELECT K, T1 AS P FROM T UNION SELECT K, T2 FROM T"),
     ];
     let mut g = c.benchmark_group("minidb");
     g.throughput(Throughput::Bytes(bytes));

@@ -23,7 +23,12 @@ fn temporal_relation(n: usize, groups: usize) -> Relation {
         x ^= x >> 7;
         x ^= x << 17;
         let t1 = (x % 10_000) as i64;
-        rows.push(tup![(i % groups.max(1)) as i64, (x % 1000) as i64, t1, t1 + 1 + (x % 300) as i64]);
+        rows.push(tup![
+            (i % groups.max(1)) as i64,
+            (x % 1000) as i64,
+            t1,
+            t1 + 1 + (x % 300) as i64
+        ]);
     }
     let mut rel = Relation::new(schema, rows);
     rel.sort_by(&SortSpec::by(["G", "T1"]));

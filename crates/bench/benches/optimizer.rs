@@ -33,9 +33,7 @@ fn bench_optimize(c: &mut Criterion) {
 
     // parser alone
     let sql = q2_sql(day(1983, 1, 1), day(1996, 1, 1));
-    c.bench_function("parse_tsql_query2", |b| {
-        b.iter(|| setup.tango.parse(&sql).unwrap().size())
-    });
+    c.bench_function("parse_tsql_query2", |b| b.iter(|| setup.tango.parse(&sql).unwrap().size()));
 }
 
 criterion_group! {

@@ -25,7 +25,13 @@ fn stats_with_histograms(buckets: usize) -> RelationStats {
     }
     s.set_attr(
         "PosID",
-        AttrStats { min: Some(1.0), max: Some(20_000.0), distinct: 16_000, avg_width: 8.0, ..Default::default() },
+        AttrStats {
+            min: Some(1.0),
+            max: Some(20_000.0),
+            distinct: 16_000,
+            avg_width: 8.0,
+            ..Default::default()
+        },
     );
     s
 }

@@ -52,10 +52,9 @@ fn main() {
     println!("best fixed plans: Q2 {bq2_name} ({bq2_t:.2?}); Q3 {bq3_name} ({bq3_t:.2?})\n");
 
     let run = |setup: &mut tango_bench::Setup, label: &str| {
-        for (qname, sql, best) in [
-            ("Q2", q2_sql(day(1983, 1, 1), q2_end), bq2_t),
-            ("Q3", q3_sql(q3_bound), bq3_t),
-        ] {
+        for (qname, sql, best) in
+            [("Q2", q2_sql(day(1983, 1, 1), q2_end), bq2_t), ("Q3", q3_sql(q3_bound), bq3_t)]
+        {
             setup.db.link().reset();
             let (rel, report) = setup.tango.query(&sql).expect("query failed");
             let t = report.total();

@@ -15,7 +15,9 @@
 
 use tango_algebra::date::day;
 use tango_bench::plans::{placement_summary, q2_plans, q2_sql, PlanBuilder};
-use tango_bench::{load_uis, time_plan, time_query, uis_link_profile, Table};
+use tango_bench::{
+    load_uis, time_plan_report, time_query_report, uis_link_profile, JsonLog, Table,
+};
 use tango_uis::UisConfig;
 
 fn main() {
@@ -37,24 +39,24 @@ fn main() {
         "plan6 (all DBMS)",
         "optimizer",
     ];
-    let mut table = Table::new(
-        "Figure 10 — Query 2, time by selection window end",
-        "window end",
-        &names,
-    );
+    let mut table =
+        Table::new("Figure 10 — Query 2, time by selection window end", "window end", &names);
 
     let mut choice_rows: Vec<(i32, String, String)> = Vec::new();
+    let mut ops = JsonLog::new();
     for &y in &years {
         let end = day(y, 1, 1);
         let b = PlanBuilder::new(&setup.conn);
         let mut cells = Vec::new();
-        for (_, plan) in q2_plans(&b, start, end) {
+        for (name, plan) in q2_plans(&b, start, end) {
             setup.db.link().reset();
-            let (t, _rows) = time_plan(&mut setup.tango, &plan);
+            let (t, _rows, report) = time_plan_report(&mut setup.tango, &plan);
+            ops.push(name, y, &report);
             cells.push(Some(t));
         }
         setup.db.link().reset();
-        let (t, _, _) = time_query(&mut setup.tango, &q2_sql(start, end));
+        let (t, _, _, report) = time_query_report(&mut setup.tango, &q2_sql(start, end));
+        ops.push("optimizer", y, &report);
         cells.push(Some(t));
         table.row(y, cells);
 
@@ -65,14 +67,11 @@ fn main() {
         setup.tango.options_mut().use_histograms = false;
         let without_h = setup.tango.optimize(&q2_sql(start, end)).unwrap();
         setup.tango.options_mut().use_histograms = true;
-        choice_rows.push((
-            y,
-            placement_summary(&with_h.plan),
-            placement_summary(&without_h.plan),
-        ));
+        choice_rows.push((y, placement_summary(&with_h.plan), placement_summary(&without_h.plan)));
     }
     table.note("paper: flat until ~1990; then plans 4/5 and 6 blow up, plan 2 wins (Fig. 10b)");
     table.emit("fig10_query2");
+    ops.emit("fig10_query2");
 
     println!("\n== Query 2 plan choice: with vs without histograms ==");
     println!("{:>6}  {:40}  {:40}", "end", "with histograms", "without histograms");

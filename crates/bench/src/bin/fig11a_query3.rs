@@ -14,7 +14,9 @@
 
 use tango_algebra::date::day;
 use tango_bench::plans::{placement_summary, q3_plans, q3_sql, PlanBuilder};
-use tango_bench::{load_uis, time_plan, time_query, uis_link_profile, Table};
+use tango_bench::{
+    load_uis, time_plan_report, time_query_report, uis_link_profile, JsonLog, Table,
+};
 use tango_uis::UisConfig;
 
 fn main() {
@@ -32,26 +34,27 @@ fn main() {
         &["plan1 (all DBMS)", "plan2 (tjoinM)", "optimizer"],
     );
 
+    let mut ops = JsonLog::new();
     for &y in &years {
         let bound = day(y, 1, 1);
         let b = PlanBuilder::new(&setup.conn);
         let mut cells = Vec::new();
         let mut result_rows = 0;
-        for (_, plan) in q3_plans(&b, bound) {
+        for (name, plan) in q3_plans(&b, bound) {
             setup.db.link().reset();
-            let (t, rows) = time_plan(&mut setup.tango, &plan);
+            let (t, rows, report) = time_plan_report(&mut setup.tango, &plan);
+            ops.push(name, y, &report);
             result_rows = rows;
             cells.push(Some(t));
         }
         setup.db.link().reset();
-        let (t, _, _) = time_query(&mut setup.tango, &q3_sql(bound));
+        let (t, _, _, report) = time_query_report(&mut setup.tango, &q3_sql(bound));
+        ops.push("optimizer", y, &report);
         cells.push(Some(t));
         let chosen = setup.tango.optimize(&q3_sql(bound)).unwrap();
         let ests: Vec<String> = q3_plans(&b, bound)
             .iter()
-            .map(|(n, p)| {
-                format!("{n}={:.2}s", setup.tango.estimate_physical(p).unwrap() / 1e6)
-            })
+            .map(|(n, p)| format!("{n}={:.2}s", setup.tango.estimate_physical(p).unwrap() / 1e6))
             .collect();
         eprintln!(
             "  bound={y}: result rows={result_rows} chosen [{}] est[{}] classes={} elements={}",
@@ -64,4 +67,5 @@ fn main() {
     }
     table.note("paper: plan 2 overtakes plan 1 once the result outgrows the arguments");
     table.emit("fig11a_query3");
+    ops.emit("fig11a_query3");
 }

@@ -12,7 +12,9 @@
 use std::time::Instant;
 use tango_bench::plans::{placement_summary, q4_dbms_sql, q4_plan1, q4_sql, PlanBuilder};
 use tango_bench::setup::load_position_variant;
-use tango_bench::{load_uis, time_plan, time_query, uis_link_profile, Table};
+use tango_bench::{
+    load_uis, time_plan_report, time_query_report, uis_link_profile, JsonLog, Table,
+};
 use tango_uis::{UisConfig, POSITION_VARIANTS};
 
 fn main() {
@@ -38,6 +40,7 @@ fn main() {
         &["plan1 (join in mid)", "plan2 (DBMS NL)", "plan3 (DBMS merge)", "optimizer"],
     );
 
+    let mut ops = JsonLog::new();
     for &n in &sizes {
         let tname = format!("POS_{n}");
         load_position_variant(&mut setup, &tname, n);
@@ -46,7 +49,8 @@ fn main() {
 
         // Plan 1: middleware sort-merge join
         setup.db.link().reset();
-        let (t, _) = time_plan(&mut setup.tango, &q4_plan1(&b, &tname));
+        let (t, _, report) = time_plan_report(&mut setup.tango, &q4_plan1(&b, &tname));
+        ops.push("plan1 (join in mid)", n, &report);
         cells.push(Some(t));
 
         // Plans 2/3: hinted DBMS SQL (wall + wire)
@@ -54,10 +58,7 @@ fn main() {
             setup.db.link().reset();
             let w0 = setup.conn.link().total();
             let t0 = Instant::now();
-            let r = setup
-                .conn
-                .query_all(&q4_dbms_sql(&tname, hint))
-                .expect("hinted query failed");
+            let r = setup.conn.query_all(&q4_dbms_sql(&tname, hint)).expect("hinted query failed");
             let wall = t0.elapsed();
             let wire = setup.conn.link().total().saturating_sub(w0);
             assert!(!r.is_empty());
@@ -66,7 +67,8 @@ fn main() {
 
         // optimizer's choice via temporal SQL (no hints)
         setup.db.link().reset();
-        let (t, _, _) = time_query(&mut setup.tango, &q4_sql(&tname));
+        let (t, _, _, report) = time_query_report(&mut setup.tango, &q4_sql(&tname));
+        ops.push("optimizer", n, &report);
         cells.push(Some(t));
         let chosen = setup.tango.optimize(&q4_sql(&tname)).unwrap();
         eprintln!(
@@ -80,4 +82,5 @@ fn main() {
     }
     table.note("paper: DBMS plans best; middleware plan competitive (low TANGO overhead)");
     table.emit("fig11b_query4");
+    ops.emit("fig11b_query4");
 }

@@ -10,7 +10,9 @@
 
 use tango_bench::plans::{placement_summary, q1_plans, q1_sql, PlanBuilder};
 use tango_bench::setup::load_position_variant;
-use tango_bench::{load_uis, time_plan, time_query, uis_link_profile, Table};
+use tango_bench::{
+    load_uis, time_plan_report, time_query_report, uis_link_profile, JsonLog, Table,
+};
 use tango_uis::{UisConfig, POSITION_VARIANTS};
 
 fn main() {
@@ -33,15 +35,17 @@ fn main() {
         &["plan1 (sortD+taggrM)", "plan2 (sortM+taggrM)", "plan3 (all DBMS)", "optimizer"],
     );
 
+    let mut ops = JsonLog::new();
     for &n in &sizes {
         let tname = format!("POS_{n}");
         load_position_variant(&mut setup, &tname, n);
         let b = PlanBuilder::new(&setup.conn);
         let mut cells = Vec::new();
         let mut rows_seen = None;
-        for (_, plan) in q1_plans(&b, &tname) {
+        for (name, plan) in q1_plans(&b, &tname) {
             setup.db.link().reset();
-            let (t, rows) = time_plan(&mut setup.tango, &plan);
+            let (t, rows, report) = time_plan_report(&mut setup.tango, &plan);
+            ops.push(name, n, &report);
             if let Some(r) = rows_seen {
                 assert_eq!(r, rows, "plans disagree on the result size");
             }
@@ -50,7 +54,8 @@ fn main() {
         }
         // the optimizer's own choice, end to end
         setup.db.link().reset();
-        let (t, _, explain) = time_query(&mut setup.tango, &q1_sql(&tname));
+        let (t, _, explain, report) = time_query_report(&mut setup.tango, &q1_sql(&tname));
+        ops.push("optimizer", n, &report);
         cells.push(Some(t));
         let chosen = setup.tango.optimize(&q1_sql(&tname)).unwrap();
         table.row(n, cells);
@@ -66,4 +71,5 @@ fn main() {
     }
     table.note("paper: plans 1-2 close; plan 3 up to ~10x slower (Fig. 8)");
     table.emit("fig8_query1");
+    ops.emit("fig8_query1");
 }

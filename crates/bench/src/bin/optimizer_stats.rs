@@ -56,11 +56,18 @@ fn main() {
         );
         let mut fires = q.rule_fires.clone();
         fires.sort();
-        let fired: Vec<String> =
-            fires.iter().map(|(n, c)| format!("{n}×{c}")).collect();
+        let fired: Vec<String> = fires.iter().map(|(n, c)| format!("{n}×{c}")).collect();
         if !fired.is_empty() {
             println!("{:24}   rules: {}", "", fired.join(", "));
         }
+        println!(
+            "{:24}   search: {} optimize calls, {} impls, {} enforcers, {} cache hits",
+            "",
+            q.search.optimize_calls,
+            q.search.implementations_considered,
+            q.search.enforcers_considered,
+            q.search.cache_hits,
+        );
         println!("{:24}   plan:\n{}", "", indent(&q.explain(), 8));
     }
     println!(
@@ -69,8 +76,5 @@ fn main() {
 }
 
 fn indent(s: &str, n: usize) -> String {
-    s.lines()
-        .map(|l| format!("{}{l}", " ".repeat(n)))
-        .collect::<Vec<_>>()
-        .join("\n")
+    s.lines().map(|l| format!("{}{l}", " ".repeat(n))).collect::<Vec<_>>().join("\n")
 }

@@ -14,10 +14,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tango_algebra::date::{day, format_date};
-use tango_stats::temporal_sel::naive_overlaps_cardinality;
-use tango_stats::{overlaps_cardinality, RelationStats};
 use tango_stats::stats::AttrStats;
+use tango_stats::temporal_sel::naive_overlaps_cardinality;
 use tango_stats::Histogram;
+use tango_stats::{overlaps_cardinality, RelationStats};
 
 struct Column {
     t1: Vec<f64>,
@@ -89,7 +89,10 @@ fn main() {
     println!("  paper:    naive 24.7%, proposed ~0.8%, actual 0.4-0.8% (factor-40 error)\n");
 
     println!("window sweep (proposed vs naive error factor):");
-    println!("{:>12} {:>12} {:>9} {:>9} {:>9} {:>10} {:>10}", "A", "B", "actual", "naive", "prop.", "naive-err", "prop-err");
+    println!(
+        "{:>12} {:>12} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "A", "B", "actual", "naive", "prop.", "naive-err", "prop-err"
+    );
     for (ya, yb) in [(1995, 1995), (1996, 1997), (1997, 1999), (1995, 2000)] {
         let a = day(ya, 6, 1) as f64;
         let b = day(yb, 9, 1) as f64;

@@ -45,10 +45,7 @@ fn main() {
     }
 
     println!("\n== bandwidth sweep: Query 1 placement decision ==");
-    println!(
-        "{:>12} {:>10} {:>12}  chosen placement",
-        "bytes/sec", "p_tm", "est. cost"
-    );
+    println!("{:>12} {:>10} {:>12}  chosen placement", "bytes/sec", "p_tm", "est. cost");
     for mbps in [0.5f64, 2.0, 8.0, 64.0, 1e6] {
         let profile = LinkProfile {
             roundtrip_latency_us: if mbps >= 1e6 { 0.0 } else { 500.0 },

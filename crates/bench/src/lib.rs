@@ -21,10 +21,11 @@ pub mod plans;
 pub mod report;
 pub mod setup;
 
-pub use report::Table;
+pub use report::{JsonLog, Table};
 pub use setup::{load_uis, uis_link_profile, Setup};
 
 use std::time::Duration;
+use tango_core::engine::ExecReport;
 use tango_core::phys::PhysNode;
 use tango_core::Tango;
 
@@ -32,8 +33,15 @@ use tango_core::Tango;
 /// Total time = compute wall time + virtual wire time, like the paper's
 /// measurements.
 pub fn time_plan(tango: &mut Tango, plan: &PhysNode) -> (Duration, usize) {
+    let (t, rows, _) = time_plan_report(tango, plan);
+    (t, rows)
+}
+
+/// Like [`time_plan`], but also returns the per-operator execution
+/// report (for the machine-readable JSON emitted next to each figure).
+pub fn time_plan_report(tango: &mut Tango, plan: &PhysNode) -> (Duration, usize, ExecReport) {
     match tango.execute_physical(plan) {
-        Ok((rel, report)) => (report.total(), rel.len()),
+        Ok((rel, report)) => (report.total(), rel.len(), report),
         Err(e) => panic!("plan failed: {e}\n{}", plan.render()),
     }
 }
@@ -41,10 +49,16 @@ pub fn time_plan(tango: &mut Tango, plan: &PhysNode) -> (Duration, usize) {
 /// Optimize + execute a temporal-SQL query (the "optimizer's choice"
 /// rows of the figures; includes optimization time, as in the paper).
 pub fn time_query(tango: &mut Tango, sql: &str) -> (Duration, usize, String) {
+    let (t, rows, explain, _) = time_query_report(tango, sql);
+    (t, rows, explain)
+}
+
+/// Like [`time_query`], but also returns the execution report.
+pub fn time_query_report(tango: &mut Tango, sql: &str) -> (Duration, usize, String, ExecReport) {
     match tango.query(sql) {
         Ok((rel, report)) => {
             let t = report.total();
-            (t, rel.len(), report.optimized.explain())
+            (t, rel.len(), report.optimized.explain(), report.exec)
         }
         Err(e) => panic!("query failed: {e}\nsql: {sql}"),
     }

@@ -4,9 +4,7 @@
 
 use std::sync::Arc;
 use tango_algebra::date::format_date;
-use tango_algebra::{
-    AggFunc, AggSpec, CmpOp, Day, Expr, ProjItem, SortSpec, Value,
-};
+use tango_algebra::{AggFunc, AggSpec, CmpOp, Day, Expr, ProjItem, SortSpec, Value};
 use tango_core::phys::{Algo, PhysNode};
 use tango_minidb::Connection;
 
@@ -21,11 +19,13 @@ impl PlanBuilder {
     }
 
     pub fn scan(&self, table: &str) -> PhysNode {
-        let schema = self
-            .conn
-            .table_schema(table)
-            .unwrap_or_else(|| panic!("unknown table {table}"));
-        PhysNode { algo: Algo::ScanD(table.to_string()), schema: Arc::new(schema), children: vec![] }
+        let schema =
+            self.conn.table_schema(table).unwrap_or_else(|| panic!("unknown table {table}"));
+        PhysNode {
+            algo: Algo::ScanD(table.to_string()),
+            schema: Arc::new(schema),
+            children: vec![],
+        }
     }
 
     pub fn un(&self, algo: Algo, child: PhysNode) -> PhysNode {
@@ -50,20 +50,12 @@ fn eqp(l: &str, r: &str) -> Vec<(String, String)> {
 }
 
 fn count_agg() -> (Vec<String>, Vec<AggSpec>) {
-    (
-        vec!["PosID".to_string()],
-        vec![AggSpec::new(AggFunc::Count, Some("PosID"), "Cnt")],
-    )
+    (vec!["PosID".to_string()], vec![AggSpec::new(AggFunc::Count, Some("PosID"), "Cnt")])
 }
 
 /// The overlap window predicate `T1 < end AND T2 > start`.
 pub fn window_pred(start: Day, end: Day) -> Expr {
-    Expr::overlaps(
-        "T1",
-        "T2",
-        Expr::Lit(Value::Date(start)),
-        Expr::Lit(Value::Date(end)),
-    )
+    Expr::overlaps("T1", "T2", Expr::Lit(Value::Date(start)), Expr::Lit(Value::Date(end)))
 }
 
 pub fn payrate_pred() -> Expr {
@@ -95,10 +87,7 @@ pub fn q1_plans(b: &PlanBuilder, table: &str) -> Vec<(&'static str, PhysNode)> {
     // Plan 1: sort in the DBMS, aggregate in the middleware
     let p1 = b.un(
         Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() },
-        b.un(
-            Algo::TransferM,
-            b.un(Algo::SortD(sort_keys.clone()), dbms_proj(b)),
-        ),
+        b.un(Algo::TransferM, b.un(Algo::SortD(sort_keys.clone()), dbms_proj(b))),
     );
 
     // Plan 2: sort and aggregate in the middleware
@@ -156,12 +145,7 @@ pub fn q2_plans(b: &PlanBuilder, start: Day, end: Day) -> Vec<(&'static str, Phy
         )
     };
     // join-side POSITION: σ_w ∧ payrate in the DBMS
-    let p_side = || {
-        b.un(
-            Algo::FilterD(Expr::and(win.clone(), payrate_pred())),
-            b.scan("POSITION"),
-        )
-    };
+    let p_side = || b.un(Algo::FilterD(Expr::and(win.clone(), payrate_pred())), b.scan("POSITION"));
     let eq = eqp("PosID", "PosID");
 
     // Plan 1: taggr in the middleware; join, sort in the DBMS
@@ -215,11 +199,7 @@ pub fn q2_plans(b: &PlanBuilder, start: Day, end: Day) -> Vec<(&'static str, Phy
         Algo::TransferM,
         b.un(
             Algo::SortD(SortSpec::by(["PosID"])),
-            b.bin(
-                Algo::TJoinD(eq),
-                b.un(Algo::TAggrD { group_by, aggs }, a_side(true)),
-                p_side(),
-            ),
+            b.bin(Algo::TJoinD(eq), b.un(Algo::TAggrD { group_by, aggs }, a_side(true)), p_side()),
         ),
     );
 
@@ -259,16 +239,12 @@ pub fn q3_plans(b: &PlanBuilder, bound: Day) -> Vec<(&'static str, PhysNode)> {
     // Plan 1: all in the DBMS
     let p1 = b.un(
         Algo::TransferM,
-        b.un(
-            Algo::SortD(SortSpec::by(["PosID"])),
-            b.bin(Algo::TJoinD(eq.clone()), side(), side()),
-        ),
+        b.un(Algo::SortD(SortSpec::by(["PosID"])), b.bin(Algo::TJoinD(eq.clone()), side(), side())),
     );
 
     // Plan 2: temporal join in the middleware (both sides sorted in the
     // DBMS; the merge output needs no final sort)
-    let sorted_side =
-        || b.un(Algo::TransferM, b.un(Algo::SortD(SortSpec::by(["PosID"])), side()));
+    let sorted_side = || b.un(Algo::TransferM, b.un(Algo::SortD(SortSpec::by(["PosID"])), side()));
     let p2 = b.bin(Algo::TMergeJoinM(eq), sorted_side(), sorted_side());
 
     vec![("plan1 (all DBMS)", p1), ("plan2 (tjoinM)", p2)]
@@ -290,14 +266,8 @@ pub fn q4_sql(pos_table: &str) -> String {
 /// SQL (`/*+ USE_NL */`, `/*+ USE_MERGE */`) exactly like the paper used
 /// Oracle hints; see the `fig11b_query4` binary.
 pub fn q4_plan1(b: &PlanBuilder, pos_table: &str) -> PhysNode {
-    let pos = b.un(
-        Algo::ProjectD(proj_cols(&["PosID", "EmpID"])),
-        b.scan(pos_table),
-    );
-    let emp = b.un(
-        Algo::ProjectD(proj_cols(&["EmpID", "EmpName", "Address"])),
-        b.scan("EMPLOYEE"),
-    );
+    let pos = b.un(Algo::ProjectD(proj_cols(&["PosID", "EmpID"])), b.scan(pos_table));
+    let emp = b.un(Algo::ProjectD(proj_cols(&["EmpID", "EmpName", "Address"])), b.scan("EMPLOYEE"));
     let join = b.bin(
         Algo::MergeJoinM(eqp("EmpID", "EmpID")),
         b.un(Algo::SortM(SortSpec::by(["EmpID"])), b.un(Algo::TransferM, pos)),
@@ -305,10 +275,7 @@ pub fn q4_plan1(b: &PlanBuilder, pos_table: &str) -> PhysNode {
     );
     b.un(
         Algo::SortM(SortSpec::by(["PosID"])),
-        b.un(
-            Algo::ProjectM(proj_cols(&["PosID", "EmpName", "Address"])),
-            join,
-        ),
+        b.un(Algo::ProjectM(proj_cols(&["PosID", "EmpName", "Address"])), join),
     )
 }
 

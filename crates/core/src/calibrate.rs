@@ -11,9 +11,9 @@ use crate::phys::{Algo, PhysNode};
 use crate::to_sql;
 use rand_free::SmallRng;
 use std::sync::Arc;
-use std::time::Instant;
 use tango_algebra::{tup, AggFunc, AggSpec, Attr, Relation, Schema, SortSpec, Type};
 use tango_minidb::Connection;
+use tango_trace::Stopwatch;
 use tango_xxl::{collect as drain, VecScan};
 
 /// A tiny deterministic PRNG so the calibrator needs no extra crate
@@ -44,6 +44,7 @@ mod rand_free {
 /// One calibration observation.
 #[derive(Debug, Clone)]
 pub struct Sample {
+    /// Which probe produced it.
     pub probe: &'static str,
     /// The statistic the formula weighs (bytes, bytes·log₂ n, ...).
     pub x: f64,
@@ -54,7 +55,9 @@ pub struct Sample {
 /// Calibration outcome: fitted factors plus the raw samples.
 #[derive(Debug, Clone)]
 pub struct Calibration {
+    /// The fitted cost factors.
     pub factors: CostFactors,
+    /// The raw observations behind the fit.
     pub samples: Vec<Sample>,
 }
 
@@ -133,12 +136,9 @@ pub fn calibrate(conn: &Connection, seed: u64) -> Result<Calibration> {
 
     // wire-aware timing helper: wall time + virtual wire delta
     let timed = |conn: &Connection, f: &mut dyn FnMut() -> Result<()>| -> Result<f64> {
-        let w0 = conn.link().total();
-        let t0 = Instant::now();
+        let sw = Stopwatch::start(conn.link().total());
         f()?;
-        let wall = t0.elapsed();
-        let wire = conn.link().total().saturating_sub(w0);
-        Ok((wall + wire).as_secs_f64() * 1e6)
+        Ok(sw.elapsed_us(conn.link().total()))
     };
 
     for (i, &n) in sizes.iter().enumerate() {
@@ -242,11 +242,7 @@ pub fn calibrate(conn: &Connection, seed: u64) -> Result<Calibration> {
     // subtraction needs the *fitted* p_tm, not the default.
     {
         let pick = |probe: &str| -> Vec<(f64, f64)> {
-            samples
-                .iter()
-                .filter(|s| s.probe == probe)
-                .map(|s| (s.x, s.t_us))
-                .collect()
+            samples.iter().filter(|s| s.probe == probe).map(|s| (s.x, s.t_us)).collect()
         };
         if let Some(p) = fit(&pick("transfer_m")) {
             factors.p_tm = p;
@@ -292,12 +288,9 @@ pub fn calibrate(conn: &Connection, seed: u64) -> Result<Calibration> {
                 children: vec![],
             };
             let aggs = vec![AggSpec::new(AggFunc::Count, Some("K"), "C")];
-            let out_schema = tango_algebra::logical::taggr_schema(
-                &["K".to_string()],
-                &aggs,
-                &probe_schema(),
-            )
-            .map_err(TangoError::from)?;
+            let out_schema =
+                tango_algebra::logical::taggr_schema(&["K".to_string()], &aggs, &probe_schema())
+                    .map_err(TangoError::from)?;
             let node = PhysNode {
                 algo: Algo::TAggrD { group_by: vec!["K".into()], aggs },
                 schema: Arc::new(out_schema),
@@ -318,11 +311,7 @@ pub fn calibrate(conn: &Connection, seed: u64) -> Result<Calibration> {
 
     // fit factors from the samples ------------------------------------
     let pick = |probe: &str| -> Vec<(f64, f64)> {
-        samples
-            .iter()
-            .filter(|s| s.probe == probe)
-            .map(|s| (s.x, s.t_us))
-            .collect()
+        samples.iter().filter(|s| s.probe == probe).map(|s| (s.x, s.t_us)).collect()
     };
     if let Some((fixed, slope)) = fit_affine(&pick("transfer_d")) {
         factors.p_td_fixed = fixed;

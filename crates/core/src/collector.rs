@@ -102,8 +102,7 @@ mod tests {
 
     fn setup() -> Connection {
         let c = Connection::new(Database::in_memory());
-        c.execute("CREATE TABLE POSITION (PosID INT, PayRate DOUBLE, T1 INT, T2 INT)")
-            .unwrap();
+        c.execute("CREATE TABLE POSITION (PosID INT, PayRate DOUBLE, T1 INT, T2 INT)").unwrap();
         c.execute(
             "INSERT INTO POSITION VALUES (1, 12.5, 2, 20), (1, 9.0, 5, 25), (2, 30.0, 5, 10), (3, 7.5, 1, 4)",
         )

@@ -33,14 +33,17 @@ pub struct CostFactors {
     pub p_sm: f64,
     /// `SORT^D` (generic): per byte per log₂(cardinality).
     pub p_sd: f64,
-    /// `TAGGR^M`: per argument byte / per result byte.
+    /// `TAGGR^M`: per argument byte.
     pub p_taggm1: f64,
+    /// `TAGGR^M`: per result byte.
     pub p_taggm2: f64,
-    /// `TAGGR^D`: per argument byte / per result byte.
+    /// `TAGGR^D`: per argument byte.
     pub p_taggd1: f64,
+    /// `TAGGR^D`: per result byte.
     pub p_taggd2: f64,
-    /// `MERGEJOIN^M`/`TMERGEJOIN^M`: per input byte / per output byte.
+    /// `MERGEJOIN^M`/`TMERGEJOIN^M`: per input byte.
     pub p_mjm: f64,
+    /// `MERGEJOIN^M`/`TMERGEJOIN^M`: per output byte.
     pub p_mjout: f64,
     /// Generic DBMS join: per byte of input + output.
     pub p_jd: f64,
@@ -48,11 +51,13 @@ pub struct CostFactors {
     pub p_scan: f64,
     /// Generic DBMS Cartesian product: per output byte.
     pub p_cart: f64,
-    /// `DUPELIM^M` / DBMS `SELECT DISTINCT`: per byte.
+    /// `DUPELIM^M`: per byte.
     pub p_dupm: f64,
+    /// DBMS `SELECT DISTINCT`: per byte.
     pub p_dupd: f64,
-    /// `COALESCE^M` / `TDIFF^M`: per byte.
+    /// `COALESCE^M`: per byte.
     pub p_coal: f64,
+    /// `TDIFF^M`: per byte.
     pub p_diff: f64,
 }
 
@@ -110,9 +115,7 @@ impl CostFactors {
                 // enforcer on the argument; the formula's remaining terms:
                 self.p_taggm1 * size(inputs[0]) + self.p_taggm2 * size(output)
             }
-            Algo::TAggrD { .. } => {
-                self.p_taggd1 * size(inputs[0]) + self.p_taggd2 * size(output)
-            }
+            Algo::TAggrD { .. } => self.p_taggd1 * size(inputs[0]) + self.p_taggd2 * size(output),
             // technical-report formulas ---------------------------------
             Algo::ProjectM(_) => self.p_pm * size(inputs[0]),
             Algo::SortM(_) => self.p_sm * size(inputs[0]) * log2_card(inputs[0]),
@@ -153,9 +156,7 @@ impl CostFactors {
             Algo::TAggrM { .. } => size(inputs[0]),
             Algo::TAggrD { .. } => size(inputs[0]),
             Algo::MergeJoinM(_) | Algo::TMergeJoinM(_) => size(inputs[0]) + size(inputs[1]),
-            Algo::JoinD(_) | Algo::TJoinD(_) => {
-                size(inputs[0]) + size(inputs[1]) + size(output)
-            }
+            Algo::JoinD(_) | Algo::TJoinD(_) => size(inputs[0]) + size(inputs[1]) + size(output),
             _ => return None,
         };
         if x <= 0.0 {
@@ -170,6 +171,7 @@ impl CostFactors {
         Some((id, adjusted / x))
     }
 
+    /// Read the factor addressed by `id`.
     pub fn get(&self, id: FactorId) -> f64 {
         match id {
             FactorId::Tm => self.p_tm,
@@ -184,6 +186,7 @@ impl CostFactors {
         }
     }
 
+    /// Overwrite the factor addressed by `id` (clamped positive).
     pub fn set(&mut self, id: FactorId, v: f64) {
         let v = v.max(1e-9);
         match id {
@@ -203,18 +206,28 @@ impl CostFactors {
 /// The calibratable/adaptable factors addressed by name.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FactorId {
+    /// `TRANSFER^M` per-byte rate.
     Tm,
+    /// `TRANSFER^D` per-byte rate.
     Td,
+    /// `FILTER^M` per-byte rate.
     Sem,
+    /// `SORT^M` rate.
     Sm,
+    /// `SORT^D` rate.
     Sd,
+    /// `TAGGR^M` argument-side rate.
     TaggM,
+    /// `TAGGR^D` argument-side rate.
     TaggD,
+    /// `MERGEJOIN^M`/`TMERGEJOIN^M` input-side rate.
     Mjm,
+    /// Generic DBMS join rate.
     Jd,
 }
 
 impl FactorId {
+    /// The dominant factor of an algorithm, if it has one.
     pub fn for_algo(algo: &Algo) -> Option<FactorId> {
         Some(match algo {
             Algo::TransferM => FactorId::Tm,
@@ -257,8 +270,7 @@ mod tests {
         let p1 = Expr::eq(Expr::col("A"), Expr::lit(1));
         let p2 = Expr::and(p1.clone(), Expr::eq(Expr::col("B"), Expr::lit(2)));
         assert!(
-            f.cost(&Algo::FilterM(p2), &[&big], &big)
-                > f.cost(&Algo::FilterM(p1), &[&big], &big)
+            f.cost(&Algo::FilterM(p2), &[&big], &big) > f.cost(&Algo::FilterM(p1), &[&big], &big)
         );
         // TAGGR^D is far more expensive per byte than TAGGR^M
         let agg = |m: bool| {

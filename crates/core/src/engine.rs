@@ -14,11 +14,11 @@
 use crate::error::{Result, TangoError};
 use crate::phys::{Algo, PhysNode, Site};
 use crate::to_sql;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tango_algebra::{Relation, Schema, Tuple};
 use tango_minidb::{Connection, DbCursor};
+use tango_trace::{Collector, SpanSite, SpanSlot, Stopwatch};
 use tango_xxl::{
     BoxCursor, Coalesce, Cursor, DupElim, Filter, MergeJoin, Project, Sort, TemporalAggregate,
     TemporalDiff, TemporalMergeJoin,
@@ -27,30 +27,81 @@ use tango_xxl::{
 /// Observed execution of one algorithm instance.
 #[derive(Debug, Clone)]
 pub struct StepReport {
+    /// The algorithm this step ran (with parameters).
     pub algo: Algo,
+    /// Rendered label, e.g. `TAGGR^M`.
     pub label: String,
-    /// Inclusive wall time (children included), µs.
+    /// Inclusive wall + wire time (children included), µs.
     pub inclusive_us: f64,
-    /// Exclusive wall time, µs.
+    /// Exclusive wall + wire time, µs.
     pub exclusive_us: f64,
+    /// Tuples this step produced.
     pub out_rows: u64,
+    /// Bytes this step produced.
     pub out_bytes: u64,
     /// DBMS server compute time included in this step (µs) — nonzero only
     /// for `TRANSFER^M`, whose query execution happens inside the DBMS.
     pub server_us: f64,
+    /// Algorithm-specific counters (spilled runs, buffered groups, SQL
+    /// round-trips, …) sampled from the cursor at close.
+    pub counters: Vec<(&'static str, u64)>,
     /// Indices of child steps within the report.
     pub children: Vec<usize>,
+}
+
+impl StepReport {
+    /// The site this step's algorithm evaluated on.
+    pub fn site(&self) -> Site {
+        self.algo.site()
+    }
+
+    /// Serialize as a JSON object (schema documented in
+    /// `docs/OBSERVABILITY.md`).
+    pub fn to_json(&self) -> String {
+        use tango_trace::json::Object;
+        let mut o = Object::new();
+        o.string("op", &self.label);
+        o.string(
+            "site",
+            match self.site() {
+                Site::Middleware => "middleware",
+                Site::Dbms => "dbms",
+            },
+        );
+        o.number("inclusive_us", self.inclusive_us);
+        o.number("exclusive_us", self.exclusive_us);
+        o.number("rows", self.out_rows as f64);
+        o.number("bytes", self.out_bytes as f64);
+        o.number("server_us", self.server_us);
+        if !self.counters.is_empty() {
+            let mut c = Object::new();
+            for (k, v) in &self.counters {
+                c.number(k, *v as f64);
+            }
+            o.raw("counters", &c.build());
+        }
+        o.raw(
+            "children",
+            &format!(
+                "[{}]",
+                self.children.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+            ),
+        );
+        o.build()
+    }
 }
 
 /// Whole-query execution report.
 #[derive(Debug, Clone)]
 pub struct ExecReport {
+    /// Result cardinality.
     pub rows: usize,
     /// Wall time of the whole execution (compute; excludes virtual wire).
     pub wall: Duration,
     /// Virtual wire time charged during this execution.
     pub wire: Duration,
-    /// Per-algorithm observations (post-order).
+    /// Per-algorithm observations (post-order). Empty when the plan ran
+    /// on the untraced fast path.
     pub steps: Vec<StepReport>,
 }
 
@@ -59,18 +110,52 @@ impl ExecReport {
     pub fn total(&self) -> Duration {
         self.wall + self.wire
     }
+
+    /// Serialize the whole report — totals plus the per-operator step
+    /// array — as a JSON object.
+    pub fn to_json(&self) -> String {
+        use tango_trace::json::Object;
+        let mut o = Object::new();
+        o.number("rows", self.rows as f64);
+        o.number("wall_us", self.wall.as_secs_f64() * 1e6);
+        o.number("wire_us", self.wire.as_secs_f64() * 1e6);
+        o.number("total_us", self.total().as_secs_f64() * 1e6);
+        let steps = self.steps.iter().map(StepReport::to_json).collect::<Vec<_>>().join(",");
+        o.raw("steps", &format!("[{steps}]"));
+        o.build()
+    }
 }
 
 /// Execute an optimized physical plan against the DBMS connection,
-/// returning the materialized result and the execution report.
+/// returning the materialized result and the execution report with
+/// per-operator spans (the adaptive feedback loop consumes them).
 pub fn execute(conn: &Connection, plan: &PhysNode) -> Result<(Relation, ExecReport)> {
+    execute_with(conn, plan, true)
+}
+
+/// [`execute`] with tracing control. With `trace == false` no cursor is
+/// wrapped and nothing is measured per tuple — the bare operator
+/// pipeline runs (the report's `steps` comes back empty, only the
+/// whole-query totals are filled in).
+pub fn execute_with(
+    conn: &Connection,
+    plan: &PhysNode,
+    trace: bool,
+) -> Result<(Relation, ExecReport)> {
     if plan.algo.site() != Site::Middleware {
         return Err(TangoError::Exec(
             "plan root must be middleware-resident (delivery to the client)".into(),
         ));
     }
     let wire_before = conn.link().total();
-    let mut ctx = Ctx { conn, temp_tables: Vec::new(), slots: Vec::new(), temp_seq: 0 };
+    let mut ctx = Ctx {
+        conn,
+        temp_tables: Vec::new(),
+        collector: Collector::new(),
+        algos: Vec::new(),
+        temp_seq: 0,
+        trace,
+    };
     let started = Instant::now();
     let result = (|| -> Result<Relation> {
         let mut root = ctx.build_mid(plan)?;
@@ -80,6 +165,7 @@ pub fn execute(conn: &Connection, plan: &PhysNode) -> Result<(Relation, ExecRepo
         while let Some(t) = root.next()? {
             rows.push(t);
         }
+        root.close()?;
         Ok(Relation::new(schema, rows))
     })();
     let wall = started.elapsed();
@@ -91,63 +177,51 @@ pub fn execute(conn: &Connection, plan: &PhysNode) -> Result<(Relation, ExecRepo
     let result = result?;
     let wire = conn.link().total().saturating_sub(wire_before);
 
-    // assemble step reports with exclusive times
-    let mut steps: Vec<StepReport> = ctx
-        .slots
-        .iter()
-        .map(|s| StepReport {
-            algo: s.algo.clone(),
-            label: s.algo.label(),
-            inclusive_us: s.ns.load(Ordering::Relaxed) as f64 / 1000.0,
-            exclusive_us: 0.0,
-            out_rows: s.rows.load(Ordering::Relaxed),
-            out_bytes: s.bytes.load(Ordering::Relaxed),
-            server_us: s.server_ns.load(Ordering::Relaxed) as f64 / 1000.0,
-            children: s.children.clone(),
+    // resolve the collected spans into step reports
+    let steps: Vec<StepReport> = ctx
+        .collector
+        .finish()
+        .into_iter()
+        .zip(ctx.algos)
+        .map(|(span, algo)| StepReport {
+            algo,
+            label: span.name,
+            inclusive_us: span.inclusive_us,
+            exclusive_us: span.exclusive_us,
+            out_rows: span.rows,
+            out_bytes: span.bytes,
+            server_us: span.server_us,
+            counters: span.counters,
+            children: span.children,
         })
         .collect();
-    for i in 0..steps.len() {
-        let child_sum: f64 = steps[i]
-            .children
-            .iter()
-            .map(|&c| steps[c].inclusive_us)
-            .sum();
-        steps[i].exclusive_us = (steps[i].inclusive_us - child_sum).max(0.0);
-    }
     let report = ExecReport { rows: result.len(), wall, wire, steps };
     Ok((result, report))
 }
 
-struct Slot {
-    algo: Algo,
-    ns: AtomicU64,
-    rows: AtomicU64,
-    bytes: AtomicU64,
-    /// Server-side execution time observed by this step's query (shared
-    /// with the `TRANSFER^M` cursor that records it).
-    server_ns: Arc<AtomicU64>,
-    children: Vec<usize>,
-}
+/// Deferred cursor constructor: builds a cursor once its span's
+/// server-time sink is known (see `TRANSFER^M` in `build_mid_indexed`).
+type DeferredCursor = Box<dyn FnOnce(Option<Arc<SpanSlot>>) -> BoxCursor>;
 
 struct Ctx<'a> {
     conn: &'a Connection,
     temp_tables: Vec<String>,
-    slots: Vec<Arc<Slot>>,
+    collector: Collector,
+    /// Algorithm of each collected span, index-aligned with the collector.
+    algos: Vec<Algo>,
     temp_seq: usize,
+    trace: bool,
 }
 
 impl Ctx<'_> {
-    fn new_slot(&mut self, algo: Algo, children: Vec<usize>) -> (usize, Arc<Slot>) {
-        let slot = Arc::new(Slot {
-            algo,
-            ns: AtomicU64::new(0),
-            rows: AtomicU64::new(0),
-            bytes: AtomicU64::new(0),
-            server_ns: Arc::new(AtomicU64::new(0)),
-            children,
-        });
-        self.slots.push(slot.clone());
-        (self.slots.len() - 1, slot)
+    fn new_slot(&mut self, algo: Algo, children: Vec<usize>) -> (usize, Arc<SpanSlot>) {
+        let site = match algo.site() {
+            Site::Middleware => SpanSite::Middleware,
+            Site::Dbms => SpanSite::Dbms,
+        };
+        let label = algo.label();
+        self.algos.push(algo);
+        self.collector.span(label, site, children)
     }
 
     /// Build the cursor for a middleware-resident node. Returns the cursor
@@ -157,9 +231,9 @@ impl Ctx<'_> {
     }
 
     fn build_mid_indexed(&mut self, node: &PhysNode) -> Result<(BoxCursor, usize)> {
-        // TRANSFER^M needs its slot's server-time sink, which exists only
-        // after the slot is created: defer its construction.
-        let mut server_sink: Option<Box<dyn FnOnce(Arc<AtomicU64>) -> BoxCursor>> = None;
+        // TRANSFER^M needs its span's server-time sink, which exists only
+        // after the span is created: defer its construction.
+        let mut server_sink: Option<DeferredCursor> = None;
         let (inner, child_ids): (BoxCursor, Vec<usize>) = match &node.algo {
             Algo::TransferM => {
                 // lower the DBMS subtree: replace T^D descendants with temp
@@ -168,14 +242,15 @@ impl Ctx<'_> {
                 let sql = to_sql::render_select(&clean)?;
                 let conn = self.conn.clone();
                 let schema = node.schema.clone();
-                server_sink = Some(Box::new(move |sink: Arc<AtomicU64>| -> BoxCursor {
+                server_sink = Some(Box::new(move |sink: Option<Arc<SpanSlot>>| -> BoxCursor {
                     Box::new(TransferMCursor {
                         conn,
                         sql,
                         schema,
                         prereqs,
                         cur: None,
-                        server_ns: Some(sink),
+                        server_sink: sink,
+                        round_trips: 0,
                     })
                 }));
                 // placeholder; replaced once the slot exists
@@ -231,9 +306,17 @@ impl Ctx<'_> {
                 )))
             }
         };
+        if !self.trace {
+            // untraced fast path: no wrapper, no per-tuple measurement
+            let inner = match server_sink.take() {
+                Some(cursor_builder) => cursor_builder(None),
+                None => inner,
+            };
+            return Ok((inner, 0));
+        }
         let (idx, slot) = self.new_slot(node.algo.clone(), child_ids);
         let inner = match server_sink.take() {
-            Some(cursor_builder) => cursor_builder(slot.server_ns.clone()),
+            Some(cursor_builder) => cursor_builder(Some(slot.clone())),
             None => inner,
         };
         let link = self.conn.link().clone();
@@ -243,10 +326,7 @@ impl Ctx<'_> {
     /// Replace `T^D` nodes inside a DBMS fragment with temp-table scans;
     /// returns the cleaned fragment plus the loader cursors that must be
     /// opened before the fragment's SQL runs.
-    fn lower_dbms(
-        &mut self,
-        node: &PhysNode,
-    ) -> Result<(PhysNode, Vec<BoxCursor>, Vec<usize>)> {
+    fn lower_dbms(&mut self, node: &PhysNode) -> Result<(PhysNode, Vec<BoxCursor>, Vec<usize>)> {
         if node.algo == Algo::TransferD {
             let (input, input_id) = self.build_mid_indexed(&node.children[0])?;
             self.temp_seq += 1;
@@ -257,16 +337,20 @@ impl Ctx<'_> {
                 table: table.clone(),
                 schema: node.schema.clone(),
                 input: Some(input),
+                rows_loaded: 0,
             };
-            let (idx, slot) = self.new_slot(Algo::TransferD, vec![input_id]);
-            let link = self.conn.link().clone();
-            let instrumented: BoxCursor =
-                Box::new(Instrumented { inner: Box::new(loader), slot, link });
             let scan = PhysNode {
                 algo: Algo::ScanD(table),
                 schema: node.schema.clone(),
                 children: vec![],
             };
+            if !self.trace {
+                return Ok((scan, vec![Box::new(loader)], vec![]));
+            }
+            let (idx, slot) = self.new_slot(Algo::TransferD, vec![input_id]);
+            let link = self.conn.link().clone();
+            let instrumented: BoxCursor =
+                Box::new(Instrumented { inner: Box::new(loader), slot, link });
             return Ok((scan, vec![instrumented], vec![idx]));
         }
         if node.algo.site() == Site::Middleware {
@@ -298,17 +382,15 @@ impl Ctx<'_> {
 /// them) — and the output volume.
 struct Instrumented {
     inner: BoxCursor,
-    slot: Arc<Slot>,
+    slot: Arc<SpanSlot>,
     link: Arc<tango_minidb::Link>,
 }
 
 impl Instrumented {
     fn measure<T>(&mut self, f: impl FnOnce(&mut BoxCursor) -> T) -> T {
-        let w0 = self.link.total();
-        let t = Instant::now();
+        let sw = Stopwatch::start(self.link.total());
         let r = f(&mut self.inner);
-        let spent = t.elapsed() + self.link.total().saturating_sub(w0);
-        self.slot.ns.fetch_add(spent.as_nanos() as u64, Ordering::Relaxed);
+        self.slot.add_time(sw.elapsed(self.link.total()));
         r
     }
 }
@@ -325,12 +407,19 @@ impl Cursor for Instrumented {
     fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
         let r = self.measure(|c| c.next());
         if let Ok(Some(tup)) = &r {
-            self.slot.rows.fetch_add(1, Ordering::Relaxed);
-            self.slot
-                .bytes
-                .fetch_add(tup.byte_size() as u64, Ordering::Relaxed);
+            self.slot.add_row(tup.byte_size() as u64);
         }
         r
+    }
+
+    fn close(&mut self) -> tango_xxl::Result<()> {
+        // sample the operator's counters before it releases its state
+        self.slot.set_counters(self.inner.counters());
+        self.measure(|c| c.close())
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner.counters()
     }
 }
 
@@ -363,7 +452,8 @@ struct TransferMCursor {
     prereqs: Vec<BoxCursor>,
     cur: Option<DbCursor>,
     /// Sink for the producing statement's server-side execution time.
-    server_ns: Option<Arc<AtomicU64>>,
+    server_sink: Option<Arc<SpanSlot>>,
+    round_trips: u64,
 }
 
 impl Cursor for TransferMCursor {
@@ -375,10 +465,8 @@ impl Cursor for TransferMCursor {
         for p in &mut self.prereqs {
             p.open()?;
         }
-        let cur = self
-            .conn
-            .query(&self.sql)
-            .map_err(|e| tango_xxl::ExecError::Dbms(e.to_string()))?;
+        let cur =
+            self.conn.query(&self.sql).map_err(|e| tango_xxl::ExecError::Dbms(e.to_string()))?;
         if cur.schema().len() != self.schema.len() {
             return Err(tango_xxl::ExecError::Dbms(format!(
                 "translated SQL arity mismatch: expected {}, got {}",
@@ -386,9 +474,10 @@ impl Cursor for TransferMCursor {
                 cur.schema().len()
             )));
         }
-        if let Some(sink) = &self.server_ns {
-            sink.fetch_add(cur.server_time().as_nanos() as u64, Ordering::Relaxed);
+        if let Some(sink) = &self.server_sink {
+            sink.add_server_time(cur.server_time());
         }
+        self.round_trips += 1;
         self.cur = Some(cur);
         Ok(())
     }
@@ -398,6 +487,18 @@ impl Cursor for TransferMCursor {
             Some(c) => c.fetch().map_err(|e| tango_xxl::ExecError::Dbms(e.to_string())),
             None => Err(tango_xxl::ExecError::State("TRANSFER^M not opened".into())),
         }
+    }
+
+    fn close(&mut self) -> tango_xxl::Result<()> {
+        self.cur = None;
+        for p in &mut self.prereqs {
+            p.close()?;
+        }
+        Ok(())
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("sql_round_trips", self.round_trips)]
     }
 }
 
@@ -410,6 +511,7 @@ struct TransferDCursor {
     table: String,
     schema: Arc<Schema>,
     input: Option<BoxCursor>,
+    rows_loaded: u64,
 }
 
 impl Cursor for TransferDCursor {
@@ -427,6 +529,8 @@ impl Cursor for TransferDCursor {
         while let Some(t) = input.next()? {
             rows.push(t);
         }
+        input.close()?;
+        self.rows_loaded = rows.len() as u64;
         self.conn
             .load_direct(&self.table, self.schema.as_ref().clone(), rows)
             .map_err(|e| tango_xxl::ExecError::Dbms(e.to_string()))?;
@@ -436,15 +540,17 @@ impl Cursor for TransferDCursor {
     fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
         Ok(None)
     }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_loaded", self.rows_loaded), ("sql_round_trips", 1)]
+    }
 }
 
 impl ExecReport {
     /// Find the first step running the same algorithm *kind* (parameters
     /// ignored for parameterized variants).
     pub fn exec_step(&self, algo: &Algo) -> Option<&StepReport> {
-        self.steps
-            .iter()
-            .find(|s| std::mem::discriminant(&s.algo) == std::mem::discriminant(algo))
+        self.steps.iter().find(|s| std::mem::discriminant(&s.algo) == std::mem::discriminant(algo))
     }
 }
 
@@ -460,10 +566,8 @@ mod tests {
         let c = Connection::new(Database::in_memory());
         c.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")
             .unwrap();
-        c.execute(
-            "INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)",
-        )
-        .unwrap();
+        c.execute("INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)")
+            .unwrap();
         c
     }
 
@@ -481,8 +585,7 @@ mod tests {
     }
 
     fn bin(algo: Algo, l: PhysNode, r: PhysNode) -> PhysNode {
-        let schema =
-            Arc::new(algo.output_schema(&[l.schema.as_ref(), r.schema.as_ref()]).unwrap());
+        let schema = Arc::new(algo.output_schema(&[l.schema.as_ref(), r.schema.as_ref()]).unwrap());
         PhysNode { algo, schema, children: vec![l, r] }
     }
 
@@ -509,16 +612,10 @@ mod tests {
         );
         let (rel, report) = execute(&conn, &plan).unwrap();
         assert_eq!(rel.len(), 5); // Figure 3(b)
-        // temp table dropped afterwards
-        assert!(!conn
-            .database()
-            .table_names()
-            .iter()
-            .any(|t| t.starts_with("TANGO_TMP")));
+                                  // temp table dropped afterwards
+        assert!(!conn.database().table_names().iter().any(|t| t.starts_with("TANGO_TMP")));
         // report contains the T^D step with its input accounted
-        let td = report
-            .exec_step(&Algo::TransferD)
-            .expect("TRANSFER^D step missing");
+        let td = report.exec_step(&Algo::TransferD).expect("TRANSFER^D step missing");
         assert_eq!(td.out_rows, 0); // loader produces no stream
         assert!(report.steps.iter().any(|s| matches!(s.algo, Algo::TAggrM { .. })));
     }
@@ -547,16 +644,9 @@ mod tests {
             children: vec![],
         };
         let eq = vec![("PosID".to_string(), "PosID".to_string())];
-        let plan = un(
-            Algo::TransferM,
-            bin(Algo::TJoinD(eq), un(Algo::TransferD, agg_m), ghost),
-        );
+        let plan = un(Algo::TransferM, bin(Algo::TJoinD(eq), un(Algo::TransferD, agg_m), ghost));
         assert!(execute(&conn, &plan).is_err());
-        assert!(!conn
-            .database()
-            .table_names()
-            .iter()
-            .any(|t| t.starts_with("TANGO_TMP")));
+        assert!(!conn.database().table_names().iter().any(|t| t.starts_with("TANGO_TMP")));
     }
 
     #[test]

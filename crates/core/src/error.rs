@@ -2,12 +2,18 @@
 
 use std::fmt;
 
+/// Any failure the middleware can report.
 #[derive(Debug, Clone)]
 pub enum TangoError {
+    /// Temporal-SQL parsing failed.
     Parse(String),
+    /// Schema derivation or expression evaluation failed.
     Algebra(tango_algebra::AlgebraError),
+    /// The underlying DBMS rejected a statement.
     Dbms(String),
+    /// A middleware cursor failed during execution.
     Exec(String),
+    /// The optimizer could not produce a plan.
     Optimizer(String),
 }
 
@@ -43,4 +49,5 @@ impl From<tango_xxl::ExecError> for TangoError {
     }
 }
 
+/// Result alias for middleware operations.
 pub type Result<T> = std::result::Result<T, TangoError>;

@@ -48,8 +48,7 @@ pub fn apply_feedback(factors: &mut CostFactors, report: &ExecReport, alpha: f64
                 .collect()
         };
         let in_refs: Vec<&RelationStats> = ins.iter().collect();
-        if let Some((id, implied)) =
-            factors.implied_factor(&step.algo, &in_refs, &out, observed_us)
+        if let Some((id, implied)) = factors.implied_factor(&step.algo, &in_refs, &out, observed_us)
         {
             let old = factors.get(id);
             factors.set(id, (1.0 - alpha) * old + alpha * implied);
@@ -79,6 +78,7 @@ mod tests {
                 out_rows: rows,
                 out_bytes: bytes,
                 server_us: 0.0,
+                counters: vec![],
                 children: vec![],
             }],
         }

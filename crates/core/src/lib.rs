@@ -29,11 +29,14 @@
 //!
 //! Start with [`session::Tango`].
 
+#![warn(missing_docs)]
+
 pub mod calibrate;
 pub mod collector;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod feedback;
 pub mod opt;
 pub mod phys;

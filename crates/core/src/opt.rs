@@ -30,7 +30,9 @@ use volcano::{Enforcer, Implementation, Memo, NewExpr, PhysPlan, SearchStats, Se
 /// Logical properties of an equivalence class.
 #[derive(Debug, Clone)]
 pub struct GroupProps {
+    /// The class's output schema.
     pub schema: Arc<Schema>,
+    /// Derived statistics for the class's output.
     pub stats: RelationStats,
 }
 
@@ -57,7 +59,9 @@ impl Default for OptOptions {
 
 /// The Volcano semantics for TANGO.
 pub struct TangoSem {
+    /// Base-relation statistics snapshot.
     pub catalog: Catalog,
+    /// Cost factors used by the implementations' formulas.
     pub factors: CostFactors,
 }
 
@@ -97,28 +101,19 @@ impl Semantics for TangoSem {
     fn derive_props(&self, op: &TOp, children: &[&GroupProps]) -> GroupProps {
         let child_schemas: Vec<&Schema> = children.iter().map(|p| p.schema.as_ref()).collect();
         let schema = op
-            .output_schema(&child_schemas, &|t| {
-                self.table(t).map(|(s, _)| s.as_ref().clone())
-            })
+            .output_schema(&child_schemas, &|t| self.table(t).map(|(s, _)| s.as_ref().clone()))
             .unwrap_or_else(|_| Schema::new(vec![]));
         let stats = match op {
-            TOp::Get { table } => self
-                .table(table)
-                .map(|(_, s)| s.clone())
-                .unwrap_or_else(|| RelationStats {
+            TOp::Get { table } => {
+                self.table(table).map(|(_, s)| s.clone()).unwrap_or_else(|| RelationStats {
                     rows: 1000.0,
                     avg_tuple_bytes: schema.est_tuple_bytes() as f64,
                     ..Default::default()
-                }),
+                })
+            }
             _ => {
-                let child_stats: Vec<&RelationStats> =
-                    children.iter().map(|p| &p.stats).collect();
-                tango_stats::derive_stats(
-                    &op.as_logical(),
-                    &child_stats,
-                    &child_schemas,
-                    &schema,
-                )
+                let child_stats: Vec<&RelationStats> = children.iter().map(|p| &p.stats).collect();
+                tango_stats::derive_stats(&op.as_logical(), &child_stats, &child_schemas, &schema)
             }
         };
         GroupProps { schema: Arc::new(schema), stats }
@@ -195,8 +190,7 @@ impl Semantics for TangoSem {
                         });
                     }
                     TOp::TAggr { group_by, aggs } => {
-                        let algo =
-                            Algo::TAggrD { group_by: group_by.clone(), aggs: aggs.clone() };
+                        let algo = Algo::TAggrD { group_by: group_by.clone(), aggs: aggs.clone() };
                         out.push(Implementation {
                             cost: cost(&algo),
                             algo,
@@ -234,11 +228,7 @@ impl Semantics for TangoSem {
                 TOp::Project { items } => {
                     // order-preserving when the required order survives
                     // the projection (precondition of rule E5)
-                    let order_ok = required
-                        .order
-                        .keys()
-                        .iter()
-                        .all(|k| props.schema.has(&k.col));
+                    let order_ok = required.order.keys().iter().all(|k| props.schema.has(&k.col));
                     if order_ok {
                         let algo = Algo::ProjectM(items.clone());
                         out.push(Implementation {
@@ -281,8 +271,7 @@ impl Semantics for TangoSem {
                     let in_order = Self::taggr_order(group_by);
                     let out_order = Self::taggr_order(group_by);
                     if out_order.satisfies(&required.order) {
-                        let algo =
-                            Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() };
+                        let algo = Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() };
                         out.push(Implementation {
                             cost: cost(&algo),
                             algo,
@@ -390,27 +379,22 @@ pub fn to_initial(logical: &Logical) -> Result<(NewExpr<TOp>, SortSpec)> {
 }
 
 fn convert(l: &Logical) -> Result<NewExpr<TOp>> {
-    let kids: Vec<NewExpr<TOp>> =
-        l.children().into_iter().map(convert).collect::<Result<_>>()?;
+    let kids: Vec<NewExpr<TOp>> = l.children().into_iter().map(convert).collect::<Result<_>>()?;
     Ok(match l {
         // transfers and inner sorts are physical concerns: drop them
-        Logical::TransferM { .. } | Logical::TransferD { .. } | Logical::Sort { .. } => {
-            kids.into_iter().next().ok_or_else(|| {
-                TangoError::Optimizer("sort/transfer without input".into())
-            })?
-        }
+        Logical::TransferM { .. } | Logical::TransferD { .. } | Logical::Sort { .. } => kids
+            .into_iter()
+            .next()
+            .ok_or_else(|| TangoError::Optimizer("sort/transfer without input".into()))?,
         Logical::Get { table } => NewExpr::Op(TOp::Get { table: table.clone() }, vec![]),
         Logical::Select { pred, .. } => NewExpr::Op(TOp::Select { pred: pred.clone() }, kids),
-        Logical::Project { items, .. } => {
-            NewExpr::Op(TOp::Project { items: items.clone() }, kids)
-        }
+        Logical::Project { items, .. } => NewExpr::Op(TOp::Project { items: items.clone() }, kids),
         Logical::Join { eq, .. } => NewExpr::Op(TOp::Join { eq: eq.clone() }, kids),
         Logical::TJoin { eq, .. } => NewExpr::Op(TOp::TJoin { eq: eq.clone() }, kids),
         Logical::Product { .. } => NewExpr::Op(TOp::Product, kids),
-        Logical::TAggr { group_by, aggs, .. } => NewExpr::Op(
-            TOp::TAggr { group_by: group_by.clone(), aggs: aggs.clone() },
-            kids,
-        ),
+        Logical::TAggr { group_by, aggs, .. } => {
+            NewExpr::Op(TOp::TAggr { group_by: group_by.clone(), aggs: aggs.clone() }, kids)
+        }
         Logical::DupElim { .. } => NewExpr::Op(TOp::DupElim, kids),
         Logical::Coalesce { .. } => NewExpr::Op(TOp::Coalesce, kids),
         Logical::Diff { .. } => NewExpr::Op(TOp::Diff, kids),
@@ -419,13 +403,17 @@ fn convert(l: &Logical) -> Result<NewExpr<TOp>> {
 
 /// The result of one optimization run.
 pub struct Optimized {
+    /// The winning physical plan.
     pub plan: PhysNode,
+    /// Its estimated cost in µs.
     pub cost: f64,
     /// Equivalence classes generated (the paper's per-query metric).
     pub classes: usize,
     /// Class elements generated.
     pub elements: usize,
+    /// Search-effort accounting from the Volcano phase.
     pub search: SearchStats,
+    /// Per-rule firing counts from the transformation phase.
     pub rule_fires: Vec<(&'static str, usize)>,
 }
 
@@ -466,8 +454,7 @@ fn annotate(plan: &PhysPlan<Algo>, memo: &Memo<TangoSem>) -> Result<PhysNode> {
                 .map(|(s, _)| s.clone())
                 .ok_or_else(|| TangoError::Optimizer(format!("unknown table {t}")))?,
             other => {
-                let kids: Vec<&Schema> =
-                    children.iter().map(|c| c.schema.as_ref()).collect();
+                let kids: Vec<&Schema> = children.iter().map(|c| c.schema.as_ref()).collect();
                 Arc::new(other.output_schema(&kids)?)
             }
         };

@@ -29,19 +29,24 @@ pub enum Site {
 /// empty ordering means "any order".
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Req {
+    /// Required evaluation site.
     pub site: Site,
+    /// Required ordering (empty = any).
     pub order: SortSpec,
 }
 
 impl Req {
+    /// Middleware site with the given ordering.
     pub fn mid(order: SortSpec) -> Req {
         Req { site: Site::Middleware, order }
     }
 
+    /// DBMS site with the given ordering.
     pub fn dbms(order: SortSpec) -> Req {
         Req { site: Site::Dbms, order }
     }
 
+    /// The given site, any ordering.
     pub fn any(site: Site) -> Req {
         Req { site, order: SortSpec::none() }
     }
@@ -52,15 +57,45 @@ impl Req {
 /// are physical-property concerns (see module docs).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum TOp {
-    Get { table: String },
-    Select { pred: Expr },
-    Project { items: Vec<ProjItem> },
-    Join { eq: Vec<(String, String)> },
-    TJoin { eq: Vec<(String, String)> },
+    /// Base-relation access.
+    Get {
+        /// The table name.
+        table: String,
+    },
+    /// Selection.
+    Select {
+        /// The predicate.
+        pred: Expr,
+    },
+    /// Generalized projection.
+    Project {
+        /// Output expressions with aliases.
+        items: Vec<ProjItem>,
+    },
+    /// Regular equi join.
+    Join {
+        /// Join-attribute pairs (left, right).
+        eq: Vec<(String, String)>,
+    },
+    /// Temporal equi join (plus period overlap).
+    TJoin {
+        /// Join-attribute pairs (left, right).
+        eq: Vec<(String, String)>,
+    },
+    /// Cartesian product.
     Product,
-    TAggr { group_by: Vec<String>, aggs: Vec<AggSpec> },
+    /// Temporal aggregation.
+    TAggr {
+        /// Grouping attributes.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// Duplicate elimination.
     DupElim,
+    /// Temporal coalescing.
     Coalesce,
+    /// Temporal difference.
     Diff,
 }
 
@@ -77,11 +112,9 @@ impl TOp {
             TOp::Join { eq } => Logical::Join { eq: eq.clone(), left: dummy(), right: dummy() },
             TOp::TJoin { eq } => Logical::TJoin { eq: eq.clone(), left: dummy(), right: dummy() },
             TOp::Product => Logical::Product { left: dummy(), right: dummy() },
-            TOp::TAggr { group_by, aggs } => Logical::TAggr {
-                group_by: group_by.clone(),
-                aggs: aggs.clone(),
-                input: dummy(),
-            },
+            TOp::TAggr { group_by, aggs } => {
+                Logical::TAggr { group_by: group_by.clone(), aggs: aggs.clone(), input: dummy() }
+            }
             TOp::DupElim => Logical::DupElim { input: dummy() },
             TOp::Coalesce => Logical::Coalesce { input: dummy() },
             TOp::Diff => Logical::Diff { left: dummy(), right: dummy() },
@@ -114,6 +147,7 @@ impl TOp {
         })
     }
 
+    /// Display name of the operator.
     pub fn name(&self) -> &'static str {
         match self {
             TOp::Get { .. } => "GET",
@@ -135,32 +169,61 @@ impl TOp {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Algo {
     // -- middleware algorithms (tango-xxl cursors) --
+    /// Middleware selection.
     FilterM(Expr),
+    /// Middleware generalized projection.
     ProjectM(Vec<ProjItem>),
+    /// Middleware in-memory sort.
     SortM(SortSpec),
+    /// Middleware sort-merge equi join.
     MergeJoinM(Vec<(String, String)>),
+    /// Middleware sort-merge temporal join.
     TMergeJoinM(Vec<(String, String)>),
-    TAggrM { group_by: Vec<String>, aggs: Vec<AggSpec> },
+    /// Middleware temporal aggregation.
+    TAggrM {
+        /// Grouping attributes.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// Middleware duplicate elimination.
     DupElimM,
+    /// Middleware temporal coalescing.
     CoalesceM,
+    /// Middleware temporal difference.
     TDiffM,
     /// DBMS → middleware: issues a SELECT (Figure 5's `TRANSFER^M`).
     TransferM,
     /// middleware → DBMS: CREATE TABLE + direct-path load (`TRANSFER^D`).
     TransferD,
     // -- generic DBMS algorithms (become SQL via the Translator) --
+    /// DBMS base-table scan.
     ScanD(String),
+    /// DBMS selection (a `WHERE` clause).
     FilterD(Expr),
+    /// DBMS projection (a `SELECT` list).
     ProjectD(Vec<ProjItem>),
+    /// DBMS sort (an `ORDER BY`).
     SortD(SortSpec),
+    /// DBMS equi join.
     JoinD(Vec<(String, String)>),
+    /// DBMS temporal join (equi join plus period predicates).
     TJoinD(Vec<(String, String)>),
+    /// DBMS Cartesian product.
     ProductD,
-    TAggrD { group_by: Vec<String>, aggs: Vec<AggSpec> },
+    /// DBMS temporal aggregation (the paper's generated-SQL variant).
+    TAggrD {
+        /// Grouping attributes.
+        group_by: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggSpec>,
+    },
+    /// DBMS duplicate elimination (`SELECT DISTINCT`).
     DupElimD,
 }
 
 impl Algo {
+    /// Where this algorithm runs.
     pub fn site(&self) -> Site {
         match self {
             Algo::FilterM(_)
@@ -231,9 +294,7 @@ impl Algo {
             Algo::MergeJoinM(_) | Algo::JoinD(_) | Algo::ProductD => {
                 concat_schemas(children[0], children[1])
             }
-            Algo::TMergeJoinM(eq) | Algo::TJoinD(eq) => {
-                tjoin_schema(eq, children[0], children[1])?
-            }
+            Algo::TMergeJoinM(eq) | Algo::TJoinD(eq) => tjoin_schema(eq, children[0], children[1])?,
             Algo::TAggrM { group_by, aggs } | Algo::TAggrD { group_by, aggs } => {
                 taggr_schema(group_by, aggs, children[0])?
             }
@@ -250,8 +311,11 @@ impl Algo {
 /// engine lowers into executable steps.
 #[derive(Debug, Clone)]
 pub struct PhysNode {
+    /// The algorithm at this node.
     pub algo: Algo,
+    /// The node's output schema.
     pub schema: Arc<Schema>,
+    /// Input plans, in argument order.
     pub children: Vec<PhysNode>,
 }
 
@@ -288,6 +352,7 @@ impl PhysNode {
         s
     }
 
+    /// Number of nodes in this plan (pre-order size).
     pub fn node_count(&self) -> usize {
         1 + self.children.iter().map(PhysNode::node_count).sum::<usize>()
     }

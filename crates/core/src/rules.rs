@@ -133,15 +133,9 @@ fn commute_with_restore(
     let mut items = Vec::with_capacity(orig.len());
     for (i, a) in orig.attrs().iter().enumerate() {
         let j = if i < n_l { n_r + i } else { i - n_l };
-        items.push(ProjItem::named(
-            Expr::col(flip.attr(j).name.clone()),
-            a.name.clone(),
-        ));
+        items.push(ProjItem::named(Expr::col(flip.attr(j).name.clone()), a.name.clone()));
     }
-    vec![op(
-        TOp::Project { items },
-        vec![op(flipped_op, vec![group(rg), group(lg)])],
-    )]
+    vec![op(TOp::Project { items }, vec![op(flipped_op, vec![group(rg), group(lg)])])]
 }
 
 /// Rule group 3: `σ_P1(σ_P2(r)) → σ_{P2 ∧ P1}(r)`.
@@ -165,10 +159,7 @@ impl Rule<TangoSem> for MergeSelects {
         for &cid in memo.exprs_in(e.children[0]) {
             let c = memo.expr(cid);
             if let TOp::Select { pred: p2 } = &c.op {
-                out.push(select(
-                    Expr::and(p2.clone(), p1.clone()),
-                    group(c.children[0]),
-                ));
+                out.push(select(Expr::and(p2.clone(), p1.clone()), group(c.children[0])));
             }
         }
         out
@@ -220,25 +211,19 @@ fn substitute(e: &Expr, inner: &[ProjItem]) -> Option<Expr> {
     Some(match e {
         Expr::Col { name, .. } => {
             let bare = name.rsplit('.').next().unwrap_or(name);
-            let hit = inner
-                .iter()
-                .find(|i| i.alias.eq_ignore_ascii_case(bare))?;
+            let hit = inner.iter().find(|i| i.alias.eq_ignore_ascii_case(bare))?;
             hit.expr.clone()
         }
         Expr::Lit(v) => Expr::Lit(v.clone()),
-        Expr::Cmp(o, l, r) => Expr::Cmp(
-            *o,
-            Box::new(substitute(l, inner)?),
-            Box::new(substitute(r, inner)?),
-        ),
+        Expr::Cmp(o, l, r) => {
+            Expr::Cmp(*o, Box::new(substitute(l, inner)?), Box::new(substitute(r, inner)?))
+        }
         Expr::And(l, r) => Expr::and(substitute(l, inner)?, substitute(r, inner)?),
         Expr::Or(l, r) => Expr::or(substitute(l, inner)?, substitute(r, inner)?),
         Expr::Not(x) => Expr::not(substitute(x, inner)?),
-        Expr::Arith(o, l, r) => Expr::Arith(
-            *o,
-            Box::new(substitute(l, inner)?),
-            Box::new(substitute(r, inner)?),
-        ),
+        Expr::Arith(o, l, r) => {
+            Expr::Arith(*o, Box::new(substitute(l, inner)?), Box::new(substitute(r, inner)?))
+        }
         Expr::Greatest(es) => {
             Expr::Greatest(es.iter().map(|x| substitute(x, inner)).collect::<Option<_>>()?)
         }
@@ -396,10 +381,10 @@ impl Rule<TangoSem> for PushSelectIntoTJoin {
             let mut keep = Vec::new();
             for conj in pred.conjuncts() {
                 let cols = conj.columns();
-                let l_ok = !cols.is_empty()
-                    && cols.iter().all(|cn| ls.has(cn) && !temporal(ls, cn));
-                let r_ok = !cols.is_empty()
-                    && cols.iter().all(|cn| rs.has(cn) && !temporal(rs, cn));
+                let l_ok =
+                    !cols.is_empty() && cols.iter().all(|cn| ls.has(cn) && !temporal(ls, cn));
+                let r_ok =
+                    !cols.is_empty() && cols.iter().all(|cn| rs.has(cn) && !temporal(rs, cn));
                 if l_ok {
                     lpush.push(conj.clone());
                 } else if r_ok {
@@ -432,9 +417,8 @@ impl Rule<TangoSem> for PushSelectIntoTJoin {
 /// Extract an `Overlaps(A, B)` window over `T1`/`T2` from a predicate's
 /// conjuncts: `T1 < B` (or `<=`) together with `T2 > A` (or `>=`).
 fn window_of(pred: &Expr) -> Option<(Expr, Expr)> {
-    let is_t = |name: &str, t: &str| {
-        name.rsplit('.').next().unwrap_or(name).eq_ignore_ascii_case(t)
-    };
+    let is_t =
+        |name: &str, t: &str| name.rsplit('.').next().unwrap_or(name).eq_ignore_ascii_case(t);
     let mut upper: Option<Expr> = None; // the B bound expr (literal side)
     let mut lower: Option<Expr> = None; // the A bound expr
     for conj in pred.conjuncts() {
@@ -455,9 +439,9 @@ fn window_of(pred: &Expr) -> Option<(Expr, Expr)> {
 /// Does a group already contain a selection with exactly this predicate?
 /// (Guard against rules re-firing forever on their own output.)
 fn has_selection(memo: &Memo<TangoSem>, g: volcano::GroupId, pred: &Expr) -> bool {
-    memo.exprs_in(g).iter().any(|&eid| {
-        matches!(&memo.expr(eid).op, TOp::Select { pred: p } if p == pred)
-    })
+    memo.exprs_in(g)
+        .iter()
+        .any(|&eid| matches!(&memo.expr(eid).op, TOp::Select { pred: p } if p == pred))
 }
 
 /// Rule group 4 ("reducing arguments to expensive operations"): a
@@ -491,8 +475,7 @@ impl Rule<TangoSem> for TJoinWindowPush {
                 continue;
             };
             let win = Expr::overlaps("T1", "T2", a.clone(), b.clone());
-            if has_selection(memo, c.children[0], &win)
-                || has_selection(memo, c.children[1], &win)
+            if has_selection(memo, c.children[0], &win) || has_selection(memo, c.children[1], &win)
             {
                 continue;
             }
@@ -708,9 +691,7 @@ impl Rule<TangoSem> for PruneJoinInputs {
             let c = memo.expr(cid);
             // optionally look through one selection
             let (select_pred, join_exprs): (Option<&Expr>, Vec<ExprId>) = match &c.op {
-                TOp::Select { pred } => {
-                    (Some(pred), memo.exprs_in(c.children[0]).to_vec())
-                }
+                TOp::Select { pred } => (Some(pred), memo.exprs_in(c.children[0]).to_vec()),
                 TOp::Join { .. } | TOp::TJoin { .. } => (None, vec![cid]),
                 _ => continue,
             };
@@ -747,8 +728,7 @@ impl Rule<TangoSem> for PruneJoinInputs {
                         .iter()
                         .enumerate()
                         .filter(|(i, a)| {
-                            let is_period =
-                                period.is_some_and(|(p1, p2)| *i == p1 || *i == p2);
+                            let is_period = period.is_some_and(|(p1, p2)| *i == p1 || *i == p2);
                             (temporal && is_period) || req.contains(&bare(&a.name))
                         })
                         .map(|(_, a)| ProjItem::col(a.name.clone()))
@@ -784,12 +764,10 @@ impl Rule<TangoSem> for PruneJoinInputs {
                 let ls = side_schema(j.children[0], &lp);
                 let rs = side_schema(j.children[1], &rp);
                 let joined = match &j.op {
-                    TOp::TJoin { eq } => {
-                        match tango_algebra::logical::tjoin_schema(eq, &ls, &rs) {
-                            Ok(s) => s,
-                            Err(_) => continue,
-                        }
-                    }
+                    TOp::TJoin { eq } => match tango_algebra::logical::tjoin_schema(eq, &ls, &rs) {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    },
                     _ => concat_schemas(&ls, &rs),
                 };
                 let resolves = |e: &Expr| e.columns().iter().all(|c| joined.has(c));
@@ -913,9 +891,7 @@ mod tests {
         let tree = NewExpr::Op(
             TOp::Select { pred: payrate() },
             vec![NewExpr::Op(
-                TOp::Select {
-                    pred: Expr::cmp(CmpOp::Lt, Expr::col("PosID"), Expr::lit(5)),
-                },
+                TOp::Select { pred: Expr::cmp(CmpOp::Lt, Expr::col("PosID"), Expr::lit(5)) },
                 vec![get()],
             )],
         );

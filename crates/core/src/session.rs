@@ -28,6 +28,7 @@ use crate::collector;
 use crate::cost::CostFactors;
 use crate::engine::{self, ExecReport};
 use crate::error::{Result, TangoError};
+use crate::explain::{self, NodeEstimate};
 use crate::feedback;
 use crate::opt::{self, Catalog, OptOptions};
 use crate::phys::PhysNode;
@@ -35,16 +36,19 @@ use crate::tsql;
 use std::time::{Duration, Instant};
 use tango_algebra::{Logical, Relation, Schema};
 use tango_minidb::{Connection, Database};
+use volcano::SearchStats;
 
 /// Session-level configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct TangoOptions {
+    /// Optimizer knobs (rule groups, search limits).
     pub opt: OptOptions,
     /// Give the optimizer histograms on (time) attributes — the paper's
     /// Query 2 compares plan choice with and without them.
     pub use_histograms: bool,
     /// Adapt cost factors from observed runtimes after every query.
     pub feedback: bool,
+    /// Smoothing weight of each new observation (0 = ignore, 1 = replace).
     pub feedback_alpha: f64,
 }
 
@@ -61,7 +65,9 @@ impl Default for TangoOptions {
 
 /// The outcome of optimizing one temporal-SQL statement.
 pub struct OptimizedQuery {
+    /// The initial (all-DBMS) logical plan.
     pub logical: Logical,
+    /// The chosen physical plan.
     pub plan: PhysNode,
     /// Estimated cost in µs.
     pub est_cost_us: f64,
@@ -69,8 +75,16 @@ pub struct OptimizedQuery {
     pub classes: usize,
     /// Class elements generated.
     pub elements: usize,
+    /// Time spent optimizing.
     pub optimize_time: Duration,
+    /// Per-rule firing counts from the transformation phase.
     pub rule_fires: Vec<(&'static str, usize)>,
+    /// Search-effort accounting from the Volcano phase (optimize calls,
+    /// implementations/enforcers considered, memo-table cache hits).
+    pub search: SearchStats,
+    /// Per-node cardinality/cost predictions for the chosen plan, in
+    /// pre-order (used by `EXPLAIN [ANALYZE]`).
+    pub node_estimates: Vec<NodeEstimate>,
 }
 
 impl OptimizedQuery {
@@ -78,11 +92,54 @@ impl OptimizedQuery {
     pub fn explain(&self) -> String {
         self.plan.render()
     }
+
+    /// Render `EXPLAIN`: the plan with site placement and estimated rows.
+    pub fn explain_plan(&self) -> String {
+        explain::render_explain(&self.plan, &self.node_estimates)
+    }
+
+    /// Render `EXPLAIN ANALYZE`: the plan annotated with the execution
+    /// report's actual rows and exclusive times. `redact_timings`
+    /// replaces time values with `?` for reproducible output.
+    pub fn explain_analyze(&self, exec: &ExecReport, redact_timings: bool) -> String {
+        explain::render_explain_analyze(&self.plan, &self.node_estimates, exec, redact_timings)
+    }
+
+    /// Render the optimizer-side trace: memo size, search effort and rule
+    /// firings (the numbers Section 5.2 of the paper reports).
+    pub fn optimizer_trace(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "optimizer: {} classes, {} class elements, {:.1}ms\n",
+            self.classes,
+            self.elements,
+            self.optimize_time.as_secs_f64() * 1e3,
+        ));
+        s.push_str(&format!(
+            "search: {} optimize calls, {} implementations, {} enforcers, {} cache hits\n",
+            self.search.optimize_calls,
+            self.search.implementations_considered,
+            self.search.enforcers_considered,
+            self.search.cache_hits,
+        ));
+        let fires: Vec<String> = self
+            .rule_fires
+            .iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|(r, n)| format!("{r}×{n}"))
+            .collect();
+        if !fires.is_empty() {
+            s.push_str(&format!("rules fired: {}\n", fires.join(", ")));
+        }
+        s
+    }
 }
 
 /// Per-query report: optimization + execution.
 pub struct QueryReport {
+    /// The optimization outcome.
     pub optimized: OptimizedQuery,
+    /// The execution report (per-operator spans).
     pub exec: ExecReport,
 }
 
@@ -114,24 +171,29 @@ impl Tango {
         }
     }
 
+    /// The session's DBMS connection.
     pub fn conn(&self) -> &Connection {
         &self.conn
     }
 
+    /// Current session options.
     pub fn options(&self) -> &TangoOptions {
         &self.options
     }
 
+    /// Mutate session options (invalidates the statistics cache).
     pub fn options_mut(&mut self) -> &mut TangoOptions {
         // statistics with/without histograms differ: drop the cache
         self.catalog = None;
         &mut self.options
     }
 
+    /// The cost factors currently steering the optimizer.
     pub fn factors(&self) -> &CostFactors {
         &self.factors
     }
 
+    /// Replace the cost factors wholesale.
     pub fn set_factors(&mut self, f: CostFactors) {
         self.factors = f;
     }
@@ -175,8 +237,10 @@ impl Tango {
         let factors = self.factors;
         let catalog = self.catalog()?.clone();
         let t0 = Instant::now();
-        let optimized = opt::optimize_logical(&logical, catalog, factors, options)?;
+        let optimized = opt::optimize_logical(&logical, catalog.clone(), factors, options)?;
         let optimize_time = t0.elapsed();
+        let node_estimates =
+            estimate_plan_nodes(&optimized.plan, &catalog, &factors).unwrap_or_default();
         Ok(OptimizedQuery {
             logical,
             plan: optimized.plan,
@@ -185,7 +249,25 @@ impl Tango {
             elements: optimized.elements,
             optimize_time,
             rule_fires: optimized.rule_fires,
+            search: optimized.search,
+            node_estimates,
         })
+    }
+
+    /// `EXPLAIN`: optimize `sql` and render the chosen plan with site
+    /// placement and estimated rows, without executing it.
+    pub fn explain(&mut self, sql: &str) -> Result<String> {
+        Ok(self.optimize(sql)?.explain_plan())
+    }
+
+    /// `EXPLAIN ANALYZE`: optimize and execute `sql`, then render the
+    /// plan annotated with estimated vs. actual rows, site placement and
+    /// per-operator exclusive times. Returns the rendering plus the full
+    /// report (the result relation is discarded, as in PostgreSQL).
+    pub fn explain_analyze(&mut self, sql: &str) -> Result<(String, QueryReport)> {
+        let (_, report) = self.query(sql)?;
+        let text = report.optimized.explain_analyze(&report.exec, false);
+        Ok((text, report))
     }
 
     /// Parse, optimize, execute. Returns the result relation and a full
@@ -220,16 +302,37 @@ impl Tango {
 /// Bottom-up cost estimate of a physical plan: derive statistics per node
 /// (using the same machinery as the optimizer) and sum the formula costs.
 fn estimate_plan(plan: &PhysNode, catalog: &Catalog, factors: &CostFactors) -> Result<f64> {
+    let mut out = vec![NodeEstimate::default(); plan.node_count()];
+    go_estimate(plan, 0, catalog, factors, &mut out).map(|(_, c)| c)
+}
+
+/// Per-node predictions for the plan, indexed in pre-order (the numbering
+/// `EXPLAIN` renders against).
+fn estimate_plan_nodes(
+    plan: &PhysNode,
+    catalog: &Catalog,
+    factors: &CostFactors,
+) -> Result<Vec<NodeEstimate>> {
+    let mut out = vec![NodeEstimate::default(); plan.node_count()];
+    go_estimate(plan, 0, catalog, factors, &mut out)?;
+    Ok(out)
+}
+
+fn go_estimate(
+    n: &PhysNode,
+    pre: usize,
+    catalog: &Catalog,
+    factors: &CostFactors,
+    out: &mut [NodeEstimate],
+) -> Result<(tango_stats::RelationStats, f64)> {
     use crate::phys::Algo;
-    fn go(
-        n: &PhysNode,
-        catalog: &Catalog,
-        factors: &CostFactors,
-    ) -> Result<(tango_stats::RelationStats, f64)> {
+    {
         let mut child_stats = Vec::new();
         let mut child_cost = 0.0;
+        let mut cpre = pre + 1;
         for c in &n.children {
-            let (s, cost) = go(c, catalog, factors)?;
+            let (s, cost) = go_estimate(c, cpre, catalog, factors, out)?;
+            cpre += c.node_count();
             child_stats.push(s);
             child_cost += cost;
         }
@@ -292,9 +395,9 @@ fn estimate_plan(plan: &PhysNode, catalog: &Catalog, factors: &CostFactors) -> R
         } else {
             factors.cost(&n.algo, &in_refs, &stats)
         };
+        out[pre] = NodeEstimate { est_rows: stats.rows, est_cost_us: own };
         Ok((stats, child_cost + own))
     }
-    go(plan, catalog, factors).map(|(_, c)| c)
 }
 
 #[cfg(test)]
@@ -308,10 +411,8 @@ mod tests {
         let conn = Connection::new(db.clone());
         conn.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")
             .unwrap();
-        conn.execute(
-            "INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)",
-        )
-        .unwrap();
+        conn.execute("INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)")
+            .unwrap();
         conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
         Tango::connect(db)
     }
@@ -332,10 +433,7 @@ mod tests {
             rel.tuples(),
             &[tup![1, 1, 2, 5], tup![1, 2, 5, 20], tup![1, 1, 20, 25], tup![2, 1, 5, 10],]
         );
-        assert_eq!(
-            rel.schema().names().collect::<Vec<_>>(),
-            vec!["PosID", "CNT", "T1", "T2"]
-        );
+        assert_eq!(rel.schema().names().collect::<Vec<_>>(), vec!["PosID", "CNT", "T1", "T2"]);
         assert!(report.optimized.classes > 0);
         assert!(report.optimized.elements >= report.optimized.classes);
     }
@@ -409,11 +507,8 @@ mod tests {
     #[test]
     fn validtime_coalesce_end_to_end() {
         let mut tango = setup();
-        let (rel, report) = tango
-            .query(
-                "VALIDTIME COALESCE SELECT PosID FROM POSITION ORDER BY PosID",
-            )
-            .unwrap();
+        let (rel, report) =
+            tango.query("VALIDTIME COALESCE SELECT PosID FROM POSITION ORDER BY PosID").unwrap();
         assert!(report.optimized.explain().contains("COALESCE^M"));
         // position 1 is continuously staffed over [2, 25), position 2 over [5, 10)
         assert_eq!(rel.tuples(), &[tup![1, 2, 25], tup![2, 5, 10]]);
@@ -428,9 +523,8 @@ mod tests {
             .query("VALIDTIME SELECT DISTINCT PosID, T1, T2 FROM POSITION ORDER BY PosID")
             .unwrap();
         assert_eq!(rel.len(), 3); // no duplicates in the sample; shape check
-        let (all, _) = tango
-            .query("VALIDTIME SELECT PosID, T1, T2 FROM POSITION ORDER BY PosID")
-            .unwrap();
+        let (all, _) =
+            tango.query("VALIDTIME SELECT PosID, T1, T2 FROM POSITION ORDER BY PosID").unwrap();
         assert_eq!(all.len(), 3);
     }
 

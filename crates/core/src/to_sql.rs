@@ -64,13 +64,7 @@ fn column_list(schema: &Schema, qualifier: Option<&str>) -> String {
 fn order_clause(spec: &SortSpec) -> String {
     spec.keys()
         .iter()
-        .map(|k| {
-            if k.desc {
-                format!("{} DESC", k.col)
-            } else {
-                k.col.clone()
-            }
-        })
+        .map(|k| if k.desc { format!("{} DESC", k.col) } else { k.col.clone() })
         .collect::<Vec<_>>()
         .join(", ")
 }
@@ -124,11 +118,7 @@ fn render(node: &PhysNode) -> Result<Rendered> {
                 sel.push(format!("A.{} AS {}", a.name, node.schema.attr(i).name));
             }
             for (j, a) in rs.attrs().iter().enumerate() {
-                sel.push(format!(
-                    "B.{} AS {}",
-                    a.name,
-                    node.schema.attr(ls.len() + j).name
-                ));
+                sel.push(format!("B.{} AS {}", a.name, node.schema.attr(ls.len() + j).name));
             }
             let mut sql = format!(
                 "SELECT {} FROM {}, {}",
@@ -137,8 +127,7 @@ fn render(node: &PhysNode) -> Result<Rendered> {
                 r.from_clause("B"),
             );
             if !eq.is_empty() {
-                let conds: Vec<String> =
-                    eq.iter().map(|(a, b)| format!("A.{a} = B.{b}")).collect();
+                let conds: Vec<String> = eq.iter().map(|(a, b)| format!("A.{a} = B.{b}")).collect();
                 write!(sql, " WHERE {}", conds.join(" AND ")).unwrap();
             }
             Rendered::Query(sql)
@@ -175,8 +164,7 @@ fn render(node: &PhysNode) -> Result<Rendered> {
             }
             sel.push(format!("GREATEST(A.{lt1}, B.{rt1}) AS T1"));
             sel.push(format!("LEAST(A.{lt2}, B.{rt2}) AS T2"));
-            let mut conds: Vec<String> =
-                eq.iter().map(|(a, b)| format!("A.{a} = B.{b}")).collect();
+            let mut conds: Vec<String> = eq.iter().map(|(a, b)| format!("A.{a} = B.{b}")).collect();
             conds.push(format!("A.{lt1} < B.{rt2}"));
             conds.push(format!("A.{lt2} > B.{rt1}"));
             Rendered::Query(format!(
@@ -236,19 +224,12 @@ fn taggr_sql(
         g_sel(""),
         if group_by.is_empty() { "" } else { ", " },
         child.from_clause("XP1"),
-        group_by
-            .iter()
-            .map(|g| g.to_string())
-            .collect::<Vec<_>>()
-            .join(", "),
+        group_by.iter().map(|g| g.to_string()).collect::<Vec<_>>().join(", "),
         if group_by.is_empty() { "" } else { ", " },
         child.from_clause("XP2"),
     );
-    let mut cp_conds: Vec<String> = group_by
-        .iter()
-        .enumerate()
-        .map(|(i, _)| format!("p1.g{i} = p2.g{i}"))
-        .collect();
+    let mut cp_conds: Vec<String> =
+        group_by.iter().enumerate().map(|(i, _)| format!("p1.g{i} = p2.g{i}")).collect();
     cp_conds.push("p2.t > p1.t".to_string());
     let cp_group: Vec<String> = group_by
         .iter()
@@ -260,10 +241,7 @@ fn taggr_sql(
         .iter()
         .enumerate()
         .map(|(i, _)| format!("p1.g{i} AS g{i}"))
-        .chain([
-            "p1.t AS ts".to_string(),
-            "MIN(p2.t) AS te".to_string(),
-        ])
+        .chain(["p1.t AS ts".to_string(), "MIN(p2.t) AS te".to_string()])
         .collect();
     let cp = format!(
         "SELECT {} FROM ({points}) p1, ({points}) p2 WHERE {} GROUP BY {}",
@@ -286,11 +264,8 @@ fn taggr_sql(
         };
         outer_sel.push(format!("{call} AS {}", a.alias));
     }
-    let mut outer_conds: Vec<String> = group_by
-        .iter()
-        .enumerate()
-        .map(|(i, g)| format!("r.{g} = cp.g{i}"))
-        .collect();
+    let mut outer_conds: Vec<String> =
+        group_by.iter().enumerate().map(|(i, g)| format!("r.{g} = cp.g{i}")).collect();
     outer_conds.push(format!("r.{t1} <= cp.ts"));
     outer_conds.push(format!("r.{t2} >= cp.te"));
     let outer_group: Vec<String> = group_by
@@ -336,10 +311,8 @@ mod tests {
         let c = Connection::new(Database::in_memory());
         c.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")
             .unwrap();
-        c.execute(
-            "INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)",
-        )
-        .unwrap();
+        c.execute("INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)")
+            .unwrap();
         c
     }
 
@@ -364,12 +337,9 @@ mod tests {
     #[test]
     fn taggr_sql_matches_figure3c() {
         let aggs = vec![AggSpec::new(AggFunc::Count, Some("PosID"), "CNT")];
-        let out = tango_algebra::logical::taggr_schema(
-            &["PosID".to_string()],
-            &aggs,
-            &position_schema(),
-        )
-        .unwrap();
+        let out =
+            tango_algebra::logical::taggr_schema(&["PosID".to_string()], &aggs, &position_schema())
+                .unwrap();
         let node = PhysNode {
             algo: Algo::TAggrD { group_by: vec!["PosID".into()], aggs },
             schema: Arc::new(out),
@@ -394,12 +364,8 @@ mod tests {
         // temporal self-join of POSITION with its aggregation, DBMS-side
         let aggs = vec![AggSpec::new(AggFunc::Count, Some("PosID"), "COUNTofPosID")];
         let agg_schema = Arc::new(
-            tango_algebra::logical::taggr_schema(
-                &["PosID".to_string()],
-                &aggs,
-                &position_schema(),
-            )
-            .unwrap(),
+            tango_algebra::logical::taggr_schema(&["PosID".to_string()], &aggs, &position_schema())
+                .unwrap(),
         );
         let agg = PhysNode {
             algo: Algo::TAggrD { group_by: vec!["PosID".into()], aggs },
@@ -407,13 +373,10 @@ mod tests {
             children: vec![scan()],
         };
         let eq = vec![("PosID".to_string(), "PosID".to_string())];
-        let out = tango_algebra::logical::tjoin_schema(&eq, &position_schema(), &agg_schema)
-            .unwrap();
-        let node = PhysNode {
-            algo: Algo::TJoinD(eq),
-            schema: Arc::new(out),
-            children: vec![scan(), agg],
-        };
+        let out =
+            tango_algebra::logical::tjoin_schema(&eq, &position_schema(), &agg_schema).unwrap();
+        let node =
+            PhysNode { algo: Algo::TJoinD(eq), schema: Arc::new(out), children: vec![scan(), agg] };
         let sql = render_select(&node).unwrap();
         let mut r = conn().query_all(&sql).unwrap();
         r.sort_by(&SortSpec::by(["PosID", "EmpName", "T1"]));
@@ -432,11 +395,8 @@ mod tests {
 
     #[test]
     fn middleware_algorithms_are_untranslatable() {
-        let node = PhysNode {
-            algo: Algo::TransferM,
-            schema: position_schema(),
-            children: vec![scan()],
-        };
+        let node =
+            PhysNode { algo: Algo::TransferM, schema: position_schema(), children: vec![scan()] };
         assert!(render_select(&node).is_err());
     }
 }

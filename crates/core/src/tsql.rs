@@ -18,19 +18,13 @@
 
 use crate::error::{Result, TangoError};
 use std::collections::HashMap;
-use tango_algebra::{
-    AggSpec, Expr, Logical, ProjItem, Schema, SortKey, SortSpec,
-};
+use tango_algebra::{AggSpec, Expr, Logical, ProjItem, Schema, SortKey, SortSpec};
 use tango_minidb::ast::{FromItem, SelectItem, SelectStmt, Stmt};
 
 /// Parse a temporal-SQL statement into the initial logical plan
 /// (`T^M` on top). `table_schema` resolves base relations.
-pub fn parse_tsql(
-    sql: &str,
-    table_schema: &dyn Fn(&str) -> Option<Schema>,
-) -> Result<Logical> {
-    let stmt = tango_minidb::parser::parse(sql)
-        .map_err(|e| TangoError::Parse(e.to_string()))?;
+pub fn parse_tsql(sql: &str, table_schema: &dyn Fn(&str) -> Option<Schema>) -> Result<Logical> {
+    let stmt = tango_minidb::parser::parse(sql).map_err(|e| TangoError::Parse(e.to_string()))?;
     let Stmt::Select(sel) = stmt else {
         return Err(TangoError::Parse(
             "only SELECT statements can be optimized by the middleware".into(),
@@ -38,6 +32,37 @@ pub fn parse_tsql(
     };
     let plan = block_to_logical(&sel, table_schema)?;
     Ok(plan.transfer_m())
+}
+
+/// What an `EXPLAIN` prefix asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Explain {
+    /// `EXPLAIN <query>`: show the optimized plan, don't run it.
+    Plan,
+    /// `EXPLAIN ANALYZE <query>`: run it and show estimated vs. actuals.
+    Analyze,
+}
+
+/// Strip a leading `EXPLAIN [ANALYZE]` from a statement. Returns the
+/// request (if any) and the remaining statement text; the keywords are
+/// case-insensitive, matching the rest of the dialect.
+pub fn strip_explain(sql: &str) -> (Option<Explain>, &str) {
+    fn eat_kw<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+        let t = s.trim_start();
+        let head = t.get(..kw.len())?;
+        if head.eq_ignore_ascii_case(kw) && t[kw.len()..].starts_with(|c: char| c.is_whitespace()) {
+            Some(&t[kw.len()..])
+        } else {
+            None
+        }
+    }
+    let Some(rest) = eat_kw(sql, "EXPLAIN") else {
+        return (None, sql);
+    };
+    match eat_kw(rest, "ANALYZE") {
+        Some(rest) => (Some(Explain::Analyze), rest.trim_start()),
+        None => (Some(Explain::Plan), rest.trim_start()),
+    }
 }
 
 /// One planned FROM item with its binding name and current schema.
@@ -72,9 +97,8 @@ fn block_to_logical(
     for fi in &stmt.from {
         match fi {
             FromItem::Table { name, alias } => {
-                let schema = table_schema(name).ok_or_else(|| {
-                    TangoError::Parse(format!("unknown table {name}"))
-                })?;
+                let schema = table_schema(name)
+                    .ok_or_else(|| TangoError::Parse(format!("unknown table {name}")))?;
                 items.push(Item {
                     binding: alias.clone().unwrap_or_else(|| name.clone()),
                     schema,
@@ -127,9 +151,7 @@ fn block_to_logical(
             if let (Expr::Col { name: ln, .. }, Expr::Col { name: rn, .. }) =
                 (l.as_ref(), r.as_ref())
             {
-                if let (Ok((li, la)), Ok((ri, ra))) =
-                    (resolve(ln, &items), resolve(rn, &items))
-                {
+                if let (Ok((li, la)), Ok((ri, ra))) = (resolve(ln, &items), resolve(rn, &items)) {
                     if li != ri {
                         join_conds.push((li, la, ri, ra));
                         continue 'conj;
@@ -183,9 +205,7 @@ fn block_to_logical(
             let lname = name_map
                 .get(&(left_item, left_attr.to_uppercase()))
                 .cloned()
-                .ok_or_else(|| {
-                    TangoError::Parse(format!("join column {left_attr} lost"))
-                })?;
+                .ok_or_else(|| TangoError::Parse(format!("join column {left_attr} lost")))?;
             eq.push((lname, right_attr.clone()));
         }
         let right_plan = std::mem::replace(&mut items[k].plan, Logical::get("_"));
@@ -207,9 +227,9 @@ fn block_to_logical(
         let mut new_map: HashMap<(usize, String), String> = HashMap::new();
         if stmt.validtime {
             // TJoin layout: left non-period, right non-period minus keys, T1, T2
-            let (lt1, lt2) = cur_schema.period().ok_or_else(|| {
-                TangoError::Parse("temporal join over non-temporal input".into())
-            })?;
+            let (lt1, lt2) = cur_schema
+                .period()
+                .ok_or_else(|| TangoError::Parse("temporal join over non-temporal input".into()))?;
             let mut pos = 0usize;
             for (i, a) in cur_schema.attrs().iter().enumerate() {
                 if i == lt1 || i == lt2 {
@@ -223,9 +243,9 @@ fn block_to_logical(
                 }
                 pos += 1;
             }
-            let (rt1, rt2) = right_schema.period().ok_or_else(|| {
-                TangoError::Parse("temporal join over non-temporal input".into())
-            })?;
+            let (rt1, rt2) = right_schema
+                .period()
+                .ok_or_else(|| TangoError::Parse("temporal join over non-temporal input".into()))?;
             for (j, a) in right_schema.attrs().iter().enumerate() {
                 if j == rt1 || j == rt2 {
                     continue;
@@ -233,9 +253,8 @@ fn block_to_logical(
                 let is_key = eq.iter().any(|(_, rc)| rc.eq_ignore_ascii_case(&a.name));
                 if is_key {
                     // right key values equal the left key's: map to it
-                    if let Some((lname, _)) = eq
-                        .iter()
-                        .find(|(_, rc)| rc.eq_ignore_ascii_case(&a.name))
+                    if let Some((lname, _)) =
+                        eq.iter().find(|(_, rc)| rc.eq_ignore_ascii_case(&a.name))
                     {
                         for (key, v) in &name_map {
                             if v == lname {
@@ -298,11 +317,8 @@ fn block_to_logical(
     let has_agg = stmt.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
     let mut agg_aliases: Vec<String> = Vec::new();
     if stmt.validtime && (has_agg || !stmt.group_by.is_empty()) {
-        let group_by: Vec<String> = stmt
-            .group_by
-            .iter()
-            .map(|g| out_name(g))
-            .collect::<Result<_>>()?;
+        let group_by: Vec<String> =
+            stmt.group_by.iter().map(|g| out_name(g)).collect::<Result<_>>()?;
         let mut aggs = Vec::new();
         for (i, it) in stmt.items.iter().enumerate() {
             if let SelectItem::Agg { func, arg, alias } = it {
@@ -363,9 +379,7 @@ fn block_to_logical(
                     rewrite_cols(&mut e, &out_name)?;
                 }
                 let alias = alias.clone().unwrap_or_else(|| match expr {
-                    Expr::Col { name, .. } => {
-                        name.rsplit('.').next().unwrap_or(name).to_string()
-                    }
+                    Expr::Col { name, .. } => name.rsplit('.').next().unwrap_or(name).to_string(),
                     _ => format!("EXPR_{}", proj.len() + 1),
                 });
                 proj.push(ProjItem::named(e, uniquify(alias)));
@@ -406,9 +420,7 @@ fn block_to_logical(
     }
     if stmt.coalesce {
         if !cur_schema.is_temporal() {
-            return Err(TangoError::Parse(
-                "VALIDTIME COALESCE requires a temporal result".into(),
-            ));
+            return Err(TangoError::Parse("VALIDTIME COALESCE requires a temporal result".into()));
         }
         plan = Logical::Coalesce { input: Box::new(plan) };
     }
@@ -447,9 +459,7 @@ fn rewrite_cols(e: &mut Expr, f: &dyn Fn(&str) -> Result<String>) -> Result<()> 
             rewrite_cols(r, f)
         }
         Expr::Not(x) | Expr::IsNull(x, _) => rewrite_cols(x, f),
-        Expr::Greatest(es) | Expr::Least(es) => {
-            es.iter_mut().try_for_each(|x| rewrite_cols(x, f))
-        }
+        Expr::Greatest(es) | Expr::Least(es) => es.iter_mut().try_for_each(|x| rewrite_cols(x, f)),
     }
 }
 
@@ -458,9 +468,8 @@ pub struct SrcFn<'a>(pub &'a dyn Fn(&str) -> Option<Schema>);
 
 impl tango_algebra::SchemaSource for SrcFn<'_> {
     fn table_schema(&self, name: &str) -> tango_algebra::Result<Schema> {
-        (self.0)(name).ok_or_else(|| {
-            tango_algebra::AlgebraError::Schema(format!("unknown table {name}"))
-        })
+        (self.0)(name)
+            .ok_or_else(|| tango_algebra::AlgebraError::Schema(format!("unknown table {name}")))
     }
 }
 
@@ -553,36 +562,26 @@ mod tests {
         assert!(s.contains("JOIN"), "{s}");
         assert!(!s.contains("TJOIN"), "{s}");
         let schema = plan.output_schema(&SrcFn(&schemas)).unwrap();
-        assert_eq!(
-            schema.names().collect::<Vec<_>>(),
-            vec!["PosID", "EmpName", "Address"]
-        );
+        assert_eq!(schema.names().collect::<Vec<_>>(), vec!["PosID", "EmpName", "Address"]);
     }
 
     #[test]
     fn distinct_and_coalesce() {
-        let plan = parse_tsql(
-            "VALIDTIME SELECT DISTINCT PosID FROM POSITION",
-            &schemas,
-        )
-        .unwrap();
+        let plan = parse_tsql("VALIDTIME SELECT DISTINCT PosID FROM POSITION", &schemas).unwrap();
         assert!(plan.to_string().contains("DUPELIM"));
-        let plan = parse_tsql(
-            "VALIDTIME COALESCE SELECT PosID FROM POSITION",
-            &schemas,
-        )
-        .unwrap();
+        let plan = parse_tsql("VALIDTIME COALESCE SELECT PosID FROM POSITION", &schemas).unwrap();
         assert!(plan.to_string().contains("COALESCE"), "{plan}");
     }
 
     #[test]
     fn errors() {
         assert!(parse_tsql("SELECT * FROM NOPE", &schemas).is_err());
+        assert!(parse_tsql("SELECT PosID, COUNT(PosID) C FROM POSITION GROUP BY PosID", &schemas)
+            .is_err()); // non-temporal aggregation is the DBMS's job
         assert!(parse_tsql(
-            "SELECT PosID, COUNT(PosID) C FROM POSITION GROUP BY PosID",
+            "VALIDTIME SELECT PosID FROM POSITION UNION VALIDTIME SELECT PosID FROM POSITION",
             &schemas
         )
-        .is_err()); // non-temporal aggregation is the DBMS's job
-        assert!(parse_tsql("VALIDTIME SELECT PosID FROM POSITION UNION VALIDTIME SELECT PosID FROM POSITION", &schemas).is_err());
+        .is_err());
     }
 }

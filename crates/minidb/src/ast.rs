@@ -8,13 +8,35 @@ pub enum Stmt {
     Select(SelectStmt),
     /// `EXPLAIN SELECT ...` — returns the physical plan as text rows.
     Explain(SelectStmt),
-    CreateTable { name: String, cols: Vec<(String, Type)> },
-    DropTable { name: String, if_exists: bool },
-    Insert { table: String, rows: Vec<Vec<Value>> },
-    Delete { table: String, pred: Option<Expr> },
-    Update { table: String, sets: Vec<(String, Expr)>, pred: Option<Expr> },
-    Analyze { table: String },
-    CreateIndex { name: String, table: String, col: String },
+    CreateTable {
+        name: String,
+        cols: Vec<(String, Type)>,
+    },
+    DropTable {
+        name: String,
+        if_exists: bool,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    Delete {
+        table: String,
+        pred: Option<Expr>,
+    },
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        pred: Option<Expr>,
+    },
+    Analyze {
+        table: String,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        col: String,
+    },
 }
 
 /// Join-method hints, Oracle style.

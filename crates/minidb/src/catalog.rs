@@ -49,15 +49,13 @@ pub struct DbInner {
 
 impl DbInner {
     pub fn table(&self, name: &str) -> Result<&Table> {
-        self.tables
-            .get(&name.to_uppercase())
-            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))
+        self.tables.get(&name.to_uppercase()).ok_or_else(|| DbError::NoSuchTable(name.to_string()))
     }
 
     pub fn index_on(&self, table: &str, col: &str) -> Option<&IndexDef> {
-        self.indexes.iter().find(|ix| {
-            ix.table.eq_ignore_ascii_case(table) && ix.col.eq_ignore_ascii_case(col)
-        })
+        self.indexes
+            .iter()
+            .find(|ix| ix.table.eq_ignore_ascii_case(table) && ix.col.eq_ignore_ascii_case(col))
     }
 
     fn rebuild_index(&mut self, i: usize) -> Result<()> {
@@ -129,9 +127,7 @@ impl Database {
         if inner.tables.contains_key(&key) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        inner
-            .tables
-            .insert(key, Table { schema: Arc::new(schema), rows: Vec::new(), stats: None });
+        inner.tables.insert(key, Table { schema: Arc::new(schema), rows: Vec::new(), stats: None });
         Ok(())
     }
 
@@ -148,10 +144,8 @@ impl Database {
     pub fn insert_rows(&self, name: &str, rows: Vec<Tuple>) -> Result<u64> {
         let mut inner = self.inner.write();
         let key = name.to_uppercase();
-        let table = inner
-            .tables
-            .get_mut(&key)
-            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let table =
+            inner.tables.get_mut(&key).ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
         let arity = table.schema.len();
         let n = rows.len() as u64;
         for r in &rows {
@@ -172,10 +166,8 @@ impl Database {
     pub fn delete_rows(&self, name: &str, pred: Option<&tango_algebra::Expr>) -> Result<u64> {
         let mut inner = self.inner.write();
         let key = name.to_uppercase();
-        let table = inner
-            .tables
-            .get_mut(&key)
-            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let table =
+            inner.tables.get_mut(&key).ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
         let before = table.rows.len();
         match pred {
             None => table.rows.clear(),
@@ -209,10 +201,8 @@ impl Database {
     ) -> Result<u64> {
         let mut inner = self.inner.write();
         let key = name.to_uppercase();
-        let table = inner
-            .tables
-            .get_mut(&key)
-            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let table =
+            inner.tables.get_mut(&key).ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
         let bound_pred = pred.map(|p| p.bound(&table.schema)).transpose()?;
         let mut bound_sets = Vec::with_capacity(sets.len());
         for (col, e) in sets {
@@ -253,10 +243,8 @@ impl Database {
             .filter(|ix| ix.table.eq_ignore_ascii_case(name))
             .map(|ix| (ix.col.to_uppercase(), false))
             .collect();
-        let table = inner
-            .tables
-            .get_mut(&key)
-            .ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
+        let table =
+            inner.tables.get_mut(&key).ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
         let rel = Relation::new(table.schema.clone(), table.rows.clone());
         let mut stats = RelationStats::from_relation(&rel, HISTOGRAM_BUCKETS);
         for (col, clustered) in indexed {
@@ -286,19 +274,11 @@ impl Database {
         if let Some(v) = dictionary_view_schema(name) {
             return Some(v);
         }
-        self.inner
-            .read()
-            .tables
-            .get(&name.to_uppercase())
-            .map(|t| t.schema.as_ref().clone())
+        self.inner.read().tables.get(&name.to_uppercase()).map(|t| t.schema.as_ref().clone())
     }
 
     pub fn table_stats(&self, name: &str) -> Option<RelationStats> {
-        self.inner
-            .read()
-            .tables
-            .get(&name.to_uppercase())
-            .and_then(|t| t.stats.clone())
+        self.inner.read().tables.get(&name.to_uppercase()).and_then(|t| t.stats.clone())
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -416,11 +396,7 @@ mod tests {
             Attr::new("T2", Type::Int),
         ]);
         db.create_table("POSITION", schema).unwrap();
-        db.insert_rows(
-            "POSITION",
-            vec![tup![1, 2, 20], tup![1, 5, 25], tup![2, 5, 10]],
-        )
-        .unwrap();
+        db.insert_rows("POSITION", vec![tup![1, 2, 20], tup![1, 5, 25], tup![2, 5, 10]]).unwrap();
         db
     }
 

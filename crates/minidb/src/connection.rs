@@ -50,15 +50,10 @@ impl Connection {
         let stmt = parse(sql)?;
         let rows = match stmt {
             crate::ast::Stmt::Select(_) | crate::ast::Stmt::Explain(_) => {
-                return Err(DbError::Semantic(
-                    "use query() for SELECT statements".into(),
-                ))
+                return Err(DbError::Semantic("use query() for SELECT statements".into()))
             }
             crate::ast::Stmt::CreateTable { name, cols } => {
-                let attrs = cols
-                    .into_iter()
-                    .map(|(n, t)| tango_algebra::Attr::new(n, t))
-                    .collect();
+                let attrs = cols.into_iter().map(|(n, t)| tango_algebra::Attr::new(n, t)).collect();
                 self.db.create_table(&name, Schema::with_inferred_period(attrs))?;
                 0
             }
@@ -69,13 +64,10 @@ impl Connection {
             crate::ast::Stmt::Insert { table, rows } => {
                 // conventional path: each row crosses the wire as its own
                 // statement round trip
-                let bytes: u64 = rows
-                    .iter()
-                    .map(|r| r.iter().map(|v| v.byte_size() as u64).sum::<u64>())
-                    .sum();
+                let bytes: u64 =
+                    rows.iter().map(|r| r.iter().map(|v| v.byte_size() as u64).sum::<u64>()).sum();
                 self.db.link().charge(rows.len() as u64, bytes);
-                self.db
-                    .insert_rows(&table, rows.into_iter().map(Tuple::new).collect())?
+                self.db.insert_rows(&table, rows.into_iter().map(Tuple::new).collect())?
             }
             crate::ast::Stmt::Delete { table, pred } => {
                 self.db.link().charge(1, sql.len() as u64);
@@ -108,9 +100,10 @@ impl Connection {
             crate::ast::Stmt::Explain(s) => {
                 let inner = self.db.inner.read();
                 let plan = plan_select(&s, &inner)?;
-                let schema = std::sync::Arc::new(Schema::new(vec![
-                    tango_algebra::Attr::new("PLAN", tango_algebra::Type::Str),
-                ]));
+                let schema = std::sync::Arc::new(Schema::new(vec![tango_algebra::Attr::new(
+                    "PLAN",
+                    tango_algebra::Type::Str,
+                )]));
                 let rows: Vec<Tuple> = plan
                     .render()
                     .lines()
@@ -288,9 +281,7 @@ mod tests {
     #[test]
     fn end_to_end_query() {
         let c = conn();
-        let r = c
-            .query_all("SELECT EmpName FROM POSITION WHERE PosID = 1 ORDER BY T1")
-            .unwrap();
+        let r = c.query_all("SELECT EmpName FROM POSITION WHERE PosID = 1 ORDER BY T1").unwrap();
         assert_eq!(r.tuples(), &[tup!["Tom"], tup!["Jane"]]);
     }
 
@@ -321,12 +312,7 @@ mod tests {
         let r = c.query_all(sql).unwrap();
         assert_eq!(
             r.tuples(),
-            &[
-                tup![1, 2, 5, 1],
-                tup![1, 5, 20, 2],
-                tup![1, 20, 25, 1],
-                tup![2, 5, 10, 1],
-            ]
+            &[tup![1, 2, 5, 1], tup![1, 5, 20, 2], tup![1, 20, 25, 1], tup![2, 5, 10, 1],]
         );
     }
 

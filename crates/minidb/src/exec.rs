@@ -32,7 +32,9 @@ pub struct Plan {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanOp {
     /// Full table scan (base table or dictionary view).
-    Scan { table: String },
+    Scan {
+        table: String,
+    },
     /// B-tree index range scan: `lo < col` and/or `col < hi` bounds
     /// (inclusive flags per bound); residual predicates live in a parent
     /// `Filter`.
@@ -44,21 +46,59 @@ pub enum PlanOp {
     },
     /// Re-expose a child under different attribute names (inline-view
     /// aliasing).
-    Rename { input: Box<Plan> },
-    Filter { pred: Expr, input: Box<Plan> },
-    Project { items: Vec<(Expr, String)>, input: Box<Plan> },
-    Sort { keys: SortSpec, input: Box<Plan> },
-    HashJoin { lkeys: Vec<String>, rkeys: Vec<String>, left: Box<Plan>, right: Box<Plan> },
-    MergeJoin { lkeys: Vec<String>, rkeys: Vec<String>, left: Box<Plan>, right: Box<Plan> },
+    Rename {
+        input: Box<Plan>,
+    },
+    Filter {
+        pred: Expr,
+        input: Box<Plan>,
+    },
+    Project {
+        items: Vec<(Expr, String)>,
+        input: Box<Plan>,
+    },
+    Sort {
+        keys: SortSpec,
+        input: Box<Plan>,
+    },
+    HashJoin {
+        lkeys: Vec<String>,
+        rkeys: Vec<String>,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
+    MergeJoin {
+        lkeys: Vec<String>,
+        rkeys: Vec<String>,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
     /// Nested loops with optional predicate (over the concatenated row).
-    NlJoin { pred: Option<Expr>, left: Box<Plan>, right: Box<Plan> },
+    NlJoin {
+        pred: Option<Expr>,
+        left: Box<Plan>,
+        right: Box<Plan>,
+    },
     /// Index nested-loop join: probe the B-tree index on `table.col`
     /// with the left key — what Oracle's `USE_NL` hint does when the
     /// inner table is indexed on the join column.
-    IndexNlJoin { lkey: String, table: String, col: String, left: Box<Plan> },
-    HashAgg { group_by: Vec<String>, aggs: Vec<AggItem>, input: Box<Plan> },
-    Distinct { input: Box<Plan> },
-    UnionAll { inputs: Vec<Plan> },
+    IndexNlJoin {
+        lkey: String,
+        table: String,
+        col: String,
+        left: Box<Plan>,
+    },
+    HashAgg {
+        group_by: Vec<String>,
+        aggs: Vec<AggItem>,
+        input: Box<Plan>,
+    },
+    Distinct {
+        input: Box<Plan>,
+    },
+    UnionAll {
+        inputs: Vec<Plan>,
+    },
 }
 
 impl Plan {
@@ -99,11 +139,9 @@ impl Plan {
                 PlanOp::IndexNlJoin { table, col, .. } => {
                     format!("INDEX NESTED LOOPS {table}.{col}")
                 }
-                PlanOp::HashAgg { group_by, aggs, .. } => format!(
-                    "HASH GROUP BY [{}] aggs={}",
-                    group_by.join(", "),
-                    aggs.len()
-                ),
+                PlanOp::HashAgg { group_by, aggs, .. } => {
+                    format!("HASH GROUP BY [{}] aggs={}", group_by.join(", "), aggs.len())
+                }
                 PlanOp::Distinct { .. } => "HASH UNIQUE".to_string(),
                 PlanOp::UnionAll { .. } => "UNION ALL".to_string(),
             };
@@ -277,15 +315,11 @@ pub fn run(plan: &Plan, db: &DbInner) -> Result<Relation> {
                         }
                         // group bounds
                         let mut i2 = i;
-                        while i2 < lt.len()
-                            && key_cmp(&lt[i2], &li, &rt[j], &ri).is_eq()
-                        {
+                        while i2 < lt.len() && key_cmp(&lt[i2], &li, &rt[j], &ri).is_eq() {
                             i2 += 1;
                         }
                         let mut j2 = j;
-                        while j2 < rt.len()
-                            && key_cmp(&lt[i], &li, &rt[j2], &ri).is_eq()
-                        {
+                        while j2 < rt.len() && key_cmp(&lt[i], &li, &rt[j2], &ri).is_eq() {
                             j2 += 1;
                         }
                         for l_row in &lt[i..i2] {
@@ -378,7 +412,10 @@ pub fn run(plan: &Plan, db: &DbInner) -> Result<Relation> {
                 order.push(Vec::new());
                 groups.insert(
                     Vec::new(),
-                    Group { reprs: Vec::new(), accs: aggs.iter().map(|a| Acc::new(a.func)).collect() },
+                    Group {
+                        reprs: Vec::new(),
+                        accs: aggs.iter().map(|a| Acc::new(a.func)).collect(),
+                    },
                 );
             }
             let mut rows = Vec::with_capacity(order.len());
@@ -417,10 +454,7 @@ pub fn run(plan: &Plan, db: &DbInner) -> Result<Relation> {
 }
 
 fn resolve_keys(names: &[String], schema: &Schema) -> Result<Vec<usize>> {
-    names
-        .iter()
-        .map(|n| schema.index_of(n).map_err(DbError::from))
-        .collect()
+    names.iter().map(|n| schema.index_of(n).map_err(DbError::from)).collect()
 }
 
 fn key_cmp(l: &Tuple, li: &[usize], r: &Tuple, ri: &[usize]) -> std::cmp::Ordering {
@@ -479,9 +513,9 @@ impl Acc {
             Acc::Min(cur) => {
                 if let Some(v) = v {
                     if !v.is_null()
-                        && cur.as_ref().is_none_or(|c| {
-                            v.sql_cmp(c) == Some(std::cmp::Ordering::Less)
-                        })
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Less))
                     {
                         *cur = Some(v.clone());
                     }
@@ -490,9 +524,9 @@ impl Acc {
             Acc::Max(cur) => {
                 if let Some(v) = v {
                     if !v.is_null()
-                        && cur.as_ref().is_none_or(|c| {
-                            v.sql_cmp(c) == Some(std::cmp::Ordering::Greater)
-                        })
+                        && cur
+                            .as_ref()
+                            .is_none_or(|c| v.sql_cmp(c) == Some(std::cmp::Ordering::Greater))
                     {
                         *cur = Some(v.clone());
                     }

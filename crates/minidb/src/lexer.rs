@@ -91,8 +91,7 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
             '0'..='9' => {
                 let start = i;
                 let mut saw_dot = false;
-                while i < b.len()
-                    && ((b[i] as char).is_ascii_digit() || (b[i] == b'.' && !saw_dot))
+                while i < b.len() && ((b[i] as char).is_ascii_digit() || (b[i] == b'.' && !saw_dot))
                 {
                     // a '.' must be followed by a digit to be part of the number
                     if b[i] == b'.' {
@@ -106,13 +105,9 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
                 }
                 let text = &sql[start..i];
                 if saw_dot {
-                    out.push(Tok::Number(
-                        text.parse().map_err(|_| err("bad number", start))?,
-                    ));
+                    out.push(Tok::Number(text.parse().map_err(|_| err("bad number", start))?));
                 } else {
-                    out.push(Tok::IntNumber(
-                        text.parse().map_err(|_| err("bad number", start))?,
-                    ));
+                    out.push(Tok::IntNumber(text.parse().map_err(|_| err("bad number", start))?));
                 }
             }
             'a'..='z' | 'A'..='Z' | '_' | '"' => {
@@ -128,9 +123,7 @@ pub fn lex(sql: &str) -> Result<Vec<Tok>> {
                     i = j + 1;
                 } else {
                     let start = i;
-                    while i < b.len()
-                        && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_')
-                    {
+                    while i < b.len() && ((b[i] as char).is_ascii_alphanumeric() || b[i] == b'_') {
                         i += 1;
                     }
                     out.push(Tok::Ident(sql[start..i].to_string()));

@@ -36,7 +36,7 @@ pub mod parser;
 pub mod planner;
 pub mod wire;
 
-pub use connection::{Connection, DbCursor};
 pub use catalog::Database;
+pub use connection::{Connection, DbCursor};
 pub use error::{DbError, Result};
 pub use wire::{Link, LinkProfile, WireMode};

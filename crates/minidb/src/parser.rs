@@ -91,10 +91,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String> {
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => Err(DbError::Parse {
-                msg: "expected identifier".into(),
-                near: other.describe(),
-            }),
+            other => {
+                Err(DbError::Parse { msg: "expected identifier".into(), near: other.describe() })
+            }
         }
     }
 
@@ -308,11 +307,7 @@ impl Parser {
                 if self.toks.get(self.pos + 1) == Some(&Tok::Sym("(")) {
                     self.bump(); // name
                     self.bump(); // (
-                    let arg = if self.eat_sym("*") {
-                        None
-                    } else {
-                        Some(self.expr()?)
-                    };
+                    let arg = if self.eat_sym("*") { None } else { Some(self.expr()?) };
                     self.expect_sym(")")?;
                     let alias = self.alias()?;
                     return Ok(SelectItem::Agg { func, arg, alias });
@@ -433,10 +428,7 @@ impl Parser {
             let lo = self.add_expr()?;
             self.expect_kw("AND")?;
             let hi = self.add_expr()?;
-            return Ok(Expr::and(
-                Expr::cmp(CmpOp::Ge, l.clone(), lo),
-                Expr::cmp(CmpOp::Le, l, hi),
-            ));
+            return Ok(Expr::and(Expr::cmp(CmpOp::Ge, l.clone(), lo), Expr::cmp(CmpOp::Le, l, hi)));
         }
         let op = match self.peek() {
             Tok::Sym("=") => Some(CmpOp::Eq),
@@ -551,7 +543,9 @@ impl Parser {
                 }
                 Ok(Expr::col(name))
             }
-            other => Err(DbError::Parse { msg: "expected expression".into(), near: other.describe() }),
+            other => {
+                Err(DbError::Parse { msg: "expected expression".into(), near: other.describe() })
+            }
         }
     }
 }
@@ -568,9 +562,7 @@ mod tests {
                    FROM TMP A, POSITION B \
                    WHERE A.PosID = B.PosID AND A.T1 < B.T2 AND A.T2 > B.T1 \
                    ORDER BY PosID";
-        let Stmt::Select(s) = parse(sql).unwrap() else {
-            panic!("expected select")
-        };
+        let Stmt::Select(s) = parse(sql).unwrap() else { panic!("expected select") };
         assert_eq!(s.items.len(), 5);
         assert_eq!(s.from.len(), 2);
         assert_eq!(s.from[0].binding_name(), "A");
@@ -582,11 +574,11 @@ mod tests {
     fn parse_aggregates_and_grouping() {
         let sql = "SELECT PosID, COUNT(*) AS C, MIN(T1) M FROM POSITION \
                    GROUP BY PosID HAVING COUNT_ > 1 ORDER BY C DESC";
-        let Stmt::Select(s) = parse(sql).unwrap() else {
-            panic!()
-        };
+        let Stmt::Select(s) = parse(sql).unwrap() else { panic!() };
         assert!(matches!(s.items[1], SelectItem::Agg { func: AggFunc::Count, arg: None, .. }));
-        assert!(matches!(&s.items[2], SelectItem::Agg { func: AggFunc::Min, alias: Some(a), .. } if a == "M"));
+        assert!(
+            matches!(&s.items[2], SelectItem::Agg { func: AggFunc::Min, alias: Some(a), .. } if a == "M")
+        );
         assert_eq!(s.group_by, vec!["PosID".to_string()]);
         assert!(s.having.is_some());
         assert_eq!(s.order_by, vec![("C".to_string(), true)]);
@@ -597,13 +589,9 @@ mod tests {
         let sql = "SELECT /*+ USE_NL */ X.g FROM \
                    (SELECT PosID AS g, T1 t FROM P UNION ALL SELECT PosID, T2 FROM P) X \
                    WHERE X.g > 3";
-        let Stmt::Select(s) = parse(sql).unwrap() else {
-            panic!()
-        };
+        let Stmt::Select(s) = parse(sql).unwrap() else { panic!() };
         assert_eq!(s.hint, Some(JoinHint::UseNl));
-        let FromItem::Subquery { query, alias } = &s.from[0] else {
-            panic!()
-        };
+        let FromItem::Subquery { query, alias } = &s.from[0] else { panic!() };
         assert_eq!(alias, "X");
         assert!(query.set_op.is_some());
     }
@@ -626,10 +614,7 @@ mod tests {
             parse("ANALYZE TABLE T COMPUTE STATISTICS").unwrap(),
             Stmt::Analyze { .. }
         ));
-        assert!(matches!(
-            parse("CREATE INDEX I ON T (A)").unwrap(),
-            Stmt::CreateIndex { .. }
-        ));
+        assert!(matches!(parse("CREATE INDEX I ON T (A)").unwrap(), Stmt::CreateIndex { .. }));
     }
 
     #[test]

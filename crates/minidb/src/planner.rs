@@ -52,12 +52,8 @@ pub fn plan_select(stmt: &SelectStmt, db: &DbInner) -> Result<Plan> {
 }
 
 fn sort_plan(input: Plan, order: &[(String, bool)]) -> Result<Plan> {
-    let keys = SortSpec(
-        order
-            .iter()
-            .map(|(c, desc)| SortKey { col: c.clone(), desc: *desc })
-            .collect(),
-    );
+    let keys =
+        SortSpec(order.iter().map(|(c, desc)| SortKey { col: c.clone(), desc: *desc }).collect());
     for k in &keys.0 {
         input
             .schema
@@ -71,8 +67,7 @@ fn sort_plan(input: Plan, order: &[(String, bool)]) -> Result<Plan> {
 fn plan_block(stmt: &SelectStmt, db: &DbInner, with_order: bool) -> Result<Plan> {
     if stmt.validtime {
         return Err(DbError::Semantic(
-            "VALIDTIME is not supported by this DBMS (temporal SQL requires the middleware)"
-                .into(),
+            "VALIDTIME is not supported by this DBMS (temporal SQL requires the middleware)".into(),
         ));
     }
     if stmt.from.is_empty() {
@@ -95,9 +90,8 @@ fn plan_block(stmt: &SelectStmt, db: &DbInner, with_order: bool) -> Result<Plan>
     let mut residual: Vec<Expr> = Vec::new();
     'conj: for c in conjuncts {
         let cols = c.columns();
-        let covering: Vec<usize> = (0..items.len())
-            .filter(|&i| cols.iter().all(|col| items[i].schema.has(col)))
-            .collect();
+        let covering: Vec<usize> =
+            (0..items.len()).filter(|&i| cols.iter().all(|col| items[i].schema.has(col))).collect();
         if covering.len() == 1 {
             single[covering[0]].push(c);
             continue;
@@ -187,7 +181,10 @@ fn plan_block(stmt: &SelectStmt, db: &DbInner, with_order: bool) -> Result<Plan>
                     for c in residual {
                         if c.columns().iter().all(|col| cur.schema.has(col)) {
                             let schema = cur.schema.clone();
-                            cur = Plan { op: PlanOp::Filter { pred: c, input: Box::new(cur) }, schema };
+                            cur = Plan {
+                                op: PlanOp::Filter { pred: c, input: Box::new(cur) },
+                                schema,
+                            };
                         } else {
                             remaining.push(c);
                         }
@@ -209,18 +206,10 @@ fn plan_block(stmt: &SelectStmt, db: &DbInner, with_order: bool) -> Result<Plan>
                 );
                 PlanOp::NlJoin { pred, left: Box::new(cur), right: Box::new(right) }
             }
-            (Some(JoinHint::UseMerge), false) => PlanOp::MergeJoin {
-                lkeys,
-                rkeys,
-                left: Box::new(cur),
-                right: Box::new(right),
-            },
-            _ => PlanOp::HashJoin {
-                lkeys,
-                rkeys,
-                left: Box::new(cur),
-                right: Box::new(right),
-            },
+            (Some(JoinHint::UseMerge), false) => {
+                PlanOp::MergeJoin { lkeys, rkeys, left: Box::new(cur), right: Box::new(right) }
+            }
+            _ => PlanOp::HashJoin { lkeys, rkeys, left: Box::new(cur), right: Box::new(right) },
         };
         cur = Plan { op, schema };
         joined.push(k);
@@ -237,16 +226,11 @@ fn plan_block(stmt: &SelectStmt, db: &DbInner, with_order: bool) -> Result<Plan>
         residual = remaining;
     }
     if let Some(pred) = Expr::and_all(residual) {
-        return Err(DbError::Semantic(format!(
-            "predicate references unknown columns: {pred}"
-        )));
+        return Err(DbError::Semantic(format!("predicate references unknown columns: {pred}")));
     }
 
     // -- 5. aggregation or plain projection
-    let has_agg = stmt
-        .items
-        .iter()
-        .any(|i| matches!(i, SelectItem::Agg { .. }));
+    let has_agg = stmt.items.iter().any(|i| matches!(i, SelectItem::Agg { .. }));
     let mut plan = if has_agg || !stmt.group_by.is_empty() {
         plan_aggregate(stmt, cur)?
     } else {
@@ -352,12 +336,7 @@ fn push_predicates(item: Plan, preds: Vec<Expr>, db: &DbInner) -> Result<Plan> {
             if lo.is_some() || hi.is_some() {
                 let schema = item.schema.clone();
                 item = Plan { op: PlanOp::IndexScan { table, col, lo, hi }, schema };
-                preds = preds
-                    .into_iter()
-                    .zip(used)
-                    .filter(|(_, u)| !u)
-                    .map(|(p, _)| p)
-                    .collect();
+                preds = preds.into_iter().zip(used).filter(|(_, u)| !u).map(|(p, _)| p).collect();
             }
         }
     }
@@ -456,11 +435,7 @@ fn plan_aggregate(stmt: &SelectStmt, input: Plan) -> Result<Plan> {
     }
     let agg_schema = Arc::new(Schema::new(attrs));
     let mut plan = Plan {
-        op: PlanOp::HashAgg {
-            group_by: stmt.group_by.clone(),
-            aggs,
-            input: Box::new(input),
-        },
+        op: PlanOp::HashAgg { group_by: stmt.group_by.clone(), aggs, input: Box::new(input) },
         schema: agg_schema,
     };
     if let Some(h) = &stmt.having {
@@ -508,9 +483,7 @@ mod tests {
     }
 
     fn q(db: &Database, sql: &str) -> Vec<Tuple> {
-        let crate::ast::Stmt::Select(s) = parse(sql).unwrap() else {
-            panic!()
-        };
+        let crate::ast::Stmt::Select(s) = parse(sql).unwrap() else { panic!() };
         let inner = db.inner.read();
         let plan = plan_select(&s, &inner).unwrap();
         run(&plan, &inner).unwrap().into_tuples()
@@ -547,10 +520,7 @@ mod tests {
     #[test]
     fn union_and_distinct() {
         let db = setup();
-        let rows = q(
-            &db,
-            "SELECT T1 AS T FROM POSITION UNION SELECT T2 FROM POSITION ORDER BY T",
-        );
+        let rows = q(&db, "SELECT T1 AS T FROM POSITION UNION SELECT T2 FROM POSITION ORDER BY T");
         // T1s: 2,5,5; T2s: 20,25,10 -> distinct sorted: 2,5,10,20,25
         assert_eq!(rows, vec![tup![2], tup![5], tup![10], tup![20], tup![25]]);
     }
@@ -558,10 +528,8 @@ mod tests {
     #[test]
     fn subquery_in_from() {
         let db = setup();
-        let rows = q(
-            &db,
-            "SELECT X.E FROM (SELECT EmpName AS E, T1 FROM POSITION WHERE PosID = 2) X",
-        );
+        let rows =
+            q(&db, "SELECT X.E FROM (SELECT EmpName AS E, T1 FROM POSITION WHERE PosID = 2) X");
         assert_eq!(rows, vec![tup!["Tom"]]);
     }
 
@@ -695,10 +663,8 @@ mod tests {
     fn dictionary_views_are_queryable() {
         let db = setup();
         db.analyze("POSITION").unwrap();
-        let rows = q(
-            &db,
-            "SELECT TABLE_NAME, NUM_ROWS FROM USER_TABLES WHERE TABLE_NAME = 'POSITION'",
-        );
+        let rows =
+            q(&db, "SELECT TABLE_NAME, NUM_ROWS FROM USER_TABLES WHERE TABLE_NAME = 'POSITION'");
         assert_eq!(rows, vec![tup!["POSITION", 3]]);
         let rows = q(
             &db,

@@ -51,8 +51,7 @@ pub fn derive_stats(
             let rows = input_stats[0].rows * input_stats[1].rows;
             let mut out = merge_attrs(input_stats, rows);
             out.rows = rows;
-            out.avg_tuple_bytes =
-                input_stats[0].avg_tuple_bytes + input_stats[1].avg_tuple_bytes;
+            out.avg_tuple_bytes = input_stats[0].avg_tuple_bytes + input_stats[1].avg_tuple_bytes;
             out.blocks = blocks_of(&out);
             out
         }
@@ -94,9 +93,8 @@ pub fn derive_stats(
 /// Derive statistics for a selection, applying the temporal analyzer when
 /// the input schema is temporal.
 pub fn derive_select(pred: &Expr, input: &RelationStats, schema: &Schema) -> RelationStats {
-    let period = schema.period().map(|(i, j)| {
-        (schema.attr(i).name.as_str(), schema.attr(j).name.as_str())
-    });
+    let period =
+        schema.period().map(|(i, j)| (schema.attr(i).name.as_str(), schema.attr(j).name.as_str()));
     let rows = select_cardinality(pred, input, period);
     let mut out = input.clone();
     out.rows = rows;
@@ -230,20 +228,13 @@ fn overlap_factor(input_stats: &[&RelationStats], input_schemas: &[&Schema]) -> 
 /// The Section 3.4 cardinality estimate for temporal aggregation: bounded
 /// between `min_card` and `max_card`, using 60 % of the maximum when that
 /// exceeds the minimum.
-pub fn taggr_cardinality(
-    group_by: &[String],
-    input: &RelationStats,
-    input_schema: &Schema,
-) -> f64 {
+pub fn taggr_cardinality(group_by: &[String], input: &RelationStats, input_schema: &Schema) -> f64 {
     let card = input.rows.max(0.0);
     if card == 0.0 {
         return 0.0;
     }
     let (t1, t2) = match input_schema.period() {
-        Some((i, j)) => (
-            input_schema.attr(i).name.clone(),
-            input_schema.attr(j).name.clone(),
-        ),
+        Some((i, j)) => (input_schema.attr(i).name.clone(), input_schema.attr(j).name.clone()),
         None => ("T1".to_string(), "T2".to_string()),
     };
     let dt1 = input.distinct(&t1);
@@ -264,17 +255,12 @@ pub fn taggr_cardinality(
     let max_card = if group_by.is_empty() {
         (dt1 + dt2 + 1.0).min(card * 2.0 - 1.0)
     } else {
-        let max_d = group_by
-            .iter()
-            .map(|g| input.distinct(g))
-            .fold(1.0f64, f64::max);
+        let max_d = group_by.iter().map(|g| input.distinct(g)).fold(1.0f64, f64::max);
         // the paper's bound, tightened by a second valid bound: each
         // group contributes at most distinct(T1)+distinct(T2)+1 constant
         // periods, so few distinct endpoints cap the result regardless of
         // group sizes
-        (((card / max_d) * 2.0 - 1.0) * max_d)
-            .min(max_d * (dt1 + dt2 + 1.0))
-            .min(card * 2.0 - 1.0)
+        (((card / max_d) * 2.0 - 1.0) * max_d).min(max_d * (dt1 + dt2 + 1.0)).min(card * 2.0 - 1.0)
     }
     .max(min_card);
 
@@ -304,10 +290,7 @@ fn derive_taggr(
     }
     // constant-period endpoints combine both input endpoint sets
     let (t1n, t2n) = match input_schema.period() {
-        Some((i, j)) => (
-            input_schema.attr(i).name.clone(),
-            input_schema.attr(j).name.clone(),
-        ),
+        Some((i, j)) => (input_schema.attr(i).name.clone(), input_schema.attr(j).name.clone()),
         None => ("T1".into(), "T2".into()),
     };
     let combine = |a: Option<&AttrStats>, b: Option<&AttrStats>| -> AttrStats {
@@ -414,14 +397,29 @@ mod tests {
             "PosID",
             AttrStats { distinct: (rows / 5.0) as u64, avg_width: 8.0, ..Default::default() },
         );
-        s.set_attr("EmpName", AttrStats { distinct: (rows / 2.0) as u64, avg_width: 18.0, ..Default::default() });
+        s.set_attr(
+            "EmpName",
+            AttrStats { distinct: (rows / 2.0) as u64, avg_width: 18.0, ..Default::default() },
+        );
         s.set_attr(
             "T1",
-            AttrStats { min: Some(0.0), max: Some(1000.0), distinct: 900, avg_width: 8.0, ..Default::default() },
+            AttrStats {
+                min: Some(0.0),
+                max: Some(1000.0),
+                distinct: 900,
+                avg_width: 8.0,
+                ..Default::default()
+            },
         );
         s.set_attr(
             "T2",
-            AttrStats { min: Some(10.0), max: Some(1100.0), distinct: 900, avg_width: 8.0, ..Default::default() },
+            AttrStats {
+                min: Some(10.0),
+                max: Some(1100.0),
+                distinct: 900,
+                avg_width: 8.0,
+                ..Default::default()
+            },
         );
         (s, schema)
     }
@@ -444,10 +442,8 @@ mod tests {
     #[test]
     fn join_cardinality_uses_max_distinct() {
         let (s, schema) = position_stats(10_000.0);
-        let op = Logical::get("A").join(
-            Logical::get("B"),
-            vec![("PosID".to_string(), "PosID".to_string())],
-        );
+        let op = Logical::get("A")
+            .join(Logical::get("B"), vec![("PosID".to_string(), "PosID".to_string())]);
         let out_schema = tango_algebra::logical::concat_schemas(&schema, &schema);
         let d = derive_stats(&op, &[&s, &s], &[&schema, &schema], &out_schema);
         // |L|*|R| / max(d, d) = 1e8 / 2000 = 50_000
@@ -515,18 +511,17 @@ mod tests {
     #[test]
     fn tjoin_smaller_than_join() {
         let (s, schema) = position_stats(10_000.0);
-        let j = Logical::get("A").join(
-            Logical::get("B"),
-            vec![("PosID".to_string(), "PosID".to_string())],
-        );
-        let tj = Logical::get("A").tjoin(
-            Logical::get("B"),
-            vec![("PosID".to_string(), "PosID".to_string())],
-        );
+        let j = Logical::get("A")
+            .join(Logical::get("B"), vec![("PosID".to_string(), "PosID".to_string())]);
+        let tj = Logical::get("A")
+            .tjoin(Logical::get("B"), vec![("PosID".to_string(), "PosID".to_string())]);
         let out_j = tango_algebra::logical::concat_schemas(&schema, &schema);
-        let out_tj =
-            tango_algebra::logical::tjoin_schema(&[("PosID".to_string(), "PosID".to_string())], &schema, &schema)
-                .unwrap();
+        let out_tj = tango_algebra::logical::tjoin_schema(
+            &[("PosID".to_string(), "PosID".to_string())],
+            &schema,
+            &schema,
+        )
+        .unwrap();
         let dj = derive_stats(&j, &[&s, &s], &[&schema, &schema], &out_j);
         let dtj = derive_stats(&tj, &[&s, &s], &[&schema, &schema], &out_tj);
         assert!(dtj.rows < dj.rows, "temporal join must be rarer: {} vs {}", dtj.rows, dj.rows);

@@ -20,8 +20,8 @@
 
 pub mod cardinality;
 pub mod histogram;
-pub mod std_sel;
 pub mod stats;
+pub mod std_sel;
 pub mod temporal_sel;
 
 pub use cardinality::derive_stats;

@@ -101,11 +101,7 @@ impl RelationStats {
             let col: Vec<&Value> = rel.tuples().iter().map(|t| &t[i]).collect();
             let nums: Vec<f64> = col.iter().filter_map(|v| v.as_f64()).collect();
             let nulls = col.iter().filter(|v| v.is_null()).count() as u64;
-            let mut keys: Vec<_> = col
-                .iter()
-                .filter(|v| !v.is_null())
-                .map(|v| v.key())
-                .collect();
+            let mut keys: Vec<_> = col.iter().filter(|v| !v.is_null()).map(|v| v.key()).collect();
             keys.sort();
             keys.dedup();
             let histogram = if histogram_buckets > 0 && !nums.is_empty() {
@@ -122,7 +118,11 @@ impl RelationStats {
                     distinct: keys.len() as u64,
                     nulls,
                     histogram,
-                    avg_width: if col.is_empty() { 8.0 } else { width_sum as f64 / col.len() as f64 },
+                    avg_width: if col.is_empty() {
+                        8.0
+                    } else {
+                        width_sum as f64 / col.len() as f64
+                    },
                     indexed: false,
                     clustered: false,
                 },
@@ -140,14 +140,10 @@ mod tests {
 
     #[test]
     fn from_relation_basics() {
-        let schema = Arc::new(Schema::new(vec![
-            Attr::new("A", Type::Int),
-            Attr::new("S", Type::Str),
-        ]));
-        let rel = Relation::new(
-            schema,
-            vec![tup![1, "x"], tup![2, "y"], tup![2, "y"], tup![5, "z"]],
-        );
+        let schema =
+            Arc::new(Schema::new(vec![Attr::new("A", Type::Int), Attr::new("S", Type::Str)]));
+        let rel =
+            Relation::new(schema, vec![tup![1, "x"], tup![2, "y"], tup![2, "y"], tup![5, "z"]]);
         let s = RelationStats::from_relation(&rel, 4);
         assert_eq!(s.rows, 4.0);
         let a = s.attr("A").unwrap();

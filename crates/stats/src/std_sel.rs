@@ -90,9 +90,7 @@ pub fn selectivity(pred: &Expr, stats: &RelationStats) -> f64 {
                 (l.as_ref(), r.as_ref())
             {
                 return match op {
-                    CmpOp::Eq => {
-                        1.0 / stats.distinct(ln).max(stats.distinct(rn)).max(1.0)
-                    }
+                    CmpOp::Eq => 1.0 / stats.distinct(ln).max(stats.distinct(rn)).max(1.0),
                     _ => DEFAULT_SEL,
                 };
             }
@@ -118,11 +116,7 @@ pub fn selectivity(pred: &Expr, stats: &RelationStats) -> f64 {
 /// conjunct pair `T1 < B` (or `<=`) and `T2 > A` (or `>=`) — and
 /// estimates it *jointly* with [`temporal_sel::overlaps_cardinality`];
 /// remaining conjuncts are estimated conventionally and multiplied in.
-pub fn select_cardinality(
-    pred: &Expr,
-    stats: &RelationStats,
-    period: Option<(&str, &str)>,
-) -> f64 {
+pub fn select_cardinality(pred: &Expr, stats: &RelationStats, period: Option<(&str, &str)>) -> f64 {
     let conjuncts = pred.conjuncts();
     let mut consumed = vec![false; conjuncts.len()];
     let mut card = stats.rows;

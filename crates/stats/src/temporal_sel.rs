@@ -50,13 +50,7 @@ pub fn end_before(a: f64, stats: &RelationStats, t2: &str) -> f64 {
 /// Result cardinality of `Overlaps(A, B)` — the predicate
 /// `T1 < B AND T2 > A` — using the paper's semantic estimator:
 /// `StartBefore(B, r) - EndBefore(A + 1, r)`.
-pub fn overlaps_cardinality(
-    a: f64,
-    b: f64,
-    stats: &RelationStats,
-    t1: &str,
-    t2: &str,
-) -> f64 {
+pub fn overlaps_cardinality(a: f64, b: f64, stats: &RelationStats, t1: &str, t2: &str) -> f64 {
     let est = start_before(b, stats, t1) - end_before(a + 1.0, stats, t2);
     est.clamp(0.0, stats.rows)
 }
@@ -169,22 +163,12 @@ mod tests {
     fn clamping() {
         let s = paper_relation();
         // window entirely before the data
-        let est = overlaps_cardinality(
-            day(1990, 1, 1) as f64,
-            day(1991, 1, 1) as f64,
-            &s,
-            "T1",
-            "T2",
-        );
+        let est =
+            overlaps_cardinality(day(1990, 1, 1) as f64, day(1991, 1, 1) as f64, &s, "T1", "T2");
         assert_eq!(est, 0.0);
         // window covering everything
-        let est = overlaps_cardinality(
-            day(1990, 1, 1) as f64,
-            day(2005, 1, 1) as f64,
-            &s,
-            "T1",
-            "T2",
-        );
+        let est =
+            overlaps_cardinality(day(1990, 1, 1) as f64, day(2005, 1, 1) as f64, &s, "T1", "T2");
         assert_eq!(est, s.rows);
     }
 
@@ -216,23 +200,13 @@ mod tests {
 
         s.set_attr("T1", mk(&t1_vals, false));
         s.set_attr("T2", mk(&t2_vals, false));
-        let uniform_est = overlaps_cardinality(
-            day(1996, 1, 1) as f64,
-            day(1996, 7, 1) as f64,
-            &s,
-            "T1",
-            "T2",
-        );
+        let uniform_est =
+            overlaps_cardinality(day(1996, 1, 1) as f64, day(1996, 7, 1) as f64, &s, "T1", "T2");
 
         s.set_attr("T1", mk(&t1_vals, true));
         s.set_attr("T2", mk(&t2_vals, true));
-        let hist_est = overlaps_cardinality(
-            day(1996, 1, 1) as f64,
-            day(1996, 7, 1) as f64,
-            &s,
-            "T1",
-            "T2",
-        );
+        let hist_est =
+            overlaps_cardinality(day(1996, 1, 1) as f64, day(1996, 7, 1) as f64, &s, "T1", "T2");
 
         assert!(
             (hist_est - truth).abs() < (uniform_est - truth).abs(),

@@ -1,0 +1,430 @@
+//! # tango-trace
+//!
+//! The unified execution-trace layer of the TANGO middleware.
+//!
+//! Every component that measures anything — the Execution Engine timing
+//! its operator cursors, the Cost Estimator timing calibration probes,
+//! the benchmark harness timing whole queries — goes through this one
+//! crate, so a microsecond means the same thing everywhere and the
+//! adaptive feedback loop consumes exactly what the experiments report.
+//!
+//! Three pieces:
+//!
+//! * [`Stopwatch`] — a wire-aware interval timer. TANGO's experiments
+//!   charge *wall time plus simulated wire time*; the stopwatch takes
+//!   the wire counter's value at start and stop so both components are
+//!   captured by construction.
+//! * [`Collector`] / [`SpanSlot`] / [`OpSpan`] — per-operator span
+//!   recording. The engine allocates one [`SpanSlot`] per plan operator
+//!   (cheap atomics, written from inside the cursor hot path) and
+//!   [`Collector::finish`] turns the slots into immutable [`OpSpan`]s
+//!   with inclusive/exclusive times resolved.
+//! * [`json`] — a tiny hand-rolled JSON writer (the workspace is
+//!   offline and carries no serde_json), used to emit machine-readable
+//!   trace reports from `EXPLAIN ANALYZE` and the benchmark binaries.
+//!
+//! Tracing is zero-cost when disabled: a [`TraceHandle`] is an
+//! `Option<Arc<SpanSlot>>`, and the engine's untraced execution path
+//! never wraps cursors at all, so disabled runs execute the bare
+//! operator pipeline.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which side of the wire an operator ran on. Mirrors the paper's
+/// superscript convention (`...^M` middleware, `...^D` DBMS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSite {
+    /// Evaluated by a middleware cursor.
+    Middleware,
+    /// Evaluated inside the DBMS (generated SQL or a loader).
+    Dbms,
+}
+
+impl SpanSite {
+    /// Lower-case name used in JSON and rendered plans.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanSite::Middleware => "middleware",
+            SpanSite::Dbms => "dbms",
+        }
+    }
+}
+
+/// A wire-aware interval timer.
+///
+/// TANGO runs against a DBMS behind a *simulated* JDBC link whose
+/// transfer delays are accounted in a monotonic counter rather than
+/// slept. Real experiments would include those delays in wall time;
+/// the stopwatch therefore adds the counter's delta to the measured
+/// interval, making timed results independent of whether the wire is
+/// simulated or real.
+#[derive(Debug)]
+pub struct Stopwatch {
+    started: Instant,
+    wire_before: Duration,
+}
+
+impl Stopwatch {
+    /// Start timing. `wire_now` is the current total of the link's
+    /// charged wire time (pass [`Duration::ZERO`] for wire-free code).
+    pub fn start(wire_now: Duration) -> Stopwatch {
+        Stopwatch { started: Instant::now(), wire_before: wire_now }
+    }
+
+    /// Elapsed wall time plus wire time charged since `start`.
+    pub fn elapsed(&self, wire_now: Duration) -> Duration {
+        self.started.elapsed() + wire_now.saturating_sub(self.wire_before)
+    }
+
+    /// [`Stopwatch::elapsed`] in microseconds, the unit of the cost model.
+    pub fn elapsed_us(&self, wire_now: Duration) -> f64 {
+        self.elapsed(wire_now).as_secs_f64() * 1e6
+    }
+}
+
+/// Live measurement sink for one operator: a handful of atomics written
+/// from the cursor hot path, plus identity fixed at creation.
+#[derive(Debug)]
+pub struct SpanSlot {
+    /// Operator label, e.g. `TAGGR^M` or `TRANSFER^D`.
+    pub name: String,
+    /// Evaluation site.
+    pub site: SpanSite,
+    /// Span indices of this operator's inputs within the collector.
+    pub children: Vec<usize>,
+    ns: AtomicU64,
+    rows: AtomicU64,
+    bytes: AtomicU64,
+    server_ns: AtomicU64,
+    counters: std::sync::Mutex<Vec<(&'static str, u64)>>,
+}
+
+impl SpanSlot {
+    /// Charge an interval of execution time to this operator.
+    pub fn add_time(&self, d: Duration) {
+        self.ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record one produced tuple of the given size.
+    pub fn add_row(&self, bytes: u64) {
+        self.rows.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Record DBMS server-side compute time observed by this operator
+    /// (`TRANSFER^M` reads it from the statement's result cursor).
+    pub fn add_server_time(&self, d: Duration) {
+        self.server_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Attach operator-specific counters (spills, comparisons, SQL
+    /// round-trips, ...), typically polled from the cursor at close.
+    pub fn set_counters(&self, counters: Vec<(&'static str, u64)>) {
+        if !counters.is_empty() {
+            *self.counters.lock().unwrap_or_else(|e| e.into_inner()) = counters;
+        }
+    }
+}
+
+/// A possibly-absent span: `None` costs nothing on the hot path.
+///
+/// ```
+/// # use tango_trace::TraceHandle;
+/// let disabled = TraceHandle::disabled();
+/// disabled.with(|s| s.add_row(100)); // no-op, no atomics touched
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TraceHandle(Option<Arc<SpanSlot>>);
+
+impl TraceHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> TraceHandle {
+        TraceHandle(None)
+    }
+
+    /// A handle recording into `slot`.
+    pub fn enabled(slot: Arc<SpanSlot>) -> TraceHandle {
+        TraceHandle(Some(slot))
+    }
+
+    /// Is this handle recording?
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Run `f` against the slot if recording.
+    pub fn with(&self, f: impl FnOnce(&SpanSlot)) {
+        if let Some(s) = &self.0 {
+            f(s);
+        }
+    }
+}
+
+/// Accumulates [`SpanSlot`]s during an execution and resolves them into
+/// [`OpSpan`]s. Spans are created in post-order of the executed plan, so
+/// child indices always precede their parent.
+#[derive(Debug, Default)]
+pub struct Collector {
+    slots: Vec<Arc<SpanSlot>>,
+}
+
+impl Collector {
+    /// An empty collector.
+    pub fn new() -> Collector {
+        Collector::default()
+    }
+
+    /// Create the span for one operator. `children` are indices returned
+    /// by earlier `span` calls. Returns the new span's index and its slot.
+    pub fn span(
+        &mut self,
+        name: impl Into<String>,
+        site: SpanSite,
+        children: Vec<usize>,
+    ) -> (usize, Arc<SpanSlot>) {
+        let slot = Arc::new(SpanSlot {
+            name: name.into(),
+            site,
+            children,
+            ns: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            server_ns: AtomicU64::new(0),
+            counters: std::sync::Mutex::new(Vec::new()),
+        });
+        self.slots.push(slot.clone());
+        (self.slots.len() - 1, slot)
+    }
+
+    /// Number of spans created so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no spans were created.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Freeze the collected slots into spans, computing each operator's
+    /// exclusive time as its inclusive time minus its children's.
+    pub fn finish(self) -> Vec<OpSpan> {
+        let mut spans: Vec<OpSpan> = self
+            .slots
+            .iter()
+            .map(|s| OpSpan {
+                name: s.name.clone(),
+                site: s.site,
+                inclusive_us: s.ns.load(Ordering::Relaxed) as f64 / 1000.0,
+                exclusive_us: 0.0,
+                rows: s.rows.load(Ordering::Relaxed),
+                bytes: s.bytes.load(Ordering::Relaxed),
+                server_us: s.server_ns.load(Ordering::Relaxed) as f64 / 1000.0,
+                counters: s.counters.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+                children: s.children.clone(),
+            })
+            .collect();
+        for i in 0..spans.len() {
+            let child_sum: f64 = spans[i].children.iter().map(|&c| spans[c].inclusive_us).sum();
+            spans[i].exclusive_us = (spans[i].inclusive_us - child_sum).max(0.0);
+        }
+        spans
+    }
+}
+
+/// One operator's resolved measurements.
+#[derive(Debug, Clone)]
+pub struct OpSpan {
+    /// Operator label, e.g. `TAGGR^M`.
+    pub name: String,
+    /// Evaluation site.
+    pub site: SpanSite,
+    /// Wall + wire time including children, µs.
+    pub inclusive_us: f64,
+    /// Wall + wire time excluding children, µs.
+    pub exclusive_us: f64,
+    /// Tuples produced.
+    pub rows: u64,
+    /// Bytes produced.
+    pub bytes: u64,
+    /// DBMS server-side compute time within this span, µs.
+    pub server_us: f64,
+    /// Operator-specific counters (name, value).
+    pub counters: Vec<(&'static str, u64)>,
+    /// Indices of input spans.
+    pub children: Vec<usize>,
+}
+
+impl OpSpan {
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        use json::*;
+        let mut o = Object::new();
+        o.string("op", &self.name);
+        o.string("site", self.site.name());
+        o.number("inclusive_us", self.inclusive_us);
+        o.number("exclusive_us", self.exclusive_us);
+        o.number("rows", self.rows as f64);
+        o.number("bytes", self.bytes as f64);
+        o.number("server_us", self.server_us);
+        if !self.counters.is_empty() {
+            let mut c = Object::new();
+            for (k, v) in &self.counters {
+                c.number(k, *v as f64);
+            }
+            o.raw("counters", &c.build());
+        }
+        o.raw(
+            "children",
+            &format!(
+                "[{}]",
+                self.children.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+            ),
+        );
+        o.build()
+    }
+}
+
+/// Serialize a span list as a JSON array (same order as collected, so
+/// the `children` indices stay valid).
+pub fn spans_to_json(spans: &[OpSpan]) -> String {
+    format!("[{}]", spans.iter().map(OpSpan::to_json).collect::<Vec<_>>().join(","))
+}
+
+/// Minimal JSON construction — just enough for trace reports, with
+/// correct string escaping and locale-independent number formatting.
+pub mod json {
+    /// Escape a string for use inside a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Format a number the way JSON expects (no NaN/Inf, no trailing
+    /// noise: integers stay integral, fractions keep two decimals).
+    pub fn number(v: f64) -> String {
+        if !v.is_finite() {
+            return "null".to_string();
+        }
+        if v == v.trunc() && v.abs() < 9e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v:.2}")
+        }
+    }
+
+    /// An in-order JSON object builder.
+    #[derive(Debug, Default)]
+    pub struct Object {
+        parts: Vec<String>,
+    }
+
+    impl Object {
+        /// An empty object.
+        pub fn new() -> Object {
+            Object::default()
+        }
+
+        /// Add a string field.
+        pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+            self.parts.push(format!("\"{}\":\"{}\"", escape(key), escape(value)));
+            self
+        }
+
+        /// Add a numeric field.
+        pub fn number(&mut self, key: &str, value: f64) -> &mut Self {
+            self.parts.push(format!("\"{}\":{}", escape(key), number(value)));
+            self
+        }
+
+        /// Add a pre-serialized JSON value.
+        pub fn raw(&mut self, key: &str, json: &str) -> &mut Self {
+            self.parts.push(format!("\"{}\":{}", escape(key), json));
+            self
+        }
+
+        /// Serialize the object.
+        pub fn build(&self) -> String {
+            format!("{{{}}}", self.parts.join(","))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_time_subtracts_children() {
+        let mut c = Collector::new();
+        let (leaf, s0) = c.span("SCAN", SpanSite::Dbms, vec![]);
+        let (_, s1) = c.span("FILTER^M", SpanSite::Middleware, vec![leaf]);
+        s0.add_time(Duration::from_micros(300));
+        s1.add_time(Duration::from_micros(1000));
+        s1.add_row(40);
+        s1.add_row(60);
+        let spans = Collector::finish(c);
+        assert_eq!(spans[1].rows, 2);
+        assert_eq!(spans[1].bytes, 100);
+        assert!((spans[1].inclusive_us - 1000.0).abs() < 1.0);
+        assert!((spans[1].exclusive_us - 700.0).abs() < 1.0);
+        assert!((spans[0].exclusive_us - 300.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TraceHandle::disabled();
+        assert!(!h.is_enabled());
+        let mut called = false;
+        h.with(|_| called = true);
+        assert!(!called);
+    }
+
+    #[test]
+    fn stopwatch_adds_wire_delta() {
+        let sw = Stopwatch::start(Duration::from_millis(5));
+        // pretend 7ms of wire were charged while we ran
+        let t = sw.elapsed(Duration::from_millis(12));
+        assert!(t >= Duration::from_millis(7));
+    }
+
+    #[test]
+    fn json_escaping_and_numbers() {
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::number(4.0), "4");
+        assert_eq!(json::number(4.5), "4.50");
+        assert_eq!(json::number(f64::NAN), "null");
+        let mut o = json::Object::new();
+        o.string("op", "SORT^M").number("rows", 3.0);
+        assert_eq!(o.build(), "{\"op\":\"SORT^M\",\"rows\":3}");
+    }
+
+    #[test]
+    fn spans_serialize_with_counters() {
+        let mut c = Collector::new();
+        let (_, s) = c.span("SORT^M", SpanSite::Middleware, vec![]);
+        s.set_counters(vec![("buffered_rows", 10)]);
+        let spans = Collector::finish(c);
+        let j = spans_to_json(&spans);
+        assert!(j.starts_with('['), "{j}");
+        assert!(j.contains("\"counters\":{\"buffered_rows\":10}"), "{j}");
+        assert!(j.contains("\"site\":\"middleware\""), "{j}");
+    }
+}

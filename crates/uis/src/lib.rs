@@ -149,10 +149,10 @@ pub fn generate_position(cfg: &UisConfig) -> Relation {
         let dept = 1 + pos_id % 40;
         let pos_code = format!("P{:05}", pos_id);
         let pay_rate = 2.0 + rng.gen::<f64>() * 48.0;
-        let hours = *[10i64, 20, 30, 40].get(rng.gen_range(0..4)).unwrap();
+        let hours = *[10i64, 20, 30, 40].get(rng.gen_range(0..4usize)).unwrap();
         let t1 = skewed_start(&mut rng);
         // durations: weeks to a few years, clipped at the dataset's "now"
-        let dur = rng.gen_range(14..1460);
+        let dur = rng.gen_range(14i32..1460);
         let t2 = (t1 + dur).min(dataset_now());
         rows.push(tup![
             pos_id,
@@ -174,30 +174,26 @@ pub fn generate_employee(cfg: &UisConfig) -> Relation {
     let schema = Arc::new(employee_schema());
     let mut rows = Vec::with_capacity(cfg.employee_rows);
     for emp_id in 1..=cfg.employee_rows as i64 {
-        let name = format!(
-            "{} {}",
-            syllable_name(&mut rng, 2),
-            syllable_name(&mut rng, 3)
-        );
+        let name = format!("{} {}", syllable_name(&mut rng, 2), syllable_name(&mut rng, 3));
         let mut vals = vec![
             Value::Int(emp_id),
             Value::Str(name),
-            Value::Str(format!(
-                "{} {} St.",
-                rng.gen_range(1..9999),
-                syllable_name(&mut rng, 3)
-            )),
+            Value::Str(format!("{} {} St.", rng.gen_range(1..9999), syllable_name(&mut rng, 3))),
             Value::Str(syllable_name(&mut rng, 3)),
-            Value::Str(["AZ", "CA", "NY", "TX", "WA"][rng.gen_range(0..5)].to_string()),
+            Value::Str(["AZ", "CA", "NY", "TX", "WA"][rng.gen_range(0..5usize)].to_string()),
             Value::Str(format!("{:05}", rng.gen_range(10000..99999))),
-            Value::Str(format!("({:03}) 555-{:04}", rng.gen_range(200..999), rng.gen_range(0..9999))),
+            Value::Str(format!(
+                "({:03}) 555-{:04}",
+                rng.gen_range(200..999),
+                rng.gen_range(0..9999)
+            )),
             Value::Str(format!("u{emp_id}@example.edu")),
             Value::Date(rng.gen_range(day(1940, 1, 1)..day(1980, 1, 1))),
             Value::Date(rng.gen_range(day(1980, 1, 1)..day(2000, 1, 1))),
             Value::Int(rng.gen_range(1..=40)),
             Value::Str(
                 ["Clerk", "Professor", "Lecturer", "Technician", "Manager"]
-                    [rng.gen_range(0..5)]
+                    [rng.gen_range(0..5usize)]
                 .to_string(),
             ),
             Value::Double(18_000.0 + rng.gen::<f64>() * 90_000.0),
@@ -211,7 +207,7 @@ pub fn generate_employee(cfg: &UisConfig) -> Relation {
             syllable_name(&mut rng, 4),
             syllable_name(&mut rng, 4)
         )));
-        vals.push(Value::Str(["active", "inactive"][rng.gen_range(0..2)].to_string()));
+        vals.push(Value::Str(["active", "inactive"][rng.gen_range(0..2usize)].to_string()));
         rows.push(Tuple::new(vals));
     }
     Relation::new(schema, rows)
@@ -239,12 +235,9 @@ mod tests {
         assert_eq!(r.schema().len(), 8);
         assert!(r.schema().is_temporal());
         // ~65% start 1995 or later
-        let after95 = r
-            .tuples()
-            .iter()
-            .filter(|t| t[6].as_day().unwrap() >= day(1995, 1, 1))
-            .count() as f64
-            / r.len() as f64;
+        let after95 =
+            r.tuples().iter().filter(|t| t[6].as_day().unwrap() >= day(1995, 1, 1)).count() as f64
+                / r.len() as f64;
         assert!((0.55..0.75).contains(&after95), "got {after95}");
         // all periods valid and within bounds
         for t in r.tuples() {
@@ -253,11 +246,7 @@ mod tests {
             assert!(t2 <= dataset_now());
         }
         // PayRate > 10 keeps well under all rows (Query 2's filter bites)
-        let above10 = r
-            .tuples()
-            .iter()
-            .filter(|t| t[4].as_f64().unwrap() > 10.0)
-            .count() as f64
+        let above10 = r.tuples().iter().filter(|t| t[4].as_f64().unwrap() > 10.0).count() as f64
             / r.len() as f64;
         assert!((0.6..0.95).contains(&above10), "got {above10}");
     }

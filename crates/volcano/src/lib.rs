@@ -67,9 +67,7 @@ mod toy_tests {
         fn derive_props(&self, op: &Op, children: &[&Props]) -> Props {
             match op {
                 Op::Leaf(n) => Props { magnitude: *n as f64 },
-                Op::Add => Props {
-                    magnitude: children.iter().map(|p| p.magnitude).sum(),
-                },
+                Op::Add => Props { magnitude: children.iter().map(|p| p.magnitude).sum() },
             }
         }
 
@@ -105,11 +103,9 @@ mod toy_tests {
 
         fn enforcers(&self, _props: &Props, required: &Req) -> Vec<Enforcer<Self>> {
             match required {
-                Req::Fancy => vec![Enforcer {
-                    algo: "fancify".into(),
-                    inner_required: Req::Any,
-                    cost: 2.5,
-                }],
+                Req::Fancy => {
+                    vec![Enforcer { algo: "fancify".into(), inner_required: Req::Any, cost: 2.5 }]
+                }
                 Req::Any => vec![],
             }
         }
@@ -145,10 +141,7 @@ mod toy_tests {
         let sem = Toy;
         let tree = NewExpr::Op(
             Op::Add,
-            vec![
-                NewExpr::Op(Op::Leaf(1), vec![]),
-                NewExpr::Op(Op::Leaf(2), vec![]),
-            ],
+            vec![NewExpr::Op(Op::Leaf(1), vec![]), NewExpr::Op(Op::Leaf(2), vec![])],
         );
         let mut memo = Memo::new(sem);
         let root = memo.insert_root(tree);
@@ -168,10 +161,7 @@ mod toy_tests {
         let sem = Toy;
         let tree = NewExpr::Op(
             Op::Add,
-            vec![
-                NewExpr::Op(Op::Leaf(1), vec![]),
-                NewExpr::Op(Op::Leaf(2), vec![]),
-            ],
+            vec![NewExpr::Op(Op::Leaf(1), vec![]), NewExpr::Op(Op::Leaf(2), vec![])],
         );
         let mut memo = Memo::new(sem);
         let root = memo.insert_root(tree);
@@ -203,10 +193,7 @@ mod toy_tests {
         let sem = Toy;
         let tree = NewExpr::Op(
             Op::Add,
-            vec![
-                NewExpr::Op(Op::Leaf(1), vec![]),
-                NewExpr::Op(Op::Leaf(2), vec![]),
-            ],
+            vec![NewExpr::Op(Op::Leaf(1), vec![]), NewExpr::Op(Op::Leaf(2), vec![])],
         );
         let mut memo = Memo::new(sem);
         memo.insert_root(tree);

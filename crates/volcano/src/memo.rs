@@ -160,10 +160,8 @@ impl<S: Semantics> Memo<S> {
         match tree {
             NewExpr::Group(g) => g,
             NewExpr::Op(op, kids) => {
-                let child_groups: Vec<GroupId> = kids
-                    .into_iter()
-                    .map(|k| self.insert_tree(k, None))
-                    .collect();
+                let child_groups: Vec<GroupId> =
+                    kids.into_iter().map(|k| self.insert_tree(k, None)).collect();
                 self.insert_expr(op, child_groups, target)
             }
         }
@@ -285,10 +283,9 @@ mod memo_tests {
             // wraps everything in ever-deeper chains of fresh leaves
             let tag = memo.expr_count() as u32;
             match e.op {
-                Op::Leaf(_) | Op::Chain => vec![NewExpr::Op(
-                    Op::Chain,
-                    vec![NewExpr::Op(Op::Leaf(tag), vec![])],
-                )],
+                Op::Leaf(_) | Op::Chain => {
+                    vec![NewExpr::Op(Op::Chain, vec![NewExpr::Op(Op::Leaf(tag), vec![])])]
+                }
             }
         }
     }
@@ -307,17 +304,11 @@ mod memo_tests {
     fn logical_props_derive_through_shared_subtrees() {
         let mut memo = Memo::new(Sem);
         let leaf = NewExpr::Op(Op::Leaf(1), vec![]);
-        let g = memo.insert_root(NewExpr::Op(
-            Op::Chain,
-            vec![NewExpr::Op(Op::Chain, vec![leaf])],
-        ));
+        let g = memo.insert_root(NewExpr::Op(Op::Chain, vec![NewExpr::Op(Op::Chain, vec![leaf])]));
         assert_eq!(*memo.props(g), 2);
         // inserting the identical tree again changes nothing
         let leaf = NewExpr::Op(Op::Leaf(1), vec![]);
-        let g2 = memo.insert_root(NewExpr::Op(
-            Op::Chain,
-            vec![NewExpr::Op(Op::Chain, vec![leaf])],
-        ));
+        let g2 = memo.insert_root(NewExpr::Op(Op::Chain, vec![NewExpr::Op(Op::Chain, vec![leaf])]));
         assert_eq!(g, g2);
         assert_eq!(memo.group_count(), 3);
         assert_eq!(memo.expr_count(), 3);

@@ -60,6 +60,9 @@ pub struct SearchStats {
     pub optimize_calls: usize,
     pub implementations_considered: usize,
     pub enforcers_considered: usize,
+    /// `(group, required)` pairs answered from the memoization table
+    /// without a fresh search.
+    pub cache_hits: usize,
 }
 
 /// Find the cheapest physical plan for `group` delivering `required`.
@@ -85,6 +88,7 @@ impl<S: Semantics> Ctx<'_, S> {
     fn optimize(&mut self, group: GroupId, required: S::PhysProps) -> Option<Best<S>> {
         let key = (group, required.clone());
         if let Some(hit) = self.table.get(&key) {
+            self.stats.cache_hits += 1;
             return hit.clone();
         }
         if self.in_progress.contains(&key) {
@@ -102,9 +106,7 @@ impl<S: Semantics> Ctx<'_, S> {
             let child_props: Vec<&S::Props> =
                 e.children.iter().map(|&c| self.memo.props(c)).collect();
             let impls =
-                self.memo
-                    .semantics()
-                    .implementations(&e.op, &child_props, props, &required);
+                self.memo.semantics().implementations(&e.op, &child_props, props, &required);
             for imp in impls {
                 self.stats.implementations_considered += 1;
                 debug_assert_eq!(imp.child_required.len(), e.children.len());
@@ -127,7 +129,8 @@ impl<S: Semantics> Ctx<'_, S> {
                     continue;
                 }
                 if best.as_ref().is_none_or(|b| cost < b.cost) {
-                    best = Some(Best { cost, plan: PhysPlan { algo: imp.algo, children }, expr: eid });
+                    best =
+                        Some(Best { cost, plan: PhysPlan { algo: imp.algo, children }, expr: eid });
                 }
             }
         }

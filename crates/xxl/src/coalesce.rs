@@ -11,6 +11,8 @@ use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
 use std::sync::Arc;
 use tango_algebra::{Period, Schema, Tuple, Type, Value};
 
+/// The coalescing cursor: merges value-equivalent tuples with
+/// overlapping or adjacent periods into maximal periods.
 pub struct Coalesce {
     input: BoxCursor,
     value_idx: Vec<usize>,
@@ -20,9 +22,12 @@ pub struct Coalesce {
     current: Option<(Tuple, Period)>,
     opened: bool,
     done: bool,
+    merged: u64,
 }
 
 impl Coalesce {
+    /// Build over `input`, which must be temporal and sorted on (value
+    /// attributes, `T1`).
     pub fn new(input: BoxCursor) -> Result<Self> {
         let schema = input.schema();
         let period = schema
@@ -31,13 +36,20 @@ impl Coalesce {
         let value_idx: Vec<usize> =
             (0..schema.len()).filter(|&i| i != period.0 && i != period.1).collect();
         let date_typed = matches!(schema.attr(period.0).ty, Type::Date);
-        Ok(Coalesce { input, value_idx, period, date_typed, current: None, opened: false, done: false })
+        Ok(Coalesce {
+            input,
+            value_idx,
+            period,
+            date_typed,
+            current: None,
+            opened: false,
+            done: false,
+            merged: 0,
+        })
     }
 
     fn value_eq(&self, a: &Tuple, b: &Tuple) -> bool {
-        self.value_idx
-            .iter()
-            .all(|&i| a[i].total_cmp(&b[i]) == std::cmp::Ordering::Equal)
+        self.value_idx.iter().all(|&i| a[i].total_cmp(&b[i]) == std::cmp::Ordering::Equal)
     }
 
     fn tuple_period(&self, t: &Tuple) -> Option<Period> {
@@ -93,6 +105,7 @@ impl Cursor for Coalesce {
                         }
                         Some((cur, cp)) => {
                             if self.value_eq(&cur, &t) && cp.meets_or_overlaps(&p) {
+                                self.merged += 1;
                                 self.current = Some((cur, cp.merge(&p)));
                             } else {
                                 let out = self.finish(&cur, cp);
@@ -104,6 +117,14 @@ impl Cursor for Coalesce {
                 }
             }
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("periods_merged", self.merged)]
     }
 }
 
@@ -131,13 +152,7 @@ mod tests {
             .unwrap()
             .tuples()
             .iter()
-            .map(|t| {
-                (
-                    t[0].as_int().unwrap(),
-                    t[1].as_int().unwrap(),
-                    t[2].as_int().unwrap(),
-                )
-            })
+            .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap(), t[2].as_int().unwrap()))
             .collect()
     }
 

@@ -13,9 +13,12 @@ use tango_algebra::{AlgebraError, Relation, Schema, Tuple};
 /// Errors raised during pipelined execution.
 #[derive(Debug, Clone)]
 pub enum ExecError {
+    /// Schema or expression-evaluation failures from `tango-algebra`.
     Algebra(AlgebraError),
     /// Failures from the underlying DBMS (bubbled up by transfer cursors).
     Dbms(String),
+    /// Protocol violations (e.g. `next` before `open`) or bad input
+    /// order/shape detected at runtime.
     State(String),
 }
 
@@ -37,6 +40,7 @@ impl From<AlgebraError> for ExecError {
     }
 }
 
+/// Result alias for cursor operations.
 pub type Result<T> = std::result::Result<T, ExecError>;
 
 /// A pipelined tuple stream.
@@ -51,8 +55,23 @@ pub trait Cursor: Send {
 
     /// Produce the next tuple, or `None` at end of stream.
     fn next(&mut self) -> Result<Option<Tuple>>;
+
+    /// Release resources held by the cursor (spill files, buffered
+    /// state) and propagate to the inputs. Called once after the stream
+    /// is drained; the default does nothing.
+    fn close(&mut self) -> Result<()> {
+        Ok(())
+    }
+
+    /// Algorithm-specific counters (spilled runs, buffered groups, rows
+    /// dropped, …), sampled by the tracing layer just before [`close`]
+    /// (`Cursor::close`). The default reports none.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
+/// An owned, dynamically-typed cursor — how operators hold their inputs.
 pub type BoxCursor = Box<dyn Cursor>;
 
 /// Drain a cursor into a materialized [`Relation`] (opens it first).
@@ -63,6 +82,7 @@ pub fn collect(mut c: BoxCursor) -> Result<Relation> {
     while let Some(t) = c.next()? {
         tuples.push(t);
     }
+    c.close()?;
     Ok(Relation::new(schema, tuples))
 }
 

@@ -13,14 +13,17 @@ use std::sync::Arc;
 use tango_algebra::value::Key;
 use tango_algebra::{Schema, Tuple};
 
+/// Order-preserving hash duplicate elimination (keeps first occurrences).
 pub struct DupElim {
     input: BoxCursor,
     seen: HashSet<Vec<Key>>,
+    dropped: u64,
 }
 
 impl DupElim {
+    /// Deduplicate `input` on all attributes.
     pub fn new(input: BoxCursor) -> Self {
-        DupElim { input, seen: HashSet::new() }
+        DupElim { input, seen: HashSet::new(), dropped: 0 }
     }
 }
 
@@ -40,8 +43,18 @@ impl Cursor for DupElim {
             if self.seen.insert(key) {
                 return Ok(Some(t));
             }
+            self.dropped += 1;
         }
         Ok(None)
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.seen.clear();
+        self.input.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("duplicates_dropped", self.dropped)]
     }
 }
 
@@ -54,14 +67,8 @@ mod tests {
 
     #[test]
     fn keeps_first_occurrence() {
-        let s = Arc::new(Schema::new(vec![
-            Attr::new("A", Type::Int),
-            Attr::new("B", Type::Str),
-        ]));
-        let r = Relation::new(
-            s,
-            vec![tup![1, "x"], tup![2, "y"], tup![1, "x"], tup![1, "z"]],
-        );
+        let s = Arc::new(Schema::new(vec![Attr::new("A", Type::Int), Attr::new("B", Type::Str)]));
+        let r = Relation::new(s, vec![tup![1, "x"], tup![2, "y"], tup![1, "x"], tup![1, "z"]]);
         let got = collect(Box::new(DupElim::new(Box::new(VecScan::new(r))))).unwrap();
         assert_eq!(got.tuples(), &[tup![1, "x"], tup![2, "y"], tup![1, "z"]]);
     }

@@ -10,15 +10,18 @@ use crate::cursor::{BoxCursor, Cursor, Result};
 use std::sync::Arc;
 use tango_algebra::{Expr, Schema, Tuple};
 
+/// The `FILTER^M` cursor: pipelined, order-preserving selection.
 pub struct Filter {
     input: BoxCursor,
     pred: Expr,
     bound: Option<Expr>,
+    dropped: u64,
 }
 
 impl Filter {
+    /// Keep the tuples of `input` for which `pred` holds.
     pub fn new(input: BoxCursor, pred: Expr) -> Self {
-        Filter { input, pred, bound: None }
+        Filter { input, pred, bound: None, dropped: 0 }
     }
 }
 
@@ -46,7 +49,16 @@ impl Cursor for Filter {
             if pred.matches(&t)? {
                 return Ok(Some(t));
             }
+            self.dropped += 1;
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_dropped", self.dropped)]
     }
 }
 
@@ -61,11 +73,8 @@ mod tests {
     #[test]
     fn filters_and_preserves_order() {
         let pred = Expr::cmp(CmpOp::Eq, Expr::col("PosID"), Expr::lit(1));
-        let got = collect(Box::new(Filter::new(
-            Box::new(VecScan::new(figure3_position())),
-            pred,
-        )))
-        .unwrap();
+        let got = collect(Box::new(Filter::new(Box::new(VecScan::new(figure3_position())), pred)))
+            .unwrap();
         assert_eq!(got.tuples(), &[tup![1, "Tom", 2, 20], tup![1, "Jane", 5, 25]]);
     }
 
@@ -73,11 +82,8 @@ mod tests {
     fn temporal_predicate() {
         // Overlaps([4, 6)): T1 < 6 AND T2 > 4
         let pred = Expr::overlaps("T1", "T2", Expr::lit(4), Expr::lit(6));
-        let got = collect(Box::new(Filter::new(
-            Box::new(VecScan::new(figure3_position())),
-            pred,
-        )))
-        .unwrap();
+        let got = collect(Box::new(Filter::new(Box::new(VecScan::new(figure3_position())), pred)))
+            .unwrap();
         assert_eq!(got.len(), 3); // all three periods overlap [4, 6)
     }
 }

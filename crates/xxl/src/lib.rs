@@ -52,6 +52,8 @@
 //! # Ok::<(), tango_xxl::ExecError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod coalesce;
 pub mod cursor;
 pub mod dedup;

@@ -12,6 +12,8 @@ use std::sync::Arc;
 use tango_algebra::logical::concat_schemas;
 use tango_algebra::{Schema, Tuple};
 
+/// The `MERGEJOIN^M` cursor: sort-merge equi join over inputs sorted on
+/// the join attributes; output ordered by the left input.
 pub struct MergeJoin {
     left: BoxCursor,
     right: BoxCursor,
@@ -19,6 +21,7 @@ pub struct MergeJoin {
     keys: Vec<(usize, usize)>,
     schema: Arc<Schema>,
     state: Option<State>,
+    groups: u64,
 }
 
 struct State {
@@ -35,6 +38,8 @@ struct State {
 }
 
 impl MergeJoin {
+    /// Join `left` and `right` on the `eq` attribute pairs; both inputs
+    /// must be sorted on those attributes.
     pub fn new(left: BoxCursor, right: BoxCursor, eq: &[(String, String)]) -> Result<Self> {
         let mut keys = Vec::with_capacity(eq.len());
         for (l, r) in eq {
@@ -44,7 +49,7 @@ impl MergeJoin {
             return Err(ExecError::State("merge join requires at least one key".into()));
         }
         let schema = Arc::new(concat_schemas(left.schema(), right.schema()));
-        Ok(MergeJoin { left, right, keys, schema, state: None })
+        Ok(MergeJoin { left, right, keys, schema, state: None, groups: 0 })
     }
 
     fn key_cmp(&self, l: &Tuple, r: &Tuple) -> Ordering {
@@ -53,9 +58,7 @@ impl MergeJoin {
 
     /// Compare two right tuples on the right key columns.
     fn right_key_eq(&self, a: &Tuple, b: &Tuple) -> bool {
-        self.keys
-            .iter()
-            .all(|&(_, ri)| a[ri].total_cmp(&b[ri]) == Ordering::Equal)
+        self.keys.iter().all(|&(_, ri)| a[ri].total_cmp(&b[ri]) == Ordering::Equal)
     }
 }
 
@@ -112,10 +115,9 @@ impl Cursor for MergeJoin {
                 st.left_cur = nxt;
                 st.emit_idx = 0;
                 st.matching = match (&prev, &st.left_cur) {
-                    (Some(p), Some(c)) => self
-                        .keys
-                        .iter()
-                        .all(|&(li, _)| p[li].total_cmp(&c[li]) == Ordering::Equal),
+                    (Some(p), Some(c)) => {
+                        self.keys.iter().all(|&(li, _)| p[li].total_cmp(&c[li]) == Ordering::Equal)
+                    }
                     _ => false,
                 };
                 if st.matching {
@@ -142,7 +144,8 @@ impl Cursor for MergeJoin {
                 return Ok(None);
             }
             // If the buffered group already matches the left key, use it.
-            if !st.right_group.is_empty() && key_cmp(&self.keys, &left, &st.right_group[0]).is_eq() {
+            if !st.right_group.is_empty() && key_cmp(&self.keys, &left, &st.right_group[0]).is_eq()
+            {
                 let st = self.state.as_mut().unwrap();
                 st.matching = true;
                 st.emit_idx = 0;
@@ -179,6 +182,7 @@ impl Cursor for MergeJoin {
                             }
                         }
                     }
+                    self.groups += 1;
                     let st = self.state.as_mut().unwrap();
                     st.right_group = group;
                     st.matching = true;
@@ -186,6 +190,16 @@ impl Cursor for MergeJoin {
                 }
             }
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.state = None;
+        self.left.close()?;
+        self.right.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("right_groups", self.groups)]
     }
 }
 
@@ -198,10 +212,8 @@ mod tests {
     use tango_algebra::{tup, Attr, Relation, SortSpec, Type};
 
     fn rel(name_a: &str, name_b: &str, vals: Vec<(i64, i64)>) -> Relation {
-        let s = Arc::new(Schema::new(vec![
-            Attr::new(name_a, Type::Int),
-            Attr::new(name_b, Type::Int),
-        ]));
+        let s =
+            Arc::new(Schema::new(vec![Attr::new(name_a, Type::Int), Attr::new(name_b, Type::Int)]));
         Relation::new(s, vals.into_iter().map(|(a, b)| tup![a, b]).collect())
     }
 

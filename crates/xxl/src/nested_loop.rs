@@ -7,6 +7,7 @@ use std::sync::Arc;
 use tango_algebra::logical::concat_schemas;
 use tango_algebra::{Expr, Schema, Tuple};
 
+/// The nested-loop theta-join cursor (right input materialized at open).
 pub struct NestedLoopJoin {
     left: BoxCursor,
     right: BoxCursor,
@@ -78,6 +79,16 @@ impl Cursor for NestedLoopJoin {
                 }
             }
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.right_buf.clear();
+        self.left.close()?;
+        self.right.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_buffered", self.right_buf.len() as u64)]
     }
 }
 

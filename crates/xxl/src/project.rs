@@ -7,6 +7,8 @@ use std::sync::Arc;
 use tango_algebra::logical::{infer_type, ProjItem};
 use tango_algebra::{Attr, Expr, Schema, Tuple};
 
+/// The `PROJECT^M` cursor: evaluates one scalar expression per output
+/// attribute.
 pub struct Project {
     input: BoxCursor,
     items: Vec<ProjItem>,
@@ -62,6 +64,10 @@ impl Cursor for Project {
                 Ok(Some(Tuple::new(out)))
             }
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.input.close()
     }
 }
 

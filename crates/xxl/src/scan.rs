@@ -12,6 +12,7 @@ pub struct VecScan {
 }
 
 impl VecScan {
+    /// Scan a materialized relation.
     pub fn new(rel: Relation) -> Self {
         let schema = rel.schema().clone();
         VecScan { schema, tuples: rel.into_tuples().into_iter(), opened: false }

@@ -32,6 +32,7 @@ pub struct UnionAll {
 }
 
 impl UnionAll {
+    /// Concatenate two schema-compatible inputs.
     pub fn new(left: BoxCursor, right: BoxCursor) -> Result<Self> {
         check_compatible(left.schema(), right.schema())?;
         Ok(UnionAll { left, right, on_right: false })
@@ -59,6 +60,11 @@ impl Cursor for UnionAll {
         }
         self.right.next()
     }
+
+    fn close(&mut self) -> Result<()> {
+        self.left.close()?;
+        self.right.close()
+    }
 }
 
 /// Bag intersection: a tuple appears `min(m, n)` times when it occurs `m`
@@ -70,6 +76,7 @@ pub struct IntersectAll {
 }
 
 impl IntersectAll {
+    /// Multiset intersection of two schema-compatible inputs.
     pub fn new(left: BoxCursor, right: BoxCursor) -> Result<Self> {
         check_compatible(left.schema(), right.schema())?;
         Ok(IntersectAll { left, right, budget: HashMap::new() })
@@ -102,6 +109,12 @@ impl Cursor for IntersectAll {
         }
         Ok(None)
     }
+
+    fn close(&mut self) -> Result<()> {
+        self.budget.clear();
+        self.left.close()?;
+        self.right.close()
+    }
 }
 
 /// Bag difference: a tuple appears `max(m - n, 0)` times. Preserves left
@@ -114,6 +127,7 @@ pub struct ExceptAll {
 }
 
 impl ExceptAll {
+    /// Multiset difference of two schema-compatible inputs.
     pub fn new(left: BoxCursor, right: BoxCursor) -> Result<Self> {
         check_compatible(left.schema(), right.schema())?;
         Ok(ExceptAll { left, right, budget: HashMap::new() })
@@ -144,6 +158,12 @@ impl Cursor for ExceptAll {
         }
         Ok(None)
     }
+
+    fn close(&mut self) -> Result<()> {
+        self.budget.clear();
+        self.left.close()?;
+        self.right.close()
+    }
 }
 
 #[cfg(test)]
@@ -165,21 +185,12 @@ mod tests {
         r: &[i64],
     ) -> Vec<i64> {
         let c = f(Box::new(VecScan::new(rel(l))), Box::new(VecScan::new(rel(r)))).unwrap();
-        collect(c)
-            .unwrap()
-            .tuples()
-            .iter()
-            .map(|t| t[0].as_int().unwrap())
-            .collect()
+        collect(c).unwrap().tuples().iter().map(|t| t[0].as_int().unwrap()).collect()
     }
 
     #[test]
     fn union_all_concatenates() {
-        let got = run2(
-            |l, r| Ok(Box::new(UnionAll::new(l, r)?) as BoxCursor),
-            &[1, 2],
-            &[2, 3],
-        );
+        let got = run2(|l, r| Ok(Box::new(UnionAll::new(l, r)?) as BoxCursor), &[1, 2], &[2, 3]);
         assert_eq!(got, vec![1, 2, 2, 3]);
     }
 
@@ -209,11 +220,9 @@ mod tests {
             Arc::new(Schema::new(vec![Attr::new("A", Type::Int), Attr::new("B", Type::Int)])),
             vec![],
         );
-        assert!(UnionAll::new(
-            Box::new(VecScan::new(rel(&[1]))),
-            Box::new(VecScan::new(wide))
-        )
-        .is_err());
+        assert!(
+            UnionAll::new(Box::new(VecScan::new(rel(&[1]))), Box::new(VecScan::new(wide))).is_err()
+        );
     }
 
     proptest! {

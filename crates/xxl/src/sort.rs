@@ -28,11 +28,13 @@ pub struct Sort {
     input: BoxCursor,
     spec: SortSpec,
     out: Option<std::vec::IntoIter<Tuple>>,
+    buffered: u64,
 }
 
 impl Sort {
+    /// Sort `input` by `spec` (stable; materializes at open).
     pub fn new(input: BoxCursor, spec: SortSpec) -> Self {
-        Sort { input, spec, out: None }
+        Sort { input, spec, out: None, buffered: 0 }
     }
 }
 
@@ -44,6 +46,7 @@ impl Cursor for Sort {
     fn open(&mut self) -> Result<()> {
         self.input.open()?;
         let mut tuples = drain(self.input.as_mut())?;
+        self.buffered = tuples.len() as u64;
         let cmp = self.spec.comparator(self.input.schema());
         tuples.sort_by(cmp);
         self.out = Some(tuples.into_iter());
@@ -56,6 +59,15 @@ impl Cursor for Sort {
             None => Err(ExecError::State("sort not opened".into())),
         }
     }
+
+    fn close(&mut self) -> Result<()> {
+        self.out = None;
+        self.input.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("rows_buffered", self.buffered)]
+    }
 }
 
 /// External merge sort: sorted runs of at most `run_size` tuples are
@@ -65,6 +77,8 @@ pub struct ExternalSort {
     spec: SortSpec,
     run_size: usize,
     merge: Option<MergeState>,
+    runs_spilled: u64,
+    rows_spilled: u64,
 }
 
 struct Run {
@@ -127,9 +141,7 @@ impl Ord for HeapEntry {
                 break;
             }
         }
-        o.then(self.run.cmp(&other.run))
-            .then(self.seq.cmp(&other.seq))
-            .reverse()
+        o.then(self.run.cmp(&other.run)).then(self.seq.cmp(&other.seq)).reverse()
     }
 }
 
@@ -141,8 +153,17 @@ struct MergeState {
 }
 
 impl ExternalSort {
+    /// Sort `input` by `spec`, spilling sorted runs of `run_size` tuples
+    /// to temporary files and merging them on demand.
     pub fn new(input: BoxCursor, spec: SortSpec, run_size: usize) -> Self {
-        ExternalSort { input, spec, run_size: run_size.max(2), merge: None }
+        ExternalSort {
+            input,
+            spec,
+            run_size: run_size.max(2),
+            merge: None,
+            runs_spilled: 0,
+            rows_spilled: 0,
+        }
     }
 }
 
@@ -185,12 +206,14 @@ impl Cursor for ExternalSort {
             Ok(())
         };
         while let Some(t) = self.input.next()? {
+            self.rows_spilled += 1;
             chunk.push(t);
             if chunk.len() >= self.run_size {
                 spill(&mut chunk)?;
             }
         }
         spill(&mut chunk)?;
+        self.runs_spilled = runs.len() as u64;
         let mut heap = BinaryHeap::with_capacity(runs.len());
         let mut seq = 0usize;
         for (i, run) in runs.iter_mut().enumerate() {
@@ -217,6 +240,16 @@ impl Cursor for ExternalSort {
         }
         Ok(Some(top.tuple))
     }
+
+    fn close(&mut self) -> Result<()> {
+        // Dropping the merge state deletes the spill files.
+        self.merge = None;
+        self.input.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("runs_spilled", self.runs_spilled), ("rows_spilled", self.rows_spilled)]
+    }
 }
 
 #[cfg(test)]
@@ -229,10 +262,7 @@ mod tests {
     use tango_algebra::{tup, Attr, Relation, Type, Value};
 
     fn rel(vals: Vec<(i64, i64)>) -> Relation {
-        let s = Arc::new(Schema::new(vec![
-            Attr::new("A", Type::Int),
-            Attr::new("B", Type::Int),
-        ]));
+        let s = Arc::new(Schema::new(vec![Attr::new("A", Type::Int), Attr::new("B", Type::Int)]));
         Relation::new(s, vals.into_iter().map(|(a, b)| tup![a, b]).collect())
     }
 
@@ -241,25 +271,16 @@ mod tests {
         let r = rel(vec![(3, 1), (1, 2), (2, 0), (1, 1)]);
         let got = collect(Box::new(Sort::new(Box::new(VecScan::new(r)), SortSpec::by(["A", "B"]))))
             .unwrap();
-        let keys: Vec<(i64, i64)> = got
-            .tuples()
-            .iter()
-            .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap()))
-            .collect();
+        let keys: Vec<(i64, i64)> =
+            got.tuples().iter().map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap())).collect();
         assert_eq!(keys, vec![(1, 1), (1, 2), (2, 0), (3, 1)]);
     }
 
     #[test]
     fn sort_is_stable() {
         // equal keys keep input order
-        let s = Arc::new(Schema::new(vec![
-            Attr::new("K", Type::Int),
-            Attr::new("Tag", Type::Str),
-        ]));
-        let r = Relation::new(
-            s,
-            vec![tup![1, "first"], tup![0, "x"], tup![1, "second"]],
-        );
+        let s = Arc::new(Schema::new(vec![Attr::new("K", Type::Int), Attr::new("Tag", Type::Str)]));
+        let r = Relation::new(s, vec![tup![1, "first"], tup![0, "x"], tup![1, "second"]]);
         let got =
             collect(Box::new(Sort::new(Box::new(VecScan::new(r)), SortSpec::by(["K"])))).unwrap();
         assert_eq!(got.tuples()[1][1], Value::Str("first".into()));

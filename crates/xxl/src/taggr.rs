@@ -17,6 +17,9 @@ use tango_algebra::logical::taggr_schema;
 use tango_algebra::value::Key;
 use tango_algebra::{AggFunc, AggSpec, Day, Schema, Tuple, Type, Value};
 
+/// The `TAGGR^M` cursor: temporal aggregation by a sweep over each
+/// group's constant periods (Section 3.4 of the paper). Input must be
+/// sorted on (group attributes, `T1`).
 pub struct TemporalAggregate {
     input: BoxCursor,
     group_idx: Vec<usize>,
@@ -31,9 +34,13 @@ pub struct TemporalAggregate {
     out: VecDeque<Tuple>,
     opened: bool,
     done: bool,
+    groups: u64,
+    constant_periods: u64,
 }
 
 impl TemporalAggregate {
+    /// Aggregate `input` per `group_by` combination over every constant
+    /// period; `aggs` define the computed columns.
     pub fn new(input: BoxCursor, group_by: Vec<String>, aggs: Vec<AggSpec>) -> Result<Self> {
         let in_schema = input.schema();
         let period = in_schema
@@ -64,13 +71,13 @@ impl TemporalAggregate {
             out: VecDeque::new(),
             opened: false,
             done: false,
+            groups: 0,
+            constant_periods: 0,
         })
     }
 
     fn same_group(&self, a: &Tuple, b: &Tuple) -> bool {
-        self.group_idx
-            .iter()
-            .all(|&i| a[i].total_cmp(&b[i]) == std::cmp::Ordering::Equal)
+        self.group_idx.iter().all(|&i| a[i].total_cmp(&b[i]) == std::cmp::Ordering::Equal)
     }
 
     fn time_value(&self, d: Day) -> Value {
@@ -112,15 +119,13 @@ impl TemporalAggregate {
         if group.is_empty() {
             return Ok(true); // an empty group produces no constant periods
         }
+        self.groups += 1;
         // Second copy, sorted on T2 (the algorithm's internal sort).
         let mut by_end: Vec<usize> = (0..group.len()).collect();
         by_end.sort_by_key(|&i| group[i][it2].as_day().unwrap());
 
-        let mut states: Vec<Box<dyn AggState>> = self
-            .aggs
-            .iter()
-            .map(|a| new_state(a.func))
-            .collect();
+        let mut states: Vec<Box<dyn AggState>> =
+            self.aggs.iter().map(|a| new_state(a.func)).collect();
         let group_vals: Vec<Value> = self.group_idx.iter().map(|&i| group[0][i].clone()).collect();
 
         let mut i = 0usize; // next start event (group is sorted by T1)
@@ -129,15 +134,11 @@ impl TemporalAggregate {
         let mut prev: Option<Day> = None;
         while j < group.len() {
             let end_t = group[by_end[j]][it2].as_day().unwrap();
-            let t = if i < group.len() {
-                end_t.min(group[i][it1].as_day().unwrap())
-            } else {
-                end_t
-            };
+            let t =
+                if i < group.len() { end_t.min(group[i][it1].as_day().unwrap()) } else { end_t };
             if let Some(p) = prev {
                 if p < t && active > 0 {
-                    let mut row =
-                        Vec::with_capacity(group_vals.len() + 2 + self.aggs.len());
+                    let mut row = Vec::with_capacity(group_vals.len() + 2 + self.aggs.len());
                     row.extend(group_vals.iter().cloned());
                     row.push(self.time_value(p));
                     row.push(self.time_value(t));
@@ -145,6 +146,7 @@ impl TemporalAggregate {
                         row.push(s.current());
                     }
                     self.out.push_back(Tuple::new(row));
+                    self.constant_periods += 1;
                 }
             }
             while i < group.len() && group[i][it1].as_day().unwrap() == t {
@@ -195,6 +197,15 @@ impl Cursor for TemporalAggregate {
                 self.done = true;
             }
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.out.clear();
+        self.input.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("groups", self.groups), ("constant_periods", self.constant_periods)]
     }
 }
 
@@ -321,10 +332,7 @@ impl AggState for ExtState {
     fn add(&mut self, v: Option<&Value>) {
         if let Some(v) = v {
             if !v.is_null() {
-                self.vals
-                    .entry(v.key())
-                    .or_insert_with(|| (v.clone(), 0))
-                    .1 += 1;
+                self.vals.entry(v.key()).or_insert_with(|| (v.clone(), 0)).1 += 1;
             }
         }
     }
@@ -341,11 +349,8 @@ impl AggState for ExtState {
         }
     }
     fn current(&self) -> Value {
-        let entry = if self.min {
-            self.vals.values().next()
-        } else {
-            self.vals.values().next_back()
-        };
+        let entry =
+            if self.min { self.vals.values().next() } else { self.vals.values().next_back() };
         entry.map(|(v, _)| v.clone()).unwrap_or(Value::Null)
     }
 }
@@ -371,17 +376,10 @@ mod tests {
         )
         .unwrap();
         let got = collect(Box::new(agg)).unwrap();
-        let expected = vec![
-            tup![1, 2, 5, 1],
-            tup![1, 5, 20, 2],
-            tup![1, 20, 25, 1],
-            tup![2, 5, 10, 1],
-        ];
+        let expected =
+            vec![tup![1, 2, 5, 1], tup![1, 5, 20, 2], tup![1, 20, 25, 1], tup![2, 5, 10, 1]];
         assert_eq!(got.tuples(), expected.as_slice());
-        assert_eq!(
-            got.schema().names().collect::<Vec<_>>(),
-            vec!["PosID", "T1", "T2", "COUNT"]
-        );
+        assert_eq!(got.schema().names().collect::<Vec<_>>(), vec!["PosID", "T1", "T2", "COUNT"]);
     }
 
     #[test]
@@ -396,12 +394,7 @@ mod tests {
         .unwrap();
         let got = collect(Box::new(agg)).unwrap();
         // periods: [2,20) [5,25) [5,10); endpoints 2,5,10,20,25
-        let expected = vec![
-            tup![2, 5, 1],
-            tup![5, 10, 3],
-            tup![10, 20, 2],
-            tup![20, 25, 1],
-        ];
+        let expected = vec![tup![2, 5, 1], tup![5, 10, 3], tup![10, 20, 2], tup![20, 25, 1]];
         assert_eq!(got.tuples(), expected.as_slice());
     }
 
@@ -413,10 +406,7 @@ mod tests {
             Attr::new("T1", Type::Int),
             Attr::new("T2", Type::Int),
         ]));
-        let rel = Relation::new(
-            s,
-            vec![tup![1, 10, 0, 10], tup![1, 4, 5, 15], tup![1, 7, 5, 8]],
-        );
+        let rel = Relation::new(s, vec![tup![1, 10, 0, 10], tup![1, 4, 5, 15], tup![1, 7, 5, 8]]);
         let agg = TemporalAggregate::new(
             Box::new(VecScan::new(rel)),
             vec!["G".into()],

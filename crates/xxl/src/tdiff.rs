@@ -6,11 +6,14 @@
 //! Both inputs must be sorted on all non-temporal attributes (then `T1`).
 
 use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
-use std::collections::VecDeque;
 use std::cmp::Ordering;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use tango_algebra::{Period, Schema, Tuple, Type, Value};
 
+/// The temporal-difference cursor: subtracts the right input's periods
+/// from value-equivalent left tuples, splitting them into the remaining
+/// fragments. Inputs sorted on (value attributes, `T1`).
 pub struct TemporalDiff {
     left: BoxCursor,
     right: BoxCursor,
@@ -24,9 +27,12 @@ pub struct TemporalDiff {
     rgroup_key: Option<Tuple>,
     out: VecDeque<Tuple>,
     opened: bool,
+    splits: u64,
 }
 
 impl TemporalDiff {
+    /// Subtract `right` from `left`; both must be temporal with matching
+    /// value attributes.
     pub fn new(left: BoxCursor, right: BoxCursor) -> Result<Self> {
         let ls = left.schema();
         let rs = right.schema();
@@ -54,6 +60,7 @@ impl TemporalDiff {
             rgroup_key: None,
             out: VecDeque::new(),
             opened: false,
+            splits: 0,
         })
     }
 
@@ -190,11 +197,23 @@ impl Cursor for TemporalDiff {
                 .map(|k| self.value_cmp(k, &l) == Ordering::Equal)
                 .unwrap_or(false);
             if matches {
+                self.splits += 1;
                 self.push_fragments(&l, vec![p]);
             } else {
                 self.out.push_back(l);
             }
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.out.clear();
+        self.rgroup.clear();
+        self.left.close()?;
+        self.right.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("periods_split", self.splits)]
     }
 }
 
@@ -225,13 +244,7 @@ mod tests {
             .unwrap()
             .tuples()
             .iter()
-            .map(|t| {
-                (
-                    t[0].as_int().unwrap(),
-                    t[1].as_int().unwrap(),
-                    t[2].as_int().unwrap(),
-                )
-            })
+            .map(|t| (t[0].as_int().unwrap(), t[1].as_int().unwrap(), t[2].as_int().unwrap()))
             .collect()
     }
 

@@ -15,6 +15,9 @@ use std::sync::Arc;
 use tango_algebra::logical::tjoin_schema;
 use tango_algebra::{Period, Schema, Tuple, Value};
 
+/// The `TMERGEJOIN^M` cursor: sort-merge temporal equi join — matches on
+/// the join attributes *and* overlapping periods, emitting the
+/// intersected period. Inputs sorted on the join attributes.
 pub struct TemporalMergeJoin {
     left: BoxCursor,
     right: BoxCursor,
@@ -29,6 +32,7 @@ pub struct TemporalMergeJoin {
     date_typed: bool,
     schema: Arc<Schema>,
     state: Option<State>,
+    groups: u64,
 }
 
 struct State {
@@ -41,6 +45,7 @@ struct State {
 }
 
 impl TemporalMergeJoin {
+    /// Temporal join of `left` and `right` on the `eq` attribute pairs.
     pub fn new(left: BoxCursor, right: BoxCursor, eq: &[(String, String)]) -> Result<Self> {
         let ls = left.schema();
         let rs = right.schema();
@@ -66,10 +71,8 @@ impl TemporalMergeJoin {
             .collect();
         let eq_owned: Vec<(String, String)> = eq.to_vec();
         let schema = Arc::new(tjoin_schema(&eq_owned, ls, rs)?);
-        let date_typed = matches!(
-            schema.attr(schema.period().unwrap().0).ty,
-            tango_algebra::Type::Date
-        );
+        let date_typed =
+            matches!(schema.attr(schema.period().unwrap().0).ty, tango_algebra::Type::Date);
         Ok(TemporalMergeJoin {
             left,
             right,
@@ -82,6 +85,7 @@ impl TemporalMergeJoin {
             date_typed,
             schema,
             state: None,
+            groups: 0,
         })
     }
 
@@ -95,9 +99,8 @@ impl TemporalMergeJoin {
         loop {
             match input.next()? {
                 Some(t) => {
-                    let same = keys
-                        .iter()
-                        .all(|&k| t[k].total_cmp(&group[0][k]) == Ordering::Equal);
+                    let same =
+                        keys.iter().all(|&k| t[k].total_cmp(&group[0][k]) == Ordering::Equal);
                     if same {
                         group.push(t);
                     } else {
@@ -120,7 +123,14 @@ fn key_cmp(lkeys: &[usize], rkeys: &[usize], l: &Tuple, r: &Tuple) -> Ordering {
     Ordering::Equal
 }
 
-fn emit(lkeep: &[usize], rkeep: &[usize], date_typed: bool, l: &Tuple, r: &Tuple, p: Period) -> Tuple {
+fn emit(
+    lkeep: &[usize],
+    rkeep: &[usize],
+    date_typed: bool,
+    l: &Tuple,
+    r: &Tuple,
+    p: Period,
+) -> Tuple {
     let mut out = Vec::with_capacity(lkeep.len() + rkeep.len() + 2);
     for &i in lkeep {
         out.push(l[i].clone());
@@ -148,14 +158,8 @@ impl Cursor for TemporalMergeJoin {
         self.right.open()?;
         let lnext = self.left.next()?;
         let rnext = self.right.next()?;
-        self.state = Some(State {
-            lgroup: Vec::new(),
-            rgroup: Vec::new(),
-            lnext,
-            rnext,
-            i: 0,
-            j: 0,
-        });
+        self.state =
+            Some(State { lgroup: Vec::new(), rgroup: Vec::new(), lnext, rnext, i: 0, j: 0 });
         Ok(())
     }
 
@@ -180,8 +184,7 @@ impl Cursor for TemporalMergeJoin {
                         r[self.rperiod.1].as_day().unwrap_or(0),
                     );
                     if let Some(p) = lp.intersect(&rp) {
-                        let out =
-                            emit(&self.lkeep, &self.rkeep, self.date_typed, l, r, p);
+                        let out = emit(&self.lkeep, &self.rkeep, self.date_typed, l, r, p);
                         return Ok(Some(out));
                     }
                 }
@@ -216,12 +219,23 @@ impl Cursor for TemporalMergeJoin {
             let rfirst = st.rnext.take().unwrap();
             let (lg, ln) = Self::read_group(self.left.as_mut(), lfirst, &self.lkeys)?;
             let (rg, rn) = Self::read_group(self.right.as_mut(), rfirst, &self.rkeys)?;
+            self.groups += 1;
             let st = self.state.as_mut().unwrap();
             st.lgroup = lg;
             st.rgroup = rg;
             st.lnext = ln;
             st.rnext = rn;
         }
+    }
+
+    fn close(&mut self) -> Result<()> {
+        self.state = None;
+        self.left.close()?;
+        self.right.close()
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![("key_groups", self.groups)]
     }
 }
 
@@ -278,10 +292,7 @@ mod tests {
             Attr::new("T1", Type::Int),
             Attr::new("T2", Type::Int),
         ]));
-        Relation::new(
-            s,
-            vals.iter().map(|&(k, v, t1, t2)| tup![k, v, t1, t2]).collect(),
-        )
+        Relation::new(s, vals.iter().map(|&(k, v, t1, t2)| tup![k, v, t1, t2]).collect())
     }
 
     proptest! {

@@ -33,10 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tango.calibrate()?;
     tango.options_mut().feedback = true; // adapt factors from observations
 
-    println!(
-        "\n{:>12} {:>10} {:>12} {:>14}   chosen",
-        "T1 <", "rows", "time", "p_tm (µs/B)"
-    );
+    println!("\n{:>12} {:>10} {:>12} {:>14}   chosen", "T1 <", "rows", "time", "p_tm (µs/B)");
     for year in [1986, 1990, 1994, 1998, 2000] {
         let bound = day(year, 1, 1);
         let sql = format!(

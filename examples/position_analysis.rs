@@ -78,12 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         steps.sort_by(|a, b| b.exclusive_us.total_cmp(&a.exclusive_us));
         println!("  hottest algorithms:");
         for s in steps.iter().take(3) {
-            println!(
-                "    {:14} {:9.1}ms   -> {} rows",
-                s.label,
-                s.exclusive_us / 1e3,
-                s.out_rows
-            );
+            println!("    {:14} {:9.1}ms   -> {} rows", s.label, s.exclusive_us / 1e3, s.out_rows);
         }
         println!();
     }

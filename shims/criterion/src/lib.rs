@@ -1,0 +1,242 @@
+//! Offline mini-`criterion`: a wall-clock micro-benchmark runner
+//! exposing the subset of the criterion 0.5 API this workspace uses
+//! (`bench_function`, `benchmark_group`, `bench_with_input`,
+//! `Throughput::Bytes`, `criterion_group!`/`criterion_main!`).
+//!
+//! No statistical analysis or HTML reports: each benchmark is timed
+//! over `sample_size` samples after a short warm-up and the median
+//! per-iteration time is printed, which is enough to compare operator
+//! implementations while building offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque hint preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    // Volatile read of a pointer to the value defeats const-folding
+    // without touching the value itself.
+    unsafe {
+        let ret = std::ptr::read_volatile(&x);
+        std::mem::forget(x);
+        ret
+    }
+}
+
+/// Declared throughput of a benchmark, used to report MB/s.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for a parameterized benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// Build an id from just the parameter value.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, auto-scaling the iteration count so each sample runs
+    /// long enough to measure, and record the median sample time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that takes
+        // at least ~1ms per sample (capped to keep total time sane).
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let el = t0.elapsed();
+            if el >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t0.elapsed() / iters as u32);
+        }
+        samples.sort();
+        self.last = samples[samples.len() / 2];
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn report(name: &str, median: Duration, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<40} {:>12}", fmt_duration(median));
+    if let Some(Throughput::Bytes(b)) = throughput {
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            line.push_str(&format!("  {:>10.1} MiB/s", b as f64 / secs / (1024.0 * 1024.0)));
+        }
+    } else if let Some(Throughput::Elements(n)) = throughput {
+        let secs = median.as_secs_f64();
+        if secs > 0.0 {
+            line.push_str(&format!("  {:>10.0} elem/s", n as f64 / secs));
+        }
+    }
+    println!("{line}");
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, last: Duration::ZERO };
+        f(&mut b);
+        report(name, b.last, None);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), throughput: None }
+    }
+
+    /// No-op hook called by `criterion_main!` after all groups run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare the throughput of subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.parent.sample_size = n.max(1);
+        self
+    }
+
+    /// Run a named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.parent.sample_size, last: Duration::ZERO };
+        f(&mut b);
+        report(&format!("{}/{name}", self.name), b.last, self.throughput);
+        self
+    }
+
+    /// Run a parameterized benchmark: `f` receives the bencher and `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.parent.sample_size, last: Duration::ZERO };
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), b.last, self.throughput);
+        self
+    }
+
+    /// Close the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Emit a `main` that runs the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, n| b.iter(|| n * 2));
+        g.finish();
+    }
+}

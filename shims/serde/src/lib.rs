@@ -1,0 +1,13 @@
+//! Marker-trait stand-in for `serde`, used because this workspace builds
+//! offline and nothing in it performs actual serde serialization (there
+//! is no `serde_json` dependency). The real crate can be swapped back in
+//! by pointing the workspace dependency at crates.io.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

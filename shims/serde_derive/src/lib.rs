@@ -1,0 +1,75 @@
+//! No-op stand-ins for serde's `Serialize`/`Deserialize` derives.
+//!
+//! The workspace builds in an offline environment, and nothing in it
+//! actually serializes through serde (there is no `serde_json` or
+//! similar): the derives on data types are declarative only. These
+//! macros accept the same attribute grammar (`#[serde(...)]`) and emit
+//! empty marker impls so trait bounds keep working.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extract the identifier following `struct` or `enum` from the item.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        // non-identifiers (`#[derive(...)]` groups etc.) are skipped
+        if let TokenTree::Ident(id) = tt {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+/// Does the item declare generic parameters right after its name?
+fn is_generic(input: &TokenStream) -> bool {
+    let mut saw_name = false;
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw && !saw_name {
+                    saw_name = true;
+                    continue;
+                }
+                if s == "struct" || s == "enum" || s == "union" {
+                    saw_kw = true;
+                }
+            }
+            TokenTree::Punct(p) if saw_name => return p.as_char() == '<',
+            TokenTree::Group(_) if saw_name => return false,
+            _ => {}
+        }
+    }
+    false
+}
+
+fn marker_impl(input: TokenStream, trait_path: &str) -> TokenStream {
+    // Generic types would need bound plumbing; nothing in this workspace
+    // derives serde traits on generic types, so emit nothing for them.
+    let Some(name) = type_name(&input) else {
+        return TokenStream::new();
+    };
+    if is_generic(&input) {
+        return TokenStream::new();
+    }
+    format!("impl {trait_path} for {name} {{}}").parse().unwrap()
+}
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Serialize")
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl(input, "::serde::Deserialize<'static>")
+}

@@ -8,7 +8,14 @@
 //! Statements ending in `;` are executed. `VALIDTIME` queries go through
 //! the middleware (optimizer + mixed execution); everything else —
 //! including DDL, DML and plain SELECTs typed with a leading `\d` — can
-//! talk to the DBMS directly. Meta commands:
+//! talk to the DBMS directly.
+//!
+//! `EXPLAIN <query>` shows the middleware's chosen plan with site
+//! placement and estimated rows; `EXPLAIN ANALYZE <query>` also runs it
+//! and annotates each operator with actual rows, exclusive time and
+//! operator counters, followed by the optimizer's search trace.
+//! (For statements the middleware doesn't optimize, `EXPLAIN` is passed
+//! through to the DBMS.) Meta commands:
 //!
 //! * `\plan <query>`    — optimize only, show the chosen physical plan
 //! * `\explain <sql>`   — the DBMS's own EXPLAIN for conventional SQL
@@ -29,7 +36,10 @@ fn main() {
 
     if use_uis {
         let cfg = UisConfig { position_rows: 20_000, employee_rows: 8_000, seed: 0xEC1 };
-        eprintln!("loading UIS dataset ({} positions, {} employees) ...", cfg.position_rows, cfg.employee_rows);
+        eprintln!(
+            "loading UIS dataset ({} positions, {} employees) ...",
+            cfg.position_rows, cfg.employee_rows
+        );
         let pos = generate_position(&cfg);
         let emp = generate_employee(&cfg);
         db.create_table("POSITION", pos.schema().as_ref().clone()).unwrap();
@@ -158,25 +168,41 @@ fn run_statement(stmt: &str, tango: &mut Tango, conn: &Connection, _db: &Databas
                     report.optimized.optimize_time.as_secs_f64() * 1e3,
                     report.exec.wall.as_secs_f64() * 1e3,
                     report.exec.wire.as_secs_f64() * 1e3,
-                    report
-                        .optimized
-                        .explain()
-                        .lines()
-                        .next()
-                        .unwrap_or("")
-                        .trim(),
+                    report.optimized.explain().lines().next().unwrap_or("").trim(),
                 );
             }
             Err(e) => println!("error: {e}"),
         },
-        "EXPLAIN" => match conn.query(stmt) {
-            Ok(mut cur) => {
-                while let Ok(Some(row)) = cur.fetch() {
-                    println!("{}", row[0]);
+        "EXPLAIN" => {
+            let (req, inner) = tango::core::tsql::strip_explain(stmt);
+            let inner_head = inner.split_whitespace().next().unwrap_or("").to_uppercase();
+            match (req, inner_head.as_str()) {
+                (Some(tango::core::tsql::Explain::Analyze), "SELECT" | "VALIDTIME") => {
+                    match tango.explain_analyze(inner) {
+                        Ok((text, report)) => {
+                            print!("{text}");
+                            print!("{}", report.optimized.optimizer_trace());
+                        }
+                        Err(e) => println!("error: {e}"),
+                    }
                 }
+                (Some(tango::core::tsql::Explain::Plan), "SELECT" | "VALIDTIME") => {
+                    match tango.explain(inner) {
+                        Ok(text) => print!("{text}"),
+                        Err(e) => println!("error: {e}"),
+                    }
+                }
+                // not middleware-optimizable: the DBMS's own EXPLAIN
+                _ => match conn.query(stmt) {
+                    Ok(mut cur) => {
+                        while let Ok(Some(row)) = cur.fetch() {
+                            println!("{}", row[0]);
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                },
             }
-            Err(e) => println!("error: {e}"),
-        },
+        }
         _ => match conn.execute(stmt) {
             Ok(o) => println!("ok ({} rows affected)", o.rows_affected),
             Err(e) => println!("error: {e}"),

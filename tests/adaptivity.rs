@@ -32,9 +32,7 @@ fn populated_db(profile: LinkProfile, rows: usize) -> Database {
         })
         .collect();
     db.insert_rows("POSITION", data).unwrap();
-    Connection::new(db.clone())
-        .execute("ANALYZE TABLE POSITION COMPUTE STATISTICS")
-        .unwrap();
+    Connection::new(db.clone()).execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
     db
 }
 
@@ -90,9 +88,7 @@ fn placement_follows_transfer_costs() {
             })
             .collect();
         db.insert_rows("POSITION", data).unwrap();
-        Connection::new(db.clone())
-            .execute("ANALYZE TABLE POSITION COMPUTE STATISTICS")
-            .unwrap();
+        Connection::new(db.clone()).execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
         db
     };
 
@@ -159,7 +155,9 @@ fn feedback_corrects_bad_factors() {
 fn execution_report_accounts_steps() {
     let mut tango = Tango::connect(populated_db(LinkProfile::default(), 1_000));
     let (rel, report) = tango
-        .query("VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION GROUP BY PosID ORDER BY PosID")
+        .query(
+            "VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION GROUP BY PosID ORDER BY PosID",
+        )
         .unwrap();
     assert!(!rel.is_empty());
     assert!(!report.exec.steps.is_empty());

@@ -11,11 +11,9 @@ use tango::Tango;
 fn seed_db() -> Database {
     let db = Database::new(Link::new(LinkProfile::instant()));
     let conn = Connection::new(db.clone());
-    conn.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")
-        .unwrap();
-    let rows: Vec<_> = (0..2_000)
-        .map(|i: i64| tup![i % 50, format!("emp{i}"), i % 100, i % 100 + 10])
-        .collect();
+    conn.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)").unwrap();
+    let rows: Vec<_> =
+        (0..2_000).map(|i: i64| tup![i % 50, format!("emp{i}"), i % 100, i % 100 + 10]).collect();
     db.insert_rows("POSITION", rows).unwrap();
     conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
     db

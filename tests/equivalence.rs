@@ -24,14 +24,10 @@ fn make_db(rows: &[(i64, i64, f64, i32, i32)]) -> Database {
     db.create_table("POSITION", schema).unwrap();
     db.insert_rows(
         "POSITION",
-        rows.iter()
-            .map(|&(p, e, pay, t1, t2)| tup![p, e, Value::Double(pay), t1, t2])
-            .collect(),
+        rows.iter().map(|&(p, e, pay, t1, t2)| tup![p, e, Value::Double(pay), t1, t2]).collect(),
     )
     .unwrap();
-    Connection::new(db.clone())
-        .execute("ANALYZE TABLE POSITION COMPUTE STATISTICS")
-        .unwrap();
+    Connection::new(db.clone()).execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
     db
 }
 
@@ -148,23 +144,13 @@ fn approx_window_push_preserves_snapshots() {
             .tuples()
             .iter()
             .filter(|r| r[i1].as_int().unwrap() <= t && t < r[i2].as_int().unwrap())
-            .map(|r| {
-                (
-                    r[0].as_int().unwrap(),
-                    r[1].as_int().unwrap(),
-                    r[2].as_int().unwrap(),
-                )
-            })
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap(), r[2].as_int().unwrap()))
             .collect();
         v.sort();
         v
     };
     for t in 20..50 {
-        assert_eq!(
-            snap(&with_push, t),
-            snap(&without_push, t),
-            "snapshot diverges at t={t}"
-        );
+        assert_eq!(snap(&with_push, t), snap(&without_push, t), "snapshot diverges at t={t}");
     }
 }
 
@@ -178,9 +164,6 @@ fn order_by_is_respected_everywhere() {
                WHERE A.PosID = B.PosID ORDER BY A.PosID";
     for f in [mid_heavy(), dbms_heavy(), CostFactors::default()] {
         let (rel, plan) = run_with_factors(&db, sql, f);
-        assert!(
-            rel.is_sorted_by(&SortSpec::by(["PosID"])),
-            "unsorted output from plan:\n{plan}"
-        );
+        assert!(rel.is_sorted_by(&SortSpec::by(["PosID"])), "unsorted output from plan:\n{plan}");
     }
 }

@@ -1,0 +1,222 @@
+//! The execution-trace layer end to end: per-operator accounting in
+//! [`ExecReport`], the machine-readable JSON form, `EXPLAIN` /
+//! `EXPLAIN ANALYZE` rendering, and the zero-overhead untraced path.
+
+use std::sync::Arc;
+use tango::algebra::Expr;
+use tango::core::engine::{self, ExecReport};
+use tango::core::phys::{Algo, PhysNode, Site};
+use tango::core::tsql::{strip_explain, Explain};
+use tango::minidb::{Connection, Database, Link, LinkProfile};
+use tango::Tango;
+
+fn setup() -> (Database, Connection) {
+    let db = Database::new(Link::new(LinkProfile::instant()));
+    let conn = Connection::new(db.clone());
+    conn.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)").unwrap();
+    conn.execute("INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)")
+        .unwrap();
+    conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
+    (db, conn)
+}
+
+fn scan(c: &Connection, table: &str) -> PhysNode {
+    PhysNode {
+        algo: Algo::ScanD(table.into()),
+        schema: Arc::new(c.table_schema(table).unwrap()),
+        children: vec![],
+    }
+}
+
+fn un(algo: Algo, child: PhysNode) -> PhysNode {
+    let schema = Arc::new(algo.output_schema(&[child.schema.as_ref()]).unwrap());
+    PhysNode { algo, schema, children: vec![child] }
+}
+
+/// SORT^M ← FILTER^M ← TRANSFER^M ← SCAN^D: a three-step middleware
+/// pipeline whose per-operator rows, bytes and time accounting must add
+/// up.
+fn three_op_plan(conn: &Connection) -> PhysNode {
+    un(
+        Algo::SortM(tango::algebra::SortSpec::by(["EmpName"])),
+        un(
+            Algo::FilterM(Expr::eq(Expr::col("PosID"), Expr::lit(1))),
+            un(Algo::TransferM, scan(conn, "POSITION")),
+        ),
+    )
+}
+
+fn run_traced(conn: &Connection) -> ExecReport {
+    let plan = three_op_plan(conn);
+    let (rel, report) = engine::execute(conn, &plan).unwrap();
+    assert_eq!(rel.len(), 2); // PosID = 1 matches Tom and Jane
+    report
+}
+
+#[test]
+fn exec_report_row_accounting() {
+    let (_db, conn) = setup();
+    let report = run_traced(&conn);
+
+    // bottom-up step order: TRANSFER^M, FILTER^M, SORT^M
+    assert_eq!(report.steps.len(), 3);
+    let (t, f, s) = (&report.steps[0], &report.steps[1], &report.steps[2]);
+    assert!(matches!(t.algo, Algo::TransferM));
+    assert!(matches!(f.algo, Algo::FilterM(_)));
+    assert!(matches!(s.algo, Algo::SortM(_)));
+
+    // rows: the transfer fetches all 3, the filter keeps 2, the sort
+    // preserves them
+    assert_eq!(t.out_rows, 3);
+    assert_eq!(f.out_rows, 2);
+    assert_eq!(s.out_rows, 2);
+    assert_eq!(report.rows, 2);
+
+    // the step tree mirrors the plan
+    assert_eq!(t.children, Vec::<usize>::new());
+    assert_eq!(f.children, vec![0]);
+    assert_eq!(s.children, vec![1]);
+}
+
+#[test]
+fn exec_report_byte_accounting() {
+    let (_db, conn) = setup();
+    let report = run_traced(&conn);
+    let (t, f, s) = (&report.steps[0], &report.steps[1], &report.steps[2]);
+
+    // every tuple has a positive wire size; dropping a row must shrink
+    // the filter's byte count below the transfer's
+    assert!(t.out_bytes > 0);
+    assert!(f.out_bytes > 0 && f.out_bytes < t.out_bytes);
+    // the sort re-emits exactly what the filter produced
+    assert_eq!(s.out_bytes, f.out_bytes);
+}
+
+#[test]
+fn exec_report_exclusive_time_accounting() {
+    let (_db, conn) = setup();
+    let report = run_traced(&conn);
+    let (t, f, s) = (&report.steps[0], &report.steps[1], &report.steps[2]);
+
+    for step in [t, f, s] {
+        assert!(step.inclusive_us >= 0.0);
+        assert!(step.exclusive_us >= 0.0);
+        assert!(
+            step.exclusive_us <= step.inclusive_us + 1e-6,
+            "exclusive {} > inclusive {} for {}",
+            step.exclusive_us,
+            step.inclusive_us,
+            step.label
+        );
+    }
+    // inclusive times nest: each parent contains its child's time
+    assert!(f.inclusive_us >= t.inclusive_us);
+    assert!(s.inclusive_us >= f.inclusive_us);
+    // exclusive = inclusive − Σ children inclusive
+    assert!((f.exclusive_us - (f.inclusive_us - t.inclusive_us)).abs() < 1e-3);
+    assert!((s.exclusive_us - (s.inclusive_us - f.inclusive_us)).abs() < 1e-3);
+}
+
+#[test]
+fn exec_report_counters_and_sites() {
+    let (_db, conn) = setup();
+    let report = run_traced(&conn);
+    let (t, f, s) = (&report.steps[0], &report.steps[1], &report.steps[2]);
+
+    assert_eq!(t.site(), Site::Middleware);
+    assert!(t.counters.iter().any(|&(k, v)| k == "sql_round_trips" && v == 1));
+    assert!(f.counters.iter().any(|&(k, v)| k == "rows_dropped" && v == 1));
+    assert!(s.counters.iter().any(|&(k, v)| k == "rows_buffered" && v == 2));
+}
+
+#[test]
+fn exec_report_json_is_well_formed() {
+    let (_db, conn) = setup();
+    let report = run_traced(&conn);
+    let json = report.to_json();
+    for key in
+        ["\"rows\":", "\"steps\":", "\"op\":", "\"site\":", "\"exclusive_us\":", "\"counters\":"]
+    {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    assert!(json.contains("\"op\":\"TRANSFER^M\""), "{json}");
+    assert!(json.contains("\"rows_dropped\":1"), "{json}");
+    // balanced braces/brackets — cheap well-formedness check
+    let opens = json.matches(['{', '[']).count();
+    let closes = json.matches(['}', ']']).count();
+    assert_eq!(opens, closes, "{json}");
+}
+
+#[test]
+fn untraced_execution_collects_nothing() {
+    let (_db, conn) = setup();
+    let plan = three_op_plan(&conn);
+    let (rel, report) = engine::execute_with(&conn, &plan, false).unwrap();
+    assert_eq!(rel.len(), 2);
+    assert_eq!(report.rows, 2);
+    assert!(report.steps.is_empty(), "untraced run must create no spans");
+}
+
+#[test]
+fn strip_explain_prefixes() {
+    assert_eq!(strip_explain("SELECT 1"), (None, "SELECT 1"));
+    assert_eq!(strip_explain("EXPLAIN SELECT 1"), (Some(Explain::Plan), "SELECT 1"));
+    assert_eq!(
+        strip_explain("  explain analyze VALIDTIME SELECT 1"),
+        (Some(Explain::Analyze), "VALIDTIME SELECT 1")
+    );
+    // EXPLAIN must be a standalone word
+    assert_eq!(strip_explain("EXPLAINX"), (None, "EXPLAINX"));
+}
+
+const QUERY1: &str = "VALIDTIME SELECT PosID, COUNT(PosID) AS CNT FROM POSITION \
+                      GROUP BY PosID ORDER BY PosID";
+
+#[test]
+fn explain_shows_sites_and_estimates() {
+    let (db, _conn) = setup();
+    let mut tango = Tango::connect(db);
+    let text = tango.explain(QUERY1).unwrap();
+    assert!(text.contains("TAGGR^M"), "{text}");
+    assert!(text.contains("(middleware, est rows"), "{text}");
+    assert!(text.contains("(dbms, est rows"), "{text}");
+    // EXPLAIN alone never executes: no actuals, no totals
+    assert!(!text.contains("actual rows"), "{text}");
+    assert!(!text.contains("total:"), "{text}");
+}
+
+/// Golden output: `EXPLAIN ANALYZE` for Query 1 on the Figure 3 data,
+/// with timings redacted so the rendering is reproducible.
+#[test]
+fn explain_analyze_golden_query1() {
+    let (db, _conn) = setup();
+    let mut tango = Tango::connect(db);
+    let optimized = tango.optimize(QUERY1).unwrap();
+    let (rel, exec) = tango.execute_physical(&optimized.plan).unwrap();
+    assert_eq!(rel.len(), 4); // Figure 3(c)
+    let text = optimized.explain_analyze(&exec, true);
+    let expected = "\
+PROJECT^M  (middleware, est rows 2.4, actual rows 4, exclusive ?)
+  TAGGR^M [group by PosID; COUNT(PosID) AS CNT]  (middleware, est rows 2.4, actual rows 4, exclusive ?, groups 2, constant_periods 4)
+    TRANSFER^M  (middleware, est rows 3.0, actual rows 3, exclusive ?, server ?, sql_round_trips 1)
+      SORT^D [PosID, T1]  (dbms, est rows 3.0, in SQL)
+        PROJECT^D  (dbms, est rows 3.0, in SQL)
+          SCAN^D POSITION  (dbms, est rows 3.0, in SQL)
+total: 4 rows, wall ?, wire ?, wall+wire ?
+";
+    assert_eq!(text, expected, "got:\n{text}");
+}
+
+#[test]
+fn explain_analyze_entry_point_runs_the_query() {
+    let (db, _conn) = setup();
+    let mut tango = Tango::connect(db);
+    let (text, report) = tango.explain_analyze(QUERY1).unwrap();
+    assert!(text.contains("actual rows 4"), "{text}");
+    assert!(text.contains("total: 4 rows"), "{text}");
+    assert_eq!(report.exec.rows, 4);
+    // the optimizer-side trace is available alongside
+    let trace = report.optimized.optimizer_trace();
+    assert!(trace.contains("classes"), "{trace}");
+    assert!(trace.contains("optimize calls"), "{trace}");
+}

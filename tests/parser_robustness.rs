@@ -61,8 +61,11 @@ fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
         (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::eq(l, r)),
         (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::and(l, r)),
         (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::or(l, r)),
-        (inner.clone(), inner.clone())
-            .prop_map(|(l, r)| Expr::Arith(tango::algebra::ArithOp::Add, Box::new(l), Box::new(r))),
+        (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Arith(
+            tango::algebra::ArithOp::Add,
+            Box::new(l),
+            Box::new(r)
+        )),
         (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Greatest(vec![l, r])),
         inner.clone().prop_map(|e| Expr::IsNull(Box::new(e), false)),
         inner.prop_map(Expr::not),

@@ -71,10 +71,7 @@ fn string_handling() {
     let c = fresh();
     c.execute("INSERT INTO T VALUES (9, 1, 'o''brien', NULL)").unwrap();
     assert_eq!(q(&c, "SELECT K FROM T WHERE S = 'o''brien'"), vec![tup![9]]);
-    assert_eq!(
-        q(&c, "SELECT DISTINCT S FROM T WHERE S = 'alpha'"),
-        vec![tup!["alpha"]]
-    );
+    assert_eq!(q(&c, "SELECT DISTINCT S FROM T WHERE S = 'alpha'"), vec![tup!["alpha"]]);
 }
 
 #[test]
@@ -178,8 +175,7 @@ fn ddl_lifecycle_and_errors() {
 fn explain_describes_plan() {
     let c = fresh();
     let lines = q(&c, "EXPLAIN SELECT K, COUNT(*) AS C FROM T WHERE V > 5 GROUP BY K ORDER BY K");
-    let text: Vec<String> =
-        lines.iter().map(|t| t[0].as_str().unwrap().to_string()).collect();
+    let text: Vec<String> = lines.iter().map(|t| t[0].as_str().unwrap().to_string()).collect();
     let joined = text.join("\n");
     assert!(joined.contains("SORT"), "{joined}");
     assert!(joined.contains("HASH GROUP BY"), "{joined}");
@@ -207,10 +203,7 @@ fn update_and_delete() {
     // UPDATE with expression over the old row
     let o = c.execute("UPDATE T SET V = V + 100 WHERE K = 1").unwrap();
     assert_eq!(o.rows_affected, 2);
-    assert_eq!(
-        q(&c, "SELECT V FROM T WHERE K = 1 ORDER BY V"),
-        vec![tup![110], tup![120]]
-    );
+    assert_eq!(q(&c, "SELECT V FROM T WHERE K = 1 ORDER BY V"), vec![tup![110], tup![120]]);
     // swap-style multi-assignment uses pre-update values
     c.execute("CREATE TABLE P (A INT, B INT)").unwrap();
     c.execute("INSERT INTO P VALUES (1, 2)").unwrap();

@@ -25,23 +25,15 @@ fn make_db(rows: &[Row]) -> Database {
         Attr::new("T2", Type::Int),
     ]);
     db.create_table("POSITION", schema).unwrap();
-    db.insert_rows(
-        "POSITION",
-        rows.iter().map(|&(p, e, a, b)| tup![p, e, a, b]).collect(),
-    )
-    .unwrap();
-    Connection::new(db.clone())
-        .execute("ANALYZE TABLE POSITION COMPUTE STATISTICS")
+    db.insert_rows("POSITION", rows.iter().map(|&(p, e, a, b)| tup![p, e, a, b]).collect())
         .unwrap();
+    Connection::new(db.clone()).execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
     db
 }
 
 /// Snapshot of the raw rows at day `t`.
 fn snapshot(rows: &[Row], t: i32) -> Vec<(i64, i64)> {
-    rows.iter()
-        .filter(|&&(_, _, a, b)| a <= t && t < b)
-        .map(|&(p, e, _, _)| (p, e))
-        .collect()
+    rows.iter().filter(|&&(_, _, a, b)| a <= t && t < b).map(|&(p, e, _, _)| (p, e)).collect()
 }
 
 /// Snapshot of a temporal result relation (with trailing T1/T2 columns)
@@ -52,9 +44,7 @@ fn result_snapshot(rel: &Relation, t: i32, k: usize) -> Vec<Vec<i64>> {
     let mut out: Vec<Vec<i64>> = rel
         .tuples()
         .iter()
-        .filter(|r| {
-            r[i1].as_int().unwrap() <= t as i64 && (t as i64) < r[i2].as_int().unwrap()
-        })
+        .filter(|r| r[i1].as_int().unwrap() <= t as i64 && (t as i64) < r[i2].as_int().unwrap())
         .map(|r| (0..k).map(|i| r[i].as_int().unwrap()).collect())
         .collect();
     out.sort();

@@ -24,10 +24,7 @@ fn schema() -> Schema {
 }
 
 fn relation(rows: &[Row]) -> Relation {
-    Relation::new(
-        Arc::new(schema()),
-        rows.iter().map(|&(p, e, a, b)| tup![p, e, a, b]).collect(),
-    )
+    Relation::new(Arc::new(schema()), rows.iter().map(|&(p, e, a, b)| tup![p, e, a, b]).collect())
 }
 
 fn db_with(rows: &[Row]) -> Connection {
