@@ -10,6 +10,7 @@
 //! | `fig11a_query3` | Figure 11(a) — Query 3 (temporal self-join), 2 plans × start bound |
 //! | `fig11b_query4` | Figure 11(b) — Query 4 (regular join), 3 plans × POSITION sizes |
 //! | `sec33_selectivity` | Section 3.3 worked example — naive vs proposed estimator |
+//! | `wire_faults` | Chaos overhead — fault-probability sweep, retries/re-plans vs. cost |
 //! | `optimizer_stats` | Section 5.2 — classes/elements and chosen plan per query |
 //! | `calibration_study` | Ablation — default vs calibrated factors vs feedback |
 //!

@@ -136,9 +136,9 @@ pub fn calibrate(conn: &Connection, seed: u64) -> Result<Calibration> {
 
     // wire-aware timing helper: wall time + virtual wire delta
     let timed = |conn: &Connection, f: &mut dyn FnMut() -> Result<()>| -> Result<f64> {
-        let sw = Stopwatch::start(conn.link().total());
+        let sw = Stopwatch::start(conn.wire_time());
         f()?;
-        Ok(sw.elapsed_us(conn.link().total()))
+        Ok(sw.elapsed_us(conn.wire_time()))
     };
 
     for (i, &n) in sizes.iter().enumerate() {

@@ -16,12 +16,12 @@ use crate::phys::{Algo, PhysNode, Site};
 use crate::to_sql;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tango_algebra::{Relation, Schema, Tuple};
-use tango_minidb::{Connection, DbCursor};
-use tango_trace::{Collector, SpanSite, SpanSlot, Stopwatch};
+use tango_algebra::{Relation, Schema, SortSpec, Tuple};
+use tango_minidb::{Connection, DbCursor, ErrorClass};
+use tango_trace::{Collector, SpanEvent, SpanSite, SpanSlot, Stopwatch};
 use tango_xxl::{
-    BoxCursor, Coalesce, Cursor, DupElim, Filter, MergeJoin, Project, Sort, TemporalAggregate,
-    TemporalDiff, TemporalMergeJoin,
+    BoxCursor, Coalesce, Cursor, DupElim, Filter, MergeJoin, NestedLoopJoin, Project, Sort,
+    TemporalAggregate, TemporalDiff, TemporalMergeJoin,
 };
 
 /// Observed execution of one algorithm instance.
@@ -45,6 +45,9 @@ pub struct StepReport {
     /// Algorithm-specific counters (spilled runs, buffered groups, SQL
     /// round-trips, …) sampled from the cursor at close.
     pub counters: Vec<(&'static str, u64)>,
+    /// Discrete events recorded while the step ran (wire `fault`s,
+    /// `retry` rounds, mid-execution `replan`s), in order.
+    pub events: Vec<SpanEvent>,
     /// Indices of child steps within the report.
     pub children: Vec<usize>,
 }
@@ -79,6 +82,9 @@ impl StepReport {
                 c.number(k, *v as f64);
             }
             o.raw("counters", &c.build());
+        }
+        if !self.events.is_empty() {
+            o.raw("events", &tango_trace::events_to_json(&self.events));
         }
         o.raw(
             "children",
@@ -147,7 +153,9 @@ pub fn execute_with(
             "plan root must be middleware-resident (delivery to the client)".into(),
         ));
     }
-    let wire_before = conn.link().total();
+    // meter this session's wire alone — the link clock is shared with
+    // every other session on the database and would cross-charge
+    let wire_before = conn.wire_time();
     let mut ctx = Ctx {
         conn,
         temp_tables: Vec::new(),
@@ -175,7 +183,7 @@ pub fn execute_with(
         let _ = conn.execute(&format!("DROP TABLE IF EXISTS {t}"));
     }
     let result = result?;
-    let wire = conn.link().total().saturating_sub(wire_before);
+    let wire = conn.wire_time().saturating_sub(wire_before);
 
     // resolve the collected spans into step reports
     let steps: Vec<StepReport> = ctx
@@ -192,6 +200,7 @@ pub fn execute_with(
             out_bytes: span.bytes,
             server_us: span.server_us,
             counters: span.counters,
+            events: span.events,
             children: span.children,
         })
         .collect();
@@ -247,10 +256,19 @@ impl Ctx<'_> {
                         conn,
                         sql,
                         schema,
+                        // keep the cleaned fragment: if the DBMS side
+                        // exhausts its retries, the fragment is re-planned
+                        // with middleware operators (see `degrade`)
+                        fragment: clean,
                         prereqs,
                         cur: None,
+                        fallback: None,
                         server_sink: sink,
                         round_trips: 0,
+                        rows_emitted: 0,
+                        wire_retries: 0,
+                        wire_faults: 0,
+                        replans: 0,
                     })
                 }));
                 // placeholder; replaced once the slot exists
@@ -319,8 +337,8 @@ impl Ctx<'_> {
             Some(cursor_builder) => cursor_builder(Some(slot.clone())),
             None => inner,
         };
-        let link = self.conn.link().clone();
-        Ok((Box::new(Instrumented { inner, slot, link }), idx))
+        let conn = self.conn.clone();
+        Ok((Box::new(Instrumented { inner, slot, conn }), idx))
     }
 
     /// Replace `T^D` nodes inside a DBMS fragment with temp-table scans;
@@ -332,25 +350,29 @@ impl Ctx<'_> {
             self.temp_seq += 1;
             let table = format!("TANGO_TMP_{}", self.temp_seq);
             self.temp_tables.push(table.clone());
-            let loader = TransferDCursor {
+            let scan = PhysNode {
+                algo: Algo::ScanD(table.clone()),
+                schema: node.schema.clone(),
+                children: vec![],
+            };
+            let mut loader = TransferDCursor {
                 conn: self.conn.clone(),
-                table: table.clone(),
+                table,
                 schema: node.schema.clone(),
                 input: Some(input),
                 rows_loaded: 0,
-            };
-            let scan = PhysNode {
-                algo: Algo::ScanD(table),
-                schema: node.schema.clone(),
-                children: vec![],
+                sink: None,
+                wire_retries: 0,
+                wire_faults: 0,
             };
             if !self.trace {
                 return Ok((scan, vec![Box::new(loader)], vec![]));
             }
             let (idx, slot) = self.new_slot(Algo::TransferD, vec![input_id]);
-            let link = self.conn.link().clone();
+            loader.sink = Some(slot.clone());
+            let conn = self.conn.clone();
             let instrumented: BoxCursor =
-                Box::new(Instrumented { inner: Box::new(loader), slot, link });
+                Box::new(Instrumented { inner: Box::new(loader), slot, conn });
             return Ok((scan, vec![instrumented], vec![idx]));
         }
         if node.algo.site() == Site::Middleware {
@@ -383,14 +405,16 @@ impl Ctx<'_> {
 struct Instrumented {
     inner: BoxCursor,
     slot: Arc<SpanSlot>,
-    link: Arc<tango_minidb::Link>,
+    conn: Connection,
 }
 
 impl Instrumented {
     fn measure<T>(&mut self, f: impl FnOnce(&mut BoxCursor) -> T) -> T {
-        let sw = Stopwatch::start(self.link.total());
+        // the per-connection meter, not the shared link clock: other
+        // sessions on the same link must not inflate this span
+        let sw = Stopwatch::start(self.conn.wire_time());
         let r = f(&mut self.inner);
-        self.slot.add_time(sw.elapsed(self.link.total()));
+        self.slot.add_time(sw.elapsed(self.conn.wire_time()));
         r
     }
 }
@@ -442,18 +466,206 @@ impl Cursor for EmptyCursor {
     }
 }
 
+/// Map a classified DBMS error into the matching cursor error, keeping
+/// the wire taxonomy intact for logic above.
+fn wire_exec_err(e: &tango_minidb::DbError) -> tango_xxl::ExecError {
+    match e.class() {
+        ErrorClass::Transient => {
+            tango_xxl::ExecError::Wire { fatal: false, timeout: false, msg: e.to_string() }
+        }
+        ErrorClass::Timeout => {
+            tango_xxl::ExecError::Wire { fatal: false, timeout: true, msg: e.to_string() }
+        }
+        ErrorClass::Fatal => {
+            tango_xxl::ExecError::Wire { fatal: true, timeout: false, msg: e.to_string() }
+        }
+        ErrorClass::Logic => tango_xxl::ExecError::Dbms(e.to_string()),
+    }
+}
+
+/// Build a middleware evaluation of a DBMS plan fragment — the re-plan
+/// fallback: every base relation (including already-loaded temp tables)
+/// is fetched with a plain `SELECT *`-shaped `T^M`, and the fragment's
+/// relational work runs on the XXL operators, with sorts inserted where
+/// the merge-based algorithms need ordered inputs. This is the transfer
+/// operator "flipped": `T^M ∘ fragment^D` becomes `fragment^M ∘ T^M`.
+fn middleware_fallback(conn: &Connection, node: &PhysNode) -> tango_xxl::Result<BoxCursor> {
+    let sorted = |c: BoxCursor, spec: SortSpec| -> BoxCursor { Box::new(Sort::new(c, spec)) };
+    Ok(match &node.algo {
+        Algo::ScanD(table) => {
+            let cols: Vec<&str> = node.schema.attrs().iter().map(|a| a.name.as_str()).collect();
+            let sql = format!("SELECT {} FROM {}", cols.join(", "), table);
+            Box::new(FetchCursor {
+                conn: conn.clone(),
+                sql,
+                schema: node.schema.clone(),
+                cur: None,
+            })
+        }
+        Algo::FilterD(pred) => {
+            Box::new(Filter::new(middleware_fallback(conn, &node.children[0])?, pred.clone()))
+        }
+        Algo::ProjectD(items) => {
+            Box::new(Project::new(middleware_fallback(conn, &node.children[0])?, items.clone())?)
+        }
+        Algo::SortD(spec) => sorted(middleware_fallback(conn, &node.children[0])?, spec.clone()),
+        Algo::DupElimD => Box::new(DupElim::new(middleware_fallback(conn, &node.children[0])?)),
+        Algo::JoinD(eq) => {
+            let l = middleware_fallback(conn, &node.children[0])?;
+            let r = middleware_fallback(conn, &node.children[1])?;
+            let l = sorted(l, SortSpec::by(eq.iter().map(|(a, _)| a.clone())));
+            let r = sorted(r, SortSpec::by(eq.iter().map(|(_, b)| b.clone())));
+            Box::new(MergeJoin::new(l, r, eq)?)
+        }
+        Algo::TJoinD(eq) => {
+            let l = middleware_fallback(conn, &node.children[0])?;
+            let r = middleware_fallback(conn, &node.children[1])?;
+            let l = sorted(l, SortSpec::by(eq.iter().map(|(a, _)| a.clone())));
+            let r = sorted(r, SortSpec::by(eq.iter().map(|(_, b)| b.clone())));
+            Box::new(TemporalMergeJoin::new(l, r, eq)?)
+        }
+        Algo::ProductD => {
+            let l = middleware_fallback(conn, &node.children[0])?;
+            let r = middleware_fallback(conn, &node.children[1])?;
+            Box::new(NestedLoopJoin::new(l, r, None))
+        }
+        Algo::TAggrD { group_by, aggs } => {
+            let child = &node.children[0];
+            let mut keys = group_by.clone();
+            if let Some((t1, _)) = child.schema.period() {
+                keys.push(child.schema.attr(t1).name.clone());
+            }
+            let input = sorted(middleware_fallback(conn, child)?, SortSpec::by(keys));
+            Box::new(TemporalAggregate::new(input, group_by.clone(), aggs.clone())?)
+        }
+        other => {
+            return Err(tango_xxl::ExecError::State(format!(
+                "cannot re-plan {} in the middleware",
+                other.label()
+            )))
+        }
+    })
+}
+
+/// Fetches one base relation for the re-plan fallback: a plain SELECT
+/// over the same faulty link (its transfers still go through the
+/// connection's retry loop).
+struct FetchCursor {
+    conn: Connection,
+    sql: String,
+    schema: Arc<Schema>,
+    cur: Option<DbCursor>,
+}
+
+impl Cursor for FetchCursor {
+    fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    fn open(&mut self) -> tango_xxl::Result<()> {
+        let cur = self.conn.query(&self.sql).map_err(|e| wire_exec_err(&e))?;
+        if cur.schema().len() != self.schema.len() {
+            return Err(tango_xxl::ExecError::Dbms(format!(
+                "fallback fetch arity mismatch: expected {}, got {}",
+                self.schema.len(),
+                cur.schema().len()
+            )));
+        }
+        self.cur = Some(cur);
+        Ok(())
+    }
+
+    fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
+        match &mut self.cur {
+            Some(c) => c.fetch().map_err(|e| wire_exec_err(&e)),
+            None => Err(tango_xxl::ExecError::State("fallback fetch not opened".into())),
+        }
+    }
+
+    fn close(&mut self) -> tango_xxl::Result<()> {
+        self.cur = None;
+        Ok(())
+    }
+}
+
 /// `TRANSFER^M`: issues the translated SELECT and streams the rows out
 /// of the (wire-charged) DBMS cursor. Any `T^D` loaders feeding temp
 /// tables referenced by the SQL are opened first.
+///
+/// Degradation: if the DBMS statement exhausts the connection's retry
+/// budget (or times out) before any row was delivered, the cursor
+/// **re-plans** — it evaluates its DBMS fragment with middleware
+/// operators over plain base-relation fetches (`middleware_fallback`)
+/// instead of failing the query, and records a `replan` event on its
+/// span. Once rows have been emitted the failure propagates: a partial
+/// result must never be silently restarted.
 struct TransferMCursor {
     conn: Connection,
     sql: String,
     schema: Arc<Schema>,
+    /// The cleaned DBMS fragment (temp scans in place of `T^D`), kept
+    /// for re-planning.
+    fragment: PhysNode,
     prereqs: Vec<BoxCursor>,
     cur: Option<DbCursor>,
-    /// Sink for the producing statement's server-side execution time.
+    /// The middleware re-plan of `fragment`, once degraded.
+    fallback: Option<BoxCursor>,
+    /// Sink for the producing statement's server-side execution time
+    /// and for fault/retry/replan events.
     server_sink: Option<Arc<SpanSlot>>,
     round_trips: u64,
+    rows_emitted: u64,
+    wire_retries: u64,
+    wire_faults: u64,
+    replans: u64,
+}
+
+impl TransferMCursor {
+    /// Sample the connection's fault/retry meters around a wire
+    /// operation and record the deltas as span events + counters.
+    fn note_wire_activity(&mut self, before: (u64, u64)) {
+        let faults = self.conn.wire_faults() - before.0;
+        let retries = self.conn.wire_retries() - before.1;
+        self.wire_faults += faults;
+        self.wire_retries += retries;
+        if let Some(s) = &self.server_sink {
+            if faults > 0 {
+                s.add_event("fault", format!("{faults} wire fault(s) injected"));
+            }
+            if retries > 0 {
+                s.add_event("retry", format!("{retries} transfer retr(y/ies) with backoff"));
+            }
+        }
+    }
+
+    fn meters(&self) -> (u64, u64) {
+        (self.conn.wire_faults(), self.conn.wire_retries())
+    }
+
+    /// The graceful-degradation path: flip the transfer operator and
+    /// evaluate the fragment in the middleware. Only transient/timeout
+    /// failures degrade; everything else propagates.
+    fn degrade(&mut self, when: &str, e: &tango_minidb::DbError) -> tango_xxl::Result<()> {
+        match e.class() {
+            ErrorClass::Transient | ErrorClass::Timeout => {}
+            _ => return Err(wire_exec_err(e)),
+        }
+        self.replans += 1;
+        if let Some(s) = &self.server_sink {
+            s.add_event(
+                "replan",
+                format!(
+                    "DBMS fragment failed at {when} ({e}); \
+                     re-planned with middleware operators over base fetches"
+                ),
+            );
+        }
+        let mut fb = middleware_fallback(&self.conn, &self.fragment)?;
+        fb.open()?;
+        self.cur = None;
+        self.fallback = Some(fb);
+        Ok(())
+    }
 }
 
 impl Cursor for TransferMCursor {
@@ -465,32 +677,71 @@ impl Cursor for TransferMCursor {
         for p in &mut self.prereqs {
             p.open()?;
         }
-        let cur =
-            self.conn.query(&self.sql).map_err(|e| tango_xxl::ExecError::Dbms(e.to_string()))?;
-        if cur.schema().len() != self.schema.len() {
-            return Err(tango_xxl::ExecError::Dbms(format!(
-                "translated SQL arity mismatch: expected {}, got {}",
-                self.schema.len(),
-                cur.schema().len()
-            )));
+        let before = self.meters();
+        match self.conn.query(&self.sql) {
+            Ok(cur) => {
+                self.note_wire_activity(before);
+                if cur.schema().len() != self.schema.len() {
+                    return Err(tango_xxl::ExecError::Dbms(format!(
+                        "translated SQL arity mismatch: expected {}, got {}",
+                        self.schema.len(),
+                        cur.schema().len()
+                    )));
+                }
+                if let Some(sink) = &self.server_sink {
+                    sink.add_server_time(cur.server_time());
+                }
+                self.round_trips += 1;
+                self.cur = Some(cur);
+                Ok(())
+            }
+            Err(e) => {
+                self.note_wire_activity(before);
+                self.degrade("submit", &e)
+            }
         }
-        if let Some(sink) = &self.server_sink {
-            sink.add_server_time(cur.server_time());
-        }
-        self.round_trips += 1;
-        self.cur = Some(cur);
-        Ok(())
     }
 
     fn next(&mut self) -> tango_xxl::Result<Option<Tuple>> {
+        if let Some(fb) = &mut self.fallback {
+            let r = fb.next();
+            if let Ok(Some(_)) = &r {
+                self.rows_emitted += 1;
+            }
+            return r;
+        }
         match &mut self.cur {
-            Some(c) => c.fetch().map_err(|e| tango_xxl::ExecError::Dbms(e.to_string())),
+            Some(c) => {
+                let before = (self.conn.wire_faults(), self.conn.wire_retries());
+                match c.fetch() {
+                    Ok(t) => {
+                        self.note_wire_activity(before);
+                        if t.is_some() {
+                            self.rows_emitted += 1;
+                        }
+                        Ok(t)
+                    }
+                    Err(e) => {
+                        self.note_wire_activity(before);
+                        if self.rows_emitted == 0 {
+                            // nothing delivered yet: safe to re-plan
+                            self.degrade("fetch", &e)?;
+                            self.next()
+                        } else {
+                            Err(wire_exec_err(&e))
+                        }
+                    }
+                }
+            }
             None => Err(tango_xxl::ExecError::State("TRANSFER^M not opened".into())),
         }
     }
 
     fn close(&mut self) -> tango_xxl::Result<()> {
         self.cur = None;
+        if let Some(mut fb) = self.fallback.take() {
+            fb.close()?;
+        }
         for p in &mut self.prereqs {
             p.close()?;
         }
@@ -498,7 +749,17 @@ impl Cursor for TransferMCursor {
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![("sql_round_trips", self.round_trips)]
+        let mut c = vec![("sql_round_trips", self.round_trips)];
+        if self.wire_retries > 0 {
+            c.push(("wire_retries", self.wire_retries));
+        }
+        if self.wire_faults > 0 {
+            c.push(("wire_faults", self.wire_faults));
+        }
+        if self.replans > 0 {
+            c.push(("replans", self.replans));
+        }
+        c
     }
 }
 
@@ -512,6 +773,10 @@ struct TransferDCursor {
     schema: Arc<Schema>,
     input: Option<BoxCursor>,
     rows_loaded: u64,
+    /// Sink for fault/retry events raised during the bulk load.
+    sink: Option<Arc<SpanSlot>>,
+    wire_retries: u64,
+    wire_faults: u64,
 }
 
 impl Cursor for TransferDCursor {
@@ -531,9 +796,23 @@ impl Cursor for TransferDCursor {
         }
         input.close()?;
         self.rows_loaded = rows.len() as u64;
-        self.conn
-            .load_direct(&self.table, self.schema.as_ref().clone(), rows)
-            .map_err(|e| tango_xxl::ExecError::Dbms(e.to_string()))?;
+        // Sample the connection meters around the load alone, so nested
+        // `T^M` activity never shows up on this span.
+        let before = (self.conn.wire_faults(), self.conn.wire_retries());
+        let loaded = self.conn.load_direct(&self.table, self.schema.as_ref().clone(), rows);
+        self.wire_faults += self.conn.wire_faults() - before.0;
+        self.wire_retries += self.conn.wire_retries() - before.1;
+        if let Some(s) = &self.sink {
+            let faults = self.conn.wire_faults() - before.0;
+            let retries = self.conn.wire_retries() - before.1;
+            if faults > 0 {
+                s.add_event("fault", format!("{faults} wire fault(s) injected during load"));
+            }
+            if retries > 0 {
+                s.add_event("retry", format!("{retries} bulk-load retr(y/ies) with backoff"));
+            }
+        }
+        loaded.map_err(|e| wire_exec_err(&e))?;
         Ok(())
     }
 
@@ -542,7 +821,14 @@ impl Cursor for TransferDCursor {
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![("rows_loaded", self.rows_loaded), ("sql_round_trips", 1)]
+        let mut c = vec![("rows_loaded", self.rows_loaded), ("sql_round_trips", 1)];
+        if self.wire_retries > 0 {
+            c.push(("wire_retries", self.wire_retries));
+        }
+        if self.wire_faults > 0 {
+            c.push(("wire_faults", self.wire_faults));
+        }
+        c
     }
 }
 

@@ -1,6 +1,7 @@
 //! Unified error type for the middleware.
 
 use std::fmt;
+use tango_minidb::ErrorClass;
 
 /// Any failure the middleware can report.
 #[derive(Debug, Clone)]
@@ -11,10 +12,30 @@ pub enum TangoError {
     Algebra(tango_algebra::AlgebraError),
     /// The underlying DBMS rejected a statement.
     Dbms(String),
+    /// The DBMS link failed. Carries the `tango-minidb` failure class
+    /// (`Transient`: the retry budget was exhausted; `Timeout`: the
+    /// statement's time budget was exceeded; `Fatal`: not retryable) so
+    /// callers can react without parsing message text.
+    Wire {
+        /// Failure classification from the wire layer.
+        class: ErrorClass,
+        /// Driver-style error text.
+        msg: String,
+    },
     /// A middleware cursor failed during execution.
     Exec(String),
     /// The optimizer could not produce a plan.
     Optimizer(String),
+}
+
+impl TangoError {
+    /// The wire failure class, if this error came off the wire.
+    pub fn wire_class(&self) -> Option<ErrorClass> {
+        match self {
+            TangoError::Wire { class, .. } => Some(*class),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for TangoError {
@@ -23,6 +44,7 @@ impl fmt::Display for TangoError {
             TangoError::Parse(m) => write!(f, "temporal SQL parse error: {m}"),
             TangoError::Algebra(e) => write!(f, "{e}"),
             TangoError::Dbms(m) => write!(f, "dbms error: {m}"),
+            TangoError::Wire { class, msg } => write!(f, "wire error ({class}): {msg}"),
             TangoError::Exec(m) => write!(f, "execution error: {m}"),
             TangoError::Optimizer(m) => write!(f, "optimizer error: {m}"),
         }
@@ -39,13 +61,31 @@ impl From<tango_algebra::AlgebraError> for TangoError {
 
 impl From<tango_minidb::DbError> for TangoError {
     fn from(e: tango_minidb::DbError) -> Self {
-        TangoError::Dbms(e.to_string())
+        use tango_minidb::DbError;
+        match e {
+            DbError::Transient(m) => TangoError::Wire { class: ErrorClass::Transient, msg: m },
+            DbError::Timeout(m) => TangoError::Wire { class: ErrorClass::Timeout, msg: m },
+            DbError::Fatal(m) => TangoError::Wire { class: ErrorClass::Fatal, msg: m },
+            other => TangoError::Dbms(other.to_string()),
+        }
     }
 }
 
 impl From<tango_xxl::ExecError> for TangoError {
     fn from(e: tango_xxl::ExecError) -> Self {
-        TangoError::Exec(e.to_string())
+        match e {
+            tango_xxl::ExecError::Wire { fatal, timeout, msg } => {
+                let class = if fatal {
+                    ErrorClass::Fatal
+                } else if timeout {
+                    ErrorClass::Timeout
+                } else {
+                    ErrorClass::Transient
+                };
+                TangoError::Wire { class, msg }
+            }
+            other => TangoError::Exec(other.to_string()),
+        }
     }
 }
 

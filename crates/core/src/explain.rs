@@ -184,6 +184,30 @@ fn render_node(
                 for (k, v) in &s.counters {
                     annots.push(format!("{k} {v}"));
                 }
+                if !s.events.is_empty() {
+                    // aggregate by kind, first-appearance order, so the
+                    // annotation stays short under heavy fault schedules
+                    let mut kinds: Vec<(&str, u64)> = Vec::new();
+                    for e in &s.events {
+                        match kinds.iter_mut().find(|(k, _)| *k == e.kind) {
+                            Some((_, n)) => *n += 1,
+                            None => kinds.push((&e.kind, 1)),
+                        }
+                    }
+                    let shown: Vec<String> = kinds
+                        .iter()
+                        .map(
+                            |(k, n)| {
+                                if *n > 1 {
+                                    format!("{k}\u{00d7}{n}")
+                                } else {
+                                    (*k).to_string()
+                                }
+                            },
+                        )
+                        .collect();
+                    annots.push(format!("events: {}", shown.join(" ")));
+                }
             }
             _ => annots.push("in SQL".to_string()),
         }

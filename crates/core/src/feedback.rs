@@ -79,6 +79,7 @@ mod tests {
                 out_bytes: bytes,
                 server_us: 0.0,
                 counters: vec![],
+                events: vec![],
                 children: vec![],
             }],
         }

@@ -176,6 +176,12 @@ impl Tango {
         &self.conn
     }
 
+    /// Mutable access to the session's DBMS connection — e.g. to change
+    /// its [`tango_minidb::RetryPolicy`] before running chaos schedules.
+    pub fn conn_mut(&mut self) -> &mut Connection {
+        &mut self.conn
+    }
+
     /// Current session options.
     pub fn options(&self) -> &TangoOptions {
         &self.options

@@ -5,22 +5,123 @@
 //! `execute` (DDL/DML), and `load_direct` (the direct-path bulk load used
 //! by the `TRANSFER^D` algorithm; `load_conventional` is the INSERT-based
 //! alternative the paper calls "inefficient for large amounts of data").
+//!
+//! Two resilience mechanisms live here:
+//!
+//! * every wire transfer goes through a retry loop driven by the
+//!   connection's [`RetryPolicy`] — transient faults are retried with
+//!   capped exponential backoff (charged to the virtual wire, not
+//!   slept), fatal faults surface immediately, and an optional
+//!   per-statement timeout bounds the total time a statement may spend;
+//! * wire time, retries and faults are metered **per connection** (a
+//!   [`Connection`] and its clones share one meter; independent
+//!   `Connection::new` sessions get independent meters), so concurrent
+//!   sessions sharing one [`Link`] no longer read each other's charges.
 
 use crate::catalog::Database;
 use crate::error::{DbError, Result};
 use crate::exec::run;
 use crate::parser::parse;
 use crate::planner::plan_select;
+use crate::retry::RetryPolicy;
 use crate::wire::Link;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tango_algebra::codec::{encode_tuple, Decoder};
 use tango_algebra::{Relation, Schema, Tuple};
 
-/// A connection to the database. Clones share storage and the wire.
+/// Per-connection wire accounting. Cheap atomics; shared by a
+/// connection and every cursor (and clone) it spawns.
+#[derive(Debug, Default)]
+pub(crate) struct ConnStats {
+    wire_ns: AtomicU64,
+    retries: AtomicU64,
+    faults: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl ConnStats {
+    fn add_wire(&self, d: Duration) {
+        self.wire_ns.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Run one wire transfer under a retry policy: transient failures are
+/// retried with deterministic backoff (charged to both the link clock
+/// and the per-connection meter), fatal failures and exhausted budgets
+/// surface as classified [`DbError`]s. `elapsed_before` is statement
+/// time already consumed, counted against any statement timeout.
+/// Returns the total time this transfer consumed (charges + failed
+/// attempts + backoffs).
+fn retrying_transfer(
+    link: &Link,
+    policy: &RetryPolicy,
+    stats: &ConnStats,
+    elapsed_before: Duration,
+    roundtrips: u64,
+    bytes: u64,
+) -> Result<Duration> {
+    let over_budget = |spent: Duration| match policy.statement_timeout {
+        Some(t) => elapsed_before + spent > t,
+        None => false,
+    };
+    let mut attempts = 0u32;
+    let mut spent = Duration::ZERO;
+    loop {
+        attempts += 1;
+        match link.transfer(roundtrips, bytes) {
+            Ok(d) => {
+                spent += d;
+                stats.add_wire(d);
+                if over_budget(spent) {
+                    stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(DbError::Timeout(format!(
+                        "statement exceeded {:?}",
+                        policy.statement_timeout.unwrap_or_default()
+                    )));
+                }
+                return Ok(spent);
+            }
+            Err(w) => {
+                spent += w.charged;
+                stats.add_wire(w.charged);
+                stats.faults.fetch_add(1, Ordering::Relaxed);
+                let e = DbError::from(w);
+                if !policy.should_retry(&e, attempts) {
+                    if e.is_retryable() {
+                        // transient, but the attempt budget is spent
+                        return Err(DbError::Transient(format!(
+                            "{e} (gave up after {attempts} attempts)"
+                        )));
+                    }
+                    return Err(e);
+                }
+                if over_budget(spent) {
+                    stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    return Err(DbError::Timeout(format!(
+                        "statement exceeded {:?} while retrying ({e})",
+                        policy.statement_timeout.unwrap_or_default()
+                    )));
+                }
+                let backoff = policy.backoff_for(attempts);
+                link.stall(backoff);
+                stats.add_wire(backoff);
+                spent += backoff;
+                stats.retries.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A connection to the database. Clones share storage, the wire, the
+/// retry policy, and the per-connection wire meter; independent
+/// sessions should call [`Connection::new`] separately.
 #[derive(Clone)]
 pub struct Connection {
     db: Database,
+    retry: RetryPolicy,
+    stats: Arc<ConnStats>,
 }
 
 /// Outcome of a statement execution.
@@ -33,7 +134,23 @@ pub struct ExecOutcome {
 
 impl Connection {
     pub fn new(db: Database) -> Self {
-        Connection { db }
+        Connection { db, retry: RetryPolicy::default(), stats: Arc::new(ConnStats::default()) }
+    }
+
+    /// A connection with an explicit retry policy.
+    pub fn with_retry_policy(db: Database, retry: RetryPolicy) -> Self {
+        Connection { db, retry, stats: Arc::new(ConnStats::default()) }
+    }
+
+    /// Replace the retry policy (applies to this handle and future
+    /// cursors; clones made earlier keep the policy they copied).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// The active retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     pub fn database(&self) -> &Database {
@@ -42,6 +159,33 @@ impl Connection {
 
     pub fn link(&self) -> &Arc<Link> {
         self.db.link()
+    }
+
+    /// Wire time charged by this connection (and its clones/cursors)
+    /// alone — unlike [`Link::total`], unaffected by other sessions on
+    /// the same link.
+    pub fn wire_time(&self) -> Duration {
+        Duration::from_nanos(self.stats.wire_ns.load(Ordering::Relaxed))
+    }
+
+    /// Retries performed by this connection so far.
+    pub fn wire_retries(&self) -> u64 {
+        self.stats.retries.load(Ordering::Relaxed)
+    }
+
+    /// Wire faults observed by this connection so far.
+    pub fn wire_faults(&self) -> u64 {
+        self.stats.faults.load(Ordering::Relaxed)
+    }
+
+    /// Statement timeouts raised by this connection so far.
+    pub fn wire_timeouts(&self) -> u64 {
+        self.stats.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// One retried-and-metered wire transfer (see [`retrying_transfer`]).
+    fn wire_transfer(&self, elapsed: Duration, roundtrips: u64, bytes: u64) -> Result<Duration> {
+        retrying_transfer(self.db.link(), &self.retry, &self.stats, elapsed, roundtrips, bytes)
     }
 
     /// Execute a non-query statement.
@@ -66,15 +210,15 @@ impl Connection {
                 // statement round trip
                 let bytes: u64 =
                     rows.iter().map(|r| r.iter().map(|v| v.byte_size() as u64).sum::<u64>()).sum();
-                self.db.link().charge(rows.len() as u64, bytes);
+                self.wire_transfer(Duration::ZERO, rows.len() as u64, bytes)?;
                 self.db.insert_rows(&table, rows.into_iter().map(Tuple::new).collect())?
             }
             crate::ast::Stmt::Delete { table, pred } => {
-                self.db.link().charge(1, sql.len() as u64);
+                self.wire_transfer(Duration::ZERO, 1, sql.len() as u64)?;
                 self.db.delete_rows(&table, pred.as_ref())?
             }
             crate::ast::Stmt::Update { table, sets, pred } => {
-                self.db.link().charge(1, sql.len() as u64);
+                self.wire_transfer(Duration::ZERO, 1, sql.len() as u64)?;
                 self.db.update_rows(&table, &sets, pred.as_ref())?
             }
             crate::ast::Stmt::Analyze { table } => {
@@ -110,10 +254,13 @@ impl Connection {
                     .map(|l| Tuple::new(vec![tango_algebra::Value::Str(l.to_string())]))
                     .collect();
                 let rel = Relation::new(schema, rows);
-                return Ok(DbCursor::new(rel, self.db.link().clone(), Duration::ZERO));
+                return Ok(self.cursor(rel, Duration::ZERO, Duration::ZERO));
             }
             _ => return Err(DbError::Semantic("query() requires a SELECT".into())),
         };
+        // statement-submission round trip (executeQuery), retried like
+        // any transfer
+        let submit = self.wire_transfer(Duration::ZERO, 1, sql.len() as u64)?;
         let start = Instant::now();
         let result = {
             let inner = self.db.inner.read();
@@ -122,7 +269,18 @@ impl Connection {
         };
         let server_time = start.elapsed();
         self.db.add_server_ns(server_time.as_nanos() as u64);
-        Ok(DbCursor::new(result, self.db.link().clone(), server_time))
+        Ok(self.cursor(result, server_time, submit + server_time))
+    }
+
+    fn cursor(&self, result: Relation, server_time: Duration, elapsed: Duration) -> DbCursor {
+        DbCursor::new(
+            result,
+            self.db.link().clone(),
+            server_time,
+            self.retry,
+            self.stats.clone(),
+            elapsed,
+        )
     }
 
     /// Convenience: run a SELECT and materialize everything client-side
@@ -140,7 +298,8 @@ impl Connection {
     /// Direct-path bulk load (Oracle SQL*Loader style): creates the table
     /// sized to the data, ships all rows across the wire in bulk (no
     /// per-row statement round trips), and writes them straight into the
-    /// heap.
+    /// heap. A load whose transfer fails drops the half-created table
+    /// before surfacing the error — no partial state survives.
     pub fn load_direct(&self, table: &str, schema: Schema, rows: Vec<Tuple>) -> Result<Duration> {
         let start = Instant::now();
         self.db.create_table(table, schema)?;
@@ -149,7 +308,13 @@ impl Connection {
         for r in &rows {
             encode_tuple(r, &mut buf);
         }
-        let wire = self.db.link().charge(1, buf.len() as u64);
+        let wire = match self.wire_transfer(Duration::ZERO, 1, buf.len() as u64) {
+            Ok(w) => w,
+            Err(e) => {
+                let _ = self.db.drop_table(table, true);
+                return Err(e);
+            }
+        };
         // the server decodes the stream into the heap
         let mut decoder = Decoder::new(&buf);
         let mut decoded = Vec::with_capacity(rows.len());
@@ -174,7 +339,13 @@ impl Connection {
         self.db.create_table(table, schema)?;
         let bytes: u64 = rows.iter().map(|r| r.byte_size() as u64).sum();
         // one statement round trip per row, like a naive INSERT loop
-        let wire = self.db.link().charge(rows.len().max(1) as u64, bytes);
+        let wire = match self.wire_transfer(Duration::ZERO, rows.len().max(1) as u64, bytes) {
+            Ok(w) => w,
+            Err(e) => {
+                let _ = self.db.drop_table(table, true);
+                return Err(e);
+            }
+        };
         self.db.insert_rows(table, rows)?;
         let server_time = start.elapsed();
         self.db.add_server_ns(server_time.as_nanos() as u64);
@@ -193,6 +364,9 @@ impl Connection {
 /// A client-side cursor over a server-side result. Rows are encoded on
 /// the "server", charged to the link in prefetch-sized batches, and
 /// decoded on the "client" — like a JDBC result set with row prefetch.
+/// Fetch batches are retried under the connection's [`RetryPolicy`]
+/// (rows are buffered server-side, so re-requesting a batch is safe)
+/// and count against its per-statement timeout.
 pub struct DbCursor {
     schema: Arc<Schema>,
     /// Remaining server-side rows (front is next).
@@ -204,10 +378,22 @@ pub struct DbCursor {
     wire_time: Duration,
     /// Server execution time for the producing statement.
     server_time: Duration,
+    retry: RetryPolicy,
+    stats: Arc<ConnStats>,
+    /// Statement clock: submission + server + wire + backoff time
+    /// consumed so far, checked against the policy's timeout.
+    elapsed: Duration,
 }
 
 impl DbCursor {
-    fn new(result: Relation, link: Arc<Link>, server_time: Duration) -> Self {
+    fn new(
+        result: Relation,
+        link: Arc<Link>,
+        server_time: Duration,
+        retry: RetryPolicy,
+        stats: Arc<ConnStats>,
+        elapsed: Duration,
+    ) -> Self {
         let schema = result.schema().clone();
         DbCursor {
             schema,
@@ -216,6 +402,9 @@ impl DbCursor {
             link,
             wire_time: Duration::ZERO,
             server_time,
+            retry,
+            stats,
+            elapsed,
         }
     }
 
@@ -229,6 +418,12 @@ impl DbCursor {
 
     pub fn wire_time(&self) -> Duration {
         self.wire_time
+    }
+
+    /// Total statement time consumed (submission + server + wire +
+    /// backoffs) — what the per-statement timeout is measured against.
+    pub fn elapsed(&self) -> Duration {
+        self.elapsed
     }
 
     /// Fetch the next row, pulling a prefetch batch across the wire when
@@ -250,7 +445,16 @@ impl DbCursor {
             if n == 0 {
                 return Ok(None);
             }
-            self.wire_time += self.link.charge(1, buf.len() as u64);
+            let spent = retrying_transfer(
+                &self.link,
+                &self.retry,
+                &self.stats,
+                self.elapsed,
+                1,
+                buf.len() as u64,
+            )?;
+            self.wire_time += spent;
+            self.elapsed += spent;
             let mut d = Decoder::new(&buf);
             while !d.is_done() {
                 self.client_buf.push_back(d.decode_tuple()?);
@@ -263,6 +467,7 @@ impl DbCursor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{Fault, FaultPlan};
     use crate::wire::{LinkProfile, WireMode};
     use tango_algebra::{tup, Attr, Type, Value};
 
@@ -374,5 +579,98 @@ mod tests {
         assert_eq!(r.tuples()[0][0], Value::Int(7));
         c.execute("DROP TABLE TMP1").unwrap();
         assert!(c.query("SELECT X FROM TMP1").is_err());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_transparently() {
+        let c = conn();
+        // fail the next two round trips; the default policy retries
+        let rt = c.link().roundtrips();
+        c.link().set_injector(Arc::new(FaultPlan::scripted([
+            (rt + 1, Fault::Transient("blip".into())),
+            (rt + 2, Fault::Disconnect),
+        ])));
+        let r = c.query_all("SELECT EmpName FROM POSITION WHERE PosID = 1 ORDER BY T1").unwrap();
+        c.link().clear_injector();
+        assert_eq!(r.tuples(), &[tup!["Tom"], tup!["Jane"]]);
+        assert_eq!(c.wire_faults(), 2);
+        assert_eq!(c.wire_retries(), 2);
+    }
+
+    #[test]
+    fn fatal_faults_surface_without_retry() {
+        let c = conn();
+        let rt = c.link().roundtrips();
+        c.link().set_injector(Arc::new(FaultPlan::scripted([(
+            rt + 1,
+            Fault::Fatal("ORA-00600: internal error".into()),
+        )])));
+        let err = c.query("SELECT EmpName FROM POSITION").map(|_| ()).unwrap_err();
+        c.link().clear_injector();
+        assert_eq!(err.class(), crate::error::ErrorClass::Fatal);
+        assert_eq!(c.wire_retries(), 0, "fatal errors must not be retried");
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_transient() {
+        let mut c = conn();
+        c.set_retry_policy(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() });
+        // every round trip fails: 2 attempts, then give up
+        c.link().set_injector(Arc::new(FaultPlan::random(1, 1.0)));
+        let err = c.query("SELECT EmpName FROM POSITION").map(|_| ()).unwrap_err();
+        c.link().clear_injector();
+        assert_eq!(err.class(), crate::error::ErrorClass::Transient);
+        assert!(err.to_string().contains("gave up after 2 attempts"), "{err}");
+        assert_eq!(c.wire_retries(), 1);
+    }
+
+    #[test]
+    fn statement_timeout_fires_on_throttled_link() {
+        let db = Database::new(Link::new(LinkProfile {
+            roundtrip_latency_us: 10_000.0, // 10ms per round trip
+            bytes_per_sec: f64::INFINITY,
+            row_prefetch: 1,
+            mode: WireMode::Virtual,
+        }));
+        let mut c = Connection::new(db);
+        c.execute("CREATE TABLE T (A INT)").unwrap();
+        c.execute("INSERT INTO T VALUES (1), (2), (3), (4), (5)").unwrap();
+        c.set_retry_policy(RetryPolicy::default().with_timeout(Duration::from_millis(25)));
+        let mut cur = c.query("SELECT A FROM T").unwrap();
+        let mut err = None;
+        loop {
+            match cur.fetch() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        let err = err.expect("5 fetch round trips at 10ms must exceed a 25ms budget");
+        assert_eq!(err.class(), crate::error::ErrorClass::Timeout);
+        assert_eq!(c.wire_timeouts(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_meter_but_fresh_connections_do_not() {
+        let db = Database::new(Link::new(LinkProfile {
+            roundtrip_latency_us: 1000.0,
+            bytes_per_sec: f64::INFINITY,
+            row_prefetch: 10,
+            mode: WireMode::Virtual,
+        }));
+        let a = Connection::new(db.clone());
+        a.execute("CREATE TABLE T (A INT)").unwrap();
+        a.execute("INSERT INTO T VALUES (1)").unwrap();
+        let a2 = a.clone();
+        let before = a.wire_time();
+        a2.query_all("SELECT A FROM T").unwrap();
+        assert!(a.wire_time() > before, "clone charges the shared meter");
+
+        let b = Connection::new(db);
+        assert_eq!(b.wire_time(), Duration::ZERO, "fresh session starts a fresh meter");
+        assert!(b.link().total() > Duration::ZERO, "the link clock is still shared");
     }
 }

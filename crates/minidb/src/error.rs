@@ -1,7 +1,41 @@
-//! Error type for the mini-DBMS.
+//! Error type for the mini-DBMS, with the failure taxonomy the retry
+//! layer keys on: every [`DbError`] classifies as [`ErrorClass::Transient`]
+//! (retry may help), [`ErrorClass::Timeout`] (budget exceeded, do not
+//! retry), [`ErrorClass::Fatal`] (retry cannot help), or
+//! [`ErrorClass::Logic`] (the statement itself is wrong).
 
 use std::fmt;
 use tango_algebra::AlgebraError;
+
+use crate::fault::WireFailure;
+
+/// Coarse failure classification driving retry and re-plan decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// A passing condition (dropped connection, lost packet); the same
+    /// request may succeed if retried.
+    Transient,
+    /// The per-statement time budget was exceeded. Not retried by the
+    /// connection (the budget is already spent), but the engine may
+    /// still re-plan around it.
+    Timeout,
+    /// Retrying is pointless; surface the failure.
+    Fatal,
+    /// The statement or schema is wrong (parse/semantic errors); not a
+    /// wire condition at all.
+    Logic,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ErrorClass::Transient => "transient",
+            ErrorClass::Timeout => "timeout",
+            ErrorClass::Fatal => "fatal",
+            ErrorClass::Logic => "logic",
+        })
+    }
+}
 
 #[derive(Debug, Clone)]
 pub enum DbError {
@@ -15,6 +49,30 @@ pub enum DbError {
     Semantic(String),
     /// Expression-evaluation failure.
     Algebra(AlgebraError),
+    /// Retryable wire failure (connection drop, transient link error).
+    Transient(String),
+    /// Non-retryable wire failure.
+    Fatal(String),
+    /// The statement exceeded its time budget.
+    Timeout(String),
+}
+
+impl DbError {
+    /// The failure class the retry policy and the engine's degradation
+    /// logic branch on.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            DbError::Transient(_) => ErrorClass::Transient,
+            DbError::Fatal(_) => ErrorClass::Fatal,
+            DbError::Timeout(_) => ErrorClass::Timeout,
+            _ => ErrorClass::Logic,
+        }
+    }
+
+    /// Whether a retry of the same request may succeed.
+    pub fn is_retryable(&self) -> bool {
+        self.class() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for DbError {
@@ -25,6 +83,9 @@ impl fmt::Display for DbError {
             DbError::TableExists(t) => write!(f, "name is already used by an existing object: {t}"),
             DbError::Semantic(m) => write!(f, "{m}"),
             DbError::Algebra(e) => write!(f, "{e}"),
+            DbError::Transient(m) => write!(f, "transient wire failure: {m}"),
+            DbError::Fatal(m) => write!(f, "fatal wire failure: {m}"),
+            DbError::Timeout(m) => write!(f, "statement timeout: {m}"),
         }
     }
 }
@@ -34,6 +95,16 @@ impl std::error::Error for DbError {}
 impl From<AlgebraError> for DbError {
     fn from(e: AlgebraError) -> Self {
         DbError::Algebra(e)
+    }
+}
+
+impl From<WireFailure> for DbError {
+    fn from(w: WireFailure) -> Self {
+        if w.fatal {
+            DbError::Fatal(w.msg)
+        } else {
+            DbError::Transient(w.msg)
+        }
     }
 }
 

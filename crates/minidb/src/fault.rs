@@ -1,0 +1,251 @@
+//! Deterministic fault injection for the simulated wire.
+//!
+//! The paper's middleware talks to Oracle over JDBC, a link that in the
+//! wild drops connections, stalls, and times out. The seed repo's wire
+//! could only succeed; this module makes it failable **on demand and
+//! reproducibly**: a [`FaultInjector`] is consulted once per round trip
+//! and may return a [`Fault`] — a latency spike, a throughput throttle,
+//! a transient error, a connection drop, or a fatal failure.
+//!
+//! The stock injector, [`FaultPlan`], supports two triggering styles
+//! that compose:
+//!
+//! * **scripted** faults fire on exact round-trip ordinals (the Nth
+//!   round trip ever made on the link), which is how the chaos tests
+//!   force a retry or a re-plan at a precise point in an execution, and
+//! * **probabilistic** faults drawn from a fixed-seed deterministic RNG
+//!   (the vendored `rand` shim is xoshiro256**, identical on every
+//!   platform), optionally capped by a fault *budget* so a retry loop
+//!   is guaranteed to eventually succeed.
+//!
+//! Injection is off unless an injector is installed on the
+//! [`crate::Link`]; the disabled path costs one relaxed atomic load per
+//! *batch* round trip and allocates nothing (see `Link::transfer`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected wire fault, as returned by a [`FaultInjector`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Add fixed extra latency to the affected transfer (a congestion
+    /// spike). The transfer still succeeds.
+    Spike(Duration),
+    /// Multiply the affected transfer's duration by this factor (slow
+    /// fetch / throttled link). The transfer still succeeds.
+    Throttle(f64),
+    /// The transfer fails with a retryable error (ORA-03113 style:
+    /// "end-of-file on communication channel").
+    Transient(String),
+    /// The server side drops the connection; retryable, since the
+    /// simulated driver reconnects transparently.
+    Disconnect,
+    /// The transfer fails and retrying is pointless (authentication
+    /// revoked, protocol corruption, ...).
+    Fatal(String),
+}
+
+impl Fault {
+    /// Whether this fault makes the transfer fail (vs. merely slowing
+    /// it down). Failing faults are the ones a budget limits.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Fault::Transient(_) | Fault::Disconnect | Fault::Fatal(_))
+    }
+}
+
+/// A failed wire transfer.
+///
+/// `charged` is the wire time the doomed attempt still cost (round
+/// trips made before the failure surfaced) — the retry loop charges it
+/// against the connection's meter so failures are not free.
+#[derive(Debug, Clone)]
+pub struct WireFailure {
+    /// Retrying cannot help when set.
+    pub fatal: bool,
+    /// Driver-style error text.
+    pub msg: String,
+    /// Wire time consumed by the failed attempt.
+    pub charged: Duration,
+}
+
+impl std::fmt::Display for WireFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+/// Decides, per link round trip, whether a fault occurs.
+///
+/// `roundtrip` is the 1-based ordinal of the round trip across the
+/// link's lifetime, so scripted schedules are exact and reproducible.
+pub trait FaultInjector: Send + Sync {
+    /// Return the fault to apply to this round trip, if any.
+    fn inject(&self, roundtrip: u64) -> Option<Fault>;
+}
+
+/// The standard [`FaultInjector`]: scripted faults at exact round-trip
+/// ordinals plus seeded probabilistic faults, with an optional budget
+/// capping how many *failing* faults are ever injected.
+pub struct FaultPlan {
+    scripted: Vec<(u64, Fault)>,
+    transient_prob: f64,
+    spike_prob: f64,
+    spike: Duration,
+    throttle_prob: f64,
+    throttle_factor: f64,
+    /// Max failing (error) faults ever injected; latency faults are
+    /// outside the budget because they cannot defeat a retry loop.
+    max_errors: u64,
+    rng: Mutex<StdRng>,
+    errors_injected: AtomicU64,
+    faults_injected: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan with no probabilistic component: faults fire exactly at
+    /// the scripted round-trip ordinals (1-based) and nowhere else.
+    pub fn scripted(faults: impl IntoIterator<Item = (u64, Fault)>) -> FaultPlan {
+        FaultPlan {
+            scripted: faults.into_iter().collect(),
+            transient_prob: 0.0,
+            spike_prob: 0.0,
+            spike: Duration::ZERO,
+            throttle_prob: 0.0,
+            throttle_factor: 1.0,
+            max_errors: u64::MAX,
+            rng: Mutex::new(StdRng::seed_from_u64(0)),
+            errors_injected: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+        }
+    }
+
+    /// A plan injecting transient errors with probability
+    /// `transient_prob` per round trip, drawn from a fixed-seed RNG
+    /// (identical sequence on every platform and run).
+    pub fn random(seed: u64, transient_prob: f64) -> FaultPlan {
+        let mut p = FaultPlan::scripted([]);
+        p.transient_prob = transient_prob;
+        p.rng = Mutex::new(StdRng::seed_from_u64(seed));
+        p
+    }
+
+    /// Also inject latency spikes of `magnitude` with probability `prob`.
+    pub fn with_spikes(mut self, prob: f64, magnitude: Duration) -> FaultPlan {
+        self.spike_prob = prob;
+        self.spike = magnitude;
+        self
+    }
+
+    /// Also throttle transfers by `factor` (≥ 1.0) with probability `prob`.
+    pub fn with_throttle(mut self, prob: f64, factor: f64) -> FaultPlan {
+        self.throttle_prob = prob;
+        self.throttle_factor = factor;
+        self
+    }
+
+    /// Cap the number of failing faults (transients/disconnects/fatals)
+    /// this plan will ever inject — with a budget below the retry
+    /// attempts available, a transient-only schedule is guaranteed to
+    /// let the query through eventually.
+    pub fn with_budget(mut self, max_errors: u64) -> FaultPlan {
+        self.max_errors = max_errors;
+        self
+    }
+
+    /// Add one scripted fault at the given 1-based round-trip ordinal.
+    pub fn with_fault_at(mut self, roundtrip: u64, fault: Fault) -> FaultPlan {
+        self.scripted.push((roundtrip, fault));
+        self
+    }
+
+    /// How many failing faults have been injected so far.
+    pub fn errors_injected(&self) -> u64 {
+        self.errors_injected.load(Ordering::Relaxed)
+    }
+
+    /// How many faults of any kind have been injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, f: Fault) -> Option<Fault> {
+        if f.is_error() {
+            if self.errors_injected.load(Ordering::Relaxed) >= self.max_errors {
+                return None;
+            }
+            self.errors_injected.fetch_add(1, Ordering::Relaxed);
+        }
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        Some(f)
+    }
+}
+
+impl FaultInjector for FaultPlan {
+    fn inject(&self, roundtrip: u64) -> Option<Fault> {
+        if let Some((_, f)) = self.scripted.iter().find(|(at, _)| *at == roundtrip) {
+            return self.record(f.clone());
+        }
+        if self.transient_prob <= 0.0 && self.spike_prob <= 0.0 && self.throttle_prob <= 0.0 {
+            return None;
+        }
+        // draw in a fixed order so the sequence is reproducible
+        let mut rng = self.rng.lock();
+        let transient = rng.gen_bool(self.transient_prob);
+        let spike = rng.gen_bool(self.spike_prob);
+        let throttle = rng.gen_bool(self.throttle_prob);
+        drop(rng);
+        if transient {
+            if let Some(f) = self.record(Fault::Transient(format!(
+                "ORA-03113: end-of-file on communication channel (round trip {roundtrip})"
+            ))) {
+                return Some(f);
+            }
+        }
+        if spike {
+            return self.record(Fault::Spike(self.spike));
+        }
+        if throttle {
+            return self.record(Fault::Throttle(self.throttle_factor));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_faults_fire_exactly_once_at_their_ordinal() {
+        let p = FaultPlan::scripted([(3, Fault::Disconnect)]);
+        assert_eq!(p.inject(1), None);
+        assert_eq!(p.inject(2), None);
+        assert_eq!(p.inject(3), Some(Fault::Disconnect));
+        assert_eq!(p.inject(4), None);
+        assert_eq!(p.errors_injected(), 1);
+    }
+
+    #[test]
+    fn random_plan_is_deterministic_across_instances() {
+        let a = FaultPlan::random(42, 0.3).with_spikes(0.2, Duration::from_millis(5));
+        let b = FaultPlan::random(42, 0.3).with_spikes(0.2, Duration::from_millis(5));
+        let fa: Vec<_> = (1..=200).map(|i| a.inject(i)).collect();
+        let fb: Vec<_> = (1..=200).map(|i| b.inject(i)).collect();
+        assert_eq!(fa, fb);
+        assert!(fa.iter().flatten().any(|f| f.is_error()), "p=0.3 over 200 trials must fault");
+    }
+
+    #[test]
+    fn budget_caps_error_faults_but_not_latency_faults() {
+        let p = FaultPlan::random(7, 1.0).with_budget(2).with_spikes(1.0, Duration::from_micros(1));
+        let faults: Vec<_> = (1..=10).filter_map(|i| p.inject(i)).collect();
+        let errors = faults.iter().filter(|f| f.is_error()).count();
+        assert_eq!(errors, 2, "{faults:?}");
+        // after the budget is spent the plan degrades to latency faults
+        assert!(faults.iter().any(|f| matches!(f, Fault::Spike(_))), "{faults:?}");
+    }
+}

@@ -19,24 +19,34 @@
 //!   (`USER_TABLES`, `USER_TAB_COLUMNS`, `USER_HISTOGRAMS`) that the
 //!   middleware's Statistics Collector queries,
 //! * a direct-path bulk loader (the `TRANSFER^D` fast path; a
-//!   conventional INSERT-based path exists for the ablation), and
+//!   conventional INSERT-based path exists for the ablation),
 //! * a **simulated client/server wire**: every row fetched by a client
 //!   cursor is encoded, charged against a configurable link profile
 //!   (round-trip latency × row prefetch, bandwidth), and decoded again —
 //!   reproducing the transfer costs that drive the paper's middleware
-//!   placement decisions.
+//!   placement decisions, and
+//! * a **fault-injection + retry layer** on that wire: a deterministic,
+//!   seeded [`fault::FaultPlan`] can fail or slow any round trip, the
+//!   connection retries transient failures with capped exponential
+//!   backoff under a [`retry::RetryPolicy`], and every failure carries a
+//!   [`error::ErrorClass`] (`Transient`/`Timeout`/`Fatal`/`Logic`) the
+//!   middleware's degradation logic branches on.
 
 pub mod ast;
 pub mod catalog;
 pub mod connection;
 pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
+pub mod retry;
 pub mod wire;
 
 pub use catalog::Database;
 pub use connection::{Connection, DbCursor};
-pub use error::{DbError, Result};
+pub use error::{DbError, ErrorClass, Result};
+pub use fault::{Fault, FaultInjector, FaultPlan, WireFailure};
+pub use retry::RetryPolicy;
 pub use wire::{Link, LinkProfile, WireMode};

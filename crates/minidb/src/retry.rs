@@ -1,0 +1,140 @@
+//! The connection's retry policy: capped exponential backoff with
+//! deterministic jitter and an optional per-statement time budget.
+//!
+//! Backoff never sleeps on the virtual wire — it is *charged* to the
+//! link like any other wire time, so retried executions stay
+//! deterministic and benchmarks account the waiting the way they
+//! account transfers. Jitter is derived from a splitmix64 hash of
+//! `(seed, attempt)` rather than a shared RNG stream, so a policy's
+//! backoff schedule is a pure function: the same attempt always waits
+//! the same time, concurrency cannot perturb it.
+
+use crate::error::{DbError, ErrorClass};
+use std::time::Duration;
+
+/// How a [`crate::Connection`] reacts to retryable wire failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts per transfer, including the first (1 = no retry).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on any single backoff interval.
+    pub max_backoff: Duration,
+    /// Fraction of the backoff randomized away, in `[0, 1]`: the waited
+    /// interval is `backoff × [1 − jitter, 1]`.
+    pub jitter: f64,
+    /// Per-statement time budget (server + wire + backoff). `None`
+    /// disables timeouts.
+    pub statement_timeout: Option<Duration>,
+    /// Seed for the deterministic jitter hash.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+            jitter: 0.25,
+            statement_timeout: None,
+            seed: 0x7461_6E67, // "tang"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries and never times out — the seed
+    /// repo's behavior, used where failures must surface immediately.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// This policy with a per-statement time budget.
+    pub fn with_timeout(mut self, t: Duration) -> Self {
+        self.statement_timeout = Some(t);
+        self
+    }
+
+    /// The un-jittered backoff before retry number `attempt` (1-based
+    /// count of attempts already failed): exponential, capped at
+    /// [`RetryPolicy::max_backoff`]. Attempt 0 waits nothing.
+    pub fn base_backoff_for(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            return Duration::ZERO;
+        }
+        let exp = attempt.saturating_sub(1).min(20);
+        self.base_backoff.saturating_mul(1u32 << exp).min(self.max_backoff)
+    }
+
+    /// The jittered backoff actually waited before retry `attempt` — a
+    /// pure function of `(self.seed, attempt)`, always within
+    /// `[(1 − jitter) × base, base]`.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        let base = self.base_backoff_for(attempt);
+        if base.is_zero() || self.jitter <= 0.0 {
+            return base;
+        }
+        // 53 uniform bits -> unit interval [0, 1)
+        let unit = (splitmix64(self.seed ^ u64::from(attempt)) >> 11) as f64 / (1u64 << 53) as f64;
+        base.mul_f64(1.0 - self.jitter.min(1.0) * unit)
+    }
+
+    /// Whether another attempt should follow a failure: only transient
+    /// failures are retried, and only while attempts remain.
+    pub fn should_retry(&self, e: &DbError, attempts_made: u32) -> bool {
+        attempts_made < self.max_attempts && e.class() == ErrorClass::Transient
+    }
+}
+
+/// splitmix64 — the standard 64-bit finalizer (also the seeder of the
+/// vendored xoshiro shim); bijective, so distinct attempts never
+/// collide on jitter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.base_backoff_for(1), Duration::from_millis(2));
+        assert_eq!(p.base_backoff_for(2), Duration::from_millis(4));
+        assert_eq!(p.base_backoff_for(3), Duration::from_millis(8));
+        assert_eq!(p.base_backoff_for(4), Duration::from_millis(10)); // capped
+        assert_eq!(p.base_backoff_for(30), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn jitter_stays_within_band_and_is_deterministic() {
+        let p = RetryPolicy { jitter: 0.5, ..RetryPolicy::default() };
+        for attempt in 1..10 {
+            let base = p.base_backoff_for(attempt);
+            let j = p.backoff_for(attempt);
+            assert!(j <= base, "attempt {attempt}: {j:?} > {base:?}");
+            assert!(j >= base.mul_f64(0.5), "attempt {attempt}: {j:?} below band");
+            assert_eq!(j, p.backoff_for(attempt), "jitter must be a pure function");
+        }
+    }
+
+    #[test]
+    fn only_transients_are_retried() {
+        let p = RetryPolicy::default();
+        assert!(p.should_retry(&DbError::Transient("x".into()), 1));
+        assert!(!p.should_retry(&DbError::Transient("x".into()), p.max_attempts));
+        assert!(!p.should_retry(&DbError::Fatal("x".into()), 1));
+        assert!(!p.should_retry(&DbError::Timeout("x".into()), 1));
+        assert!(!p.should_retry(&DbError::Semantic("x".into()), 1));
+    }
+}

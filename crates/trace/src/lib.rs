@@ -101,6 +101,19 @@ pub struct SpanSlot {
     bytes: AtomicU64,
     server_ns: AtomicU64,
     counters: std::sync::Mutex<Vec<(&'static str, u64)>>,
+    events: std::sync::Mutex<Vec<SpanEvent>>,
+}
+
+/// A discrete occurrence recorded against a span — a wire fault, a
+/// retry, a mid-execution re-plan. Unlike counters (sampled once at
+/// close), events are appended the moment they happen and keep their
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Event kind, e.g. `fault`, `retry`, `replan`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
 }
 
 impl SpanSlot {
@@ -127,6 +140,14 @@ impl SpanSlot {
         if !counters.is_empty() {
             *self.counters.lock().unwrap_or_else(|e| e.into_inner()) = counters;
         }
+    }
+
+    /// Append a discrete event (fault, retry, replan, ...) to this span.
+    pub fn add_event(&self, kind: impl Into<String>, detail: impl Into<String>) {
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(SpanEvent { kind: kind.into(), detail: detail.into() });
     }
 }
 
@@ -195,6 +216,7 @@ impl Collector {
             bytes: AtomicU64::new(0),
             server_ns: AtomicU64::new(0),
             counters: std::sync::Mutex::new(Vec::new()),
+            events: std::sync::Mutex::new(Vec::new()),
         });
         self.slots.push(slot.clone());
         (self.slots.len() - 1, slot)
@@ -225,6 +247,7 @@ impl Collector {
                 bytes: s.bytes.load(Ordering::Relaxed),
                 server_us: s.server_ns.load(Ordering::Relaxed) as f64 / 1000.0,
                 counters: s.counters.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+                events: s.events.lock().unwrap_or_else(|e| e.into_inner()).clone(),
                 children: s.children.clone(),
             })
             .collect();
@@ -255,6 +278,8 @@ pub struct OpSpan {
     pub server_us: f64,
     /// Operator-specific counters (name, value).
     pub counters: Vec<(&'static str, u64)>,
+    /// Discrete events recorded while the operator ran, in order.
+    pub events: Vec<SpanEvent>,
     /// Indices of input spans.
     pub children: Vec<usize>,
 }
@@ -278,6 +303,9 @@ impl OpSpan {
             }
             o.raw("counters", &c.build());
         }
+        if !self.events.is_empty() {
+            o.raw("events", &events_to_json(&self.events));
+        }
         o.raw(
             "children",
             &format!(
@@ -293,6 +321,20 @@ impl OpSpan {
 /// the `children` indices stay valid).
 pub fn spans_to_json(spans: &[OpSpan]) -> String {
     format!("[{}]", spans.iter().map(OpSpan::to_json).collect::<Vec<_>>().join(","))
+}
+
+/// Serialize a list of span events as a JSON array of
+/// `{"kind": ..., "detail": ...}` objects, in recording order.
+pub fn events_to_json(events: &[SpanEvent]) -> String {
+    let parts: Vec<String> = events
+        .iter()
+        .map(|e| {
+            let mut o = json::Object::new();
+            o.string("kind", &e.kind).string("detail", &e.detail);
+            o.build()
+        })
+        .collect();
+    format!("[{}]", parts.join(","))
 }
 
 /// Minimal JSON construction — just enough for trace reports, with
@@ -414,6 +456,26 @@ mod tests {
         let mut o = json::Object::new();
         o.string("op", "SORT^M").number("rows", 3.0);
         assert_eq!(o.build(), "{\"op\":\"SORT^M\",\"rows\":3}");
+    }
+
+    #[test]
+    fn events_keep_order_and_serialize() {
+        let mut c = Collector::new();
+        let (_, s) = c.span("TRANSFER^M", SpanSite::Middleware, vec![]);
+        s.add_event("fault", "ORA-03113 on round trip 4");
+        s.add_event("retry", "attempt 2 after 2ms backoff");
+        s.add_event("replan", "fragment re-planned in middleware");
+        let spans = Collector::finish(c);
+        assert_eq!(spans[0].events.len(), 3);
+        assert_eq!(spans[0].events[0].kind, "fault");
+        assert_eq!(spans[0].events[2].kind, "replan");
+        let j = spans_to_json(&spans);
+        assert!(j.contains("\"events\":[{\"kind\":\"fault\""), "{j}");
+        assert!(j.contains("\"kind\":\"replan\""), "{j}");
+        // spans without events omit the field entirely (golden stability)
+        let mut c2 = Collector::new();
+        c2.span("SORT^M", SpanSite::Middleware, vec![]);
+        assert!(!spans_to_json(&Collector::finish(c2)).contains("events"));
     }
 
     #[test]

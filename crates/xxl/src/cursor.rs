@@ -17,6 +17,19 @@ pub enum ExecError {
     Algebra(AlgebraError),
     /// Failures from the underlying DBMS (bubbled up by transfer cursors).
     Dbms(String),
+    /// A classified wire failure from the DBMS link (bubbled up by
+    /// transfer cursors after the connection's retry budget is spent).
+    /// `fatal`/`timeout` preserve the `tango-minidb` error taxonomy so
+    /// the engine's degradation logic can branch without string
+    /// matching.
+    Wire {
+        /// Retrying or re-planning cannot help.
+        fatal: bool,
+        /// The statement's time budget was exceeded.
+        timeout: bool,
+        /// Driver-style error text.
+        msg: String,
+    },
     /// Protocol violations (e.g. `next` before `open`) or bad input
     /// order/shape detected at runtime.
     State(String),
@@ -27,6 +40,16 @@ impl fmt::Display for ExecError {
         match self {
             ExecError::Algebra(e) => write!(f, "{e}"),
             ExecError::Dbms(m) => write!(f, "dbms error: {m}"),
+            ExecError::Wire { fatal, timeout, msg } => {
+                let class = if *fatal {
+                    "fatal"
+                } else if *timeout {
+                    "timeout"
+                } else {
+                    "transient"
+                };
+                write!(f, "wire error ({class}): {msg}")
+            }
             ExecError::State(m) => write!(f, "cursor state error: {m}"),
         }
     }

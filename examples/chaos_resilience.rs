@@ -1,0 +1,65 @@
+//! Fault-injected wire, retries and graceful re-planning — end to end.
+//!
+//! The simulated JDBC link is made hostile with a seeded [`FaultPlan`]:
+//! first a transient blip the connection's retry policy absorbs, then a
+//! scripted schedule that exhausts the retry budget on the `TRANSFER^M`
+//! submission and forces the engine to **re-plan** — evaluating the DBMS
+//! fragment with middleware operators over plain base-table fetches. In
+//! both cases the result is identical to the fault-free run, and
+//! `EXPLAIN ANALYZE` shows the `fault` / `retry` / `replan` span events
+//! plus the wire counters.
+//!
+//! Run with: `cargo run --example chaos_resilience`
+
+use std::sync::Arc;
+use tango::minidb::{Connection, Database, Fault, FaultPlan, Link, LinkProfile, RetryPolicy};
+use tango::Tango;
+
+const QUERY1: &str = "VALIDTIME SELECT PosID, COUNT(PosID) AS CNT FROM POSITION \
+                      GROUP BY PosID ORDER BY PosID";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::new(Link::new(LinkProfile::default()));
+    let conn = Connection::new(db.clone());
+    conn.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")?;
+    conn.execute("INSERT INTO POSITION VALUES (1,'Tom',2,20),(1,'Jane',5,25),(2,'Tom',5,10)")?;
+    conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS")?;
+
+    let mut tango = Tango::connect(db.clone());
+    let optimized = tango.optimize(QUERY1)?;
+    let (baseline, _) = tango.execute_physical(&optimized.plan)?;
+    println!("fault-free baseline: {} rows", baseline.len());
+
+    // -- a transient blip: absorbed by one retry ----------------------
+    let rt = db.link().roundtrips();
+    db.link().set_injector(Arc::new(FaultPlan::scripted([(
+        rt + 1,
+        Fault::Transient("ORA-03113: end-of-file on communication channel".into()),
+    )])));
+    let (rel, exec) = tango.execute_physical(&optimized.plan)?;
+    db.link().clear_injector();
+    assert!(rel.list_eq(&baseline));
+    println!("\n== transient blip, retried transparently ==");
+    println!("{}", optimized.explain_analyze(&exec, true));
+
+    // -- retry budget exhausted: the engine re-plans ------------------
+    tango.conn_mut().set_retry_policy(RetryPolicy { max_attempts: 3, ..RetryPolicy::default() });
+    let rt = db.link().roundtrips();
+    db.link().set_injector(Arc::new(FaultPlan::scripted([
+        (rt + 1, Fault::Transient("chaos".into())),
+        (rt + 2, Fault::Disconnect),
+        (rt + 3, Fault::Transient("chaos".into())),
+    ])));
+    let (rel, exec) = tango.execute_physical(&optimized.plan)?;
+    db.link().clear_injector();
+    assert!(rel.multiset_eq(&baseline));
+    println!("== submission failed 3×, fragment re-planned in the middleware ==");
+    println!("{}", optimized.explain_analyze(&exec, true));
+    println!(
+        "session meters: {} faults, {} retries, wire {:?}",
+        tango.conn().wire_faults(),
+        tango.conn().wire_retries(),
+        tango.conn().wire_time(),
+    );
+    Ok(())
+}

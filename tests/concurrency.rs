@@ -72,6 +72,67 @@ fn concurrent_middleware_sessions() {
     }
 }
 
+/// Per-session wire metering: the link's virtual clock is shared by
+/// every connection of a database, but each `Connection` meters only its
+/// *own* transfers. Concurrent sessions must not cross-charge — every
+/// thread's session meter equals the serial baseline exactly (the
+/// virtual clock is deterministic), while clones of one connection (and
+/// the cursors it hands out) share a single meter.
+#[test]
+fn sessions_meter_their_own_wire_time() {
+    let db = {
+        let db = Database::new(Link::new(LinkProfile::default()));
+        let conn = Connection::new(db.clone());
+        conn.execute("CREATE TABLE POSITION (PosID INT, EmpName VARCHAR(20), T1 INT, T2 INT)")
+            .unwrap();
+        let rows: Vec<_> =
+            (0..500).map(|i: i64| tup![i % 50, format!("emp{i}"), i % 100, i % 100 + 10]).collect();
+        db.insert_rows("POSITION", rows).unwrap();
+        conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
+        db
+    };
+    const SQL: &str = "SELECT PosID, COUNT(*) AS C FROM POSITION GROUP BY PosID ORDER BY PosID";
+
+    // serial baseline: what one session's meter reads after one query
+    let baseline = {
+        let conn = Connection::new(db.clone());
+        conn.query_all(SQL).unwrap();
+        conn.wire_time()
+    };
+    assert!(baseline > std::time::Duration::ZERO);
+
+    // eight concurrent sessions: each must read exactly the baseline,
+    // even though all of them advance the same link clock
+    let mut handles = Vec::new();
+    for _ in 0..8 {
+        let db = db.clone();
+        handles.push(thread::spawn(move || {
+            let conn = Connection::new(db);
+            conn.query_all(SQL).unwrap();
+            conn.wire_time()
+        }));
+    }
+    for h in handles {
+        let session_time = h.join().unwrap();
+        assert_eq!(
+            session_time, baseline,
+            "a concurrent session was charged for another session's transfers"
+        );
+    }
+
+    // clones share the meter: two queries through clone + original
+    // accumulate on one counter...
+    let conn = Connection::new(db.clone());
+    let clone = conn.clone();
+    conn.query_all(SQL).unwrap();
+    clone.query_all(SQL).unwrap();
+    assert_eq!(conn.wire_time(), clone.wire_time());
+    assert_eq!(conn.wire_time(), baseline * 2);
+
+    // ...while the link's global clock keeps the grand total
+    assert!(db.link().total() >= baseline * 11);
+}
+
 /// Writers (temp-table churn from `TRANSFER^D`-style loads) interleaved
 /// with readers must neither deadlock nor corrupt the catalog.
 #[test]

@@ -154,6 +154,201 @@ fn approx_window_push_preserves_snapshots() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Differential placement harness: hand-built physical plans pinning the
+// paper's Figure 7 / 9 / 11a placements — all-DBMS, all-middleware, and
+// mixed (including a TRANSFER^D round trip) — executed directly against
+// the same database. Whatever side of the wire each operator lands on,
+// the sorted results must be identical.
+// ---------------------------------------------------------------------
+
+mod placements {
+    use super::make_db;
+    use std::sync::Arc;
+    use tango::algebra::{AggFunc, AggSpec, Expr, ProjItem, Relation, SortSpec};
+    use tango::core::engine;
+    use tango::core::phys::{Algo, PhysNode};
+    use tango::minidb::{Connection, Database};
+
+    struct PlanBuilder {
+        conn: Connection,
+    }
+
+    impl PlanBuilder {
+        fn scan(&self, table: &str) -> PhysNode {
+            PhysNode {
+                algo: Algo::ScanD(table.into()),
+                schema: Arc::new(self.conn.table_schema(table).unwrap()),
+                children: vec![],
+            }
+        }
+
+        fn un(&self, algo: Algo, child: PhysNode) -> PhysNode {
+            let schema = Arc::new(algo.output_schema(&[child.schema.as_ref()]).unwrap());
+            PhysNode { algo, schema, children: vec![child] }
+        }
+
+        fn bin(&self, algo: Algo, l: PhysNode, r: PhysNode) -> PhysNode {
+            let schema =
+                Arc::new(algo.output_schema(&[l.schema.as_ref(), r.schema.as_ref()]).unwrap());
+            PhysNode { algo, schema, children: vec![l, r] }
+        }
+    }
+
+    fn count_agg() -> (Vec<String>, Vec<AggSpec>) {
+        (vec!["PosID".into()], vec![AggSpec::new(AggFunc::Count, Some("PosID"), "Cnt")])
+    }
+
+    fn proj(cols: &[&str]) -> Vec<ProjItem> {
+        cols.iter().map(|c| ProjItem::col(*c)).collect()
+    }
+
+    fn eq_posid() -> Vec<(String, String)> {
+        vec![("PosID".into(), "PosID".into())]
+    }
+
+    /// Figure 7's three Query 1 placements.
+    fn q1_plans(b: &PlanBuilder) -> Vec<(&'static str, PhysNode)> {
+        let (group_by, aggs) = count_agg();
+        let dbms_proj = |b: &PlanBuilder| {
+            b.un(Algo::ProjectD(proj(&["PosID", "T1", "T2"])), b.scan("POSITION"))
+        };
+        let keys = SortSpec::by(["PosID", "T1"]);
+        let p1 = b.un(
+            Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() },
+            b.un(Algo::TransferM, b.un(Algo::SortD(keys.clone()), dbms_proj(b))),
+        );
+        let p2 = b.un(
+            Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() },
+            b.un(Algo::SortM(keys.clone()), b.un(Algo::TransferM, dbms_proj(b))),
+        );
+        let p3 = b.un(
+            Algo::TransferM,
+            b.un(Algo::SortD(keys), b.un(Algo::TAggrD { group_by, aggs }, dbms_proj(b))),
+        );
+        vec![("mixed: sortD+taggrM", p1), ("middleware: sortM+taggrM", p2), ("all DBMS", p3)]
+    }
+
+    /// Figure 9-style Query 2 placements, including the round trip that
+    /// loads the middleware aggregate back with `TRANSFER^D`.
+    fn q2_plans(b: &PlanBuilder) -> Vec<(&'static str, PhysNode)> {
+        let (group_by, aggs) = count_agg();
+        let keys = SortSpec::by(["PosID", "T1"]);
+        let arg = |b: &PlanBuilder| {
+            b.un(Algo::ProjectD(proj(&["PosID", "T1", "T2"])), b.scan("POSITION"))
+        };
+        let agg_m = |b: &PlanBuilder| {
+            b.un(
+                Algo::TAggrM { group_by: group_by.clone(), aggs: aggs.clone() },
+                b.un(Algo::TransferM, b.un(Algo::SortD(keys.clone()), arg(b))),
+            )
+        };
+        let payrate = || Expr::cmp(tango::algebra::CmpOp::Gt, Expr::col("PayRate"), Expr::lit(5.0));
+        let p_side = |b: &PlanBuilder| b.un(Algo::FilterD(payrate()), b.scan("POSITION"));
+
+        // mixed with T^D: aggregate in the middleware, join + sort in the DBMS
+        let p1 = b.un(
+            Algo::TransferM,
+            b.un(
+                Algo::SortD(SortSpec::by(["PosID"])),
+                b.bin(Algo::TJoinD(eq_posid()), b.un(Algo::TransferD, agg_m(b)), p_side(b)),
+            ),
+        );
+        // middleware join over a DBMS-sorted probe side
+        let p2 = b.bin(
+            Algo::TMergeJoinM(eq_posid()),
+            agg_m(b),
+            b.un(Algo::TransferM, b.un(Algo::SortD(SortSpec::by(["PosID"])), p_side(b))),
+        );
+        // everything in the DBMS
+        let p3 = b.un(
+            Algo::TransferM,
+            b.un(
+                Algo::SortD(SortSpec::by(["PosID"])),
+                b.bin(
+                    Algo::TJoinD(eq_posid()),
+                    b.un(Algo::TAggrD { group_by, aggs }, arg(b)),
+                    p_side(b),
+                ),
+            ),
+        );
+        vec![("mixed: taggrM+T^D+joinD", p1), ("middleware: tjoinM", p2), ("all DBMS", p3)]
+    }
+
+    /// Figure 11a's Query 3 placements: temporal self-join in the DBMS
+    /// vs. in the middleware.
+    fn q3_plans(b: &PlanBuilder) -> Vec<(&'static str, PhysNode)> {
+        let sel = Expr::cmp(tango::algebra::CmpOp::Lt, Expr::col("T1"), Expr::lit(40));
+        let side = |b: &PlanBuilder| {
+            b.un(
+                Algo::ProjectD(proj(&["PosID", "EmpID", "T1", "T2"])),
+                b.un(Algo::FilterD(sel.clone()), b.scan("POSITION")),
+            )
+        };
+        let p1 = b.un(
+            Algo::TransferM,
+            b.un(
+                Algo::SortD(SortSpec::by(["PosID"])),
+                b.bin(Algo::TJoinD(eq_posid()), side(b), side(b)),
+            ),
+        );
+        let sorted_side = |b: &PlanBuilder| {
+            b.un(Algo::TransferM, b.un(Algo::SortD(SortSpec::by(["PosID"])), side(b)))
+        };
+        let p2 = b.bin(Algo::TMergeJoinM(eq_posid()), sorted_side(b), sorted_side(b));
+        vec![("all DBMS", p1), ("middleware: tjoinM", p2)]
+    }
+
+    fn run(conn: &Connection, plan: &PhysNode) -> Relation {
+        engine::execute(conn, plan).unwrap_or_else(|e| panic!("{e}\nplan:\n{plan:?}")).0
+    }
+
+    fn assert_placements_agree(db: &Database, plans: Vec<(&'static str, PhysNode)>, query: &str) {
+        let conn = Connection::new(db.clone());
+        let (ref_name, ref_plan) = &plans[0];
+        let reference = run(&conn, ref_plan);
+        for (name, plan) in &plans[1..] {
+            let got = run(&conn, plan);
+            assert!(
+                got.multiset_eq(&reference),
+                "{query}: placement `{name}` disagrees with `{ref_name}`\n\
+                 {ref_name}:\n{reference}\n{name}:\n{got}"
+            );
+        }
+    }
+
+    fn dataset() -> Database {
+        let rows: Vec<(i64, i64, f64, i32, i32)> = (0..48)
+            .map(|i| {
+                let t1 = ((i * 13) % 55) as i32;
+                (1 + i % 5, 1 + (i * 7) % 11, ((i * 3) % 17) as f64, t1, t1 + 2 + (i % 9) as i32)
+            })
+            .collect();
+        make_db(&rows)
+    }
+
+    #[test]
+    fn q1_placements_agree() {
+        let db = dataset();
+        let b = PlanBuilder { conn: Connection::new(db.clone()) };
+        assert_placements_agree(&db, q1_plans(&b), "Q1");
+    }
+
+    #[test]
+    fn q2_placements_agree() {
+        let db = dataset();
+        let b = PlanBuilder { conn: Connection::new(db.clone()) };
+        assert_placements_agree(&db, q2_plans(&b), "Q2");
+    }
+
+    #[test]
+    fn q3_placements_agree() {
+        let db = dataset();
+        let b = PlanBuilder { conn: Connection::new(db.clone()) };
+        assert_placements_agree(&db, q3_plans(&b), "Q3");
+    }
+}
+
 /// Sorted delivery: whatever the placement, ORDER BY must hold.
 #[test]
 fn order_by_is_respected_everywhere() {

@@ -1,0 +1,286 @@
+//! Chaos & resilience: the simulated JDBC wire fails on purpose — seeded
+//! fault schedules ([`FaultPlan`]) inject latency spikes, throttles,
+//! transient errors, disconnects and fatal failures — and the middleware
+//! must absorb every survivable schedule without changing a single
+//! result byte:
+//!
+//! * transient faults are retried with capped, jittered backoff charged
+//!   to the virtual wire clock;
+//! * a DBMS fragment that exhausts its retry budget is **re-planned** —
+//!   the transfer operator flips and the fragment runs on middleware
+//!   operators over plain base-table fetches;
+//! * fatal faults surface as one clean classified error, never a panic
+//!   and never a partial result;
+//! * all of it is visible as `retry` / `fault` / `replan` span events in
+//!   `EXPLAIN ANALYZE`.
+//!
+//! Seeds come from `TANGO_CHAOS_SEED` (the CI chaos job sweeps several)
+//! with a fixed default set, so every failure here is reproducible by
+//! exporting the seed the log names.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tango::algebra::{tup, Attr, Relation, Schema, SortSpec, Type, Value};
+use tango::minidb::{
+    Database, ErrorClass, Fault, FaultPlan, Link, LinkProfile, RetryPolicy, WireMode,
+};
+use tango::Tango;
+
+/// The seeds this run sweeps: `TANGO_CHAOS_SEED` overrides (one seed,
+/// decimal or `0x…` hex) so CI can shard and failures can be replayed.
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("TANGO_CHAOS_SEED") {
+        let s = s.trim();
+        let parsed = match s.strip_prefix("0x") {
+            Some(hex) => u64::from_str_radix(hex, 16),
+            None => s.parse(),
+        };
+        return vec![parsed.unwrap_or_else(|_| panic!("bad TANGO_CHAOS_SEED: {s}"))];
+    }
+    vec![0xA11CE, 0x5EED5, 0xC0FFEE]
+}
+
+/// A wire slow enough that batching matters (prefetch 8 ⇒ a Query-1 run
+/// makes a dozen-plus round trips for the chaos schedules to hit).
+fn chaos_profile() -> LinkProfile {
+    LinkProfile {
+        roundtrip_latency_us: 100.0,
+        bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+        row_prefetch: 8,
+        mode: WireMode::Virtual,
+    }
+}
+
+/// Deterministic POSITION (120 rows) + EMPLOYEE (40 rows) — an LCG, not
+/// `rand`, so the fixture can never drift under a shim change.
+fn seed_db() -> Database {
+    let db = Database::new(Link::new(chaos_profile()));
+    let position = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("PayRate", Type::Double),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    let employee =
+        Schema::new(vec![Attr::new("EmpID", Type::Int), Attr::new("EmpName", Type::Str)]);
+    db.create_table("POSITION", position).unwrap();
+    db.create_table("EMPLOYEE", employee).unwrap();
+
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let mut next = move |m: u64| -> i64 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % m) as i64
+    };
+    let rows: Vec<_> = (0..120)
+        .map(|_| {
+            let t1 = next(60);
+            tup![
+                1 + next(7),
+                1 + next(40),
+                Value::Double(next(200) as f64 / 10.0),
+                t1,
+                t1 + 1 + next(25)
+            ]
+        })
+        .collect();
+    db.insert_rows("POSITION", rows).unwrap();
+    db.insert_rows("EMPLOYEE", (1..=40).map(|i: i64| tup![i, format!("emp{i}")]).collect())
+        .unwrap();
+    db.analyze("POSITION").unwrap();
+    db.analyze("EMPLOYEE").unwrap();
+    db.link().reset();
+    db
+}
+
+const QUERY1: &str = "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION \
+                      GROUP BY PosID ORDER BY PosID";
+
+/// The benchmark's four query shapes (Section 5 flavours): temporal
+/// aggregation, nested aggregation + temporal join, temporal self-join,
+/// and a conventional join.
+fn queries() -> Vec<String> {
+    vec![
+        QUERY1.to_string(),
+        "VALIDTIME SELECT P.PosID, Cnt, P.EmpID FROM \
+           (VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION GROUP BY PosID) A, \
+           POSITION P WHERE A.PosID = P.PosID AND P.PayRate > 10 \
+           AND T1 < 40 AND T2 > 5 ORDER BY P.PosID"
+            .to_string(),
+        "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+         WHERE A.PosID = B.PosID AND A.T1 < 30 AND B.T1 < 30 ORDER BY A.PosID"
+            .to_string(),
+        "SELECT P.PosID, E.EmpName FROM POSITION P, EMPLOYEE E \
+         WHERE P.EmpID = E.EmpID ORDER BY P.PosID"
+            .to_string(),
+    ]
+}
+
+/// Transient-only chaos under a fault budget smaller than the retry
+/// budget: every query must come back **byte-identical** to the
+/// fault-free run, for every seed.
+#[test]
+fn seeded_chaos_schedules_leave_results_identical() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db.clone());
+    let baselines: Vec<Relation> = queries().iter().map(|q| tango.query(q).unwrap().0).collect();
+
+    let mut total_faults = 0u64;
+    for seed in seeds() {
+        // budget 3 < default max_attempts 4: a retry loop always wins
+        let plan = Arc::new(
+            FaultPlan::random(seed, 0.2)
+                .with_budget(3)
+                .with_spikes(0.1, Duration::from_millis(2))
+                .with_throttle(0.1, 4.0),
+        );
+        db.link().set_injector(plan.clone());
+        for (q, base) in queries().iter().zip(&baselines) {
+            let (rel, _) = tango
+                .query(q)
+                .unwrap_or_else(|e| panic!("seed {seed:#x}: chaos run failed: {e}\nquery: {q}"));
+            assert!(
+                rel.list_eq(base),
+                "seed {seed:#x}: chaos result differs from baseline\nquery: {q}\n\
+                 baseline:\n{base}\nchaos:\n{rel}"
+            );
+        }
+        db.link().clear_injector();
+        total_faults += plan.faults_injected();
+    }
+    assert!(total_faults > 0, "no chaos schedule ever fired — raise the probabilities");
+}
+
+/// A transient blip on the statement submission is retried transparently
+/// and shows up as `fault`/`retry` span events and `wire_*` counters in
+/// `EXPLAIN ANALYZE`.
+#[test]
+fn retry_events_are_visible_in_explain_analyze() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db.clone());
+    let optimized = tango.optimize(QUERY1).unwrap();
+    let (baseline, _) = tango.execute_physical(&optimized.plan).unwrap();
+
+    let rt = db.link().roundtrips();
+    db.link()
+        .set_injector(Arc::new(FaultPlan::scripted([(rt + 1, Fault::Transient("blip".into()))])));
+    let (rel, exec) = tango.execute_physical(&optimized.plan).unwrap();
+    db.link().clear_injector();
+
+    assert!(rel.list_eq(&baseline), "a retried run must not change bytes");
+    let text = optimized.explain_analyze(&exec, true);
+    assert!(text.contains("wire_faults 1"), "{text}");
+    assert!(text.contains("wire_retries 1"), "{text}");
+    assert!(text.contains("events: fault retry"), "{text}");
+    assert_eq!(tango.conn().wire_faults(), 1);
+    assert_eq!(tango.conn().wire_retries(), 1);
+}
+
+/// Exhausting the retry budget on the `TRANSFER^M` submission re-plans
+/// the DBMS fragment onto middleware operators: the query still
+/// succeeds, the result multiset and ordering are preserved, and the
+/// `replan` is recorded on the span.
+#[test]
+fn exhausted_retries_replan_and_match_baseline() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db.clone());
+    let optimized = tango.optimize(QUERY1).unwrap();
+    let (baseline, _) = tango.execute_physical(&optimized.plan).unwrap();
+
+    tango.conn_mut().set_retry_policy(RetryPolicy { max_attempts: 3, ..RetryPolicy::default() });
+    let rt = db.link().roundtrips();
+    // all three attempts of the submission fail; the fallback's own
+    // fetch (round trip rt+4 onwards) is clean
+    db.link().set_injector(Arc::new(FaultPlan::scripted([
+        (rt + 1, Fault::Transient("chaos".into())),
+        (rt + 2, Fault::Disconnect),
+        (rt + 3, Fault::Transient("chaos".into())),
+    ])));
+    let (rel, exec) = tango.execute_physical(&optimized.plan).unwrap();
+    db.link().clear_injector();
+
+    assert!(
+        rel.multiset_eq(&baseline),
+        "re-planned result differs\nbaseline:\n{baseline}\nreplanned:\n{rel}"
+    );
+    assert!(rel.is_sorted_by(&SortSpec::by(["PosID"])), "ORDER BY lost in re-plan:\n{rel}");
+
+    let text = optimized.explain_analyze(&exec, true);
+    assert!(text.contains("replans 1"), "{text}");
+    assert!(text.contains("wire_faults 3"), "{text}");
+    assert!(text.contains("replan"), "{text}");
+    assert_eq!(tango.conn().wire_faults(), 3);
+    assert_eq!(tango.conn().wire_retries(), 2); // two backoffs before giving up
+}
+
+/// A fatal fault surfaces as one clean, classified error — no panic, no
+/// partial result, no leaked temp tables — and the session keeps working
+/// once the fault clears.
+#[test]
+fn fatal_faults_surface_cleanly_and_the_session_survives() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db.clone());
+    let (baseline, _) = tango.query(QUERY1).unwrap();
+    let tables_before = db.table_names().len();
+
+    let rt = db.link().roundtrips();
+    db.link().set_injector(Arc::new(FaultPlan::scripted([(
+        rt + 1,
+        Fault::Fatal("ORA-00600: internal error".into()),
+    )])));
+    let err = tango.query(QUERY1).map(|_| ()).unwrap_err();
+    assert_eq!(err.wire_class(), Some(ErrorClass::Fatal), "{err}");
+    assert!(err.to_string().contains("fatal"), "{err}");
+    assert_eq!(tango.conn().wire_retries(), 0, "fatal failures must never be retried");
+    db.link().clear_injector();
+
+    assert_eq!(db.table_names().len(), tables_before, "temp tables leaked by the failed run");
+    let (again, _) = tango.query(QUERY1).unwrap();
+    assert!(again.list_eq(&baseline), "session unusable after a cleared fault");
+}
+
+/// Once rows have been emitted, a failed fetch must **propagate** — a
+/// mid-stream re-plan would silently restart the result.
+#[test]
+fn no_replan_after_rows_were_emitted() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db.clone());
+    tango.query(QUERY1).unwrap(); // warm catalog + plan caches
+    tango.conn_mut().set_retry_policy(RetryPolicy::none());
+
+    // rt+1 is the submission; rt+3 lands inside the row-fetch batches
+    let rt = db.link().roundtrips();
+    db.link()
+        .set_injector(Arc::new(FaultPlan::scripted([(rt + 3, Fault::Transient("drop".into()))])));
+    let err = tango.query(QUERY1).map(|_| ()).unwrap_err();
+    db.link().clear_injector();
+    assert_eq!(err.wire_class(), Some(ErrorClass::Transient), "{err}");
+}
+
+/// Fault injection disabled (never installed, or installed-then-cleared,
+/// or installed but empty) adds **zero** wire time: the virtual clock
+/// charges the exact same duration for the same query.
+#[test]
+fn disabled_injection_is_free_on_the_wire_clock() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db.clone());
+    tango.query(QUERY1).unwrap(); // warm catalog so runs are comparable
+
+    let cost_of_run = |tango: &mut Tango, db: &Database| -> Duration {
+        let before = db.link().total();
+        tango.query(QUERY1).unwrap();
+        db.link().total() - before
+    };
+
+    let never_installed = cost_of_run(&mut tango, &db);
+
+    db.link().set_injector(Arc::new(FaultPlan::scripted([])));
+    let empty_injector = cost_of_run(&mut tango, &db);
+
+    db.link().clear_injector();
+    let after_clear = cost_of_run(&mut tango, &db);
+
+    assert!(!db.link().faults_enabled());
+    assert_eq!(never_installed, empty_injector, "consulting an empty plan charged wire time");
+    assert_eq!(never_installed, after_clear, "clearing the injector left residual cost");
+}

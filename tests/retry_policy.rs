@@ -1,0 +1,156 @@
+//! Property tests for the connection's retry machinery: the backoff
+//! schedule is monotone, capped and jitter-banded for *every* policy;
+//! the attempt budget is never exceeded against an always-failing link;
+//! fatal faults are never retried; and statement timeouts fire within
+//! one transfer of the configured budget on a throttled link.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use tango::algebra::{tup, Attr, Schema, Type};
+use tango::minidb::{
+    Connection, Database, ErrorClass, Fault, FaultPlan, Link, LinkProfile, RetryPolicy, WireMode,
+};
+
+fn tiny_db(profile: LinkProfile) -> Database {
+    let db = Database::new(Link::new(profile));
+    db.create_table("T", Schema::new(vec![Attr::new("X", Type::Int)])).unwrap();
+    db.insert_rows("T", (0..20).map(|i: i64| tup![i]).collect()).unwrap();
+    db.analyze("T").unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// For any seed/base/cap, the un-jittered schedule is monotone
+    /// non-decreasing and never exceeds the cap, and the jittered wait
+    /// is a pure function of (seed, attempt) inside `[(1−j)·base, base]`.
+    #[test]
+    fn backoff_is_monotone_capped_and_jitter_banded(
+        seed in 0u64..u64::MAX,
+        base_us in 1u64..5_000,
+        cap_us in 1u64..200_000,
+        jitter in 0.0f64..1.0,
+    ) {
+        let p = RetryPolicy {
+            base_backoff: Duration::from_micros(base_us),
+            max_backoff: Duration::from_micros(cap_us),
+            jitter,
+            seed,
+            ..RetryPolicy::default()
+        };
+        prop_assert_eq!(p.base_backoff_for(0), Duration::ZERO);
+        let mut prev = Duration::ZERO;
+        for attempt in 1..40u32 {
+            let base = p.base_backoff_for(attempt);
+            prop_assert!(base >= prev, "schedule regressed at attempt {}", attempt);
+            prop_assert!(base <= p.max_backoff, "cap exceeded at attempt {}", attempt);
+            prev = base;
+
+            let waited = p.backoff_for(attempt);
+            prop_assert!(waited <= base);
+            // mul_f64 rounds to whole nanoseconds: allow 1ns of slack
+            let floor = base.mul_f64(1.0 - jitter).saturating_sub(Duration::from_nanos(1));
+            prop_assert!(waited >= floor, "attempt {}: {:?} below jitter band", attempt, waited);
+            prop_assert_eq!(waited, p.backoff_for(attempt), "jitter must be deterministic");
+        }
+    }
+
+    /// Against a link that fails every round trip, a statement makes
+    /// exactly `max_attempts` attempts — no more, no fewer — and the
+    /// exhaustion surfaces as a transient failure.
+    #[test]
+    fn attempts_never_exceed_the_budget(max_attempts in 1u32..6) {
+        let db = tiny_db(LinkProfile::instant());
+        let mut conn = Connection::new(db.clone());
+        conn.set_retry_policy(RetryPolicy { max_attempts, ..RetryPolicy::default() });
+        db.link().set_injector(Arc::new(FaultPlan::random(1, 1.0)));
+        let err = conn.query("SELECT X FROM T").map(|_| ()).unwrap_err();
+        db.link().clear_injector();
+        prop_assert_eq!(err.class(), ErrorClass::Transient);
+        prop_assert_eq!(conn.wire_faults(), u64::from(max_attempts));
+        prop_assert_eq!(conn.wire_retries(), u64::from(max_attempts - 1));
+    }
+
+    /// A fatal fault is never retried, whatever the attempt budget.
+    #[test]
+    fn fatal_faults_get_zero_retries(max_attempts in 1u32..8) {
+        let db = tiny_db(LinkProfile::instant());
+        let mut conn = Connection::new(db.clone());
+        conn.set_retry_policy(RetryPolicy { max_attempts, ..RetryPolicy::default() });
+        let rt = db.link().roundtrips();
+        db.link().set_injector(Arc::new(
+            FaultPlan::scripted([(rt + 1, Fault::Fatal("auth revoked".into()))]),
+        ));
+        let err = conn.query("SELECT X FROM T").map(|_| ()).unwrap_err();
+        db.link().clear_injector();
+        prop_assert_eq!(err.class(), ErrorClass::Fatal);
+        prop_assert_eq!(conn.wire_retries(), 0);
+        prop_assert_eq!(conn.wire_faults(), 1);
+    }
+
+    /// On a heavily throttled link, a statement timeout fires, is
+    /// classified as `Timeout`, and overshoots the budget by at most one
+    /// (throttled) transfer — the check runs after each round trip, so
+    /// the budget can never be exceeded by more than the transfer that
+    /// crossed it.
+    #[test]
+    fn timeout_fires_within_one_transfer_of_the_budget(budget_ms in 1u64..20) {
+        let profile = LinkProfile {
+            roundtrip_latency_us: 1_000.0,
+            bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+            row_prefetch: 8,
+            mode: WireMode::Virtual,
+        };
+        let db = tiny_db(profile);
+        let mut conn = Connection::new(db.clone());
+        let budget = Duration::from_millis(budget_ms);
+        conn.set_retry_policy(RetryPolicy::none().with_timeout(budget));
+        db.link().set_injector(Arc::new(FaultPlan::scripted([]).with_throttle(1.0, 50.0)));
+        let err = conn.query("SELECT X FROM T").map(|_| ()).unwrap_err();
+        db.link().clear_injector();
+        prop_assert_eq!(err.class(), ErrorClass::Timeout);
+        prop_assert_eq!(conn.wire_timeouts(), 1);
+        // one throttled round trip ≈ 50 × 1ms (+ throttled payload time);
+        // the total charge must stay under budget + one such transfer
+        let one_transfer = Duration::from_millis(52);
+        prop_assert!(
+            conn.wire_time() <= budget + one_transfer,
+            "overshoot: spent {:?} against budget {:?}",
+            conn.wire_time(),
+            budget
+        );
+    }
+}
+
+/// Timeouts also catch slow *fetches*: a budget generous enough to admit
+/// the submission still trips once throttled row batches pile up.
+#[test]
+fn timeout_counts_accumulated_fetch_time() {
+    let profile = LinkProfile {
+        roundtrip_latency_us: 1_000.0,
+        bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+        row_prefetch: 2,
+        mode: WireMode::Virtual,
+    };
+    let db = tiny_db(profile);
+    let mut conn = Connection::new(db.clone());
+    // submission (1ms unthrottled-equivalent ≈ 10ms throttled) fits; the
+    // 10 throttled fetch batches (20 rows / prefetch 2) cannot
+    conn.set_retry_policy(RetryPolicy::none().with_timeout(Duration::from_millis(30)));
+    db.link().set_injector(Arc::new(FaultPlan::scripted([]).with_throttle(1.0, 10.0)));
+    let mut cur = conn.query("SELECT X FROM T").expect("submission fits the budget");
+    let mut fetched = 0;
+    let err = loop {
+        match cur.fetch() {
+            Ok(Some(_)) => fetched += 1,
+            Ok(None) => panic!("drained {fetched} rows without tripping the timeout"),
+            Err(e) => break e,
+        }
+    };
+    db.link().clear_injector();
+    assert_eq!(err.class(), ErrorClass::Timeout, "{err}");
+    assert!(fetched > 0, "timeout should strike mid-stream, not on the first batch");
+    assert_eq!(conn.wire_timeouts(), 1);
+}
