@@ -1,0 +1,77 @@
+//! Batches: the unit of vectorized (batch-at-a-time) execution.
+//!
+//! A [`Batch`] is a run of consecutive tuples from one stream, sharing a
+//! single [`Schema`] handle. Operators that process batches amortize
+//! per-tuple costs — virtual dispatch, trace accounting, wire
+//! bookkeeping — over [`DEFAULT_BATCH_ROWS`] tuples at a time.
+
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::sync::Arc;
+
+/// The default number of rows per batch. Large enough to amortize
+/// per-batch overhead, small enough to keep a batch cache-resident.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// A batch of tuples sharing one schema.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    schema: Arc<Schema>,
+    rows: Vec<Tuple>,
+}
+
+impl Batch {
+    /// Wrap `rows` (all conforming to `schema`) as a batch.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Tuple>) -> Self {
+        Batch { schema, rows }
+    }
+
+    /// The schema shared by every row of the batch.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The rows of the batch, in stream order.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Consume the batch, yielding its rows.
+    pub fn into_rows(self) -> Vec<Tuple> {
+        self.rows
+    }
+
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total wire/memory size estimate of all rows, in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.rows.iter().map(Tuple::byte_size).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attr;
+    use crate::tup;
+    use crate::value::Type;
+
+    #[test]
+    fn batch_accessors() {
+        let schema = Arc::new(Schema::new(vec![Attr::new("A", Type::Int)]));
+        let b = Batch::new(schema.clone(), vec![tup![1], tup![2]]);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.schema().len(), 1);
+        assert_eq!(b.byte_size(), b.rows().iter().map(Tuple::byte_size).sum::<usize>());
+        assert_eq!(b.into_rows(), vec![tup![1], tup![2]]);
+    }
+}

@@ -21,6 +21,8 @@
 //! * [`Period`] — closed-open time periods and their algebra,
 //! * [`Schema`], [`Tuple`], [`Relation`] — list-semantics relations with
 //!   the paper's two equivalence notions (list and multiset equality),
+//! * [`Batch`] — a run of consecutive tuples sharing one schema, the
+//!   unit of the engine's vectorized (batch-at-a-time) execution,
 //! * [`Expr`] — scalar expressions with SQL rendering (used both for
 //!   predicate evaluation and by the Translator-To-SQL),
 //! * [`SortSpec`] — sort orders and the `IsPrefixOf` predicate of rules
@@ -28,6 +30,7 @@
 //! * [`Logical`] — the logical operator tree produced by the temporal-SQL
 //!   parser and transformed by the optimizer.
 
+pub mod batch;
 pub mod codec;
 pub mod date;
 pub mod error;
@@ -40,12 +43,13 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{Batch, DEFAULT_BATCH_ROWS};
 pub use date::Day;
 pub use error::{AlgebraError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use interval::Period;
 pub use logical::{AggFunc, AggSpec, Logical, ProjItem, SchemaSource};
-pub use order::{SortKey, SortSpec};
+pub use order::{sort_tuples, SortKey, SortSpec};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
 pub use tuple::{IntoValue, Tuple};

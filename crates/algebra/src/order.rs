@@ -124,6 +124,91 @@ impl fmt::Display for SortSpec {
     }
 }
 
+/// Stable sort of `tuples` by `spec`, equivalent to sorting with
+/// [`SortSpec::comparator`] but with the sort keys extracted once per row
+/// instead of coerced on every comparison.
+///
+/// A key column whose values are all integer-like (`Int`/`Date`) orders
+/// as plain `i64` under `total_cmp`, so those columns are pulled into a
+/// contiguous `i64` array up front; any other column falls back to
+/// per-comparison `total_cmp` on the tuples themselves.
+pub fn sort_tuples(tuples: &mut Vec<Tuple>, spec: &SortSpec, schema: &Schema) {
+    let keys = spec.resolve(schema);
+    if keys.is_empty() || tuples.len() < 2 {
+        return;
+    }
+    enum Col {
+        Ints(Vec<i64>),
+        Generic(usize),
+    }
+    let cols: Vec<(Col, bool)> = keys
+        .iter()
+        .map(|&(i, desc)| {
+            let mut ints = Vec::with_capacity(tuples.len());
+            for t in tuples.iter() {
+                match t[i].as_int() {
+                    Some(v) => ints.push(v),
+                    None => return (Col::Generic(i), desc),
+                }
+            }
+            (Col::Ints(ints), desc)
+        })
+        .collect();
+    // An ascending integer-like key negated sorts like the descending
+    // key, so any all-integer prefix packs into plain `i64` fields. The
+    // one unrepresentable negation, i64::MIN, forces the generic path.
+    let packed = |col: &(Col, bool)| match col {
+        (Col::Ints(v), false) => Some(v.clone()),
+        (Col::Ints(v), true) if v.iter().all(|&x| x != i64::MIN) => {
+            Some(v.iter().map(|&x| -x).collect())
+        }
+        _ => None,
+    };
+    let order: Vec<u32> = match &cols[..] {
+        // Fully packed one- and two-key sorts: the hot shapes (sorting
+        // on (group, T1) dominates the middleware operators). Sorting
+        // Copy key tuples beats an index sort through the comparator.
+        [a] => match packed(a) {
+            Some(k) => {
+                let mut keyed: Vec<(i64, u32)> = k.into_iter().zip(0u32..).collect();
+                keyed.sort_unstable();
+                keyed.into_iter().map(|(_, i)| i).collect()
+            }
+            None => sort_indices(tuples, &cols),
+        },
+        [a, b] => match (packed(a), packed(b)) {
+            (Some(ka), Some(kb)) => {
+                let mut keyed: Vec<(i64, i64, u32)> =
+                    ka.into_iter().zip(kb).zip(0u32..).map(|((a, b), i)| (a, b, i)).collect();
+                keyed.sort_unstable();
+                keyed.into_iter().map(|(_, _, i)| i).collect()
+            }
+            _ => sort_indices(tuples, &cols),
+        },
+        _ => sort_indices(tuples, &cols),
+    };
+    fn sort_indices(tuples: &[Tuple], cols: &[(Col, bool)]) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..tuples.len() as u32).collect();
+        order.sort_unstable_by(|&a, &b| {
+            let (a, b) = (a as usize, b as usize);
+            for (col, desc) in cols {
+                let o = match col {
+                    Col::Ints(v) => v[a].cmp(&v[b]),
+                    Col::Generic(i) => tuples[a][*i].total_cmp(&tuples[b][*i]),
+                };
+                let o = if *desc { o.reverse() } else { o };
+                if o != Ordering::Equal {
+                    return o;
+                }
+            }
+            a.cmp(&b) // equal keys keep input order, making the sort stable
+        });
+        order
+    }
+    let mut src: Vec<Option<Tuple>> = std::mem::take(tuples).into_iter().map(Some).collect();
+    tuples.extend(order.into_iter().map(|i| src[i as usize].take().unwrap()));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,8 +65,7 @@ impl Relation {
 
     /// Sort in place by the given specification (stable).
     pub fn sort_by(&mut self, spec: &SortSpec) {
-        let cmp = spec.comparator(&self.schema);
-        self.tuples.sort_by(cmp);
+        crate::order::sort_tuples(&mut self.tuples, spec, &self.schema);
     }
 
     /// Is the relation sorted according to `spec`?

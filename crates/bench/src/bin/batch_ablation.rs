@@ -1,0 +1,160 @@
+//! Batch-size ablation — how much of the per-row overhead (virtual
+//! dispatch, trace sampling, wire bookkeeping) batch-at-a-time execution
+//! amortizes away.
+//!
+//! Sweeps the process-wide batch size (1 = the row-at-a-time baseline)
+//! over the two middleware-heavy fixed plans of the paper's study:
+//! Query 1 plan 2 (`SORT^M` + `TAGGR^M`, Figure 7) and Query 3 plan 2
+//! (`TMERGEJOIN^M`, Figure 11a). Wire time is identical across sizes by
+//! construction (the transfer cursor ships prefetch-aligned batches in
+//! both modes), so the interesting number is **wall** time.
+//!
+//! Usage: `cargo run --release -p tango-bench --bin batch_ablation \
+//!         [--small] [--check]`
+//!
+//! Writes `BENCH_batch.json` in the working directory; `--check` exits
+//! non-zero if the default batch size is slower than row-at-a-time.
+
+use std::time::Duration;
+use tango_algebra::date::day;
+use tango_algebra::DEFAULT_BATCH_ROWS;
+use tango_bench::plans::{q1_plans, q3_plans, PlanBuilder};
+use tango_bench::{load_uis, time_plan_report, uis_link_profile, Table};
+use tango_core::phys::PhysNode;
+use tango_core::Tango;
+use tango_trace::json::Object;
+use tango_uis::UisConfig;
+use tango_xxl::set_batch_rows;
+
+const SIZES: [usize; 5] = [1, 64, 256, 1024, 4096];
+const RUNS: usize = 3;
+
+struct Sample {
+    batch_rows: usize,
+    wall: Duration,
+    wire: Duration,
+    rows: usize,
+}
+
+/// Best-of-[`RUNS`] wall time for one plan at one batch size.
+fn measure(
+    tango: &mut Tango,
+    link: &tango_minidb::Link,
+    plan: &PhysNode,
+    batch_rows: usize,
+) -> Sample {
+    set_batch_rows(batch_rows);
+    let mut best: Option<Sample> = None;
+    for _ in 0..RUNS {
+        link.reset();
+        let (_, rows, report) = time_plan_report(tango, plan);
+        if std::env::var_os("TANGO_ABLATION_STEPS").is_some() {
+            for s in &report.steps {
+                eprintln!(
+                    "      [{batch_rows}] {:<24} excl {:>9.3}ms rows {}",
+                    s.label,
+                    s.exclusive_us / 1e3,
+                    s.out_rows
+                );
+            }
+        }
+        if best.as_ref().is_none_or(|b| report.wall < b.wall) {
+            best = Some(Sample { batch_rows, wall: report.wall, wire: report.wire, rows });
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let small = std::env::args().any(|a| a == "--small");
+    let check = std::env::args().any(|a| a == "--check");
+    let cfg = if small { UisConfig::small(0xBA7C) } else { UisConfig::default() };
+
+    eprintln!("loading UIS ({} POSITION rows) ...", cfg.position_rows);
+    let mut setup = load_uis(&cfg, uis_link_profile(), false);
+    let b = PlanBuilder::new(&setup.conn);
+
+    let plans: Vec<(&'static str, PhysNode)> = vec![
+        ("q1 plan2 (sortM+taggrM)", q1_plans(&b, "POSITION").remove(1).1),
+        ("q3 plan2 (tjoinM)", q3_plans(&b, day(1990, 1, 1)).remove(1).1),
+    ];
+
+    let mut table = Table::new(
+        "Batch-size ablation — wall time of the middleware plans",
+        "batch",
+        &plans.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+    );
+
+    let mut failed = false;
+    let mut query_objs = Vec::new();
+    let mut per_size: Vec<Vec<Sample>> = Vec::new();
+    for (name, plan) in &plans {
+        eprintln!("  {name}:");
+        let mut samples = Vec::new();
+        for bs in SIZES {
+            let s = measure(&mut setup.tango, setup.db.link(), plan, bs);
+            eprintln!(
+                "    batch {:>4}: wall {:>9.3}ms wire {:>9.3}ms rows {}",
+                bs,
+                s.wall.as_secs_f64() * 1e3,
+                s.wire.as_secs_f64() * 1e3,
+                s.rows
+            );
+            samples.push(s);
+        }
+        assert!(
+            samples.iter().all(|s| s.rows == samples[0].rows),
+            "{name}: result size varies with batch size"
+        );
+        let row_wall = samples[0].wall;
+        let batch_wall = samples.iter().find(|s| s.batch_rows == DEFAULT_BATCH_ROWS).unwrap().wall;
+        let speedup = row_wall.as_secs_f64() / batch_wall.as_secs_f64().max(1e-9);
+        eprintln!("    wall speedup at batch {DEFAULT_BATCH_ROWS}: {speedup:.2}x");
+        if speedup < 1.0 {
+            eprintln!("    FAIL: batch path slower than row path");
+            failed = true;
+        }
+
+        let sizes_json: Vec<String> = samples
+            .iter()
+            .map(|s| {
+                Object::new()
+                    .number("batch_rows", s.batch_rows as f64)
+                    .number("wall_us", s.wall.as_secs_f64() * 1e6)
+                    .number("wire_us", s.wire.as_secs_f64() * 1e6)
+                    .number("total_us", (s.wall + s.wire).as_secs_f64() * 1e6)
+                    .number("rows", s.rows as f64)
+                    .build()
+            })
+            .collect();
+        query_objs.push(
+            Object::new()
+                .string("plan", name)
+                .raw("sizes", &format!("[{}]", sizes_json.join(",")))
+                .number("wall_speedup_at_default", speedup)
+                .build(),
+        );
+        per_size.push(samples);
+    }
+    set_batch_rows(DEFAULT_BATCH_ROWS);
+
+    for (i, bs) in SIZES.iter().enumerate() {
+        table.row(*bs, per_size.iter().map(|s| Some(s[i].wall)).collect());
+    }
+    table.note("wall time only; wire time is batch-size-invariant by construction");
+    table.emit("batch_ablation");
+
+    let json = Object::new()
+        .string("bench", "batch_ablation")
+        .number("position_rows", cfg.position_rows as f64)
+        .number("row_prefetch", uis_link_profile().row_prefetch as f64)
+        .number("default_batch_rows", DEFAULT_BATCH_ROWS as f64)
+        .raw("queries", &format!("[{}]", query_objs.join(",")))
+        .build();
+    std::fs::write("BENCH_batch.json", &json).expect("write BENCH_batch.json");
+    eprintln!("wrote BENCH_batch.json");
+
+    if check && failed {
+        std::process::exit(1);
+    }
+}

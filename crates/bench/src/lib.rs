@@ -13,6 +13,7 @@
 //! | `wire_faults` | Chaos overhead — fault-probability sweep, retries/re-plans vs. cost |
 //! | `optimizer_stats` | Section 5.2 — classes/elements and chosen plan per query |
 //! | `calibration_study` | Ablation — default vs calibrated factors vs feedback |
+//! | `batch_ablation` | Ablation — batch-at-a-time vs row-at-a-time wall time (`BENCH_batch.json`) |
 //!
 //! Reported times are wall-clock plus the simulated wire time (the
 //! virtual JDBC link), matching how the paper's numbers include both

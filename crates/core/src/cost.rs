@@ -119,6 +119,12 @@ impl CostFactors {
             // technical-report formulas ---------------------------------
             Algo::ProjectM(_) => self.p_pm * size(inputs[0]),
             Algo::SortM(_) => self.p_sm * size(inputs[0]) * log2_card(inputs[0]),
+            Algo::SortXM(..) => {
+                // in-memory comparisons plus one spill pass and one merge
+                // pass over the whole input (runs are written and re-read)
+                self.p_sm * size(inputs[0]) * log2_card(inputs[0])
+                    + 2.0 * self.p_sm * size(inputs[0])
+            }
             Algo::SortD(_) => self.p_sd * size(inputs[0]) * log2_card(inputs[0]),
             Algo::MergeJoinM(_) | Algo::TMergeJoinM(_) => {
                 self.p_mjm * (size(inputs[0]) + size(inputs[1])) + self.p_mjout * size(output)
@@ -151,7 +157,7 @@ impl CostFactors {
             Algo::TransferM => size(inputs[0]),
             Algo::TransferD => size(inputs[0]),
             Algo::FilterM(p) => p.complexity() as f64 * size(inputs[0]),
-            Algo::SortM(_) => size(inputs[0]) * log2_card(inputs[0]),
+            Algo::SortM(_) | Algo::SortXM(..) => size(inputs[0]) * log2_card(inputs[0]),
             Algo::SortD(_) => size(inputs[0]) * log2_card(inputs[0]),
             Algo::TAggrM { .. } => size(inputs[0]),
             Algo::TAggrD { .. } => size(inputs[0]),
@@ -233,7 +239,7 @@ impl FactorId {
             Algo::TransferM => FactorId::Tm,
             Algo::TransferD => FactorId::Td,
             Algo::FilterM(_) => FactorId::Sem,
-            Algo::SortM(_) => FactorId::Sm,
+            Algo::SortM(_) | Algo::SortXM(..) => FactorId::Sm,
             Algo::SortD(_) => FactorId::Sd,
             Algo::TAggrM { .. } => FactorId::TaggM,
             Algo::TAggrD { .. } => FactorId::TaggD,

@@ -14,14 +14,15 @@
 use crate::error::{Result, TangoError};
 use crate::phys::{Algo, PhysNode, Site};
 use crate::to_sql;
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tango_algebra::{Relation, Schema, SortSpec, Tuple};
+use tango_algebra::{Batch, Relation, Schema, SortSpec, Tuple};
 use tango_minidb::{Connection, DbCursor, ErrorClass};
 use tango_trace::{Collector, SpanEvent, SpanSite, SpanSlot, Stopwatch};
 use tango_xxl::{
-    BoxCursor, Coalesce, Cursor, DupElim, Filter, MergeJoin, NestedLoopJoin, Project, Sort,
-    TemporalAggregate, TemporalDiff, TemporalMergeJoin,
+    BoxCursor, Coalesce, Cursor, DupElim, ExternalSort, Filter, MergeJoin, NestedLoopJoin, Project,
+    Sort, TemporalAggregate, TemporalDiff, TemporalMergeJoin,
 };
 
 /// Observed execution of one algorithm instance.
@@ -170,8 +171,10 @@ pub fn execute_with(
         root.open()?;
         let schema = root.schema().clone();
         let mut rows = Vec::new();
-        while let Some(t) = root.next()? {
-            rows.push(t);
+        // drive the root batch-at-a-time: one virtual dispatch per batch
+        // instead of one per row
+        while let Some(b) = root.next_batch()? {
+            rows.extend(b.into_rows());
         }
         root.close()?;
         Ok(Relation::new(schema, rows))
@@ -262,6 +265,7 @@ impl Ctx<'_> {
                         fragment: clean,
                         prereqs,
                         cur: None,
+                        buf: VecDeque::new(),
                         fallback: None,
                         server_sink: sink,
                         round_trips: 0,
@@ -285,6 +289,10 @@ impl Ctx<'_> {
             Algo::SortM(spec) => {
                 let (c, id) = self.build_mid_indexed(&node.children[0])?;
                 (Box::new(Sort::new(c, spec.clone())) as BoxCursor, vec![id])
+            }
+            Algo::SortXM(spec, run_rows) => {
+                let (c, id) = self.build_mid_indexed(&node.children[0])?;
+                (Box::new(ExternalSort::new(c, spec.clone(), *run_rows)) as BoxCursor, vec![id])
             }
             Algo::MergeJoinM(eq) => {
                 let (l, lid) = self.build_mid_indexed(&node.children[0])?;
@@ -338,7 +346,7 @@ impl Ctx<'_> {
             None => inner,
         };
         let conn = self.conn.clone();
-        Ok((Box::new(Instrumented { inner, slot, conn }), idx))
+        Ok((Box::new(Instrumented { inner, slot, conn, batches: 0 }), idx))
     }
 
     /// Replace `T^D` nodes inside a DBMS fragment with temp-table scans;
@@ -372,7 +380,7 @@ impl Ctx<'_> {
             loader.sink = Some(slot.clone());
             let conn = self.conn.clone();
             let instrumented: BoxCursor =
-                Box::new(Instrumented { inner: Box::new(loader), slot, conn });
+                Box::new(Instrumented { inner: Box::new(loader), slot, conn, batches: 0 });
             return Ok((scan, vec![instrumented], vec![idx]));
         }
         if node.algo.site() == Site::Middleware {
@@ -406,6 +414,9 @@ struct Instrumented {
     inner: BoxCursor,
     slot: Arc<SpanSlot>,
     conn: Connection,
+    /// Batches this operator produced (reported as a `batches` counter
+    /// at close when the batch path ran).
+    batches: u64,
 }
 
 impl Instrumented {
@@ -436,9 +447,25 @@ impl Cursor for Instrumented {
         r
     }
 
+    fn next_batch_of(&mut self, max_rows: usize) -> tango_xxl::Result<Option<Batch>> {
+        // One stopwatch sample and one row/byte accumulation per *batch*
+        // — the amortized path. Falling through to the default (which
+        // loops `self.next`) would double-count rows via `add_row`.
+        let r = self.measure(|c| c.next_batch_of(max_rows));
+        if let Ok(Some(b)) = &r {
+            self.batches += 1;
+            self.slot.add_batch(b.len() as u64, b.byte_size() as u64);
+        }
+        r
+    }
+
     fn close(&mut self) -> tango_xxl::Result<()> {
         // sample the operator's counters before it releases its state
-        self.slot.set_counters(self.inner.counters());
+        let mut counters = self.inner.counters();
+        if self.batches > 0 {
+            counters.push(("batches", self.batches));
+        }
+        self.slot.set_counters(counters);
         self.measure(|c| c.close())
     }
 
@@ -608,6 +635,9 @@ struct TransferMCursor {
     fragment: PhysNode,
     prereqs: Vec<BoxCursor>,
     cur: Option<DbCursor>,
+    /// Rows of a prefetch batch beyond what the last `next_batch_of`
+    /// request asked for, served before the next wire pull.
+    buf: VecDeque<Tuple>,
     /// The middleware re-plan of `fragment`, once degraded.
     fallback: Option<BoxCursor>,
     /// Sink for the producing statement's server-side execution time
@@ -710,6 +740,10 @@ impl Cursor for TransferMCursor {
             }
             return r;
         }
+        if let Some(t) = self.buf.pop_front() {
+            self.rows_emitted += 1;
+            return Ok(Some(t));
+        }
         match &mut self.cur {
             Some(c) => {
                 let before = (self.conn.wire_faults(), self.conn.wire_retries());
@@ -737,8 +771,71 @@ impl Cursor for TransferMCursor {
         }
     }
 
+    fn next_batch_of(&mut self, max_rows: usize) -> tango_xxl::Result<Option<Batch>> {
+        let max = max_rows.max(1);
+        if let Some(fb) = &mut self.fallback {
+            let r = fb.next_batch_of(max);
+            if let Ok(Some(b)) = &r {
+                self.rows_emitted += b.len() as u64;
+            }
+            return r;
+        }
+        // serve overflow from the previous prefetch batch first
+        if !self.buf.is_empty() {
+            let take = max.min(self.buf.len());
+            let rows: Vec<Tuple> = self.buf.drain(..take).collect();
+            self.rows_emitted += rows.len() as u64;
+            return Ok(Some(Batch::new(self.schema.clone(), rows)));
+        }
+        if self.cur.is_none() {
+            return Err(tango_xxl::ExecError::State("TRANSFER^M not opened".into()));
+        }
+        // Aggregate prefetch batches until the requested batch is full —
+        // the wire sees the same round trips and charges as fetching row
+        // by row; only the hand-off granularity to the middleware
+        // operators changes.
+        let mut rows: Vec<Tuple> = Vec::new();
+        while rows.len() < max {
+            let before = (self.conn.wire_faults(), self.conn.wire_retries());
+            let got = self.cur.as_mut().unwrap().fetch_batch();
+            match got {
+                Ok(Some(mut got)) => {
+                    self.note_wire_activity(before);
+                    if rows.is_empty() {
+                        rows = got;
+                    } else {
+                        rows.append(&mut got);
+                    }
+                }
+                Ok(None) => {
+                    self.note_wire_activity(before);
+                    break;
+                }
+                Err(e) => {
+                    self.note_wire_activity(before);
+                    if self.rows_emitted == 0 && rows.is_empty() {
+                        // nothing delivered yet: safe to re-plan, at
+                        // batch granularity
+                        self.degrade("fetch", &e)?;
+                        return self.next_batch_of(max);
+                    }
+                    return Err(wire_exec_err(&e));
+                }
+            }
+        }
+        if rows.is_empty() {
+            return Ok(None);
+        }
+        if rows.len() > max {
+            self.buf.extend(rows.drain(max..));
+        }
+        self.rows_emitted += rows.len() as u64;
+        Ok(Some(Batch::new(self.schema.clone(), rows)))
+    }
+
     fn close(&mut self) -> tango_xxl::Result<()> {
         self.cur = None;
+        self.buf.clear();
         if let Some(mut fb) = self.fallback.take() {
             fb.close()?;
         }
@@ -791,8 +888,8 @@ impl Cursor for TransferDCursor {
             .ok_or_else(|| tango_xxl::ExecError::State("TRANSFER^D reopened".into()))?;
         input.open()?;
         let mut rows = Vec::new();
-        while let Some(t) = input.next()? {
-            rows.push(t);
+        while let Some(b) = input.next_batch()? {
+            rows.extend(b.into_rows());
         }
         input.close()?;
         self.rows_loaded = rows.len() as u64;

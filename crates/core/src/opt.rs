@@ -49,11 +49,16 @@ pub struct OptOptions {
     pub approx_rules: bool,
     /// Enable the selection/projection pushdown rule groups 3/4.
     pub pushdown_rules: bool,
+    /// Middleware sort-memory budget in bytes. When the estimated sort
+    /// input exceeds it, the order enforcer becomes the external merge
+    /// sort `XSORT^M` instead of the in-memory `SORT^M`. `None` (the
+    /// default) means unbounded memory, i.e. always sort in memory.
+    pub mid_sort_budget: Option<u64>,
 }
 
 impl Default for OptOptions {
     fn default() -> Self {
-        OptOptions { approx_rules: true, pushdown_rules: true }
+        OptOptions { approx_rules: true, pushdown_rules: true, mid_sort_budget: None }
     }
 }
 
@@ -63,6 +68,8 @@ pub struct TangoSem {
     pub catalog: Catalog,
     /// Cost factors used by the implementations' formulas.
     pub factors: CostFactors,
+    /// Middleware sort-memory budget (see [`OptOptions::mid_sort_budget`]).
+    pub mid_sort_budget: Option<u64>,
 }
 
 impl TangoSem {
@@ -75,6 +82,21 @@ impl TangoSem {
         let mut cols: Vec<String> = group_by.to_vec();
         cols.push("T1".to_string());
         SortSpec::by(cols)
+    }
+
+    /// Pick the middleware sort enforcer for the given input: in-memory
+    /// `SORT^M` normally, the external merge sort `XSORT^M` when the
+    /// estimated input exceeds the configured sort-memory budget. The
+    /// run size is however many rows fit in the budget.
+    fn mid_sort(&self, props: &GroupProps, order: SortSpec) -> Algo {
+        match self.mid_sort_budget {
+            Some(b) if props.stats.size_bytes() > b as f64 => {
+                let width = props.stats.avg_tuple_bytes.max(1.0);
+                let run_rows = ((b as f64 / width) as usize).max(2);
+                Algo::SortXM(order, run_rows)
+            }
+            _ => Algo::SortM(order),
+        }
     }
 
     /// Order a coalesce/diff requires: all value attributes then `T1`.
@@ -321,7 +343,7 @@ impl Semantics for TangoSem {
         // sorting enforces order at either site
         if !required.order.is_none() {
             let algo = match required.site {
-                Site::Middleware => Algo::SortM(required.order.clone()),
+                Site::Middleware => self.mid_sort(props, required.order.clone()),
                 Site::Dbms => Algo::SortD(required.order.clone()),
             };
             out.push(Enforcer {
@@ -425,7 +447,7 @@ pub fn optimize_logical(
     options: OptOptions,
 ) -> Result<Optimized> {
     let (tree, order) = to_initial(logical)?;
-    let sem = TangoSem { catalog, factors };
+    let sem = TangoSem { catalog, factors, mid_sort_budget: options.mid_sort_budget };
     let mut memo = Memo::new(sem);
     let root = memo.insert_root(tree);
     memo.explore(&rules::rule_set(options));

@@ -175,6 +175,9 @@ pub enum Algo {
     ProjectM(Vec<ProjItem>),
     /// Middleware in-memory sort.
     SortM(SortSpec),
+    /// Middleware external merge sort; the second field is the run size
+    /// in rows, derived from the middleware sort-memory budget.
+    SortXM(SortSpec, usize),
     /// Middleware sort-merge equi join.
     MergeJoinM(Vec<(String, String)>),
     /// Middleware sort-merge temporal join.
@@ -229,6 +232,7 @@ impl Algo {
             Algo::FilterM(_)
             | Algo::ProjectM(_)
             | Algo::SortM(_)
+            | Algo::SortXM(..)
             | Algo::MergeJoinM(_)
             | Algo::TMergeJoinM(_)
             | Algo::TAggrM { .. }
@@ -255,6 +259,7 @@ impl Algo {
             Algo::FilterM(_) => "FILTER^M".into(),
             Algo::ProjectM(_) => "PROJECT^M".into(),
             Algo::SortM(s) => format!("SORT^M [{s}]"),
+            Algo::SortXM(s, _) => format!("XSORT^M [{s}]"),
             Algo::MergeJoinM(_) => "MERGEJOIN^M".into(),
             Algo::TMergeJoinM(_) => "TMERGEJOIN^M".into(),
             Algo::TAggrM { .. } => "TAGGR^M".into(),
@@ -281,6 +286,7 @@ impl Algo {
             Algo::FilterM(_)
             | Algo::FilterD(_)
             | Algo::SortM(_)
+            | Algo::SortXM(..)
             | Algo::SortD(_)
             | Algo::DupElimM
             | Algo::DupElimD

@@ -868,7 +868,7 @@ mod tests {
         let stats = RelationStats { rows: 1000.0, avg_tuple_bytes: 28.0, ..Default::default() };
         let mut catalog: Catalog = Catalog::new();
         catalog.insert("POSITION".into(), (schema, stats));
-        TangoSem { catalog, factors: CostFactors::default() }
+        TangoSem { catalog, factors: CostFactors::default(), mid_sort_budget: None }
     }
 
     fn get() -> NewExpr<TOp> {

@@ -534,6 +534,35 @@ mod tests {
         assert_eq!(all.len(), 3);
     }
 
+    /// With a middleware sort-memory budget smaller than the estimated
+    /// sort input, the order enforcer becomes the external merge sort —
+    /// and the answer stays identical to the in-memory plan's.
+    #[test]
+    fn sort_budget_picks_external_sort() {
+        let q1 = "VALIDTIME SELECT PosID, COUNT(PosID) AS CNT FROM POSITION \
+                  GROUP BY PosID ORDER BY PosID";
+        let mut tango = setup();
+        let (baseline, _) = tango.query(q1).unwrap();
+
+        let mut tango = setup();
+        // price SORT^D out of the market so the ordering is enforced in
+        // the middleware, then cap middleware sort memory below the
+        // estimated input size
+        tango.set_factors(CostFactors { p_sd: 1e6, ..Default::default() });
+        tango.options_mut().opt.mid_sort_budget = Some(16);
+        let q = tango.optimize(q1).unwrap();
+        let plan = q.explain();
+        assert!(plan.contains("XSORT^M"), "expected external sort enforcer:\n{plan}");
+        assert!(!plan.contains("SORT^D"), "{plan}");
+        let (rel, _) = tango.execute_physical(&q.plan).unwrap();
+        assert_eq!(rel.tuples(), baseline.tuples());
+
+        // an ample budget keeps the in-memory sort
+        tango.options_mut().opt.mid_sort_budget = Some(1 << 20);
+        let plan = tango.optimize(q1).unwrap().explain();
+        assert!(plan.contains("SORT^M") && !plan.contains("XSORT^M"), "{plan}");
+    }
+
     #[test]
     fn non_temporal_queries_work_too() {
         let mut tango = setup();

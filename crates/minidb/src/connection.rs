@@ -383,6 +383,9 @@ pub struct DbCursor {
     /// Statement clock: submission + server + wire + backoff time
     /// consumed so far, checked against the policy's timeout.
     elapsed: Duration,
+    /// Reusable wire-encoding buffer: one prefetch batch is encoded here
+    /// per round trip, so its capacity is retained across trips.
+    wire_buf: Vec<u8>,
 }
 
 impl DbCursor {
@@ -405,6 +408,7 @@ impl DbCursor {
             retry,
             stats,
             elapsed,
+            wire_buf: Vec::new(),
         }
     }
 
@@ -426,41 +430,73 @@ impl DbCursor {
         self.elapsed
     }
 
+    /// Encode the next prefetch batch into `wire_buf` and charge the
+    /// round trip. Returns `false` at end of stream. On success the
+    /// encoded rows sit in `self.wire_buf`, ready to decode.
+    fn pull_prefetch(&mut self) -> Result<bool> {
+        let prefetch = self.link.profile().row_prefetch.max(1);
+        self.wire_buf.clear();
+        let mut n = 0u64;
+        for _ in 0..prefetch {
+            match self.server_rows.next() {
+                Some(t) => {
+                    encode_tuple(&t, &mut self.wire_buf);
+                    n += 1;
+                }
+                None => break,
+            }
+        }
+        if n == 0 {
+            return Ok(false);
+        }
+        let spent = retrying_transfer(
+            &self.link,
+            &self.retry,
+            &self.stats,
+            self.elapsed,
+            1,
+            self.wire_buf.len() as u64,
+        )?;
+        self.wire_time += spent;
+        self.elapsed += spent;
+        Ok(true)
+    }
+
     /// Fetch the next row, pulling a prefetch batch across the wire when
     /// the client buffer is empty.
     pub fn fetch(&mut self) -> Result<Option<Tuple>> {
         if self.client_buf.is_empty() {
-            let prefetch = self.link.profile().row_prefetch.max(1);
-            let mut buf = Vec::new();
-            let mut n = 0u64;
-            for _ in 0..prefetch {
-                match self.server_rows.next() {
-                    Some(t) => {
-                        encode_tuple(&t, &mut buf);
-                        n += 1;
-                    }
-                    None => break,
-                }
-            }
-            if n == 0 {
+            if !self.pull_prefetch()? {
                 return Ok(None);
             }
-            let spent = retrying_transfer(
-                &self.link,
-                &self.retry,
-                &self.stats,
-                self.elapsed,
-                1,
-                buf.len() as u64,
-            )?;
-            self.wire_time += spent;
-            self.elapsed += spent;
-            let mut d = Decoder::new(&buf);
+            let mut d = Decoder::new(&self.wire_buf);
             while !d.is_done() {
                 self.client_buf.push_back(d.decode_tuple()?);
             }
         }
         Ok(self.client_buf.pop_front())
+    }
+
+    /// Fetch the next prefetch-aligned batch: everything currently
+    /// buffered client-side, or one prefetch batch pulled across the
+    /// wire and decoded straight into the returned vector. Wire charges
+    /// and round-trip numbering are identical to calling
+    /// [`DbCursor::fetch`] row by row — batching only changes how
+    /// decoded rows are handed to the caller, so fault-injection
+    /// scripts keyed on round-trip ordinals behave the same either way.
+    pub fn fetch_batch(&mut self) -> Result<Option<Vec<Tuple>>> {
+        if self.client_buf.is_empty() {
+            if !self.pull_prefetch()? {
+                return Ok(None);
+            }
+            let mut rows = Vec::with_capacity(self.link.profile().row_prefetch.max(1));
+            let mut d = Decoder::new(&self.wire_buf);
+            while !d.is_done() {
+                rows.push(d.decode_tuple()?);
+            }
+            return Ok(Some(rows));
+        }
+        Ok(Some(self.client_buf.drain(..).collect()))
     }
 }
 
@@ -540,6 +576,29 @@ mod tests {
         }
         assert_eq!(n, 5);
         // 5 rows at prefetch 2 -> 3 round trips of 1ms
+        assert_eq!(cur.wire_time(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn batch_fetch_charges_like_row_fetch() {
+        let db = Database::new(Link::new(LinkProfile {
+            roundtrip_latency_us: 1000.0,
+            bytes_per_sec: f64::INFINITY,
+            row_prefetch: 2,
+            mode: WireMode::Virtual,
+        }));
+        let c = Connection::new(db);
+        c.execute("CREATE TABLE T (A INT)").unwrap();
+        c.execute("INSERT INTO T VALUES (1), (2), (3), (4), (5)").unwrap();
+        c.link().reset();
+        let mut cur = c.query("SELECT A FROM T").unwrap();
+        let mut sizes = Vec::new();
+        while let Some(batch) = cur.fetch_batch().unwrap() {
+            sizes.push(batch.len());
+        }
+        // batches are prefetch-aligned and the wire charge is identical
+        // to the row-at-a-time fetch of the test above
+        assert_eq!(sizes, vec![2, 2, 1]);
         assert_eq!(cur.wire_time(), Duration::from_millis(3));
     }
 

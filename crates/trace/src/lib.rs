@@ -128,6 +128,15 @@ impl SpanSlot {
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Record a whole produced batch in one shot: `rows` tuples totalling
+    /// `bytes`. Two relaxed adds amortized over the batch — row and byte
+    /// accounting stay exactly equal to calling [`SpanSlot::add_row`]
+    /// once per tuple.
+    pub fn add_batch(&self, rows: u64, bytes: u64) {
+        self.rows.fetch_add(rows, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
     /// Record DBMS server-side compute time observed by this operator
     /// (`TRANSFER^M` reads it from the statement's result cursor).
     pub fn add_server_time(&self, d: Duration) {

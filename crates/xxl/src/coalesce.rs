@@ -7,14 +7,14 @@
 //! The input must be sorted on (all non-temporal attributes, `T1`); the
 //! output is sorted the same way.
 
-use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
+use crate::cursor::{BatchBuffered, BoxCursor, Cursor, ExecError, Result};
 use std::sync::Arc;
 use tango_algebra::{Period, Schema, Tuple, Type, Value};
 
 /// The coalescing cursor: merges value-equivalent tuples with
 /// overlapping or adjacent periods into maximal periods.
 pub struct Coalesce {
-    input: BoxCursor,
+    input: BatchBuffered,
     value_idx: Vec<usize>,
     period: (usize, usize),
     date_typed: bool,
@@ -29,6 +29,7 @@ impl Coalesce {
     /// Build over `input`, which must be temporal and sorted on (value
     /// attributes, `T1`).
     pub fn new(input: BoxCursor) -> Result<Self> {
+        let input = BatchBuffered::new(input);
         let schema = input.schema();
         let period = schema
             .period()

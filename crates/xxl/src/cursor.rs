@@ -6,9 +6,29 @@
 //! its input, and the `TRANSFER^D` algorithm in `tango-core` copies its
 //! whole argument into the DBMS during `open`.
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use tango_algebra::{AlgebraError, Relation, Schema, Tuple};
+use tango_algebra::{AlgebraError, Batch, Relation, Schema, Tuple, DEFAULT_BATCH_ROWS};
+
+/// The process-wide batch-size knob, defaulting to
+/// [`DEFAULT_BATCH_ROWS`]. A value of 1 degenerates batch-at-a-time
+/// execution to the row-at-a-time baseline (used by the batch-size
+/// ablation benchmark).
+static BATCH_ROWS: AtomicUsize = AtomicUsize::new(DEFAULT_BATCH_ROWS);
+
+/// The number of rows [`Cursor::next_batch`] targets per batch.
+pub fn batch_rows() -> usize {
+    BATCH_ROWS.load(Ordering::Relaxed)
+}
+
+/// Set the process-wide target batch size (clamped to at least 1).
+/// Intended for benchmarks and tests; concurrent executions in the same
+/// process share the setting.
+pub fn set_batch_rows(n: usize) {
+    BATCH_ROWS.store(n.max(1), Ordering::Relaxed);
+}
 
 /// Errors raised during pipelined execution.
 #[derive(Debug, Clone)]
@@ -79,6 +99,37 @@ pub trait Cursor: Send {
     /// Produce the next tuple, or `None` at end of stream.
     fn next(&mut self) -> Result<Option<Tuple>>;
 
+    /// Produce the next batch of up to [`batch_rows`] tuples, or `None`
+    /// at end of stream. Equivalent to calling [`Cursor::next`]
+    /// repeatedly — the default implementation does exactly that, so
+    /// every row-at-a-time cursor keeps working — but native
+    /// implementations amortize per-tuple dispatch, trace accounting and
+    /// wire bookkeeping over the whole batch.
+    fn next_batch(&mut self) -> Result<Option<Batch>> {
+        self.next_batch_of(batch_rows())
+    }
+
+    /// Like [`Cursor::next_batch`] with an explicit row target. Batches
+    /// may come back smaller than `max_rows` (e.g. wire cursors return
+    /// prefetch-aligned batches); an empty stream yields `None`, never an
+    /// empty batch. Implementations must share state with
+    /// [`Cursor::next`] so the two pull styles can be mixed freely.
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        let max = max_rows.max(1);
+        let mut rows = Vec::with_capacity(max.min(DEFAULT_BATCH_ROWS));
+        while rows.len() < max {
+            match self.next()? {
+                Some(t) => rows.push(t),
+                None => break,
+            }
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::new(self.schema().clone(), rows)))
+        }
+    }
+
     /// Release resources held by the cursor (spill files, buffered
     /// state) and propagate to the inputs. Called once after the stream
     /// is drained; the default does nothing.
@@ -109,11 +160,91 @@ pub fn collect(mut c: BoxCursor) -> Result<Relation> {
     Ok(Relation::new(schema, tuples))
 }
 
-/// Drain an already-open cursor.
+/// Like [`collect`], but pulls whole batches via
+/// [`Cursor::next_batch`] — the differential tests compare this against
+/// [`collect`] to prove the two pull styles agree byte for byte.
+pub fn collect_batched(mut c: BoxCursor) -> Result<Relation> {
+    c.open()?;
+    let schema = c.schema().clone();
+    let mut tuples = Vec::new();
+    while let Some(b) = c.next_batch()? {
+        tuples.extend(b.into_rows());
+    }
+    c.close()?;
+    Ok(Relation::new(schema, tuples))
+}
+
+/// Drain an already-open cursor (batch-at-a-time, so inputs with native
+/// batch support are consumed at batch cost).
 pub fn drain(c: &mut dyn Cursor) -> Result<Vec<Tuple>> {
     let mut tuples = Vec::new();
-    while let Some(t) = c.next()? {
-        tuples.push(t);
+    while let Some(b) = c.next_batch()? {
+        tuples.extend(b.into_rows());
     }
     Ok(tuples)
+}
+
+/// Buffers an input cursor batch-at-a-time while exposing a cheap
+/// per-row [`BatchBuffered::next`]. Stream-merging operators (joins,
+/// aggregation, coalescing) hold their inputs in this adapter: their
+/// group-reading logic stays row-oriented, but each underlying
+/// (possibly traced, possibly remote) cursor is only dispatched once per
+/// batch.
+pub struct BatchBuffered {
+    inner: BoxCursor,
+    buf: VecDeque<Tuple>,
+    done: bool,
+}
+
+impl BatchBuffered {
+    /// Wrap `inner`; rows are pulled through the wrapper from `open` on.
+    pub fn new(inner: BoxCursor) -> Self {
+        BatchBuffered { inner, buf: VecDeque::new(), done: false }
+    }
+
+    /// The wrapped cursor's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        self.inner.schema()
+    }
+
+    /// Open the wrapped cursor.
+    pub fn open(&mut self) -> Result<()> {
+        self.buf.clear();
+        self.done = false;
+        self.inner.open()
+    }
+
+    /// Next row: pops the buffer, refilling it one batch at a time.
+    /// Named after [`Cursor::next`] (fallible, lifecycle-bound), which
+    /// `Iterator` cannot express.
+    #[allow(clippy::should_implement_trait)]
+    #[inline]
+    pub fn next(&mut self) -> Result<Option<Tuple>> {
+        if let Some(t) = self.buf.pop_front() {
+            return Ok(Some(t));
+        }
+        self.refill()
+    }
+
+    fn refill(&mut self) -> Result<Option<Tuple>> {
+        if self.done {
+            return Ok(None);
+        }
+        match self.inner.next_batch()? {
+            Some(b) => {
+                self.buf.extend(b.into_rows());
+                Ok(self.buf.pop_front())
+            }
+            None => {
+                self.done = true;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Close the wrapped cursor.
+    pub fn close(&mut self) -> Result<()> {
+        self.buf.clear();
+        self.inner.close()
+    }
 }

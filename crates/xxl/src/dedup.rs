@@ -11,7 +11,7 @@ use crate::cursor::{BoxCursor, Cursor, Result};
 use std::collections::HashSet;
 use std::sync::Arc;
 use tango_algebra::value::Key;
-use tango_algebra::{Schema, Tuple};
+use tango_algebra::{Batch, Schema, Tuple};
 
 /// Order-preserving hash duplicate elimination (keeps first occurrences).
 pub struct DupElim {
@@ -46,6 +46,29 @@ impl Cursor for DupElim {
             self.dropped += 1;
         }
         Ok(None)
+    }
+
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        loop {
+            let Some(b) = self.input.next_batch_of(max_rows)? else {
+                return Ok(None);
+            };
+            let mut rows = b.into_rows();
+            let mut kept = 0usize;
+            for i in 0..rows.len() {
+                let key: Vec<Key> = rows[i].values().iter().map(|v| v.key()).collect();
+                if self.seen.insert(key) {
+                    rows.swap(kept, i);
+                    kept += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            rows.truncate(kept);
+            if !rows.is_empty() {
+                return Ok(Some(Batch::new(self.input.schema().clone(), rows)));
+            }
+        }
     }
 
     fn close(&mut self) -> Result<()> {

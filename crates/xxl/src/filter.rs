@@ -8,7 +8,7 @@
 
 use crate::cursor::{BoxCursor, Cursor, Result};
 use std::sync::Arc;
-use tango_algebra::{Expr, Schema, Tuple};
+use tango_algebra::{Batch, Expr, Schema, Tuple};
 
 /// The `FILTER^M` cursor: pipelined, order-preserving selection.
 pub struct Filter {
@@ -50,6 +50,33 @@ impl Cursor for Filter {
                 return Ok(Some(t));
             }
             self.dropped += 1;
+        }
+    }
+
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        let Some(pred) = self.bound.as_ref() else {
+            return Err(crate::cursor::ExecError::State("filter not opened".into()));
+        };
+        // Keep pulling input batches until one survives the predicate;
+        // an all-dropped batch must not end the stream early.
+        loop {
+            let Some(b) = self.input.next_batch_of(max_rows)? else {
+                return Ok(None);
+            };
+            let mut rows = b.into_rows();
+            let mut kept = 0usize;
+            for i in 0..rows.len() {
+                if pred.matches(&rows[i])? {
+                    rows.swap(kept, i);
+                    kept += 1;
+                } else {
+                    self.dropped += 1;
+                }
+            }
+            rows.truncate(kept);
+            if !rows.is_empty() {
+                return Ok(Some(Batch::new(self.schema().clone(), rows)));
+            }
         }
     }
 

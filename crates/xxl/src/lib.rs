@@ -10,6 +10,15 @@
 //! paper requires it (Section 4: "the middleware algorithms are designed
 //! to be order preserving").
 //!
+//! Cursors also support *batch-at-a-time* pulls via
+//! [`Cursor::next_batch`]: every algorithm answers batch requests (a
+//! default implementation loops `next`), the bulk operators (scan,
+//! filter, project, sort, dedup, aggregation) produce batches natively,
+//! and the stream-merging operators amortize their input dispatch with
+//! [`cursor::BatchBuffered`]. The process-wide batch size is read by
+//! [`cursor::batch_rows`] and set by [`cursor::set_batch_rows`]; size 1
+//! degenerates to row-at-a-time execution.
+//!
 //! Inventory:
 //!
 //! * [`scan::VecScan`] — scan of a materialized relation,
@@ -69,7 +78,10 @@ pub mod tdiff;
 pub mod temporal_join;
 
 pub use coalesce::Coalesce;
-pub use cursor::{collect, BoxCursor, Cursor, ExecError, Result};
+pub use cursor::{
+    batch_rows, collect, collect_batched, set_batch_rows, BatchBuffered, BoxCursor, Cursor,
+    ExecError, Result,
+};
 pub use dedup::DupElim;
 pub use filter::Filter;
 pub use merge_join::MergeJoin;

@@ -6,7 +6,7 @@
 //! join attributes, which is why the optimizer can sometimes skip a final
 //! sort.
 
-use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
+use crate::cursor::{BatchBuffered, BoxCursor, Cursor, ExecError, Result};
 use std::cmp::Ordering;
 use std::sync::Arc;
 use tango_algebra::logical::concat_schemas;
@@ -15,8 +15,8 @@ use tango_algebra::{Schema, Tuple};
 /// The `MERGEJOIN^M` cursor: sort-merge equi join over inputs sorted on
 /// the join attributes; output ordered by the left input.
 pub struct MergeJoin {
-    left: BoxCursor,
-    right: BoxCursor,
+    left: BatchBuffered,
+    right: BatchBuffered,
     /// Resolved join-attribute indices (left, right).
     keys: Vec<(usize, usize)>,
     schema: Arc<Schema>,
@@ -49,16 +49,8 @@ impl MergeJoin {
             return Err(ExecError::State("merge join requires at least one key".into()));
         }
         let schema = Arc::new(concat_schemas(left.schema(), right.schema()));
+        let (left, right) = (BatchBuffered::new(left), BatchBuffered::new(right));
         Ok(MergeJoin { left, right, keys, schema, state: None, groups: 0 })
-    }
-
-    fn key_cmp(&self, l: &Tuple, r: &Tuple) -> Ordering {
-        key_cmp(&self.keys, l, r)
-    }
-
-    /// Compare two right tuples on the right key columns.
-    fn right_key_eq(&self, a: &Tuple, b: &Tuple) -> bool {
-        self.keys.iter().all(|&(_, ri)| a[ri].total_cmp(&b[ri]) == Ordering::Equal)
     }
 }
 
@@ -93,11 +85,13 @@ impl Cursor for MergeJoin {
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
+        // Split borrows up front: the merge state, the two inputs and the
+        // key indices are disjoint fields, so the loop below can advance
+        // the inputs while holding borrowed tuples out of the state — no
+        // per-iteration `Tuple` clones.
+        let MergeJoin { left, right, keys, state, groups, .. } = self;
+        let st = state.as_mut().ok_or_else(|| ExecError::State("merge join not opened".into()))?;
         loop {
-            let st = self
-                .state
-                .as_mut()
-                .ok_or_else(|| ExecError::State("merge join not opened".into()))?;
             // Emit pending pairs for the current left tuple.
             if st.matching {
                 if let Some(l) = &st.left_cur {
@@ -110,13 +104,11 @@ impl Cursor for MergeJoin {
                 // Exhausted the group for this left tuple: advance left; if
                 // the next left tuple has the same key, replay the group.
                 let prev = st.left_cur.take();
-                let nxt = self.left.next()?;
-                let st = self.state.as_mut().unwrap();
-                st.left_cur = nxt;
+                st.left_cur = left.next()?;
                 st.emit_idx = 0;
                 st.matching = match (&prev, &st.left_cur) {
                     (Some(p), Some(c)) => {
-                        self.keys.iter().all(|&(li, _)| p[li].total_cmp(&c[li]) == Ordering::Equal)
+                        keys.iter().all(|&(li, _)| p[li].total_cmp(&c[li]) == Ordering::Equal)
                     }
                     _ => false,
                 };
@@ -124,8 +116,7 @@ impl Cursor for MergeJoin {
                     continue;
                 }
             }
-            let st = self.state.as_mut().unwrap();
-            let Some(left) = st.left_cur.clone() else {
+            let Some(cur) = st.left_cur.as_ref() else {
                 return Ok(None);
             };
             // Advance the right side until its key >= left key, buffering
@@ -133,10 +124,7 @@ impl Cursor for MergeJoin {
             if st.right_next.is_none() {
                 // No more right tuples can match this or any later left
                 // tuple unless a buffered group matches — check group.
-                if !st.right_group.is_empty()
-                    && key_cmp(&self.keys, &left, &st.right_group[0]).is_eq()
-                {
-                    let st = self.state.as_mut().unwrap();
+                if !st.right_group.is_empty() && key_cmp(keys, cur, &st.right_group[0]).is_eq() {
                     st.matching = true;
                     st.emit_idx = 0;
                     continue;
@@ -144,46 +132,46 @@ impl Cursor for MergeJoin {
                 return Ok(None);
             }
             // If the buffered group already matches the left key, use it.
-            if !st.right_group.is_empty() && key_cmp(&self.keys, &left, &st.right_group[0]).is_eq()
-            {
-                let st = self.state.as_mut().unwrap();
+            if !st.right_group.is_empty() && key_cmp(keys, cur, &st.right_group[0]).is_eq() {
                 st.matching = true;
                 st.emit_idx = 0;
                 continue;
             }
-            let r = st.right_next.clone().unwrap();
-            match self.key_cmp(&left, &r) {
+            let r = st.right_next.as_ref().unwrap();
+            match key_cmp(keys, cur, r) {
                 Ordering::Less => {
                     // left key too small: advance left
-                    let nxt = self.left.next()?;
-                    self.state.as_mut().unwrap().left_cur = nxt;
-                    if self.state.as_ref().unwrap().left_cur.is_none() {
+                    st.left_cur = left.next()?;
+                    if st.left_cur.is_none() {
                         return Ok(None);
                     }
                 }
                 Ordering::Greater => {
                     // right key too small: discard and advance right
-                    let nxt = self.right.next()?;
-                    let st = self.state.as_mut().unwrap();
                     st.right_group.clear();
-                    st.right_next = nxt;
+                    st.right_next = right.next()?;
                 }
                 Ordering::Equal => {
-                    // Buffer the whole right group with this key.
-                    let mut group = vec![r];
+                    // Buffer the whole right group with this key, moving
+                    // the lookahead tuple in rather than cloning it.
+                    let first = st.right_next.take().unwrap();
+                    let mut group = vec![first];
                     loop {
-                        let nxt = self.right.next()?;
-                        match nxt {
-                            Some(t) if self.right_key_eq(&group[0], &t) => group.push(t),
+                        match right.next()? {
+                            Some(t)
+                                if keys.iter().all(|&(_, ri)| {
+                                    group[0][ri].total_cmp(&t[ri]) == Ordering::Equal
+                                }) =>
+                            {
+                                group.push(t)
+                            }
                             other => {
-                                let st = self.state.as_mut().unwrap();
                                 st.right_next = other;
                                 break;
                             }
                         }
                     }
-                    self.groups += 1;
-                    let st = self.state.as_mut().unwrap();
+                    *groups += 1;
                     st.right_group = group;
                     st.matching = true;
                     st.emit_idx = 0;

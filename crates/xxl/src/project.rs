@@ -5,7 +5,7 @@
 use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
 use std::sync::Arc;
 use tango_algebra::logical::{infer_type, ProjItem};
-use tango_algebra::{Attr, Expr, Schema, Tuple};
+use tango_algebra::{Attr, Batch, Expr, Schema, Tuple};
 
 /// The `PROJECT^M` cursor: evaluates one scalar expression per output
 /// attribute.
@@ -64,6 +64,24 @@ impl Cursor for Project {
                 Ok(Some(Tuple::new(out)))
             }
         }
+    }
+
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        if self.bound.is_empty() && !self.items.is_empty() {
+            return Err(ExecError::State("project not opened".into()));
+        }
+        let Some(b) = self.input.next_batch_of(max_rows)? else {
+            return Ok(None);
+        };
+        let mut rows = Vec::with_capacity(b.len());
+        for t in b.rows() {
+            let mut out = Vec::with_capacity(self.bound.len());
+            for e in &self.bound {
+                out.push(e.eval(t)?);
+            }
+            rows.push(Tuple::new(out));
+        }
+        Ok(Some(Batch::new(self.schema.clone(), rows)))
     }
 
     fn close(&mut self) -> Result<()> {

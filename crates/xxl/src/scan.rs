@@ -2,7 +2,7 @@
 
 use crate::cursor::{Cursor, Result};
 use std::sync::Arc;
-use tango_algebra::{Relation, Schema, Tuple};
+use tango_algebra::{Batch, Relation, Schema, Tuple};
 
 /// Streams the tuples of an in-memory relation in list order.
 pub struct VecScan {
@@ -37,6 +37,16 @@ impl Cursor for VecScan {
     fn next(&mut self) -> Result<Option<Tuple>> {
         debug_assert!(self.opened, "scan consumed before open()");
         Ok(self.tuples.next())
+    }
+
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        debug_assert!(self.opened, "scan consumed before open()");
+        let rows: Vec<Tuple> = self.tuples.by_ref().take(max_rows.max(1)).collect();
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::new(self.schema.clone(), rows)))
+        }
     }
 }
 

@@ -21,7 +21,7 @@ use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::PathBuf;
 use std::sync::Arc;
 use tango_algebra::codec::{encode_tuple, Decoder};
-use tango_algebra::{Schema, SortSpec, Tuple};
+use tango_algebra::{sort_tuples, Batch, Schema, SortSpec, Tuple};
 
 /// In-memory sort.
 pub struct Sort {
@@ -47,8 +47,7 @@ impl Cursor for Sort {
         self.input.open()?;
         let mut tuples = drain(self.input.as_mut())?;
         self.buffered = tuples.len() as u64;
-        let cmp = self.spec.comparator(self.input.schema());
-        tuples.sort_by(cmp);
+        sort_tuples(&mut tuples, &self.spec, self.input.schema());
         self.out = Some(tuples.into_iter());
         Ok(())
     }
@@ -57,6 +56,18 @@ impl Cursor for Sort {
         match &mut self.out {
             Some(it) => Ok(it.next()),
             None => Err(ExecError::State("sort not opened".into())),
+        }
+    }
+
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        let Some(it) = self.out.as_mut() else {
+            return Err(ExecError::State("sort not opened".into()));
+        };
+        let rows: Vec<Tuple> = it.by_ref().take(max_rows.max(1)).collect();
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::new(self.input.schema().clone(), rows)))
         }
     }
 
@@ -174,7 +185,8 @@ impl Cursor for ExternalSort {
 
     fn open(&mut self) -> Result<()> {
         self.input.open()?;
-        let cmp = self.spec.comparator(self.input.schema());
+        let spec = self.spec.clone();
+        let schema = self.input.schema().clone();
         let keys = self.spec.resolve(self.input.schema());
         let dir = std::env::temp_dir();
         let mut runs = Vec::new();
@@ -183,7 +195,7 @@ impl Cursor for ExternalSort {
             if chunk.is_empty() {
                 return Ok(());
             }
-            chunk.sort_by(&cmp);
+            sort_tuples(chunk, &spec, &schema);
             static RUN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
             let id = RUN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let path = dir.join(format!("tango-sort-{}-{id}.run", std::process::id()));
@@ -239,6 +251,30 @@ impl Cursor for ExternalSort {
             m.seq += 1;
         }
         Ok(Some(top.tuple))
+    }
+
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        let m = self
+            .merge
+            .as_mut()
+            .ok_or_else(|| ExecError::State("external sort not opened".into()))?;
+        let max = max_rows.max(1);
+        let mut rows = Vec::with_capacity(max.min(m.runs.len().max(1) * 16));
+        while rows.len() < max {
+            let Some(top) = m.heap.pop() else {
+                break;
+            };
+            if let Some(t) = m.runs[top.run].next_tuple()? {
+                m.heap.push(HeapEntry { tuple: t, run: top.run, seq: m.seq, keys: m.keys.clone() });
+                m.seq += 1;
+            }
+            rows.push(top.tuple);
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::new(self.input.schema().clone(), rows)))
+        }
     }
 
     fn close(&mut self) -> Result<()> {

@@ -10,32 +10,40 @@
 //! The output is ordered on (grouping attributes, `T1`), which is why
 //! Query 1's best plan needs no final sort (Figure 7, Plan 1).
 
-use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
-use std::collections::{BTreeMap, VecDeque};
+use crate::cursor::{BatchBuffered, BoxCursor, Cursor, ExecError, Result};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use tango_algebra::logical::taggr_schema;
 use tango_algebra::value::Key;
-use tango_algebra::{AggFunc, AggSpec, Day, Schema, Tuple, Type, Value};
+use tango_algebra::{AggFunc, AggSpec, Batch, Day, Schema, Tuple, Type, Value};
 
 /// The `TAGGR^M` cursor: temporal aggregation by a sweep over each
 /// group's constant periods (Section 3.4 of the paper). Input must be
 /// sorted on (group attributes, `T1`).
 pub struct TemporalAggregate {
-    input: BoxCursor,
+    input: BatchBuffered,
     group_idx: Vec<usize>,
-    aggs: Vec<AggSpec>,
     agg_arg_idx: Vec<Option<usize>>,
     period: (usize, usize),
     date_typed: bool,
     schema: Arc<Schema>,
     /// Lookahead tuple belonging to the *next* group.
     pending: Option<Tuple>,
-    /// Constant-period rows produced for the current group.
-    out: VecDeque<Tuple>,
+    /// Constant-period rows not yet handed out; `out_pos` marks the next
+    /// one (already-emitted slots hold empty husk tuples).
+    out: Vec<Tuple>,
+    out_pos: usize,
     opened: bool,
     done: bool,
     groups: u64,
     constant_periods: u64,
+    // Per-group scratch, reused across groups so a run with many small
+    // groups doesn't reallocate per group.
+    group: Vec<Tuple>,
+    starts: Vec<Day>,
+    ends: Vec<Day>,
+    by_end: Vec<usize>,
+    states: Vec<Box<dyn AggState>>,
 }
 
 impl TemporalAggregate {
@@ -59,20 +67,27 @@ impl TemporalAggregate {
         }
         let date_typed = matches!(in_schema.attr(period.0).ty, Type::Date);
         let schema = Arc::new(taggr_schema(&group_by, &aggs, in_schema)?);
+        let input = BatchBuffered::new(input);
+        let states = aggs.iter().map(|a| new_state(a.func)).collect();
         Ok(TemporalAggregate {
             input,
             group_idx,
-            aggs,
             agg_arg_idx,
             period,
             date_typed,
             schema,
             pending: None,
-            out: VecDeque::new(),
+            out: Vec::new(),
+            out_pos: 0,
             opened: false,
             done: false,
             groups: 0,
             constant_periods: 0,
+            group: Vec::new(),
+            starts: Vec::new(),
+            ends: Vec::new(),
+            by_end: Vec::new(),
+            states,
         })
     }
 
@@ -80,17 +95,9 @@ impl TemporalAggregate {
         self.group_idx.iter().all(|&i| a[i].total_cmp(&b[i]) == std::cmp::Ordering::Equal)
     }
 
-    fn time_value(&self, d: Day) -> Value {
-        if self.date_typed {
-            Value::Date(d)
-        } else {
-            Value::Int(d as i64)
-        }
-    }
-
     /// Read the next group from the input and compute its constant-period
-    /// rows into `self.out`. Returns `false` at end of input.
-    fn process_next_group(&mut self) -> Result<bool> {
+    /// rows into `sink`. Returns `false` at end of input.
+    fn process_next_group(&mut self, sink: &mut Vec<Tuple>) -> Result<bool> {
         let first = match self.pending.take() {
             Some(t) => t,
             None => match self.input.next()? {
@@ -99,10 +106,11 @@ impl TemporalAggregate {
             },
         };
         // First copy: the group's tuples ordered by T1 (input order).
-        let mut group = vec![first];
+        self.group.clear();
+        self.group.push(first);
         loop {
             match self.input.next()? {
-                Some(t) if self.same_group(&group[0], &t) => group.push(t),
+                Some(t) if self.same_group(&self.group[0], &t) => self.group.push(t),
                 other => {
                     self.pending = other;
                     break;
@@ -112,20 +120,32 @@ impl TemporalAggregate {
         let (it1, it2) = self.period;
         // Drop tuples with empty or null periods: they hold at no time
         // point and contribute nothing.
-        group.retain(|t| match (t[it1].as_day(), t[it2].as_day()) {
+        self.group.retain(|t| match (t[it1].as_day(), t[it2].as_day()) {
             (Some(a), Some(b)) => a < b,
             _ => false,
         });
-        if group.is_empty() {
+        if self.group.is_empty() {
             return Ok(true); // an empty group produces no constant periods
         }
         self.groups += 1;
+        let group = &self.group[..];
+        // Parse the period endpoints once per group; the sweep below
+        // consults them repeatedly in its loop conditions.
+        self.starts.clear();
+        self.starts.extend(group.iter().map(|t| t[it1].as_day().unwrap()));
+        self.ends.clear();
+        self.ends.extend(group.iter().map(|t| t[it2].as_day().unwrap()));
+        let (starts, ends) = (&self.starts[..], &self.ends[..]);
         // Second copy, sorted on T2 (the algorithm's internal sort).
-        let mut by_end: Vec<usize> = (0..group.len()).collect();
-        by_end.sort_by_key(|&i| group[i][it2].as_day().unwrap());
+        self.by_end.clear();
+        self.by_end.extend(0..group.len());
+        self.by_end.sort_unstable_by_key(|&i| ends[i]);
+        let by_end = &self.by_end[..];
 
-        let mut states: Vec<Box<dyn AggState>> =
-            self.aggs.iter().map(|a| new_state(a.func)).collect();
+        let states = &mut self.states;
+        for s in states.iter_mut() {
+            s.reset();
+        }
         let group_vals: Vec<Value> = self.group_idx.iter().map(|&i| group[0][i].clone()).collect();
 
         let mut i = 0usize; // next start event (group is sorted by T1)
@@ -133,23 +153,22 @@ impl TemporalAggregate {
         let mut active = 0usize;
         let mut prev: Option<Day> = None;
         while j < group.len() {
-            let end_t = group[by_end[j]][it2].as_day().unwrap();
-            let t =
-                if i < group.len() { end_t.min(group[i][it1].as_day().unwrap()) } else { end_t };
+            let end_t = ends[by_end[j]];
+            let t = if i < group.len() { end_t.min(starts[i]) } else { end_t };
             if let Some(p) = prev {
                 if p < t && active > 0 {
-                    let mut row = Vec::with_capacity(group_vals.len() + 2 + self.aggs.len());
+                    let mut row = Vec::with_capacity(group_vals.len() + 2 + states.len());
                     row.extend(group_vals.iter().cloned());
-                    row.push(self.time_value(p));
-                    row.push(self.time_value(t));
-                    for s in &states {
+                    row.push(if self.date_typed { Value::Date(p) } else { Value::Int(p as i64) });
+                    row.push(if self.date_typed { Value::Date(t) } else { Value::Int(t as i64) });
+                    for s in states.iter() {
                         row.push(s.current());
                     }
-                    self.out.push_back(Tuple::new(row));
+                    sink.push(Tuple::new(row));
                     self.constant_periods += 1;
                 }
             }
-            while i < group.len() && group[i][it1].as_day().unwrap() == t {
+            while i < group.len() && starts[i] == t {
                 let tup = &group[i];
                 for (s, arg) in states.iter_mut().zip(&self.agg_arg_idx) {
                     s.add(arg.map(|a| &tup[a]));
@@ -157,7 +176,7 @@ impl TemporalAggregate {
                 active += 1;
                 i += 1;
             }
-            while j < group.len() && group[by_end[j]][it2].as_day().unwrap() == t {
+            while j < group.len() && ends[by_end[j]] == t {
                 let tup = &group[by_end[j]];
                 for (s, arg) in states.iter_mut().zip(&self.agg_arg_idx) {
                     s.remove(arg.map(|a| &tup[a]));
@@ -187,20 +206,58 @@ impl Cursor for TemporalAggregate {
             return Err(ExecError::State("temporal aggregation not opened".into()));
         }
         loop {
-            if let Some(t) = self.out.pop_front() {
+            if self.out_pos < self.out.len() {
+                let t = std::mem::replace(&mut self.out[self.out_pos], Tuple::new(Vec::new()));
+                self.out_pos += 1;
                 return Ok(Some(t));
             }
             if self.done {
                 return Ok(None);
             }
-            if !self.process_next_group()? {
+            self.out.clear();
+            self.out_pos = 0;
+            let mut out = std::mem::take(&mut self.out);
+            let more = self.process_next_group(&mut out);
+            self.out = out;
+            if !more? {
                 self.done = true;
             }
         }
     }
 
+    fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
+        if !self.opened {
+            return Err(ExecError::State("temporal aggregation not opened".into()));
+        }
+        let max = max_rows.max(1);
+        let mut rows: Vec<Tuple> = Vec::new();
+        // leftovers stashed by a previous call (or row-path use) first
+        while self.out_pos < self.out.len() && rows.len() < max {
+            rows.push(std::mem::replace(&mut self.out[self.out_pos], Tuple::new(Vec::new())));
+            self.out_pos += 1;
+        }
+        // then aggregate whole groups straight into the outgoing batch
+        while rows.len() < max && !self.done {
+            if !self.process_next_group(&mut rows)? {
+                self.done = true;
+            }
+        }
+        if rows.len() > max {
+            // a group straddled the batch boundary: stash the overflow
+            self.out.clear();
+            self.out_pos = 0;
+            self.out.extend(rows.drain(max..));
+        }
+        if rows.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(Batch::new(self.schema.clone(), rows)))
+        }
+    }
+
     fn close(&mut self) -> Result<()> {
         self.out.clear();
+        self.out_pos = 0;
         self.input.close()
     }
 
@@ -215,6 +272,9 @@ trait AggState: Send {
     fn add(&mut self, v: Option<&Value>);
     fn remove(&mut self, v: Option<&Value>);
     fn current(&self) -> Value;
+    /// Return to the empty state (the cursor reuses one state box across
+    /// all groups).
+    fn reset(&mut self);
 }
 
 fn new_state(f: AggFunc) -> Box<dyn AggState> {
@@ -245,6 +305,9 @@ impl AggState for CountState {
     }
     fn current(&self) -> Value {
         Value::Int(self.n)
+    }
+    fn reset(&mut self) {
+        self.n = 0;
     }
 }
 
@@ -292,6 +355,9 @@ impl AggState for SumState {
             Value::Int(self.int)
         }
     }
+    fn reset(&mut self) {
+        *self = SumState { int: 0, float: 0.0, n: 0, saw_float: false };
+    }
 }
 
 struct AvgState {
@@ -318,6 +384,10 @@ impl AggState for AvgState {
         } else {
             Value::Double(self.sum / self.n as f64)
         }
+    }
+    fn reset(&mut self) {
+        self.sum = 0.0;
+        self.n = 0;
     }
 }
 
@@ -352,6 +422,9 @@ impl AggState for ExtState {
         let entry =
             if self.min { self.vals.values().next() } else { self.vals.values().next_back() };
         entry.map(|(v, _)| v.clone()).unwrap_or(Value::Null)
+    }
+    fn reset(&mut self) {
+        self.vals.clear();
     }
 }
 

@@ -9,7 +9,7 @@
 //! them, so a query that sorts its result on the join key needs no extra
 //! sort after this algorithm (exploited by Queries 2 and 3 in the paper).
 
-use crate::cursor::{BoxCursor, Cursor, ExecError, Result};
+use crate::cursor::{BatchBuffered, BoxCursor, Cursor, ExecError, Result};
 use std::cmp::Ordering;
 use std::sync::Arc;
 use tango_algebra::logical::tjoin_schema;
@@ -19,8 +19,8 @@ use tango_algebra::{Period, Schema, Tuple, Value};
 /// the join attributes *and* overlapping periods, emitting the
 /// intersected period. Inputs sorted on the join attributes.
 pub struct TemporalMergeJoin {
-    left: BoxCursor,
-    right: BoxCursor,
+    left: BatchBuffered,
+    right: BatchBuffered,
     lkeys: Vec<usize>,
     rkeys: Vec<usize>,
     /// Left attribute indices copied to the output (non-period).
@@ -38,6 +38,10 @@ pub struct TemporalMergeJoin {
 struct State {
     lgroup: Vec<Tuple>,
     rgroup: Vec<Tuple>,
+    /// Periods of the buffered groups, parsed once per group instead of
+    /// once per (left, right) pair in the emission loop.
+    lper: Vec<Period>,
+    rper: Vec<Period>,
     lnext: Option<Tuple>,
     rnext: Option<Tuple>,
     i: usize,
@@ -73,6 +77,7 @@ impl TemporalMergeJoin {
         let schema = Arc::new(tjoin_schema(&eq_owned, ls, rs)?);
         let date_typed =
             matches!(schema.attr(schema.period().unwrap().0).ty, tango_algebra::Type::Date);
+        let (left, right) = (BatchBuffered::new(left), BatchBuffered::new(right));
         Ok(TemporalMergeJoin {
             left,
             right,
@@ -91,7 +96,7 @@ impl TemporalMergeJoin {
 
     /// Read all consecutive tuples sharing the key of `first` from `input`.
     fn read_group(
-        input: &mut dyn Cursor,
+        input: &mut BatchBuffered,
         first: Tuple,
         keys: &[usize],
     ) -> Result<(Vec<Tuple>, Option<Tuple>)> {
@@ -158,33 +163,49 @@ impl Cursor for TemporalMergeJoin {
         self.right.open()?;
         let lnext = self.left.next()?;
         let rnext = self.right.next()?;
-        self.state =
-            Some(State { lgroup: Vec::new(), rgroup: Vec::new(), lnext, rnext, i: 0, j: 0 });
+        self.state = Some(State {
+            lgroup: Vec::new(),
+            rgroup: Vec::new(),
+            lper: Vec::new(),
+            rper: Vec::new(),
+            lnext,
+            rnext,
+            i: 0,
+            j: 0,
+        });
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
+        // Split borrows up front (same pattern as `MergeJoin::next`): the
+        // state, the two inputs and the resolved indices are disjoint
+        // fields, so the loop can advance the inputs while reading the
+        // buffered groups out of the state.
+        let TemporalMergeJoin {
+            left,
+            right,
+            lkeys,
+            rkeys,
+            lkeep,
+            rkeep,
+            lperiod,
+            rperiod,
+            date_typed,
+            state,
+            groups,
+            ..
+        } = self;
+        let st =
+            state.as_mut().ok_or_else(|| ExecError::State("temporal join not opened".into()))?;
         loop {
-            let st = self
-                .state
-                .as_mut()
-                .ok_or_else(|| ExecError::State("temporal join not opened".into()))?;
-            // Emit remaining overlapping pairs of the buffered groups.
+            // Emit remaining overlapping pairs of the buffered groups,
+            // intersecting the periods parsed once per group.
             while st.i < st.lgroup.len() {
                 while st.j < st.rgroup.len() {
-                    let l = &st.lgroup[st.i];
-                    let r = &st.rgroup[st.j];
+                    let (i, j) = (st.i, st.j);
                     st.j += 1;
-                    let lp = Period::new(
-                        l[self.lperiod.0].as_day().unwrap_or(0),
-                        l[self.lperiod.1].as_day().unwrap_or(0),
-                    );
-                    let rp = Period::new(
-                        r[self.rperiod.0].as_day().unwrap_or(0),
-                        r[self.rperiod.1].as_day().unwrap_or(0),
-                    );
-                    if let Some(p) = lp.intersect(&rp) {
-                        let out = emit(&self.lkeep, &self.rkeep, self.date_typed, l, r, p);
+                    if let Some(p) = st.lper[i].intersect(&st.rper[j]) {
+                        let out = emit(lkeep, rkeep, *date_typed, &st.lgroup[i], &st.rgroup[j], p);
                         return Ok(Some(out));
                     }
                 }
@@ -193,34 +214,35 @@ impl Cursor for TemporalMergeJoin {
             }
             st.lgroup.clear();
             st.rgroup.clear();
+            st.lper.clear();
+            st.rper.clear();
             st.i = 0;
             st.j = 0;
             // Align the two inputs on the next common key.
             loop {
-                let st = self.state.as_mut().unwrap();
                 let (Some(l), Some(r)) = (&st.lnext, &st.rnext) else {
                     return Ok(None);
                 };
-                match key_cmp(&self.lkeys, &self.rkeys, l, r) {
-                    Ordering::Less => {
-                        let n = self.left.next()?;
-                        self.state.as_mut().unwrap().lnext = n;
-                    }
-                    Ordering::Greater => {
-                        let n = self.right.next()?;
-                        self.state.as_mut().unwrap().rnext = n;
-                    }
+                match key_cmp(lkeys, rkeys, l, r) {
+                    Ordering::Less => st.lnext = left.next()?,
+                    Ordering::Greater => st.rnext = right.next()?,
                     Ordering::Equal => break,
                 }
             }
-            // Buffer both groups and restart emission.
-            let st = self.state.as_mut().unwrap();
+            // Buffer both groups, parse their periods once, and restart
+            // emission.
             let lfirst = st.lnext.take().unwrap();
             let rfirst = st.rnext.take().unwrap();
-            let (lg, ln) = Self::read_group(self.left.as_mut(), lfirst, &self.lkeys)?;
-            let (rg, rn) = Self::read_group(self.right.as_mut(), rfirst, &self.rkeys)?;
-            self.groups += 1;
-            let st = self.state.as_mut().unwrap();
+            let (lg, ln) = Self::read_group(left, lfirst, lkeys)?;
+            let (rg, rn) = Self::read_group(right, rfirst, rkeys)?;
+            *groups += 1;
+            let parse = |g: &[Tuple], (p0, p1): (usize, usize)| -> Vec<Period> {
+                g.iter()
+                    .map(|t| Period::new(t[p0].as_day().unwrap_or(0), t[p1].as_day().unwrap_or(0)))
+                    .collect()
+            };
+            st.lper = parse(&lg, *lperiod);
+            st.rper = parse(&rg, *rperiod);
             st.lgroup = lg;
             st.rgroup = rg;
             st.lnext = ln;

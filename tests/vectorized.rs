@@ -1,0 +1,314 @@
+//! Differential suite for batch-at-a-time execution: pulling whole
+//! batches ([`Cursor::next_batch`]) must agree **byte for byte** with
+//! pulling single rows ([`Cursor::next`]) — for every XXL operator on
+//! randomized inputs, for full middleware plans end to end, and under
+//! seeded chaos schedules on the simulated wire.
+//!
+//! All tests here mutate the process-wide batch-size knob, so they
+//! serialize on one mutex and always restore the default before
+//! releasing it.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+use tango::algebra::{
+    tup, AggFunc, AggSpec, Attr, Expr, ProjItem, Relation, Schema, SortSpec, Type, Value,
+    DEFAULT_BATCH_ROWS,
+};
+use tango::minidb::{Database, FaultPlan, Link, LinkProfile, WireMode};
+use tango::xxl::{
+    collect, collect_batched, set_batch_rows, BoxCursor, Coalesce, DupElim, ExternalSort, Filter,
+    MergeJoin, Project, Sort, TemporalAggregate, TemporalDiff, TemporalMergeJoin, VecScan,
+};
+use tango::Tango;
+
+/// Serializes access to the process-wide batch-size knob.
+static KNOB: Mutex<()> = Mutex::new(());
+
+/// Batch sizes every differential sweeps: the row-at-a-time degenerate
+/// case, sizes that straddle group/prefetch boundaries, and the default.
+const SIZES: [usize; 5] = [1, 2, 3, 7, DEFAULT_BATCH_ROWS];
+
+fn with_knob<R>(f: impl FnOnce() -> R) -> R {
+    let _g = KNOB.lock().unwrap_or_else(|e| e.into_inner());
+    let r = f();
+    set_batch_rows(DEFAULT_BATCH_ROWS);
+    r
+}
+
+/// Row vs batch on the same cursor constructor, across all of [`SIZES`].
+fn assert_differential(label: &str, make: &dyn Fn() -> BoxCursor) {
+    with_knob(|| {
+        let row = collect(make()).unwrap(); // pure `next()` pulls
+        for bs in SIZES {
+            set_batch_rows(bs);
+            let batched = collect_batched(make()).unwrap();
+            assert!(
+                batched.list_eq(&row),
+                "{label}: batch size {bs} differs from row-at-a-time\nrow:\n{row}\nbatch:\n{batched}"
+            );
+            assert_eq!(
+                batched.schema().names().collect::<Vec<_>>(),
+                row.schema().names().collect::<Vec<_>>(),
+                "{label}: schema drifted at batch size {bs}"
+            );
+        }
+    })
+}
+
+type Row = (i64, i64, i32, i32); // (PosID, EmpID, T1, duration)
+
+/// Temporal POSITION-shaped relation from raw proptest rows.
+fn temporal_rel(raw: &[Row]) -> Relation {
+    let schema = Arc::new(Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]));
+    let rows = raw.iter().map(|&(p, e, a, d)| tup![p, e, a, a + d]).collect();
+    Relation::new(schema, rows)
+}
+
+fn scan(rel: &Relation) -> BoxCursor {
+    Box::new(VecScan::new(rel.clone()))
+}
+
+fn sorted_by(rel: &Relation, cols: &[&str]) -> Relation {
+    let mut r = rel.clone();
+    r.sort_by(&SortSpec::by(cols.iter().map(|c| c.to_string())));
+    r
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Every bulk operator: filter, project, sorts, dedup.
+    #[test]
+    fn bulk_operators_agree(
+        raw in proptest::collection::vec((0i64..5, 0i64..4, 0i32..30, 1i32..10), 0..40),
+    ) {
+        let rel = temporal_rel(&raw);
+        assert_differential("FILTER^M", &|| {
+            Box::new(Filter::new(scan(&rel), Expr::eq(Expr::col("PosID"), Expr::lit(1))))
+        });
+        assert_differential("PROJECT^M", &|| {
+            Box::new(
+                Project::new(
+                    scan(&rel),
+                    vec![ProjItem::col("EmpID"), ProjItem::named(Expr::col("PosID"), "P")],
+                )
+                .unwrap(),
+            )
+        });
+        assert_differential("SORT^M", &|| {
+            Box::new(Sort::new(scan(&rel), SortSpec::by(["PosID", "T1"])))
+        });
+        for run in [2usize, 7] {
+            assert_differential("XSORT^M", &|| {
+                Box::new(ExternalSort::new(scan(&rel), SortSpec::by(["PosID", "T1"]), run))
+            });
+        }
+        assert_differential("DUPELIM^M", &|| Box::new(DupElim::new(scan(&rel))));
+    }
+
+    /// The stream-merging operators, whose batch path goes through the
+    /// `BatchBuffered` input adapter: joins, aggregation, coalescing,
+    /// temporal difference.
+    #[test]
+    fn merging_operators_agree(
+        left in proptest::collection::vec((0i64..4, 0i64..4, 0i32..25, 1i32..10), 0..30),
+        right in proptest::collection::vec((0i64..4, 0i64..4, 0i32..25, 1i32..10), 0..30),
+    ) {
+        let l = sorted_by(&temporal_rel(&left), &["PosID", "T1"]);
+        let r = sorted_by(&temporal_rel(&right), &["PosID", "T1"]);
+        let eq = [("PosID".to_string(), "PosID".to_string())];
+        assert_differential("MERGEJOIN^M", &|| {
+            Box::new(MergeJoin::new(scan(&l), scan(&r), &eq).unwrap())
+        });
+        assert_differential("TMERGEJOIN^M", &|| {
+            Box::new(TemporalMergeJoin::new(scan(&l), scan(&r), &eq).unwrap())
+        });
+        assert_differential("TAGGR^M", &|| {
+            Box::new(
+                TemporalAggregate::new(
+                    scan(&l),
+                    vec!["PosID".into()],
+                    vec![AggSpec::new(AggFunc::Count, Some("PosID"), "Cnt")],
+                )
+                .unwrap(),
+            )
+        });
+        // coalescing and difference need value order: all value
+        // attributes then T1
+        let lv = sorted_by(&l, &["PosID", "EmpID", "T1"]);
+        let rv = sorted_by(&r, &["PosID", "EmpID", "T1"]);
+        assert_differential("COALESCE^M", &|| Box::new(Coalesce::new(scan(&lv)).unwrap()));
+        assert_differential("TDIFF^M", &|| {
+            Box::new(TemporalDiff::new(scan(&lv), scan(&rv)).unwrap())
+        });
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+/// A wire slow enough that the prefetch/batch interplay matters (same
+/// shape as the resilience fixture).
+fn wire_profile() -> LinkProfile {
+    LinkProfile {
+        roundtrip_latency_us: 100.0,
+        bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+        row_prefetch: 8,
+        mode: WireMode::Virtual,
+    }
+}
+
+/// Deterministic POSITION (120 rows) + EMPLOYEE (40 rows), LCG-seeded —
+/// the same fixture the chaos suite uses.
+fn seed_db() -> Database {
+    let db = Database::new(Link::new(wire_profile()));
+    let position = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("PayRate", Type::Double),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    let employee =
+        Schema::new(vec![Attr::new("EmpID", Type::Int), Attr::new("EmpName", Type::Str)]);
+    db.create_table("POSITION", position).unwrap();
+    db.create_table("EMPLOYEE", employee).unwrap();
+
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let mut next = move |m: u64| -> i64 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) % m) as i64
+    };
+    let rows: Vec<_> = (0..120)
+        .map(|_| {
+            let t1 = next(60);
+            tup![
+                1 + next(7),
+                1 + next(40),
+                Value::Double(next(200) as f64 / 10.0),
+                t1,
+                t1 + 1 + next(25)
+            ]
+        })
+        .collect();
+    db.insert_rows("POSITION", rows).unwrap();
+    db.insert_rows("EMPLOYEE", (1..=40).map(|i: i64| tup![i, format!("emp{i}")]).collect())
+        .unwrap();
+    db.analyze("POSITION").unwrap();
+    db.analyze("EMPLOYEE").unwrap();
+    db.link().reset();
+    db
+}
+
+/// The plan shapes of Figures 7, 9 and 11(a): temporal aggregation,
+/// nested aggregation + temporal join, temporal self-join, and a
+/// conventional join.
+fn queries() -> Vec<String> {
+    vec![
+        "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION \
+         GROUP BY PosID ORDER BY PosID"
+            .to_string(),
+        "VALIDTIME SELECT P.PosID, Cnt, P.EmpID FROM \
+           (VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION GROUP BY PosID) A, \
+           POSITION P WHERE A.PosID = P.PosID AND P.PayRate > 10 \
+           AND T1 < 40 AND T2 > 5 ORDER BY P.PosID"
+            .to_string(),
+        "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+         WHERE A.PosID = B.PosID AND A.T1 < 30 AND B.T1 < 30 ORDER BY A.PosID"
+            .to_string(),
+        "SELECT P.PosID, E.EmpName FROM POSITION P, EMPLOYEE E \
+         WHERE P.EmpID = E.EmpID ORDER BY P.PosID"
+            .to_string(),
+    ]
+}
+
+/// Full middleware plans (optimizer → transfer wire → XXL stack → trace)
+/// must deliver identical bytes at every batch size, including sizes
+/// that do not divide the wire prefetch.
+#[test]
+fn middleware_plans_agree_row_vs_batch() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db);
+    with_knob(|| {
+        for q in queries() {
+            set_batch_rows(1);
+            let (row, _) = tango.query(&q).unwrap();
+            for bs in [2usize, 3, 8, 50, DEFAULT_BATCH_ROWS] {
+                set_batch_rows(bs);
+                let (batch, report) = tango.query(&q).unwrap();
+                assert!(
+                    batch.list_eq(&row),
+                    "batch size {bs} changed the answer\nquery: {q}\nrow:\n{row}\nbatch:\n{batch}"
+                );
+                // row accounting stays exact regardless of batch size
+                assert_eq!(report.exec.rows, row.len(), "batch size {bs}, query {q}");
+            }
+        }
+    })
+}
+
+/// The external-sort plan (middleware sort-memory budget) under the
+/// batch pull path: byte-identical at every batch size.
+#[test]
+fn external_sort_plan_agrees_row_vs_batch() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db);
+    let mut f = *tango.factors();
+    f.p_sd = 1e6; // force the ordering into the middleware
+    tango.set_factors(f);
+    tango.options_mut().opt.mid_sort_budget = Some(64);
+    let q = "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION \
+             GROUP BY PosID ORDER BY PosID";
+    let optimized = tango.optimize(q).unwrap();
+    assert!(optimized.explain().contains("XSORT^M"), "{}", optimized.explain());
+    with_knob(|| {
+        set_batch_rows(1);
+        let (row, _) = tango.execute_physical(&optimized.plan).unwrap();
+        for bs in [3usize, 8, DEFAULT_BATCH_ROWS] {
+            set_batch_rows(bs);
+            let (batch, _) = tango.execute_physical(&optimized.plan).unwrap();
+            assert!(batch.list_eq(&row), "batch size {bs}\nrow:\n{row}\nbatch:\n{batch}");
+        }
+    })
+}
+
+/// Seeded chaos schedules (latency spikes, throttles, transient faults
+/// under the retry budget) must leave row- and batch-mode results
+/// byte-identical to the fault-free baseline.
+#[test]
+fn chaos_schedules_agree_row_vs_batch() {
+    let db = seed_db();
+    let mut tango = Tango::connect(db.clone());
+    let queries = &queries()[..2]; // aggregation + join cover both wires
+    let baselines: Vec<Relation> = queries.iter().map(|q| tango.query(q).unwrap().0).collect();
+
+    with_knob(|| {
+        for seed in [0xA11CEu64, 0x5EED5, 0xC0FFEE] {
+            let plan = Arc::new(
+                FaultPlan::random(seed, 0.2)
+                    .with_budget(3)
+                    .with_spikes(0.1, Duration::from_millis(2))
+                    .with_throttle(0.1, 4.0),
+            );
+            for bs in [1usize, 8, DEFAULT_BATCH_ROWS] {
+                set_batch_rows(bs);
+                db.link().set_injector(plan.clone());
+                for (q, base) in queries.iter().zip(&baselines) {
+                    let (rel, _) = tango.query(q).unwrap_or_else(|e| {
+                        panic!("seed {seed:#x} batch {bs}: chaos run failed: {e}\nquery: {q}")
+                    });
+                    assert!(
+                        rel.list_eq(base),
+                        "seed {seed:#x} batch {bs}: chaos result differs\nquery: {q}"
+                    );
+                }
+                db.link().clear_injector();
+            }
+        }
+    })
+}
