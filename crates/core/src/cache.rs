@@ -1,0 +1,696 @@
+//! The middleware relation cache (`MidCache`).
+//!
+//! The paper's Figure 10 shows the temporal join running ~2× faster when
+//! one argument *already resides in the middleware*. This module makes
+//! residency a first-class state instead of a hand-staged benchmark
+//! setup: materialized results of DBMS fragments shipped over
+//! `TRANSFER^M` are retained in a byte-budgeted store, the optimizer
+//! prices transfers over resident fragments at near-zero wire cost (and
+//! may flip join-side placement because of it), and the engine serves
+//! hits from memory without issuing any SQL.
+//!
+//! # Keying — canonical fragment signatures
+//!
+//! An entry is keyed by the **canonical signature** of the DBMS fragment
+//! that produced it plus the **delivered sort order**. The signature is
+//! a syntactic normal form over the temporal-algebra shape of the
+//! fragment — `SEL[PayRate > 10](GET[POSITION]())` — computed two ways
+//! that agree by construction:
+//!
+//! * the optimizer derives it compositionally for every memo group
+//!   ([`top_signature`], stored in `GroupProps`), and
+//! * the engine erases a physical fragment back to the same form
+//!   ([`fragment_key`]), peeling a topmost `SORT^D` into the entry's
+//!   delivered order.
+//!
+//! A `TRANSFER^M` whose child group's signature is resident with a
+//! [satisfying](tango_algebra::SortSpec::satisfies) order is a **hit**.
+//! Matching is deliberately conservative: it is syntactic, so two
+//! semantically equal but differently-shaped fragments miss — a miss
+//! only costs the normal transfer, never correctness.
+//!
+//! Fragments containing temp-table scans (`TRANSFER^D` results), or
+//! interior sorts below other operators, are **uncacheable**: their
+//! contents are not a pure function of base-table state (or their order
+//! cannot be represented in the key). The engine annotates such
+//! transfers `cache bypass`.
+//!
+//! # Invalidation — table write-versions
+//!
+//! Every entry records the [write-version](tango_minidb::Database::table_version)
+//! of each base table it was computed from. `tango-minidb` bumps a
+//! table's version on every INSERT/DELETE/UPDATE, so `versions
+//! unchanged ⇒ contents unchanged`. Entries are validated lazily — at
+//! lookup and when the optimizer snapshots residency — and dropped the
+//! moment any dependency's version moved (an `invalidate` span event).
+//!
+//! # Eviction — GreedyDual-Size
+//!
+//! The store keeps an inflation clock `L`; an entry's priority is
+//! `L + fill_cost/size` where `fill_cost` is the measured wire+server
+//! time the entry saved. Eviction removes the minimum-priority entry and
+//! advances `L` to its priority; a hit refreshes the entry's priority
+//! against the current clock. This is the classic GreedyDual-Size
+//! policy: recency, byte footprint and the real cost of refetching all
+//! trade off in one number, and plain LRU falls out when fetch costs are
+//! uniform per byte. Entries larger than the whole budget are never
+//! admitted.
+
+use crate::phys::{Algo, PhysNode, TOp};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use tango_algebra::{ProjItem, Schema, SortSpec, Tuple};
+
+/// Default cache budget used by a new session: 64 MiB.
+pub const DEFAULT_CACHE_BUDGET: u64 = 64 * 1024 * 1024;
+
+fn canon(name: &str, params: &str, children: &[String]) -> String {
+    format!("{name}[{params}]({})", children.join(","))
+}
+
+fn eq_params(eq: &[(String, String)]) -> String {
+    eq.iter().map(|(l, r)| format!("{l}={r}")).collect::<Vec<_>>().join(",")
+}
+
+fn proj_params(items: &[ProjItem]) -> String {
+    items.iter().map(|it| format!("{}={}", it.alias, it.expr)).collect::<Vec<_>>().join(",")
+}
+
+fn taggr_params(group_by: &[String], aggs: &[tango_algebra::AggSpec]) -> String {
+    format!(
+        "{};{}",
+        group_by.join(","),
+        aggs.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    )
+}
+
+/// Canonical signature of a logical operator over its children's
+/// signatures. The optimizer calls this in `derive_props`, so every memo
+/// group knows the signature of the fragment it denotes; the engine-side
+/// [`fragment_key`] erases physical fragments to the identical form.
+pub fn top_signature(op: &TOp, children: &[String]) -> String {
+    match op {
+        TOp::Get { table } => canon("GET", &table.to_uppercase(), &[]),
+        TOp::Select { pred } => canon("SEL", &pred.to_string(), children),
+        TOp::Project { items } => canon("PROJ", &proj_params(items), children),
+        TOp::Join { eq } => canon("JOIN", &eq_params(eq), children),
+        TOp::TJoin { eq } => canon("TJOIN", &eq_params(eq), children),
+        TOp::Product => canon("PROD", "", children),
+        TOp::TAggr { group_by, aggs } => canon("TAGGR", &taggr_params(group_by, aggs), children),
+        TOp::DupElim => canon("DUP", "", children),
+        TOp::Coalesce => canon("COAL", "", children),
+        TOp::Diff => canon("DIFF", "", children),
+    }
+}
+
+/// The identity of a cacheable DBMS fragment: canonical signature,
+/// delivered sort order, the rendered SQL (kept for observability — the
+/// signature, not the SQL text, is the match key) and the base tables
+/// the fragment reads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentKey {
+    /// Canonical fragment signature; see [`top_signature`].
+    pub signature: String,
+    /// Sort order the fragment delivers (a topmost `SORT^D`'s spec,
+    /// [`SortSpec::none`] otherwise).
+    pub order: SortSpec,
+    /// The SQL the fragment renders to — display/debugging only.
+    pub sql: String,
+    /// Upper-cased base tables read by the fragment, deduplicated.
+    pub tables: Vec<String>,
+}
+
+/// Compute the cache key of a physical DBMS fragment (the subtree below
+/// a `TRANSFER^M`, after temp-table lowering). Returns `None` — meaning
+/// *uncacheable*, rendered as `cache bypass` — when the fragment scans a
+/// temp table (its contents depend on middleware state, not base-table
+/// versions), contains an interior sort, or contains any non-DBMS
+/// operator. `is_temp` decides which scanned names are temp tables.
+pub fn fragment_key(
+    fragment: &PhysNode,
+    sql: &str,
+    is_temp: &dyn Fn(&str) -> bool,
+) -> Option<FragmentKey> {
+    let (inner, order) = match &fragment.algo {
+        Algo::SortD(spec) => (&fragment.children[0], spec.clone()),
+        _ => (fragment, SortSpec::none()),
+    };
+    let mut tables = Vec::new();
+    let signature = erase(inner, is_temp, &mut tables)?;
+    tables.sort();
+    tables.dedup();
+    Some(FragmentKey { signature, order, sql: sql.to_string(), tables })
+}
+
+/// Erase a physical DBMS operator tree to its canonical signature,
+/// collecting base-table names. `None` ⇒ uncacheable.
+fn erase(
+    node: &PhysNode,
+    is_temp: &dyn Fn(&str) -> bool,
+    tables: &mut Vec<String>,
+) -> Option<String> {
+    let kids: Option<Vec<String>> =
+        node.children.iter().map(|c| erase(c, is_temp, tables)).collect();
+    let kids = kids?;
+    Some(match &node.algo {
+        Algo::ScanD(t) => {
+            if is_temp(t) {
+                return None;
+            }
+            tables.push(t.to_uppercase());
+            canon("GET", &t.to_uppercase(), &[])
+        }
+        Algo::FilterD(pred) => canon("SEL", &pred.to_string(), &kids),
+        Algo::ProjectD(items) => canon("PROJ", &proj_params(items), &kids),
+        Algo::JoinD(eq) => canon("JOIN", &eq_params(eq), &kids),
+        Algo::TJoinD(eq) => canon("TJOIN", &eq_params(eq), &kids),
+        Algo::ProductD => canon("PROD", "", &kids),
+        Algo::TAggrD { group_by, aggs } => canon("TAGGR", &taggr_params(group_by, aggs), &kids),
+        Algo::DupElimD => canon("DUP", "", &kids),
+        // an interior sort's order is not representable in the key, and
+        // any middleware algorithm or TRANSFER^D means this is not a
+        // pure DBMS fragment
+        _ => return None,
+    })
+}
+
+/// A materialized relation served from the cache: shared, immutable.
+#[derive(Debug, Clone)]
+pub struct CachedRelation {
+    /// Output schema of the cached fragment.
+    pub schema: Arc<Schema>,
+    /// The materialized tuples, shared with the store.
+    pub rows: Arc<Vec<Tuple>>,
+    /// Encoded byte size of the entry.
+    pub bytes: u64,
+    /// Sort order the rows are stored in.
+    pub order: SortSpec,
+}
+
+/// Outcome of a [`MidCache::lookup`].
+#[derive(Debug)]
+pub enum Lookup {
+    /// A fresh entry with a satisfying order was found.
+    Hit(CachedRelation),
+    /// No usable entry. `invalidated` lists the SQL of same-signature
+    /// entries dropped because a base table's version moved — the engine
+    /// turns each into an `invalidate` span event.
+    Miss {
+        /// SQL texts of entries invalidated during this lookup.
+        invalidated: Vec<String>,
+    },
+}
+
+/// Outcome of a [`MidCache::insert`].
+#[derive(Debug)]
+pub struct Admission {
+    /// Whether the relation was stored.
+    pub admitted: bool,
+    /// `(sql, bytes)` of entries evicted to make room — the engine turns
+    /// each into an `evict` span event.
+    pub evicted: Vec<(String, u64)>,
+}
+
+/// Monotonic activity counters of a [`MidCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from a fresh entry.
+    pub hits: u64,
+    /// Lookups that found no usable entry.
+    pub misses: u64,
+    /// Transfers whose fragment was uncacheable (see [`fragment_key`]).
+    pub bypasses: u64,
+    /// Relations admitted (including replacements).
+    pub insertions: u64,
+    /// Entries evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Entries dropped because a dependency's write-version moved.
+    pub invalidations: u64,
+    /// Insertions rejected because the relation exceeds the budget.
+    pub rejections: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    signature: String,
+    order: SortSpec,
+    sql: String,
+    schema: Arc<Schema>,
+    rows: Arc<Vec<Tuple>>,
+    bytes: u64,
+    /// `(table, write-version)` dependencies recorded at fill time.
+    deps: Vec<(String, u64)>,
+    fill_cost_us: f64,
+    /// GreedyDual-Size priority: clock-at-touch + fill_cost/size.
+    priority: f64,
+    hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: Vec<Entry>,
+    bytes: u64,
+    budget: u64,
+    /// GreedyDual-Size inflation clock `L`.
+    clock: f64,
+    stats: CacheStats,
+}
+
+impl Inner {
+    fn gds_priority(&self, fill_cost_us: f64, bytes: u64) -> f64 {
+        self.clock + fill_cost_us / bytes.max(1) as f64
+    }
+
+    /// Drop entries whose dependencies are stale, appending their SQL to
+    /// `invalidated`. `filter` restricts which entries are checked.
+    fn validate(
+        &mut self,
+        version_of: &dyn Fn(&str) -> Option<u64>,
+        filter: impl Fn(&Entry) -> bool,
+        invalidated: &mut Vec<String>,
+    ) {
+        let mut i = 0;
+        while i < self.entries.len() {
+            let e = &self.entries[i];
+            if filter(e) && e.deps.iter().any(|(t, v)| version_of(t) != Some(*v)) {
+                let e = self.entries.remove(i);
+                self.bytes -= e.bytes;
+                self.stats.invalidations += 1;
+                invalidated.push(e.sql);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Evict minimum-priority entries until `need` more bytes fit.
+    fn make_room(&mut self, need: u64) -> Vec<(String, u64)> {
+        let mut evicted = Vec::new();
+        while self.bytes + need > self.budget && !self.entries.is_empty() {
+            let (i, _) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.priority.total_cmp(&b.priority))
+                .expect("non-empty");
+            let e = self.entries.remove(i);
+            self.bytes -= e.bytes;
+            self.clock = self.clock.max(e.priority);
+            self.stats.evictions += 1;
+            evicted.push((e.sql, e.bytes));
+        }
+        evicted
+    }
+}
+
+/// The middleware-resident relation cache. Shared by a session and its
+/// engine executions (`Arc<MidCache>`); all operations take an internal
+/// lock, so clones of a session see one coherent store.
+#[derive(Debug)]
+pub struct MidCache {
+    inner: Mutex<Inner>,
+}
+
+impl MidCache {
+    /// An empty cache with the given byte budget.
+    pub fn new(budget: u64) -> MidCache {
+        MidCache { inner: Mutex::new(Inner { budget, ..Inner::default() }) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The byte budget.
+    pub fn budget(&self) -> u64 {
+        self.lock().budget
+    }
+
+    /// Change the byte budget, evicting (by priority) down to the new
+    /// limit if it shrank.
+    pub fn set_budget(&self, budget: u64) {
+        let mut g = self.lock();
+        g.budget = budget;
+        g.make_room(0);
+    }
+
+    /// Total bytes currently stored.
+    pub fn bytes(&self) -> u64 {
+        self.lock().bytes
+    }
+
+    /// Number of entries currently stored.
+    pub fn len(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.lock().entries.is_empty()
+    }
+
+    /// Activity counters since creation (or the last [`MidCache::clear`];
+    /// clearing resets contents, not counters).
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Drop every entry. Counters are preserved.
+    pub fn clear(&self) {
+        let mut g = self.lock();
+        g.entries.clear();
+        g.bytes = 0;
+    }
+
+    /// Record that a transfer's fragment was uncacheable.
+    pub fn note_bypass(&self) {
+        self.lock().stats.bypasses += 1;
+    }
+
+    /// Drop all entries that depend on `table` (any version). Validation
+    /// at lookup already catches stale entries lazily; this is for
+    /// explicit invalidation, e.g. after `DROP TABLE`.
+    pub fn invalidate_table(&self, table: &str) -> usize {
+        let mut g = self.lock();
+        let t = table.to_uppercase();
+        let before = g.entries.len();
+        let mut freed = 0;
+        g.entries.retain(|e| {
+            let dep = e.deps.iter().any(|(d, _)| *d == t);
+            if dep {
+                freed += e.bytes;
+            }
+            !dep
+        });
+        g.bytes -= freed;
+        let n = before - g.entries.len();
+        g.stats.invalidations += n as u64;
+        n
+    }
+
+    /// Look up a fragment. A hit requires a fresh entry (every recorded
+    /// table version unchanged per `version_of`) with the same signature
+    /// and a stored order that [satisfies](SortSpec::satisfies) the
+    /// requested one. Hits refresh the entry's GreedyDual-Size priority.
+    pub fn lookup(&self, key: &FragmentKey, version_of: &dyn Fn(&str) -> Option<u64>) -> Lookup {
+        let mut g = self.lock();
+        let mut invalidated = Vec::new();
+        g.validate(version_of, |e| e.signature == key.signature, &mut invalidated);
+        let found = g
+            .entries
+            .iter()
+            .position(|e| e.signature == key.signature && e.order.satisfies(&key.order));
+        match found {
+            Some(i) => {
+                g.stats.hits += 1;
+                let p = g.gds_priority(g.entries[i].fill_cost_us, g.entries[i].bytes);
+                let e = &mut g.entries[i];
+                e.priority = p;
+                e.hits += 1;
+                Lookup::Hit(CachedRelation {
+                    schema: e.schema.clone(),
+                    rows: e.rows.clone(),
+                    bytes: e.bytes,
+                    order: e.order.clone(),
+                })
+            }
+            None => {
+                g.stats.misses += 1;
+                Lookup::Miss { invalidated }
+            }
+        }
+    }
+
+    /// Admit a fully-materialized fragment result. `deps` are the
+    /// `(table, write-version)` pairs read *before* the fragment's SQL
+    /// was issued; `fill_cost_us` is the measured wire + server time the
+    /// transfer spent producing it (the refetch cost GreedyDual-Size
+    /// weighs against size). An entry with the same signature and order
+    /// is replaced in place.
+    pub fn insert(
+        &self,
+        key: &FragmentKey,
+        schema: Arc<Schema>,
+        rows: Vec<Tuple>,
+        deps: Vec<(String, u64)>,
+        fill_cost_us: f64,
+    ) -> Admission {
+        let bytes: u64 = rows.iter().map(|t| t.byte_size() as u64).sum();
+        let mut g = self.lock();
+        if bytes > g.budget {
+            g.stats.rejections += 1;
+            return Admission { admitted: false, evicted: Vec::new() };
+        }
+        if let Some(i) =
+            g.entries.iter().position(|e| e.signature == key.signature && e.order == key.order)
+        {
+            let e = g.entries.remove(i);
+            g.bytes -= e.bytes;
+        }
+        let evicted = g.make_room(bytes);
+        let priority = g.gds_priority(fill_cost_us, bytes);
+        g.entries.push(Entry {
+            signature: key.signature.clone(),
+            order: key.order.clone(),
+            sql: key.sql.clone(),
+            schema,
+            rows: Arc::new(rows),
+            bytes,
+            deps,
+            fill_cost_us,
+            priority,
+            hits: 0,
+        });
+        g.bytes += bytes;
+        g.stats.insertions += 1;
+        Admission { admitted: true, evicted }
+    }
+
+    /// Snapshot which fragments are resident and fresh, for the
+    /// optimizer. Stale entries are dropped (as at lookup) so the
+    /// snapshot never advertises residency the engine could not serve.
+    pub fn residency(&self, version_of: &dyn Fn(&str) -> Option<u64>) -> Residency {
+        let mut g = self.lock();
+        let mut dropped = Vec::new();
+        g.validate(version_of, |_| true, &mut dropped);
+        let mut by_signature: HashMap<String, Vec<(SortSpec, u64)>> = HashMap::new();
+        for e in &g.entries {
+            by_signature.entry(e.signature.clone()).or_default().push((e.order.clone(), e.bytes));
+        }
+        Residency { by_signature }
+    }
+}
+
+/// An optimizer-facing snapshot of cache contents: which canonical
+/// fragment signatures are resident, in which orders, at what size.
+/// Taken once per optimization ([`MidCache::residency`]) so planning
+/// sees a consistent view.
+#[derive(Debug, Clone, Default)]
+pub struct Residency {
+    by_signature: HashMap<String, Vec<(SortSpec, u64)>>,
+}
+
+impl Residency {
+    /// Whether no fragment is resident.
+    pub fn is_empty(&self) -> bool {
+        self.by_signature.is_empty()
+    }
+
+    /// If a fragment with this signature is resident in an order that
+    /// [satisfies](SortSpec::satisfies) `required`, the stored byte size
+    /// (smallest such entry); `None` otherwise.
+    pub fn serves(&self, signature: &str, required: &SortSpec) -> Option<u64> {
+        self.by_signature
+            .get(signature)?
+            .iter()
+            .filter(|(order, _)| order.satisfies(required))
+            .map(|(_, bytes)| *bytes)
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_algebra::{tup, Attr, Expr, Type};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![Attr::new("A", Type::Int)]))
+    }
+
+    fn key(signature: &str) -> FragmentKey {
+        FragmentKey {
+            signature: signature.to_string(),
+            order: SortSpec::none(),
+            sql: format!("SELECT {signature}"),
+            tables: vec!["T".into()],
+        }
+    }
+
+    fn rows(n: usize) -> Vec<Tuple> {
+        (0..n as i64).map(|i| tup![i]).collect()
+    }
+
+    /// The two signature computations — compositional over `TOp` and
+    /// erased from a physical fragment — agree on the same shape.
+    #[test]
+    fn signature_parity_logical_vs_physical() {
+        let pred = Expr::eq(Expr::col("PosID"), Expr::lit(7));
+        let sig_get = top_signature(&TOp::Get { table: "position".into() }, &[]);
+        let sig_sel = top_signature(&TOp::Select { pred: pred.clone() }, &[sig_get]);
+
+        let scan =
+            PhysNode { algo: Algo::ScanD("position".into()), schema: schema(), children: vec![] };
+        let filter = PhysNode { algo: Algo::FilterD(pred), schema: schema(), children: vec![scan] };
+        let k = fragment_key(&filter, "SELECT ...", &|_| false).expect("cacheable");
+        assert_eq!(k.signature, sig_sel);
+        assert_eq!(k.tables, vec!["POSITION".to_string()]);
+        assert_eq!(k.order, SortSpec::none());
+    }
+
+    /// A topmost `SORT^D` becomes the key's delivered order; an interior
+    /// sort or a temp-table scan makes the fragment uncacheable.
+    #[test]
+    fn sort_peeling_and_uncacheable_shapes() {
+        let scan =
+            PhysNode { algo: Algo::ScanD("POSITION".into()), schema: schema(), children: vec![] };
+        let sorted = PhysNode {
+            algo: Algo::SortD(SortSpec::by(["A"])),
+            schema: schema(),
+            children: vec![scan.clone()],
+        };
+        let k = fragment_key(&sorted, "sql", &|_| false).unwrap();
+        assert_eq!(k.order, SortSpec::by(["A"]));
+        assert_eq!(k.signature, "GET[POSITION]()");
+
+        // interior sort: SEL over SORT^D cannot be keyed
+        let sel_over_sort = PhysNode {
+            algo: Algo::FilterD(Expr::lit(1)),
+            schema: schema(),
+            children: vec![sorted],
+        };
+        assert!(fragment_key(&sel_over_sort, "sql", &|_| false).is_none());
+
+        // temp-table scan: contents are middleware state, not versioned
+        assert!(fragment_key(&scan, "sql", &|t| t == "POSITION").is_none());
+    }
+
+    #[test]
+    fn lookup_miss_then_hit_and_order_satisfaction() {
+        let cache = MidCache::new(1 << 20);
+        let versions = |_: &str| Some(1);
+        let mut k = key("GET[T]()");
+        k.order = SortSpec::by(["A"]);
+        assert!(matches!(cache.lookup(&k, &versions), Lookup::Miss { .. }));
+        cache.insert(&k, schema(), rows(10), vec![("T".into(), 1)], 500.0);
+        // stored order (A) satisfies both (A) and the unsorted request
+        assert!(matches!(cache.lookup(&k, &versions), Lookup::Hit(_)));
+        let unordered = key("GET[T]()");
+        match cache.lookup(&unordered, &versions) {
+            Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 10),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        // but a different requested order misses
+        let mut by_b = key("GET[T]()");
+        by_b.order = SortSpec::by(["B"]);
+        assert!(matches!(cache.lookup(&by_b, &versions), Lookup::Miss { .. }));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (2, 2));
+    }
+
+    /// A moved write-version drops the entry at the next lookup and
+    /// reports its SQL for the `invalidate` span event.
+    #[test]
+    fn version_bump_invalidates() {
+        let cache = MidCache::new(1 << 20);
+        let k = key("GET[T]()");
+        cache.insert(&k, schema(), rows(4), vec![("T".into(), 1)], 100.0);
+        assert!(matches!(cache.lookup(&k, &|_| Some(1)), Lookup::Hit(_)));
+        match cache.lookup(&k, &|_| Some(2)) {
+            Lookup::Miss { invalidated } => assert_eq!(invalidated, vec![k.sql.clone()]),
+            other => panic!("expected invalidating miss, got {other:?}"),
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 1);
+        // residency snapshots validate too
+        cache.insert(&k, schema(), rows(4), vec![("T".into(), 2)], 100.0);
+        assert!(cache.residency(&|_| Some(3)).is_empty());
+    }
+
+    /// GreedyDual-Size: under pressure the entry with the lowest
+    /// cost-per-byte goes first, and the byte budget is never exceeded.
+    #[test]
+    fn gds_eviction_prefers_cheap_large_entries() {
+        let row_bytes = rows(1).iter().map(|t| t.byte_size() as u64).sum::<u64>();
+        // room for exactly two 8-row entries
+        let cache = MidCache::new(row_bytes * 17);
+        let cheap = key("CHEAP");
+        let dear = key("DEAR");
+        let third = key("THIRD");
+        cache.insert(&cheap, schema(), rows(8), vec![], 10.0);
+        cache.insert(&dear, schema(), rows(8), vec![], 10_000.0);
+        let adm = cache.insert(&third, schema(), rows(8), vec![], 1_000.0);
+        assert_eq!(adm.evicted.len(), 1);
+        assert_eq!(adm.evicted[0].0, cheap.sql, "cheapest-to-refill entry should go first");
+        assert!(cache.bytes() <= cache.budget());
+        assert_eq!(cache.len(), 2);
+        let v = |_: &str| Some(1);
+        assert!(matches!(cache.lookup(&dear, &v), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&cheap, &v), Lookup::Miss { .. }));
+    }
+
+    /// An entry larger than the whole budget is rejected outright rather
+    /// than flushing everything else.
+    #[test]
+    fn oversized_entries_are_rejected() {
+        let cache = MidCache::new(16);
+        let adm = cache.insert(&key("BIG"), schema(), rows(1000), vec![], 1.0);
+        assert!(!adm.admitted);
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejections, 1);
+    }
+
+    /// Same signature + order replaces in place (no duplicate entries);
+    /// shrinking the budget evicts down to it.
+    #[test]
+    fn replacement_and_budget_shrink() {
+        let cache = MidCache::new(1 << 20);
+        let k = key("GET[T]()");
+        cache.insert(&k, schema(), rows(8), vec![], 1.0);
+        cache.insert(&k, schema(), rows(4), vec![], 1.0);
+        assert_eq!(cache.len(), 1);
+        match cache.lookup(&k, &|_| Some(1)) {
+            Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 4),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        cache.set_budget(1);
+        assert_eq!(cache.len(), 0);
+        assert!(cache.bytes() <= 1);
+    }
+
+    #[test]
+    fn residency_reports_smallest_satisfying_entry() {
+        let cache = MidCache::new(1 << 20);
+        let mut sorted = key("GET[T]()");
+        sorted.order = SortSpec::by(["A"]);
+        cache.insert(&sorted, schema(), rows(20), vec![("T".into(), 1)], 1.0);
+        cache.insert(&key("GET[T]()"), schema(), rows(5), vec![("T".into(), 1)], 1.0);
+        let r = cache.residency(&|_| Some(1));
+        let small = r.serves("GET[T]()", &SortSpec::none()).unwrap();
+        let ordered = r.serves("GET[T]()", &SortSpec::by(["A"])).unwrap();
+        assert!(small < ordered, "unordered request should pick the smaller entry");
+        assert!(r.serves("GET[T]()", &SortSpec::by(["B"])).is_none());
+        assert!(r.serves("OTHER", &SortSpec::none()).is_none());
+    }
+
+    #[test]
+    fn explicit_table_invalidation() {
+        let cache = MidCache::new(1 << 20);
+        cache.insert(&key("A"), schema(), rows(2), vec![("T".into(), 1)], 1.0);
+        let mut other = key("B");
+        other.tables = vec!["U".into()];
+        cache.insert(&other, schema(), rows(2), vec![("U".into(), 1)], 1.0);
+        assert_eq!(cache.invalidate_table("t"), 1);
+        assert_eq!(cache.len(), 1);
+    }
+}

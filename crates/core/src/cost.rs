@@ -21,6 +21,11 @@ use tango_stats::RelationStats;
 pub struct CostFactors {
     /// `TRANSFER^M`: per byte shipped DBMS → middleware.
     pub p_tm: f64,
+    /// `TRANSFER^M` over a middleware-cached fragment: per byte served
+    /// from the resident copy (no wire, no server — essentially a memory
+    /// scan; see [`crate::cache`]). Kept strictly positive so a cached
+    /// transfer still costs more than no transfer at all.
+    pub p_cached: f64,
     /// `TRANSFER^D`: per byte shipped middleware → DBMS.
     pub p_td: f64,
     /// `TRANSFER^D`: fixed cost (CREATE TABLE + loader startup), µs.
@@ -68,6 +73,7 @@ impl Default for CostFactors {
     fn default() -> Self {
         CostFactors {
             p_tm: 0.30,
+            p_cached: 0.004,
             p_td: 0.35,
             p_td_fixed: 30_000.0,
             p_sem: 0.004,

@@ -11,6 +11,7 @@
 //! Every cursor is instrumented: per-algorithm inclusive time and output
 //! volume feed the adaptive cost-factor loop (`crate::feedback`).
 
+use crate::cache::{self, MidCache};
 use crate::error::{Result, TangoError};
 use crate::phys::{Algo, PhysNode, Site};
 use crate::to_sql;
@@ -21,8 +22,8 @@ use tango_algebra::{Batch, Relation, Schema, SortSpec, Tuple};
 use tango_minidb::{Connection, DbCursor, ErrorClass};
 use tango_trace::{Collector, SpanEvent, SpanSite, SpanSlot, Stopwatch};
 use tango_xxl::{
-    BoxCursor, Coalesce, Cursor, DupElim, ExternalSort, Filter, MergeJoin, NestedLoopJoin, Project,
-    Sort, TemporalAggregate, TemporalDiff, TemporalMergeJoin,
+    BoxCursor, CachedScan, Coalesce, Cursor, DupElim, ExternalSort, Filter, MergeJoin,
+    NestedLoopJoin, Project, Sort, TemporalAggregate, TemporalDiff, TemporalMergeJoin,
 };
 
 /// Observed execution of one algorithm instance.
@@ -47,8 +48,12 @@ pub struct StepReport {
     /// round-trips, …) sampled from the cursor at close.
     pub counters: Vec<(&'static str, u64)>,
     /// Discrete events recorded while the step ran (wire `fault`s,
-    /// `retry` rounds, mid-execution `replan`s), in order.
+    /// `retry` rounds, mid-execution `replan`s, cache `evict`s and
+    /// `invalidate`s), in order.
     pub events: Vec<SpanEvent>,
+    /// Qualitative key/value annotations (`cache: hit|miss|bypass`), in
+    /// order.
+    pub annotations: Vec<(&'static str, String)>,
     /// Indices of child steps within the report.
     pub children: Vec<usize>,
 }
@@ -57,6 +62,11 @@ impl StepReport {
     /// The site this step's algorithm evaluated on.
     pub fn site(&self) -> Site {
         self.algo.site()
+    }
+
+    /// The value of annotation `key`, if the step carries it.
+    pub fn annotation(&self, key: &str) -> Option<&str> {
+        self.annotations.iter().find(|(k, _)| *k == key).map(|(_, v)| v.as_str())
     }
 
     /// Serialize as a JSON object (schema documented in
@@ -77,6 +87,13 @@ impl StepReport {
         o.number("rows", self.out_rows as f64);
         o.number("bytes", self.out_bytes as f64);
         o.number("server_us", self.server_us);
+        if !self.annotations.is_empty() {
+            let mut a = Object::new();
+            for (k, v) in &self.annotations {
+                a.string(k, v);
+            }
+            o.raw("annotations", &a.build());
+        }
         if !self.counters.is_empty() {
             let mut c = Object::new();
             for (k, v) in &self.counters {
@@ -149,6 +166,23 @@ pub fn execute_with(
     plan: &PhysNode,
     trace: bool,
 ) -> Result<(Relation, ExecReport)> {
+    execute_cached(conn, plan, trace, None)
+}
+
+/// [`execute_with`] against a middleware relation cache. Every
+/// `TRANSFER^M` consults the cache: a **hit** serves the resident copy
+/// through a [`CachedScan`] without issuing any SQL (zero wire, zero
+/// server time); a **miss** streams normally and, if the transfer drains
+/// to completion without faulting or re-planning, populates the cache; a
+/// **bypass** (uncacheable fragment, see [`cache::fragment_key`])
+/// streams normally and is annotated as such. With `cache == None`
+/// behavior is byte-identical to [`execute_with`].
+pub fn execute_cached(
+    conn: &Connection,
+    plan: &PhysNode,
+    trace: bool,
+    cache: Option<&Arc<MidCache>>,
+) -> Result<(Relation, ExecReport)> {
     if plan.algo.site() != Site::Middleware {
         return Err(TangoError::Exec(
             "plan root must be middleware-resident (delivery to the client)".into(),
@@ -164,6 +198,7 @@ pub fn execute_with(
         algos: Vec::new(),
         temp_seq: 0,
         trace,
+        cache: cache.cloned(),
     };
     let started = Instant::now();
     let result = (|| -> Result<Relation> {
@@ -204,6 +239,7 @@ pub fn execute_with(
             server_us: span.server_us,
             counters: span.counters,
             events: span.events,
+            annotations: span.annotations,
             children: span.children,
         })
         .collect();
@@ -223,6 +259,29 @@ struct Ctx<'a> {
     algos: Vec<Algo>,
     temp_seq: usize,
     trace: bool,
+    /// The middleware relation cache, when this execution runs with one.
+    cache: Option<Arc<MidCache>>,
+}
+
+/// What the cache decided for one `TRANSFER^M`, resolved at plan-build
+/// time (before any SQL is issued).
+enum CacheDecision {
+    /// No cache configured — behave exactly as before the cache existed.
+    Off,
+    /// Fragment is uncacheable (temp scans / interior sort).
+    Bypass,
+    /// Resident and fresh: serve this relation, issue no SQL.
+    Hit(cache::CachedRelation),
+    /// Not resident: stream normally and populate on clean completion.
+    /// `invalidated` lists stale same-signature entries dropped during
+    /// lookup; `deps` the `(table, version)` pairs read *before* the
+    /// fragment's SQL runs, so a concurrent write always invalidates.
+    Miss {
+        cache: Arc<MidCache>,
+        key: cache::FragmentKey,
+        deps: Vec<(String, u64)>,
+        invalidated: Vec<String>,
+    },
 }
 
 impl Ctx<'_> {
@@ -254,7 +313,43 @@ impl Ctx<'_> {
                 let sql = to_sql::render_select(&clean)?;
                 let conn = self.conn.clone();
                 let schema = node.schema.clone();
+                let decision = self.consult_cache(&clean, &sql);
                 server_sink = Some(Box::new(move |sink: Option<Arc<SpanSlot>>| -> BoxCursor {
+                    let mut populate = None;
+                    match decision {
+                        CacheDecision::Hit(rel) => {
+                            // serve the resident copy: no SQL, no wire
+                            if let Some(s) = &sink {
+                                s.add_annotation("cache", "hit");
+                            }
+                            return Box::new(CachedScan::new(schema, rel.rows, rel.bytes));
+                        }
+                        CacheDecision::Off => {}
+                        CacheDecision::Bypass => {
+                            if let Some(s) = &sink {
+                                s.add_annotation("cache", "bypass");
+                            }
+                        }
+                        CacheDecision::Miss { cache, key, deps, invalidated } => {
+                            if let Some(s) = &sink {
+                                s.add_annotation("cache", "miss");
+                                for stale in &invalidated {
+                                    s.add_event(
+                                        "invalidate",
+                                        format!("stale entry dropped: {stale}"),
+                                    );
+                                }
+                            }
+                            populate = Some(CachePopulate {
+                                cache,
+                                key,
+                                deps,
+                                rows: Vec::new(),
+                                wire_start: Duration::ZERO,
+                                server_us: 0.0,
+                            });
+                        }
+                    }
                     Box::new(TransferMCursor {
                         conn,
                         sql,
@@ -268,6 +363,8 @@ impl Ctx<'_> {
                         buf: VecDeque::new(),
                         fallback: None,
                         server_sink: sink,
+                        populate,
+                        populated_bytes: None,
                         round_trips: 0,
                         rows_emitted: 0,
                         wire_retries: 0,
@@ -347,6 +444,41 @@ impl Ctx<'_> {
         };
         let conn = self.conn.clone();
         Ok((Box::new(Instrumented { inner, slot, conn, batches: 0 }), idx))
+    }
+
+    /// Decide hit/miss/bypass for one `TRANSFER^M` fragment. Dependency
+    /// versions are read here — *before* the fragment's SQL is issued —
+    /// so a write racing the query always invalidates the entry we would
+    /// populate.
+    fn consult_cache(&self, clean: &PhysNode, sql: &str) -> CacheDecision {
+        let Some(cache) = &self.cache else { return CacheDecision::Off };
+        let is_temp = |t: &str| t.to_uppercase().starts_with("TANGO_TMP_");
+        let Some(key) = cache::fragment_key(clean, sql, &is_temp) else {
+            cache.note_bypass();
+            return CacheDecision::Bypass;
+        };
+        let version_of = |t: &str| self.conn.table_version(t);
+        match cache.lookup(&key, &version_of) {
+            cache::Lookup::Hit(rel) => CacheDecision::Hit(rel),
+            cache::Lookup::Miss { invalidated } => {
+                let deps: Option<Vec<(String, u64)>> = key
+                    .tables
+                    .iter()
+                    .map(|t| self.conn.table_version(t).map(|v| (t.clone(), v)))
+                    .collect();
+                match deps {
+                    // a referenced table has no version (dictionary view,
+                    // dropped mid-build): don't populate
+                    None => {
+                        cache.note_bypass();
+                        CacheDecision::Bypass
+                    }
+                    Some(deps) => {
+                        CacheDecision::Miss { cache: cache.clone(), key, deps, invalidated }
+                    }
+                }
+            }
+        }
     }
 
     /// Replace `T^D` nodes inside a DBMS fragment with temp-table scans;
@@ -643,11 +775,34 @@ struct TransferMCursor {
     /// Sink for the producing statement's server-side execution time
     /// and for fault/retry/replan events.
     server_sink: Option<Arc<SpanSlot>>,
+    /// Pending cache population (a cache miss): rows are accumulated at
+    /// wire-fetch time and inserted only if the stream drains cleanly.
+    /// Dropped on degrade — a re-planned or partial result must never
+    /// populate the cache.
+    populate: Option<CachePopulate>,
+    /// Byte size of the entry this cursor populated, once it has.
+    populated_bytes: Option<u64>,
     round_trips: u64,
     rows_emitted: u64,
     wire_retries: u64,
     wire_faults: u64,
     replans: u64,
+}
+
+/// State carried by a `TRANSFER^M` that missed the cache and intends to
+/// populate it on clean completion.
+struct CachePopulate {
+    cache: Arc<MidCache>,
+    key: cache::FragmentKey,
+    /// `(table, write-version)` pairs read before the SQL was issued.
+    deps: Vec<(String, u64)>,
+    /// Every row fetched off the wire so far, in stream order.
+    rows: Vec<Tuple>,
+    /// Connection wire clock when the transfer opened — the wire part of
+    /// the entry's fill cost.
+    wire_start: Duration,
+    /// DBMS-reported execution time of the producing statement, µs.
+    server_us: f64,
 }
 
 impl TransferMCursor {
@@ -680,6 +835,9 @@ impl TransferMCursor {
             ErrorClass::Transient | ErrorClass::Timeout => {}
             _ => return Err(wire_exec_err(e)),
         }
+        // a fallback's rows were not produced by the keyed fragment's SQL
+        // over a consistent base-table snapshot: never populate from it
+        self.populate = None;
         self.replans += 1;
         if let Some(s) = &self.server_sink {
             s.add_event(
@@ -696,6 +854,32 @@ impl TransferMCursor {
         self.fallback = Some(fb);
         Ok(())
     }
+
+    /// Record rows fetched off the wire for a pending population.
+    fn populate_rows(&mut self, rows: &[Tuple]) {
+        if let Some(p) = &mut self.populate {
+            p.rows.extend_from_slice(rows);
+        }
+    }
+
+    /// The stream drained cleanly (no fault, no fallback, no error up to
+    /// end-of-stream): admit the accumulated rows into the cache, with
+    /// the measured wire + server time as the entry's refetch cost.
+    fn finish_populate(&mut self) {
+        let Some(p) = self.populate.take() else { return };
+        let wire_us = self.conn.wire_time().saturating_sub(p.wire_start).as_secs_f64() * 1e6;
+        let bytes: u64 = p.rows.iter().map(|t| t.byte_size() as u64).sum();
+        let admission =
+            p.cache.insert(&p.key, self.schema.clone(), p.rows, p.deps, wire_us + p.server_us);
+        if admission.admitted {
+            self.populated_bytes = Some(bytes);
+        }
+        if let Some(s) = &self.server_sink {
+            for (sql, b) in &admission.evicted {
+                s.add_event("evict", format!("evicted {b}-byte entry: {sql}"));
+            }
+        }
+    }
 }
 
 impl Cursor for TransferMCursor {
@@ -706,6 +890,9 @@ impl Cursor for TransferMCursor {
     fn open(&mut self) -> tango_xxl::Result<()> {
         for p in &mut self.prereqs {
             p.open()?;
+        }
+        if let Some(p) = &mut self.populate {
+            p.wire_start = self.conn.wire_time();
         }
         let before = self.meters();
         match self.conn.query(&self.sql) {
@@ -720,6 +907,9 @@ impl Cursor for TransferMCursor {
                 }
                 if let Some(sink) = &self.server_sink {
                     sink.add_server_time(cur.server_time());
+                }
+                if let Some(p) = &mut self.populate {
+                    p.server_us = cur.server_time().as_secs_f64() * 1e6;
                 }
                 self.round_trips += 1;
                 self.cur = Some(cur);
@@ -750,8 +940,12 @@ impl Cursor for TransferMCursor {
                 match c.fetch() {
                     Ok(t) => {
                         self.note_wire_activity(before);
-                        if t.is_some() {
-                            self.rows_emitted += 1;
+                        match &t {
+                            Some(tup) => {
+                                self.rows_emitted += 1;
+                                self.populate_rows(std::slice::from_ref(tup));
+                            }
+                            None => self.finish_populate(),
                         }
                         Ok(t)
                     }
@@ -801,6 +995,7 @@ impl Cursor for TransferMCursor {
             match got {
                 Ok(Some(mut got)) => {
                     self.note_wire_activity(before);
+                    self.populate_rows(&got);
                     if rows.is_empty() {
                         rows = got;
                     } else {
@@ -809,6 +1004,7 @@ impl Cursor for TransferMCursor {
                 }
                 Ok(None) => {
                     self.note_wire_activity(before);
+                    self.finish_populate();
                     break;
                 }
                 Err(e) => {
@@ -855,6 +1051,9 @@ impl Cursor for TransferMCursor {
         }
         if self.replans > 0 {
             c.push(("replans", self.replans));
+        }
+        if let Some(b) = self.populated_bytes {
+            c.push(("cache_bytes", b));
         }
         c
     }

@@ -181,6 +181,9 @@ fn render_node(
                     let sv = if redact { "?".into() } else { fmt_us(s.server_us) };
                     annots.push(format!("server {sv}"));
                 }
+                for (k, v) in &s.annotations {
+                    annots.push(format!("{k} {v}"));
+                }
                 for (k, v) in &s.counters {
                     annots.push(format!("{k} {v}"));
                 }

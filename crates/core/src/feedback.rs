@@ -30,6 +30,11 @@ pub fn apply_feedback(factors: &mut CostFactors, report: &ExecReport, alpha: f64
         if step.exclusive_us < 50.0 {
             continue;
         }
+        // a cache hit never touched the wire, so its timing says nothing
+        // about the transfer factor it would otherwise update
+        if step.annotation("cache") == Some("hit") {
+            continue;
+        }
         // TRANSFER^M's exclusive time contains the DBMS's own execution
         // of the translated SQL; the transfer factor models only the
         // shipping, so subtract the server part.
@@ -78,6 +83,7 @@ mod tests {
                 out_rows: rows,
                 out_bytes: bytes,
                 server_us: 0.0,
+                annotations: vec![],
                 counters: vec![],
                 events: vec![],
                 children: vec![],

@@ -26,11 +26,13 @@
 //! | Execution Engine      | [`engine`]    |
 //! | (cost formulas, Fig 6)| [`cost`]      |
 //! | (algorithms/sites)    | [`phys`]      |
+//! | (relation cache)      | [`cache`]     |
 //!
 //! Start with [`session::Tango`].
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod calibrate;
 pub mod collector;
 pub mod cost;

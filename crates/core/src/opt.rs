@@ -17,6 +17,7 @@
 //!   so `T^M(T^D(r))` pairs (rules T7/T8) and redundant sorts (rules
 //!   T10–T12) cannot appear in winning plans.
 
+use crate::cache::{self, Residency};
 use crate::cost::CostFactors;
 use crate::error::{Result, TangoError};
 use crate::phys::{Algo, PhysNode, Req, Site, TOp};
@@ -34,6 +35,10 @@ pub struct GroupProps {
     pub schema: Arc<Schema>,
     /// Derived statistics for the class's output.
     pub stats: RelationStats,
+    /// Canonical fragment signature of the class (see
+    /// [`cache::top_signature`]); lets enforcers ask the middleware
+    /// cache whether this fragment is already resident.
+    pub signature: String,
 }
 
 /// Base-relation catalog snapshot fed by the Statistics Collector.
@@ -70,6 +75,14 @@ pub struct TangoSem {
     pub factors: CostFactors,
     /// Middleware sort-memory budget (see [`OptOptions::mid_sort_budget`]).
     pub mid_sort_budget: Option<u64>,
+    /// Snapshot of the middleware relation cache taken when optimization
+    /// started: which fragment signatures are resident, in which orders.
+    /// A `TRANSFER^M` over a resident fragment is priced at
+    /// [`CostFactors::p_cached`] per byte instead of the wire rate
+    /// [`CostFactors::p_tm`] — cheap enough to flip join-side placement
+    /// (the Figure 10 "one argument already resides" scenario), while
+    /// staying strictly positive so transfers are never free.
+    pub residency: Residency,
 }
 
 impl TangoSem {
@@ -138,7 +151,9 @@ impl Semantics for TangoSem {
                 tango_stats::derive_stats(&op.as_logical(), &child_stats, &child_schemas, &schema)
             }
         };
-        GroupProps { schema: Arc::new(schema), stats }
+        let child_sigs: Vec<String> = children.iter().map(|p| p.signature.clone()).collect();
+        let signature = cache::top_signature(op, &child_sigs);
+        GroupProps { schema: Arc::new(schema), stats, signature }
     }
 
     fn implementations(
@@ -356,9 +371,18 @@ impl Semantics for TangoSem {
             Site::Middleware => {
                 // T^M preserves order (rule T6, type →_L): ask the DBMS
                 // side for the same order (SORT^D below, as in Query 1's
-                // Plan 1).
+                // Plan 1). When the fragment is already resident in the
+                // middleware cache (in a satisfying order), the transfer
+                // ships no bytes — price it as a memory scan of the
+                // cached copy instead of a wire transfer. The estimate is
+                // conservative: the fragment below is still costed as if
+                // it ran, so residency can only *shrink* a plan's cost.
+                let cost = match self.residency.serves(&props.signature, &required.order) {
+                    Some(bytes) => self.factors.p_cached * (bytes as f64).max(1.0),
+                    None => self.factors.cost(&Algo::TransferM, &stats, &props.stats),
+                };
                 out.push(Enforcer {
-                    cost: self.factors.cost(&Algo::TransferM, &stats, &props.stats),
+                    cost,
                     algo: Algo::TransferM,
                     inner_required: Req::dbms(required.order.clone()),
                 });
@@ -439,15 +463,31 @@ pub struct Optimized {
     pub rule_fires: Vec<(&'static str, usize)>,
 }
 
-/// Optimize a logical plan against a catalog snapshot.
+/// Optimize a logical plan against a catalog snapshot, with nothing
+/// resident in the middleware ([`optimize_resident`] with an empty
+/// [`Residency`]).
 pub fn optimize_logical(
     logical: &Logical,
     catalog: Catalog,
     factors: CostFactors,
     options: OptOptions,
 ) -> Result<Optimized> {
+    optimize_resident(logical, catalog, factors, options, Residency::default())
+}
+
+/// Optimize a logical plan against a catalog snapshot *and* a snapshot
+/// of what the middleware relation cache holds. Residency only changes
+/// `TRANSFER^M` enforcer pricing — plan correctness never depends on the
+/// snapshot being current (a stale hit simply re-fetches at runtime).
+pub fn optimize_resident(
+    logical: &Logical,
+    catalog: Catalog,
+    factors: CostFactors,
+    options: OptOptions,
+    residency: Residency,
+) -> Result<Optimized> {
     let (tree, order) = to_initial(logical)?;
-    let sem = TangoSem { catalog, factors, mid_sort_budget: options.mid_sort_budget };
+    let sem = TangoSem { catalog, factors, mid_sort_budget: options.mid_sort_budget, residency };
     let mut memo = Memo::new(sem);
     let root = memo.insert_root(tree);
     memo.explore(&rules::rule_set(options));

@@ -868,7 +868,12 @@ mod tests {
         let stats = RelationStats { rows: 1000.0, avg_tuple_bytes: 28.0, ..Default::default() };
         let mut catalog: Catalog = Catalog::new();
         catalog.insert("POSITION".into(), (schema, stats));
-        TangoSem { catalog, factors: CostFactors::default(), mid_sort_budget: None }
+        TangoSem {
+            catalog,
+            factors: CostFactors::default(),
+            mid_sort_budget: None,
+            residency: Default::default(),
+        }
     }
 
     fn get() -> NewExpr<TOp> {
@@ -987,6 +992,7 @@ mod tests {
         let props = GroupProps {
             schema: s.catalog["POSITION"].0.clone(),
             stats: s.catalog["POSITION"].1.clone(),
+            signature: "GET[POSITION]()".into(),
         };
         use volcano::Semantics;
         let impls = s.implementations(

@@ -23,6 +23,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::cache::{MidCache, Residency, DEFAULT_CACHE_BUDGET};
 use crate::calibrate::{self, Calibration};
 use crate::collector;
 use crate::cost::CostFactors;
@@ -33,6 +34,7 @@ use crate::feedback;
 use crate::opt::{self, Catalog, OptOptions};
 use crate::phys::PhysNode;
 use crate::tsql;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tango_algebra::{Logical, Relation, Schema};
 use tango_minidb::{Connection, Database};
@@ -50,6 +52,10 @@ pub struct TangoOptions {
     pub feedback: bool,
     /// Smoothing weight of each new observation (0 = ignore, 1 = replace).
     pub feedback_alpha: f64,
+    /// Byte budget of the middleware relation cache; `None` disables
+    /// caching entirely (every `TRANSFER^M` streams from the DBMS and the
+    /// optimizer sees an empty [`Residency`]).
+    pub cache_budget: Option<u64>,
 }
 
 impl Default for TangoOptions {
@@ -59,6 +65,7 @@ impl Default for TangoOptions {
             use_histograms: true,
             feedback: false,
             feedback_alpha: 0.3,
+            cache_budget: Some(DEFAULT_CACHE_BUDGET),
         }
     }
 }
@@ -158,6 +165,7 @@ pub struct Tango {
     factors: CostFactors,
     options: TangoOptions,
     catalog: Option<Catalog>,
+    cache: Arc<MidCache>,
 }
 
 impl Tango {
@@ -168,6 +176,7 @@ impl Tango {
             factors: CostFactors::default(),
             options: TangoOptions::default(),
             catalog: None,
+            cache: Arc::new(MidCache::new(DEFAULT_CACHE_BUDGET)),
         }
     }
 
@@ -202,6 +211,41 @@ impl Tango {
     /// Replace the cost factors wholesale.
     pub fn set_factors(&mut self, f: CostFactors) {
         self.factors = f;
+    }
+
+    /// The session's middleware relation cache (counters, residency,
+    /// budget). The cache object always exists; whether queries consult
+    /// it is governed by [`TangoOptions::cache_budget`].
+    pub fn cache(&self) -> &Arc<MidCache> {
+        &self.cache
+    }
+
+    /// Drop every cached relation (statistics counters survive).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// The cache to hand to the engine this query, with the configured
+    /// budget applied — or `None` when caching is disabled.
+    fn active_cache(&self) -> Option<&Arc<MidCache>> {
+        let budget = self.options.cache_budget?;
+        if self.cache.budget() != budget {
+            self.cache.set_budget(budget);
+        }
+        Some(&self.cache)
+    }
+
+    /// Snapshot of which fragment signatures the cache can serve right
+    /// now, after dropping entries invalidated by writes — the
+    /// optimizer's view of middleware residency.
+    fn residency(&self) -> Residency {
+        match self.active_cache() {
+            Some(cache) => {
+                let conn = &self.conn;
+                cache.residency(&|t| conn.table_version(t))
+            }
+            None => Residency::default(),
+        }
     }
 
     /// Run the calibration experiment (Cost Estimator) and adopt the
@@ -242,8 +286,10 @@ impl Tango {
         let options = self.options.opt;
         let factors = self.factors;
         let catalog = self.catalog()?.clone();
+        let residency = self.residency();
         let t0 = Instant::now();
-        let optimized = opt::optimize_logical(&logical, catalog.clone(), factors, options)?;
+        let optimized =
+            opt::optimize_resident(&logical, catalog.clone(), factors, options, residency)?;
         let optimize_time = t0.elapsed();
         let node_estimates =
             estimate_plan_nodes(&optimized.plan, &catalog, &factors).unwrap_or_default();
@@ -280,7 +326,8 @@ impl Tango {
     /// report; applies cost-factor feedback if enabled.
     pub fn query(&mut self, sql: &str) -> Result<(Relation, QueryReport)> {
         let optimized = self.optimize(sql)?;
-        let (rel, exec) = engine::execute(&self.conn, &optimized.plan)?;
+        let (rel, exec) =
+            engine::execute_cached(&self.conn, &optimized.plan, true, self.active_cache())?;
         if self.options.feedback {
             feedback::apply_feedback(&mut self.factors, &exec, self.options.feedback_alpha);
         }
@@ -290,7 +337,7 @@ impl Tango {
     /// Execute a hand-built physical plan (the performance study runs
     /// the paper's fixed Plans 1..n this way).
     pub fn execute_physical(&mut self, plan: &PhysNode) -> Result<(Relation, ExecReport)> {
-        let (rel, exec) = engine::execute(&self.conn, plan)?;
+        let (rel, exec) = engine::execute_cached(&self.conn, plan, true, self.active_cache())?;
         if self.options.feedback {
             feedback::apply_feedback(&mut self.factors, &exec, self.options.feedback_alpha);
         }

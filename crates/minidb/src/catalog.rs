@@ -20,6 +20,11 @@ pub struct Table {
     pub schema: Arc<Schema>,
     pub rows: Vec<Tuple>,
     pub stats: Option<RelationStats>,
+    /// Monotonic write-version stamp, drawn from the database-wide
+    /// [`DbInner::version_clock`]. Bumped by every DML statement that
+    /// touches this table; middleware caches compare it to decide whether
+    /// a materialized copy of a fragment over this table is still fresh.
+    pub version: u64,
 }
 
 impl Table {
@@ -45,6 +50,8 @@ pub struct IndexDef {
 pub struct DbInner {
     pub tables: HashMap<String, Table>,
     pub indexes: Vec<IndexDef>,
+    /// Database-wide monotonic version counter; see [`Table::version`].
+    pub version_clock: u64,
 }
 
 impl DbInner {
@@ -68,6 +75,16 @@ impl DbInner {
         }
         self.indexes[i].map = map;
         Ok(())
+    }
+
+    /// Advance the version clock and stamp `table` with the new value.
+    /// Called under the write lock by every mutating statement.
+    pub fn bump_version(&mut self, table: &str) {
+        self.version_clock += 1;
+        let v = self.version_clock;
+        if let Some(t) = self.tables.get_mut(&table.to_uppercase()) {
+            t.version = v;
+        }
     }
 
     pub fn refresh_indexes_for(&mut self, table: &str) -> Result<()> {
@@ -127,7 +144,12 @@ impl Database {
         if inner.tables.contains_key(&key) {
             return Err(DbError::TableExists(name.to_string()));
         }
-        inner.tables.insert(key, Table { schema: Arc::new(schema), rows: Vec::new(), stats: None });
+        inner.version_clock += 1;
+        let version = inner.version_clock;
+        inner.tables.insert(
+            key,
+            Table { schema: Arc::new(schema), rows: Vec::new(), stats: None, version },
+        );
         Ok(())
     }
 
@@ -158,6 +180,7 @@ impl Database {
         }
         table.rows.extend(rows);
         table.stats = None; // stale until re-ANALYZEd
+        inner.bump_version(name);
         inner.refresh_indexes_for(name)?;
         Ok(n)
     }
@@ -188,6 +211,7 @@ impl Database {
         }
         let removed = (before - table.rows.len()) as u64;
         table.stats = None;
+        inner.bump_version(name);
         inner.refresh_indexes_for(name)?;
         Ok(removed)
     }
@@ -228,6 +252,7 @@ impl Database {
             }
         }
         table.stats = None;
+        inner.bump_version(name);
         inner.refresh_indexes_for(name)?;
         Ok(n)
     }
@@ -279,6 +304,13 @@ impl Database {
 
     pub fn table_stats(&self, name: &str) -> Option<RelationStats> {
         self.inner.read().tables.get(&name.to_uppercase()).and_then(|t| t.stats.clone())
+    }
+
+    /// Current write-version of a base table (`None` if it does not
+    /// exist). Strictly increases with every INSERT/DELETE/UPDATE against
+    /// the table, so `version unchanged` ⇒ `contents unchanged`.
+    pub fn table_version(&self, name: &str) -> Option<u64> {
+        self.inner.read().tables.get(&name.to_uppercase()).map(|t| t.version)
     }
 
     pub fn table_names(&self) -> Vec<String> {
@@ -408,6 +440,30 @@ mod tests {
         let s = db.table_stats("POSITION").unwrap();
         assert_eq!(s.rows, 3.0);
         assert_eq!(s.attr("PosID").unwrap().distinct, 2);
+    }
+
+    /// Every write — INSERT, DELETE, UPDATE — moves the table's
+    /// write-version; reads never do. `version unchanged ⇒ contents
+    /// unchanged` is what the middleware cache's invalidation rests on.
+    #[test]
+    fn write_version_moves_on_every_dml() {
+        let db = db_with_table();
+        let v0 = db.table_version("position").unwrap();
+        db.analyze("POSITION").unwrap();
+        assert_eq!(db.table_version("POSITION").unwrap(), v0, "reads must not bump");
+
+        db.insert_rows("POSITION", vec![tup![9, 1, 2]]).unwrap();
+        let v1 = db.table_version("POSITION").unwrap();
+        assert!(v1 > v0);
+
+        db.delete_rows("POSITION", None).unwrap();
+        let v2 = db.table_version("POSITION").unwrap();
+        assert!(v2 > v1);
+
+        db.update_rows("POSITION", &[], None).unwrap();
+        assert!(db.table_version("POSITION").unwrap() > v2);
+
+        assert!(db.table_version("NOPE").is_none());
     }
 
     #[test]

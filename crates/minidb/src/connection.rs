@@ -359,6 +359,14 @@ impl Connection {
     pub fn table_stats(&self, name: &str) -> Option<tango_stats::RelationStats> {
         self.db.table_stats(name)
     }
+
+    /// Current write-version of a base table (`None` if it does not
+    /// exist); see [`Database::table_version`]. Version checks are a
+    /// client-side catalog peek, not a wire round trip — the middleware
+    /// uses them to validate cached fragments before planning.
+    pub fn table_version(&self, name: &str) -> Option<u64> {
+        self.db.table_version(name)
+    }
 }
 
 /// A client-side cursor over a server-side result. Rows are encoded on

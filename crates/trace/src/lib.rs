@@ -102,6 +102,7 @@ pub struct SpanSlot {
     server_ns: AtomicU64,
     counters: std::sync::Mutex<Vec<(&'static str, u64)>>,
     events: std::sync::Mutex<Vec<SpanEvent>>,
+    annotations: std::sync::Mutex<Vec<(&'static str, String)>>,
 }
 
 /// A discrete occurrence recorded against a span — a wire fault, a
@@ -157,6 +158,14 @@ impl SpanSlot {
             .lock()
             .unwrap_or_else(|e| e.into_inner())
             .push(SpanEvent { kind: kind.into(), detail: detail.into() });
+    }
+
+    /// Attach a qualitative key/value annotation to this span, e.g.
+    /// `cache: hit`. Unlike counters (numeric, polled at close) an
+    /// annotation describes a *state* the operator was in; rendered in
+    /// `EXPLAIN ANALYZE` as `key value` and in JSON as an object field.
+    pub fn add_annotation(&self, key: &'static str, value: impl Into<String>) {
+        self.annotations.lock().unwrap_or_else(|e| e.into_inner()).push((key, value.into()));
     }
 }
 
@@ -226,6 +235,7 @@ impl Collector {
             server_ns: AtomicU64::new(0),
             counters: std::sync::Mutex::new(Vec::new()),
             events: std::sync::Mutex::new(Vec::new()),
+            annotations: std::sync::Mutex::new(Vec::new()),
         });
         self.slots.push(slot.clone());
         (self.slots.len() - 1, slot)
@@ -257,6 +267,7 @@ impl Collector {
                 server_us: s.server_ns.load(Ordering::Relaxed) as f64 / 1000.0,
                 counters: s.counters.lock().unwrap_or_else(|e| e.into_inner()).clone(),
                 events: s.events.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+                annotations: s.annotations.lock().unwrap_or_else(|e| e.into_inner()).clone(),
                 children: s.children.clone(),
             })
             .collect();
@@ -289,6 +300,8 @@ pub struct OpSpan {
     pub counters: Vec<(&'static str, u64)>,
     /// Discrete events recorded while the operator ran, in order.
     pub events: Vec<SpanEvent>,
+    /// Qualitative key/value annotations (e.g. `cache: hit`), in order.
+    pub annotations: Vec<(&'static str, String)>,
     /// Indices of input spans.
     pub children: Vec<usize>,
 }
@@ -305,6 +318,13 @@ impl OpSpan {
         o.number("rows", self.rows as f64);
         o.number("bytes", self.bytes as f64);
         o.number("server_us", self.server_us);
+        if !self.annotations.is_empty() {
+            let mut a = Object::new();
+            for (k, v) in &self.annotations {
+                a.string(k, v);
+            }
+            o.raw("annotations", &a.build());
+        }
         if !self.counters.is_empty() {
             let mut c = Object::new();
             for (k, v) in &self.counters {

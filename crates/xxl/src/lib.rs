@@ -22,6 +22,8 @@
 //! Inventory:
 //!
 //! * [`scan::VecScan`] — scan of a materialized relation,
+//! * [`scan::CachedScan`] — scan of a *shared* cached relation (serves
+//!   middleware-cache hits without consuming the entry),
 //! * [`filter::Filter`] — `FILTER^M`,
 //! * [`project::Project`] — `PROJECT^M`,
 //! * [`sort::Sort`] / [`sort::ExternalSort`] — `SORT^M`,
@@ -87,7 +89,7 @@ pub use filter::Filter;
 pub use merge_join::MergeJoin;
 pub use nested_loop::NestedLoopJoin;
 pub use project::Project;
-pub use scan::VecScan;
+pub use scan::{CachedScan, VecScan};
 pub use set_ops::{ExceptAll, IntersectAll, UnionAll};
 pub use sort::{ExternalSort, Sort};
 pub use taggr::TemporalAggregate;

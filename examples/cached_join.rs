@@ -1,0 +1,129 @@
+//! The middleware-resident relation cache — cold run, warm run, and the
+//! cost-driven plan flip of Figure 10.
+//!
+//! Over a deliberately glacial wire (50 ms round trips, 16 KB/s) we run
+//! the paper's temporal join twice: the cold run ships the DBMS
+//! fragments across the wire and caches them; the warm run answers the
+//! same query without a single SQL round trip (every `TRANSFER^M` is a
+//! `cache hit`). A write to POSITION then invalidates the residency
+//! and the next run is cold again. Finally, the optimizer itself reacts
+//! to residency: with the aggregation argument resident, `TAGGR`
+//! migrates from the DBMS into the middleware — and migrates back when
+//! the cache is cleared.
+//!
+//! Run with: `cargo run --example cached_join`
+
+use tango::algebra::{tup, Attr, Schema, Type, Value};
+use tango::core::cost::CostFactors;
+use tango::core::phys::Algo;
+use tango::minidb::{Database, Link, LinkProfile, WireMode};
+use tango::Tango;
+
+const JOIN: &str = "VALIDTIME SELECT P.PosID, Cnt, P.EmpID FROM \
+                      (VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION \
+                       GROUP BY PosID) A, POSITION P \
+                    WHERE A.PosID = P.PosID AND P.PayRate > 5 ORDER BY P.PosID";
+const AGG: &str = "VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION \
+                   GROUP BY PosID ORDER BY PosID";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A slow, high-latency link: exactly the regime where middleware
+    // residency pays (the wire is simulated, so the example runs fast).
+    let glacial = LinkProfile {
+        roundtrip_latency_us: 50_000.0,
+        bytes_per_sec: 16.0 * 1024.0,
+        row_prefetch: 10,
+        mode: WireMode::Virtual,
+    };
+    let db = Database::new(Link::new(glacial));
+    let schema = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("PayRate", Type::Double),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    db.create_table("POSITION", schema)?;
+    // 2 positions, staggered assignments — the aggregate collapses to a
+    // handful of constant periods
+    db.insert_rows(
+        "POSITION",
+        (0..4_000i64)
+            .map(|i| tup![i % 2, i, Value::Double(9.0), (i % 10) * 5, (i % 10) * 5 + 12])
+            .collect(),
+    )?;
+    db.analyze("POSITION")?;
+    db.link().reset();
+
+    let mut tango = Tango::connect(db.clone());
+    tango.calibrate()?;
+    db.link().reset();
+
+    // -- cold: the DBMS fragments cross the wire and become resident --
+    let (cold_rel, cold) = tango.query(JOIN)?;
+    println!("== cold run: {} rows, total {:?} ==", cold_rel.len(), cold.exec.total());
+    println!("{}", cold.optimized.explain_analyze(&cold.exec, true));
+
+    // -- warm: same answer, zero SQL round trips ----------------------
+    let before = db.link().roundtrips();
+    let (warm_rel, warm) = tango.query(JOIN)?;
+    assert!(warm_rel.list_eq(&cold_rel));
+    assert_eq!(db.link().roundtrips(), before, "warm run must stay off the wire");
+    println!(
+        "== warm run: {} rows, total {:?}, 0 round trips ==",
+        warm_rel.len(),
+        warm.exec.total()
+    );
+    println!("{}", warm.optimized.explain_analyze(&warm.exec, true));
+    let stats = tango.cache().stats();
+    println!(
+        "cache: {} hits, {} misses, {} bytes resident\n",
+        stats.hits,
+        stats.misses,
+        tango.cache().bytes()
+    );
+
+    // -- a write invalidates the residency ----------------------------
+    db.insert_rows("POSITION", vec![tup![2i64, 9_999i64, Value::Double(42.0), 0, 60]])?;
+    db.analyze("POSITION")?;
+    let (fresh_rel, _) = tango.query(JOIN)?;
+    println!(
+        "== after INSERT: residency invalidated, fresh answer has {} rows ==",
+        fresh_rel.len()
+    );
+    println!(
+        "cache: {} invalidations, {} misses total\n",
+        tango.cache().stats().invalidations,
+        tango.cache().stats().misses
+    );
+
+    // -- Figure 10: residency flips the aggregation's placement -------
+    tango.clear_cache();
+    let cold_plan = tango.optimize(AGG)?;
+    assert!(cold_plan.plan.any(&|a| matches!(a, Algo::TAggrD { .. })));
+    println!("cold plan (nothing resident, est {:.0}us):", cold_plan.est_cost_us);
+    println!("{}", cold_plan.explain());
+
+    // Stage the residency Figure 10 describes: run the middleware
+    // variant once (forced by skewed factors, standing in for an earlier
+    // middleware-heavy query) so its *argument* fragment becomes
+    // resident, then restore the calibrated factors and re-optimize.
+    let calibrated = *tango.factors();
+    tango.set_factors(CostFactors { p_tm: 1e-9, p_taggd1: 1e9, ..Default::default() });
+    let forced = tango.optimize(AGG)?;
+    tango.execute_physical(&forced.plan)?;
+    tango.set_factors(calibrated);
+
+    let warm_plan = tango.optimize(AGG)?;
+    println!("warm plan (argument resident, est {:.0}us):", warm_plan.est_cost_us);
+    println!("{}", warm_plan.explain());
+    if warm_plan.plan.any(&|a| matches!(a, Algo::TAggrM { .. })) {
+        println!("-> TAGGR migrated into the middleware to exploit residency");
+    }
+
+    tango.clear_cache();
+    let cleared = tango.optimize(AGG)?;
+    assert!(cleared.plan.any(&|a| matches!(a, Algo::TAggrD { .. })));
+    println!("-> cache cleared: TAGGR migrates back to the DBMS");
+    Ok(())
+}

@@ -1,0 +1,398 @@
+//! The middleware relation cache, end to end: repeat queries are served
+//! from middleware-resident copies without touching the wire, writes
+//! invalidate exactly the dependent entries, the byte budget is a hard
+//! bound, faulted transfers never populate partial results, and the
+//! optimizer's placement decision flips when (and only when) the
+//! fragment it needs already resides in the middleware — the paper's
+//! Figure 10 scenario as a first-class state.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use tango::algebra::{
+    tup, AggFunc, AggSpec, Attr, CmpOp, Expr, ProjItem, Schema, SortSpec, Type, Value,
+};
+use tango::core::cost::CostFactors;
+use tango::core::phys::{Algo, PhysNode};
+use tango::minidb::{Database, Fault, FaultPlan, Link, LinkProfile, RetryPolicy, WireMode};
+use tango::Tango;
+
+const QUERY1: &str = "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION \
+                      GROUP BY PosID ORDER BY PosID";
+
+fn make_db(profile: LinkProfile, rows: &[(i64, i64, f64, i32, i32)]) -> Database {
+    let db = Database::new(Link::new(profile));
+    let schema = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("PayRate", Type::Double),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    db.create_table("POSITION", schema).unwrap();
+    db.insert_rows(
+        "POSITION",
+        rows.iter().map(|&(p, e, pay, t1, t2)| tup![p, e, Value::Double(pay), t1, t2]).collect(),
+    )
+    .unwrap();
+    db.analyze("POSITION").unwrap();
+    db.link().reset();
+    db
+}
+
+fn default_rows(n: usize) -> Vec<(i64, i64, f64, i32, i32)> {
+    let mut state = 0xDEAD_BEEF_u64;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let r = |m: u64, s: u64| ((s >> 33) % m) as i64;
+            let t1 = r(60, state) as i32;
+            (1 + r(5, state), 1 + r(20, state ^ 7), r(200, state ^ 13) as f64 / 10.0, t1, t1 + 5)
+        })
+        .collect()
+}
+
+/// A repeated query is answered from the resident copy: byte-identical
+/// result, a `cache hit` annotation instead of SQL round trips, and not
+/// one additional wire round trip.
+#[test]
+fn warm_run_is_byte_identical_and_wire_free() {
+    let db = make_db(LinkProfile::default(), &default_rows(150));
+    let mut tango = Tango::connect(db.clone());
+
+    let (cold, cold_report) = tango.query(QUERY1).unwrap();
+    let cold_text = cold_report.optimized.explain_analyze(&cold_report.exec, true);
+    assert!(cold_text.contains("cache miss"), "{cold_text}");
+    assert!(cold_text.contains("cache_bytes"), "{cold_text}");
+    assert_eq!(tango.cache().stats().insertions, 1);
+
+    let wire_before = db.link().roundtrips();
+    let (warm, warm_report) = tango.query(QUERY1).unwrap();
+    assert_eq!(db.link().roundtrips(), wire_before, "a hit must not touch the wire");
+    assert!(warm.list_eq(&cold), "cached result differs\ncold:\n{cold}\nwarm:\n{warm}");
+
+    let warm_text = warm_report.optimized.explain_analyze(&warm_report.exec, true);
+    assert!(warm_text.contains("cache hit"), "{warm_text}");
+    assert!(!warm_text.contains("sql_round_trips"), "{warm_text}");
+    let s = tango.cache().stats();
+    assert_eq!(s.hits, 1, "{s:?}");
+}
+
+/// `cache_budget: None` disables the machinery entirely — no lookups, no
+/// insertions, no annotations.
+#[test]
+fn disabled_cache_changes_nothing() {
+    let db = make_db(LinkProfile::default(), &default_rows(50));
+    let mut tango = Tango::connect(db);
+    tango.options_mut().cache_budget = None;
+    let (a, report) = tango.query(QUERY1).unwrap();
+    let (b, _) = tango.query(QUERY1).unwrap();
+    assert!(a.list_eq(&b));
+    let text = report.optimized.explain_analyze(&report.exec, true);
+    assert!(!text.contains("cache"), "{text}");
+    assert_eq!(tango.cache().stats(), Default::default());
+}
+
+fn scan(conn: &tango::minidb::Connection, table: &str) -> PhysNode {
+    PhysNode {
+        algo: Algo::ScanD(table.into()),
+        schema: Arc::new(conn.table_schema(table).unwrap()),
+        children: vec![],
+    }
+}
+
+fn un(algo: Algo, child: PhysNode) -> PhysNode {
+    let schema = Arc::new(algo.output_schema(&[child.schema.as_ref()]).unwrap());
+    PhysNode { algo, schema, children: vec![child] }
+}
+
+fn bin(algo: Algo, l: PhysNode, r: PhysNode) -> PhysNode {
+    let schema = Arc::new(algo.output_schema(&[l.schema.as_ref(), r.schema.as_ref()]).unwrap());
+    PhysNode { algo, schema, children: vec![l, r] }
+}
+
+/// Figure 9's mixed Query 2 placement: the Figure 5 round trip where the
+/// middleware aggregate is bulk-loaded back with `TRANSFER^D` and joined
+/// in the DBMS.
+fn figure9_mixed_plan(conn: &tango::minidb::Connection) -> PhysNode {
+    let group_by = vec!["PosID".to_string()];
+    let aggs = vec![AggSpec::new(AggFunc::Count, Some("PosID"), "Cnt")];
+    let keys = SortSpec::by(["PosID", "T1"]);
+    let arg = un(
+        Algo::ProjectD(["PosID", "T1", "T2"].iter().map(|c| ProjItem::col(*c)).collect()),
+        scan(conn, "POSITION"),
+    );
+    let agg_m =
+        un(Algo::TAggrM { group_by, aggs }, un(Algo::TransferM, un(Algo::SortD(keys), arg)));
+    let payrate = Expr::cmp(CmpOp::Gt, Expr::col("PayRate"), Expr::lit(5.0));
+    let p_side = un(Algo::FilterD(payrate), scan(conn, "POSITION"));
+    let eq = vec![("PosID".to_string(), "PosID".to_string())];
+    un(
+        Algo::TransferM,
+        un(
+            Algo::SortD(SortSpec::by(["PosID"])),
+            bin(Algo::TJoinD(eq), un(Algo::TransferD, agg_m), p_side),
+        ),
+    )
+}
+
+/// A fragment that scans a `TRANSFER^D` temp table is uncacheable: its
+/// contents are middleware state, not a function of base-table versions.
+/// That transfer streams normally, annotated `cache bypass` — while the
+/// cacheable inner transfer (the aggregation argument) populates.
+#[test]
+fn temp_table_fragments_bypass() {
+    let db = make_db(LinkProfile::instant(), &default_rows(80));
+    let mut tango = Tango::connect(db);
+    let plan = figure9_mixed_plan(tango.conn());
+    let (rel, exec) = tango.execute_physical(&plan).unwrap();
+    assert!(!rel.is_empty());
+
+    let s = tango.cache().stats();
+    assert_eq!(s.bypasses, 1, "the temp-scanning fragment must bypass: {s:?}");
+    assert_eq!(s.insertions, 1, "the base-table fragment must populate: {s:?}");
+    let annots: Vec<Option<&str>> = exec
+        .steps
+        .iter()
+        .filter(|st| matches!(st.algo, Algo::TransferM))
+        .map(|st| st.annotation("cache"))
+        .collect();
+    assert!(annots.contains(&Some("bypass")), "{annots:?}");
+    assert!(annots.contains(&Some("miss")), "{annots:?}");
+
+    // a second run: the inner fragment now hits, the outer still bypasses
+    tango.execute_physical(&plan).unwrap();
+    let s = tango.cache().stats();
+    assert_eq!((s.hits, s.bypasses), (1, 2), "{s:?}");
+}
+
+/// A write to a base table invalidates dependent entries: the next run
+/// misses, refetches, and sees the new data.
+#[test]
+fn writes_invalidate_and_results_stay_fresh() {
+    let db = make_db(LinkProfile::default(), &default_rows(100));
+    let mut tango = Tango::connect(db.clone());
+    tango.query(QUERY1).unwrap();
+    tango.query(QUERY1).unwrap();
+    assert_eq!(tango.cache().stats().hits, 1);
+
+    db.insert_rows("POSITION", vec![tup![9, 9, Value::Double(1.0), 0, 99]]).unwrap();
+    db.analyze("POSITION").unwrap();
+
+    let (stale_free, report) = tango.query(QUERY1).unwrap();
+    let s = tango.cache().stats();
+    assert!(s.invalidations >= 1, "{s:?}");
+    assert_eq!(s.hits, 1, "a post-write run must not be served stale: {s:?}");
+
+    // control: a cache-off session on the modified database
+    let mut control = Tango::connect(db);
+    control.options_mut().cache_budget = None;
+    let (expect, _) = control.query(QUERY1).unwrap();
+    assert!(
+        stale_free.list_eq(&expect),
+        "post-write result is stale\nexpected:\n{expect}\ngot:\n{stale_free}"
+    );
+    // the new group (PosID 9) really is visible
+    assert!(stale_free.tuples().iter().any(|t| t[0] == Value::Int(9)), "{stale_free}");
+    let _ = report;
+}
+
+/// The byte budget is a hard bound, enforced by eviction/rejection.
+#[test]
+fn budget_is_a_hard_bound() {
+    let db = make_db(LinkProfile::default(), &default_rows(200));
+    let mut tango = Tango::connect(db);
+    tango.options_mut().cache_budget = Some(512);
+    for sql in [
+        QUERY1,
+        "VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION WHERE PayRate > 5 GROUP BY PosID",
+        "SELECT EmpID, PosID FROM POSITION WHERE PosID < 3 ORDER BY EmpID, PosID",
+    ] {
+        tango.query(sql).unwrap();
+        assert!(tango.cache().bytes() <= 512, "budget exceeded: {} bytes", tango.cache().bytes());
+    }
+    let s = tango.cache().stats();
+    assert!(s.evictions + s.rejections > 0, "nothing was ever squeezed out: {s:?}");
+}
+
+/// Chaos safety: a transfer that re-planned mid-flight, or died after
+/// emitting rows, must never populate the cache — only a clean full
+/// drain does.
+#[test]
+fn faulted_transfers_never_populate() {
+    let db = make_db(
+        LinkProfile {
+            roundtrip_latency_us: 100.0,
+            bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+            row_prefetch: 8,
+            mode: WireMode::Virtual,
+        },
+        &default_rows(120),
+    );
+    let mut tango = Tango::connect(db.clone());
+    let optimized = tango.optimize(QUERY1).unwrap();
+
+    // (a) the submission exhausts its retries and the fragment re-plans:
+    // the fallback's rows come from base-table fetches, not the keyed
+    // fragment, so nothing may be admitted
+    tango.conn_mut().set_retry_policy(RetryPolicy { max_attempts: 2, ..RetryPolicy::default() });
+    let rt = db.link().roundtrips();
+    db.link().set_injector(Arc::new(FaultPlan::scripted([
+        (rt + 1, Fault::Transient("chaos".into())),
+        (rt + 2, Fault::Disconnect),
+    ])));
+    let (rel, exec) = tango.execute_physical(&optimized.plan).unwrap();
+    db.link().clear_injector();
+    assert!(!rel.is_empty());
+    let text = optimized.explain_analyze(&exec, true);
+    assert!(text.contains("replans 1"), "{text}");
+    assert!(tango.cache().is_empty(), "a re-planned transfer populated the cache");
+    assert_eq!(tango.cache().stats().insertions, 0);
+
+    // (b) a mid-stream failure after rows were emitted propagates and
+    // leaves no partial entry behind
+    tango.conn_mut().set_retry_policy(RetryPolicy::none());
+    let rt = db.link().roundtrips();
+    db.link()
+        .set_injector(Arc::new(FaultPlan::scripted([(rt + 3, Fault::Transient("drop".into()))])));
+    tango.execute_physical(&optimized.plan).map(|_| ()).unwrap_err();
+    db.link().clear_injector();
+    assert!(tango.cache().is_empty(), "a failed transfer populated the cache");
+
+    // (c) with the chaos gone the same plan populates and then hits
+    tango.conn_mut().set_retry_policy(RetryPolicy::default());
+    tango.execute_physical(&optimized.plan).unwrap();
+    assert_eq!(tango.cache().stats().insertions, 1);
+    let wire_before = db.link().roundtrips();
+    tango.execute_physical(&optimized.plan).unwrap();
+    assert_eq!(db.link().roundtrips(), wire_before);
+    assert_eq!(tango.cache().stats().hits, 1);
+}
+
+/// Figure 10, cost-driven: on a glacial wire the optimizer keeps the
+/// temporal aggregation in the DBMS — until its argument fragment
+/// resides in the middleware, at which point the transfer is priced at
+/// memory speed and the plan flips to the middleware algorithm. Clearing
+/// the cache flips it straight back: the *only* input that changed is
+/// residency.
+#[test]
+fn optimizer_flips_placement_for_resident_fragments() {
+    // 2 groups, 10 distinct starts: the aggregate collapses to a handful
+    // of rows, so "evaluate in place, ship the tiny result" wins cold
+    let rows: Vec<(i64, i64, f64, i32, i32)> = (0..4_000)
+        .map(|i: i64| (i % 2, i, 9.0, ((i % 10) * 5) as i32, ((i % 10) * 5 + 12) as i32))
+        .collect();
+    let glacial = LinkProfile {
+        roundtrip_latency_us: 50_000.0,
+        bytes_per_sec: 16.0 * 1024.0,
+        row_prefetch: 10,
+        mode: WireMode::Virtual,
+    };
+    let db = make_db(glacial, &rows);
+    let mut tango = Tango::connect(db);
+    tango.calibrate().unwrap();
+    let sql = "VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION \
+               GROUP BY PosID ORDER BY PosID";
+
+    let cold = tango.optimize(sql).unwrap();
+    assert!(
+        cold.plan.any(&|a| matches!(a, Algo::TAggrD { .. })),
+        "glacial wire should keep aggregation in the DBMS while cold:\n{}",
+        cold.explain()
+    );
+
+    // stage the residency Figure 10 hand-builds: run the middleware
+    // variant once (forced by factors) so its argument fragment is cached
+    let calibrated = *tango.factors();
+    tango.set_factors(CostFactors { p_tm: 1e-9, p_taggd1: 1e9, ..Default::default() });
+    let forced = tango.optimize(sql).unwrap();
+    assert!(forced.plan.any(&|a| matches!(a, Algo::TAggrM { .. })), "{}", forced.explain());
+    tango.execute_physical(&forced.plan).unwrap();
+    assert_eq!(tango.cache().stats().insertions, 1, "warming run must populate");
+    tango.set_factors(calibrated);
+
+    let warm = tango.optimize(sql).unwrap();
+    assert!(
+        warm.plan.any(&|a| matches!(a, Algo::TAggrM { .. })),
+        "resident argument should flip aggregation into the middleware:\n{}",
+        warm.explain()
+    );
+    assert!(
+        warm.est_cost_us < cold.est_cost_us,
+        "the flip must be cost-driven: warm {} < cold {}",
+        warm.est_cost_us,
+        cold.est_cost_us
+    );
+
+    // and the flip reverses when residency goes away
+    tango.clear_cache();
+    let cleared = tango.optimize(sql).unwrap();
+    assert!(
+        cleared.plan.any(&|a| matches!(a, Algo::TAggrD { .. })),
+        "clearing the cache must restore the cold plan:\n{}",
+        cleared.explain()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    /// Differential: for random data, random interleaved writes and the
+    /// benchmark query family, a cache-on session answers every query
+    /// exactly like a cache-off session over the same database state.
+    #[test]
+    fn cached_sessions_agree_with_uncached(
+        rows in proptest::collection::vec(
+            (1i64..6, 1i64..8, 0.0f64..20.0, 0i32..50, 1i32..30),
+            1..40,
+        ),
+        extra in (1i64..6, 1i64..8, 0i32..50, 1i32..30),
+    ) {
+        let fixed: Vec<(i64, i64, f64, i32, i32)> =
+            rows.into_iter().map(|(p, e, pay, t1, d)| (p, e, pay, t1, t1 + d)).collect();
+        let db = make_db(LinkProfile::instant(), &fixed);
+        let mut cached = Tango::connect(db.clone());
+        let mut uncached = Tango::connect(db.clone());
+        uncached.options_mut().cache_budget = None;
+
+        let queries = [
+            QUERY1.to_string(),
+            "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+             WHERE A.PosID = B.PosID AND A.T1 < 40 AND B.T1 < 40 ORDER BY A.PosID".to_string(),
+            "SELECT EmpID, PosID FROM POSITION WHERE PayRate > 5 ORDER BY EmpID, PosID".to_string(),
+        ];
+        let check = |cached: &mut Tango, uncached: &mut Tango| {
+            for sql in &queries {
+                // twice: the second run exercises the hit path
+                for pass in ["cold", "warm"] {
+                    let (a, _) = cached.query(sql).unwrap_or_else(|e| panic!("{e}\nsql: {sql}"));
+                    let (b, _) = uncached.query(sql).unwrap_or_else(|e| panic!("{e}\nsql: {sql}"));
+                    assert!(
+                        a.multiset_eq(&b),
+                        "{pass} cached run diverged\nsql: {sql}\ncached:\n{a}\nuncached:\n{b}"
+                    );
+                }
+            }
+        };
+        check(&mut cached, &mut uncached);
+        // a write in between: the cached session must not serve stale rows
+        let (p, e, t1, d) = extra;
+        db.insert_rows("POSITION", vec![tup![p, e, Value::Double(3.0), t1, t1 + d]]).unwrap();
+        db.analyze("POSITION").unwrap();
+        cached.refresh_statistics().unwrap();
+        uncached.refresh_statistics().unwrap();
+        check(&mut cached, &mut uncached);
+        prop_assert!(cached.cache().stats().hits >= 1, "the warm passes never hit");
+    }
+}
+
+/// The cached scan repeats the delivered order: a warm ORDER BY run is
+/// list-equal, not just multiset-equal, to the cold one.
+#[test]
+fn warm_runs_preserve_order() {
+    let db = make_db(LinkProfile::default(), &default_rows(80));
+    let mut tango = Tango::connect(db);
+    let (cold, _) = tango.query(QUERY1).unwrap();
+    for _ in 0..3 {
+        let (warm, _) = tango.query(QUERY1).unwrap();
+        assert!(warm.list_eq(&cold));
+    }
+}

@@ -198,7 +198,7 @@ fn explain_analyze_golden_query1() {
     let expected = "\
 PROJECT^M  (middleware, est rows 2.4, actual rows 4, exclusive ?, batches 1)
   TAGGR^M [group by PosID; COUNT(PosID) AS CNT]  (middleware, est rows 2.4, actual rows 4, exclusive ?, groups 2, constant_periods 4, batches 1)
-    TRANSFER^M  (middleware, est rows 3.0, actual rows 3, exclusive ?, server ?, sql_round_trips 1, batches 1)
+    TRANSFER^M  (middleware, est rows 3.0, actual rows 3, exclusive ?, server ?, cache miss, sql_round_trips 1, cache_bytes 72, batches 1)
       SORT^D [PosID, T1]  (dbms, est rows 3.0, in SQL)
         PROJECT^D  (dbms, est rows 3.0, in SQL)
           SCAN^D POSITION  (dbms, est rows 3.0, in SQL)

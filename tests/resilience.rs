@@ -96,6 +96,16 @@ fn seed_db() -> Database {
 const QUERY1: &str = "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION \
                       GROUP BY PosID ORDER BY PosID";
 
+/// A session with the relation cache off: every run in this file must
+/// exercise the wire — which is the thing under test — rather than be
+/// served from a middleware-resident copy. (Cache population safety
+/// under chaos is covered by `tests/caching.rs`.)
+fn wire_session(db: &Database) -> Tango {
+    let mut tango = Tango::connect(db.clone());
+    tango.options_mut().cache_budget = None;
+    tango
+}
+
 /// The benchmark's four query shapes (Section 5 flavours): temporal
 /// aggregation, nested aggregation + temporal join, temporal self-join,
 /// and a conventional join.
@@ -122,7 +132,7 @@ fn queries() -> Vec<String> {
 #[test]
 fn seeded_chaos_schedules_leave_results_identical() {
     let db = seed_db();
-    let mut tango = Tango::connect(db.clone());
+    let mut tango = wire_session(&db);
     let baselines: Vec<Relation> = queries().iter().map(|q| tango.query(q).unwrap().0).collect();
 
     let mut total_faults = 0u64;
@@ -157,7 +167,7 @@ fn seeded_chaos_schedules_leave_results_identical() {
 #[test]
 fn retry_events_are_visible_in_explain_analyze() {
     let db = seed_db();
-    let mut tango = Tango::connect(db.clone());
+    let mut tango = wire_session(&db);
     let optimized = tango.optimize(QUERY1).unwrap();
     let (baseline, _) = tango.execute_physical(&optimized.plan).unwrap();
 
@@ -183,7 +193,7 @@ fn retry_events_are_visible_in_explain_analyze() {
 #[test]
 fn exhausted_retries_replan_and_match_baseline() {
     let db = seed_db();
-    let mut tango = Tango::connect(db.clone());
+    let mut tango = wire_session(&db);
     let optimized = tango.optimize(QUERY1).unwrap();
     let (baseline, _) = tango.execute_physical(&optimized.plan).unwrap();
 
@@ -219,7 +229,7 @@ fn exhausted_retries_replan_and_match_baseline() {
 #[test]
 fn fatal_faults_surface_cleanly_and_the_session_survives() {
     let db = seed_db();
-    let mut tango = Tango::connect(db.clone());
+    let mut tango = wire_session(&db);
     let (baseline, _) = tango.query(QUERY1).unwrap();
     let tables_before = db.table_names().len();
 
@@ -244,7 +254,7 @@ fn fatal_faults_surface_cleanly_and_the_session_survives() {
 #[test]
 fn no_replan_after_rows_were_emitted() {
     let db = seed_db();
-    let mut tango = Tango::connect(db.clone());
+    let mut tango = wire_session(&db);
     tango.query(QUERY1).unwrap(); // warm catalog + plan caches
     tango.conn_mut().set_retry_policy(RetryPolicy::none());
 
@@ -263,7 +273,7 @@ fn no_replan_after_rows_were_emitted() {
 #[test]
 fn disabled_injection_is_free_on_the_wire_clock() {
     let db = seed_db();
-    let mut tango = Tango::connect(db.clone());
+    let mut tango = wire_session(&db);
     tango.query(QUERY1).unwrap(); // warm catalog so runs are comparable
 
     let cost_of_run = |tango: &mut Tango, db: &Database| -> Duration {
