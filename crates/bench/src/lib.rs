@@ -15,6 +15,7 @@
 //! | `calibration_study` | Ablation — default vs calibrated factors vs feedback |
 //! | `batch_ablation` | Ablation — batch-at-a-time vs row-at-a-time wall time (`BENCH_batch.json`) |
 //! | `cache_ablation` | Ablation — Query 2 cold vs warm through the relation cache (`BENCH_cache.json`) |
+//! | `concurrency_bench` | Serving tier — shared vs per-session cache under N threads × M clients (`BENCH_concurrency.json`) |
 //!
 //! Reported times are wall-clock plus the simulated wire time (the
 //! virtual JDBC link), matching how the paper's numbers include both

@@ -9,6 +9,25 @@
 //! may flip join-side placement because of it), and the engine serves
 //! hits from memory without issuing any SQL.
 //!
+//! Since the serving-tier refactor the cache is **shared and
+//! concurrent**: one `MidCache` lives at `Database` scope (every
+//! [`crate::Tango`] session attached to the same database sees the same
+//! residency — a fragment one session paid to fetch is a warm hit for
+//! all of them), and the store is sharded so parallel sessions do not
+//! serialize on one lock. See `docs/CONCURRENCY.md` for the full
+//! serving model.
+//!
+//! # Sharding and locking
+//!
+//! Entries are spread over [`MidCache::shard_count`] shards by a hash
+//! of the fragment signature; each shard is an independent `RwLock`'d
+//! store with its own [`CacheStats`]. All cross-shard state — total
+//! bytes, the byte budget, the GreedyDual-Size clock, the admission
+//! frequency sketch — is atomic or behind a leaf mutex, and no
+//! operation ever holds two shard locks at once (the global budget is
+//! enforced by evicting one shard at a time), so the cache cannot
+//! deadlock and scales with the shard count.
+//!
 //! # Keying — canonical fragment signatures
 //!
 //! An entry is keyed by the **canonical signature** of the DBMS fragment
@@ -43,26 +62,77 @@
 //! unchanged ⇒ contents unchanged`. Entries are validated lazily — at
 //! lookup and when the optimizer snapshots residency — and dropped the
 //! moment any dependency's version moved (an `invalidate` span event).
+//! Because versions are read *before* a fragment's SQL is issued, a
+//! write racing a populating query always invalidates the entry that
+//! query admits — cross-session invalidation needs no extra machinery.
+//!
+//! # Admission — TinyLFU frequency gating
+//!
+//! Under byte pressure, inserting means evicting, and evicting the
+//! wrong entry under contention is how shared caches churn. When an
+//! insert would force eviction (and only then — an unpressured cache
+//! admits everything), the candidate must *win* its shard's space:
+//!
+//! * fragments **cheaper to refetch than the space they occupy**
+//!   (measured fill cost below [`ADMISSION_MIN_FILL_US_PER_BYTE`] per
+//!   byte) are rejected outright — serving them from cache could never
+//!   repay the bytes; and
+//! * otherwise the candidate's access frequency — estimated by a small
+//!   count-min sketch touched on every lookup and insert, TinyLFU
+//!   style — must strictly exceed the would-be victim's; ties keep the
+//!   incumbent. A fragment that keeps missing accumulates frequency
+//!   and wins admission on a later attempt, so hot fragments displace
+//!   cold ones but a one-off scan cannot flush the working set.
+//!
+//! Rejections are counted per shard ([`CacheStats::admission_rejects`])
+//! and the gate can be disabled ([`MidCache::set_admission`], surfaced
+//! as [`crate::TangoOptions::cache_admission`]).
 //!
 //! # Eviction — GreedyDual-Size
 //!
 //! The store keeps an inflation clock `L`; an entry's priority is
 //! `L + fill_cost/size` where `fill_cost` is the measured wire+server
-//! time the entry saved. Eviction removes the minimum-priority entry and
-//! advances `L` to its priority; a hit refreshes the entry's priority
-//! against the current clock. This is the classic GreedyDual-Size
-//! policy: recency, byte footprint and the real cost of refetching all
-//! trade off in one number, and plain LRU falls out when fetch costs are
-//! uniform per byte. Entries larger than the whole budget are never
-//! admitted.
+//! time the entry saved. Eviction removes the minimum-priority entry
+//! (across all shards, scanned one lock at a time) and advances `L` to
+//! its priority; a hit refreshes the entry's priority against the
+//! current clock. This is the classic GreedyDual-Size policy: recency,
+//! byte footprint and the real cost of refetching all trade off in one
+//! number, and plain LRU falls out when fetch costs are uniform per
+//! byte. Entries larger than the whole budget are never admitted.
+//!
+//! # Exactly-one populate
+//!
+//! Two sessions can miss on the same cold fragment concurrently and
+//! both drain it cleanly. The second [`MidCache::insert`] of an entry
+//! whose signature, order and dependency versions match one already
+//! resident is a **duplicate**: it is dropped without touching the
+//! store ([`AdmitOutcome::Duplicate`]), so `cache_bytes` is counted
+//! once no matter how many sessions raced the populate. An insert
+//! carrying *older* dependency versions than the resident entry is
+//! likewise dropped (it lost a race against a fresher populate), while
+//! newer versions replace the incumbent.
 
 use crate::phys::{Algo, PhysNode, TOp};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use tango_algebra::{ProjItem, Schema, SortSpec, Tuple};
 
 /// Default cache budget used by a new session: 64 MiB.
 pub const DEFAULT_CACHE_BUDGET: u64 = 64 * 1024 * 1024;
+
+/// Default number of shards of a shared cache. Eight keeps per-shard
+/// contention negligible for tens of concurrent sessions while the
+/// per-shard stores stay large enough for GreedyDual-Size to rank
+/// meaningfully.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+
+/// Admission floor: under byte pressure, a fragment whose measured fill
+/// cost is below this many µs per byte is cheaper to refetch than the
+/// space it would occupy (serving a resident byte itself costs
+/// `p_cached` ≈ 0.004 µs) and is never admitted.
+pub const ADMISSION_MIN_FILL_US_PER_BYTE: f64 = 0.01;
 
 fn canon(name: &str, params: &str, children: &[String]) -> String {
     format!("{name}[{params}]({})", children.join(","))
@@ -201,17 +271,43 @@ pub enum Lookup {
     },
 }
 
+/// Why an [`MidCache::insert`] did or did not store its relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// The relation was stored (possibly replacing a staler entry).
+    Admitted,
+    /// Rejected: larger than the entire byte budget.
+    Oversized,
+    /// Dropped: an entry with the same signature, order and equal-or-
+    /// newer dependency versions is already resident — a concurrent
+    /// session populated first (the exactly-one-populate guarantee).
+    Duplicate,
+    /// Rejected by the TinyLFU admission gate: under byte pressure the
+    /// candidate was cheaper to refetch than to store, or not accessed
+    /// frequently enough to displace the eviction victim.
+    Rejected,
+}
+
 /// Outcome of a [`MidCache::insert`].
 #[derive(Debug)]
 pub struct Admission {
     /// Whether the relation was stored.
     pub admitted: bool,
+    /// Why (not).
+    pub outcome: AdmitOutcome,
     /// `(sql, bytes)` of entries evicted to make room — the engine turns
     /// each into an `evict` span event.
     pub evicted: Vec<(String, u64)>,
 }
 
-/// Monotonic activity counters of a [`MidCache`].
+impl Admission {
+    fn skipped(outcome: AdmitOutcome) -> Admission {
+        Admission { admitted: false, outcome, evicted: Vec::new() }
+    }
+}
+
+/// Monotonic activity counters of a [`MidCache`] (or of one shard; see
+/// [`MidCache::shard_stats`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from a fresh entry.
@@ -219,6 +315,8 @@ pub struct CacheStats {
     /// Lookups that found no usable entry.
     pub misses: u64,
     /// Transfers whose fragment was uncacheable (see [`fragment_key`]).
+    /// Tracked cache-wide, not per shard (a bypassed fragment never
+    /// hashes to a shard).
     pub bypasses: u64,
     /// Relations admitted (including replacements).
     pub insertions: u64,
@@ -228,11 +326,39 @@ pub struct CacheStats {
     pub invalidations: u64,
     /// Insertions rejected because the relation exceeds the budget.
     pub rejections: u64,
+    /// Insertions rejected by the TinyLFU admission gate (under byte
+    /// pressure: refetch cheaper than the space, or candidate frequency
+    /// not above the victim's).
+    pub admission_rejects: u64,
+    /// Insertions dropped because a concurrent session already
+    /// populated the same (or a fresher) entry.
+    pub duplicate_populates: u64,
+}
+
+impl CacheStats {
+    fn add(&mut self, o: &CacheStats) {
+        self.hits += o.hits;
+        self.misses += o.misses;
+        self.bypasses += o.bypasses;
+        self.insertions += o.insertions;
+        self.evictions += o.evictions;
+        self.invalidations += o.invalidations;
+        self.rejections += o.rejections;
+        self.admission_rejects += o.admission_rejects;
+        self.duplicate_populates += o.duplicate_populates;
+    }
+
+    /// Whether every counter is zero (the shard saw no activity).
+    pub fn is_idle(&self) -> bool {
+        *self == CacheStats::default()
+    }
 }
 
 #[derive(Debug)]
 struct Entry {
     signature: String,
+    /// [`sig_hash`] of `signature` — the sketch/shard key, precomputed.
+    hash: u64,
     order: SortSpec,
     sql: String,
     schema: Arc<Schema>,
@@ -246,156 +372,299 @@ struct Entry {
     hits: u64,
 }
 
+/// One lock's worth of the store.
 #[derive(Debug, Default)]
-struct Inner {
+struct Shard {
     entries: Vec<Entry>,
-    bytes: u64,
-    budget: u64,
-    /// GreedyDual-Size inflation clock `L`.
-    clock: f64,
     stats: CacheStats,
 }
 
-impl Inner {
-    fn gds_priority(&self, fill_cost_us: f64, bytes: u64) -> f64 {
-        self.clock + fill_cost_us / bytes.max(1) as f64
-    }
-
+impl Shard {
     /// Drop entries whose dependencies are stale, appending their SQL to
-    /// `invalidated`. `filter` restricts which entries are checked.
+    /// `invalidated` and returning the bytes freed. `filter` restricts
+    /// which entries are checked.
     fn validate(
         &mut self,
         version_of: &dyn Fn(&str) -> Option<u64>,
         filter: impl Fn(&Entry) -> bool,
         invalidated: &mut Vec<String>,
-    ) {
+    ) -> u64 {
+        let mut freed = 0;
         let mut i = 0;
         while i < self.entries.len() {
             let e = &self.entries[i];
             if filter(e) && e.deps.iter().any(|(t, v)| version_of(t) != Some(*v)) {
                 let e = self.entries.remove(i);
-                self.bytes -= e.bytes;
+                freed += e.bytes;
                 self.stats.invalidations += 1;
                 invalidated.push(e.sql);
             } else {
                 i += 1;
             }
         }
+        freed
     }
 
-    /// Evict minimum-priority entries until `need` more bytes fit.
-    fn make_room(&mut self, need: u64) -> Vec<(String, u64)> {
-        let mut evicted = Vec::new();
-        while self.bytes + need > self.budget && !self.entries.is_empty() {
-            let (i, _) = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by(|(_, a), (_, b)| a.priority.total_cmp(&b.priority))
-                .expect("non-empty");
-            let e = self.entries.remove(i);
-            self.bytes -= e.bytes;
-            self.clock = self.clock.max(e.priority);
-            self.stats.evictions += 1;
-            evicted.push((e.sql, e.bytes));
-        }
-        evicted
+    fn min_priority_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.priority.total_cmp(&b.priority))
+            .map(|(i, _)| i)
     }
 }
 
-/// The middleware-resident relation cache. Shared by a session and its
-/// engine executions (`Arc<MidCache>`); all operations take an internal
-/// lock, so clones of a session see one coherent store.
+/// FNV-1a hash of a fragment signature — the key both the shard map and
+/// the admission sketch are driven by.
+pub fn sig_hash(signature: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in signature.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+const SKETCH_ROWS: usize = 4;
+const SKETCH_WIDTH: usize = 1024; // power of two
+const SKETCH_CAP: u8 = 15;
+
+/// A count-min sketch with saturating 4-bit-style counters and periodic
+/// halving — the frequency memory of the TinyLFU admission gate. Tiny
+/// (4 KiB), touched once per transfer, behind its own leaf mutex.
+#[derive(Debug)]
+struct FreqSketch {
+    rows: Vec<[u8; SKETCH_WIDTH]>,
+    /// Touches since the last aging pass.
+    ops: u32,
+}
+
+impl FreqSketch {
+    fn new() -> FreqSketch {
+        FreqSketch { rows: vec![[0; SKETCH_WIDTH]; SKETCH_ROWS], ops: 0 }
+    }
+
+    fn slot(h: u64, row: usize) -> usize {
+        (splitmix(h ^ (row as u64).wrapping_mul(0xA076_1D64_78BD_642F)) as usize)
+            & (SKETCH_WIDTH - 1)
+    }
+
+    /// Record one access and return the new estimate.
+    fn touch(&mut self, h: u64) -> u8 {
+        let mut est = u8::MAX;
+        for r in 0..SKETCH_ROWS {
+            let c = &mut self.rows[r][Self::slot(h, r)];
+            if *c < SKETCH_CAP {
+                *c += 1;
+            }
+            est = est.min(*c);
+        }
+        self.ops += 1;
+        if self.ops as usize >= SKETCH_WIDTH * 8 {
+            // age: halve every counter so frequency means *recent* use
+            for row in &mut self.rows {
+                for c in row.iter_mut() {
+                    *c /= 2;
+                }
+            }
+            self.ops = 0;
+        }
+        est
+    }
+
+    fn estimate(&self, h: u64) -> u8 {
+        (0..SKETCH_ROWS).map(|r| self.rows[r][Self::slot(h, r)]).min().unwrap_or(0)
+    }
+}
+
+/// The middleware-resident relation cache — shared, sharded, concurrent.
+///
+/// One instance is held at `Database` scope and consulted by every
+/// session ([`crate::Tango::connect`] attaches to the shared instance;
+/// [`crate::Tango::connect_private`] opts out). All operations are safe
+/// to call from any number of threads; see the module docs for the
+/// locking discipline.
 #[derive(Debug)]
 pub struct MidCache {
-    inner: Mutex<Inner>,
+    shards: Vec<RwLock<Shard>>,
+    /// Total bytes stored, across shards.
+    bytes: AtomicU64,
+    /// The global byte budget.
+    budget: AtomicU64,
+    /// Whether the TinyLFU admission gate is active.
+    admission: AtomicBool,
+    /// GreedyDual-Size inflation clock `L` (f64 bits; non-negative, so
+    /// integer `fetch_max` is order-preserving).
+    clock: AtomicU64,
+    /// Uncacheable-fragment counter (bypasses never reach a shard).
+    bypasses: AtomicU64,
+    sketch: Mutex<FreqSketch>,
 }
 
 impl MidCache {
-    /// An empty cache with the given byte budget.
+    /// An empty cache with the given byte budget and
+    /// [`DEFAULT_CACHE_SHARDS`] shards.
     pub fn new(budget: u64) -> MidCache {
-        MidCache { inner: Mutex::new(Inner { budget, ..Inner::default() }) }
+        MidCache::with_shards(budget, DEFAULT_CACHE_SHARDS)
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    /// An empty cache with the given byte budget and shard count
+    /// (clamped to at least 1).
+    pub fn with_shards(budget: u64, shards: usize) -> MidCache {
+        MidCache {
+            shards: (0..shards.max(1)).map(|_| RwLock::new(Shard::default())).collect(),
+            bytes: AtomicU64::new(0),
+            budget: AtomicU64::new(budget),
+            admission: AtomicBool::new(true),
+            clock: AtomicU64::new(0f64.to_bits()),
+            bypasses: AtomicU64::new(0),
+            sketch: Mutex::new(FreqSketch::new()),
+        }
+    }
+
+    /// Number of shards the store is spread over.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, hash: u64) -> usize {
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    fn clock_load(&self) -> f64 {
+        f64::from_bits(self.clock.load(Ordering::Relaxed))
+    }
+
+    fn clock_raise(&self, to: f64) {
+        // non-negative f64s order like their bit patterns
+        self.clock.fetch_max(to.max(0.0).to_bits(), Ordering::Relaxed);
+    }
+
+    fn gds_priority(&self, fill_cost_us: f64, bytes: u64) -> f64 {
+        self.clock_load() + fill_cost_us / bytes.max(1) as f64
     }
 
     /// The byte budget.
     pub fn budget(&self) -> u64 {
-        self.lock().budget
+        self.budget.load(Ordering::Relaxed)
     }
 
     /// Change the byte budget, evicting (by priority) down to the new
     /// limit if it shrank.
     pub fn set_budget(&self, budget: u64) {
-        let mut g = self.lock();
-        g.budget = budget;
-        g.make_room(0);
+        self.budget.store(budget, Ordering::Relaxed);
+        self.enforce_budget();
     }
 
-    /// Total bytes currently stored.
+    /// Whether the TinyLFU admission gate is active (it is by default).
+    pub fn admission(&self) -> bool {
+        self.admission.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable the admission gate. Disabled, every cleanly
+    /// drained cacheable fragment is admitted (pre-serving-tier
+    /// behavior), relying on GreedyDual-Size eviction alone.
+    pub fn set_admission(&self, on: bool) {
+        self.admission.store(on, Ordering::Relaxed);
+    }
+
+    /// Total bytes currently stored, across all shards.
     pub fn bytes(&self) -> u64 {
-        self.lock().bytes
+        self.bytes.load(Ordering::Relaxed)
     }
 
     /// Number of entries currently stored.
     pub fn len(&self) -> usize {
-        self.lock().entries.len()
+        self.shards.iter().map(|s| s.read().entries.len()).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.lock().entries.is_empty()
+        self.shards.iter().all(|s| s.read().entries.is_empty())
     }
 
     /// Activity counters since creation (or the last [`MidCache::clear`];
-    /// clearing resets contents, not counters).
+    /// clearing resets contents, not counters), summed across shards.
     pub fn stats(&self) -> CacheStats {
-        self.lock().stats
+        let mut total = CacheStats::default();
+        for s in &self.shards {
+            total.add(&s.read().stats);
+        }
+        total.bypasses += self.bypasses.load(Ordering::Relaxed);
+        total
+    }
+
+    /// Per-shard activity counters, indexed by shard. Bypasses are
+    /// cache-wide and appear only in the [`MidCache::stats`] aggregate.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards.iter().map(|s| s.read().stats).collect()
+    }
+
+    /// Entry count per shard (the shard-layout view `tango-trace`
+    /// reports alongside the counters).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.read().entries.len()).collect()
     }
 
     /// Drop every entry. Counters are preserved.
     pub fn clear(&self) {
-        let mut g = self.lock();
-        g.entries.clear();
-        g.bytes = 0;
+        for s in &self.shards {
+            let mut g = s.write();
+            let freed: u64 = g.entries.iter().map(|e| e.bytes).sum();
+            g.entries.clear();
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
     }
 
     /// Record that a transfer's fragment was uncacheable.
     pub fn note_bypass(&self) {
-        self.lock().stats.bypasses += 1;
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Drop all entries that depend on `table` (any version). Validation
     /// at lookup already catches stale entries lazily; this is for
     /// explicit invalidation, e.g. after `DROP TABLE`.
     pub fn invalidate_table(&self, table: &str) -> usize {
-        let mut g = self.lock();
         let t = table.to_uppercase();
-        let before = g.entries.len();
-        let mut freed = 0;
-        g.entries.retain(|e| {
-            let dep = e.deps.iter().any(|(d, _)| *d == t);
-            if dep {
-                freed += e.bytes;
-            }
-            !dep
-        });
-        g.bytes -= freed;
-        let n = before - g.entries.len();
-        g.stats.invalidations += n as u64;
+        let mut n = 0;
+        for s in &self.shards {
+            let mut g = s.write();
+            let mut freed = 0;
+            let before = g.entries.len();
+            g.entries.retain(|e| {
+                let dep = e.deps.iter().any(|(d, _)| *d == t);
+                if dep {
+                    freed += e.bytes;
+                }
+                !dep
+            });
+            let dropped = before - g.entries.len();
+            g.stats.invalidations += dropped as u64;
+            n += dropped;
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+        }
         n
     }
 
     /// Look up a fragment. A hit requires a fresh entry (every recorded
     /// table version unchanged per `version_of`) with the same signature
     /// and a stored order that [satisfies](SortSpec::satisfies) the
-    /// requested one. Hits refresh the entry's GreedyDual-Size priority.
+    /// requested one. Hits refresh the entry's GreedyDual-Size priority;
+    /// every lookup (hit or miss) feeds the admission frequency sketch.
     pub fn lookup(&self, key: &FragmentKey, version_of: &dyn Fn(&str) -> Option<u64>) -> Lookup {
-        let mut g = self.lock();
+        let hash = sig_hash(&key.signature);
+        self.sketch.lock().touch(hash);
+        let mut g = self.shards[self.shard_of(hash)].write();
         let mut invalidated = Vec::new();
-        g.validate(version_of, |e| e.signature == key.signature, &mut invalidated);
+        let freed = g.validate(version_of, |e| e.signature == key.signature, &mut invalidated);
+        self.bytes.fetch_sub(freed, Ordering::Relaxed);
         let found = g
             .entries
             .iter()
@@ -403,7 +672,7 @@ impl MidCache {
         match found {
             Some(i) => {
                 g.stats.hits += 1;
-                let p = g.gds_priority(g.entries[i].fill_cost_us, g.entries[i].bytes);
+                let p = self.gds_priority(g.entries[i].fill_cost_us, g.entries[i].bytes);
                 let e = &mut g.entries[i];
                 e.priority = p;
                 e.hits += 1;
@@ -425,8 +694,13 @@ impl MidCache {
     /// `(table, write-version)` pairs read *before* the fragment's SQL
     /// was issued; `fill_cost_us` is the measured wire + server time the
     /// transfer spent producing it (the refetch cost GreedyDual-Size
-    /// weighs against size). An entry with the same signature and order
-    /// is replaced in place.
+    /// weighs against size).
+    ///
+    /// Concurrency semantics (see module docs): an already-resident
+    /// entry with the same signature, order and equal-or-newer deps
+    /// makes this insert a no-op [`AdmitOutcome::Duplicate`]; a staler
+    /// incumbent is replaced. Under byte pressure the TinyLFU gate may
+    /// return [`AdmitOutcome::Rejected`] instead of evicting.
     pub fn insert(
         &self,
         key: &FragmentKey,
@@ -436,49 +710,203 @@ impl MidCache {
         fill_cost_us: f64,
     ) -> Admission {
         let bytes: u64 = rows.iter().map(|t| t.byte_size() as u64).sum();
-        let mut g = self.lock();
-        if bytes > g.budget {
-            g.stats.rejections += 1;
-            return Admission { admitted: false, evicted: Vec::new() };
-        }
-        if let Some(i) =
-            g.entries.iter().position(|e| e.signature == key.signature && e.order == key.order)
+        let hash = sig_hash(&key.signature);
+        let freq = self.sketch.lock().touch(hash);
+        let shard = self.shard_of(hash);
         {
-            let e = g.entries.remove(i);
-            g.bytes -= e.bytes;
+            let mut g = self.shards[shard].write();
+            if bytes > self.budget() {
+                g.stats.rejections += 1;
+                return Admission::skipped(AdmitOutcome::Oversized);
+            }
+            if let Some(i) =
+                g.entries.iter().position(|e| e.signature == key.signature && e.order == key.order)
+            {
+                if !newer_deps(&deps, &g.entries[i].deps) {
+                    // a concurrent session populated the same (or a
+                    // fresher) entry first: exactly-one-populate
+                    g.stats.duplicate_populates += 1;
+                    return Admission::skipped(AdmitOutcome::Duplicate);
+                }
+                let old = g.entries.remove(i);
+                self.bytes.fetch_sub(old.bytes, Ordering::Relaxed);
+            }
+            let pressured = self.bytes() + bytes > self.budget();
+            if pressured && self.admission() {
+                if fill_cost_us < bytes as f64 * ADMISSION_MIN_FILL_US_PER_BYTE {
+                    // cheaper to refetch than the space it occupies
+                    g.stats.admission_rejects += 1;
+                    return Admission::skipped(AdmitOutcome::Rejected);
+                }
+                if let Some(v) = g.min_priority_index() {
+                    let victim_freq = self.sketch.lock().estimate(g.entries[v].hash);
+                    if freq <= victim_freq {
+                        // not hot enough to displace the incumbent
+                        g.stats.admission_rejects += 1;
+                        return Admission::skipped(AdmitOutcome::Rejected);
+                    }
+                }
+            }
+            let priority = self.gds_priority(fill_cost_us, bytes);
+            g.entries.push(Entry {
+                signature: key.signature.clone(),
+                hash,
+                order: key.order.clone(),
+                sql: key.sql.clone(),
+                schema,
+                rows: Arc::new(rows),
+                bytes,
+                deps,
+                fill_cost_us,
+                priority,
+                hits: 0,
+            });
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            g.stats.insertions += 1;
         }
-        let evicted = g.make_room(bytes);
-        let priority = g.gds_priority(fill_cost_us, bytes);
-        g.entries.push(Entry {
-            signature: key.signature.clone(),
-            order: key.order.clone(),
-            sql: key.sql.clone(),
-            schema,
-            rows: Arc::new(rows),
-            bytes,
-            deps,
-            fill_cost_us,
-            priority,
-            hits: 0,
-        });
-        g.bytes += bytes;
-        g.stats.insertions += 1;
-        Admission { admitted: true, evicted }
+        let evicted = self.enforce_budget();
+        Admission { admitted: true, outcome: AdmitOutcome::Admitted, evicted }
+    }
+
+    /// Evict globally-minimum-priority entries, one shard lock at a
+    /// time, until total bytes fit the budget again.
+    fn enforce_budget(&self) -> Vec<(String, u64)> {
+        let mut evicted = Vec::new();
+        while self.bytes() > self.budget() {
+            // pick the shard holding the globally-minimum priority (read
+            // locks, one at a time — the choice may go momentarily stale,
+            // which only costs evicting the second-best victim)
+            let mut best: Option<(usize, f64)> = None;
+            for (i, s) in self.shards.iter().enumerate() {
+                let g = s.read();
+                if let Some(j) = g.min_priority_index() {
+                    let p = g.entries[j].priority;
+                    if best.map(|(_, bp)| p < bp).unwrap_or(true) {
+                        best = Some((i, p));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let mut g = self.shards[i].write();
+            let Some(j) = g.min_priority_index() else { continue };
+            let e = g.entries.remove(j);
+            self.bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+            self.clock_raise(e.priority);
+            g.stats.evictions += 1;
+            evicted.push((e.sql, e.bytes));
+        }
+        evicted
     }
 
     /// Snapshot which fragments are resident and fresh, for the
     /// optimizer. Stale entries are dropped (as at lookup) so the
     /// snapshot never advertises residency the engine could not serve.
     pub fn residency(&self, version_of: &dyn Fn(&str) -> Option<u64>) -> Residency {
-        let mut g = self.lock();
-        let mut dropped = Vec::new();
-        g.validate(version_of, |_| true, &mut dropped);
         let mut by_signature: HashMap<String, Vec<(SortSpec, u64)>> = HashMap::new();
-        for e in &g.entries {
-            by_signature.entry(e.signature.clone()).or_default().push((e.order.clone(), e.bytes));
+        for s in &self.shards {
+            let mut g = s.write();
+            let mut dropped = Vec::new();
+            let freed = g.validate(version_of, |_| true, &mut dropped);
+            self.bytes.fetch_sub(freed, Ordering::Relaxed);
+            for e in &g.entries {
+                by_signature
+                    .entry(e.signature.clone())
+                    .or_default()
+                    .push((e.order.clone(), e.bytes));
+            }
         }
         Residency { by_signature }
     }
+
+    /// Human-readable serving report: totals plus one line per active
+    /// shard (hit/miss/evict/admission-reject/invalidation counters and
+    /// entry count). Appended to `EXPLAIN ANALYZE` output by
+    /// [`crate::Tango::explain_analyze`].
+    pub fn render_report(&self) -> String {
+        let mut s = format!(
+            "cache: {} shards, {} entries, {}/{} bytes, admission {}\n",
+            self.shard_count(),
+            self.len(),
+            self.bytes(),
+            self.budget(),
+            if self.admission() { "on" } else { "off" },
+        );
+        let lens = self.shard_lens();
+        for (i, st) in self.shard_stats().iter().enumerate() {
+            if st.is_idle() && lens[i] == 0 {
+                continue;
+            }
+            s.push_str(&format!(
+                "  shard {i}: {} entries, hits {}, misses {}, evictions {}, \
+                 admission rejects {}, invalidations {}, duplicates {}\n",
+                lens[i],
+                st.hits,
+                st.misses,
+                st.evictions,
+                st.admission_rejects,
+                st.invalidations,
+                st.duplicate_populates,
+            ));
+        }
+        s
+    }
+
+    /// The serving report as JSON (via the `tango-trace` writer):
+    /// `{"shards": n, "bytes": .., "budget": .., "per_shard": [...]}`.
+    pub fn stats_json(&self) -> String {
+        use tango_trace::json::Object;
+        let mut o = Object::new();
+        o.number("shards", self.shard_count() as f64);
+        o.number("entries", self.len() as f64);
+        o.number("bytes", self.bytes() as f64);
+        o.number("budget", self.budget() as f64);
+        o.string("admission", if self.admission() { "on" } else { "off" });
+        let total = self.stats();
+        o.raw("totals", &stats_json_object(&total));
+        let shards: Vec<String> = self.shard_stats().iter().map(stats_json_object).collect();
+        o.raw("per_shard", &format!("[{}]", shards.join(",")));
+        o.build()
+    }
+}
+
+fn stats_json_object(s: &CacheStats) -> String {
+    use tango_trace::json::Object;
+    let mut o = Object::new();
+    o.number("hits", s.hits as f64);
+    o.number("misses", s.misses as f64);
+    o.number("bypasses", s.bypasses as f64);
+    o.number("insertions", s.insertions as f64);
+    o.number("evictions", s.evictions as f64);
+    o.number("invalidations", s.invalidations as f64);
+    o.number("rejections", s.rejections as f64);
+    o.number("admission_rejects", s.admission_rejects as f64);
+    o.number("duplicate_populates", s.duplicate_populates as f64);
+    o.build()
+}
+
+/// Whether `new` dependency versions strictly supersede `old`: every
+/// table's version is ≥ the incumbent's and at least one moved (a
+/// different table set also replaces — it cannot happen for equal
+/// signatures, but must not wedge the store if it somehow does).
+fn newer_deps(new: &[(String, u64)], old: &[(String, u64)]) -> bool {
+    if new.len() != old.len() {
+        return true;
+    }
+    let mut any_newer = false;
+    for (t, v) in new {
+        match old.iter().find(|(ot, _)| ot == t) {
+            Some((_, ov)) => {
+                if v < ov {
+                    return false;
+                }
+                if v > ov {
+                    any_newer = true;
+                }
+            }
+            None => return true,
+        }
+    }
+    any_newer
 }
 
 /// An optimizer-facing snapshot of cache contents: which canonical
@@ -611,19 +1039,23 @@ mod tests {
             other => panic!("expected invalidating miss, got {other:?}"),
         }
         assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0, "invalidation must release the global byte count");
         assert_eq!(cache.stats().invalidations, 1);
         // residency snapshots validate too
         cache.insert(&k, schema(), rows(4), vec![("T".into(), 2)], 100.0);
         assert!(cache.residency(&|_| Some(3)).is_empty());
+        assert_eq!(cache.bytes(), 0);
     }
 
     /// GreedyDual-Size: under pressure the entry with the lowest
     /// cost-per-byte goes first, and the byte budget is never exceeded.
+    /// (Admission gating is switched off to isolate the eviction order.)
     #[test]
     fn gds_eviction_prefers_cheap_large_entries() {
         let row_bytes = rows(1).iter().map(|t| t.byte_size() as u64).sum::<u64>();
         // room for exactly two 8-row entries
         let cache = MidCache::new(row_bytes * 17);
+        cache.set_admission(false);
         let cheap = key("CHEAP");
         let dear = key("DEAR");
         let third = key("THIRD");
@@ -646,26 +1078,143 @@ mod tests {
         let cache = MidCache::new(16);
         let adm = cache.insert(&key("BIG"), schema(), rows(1000), vec![], 1.0);
         assert!(!adm.admitted);
+        assert_eq!(adm.outcome, AdmitOutcome::Oversized);
         assert!(cache.is_empty());
         assert_eq!(cache.stats().rejections, 1);
     }
 
-    /// Same signature + order replaces in place (no duplicate entries);
-    /// shrinking the budget evicts down to it.
+    /// Exactly-one-populate: a same-deps re-insert (a racing session
+    /// that drained the same miss) is a duplicate and changes nothing;
+    /// fresher deps replace; staler deps lose.
+    #[test]
+    fn duplicate_and_stale_populates_are_dropped() {
+        let cache = MidCache::new(1 << 20);
+        let k = key("GET[T]()");
+        assert!(cache.insert(&k, schema(), rows(8), vec![("T".into(), 1)], 1.0).admitted);
+        let bytes_once = cache.bytes();
+
+        // identical deps: the racing second populate is a no-op
+        let adm = cache.insert(&k, schema(), rows(8), vec![("T".into(), 1)], 1.0);
+        assert!(!adm.admitted);
+        assert_eq!(adm.outcome, AdmitOutcome::Duplicate);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), bytes_once, "a duplicate populate double-counted bytes");
+
+        // staler deps lose against the fresher incumbent
+        cache.insert(&k, schema(), rows(4), vec![("T".into(), 3)], 1.0);
+        let adm = cache.insert(&k, schema(), rows(8), vec![("T".into(), 2)], 1.0);
+        assert_eq!(adm.outcome, AdmitOutcome::Duplicate);
+        match cache.lookup(&k, &|_| Some(3)) {
+            Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 4, "stale populate replaced fresh"),
+            other => panic!("expected hit, got {other:?}"),
+        }
+
+        // fresher deps replace in place (no duplicate entries)
+        let adm = cache.insert(&k, schema(), rows(2), vec![("T".into(), 5)], 1.0);
+        assert!(adm.admitted);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().insertions, 3);
+        assert_eq!(cache.stats().duplicate_populates, 2);
+    }
+
+    /// TinyLFU admission: under byte pressure a cold candidate cannot
+    /// displace the incumbent, but a fragment that keeps being asked for
+    /// accumulates frequency and wins on a later attempt.
+    #[test]
+    fn admission_gate_prefers_hot_fragments() {
+        let row_bytes = rows(1).iter().map(|t| t.byte_size() as u64).sum::<u64>();
+        // one shard so the contest is deterministic; room for one entry
+        let cache = MidCache::with_shards(row_bytes * 10, 1);
+        let v = |_: &str| Some(1);
+        let incumbent = key("INCUMBENT");
+        let challenger = key("CHALLENGER");
+        assert!(cache.insert(&incumbent, schema(), rows(8), vec![], 1_000.0).admitted);
+
+        // a cold challenger is rejected, the incumbent stays
+        let adm = cache.insert(&challenger, schema(), rows(8), vec![], 1_000.0);
+        assert!(!adm.admitted);
+        assert_eq!(adm.outcome, AdmitOutcome::Rejected);
+        assert!(matches!(cache.lookup(&incumbent, &v), Lookup::Hit(_)));
+        assert!(cache.stats().admission_rejects >= 1);
+
+        // demand for the challenger keeps arriving (missed lookups feed
+        // the sketch) — eventually it outweighs the incumbent and enters
+        for _ in 0..4 {
+            assert!(matches!(cache.lookup(&challenger, &v), Lookup::Miss { .. }));
+        }
+        let adm = cache.insert(&challenger, schema(), rows(8), vec![], 1_000.0);
+        assert!(adm.admitted, "a repeatedly-requested fragment must win admission");
+        assert!(matches!(cache.lookup(&challenger, &v), Lookup::Hit(_)));
+    }
+
+    /// Fragments cheaper to refetch than the space they occupy are
+    /// rejected under pressure — and admitted when the gate is off.
+    #[test]
+    fn admission_gate_rejects_cheap_refetches() {
+        let row_bytes = rows(1).iter().map(|t| t.byte_size() as u64).sum::<u64>();
+        let cache = MidCache::with_shards(row_bytes * 10, 1);
+        assert!(cache.insert(&key("A"), schema(), rows(8), vec![], 1_000.0).admitted);
+        // fill cost far below ADMISSION_MIN_FILL_US_PER_BYTE × bytes
+        let adm = cache.insert(&key("B"), schema(), rows(8), vec![], 0.001);
+        assert_eq!(adm.outcome, AdmitOutcome::Rejected);
+
+        cache.set_admission(false);
+        let adm = cache.insert(&key("B"), schema(), rows(8), vec![], 0.001);
+        assert!(adm.admitted, "with the gate off, GDS alone decides");
+    }
+
+    /// With no pressure there is no admission contest: everything
+    /// cleanly drained is admitted, exactly as before the serving tier.
+    #[test]
+    fn unpressured_cache_admits_everything() {
+        let cache = MidCache::new(1 << 20);
+        for i in 0..10 {
+            let adm = cache.insert(&key(&format!("K{i}")), schema(), rows(4), vec![], 0.0001);
+            assert!(adm.admitted);
+        }
+        assert_eq!(cache.stats().admission_rejects, 0);
+        assert_eq!(cache.len(), 10);
+    }
+
+    /// Same signature + order with fresher deps replaces in place (no
+    /// duplicate entries); shrinking the budget evicts down to it.
     #[test]
     fn replacement_and_budget_shrink() {
         let cache = MidCache::new(1 << 20);
         let k = key("GET[T]()");
-        cache.insert(&k, schema(), rows(8), vec![], 1.0);
-        cache.insert(&k, schema(), rows(4), vec![], 1.0);
+        cache.insert(&k, schema(), rows(8), vec![("T".into(), 1)], 1.0);
+        cache.insert(&k, schema(), rows(4), vec![("T".into(), 2)], 1.0);
         assert_eq!(cache.len(), 1);
-        match cache.lookup(&k, &|_| Some(1)) {
+        match cache.lookup(&k, &|_| Some(2)) {
             Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 4),
             other => panic!("expected hit, got {other:?}"),
         }
         cache.set_budget(1);
         assert_eq!(cache.len(), 0);
         assert!(cache.bytes() <= 1);
+    }
+
+    /// The byte budget is global across shards: many entries spread over
+    /// different shards must still sum below the budget, with eviction
+    /// reaching across shards.
+    #[test]
+    fn byte_budget_is_global_across_shards() {
+        let entry_bytes = rows(8).iter().map(|t| t.byte_size() as u64).sum::<u64>();
+        let cache = MidCache::with_shards(entry_bytes * 3 + entry_bytes / 2, 8);
+        cache.set_admission(false);
+        for i in 0..12 {
+            cache.insert(&key(&format!("SIG{i}")), schema(), rows(8), vec![], 100.0);
+            assert!(
+                cache.bytes() <= cache.budget(),
+                "global budget exceeded: {} > {}",
+                cache.bytes(),
+                cache.budget()
+            );
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 9);
+        // entries really are spread over multiple shards
+        assert!(cache.shard_lens().iter().filter(|&&n| n > 0).count() >= 2);
     }
 
     #[test]
@@ -692,5 +1241,61 @@ mod tests {
         cache.insert(&other, schema(), rows(2), vec![("U".into(), 1)], 1.0);
         assert_eq!(cache.invalidate_table("t"), 1);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// The serving report lists totals and only the active shards; the
+    /// JSON form is well-formed enough for the trace tooling.
+    #[test]
+    fn report_renders_shards_and_json() {
+        let cache = MidCache::with_shards(1 << 20, 4);
+        cache.insert(&key("A"), schema(), rows(2), vec![("T".into(), 1)], 1.0);
+        let _ = cache.lookup(&key("A"), &|_| Some(1));
+        cache.note_bypass();
+        let text = cache.render_report();
+        assert!(text.starts_with("cache: 4 shards, 1 entries"), "{text}");
+        assert!(text.contains("hits 1"), "{text}");
+        let json = cache.stats_json();
+        assert!(json.contains("\"per_shard\":["), "{json}");
+        assert!(json.contains("\"bypasses\":1"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "{json}");
+    }
+
+    /// Hammer one cache from many threads: mixed lookups, inserts and
+    /// invalidations must keep the global byte count exact and never
+    /// deadlock or double-free.
+    #[test]
+    fn concurrent_hammer_keeps_accounting_exact() {
+        use std::thread;
+        let entry_bytes = rows(8).iter().map(|t| t.byte_size() as u64).sum::<u64>();
+        let cache = Arc::new(MidCache::with_shards(entry_bytes * 6, 4));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let cache = cache.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..200u64 {
+                    let k = key(&format!("SIG{}", (t * 7 + i) % 10));
+                    match cache.lookup(&k, &|_| Some(1)) {
+                        Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 8),
+                        Lookup::Miss { .. } => {
+                            cache.insert(&k, schema(), rows(8), vec![("T".into(), 1)], 500.0);
+                        }
+                    }
+                    if i % 50 == 49 {
+                        cache.invalidate_table("T");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.bytes() <= cache.budget());
+        // recount from scratch: the atomic total must match the shards
+        let recount: u64 = {
+            let r = cache.residency(&|_| Some(1));
+            let _ = r;
+            cache.shard_lens().iter().sum::<usize>() as u64 * entry_bytes
+        };
+        assert_eq!(cache.bytes(), recount, "byte accounting drifted under concurrency");
     }
 }

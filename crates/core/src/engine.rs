@@ -875,6 +875,20 @@ impl TransferMCursor {
             self.populated_bytes = Some(bytes);
         }
         if let Some(s) = &self.server_sink {
+            match admission.outcome {
+                cache::AdmitOutcome::Admitted | cache::AdmitOutcome::Oversized => {}
+                // a racing session populated the same entry first; this
+                // drain admits nothing (exactly-one-populate)
+                cache::AdmitOutcome::Duplicate => {
+                    s.add_event("populate-duplicate", "already populated by a concurrent session");
+                }
+                cache::AdmitOutcome::Rejected => {
+                    s.add_event(
+                        "admission-reject",
+                        format!("{bytes}-byte entry lost the admission contest"),
+                    );
+                }
+            }
             for (sql, b) in &admission.evicted {
                 s.add_event("evict", format!("evicted {b}-byte entry: {sql}"));
             }

@@ -23,7 +23,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
-use crate::cache::{MidCache, Residency, DEFAULT_CACHE_BUDGET};
+use crate::cache::{MidCache, Residency, DEFAULT_CACHE_BUDGET, DEFAULT_CACHE_SHARDS};
 use crate::calibrate::{self, Calibration};
 use crate::collector;
 use crate::cost::CostFactors;
@@ -56,6 +56,17 @@ pub struct TangoOptions {
     /// caching entirely (every `TRANSFER^M` streams from the DBMS and the
     /// optimizer sees an empty [`Residency`]).
     pub cache_budget: Option<u64>,
+    /// Number of lock shards of the relation cache (see
+    /// `docs/CONCURRENCY.md`). Only the session that *creates* a shared
+    /// cache decides its shard count — later sessions attach to whatever
+    /// exists. Default [`DEFAULT_CACHE_SHARDS`].
+    pub cache_shards: usize,
+    /// Whether the TinyLFU admission gate is active: under byte pressure
+    /// a fragment must be accessed more frequently than the eviction
+    /// victim (and cost more to refetch than the space it occupies) to
+    /// be admitted. `false` restores admit-everything behavior, relying
+    /// on GreedyDual-Size eviction alone. Default `true`.
+    pub cache_admission: bool,
 }
 
 impl Default for TangoOptions {
@@ -66,6 +77,8 @@ impl Default for TangoOptions {
             feedback: false,
             feedback_alpha: 0.3,
             cache_budget: Some(DEFAULT_CACHE_BUDGET),
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            cache_admission: true,
         }
     }
 }
@@ -160,6 +173,12 @@ impl QueryReport {
 }
 
 /// A TANGO middleware session.
+///
+/// Sessions are cheap to construct and `Send`: the serving tier spawns
+/// one per client thread against a shared [`Database`], and by default
+/// they all attach to one shared, sharded relation cache held at
+/// database scope (see `docs/CONCURRENCY.md`) — a fragment one session
+/// paid to transfer is a warm hit for every other session.
 pub struct Tango {
     conn: Connection,
     factors: CostFactors,
@@ -169,14 +188,47 @@ pub struct Tango {
 }
 
 impl Tango {
-    /// Attach the middleware to a database.
+    /// Attach the middleware to a database, sharing the database-scoped
+    /// relation cache with every other session connected this way.
     pub fn connect(db: Database) -> Tango {
+        Tango::connect_with(db, TangoOptions::default())
+    }
+
+    /// [`Tango::connect`] with explicit options. The shared cache is
+    /// created lazily by the first connecting session (its
+    /// [`TangoOptions::cache_shards`] decides the shard layout; later
+    /// sessions attach to whatever exists), while
+    /// [`TangoOptions::cache_budget`] and
+    /// [`TangoOptions::cache_admission`] are applied per query by
+    /// whichever session runs.
+    pub fn connect_with(db: Database, options: TangoOptions) -> Tango {
+        let budget = options.cache_budget.unwrap_or(DEFAULT_CACHE_BUDGET);
+        let shards = options.cache_shards;
+        let cache = db.middleware_state(|| MidCache::with_shards(budget, shards));
+        Tango::assemble(db, options, cache)
+    }
+
+    /// Attach with a **private** relation cache (the pre-serving-tier
+    /// behavior): this session populates and serves alone, invisible to
+    /// and unaffected by other sessions' residency. Used by the
+    /// shared-vs-private comparison in `concurrency_bench` and anywhere
+    /// isolation matters more than compounding warm hits.
+    pub fn connect_private(db: Database) -> Tango {
+        let options = TangoOptions::default();
+        let cache = Arc::new(MidCache::with_shards(
+            options.cache_budget.unwrap_or(DEFAULT_CACHE_BUDGET),
+            options.cache_shards,
+        ));
+        Tango::assemble(db, options, cache)
+    }
+
+    fn assemble(db: Database, options: TangoOptions, cache: Arc<MidCache>) -> Tango {
         Tango {
             conn: Connection::new(db),
             factors: CostFactors::default(),
-            options: TangoOptions::default(),
+            options,
             catalog: None,
-            cache: Arc::new(MidCache::new(DEFAULT_CACHE_BUDGET)),
+            cache,
         }
     }
 
@@ -213,24 +265,40 @@ impl Tango {
         self.factors = f;
     }
 
-    /// The session's middleware relation cache (counters, residency,
-    /// budget). The cache object always exists; whether queries consult
-    /// it is governed by [`TangoOptions::cache_budget`].
+    /// The middleware relation cache this session serves from
+    /// (counters, residency, budget) — shared with every other
+    /// [`Tango::connect`] session on the same database, private after
+    /// [`Tango::connect_private`]. The cache object always exists;
+    /// whether queries consult it is governed by
+    /// [`TangoOptions::cache_budget`].
     pub fn cache(&self) -> &Arc<MidCache> {
         &self.cache
     }
 
-    /// Drop every cached relation (statistics counters survive).
+    /// Drop every cached relation (statistics counters survive). On a
+    /// shared cache this clears residency for *all* sessions.
     pub fn clear_cache(&mut self) {
         self.cache.clear();
     }
 
+    /// The serving report of this session's cache: totals plus one line
+    /// per active shard (hits, misses, evictions, admission rejects,
+    /// invalidations). The same text [`Tango::explain_analyze`] appends
+    /// to its rendering.
+    pub fn cache_report(&self) -> String {
+        self.cache.render_report()
+    }
+
     /// The cache to hand to the engine this query, with the configured
-    /// budget applied — or `None` when caching is disabled.
+    /// budget and admission toggle applied — or `None` when caching is
+    /// disabled.
     fn active_cache(&self) -> Option<&Arc<MidCache>> {
         let budget = self.options.cache_budget?;
         if self.cache.budget() != budget {
             self.cache.set_budget(budget);
+        }
+        if self.cache.admission() != self.options.cache_admission {
+            self.cache.set_admission(self.options.cache_admission);
         }
         Some(&self.cache)
     }
@@ -314,11 +382,19 @@ impl Tango {
 
     /// `EXPLAIN ANALYZE`: optimize and execute `sql`, then render the
     /// plan annotated with estimated vs. actual rows, site placement and
-    /// per-operator exclusive times. Returns the rendering plus the full
-    /// report (the result relation is discarded, as in PostgreSQL).
+    /// per-operator exclusive times, followed by the cache serving
+    /// report (per-shard hit/miss/evict/admission-reject counters) when
+    /// caching is enabled. Returns the rendering plus the full report
+    /// (the result relation is discarded, as in PostgreSQL).
     pub fn explain_analyze(&mut self, sql: &str) -> Result<(String, QueryReport)> {
         let (_, report) = self.query(sql)?;
-        let text = report.optimized.explain_analyze(&report.exec, false);
+        let mut text = report.optimized.explain_analyze(&report.exec, false);
+        if self.options.cache_budget.is_some() {
+            if !text.ends_with('\n') {
+                text.push('\n');
+            }
+            text.push_str(&self.cache.render_report());
+        }
         Ok((text, report))
     }
 
@@ -608,6 +684,24 @@ mod tests {
         tango.options_mut().opt.mid_sort_budget = Some(1 << 20);
         let plan = tango.optimize(q1).unwrap().explain();
         assert!(plan.contains("SORT^M") && !plan.contains("XSORT^M"), "{plan}");
+    }
+
+    /// Sessions are `Send` (the serving tier spawns one per client
+    /// thread), `connect` attaches every session on one database to one
+    /// shared cache, and `connect_private` / a different database stay
+    /// isolated.
+    #[test]
+    fn sessions_share_the_database_cache() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Tango>();
+        let db = Database::new(Link::new(LinkProfile::instant()));
+        let a = Tango::connect(db.clone());
+        let b = Tango::connect(db.clone());
+        assert!(Arc::ptr_eq(a.cache(), b.cache()), "connect() must share one cache per database");
+        let p = Tango::connect_private(db.clone());
+        assert!(!Arc::ptr_eq(a.cache(), p.cache()), "connect_private() must be isolated");
+        let c = Tango::connect(Database::new(Link::new(LinkProfile::instant())));
+        assert!(!Arc::ptr_eq(a.cache(), c.cache()), "distinct databases must not share");
     }
 
     #[test]

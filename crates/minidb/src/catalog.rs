@@ -4,9 +4,10 @@
 use crate::error::{DbError, Result};
 use crate::wire::Link;
 use parking_lot::RwLock;
+use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use tango_algebra::value::Key;
 use tango_algebra::{Attr, Relation, Schema, Tuple, Type, Value};
 use tango_stats::RelationStats;
@@ -110,6 +111,9 @@ pub struct Database {
     pub(crate) link: Arc<Link>,
     /// Accumulated server-side execution time (ns).
     pub(crate) server_ns: Arc<AtomicU64>,
+    /// Database-scoped state installed by the middleware layer; see
+    /// [`Database::middleware_state`].
+    pub(crate) middleware: Arc<OnceLock<Arc<dyn Any + Send + Sync>>>,
 }
 
 impl Database {
@@ -118,6 +122,31 @@ impl Database {
             inner: Arc::new(RwLock::new(DbInner::default())),
             link: Arc::new(link),
             server_ns: Arc::new(AtomicU64::new(0)),
+            middleware: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// Fetch — initializing on first call — the single middleware-state
+    /// value shared by every clone of this database handle.
+    ///
+    /// The middleware (`tango-core`) keeps per-*database* serving state
+    /// — notably the shared relation cache every session attaches to —
+    /// but this crate cannot depend on `tango-core`, so the database
+    /// exposes one type-erased, write-once slot instead. The first
+    /// caller's `init` value wins (subsequent racers' values are
+    /// dropped), and every later call of the same `T` gets the same
+    /// `Arc`. A call with a *different* `T` than the one installed
+    /// returns a fresh unshared value — callers are expected to agree on
+    /// one state type, which `tango-core` does.
+    pub fn middleware_state<T: Any + Send + Sync>(&self, init: impl FnOnce() -> T) -> Arc<T> {
+        let mut init = Some(init);
+        let slot = self.middleware.get_or_init(|| {
+            Arc::new(init.take().expect("first initialization")()) as Arc<dyn Any + Send + Sync>
+        });
+        match slot.clone().downcast::<T>() {
+            Ok(state) => state,
+            // a different T is installed; `init` was then not consumed
+            Err(_) => Arc::new(init.take().expect("type mismatch implies foreign init")()),
         }
     }
 

@@ -15,4 +15,4 @@ pub use tango_uis as uis;
 pub use tango_xxl as xxl;
 pub use volcano;
 
-pub use tango_core::session::Tango;
+pub use tango_core::session::{Tango, TangoOptions};
