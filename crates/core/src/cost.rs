@@ -140,6 +140,9 @@ impl CostFactors {
             }
             Algo::ProductD => self.p_cart * size(output),
             Algo::ScanD(_) => self.p_scan * size(output),
+            // serving an already-materialized intermediate is a memory
+            // scan, like a cached TRANSFER^M
+            Algo::MatScanM(_) => self.p_cached * size(output),
             // zero-cost in the DBMS per Section 3.1
             Algo::FilterD(_) | Algo::ProjectD(_) => 0.0,
             Algo::DupElimM => self.p_dupm * size(inputs[0]),

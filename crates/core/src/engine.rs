@@ -11,19 +11,22 @@
 //! Every cursor is instrumented: per-algorithm inclusive time and output
 //! volume feed the adaptive cost-factor loop (`crate::feedback`).
 
-use crate::cache::{self, MidCache};
+use crate::cache::{self, MidCache, Residency};
+use crate::cost::CostFactors;
 use crate::error::{Result, TangoError};
+use crate::opt::{self, Catalog, OptOptions};
 use crate::phys::{Algo, PhysNode, Site};
-use crate::to_sql;
-use std::collections::VecDeque;
+use crate::{session, to_sql};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use tango_algebra::{Batch, Relation, Schema, SortSpec, Tuple};
+use tango_algebra::{Batch, Logical, Relation, Schema, SortSpec, Tuple};
 use tango_minidb::{Connection, DbCursor, ErrorClass};
+use tango_stats::RelationStats;
 use tango_trace::{Collector, SpanEvent, SpanSite, SpanSlot, Stopwatch};
 use tango_xxl::{
     BoxCursor, CachedScan, Coalesce, Cursor, DupElim, ExternalSort, Filter, MergeJoin,
-    NestedLoopJoin, Project, Sort, TemporalAggregate, TemporalDiff, TemporalMergeJoin,
+    NestedLoopJoin, Project, Sort, TemporalAggregate, TemporalDiff, TemporalMergeJoin, VecScan,
 };
 
 /// Observed execution of one algorithm instance.
@@ -191,15 +194,7 @@ pub fn execute_cached(
     // meter this session's wire alone — the link clock is shared with
     // every other session on the database and would cross-charge
     let wire_before = conn.wire_time();
-    let mut ctx = Ctx {
-        conn,
-        temp_tables: Vec::new(),
-        collector: Collector::new(),
-        algos: Vec::new(),
-        temp_seq: 0,
-        trace,
-        cache: cache.cloned(),
-    };
+    let mut ctx = Ctx::new(conn, trace, cache);
     let started = Instant::now();
     let result = (|| -> Result<Relation> {
         let mut root = ctx.build_mid(plan)?;
@@ -222,13 +217,17 @@ pub fn execute_cached(
     }
     let result = result?;
     let wire = conn.wire_time().saturating_sub(wire_before);
+    let steps = resolve_steps(ctx.collector, ctx.algos);
+    let report = ExecReport { rows: result.len(), wall, wire, steps };
+    Ok((result, report))
+}
 
-    // resolve the collected spans into step reports
-    let steps: Vec<StepReport> = ctx
-        .collector
+/// Resolve collected spans into step reports.
+fn resolve_steps(collector: Collector, algos: Vec<Algo>) -> Vec<StepReport> {
+    collector
         .finish()
         .into_iter()
-        .zip(ctx.algos)
+        .zip(algos)
         .map(|(span, algo)| StepReport {
             algo,
             label: span.name,
@@ -242,9 +241,350 @@ pub fn execute_cached(
             annotations: span.annotations,
             children: span.children,
         })
-        .collect();
-    let report = ExecReport { rows: result.len(), wall, wire, steps };
-    Ok((result, report))
+        .collect()
+}
+
+/// Everything the mid-query re-planner needs in order to re-run the
+/// Volcano optimizer over the unexecuted remainder of a plan (see
+/// `docs/ADAPTIVITY.md`).
+pub struct AdaptiveOptions {
+    /// The catalog snapshot the original optimization used.
+    pub catalog: Catalog,
+    /// Current cost factors.
+    pub factors: CostFactors,
+    /// Optimizer knobs; re-optimization runs with the same rule groups
+    /// (and the same, possibly deliberately naive, estimation mode).
+    pub opt: OptOptions,
+    /// Cache-residency snapshot for `TRANSFER^M` enforcer pricing.
+    pub residency: Residency,
+    /// Trigger threshold: re-plan when actual and estimated rows at a
+    /// pipeline breaker diverge by at least this factor, in either
+    /// direction.
+    pub ratio: f64,
+    /// Histogram buckets for statistics derived from materializations
+    /// (0 disables histograms).
+    pub histogram_buckets: usize,
+}
+
+/// The outcome of one adaptive execution.
+pub struct AdaptiveRun {
+    /// The query result.
+    pub rel: Relation,
+    /// The execution report; steps are in post-order of
+    /// [`AdaptiveRun::plan`].
+    pub report: ExecReport,
+    /// The plan as actually executed: every staged breaker appears as a
+    /// `MATSCAN^M` node whose child is the subtree that produced the
+    /// materialization, and a triggered re-plan replaces everything
+    /// above the materializations.
+    pub plan: PhysNode,
+    /// The catalog extended with the observed statistics of every
+    /// materialization (what re-estimating [`AdaptiveRun::plan`] needs).
+    pub catalog: Catalog,
+    /// Cardinality-triggered re-optimizations performed.
+    pub replans: usize,
+}
+
+/// Safety net against pathological re-plan loops: at most this many
+/// breakers are staged per query.
+const MAX_STAGES: usize = 32;
+
+/// Execute a plan with mid-query adaptive re-optimization at pipeline
+/// breakers.
+///
+/// The driver repeatedly finds the first unexecuted pipeline breaker
+/// (`TRANSFER^M`, `SORT^M`, `XSORT^M`, `TAGGR^M`) whose ancestors are
+/// all middleware-resident, runs it to completion, and materializes its
+/// output in the middleware. When the materialized row count diverges
+/// from the optimizer's estimate by at least `ratio` (in either
+/// direction), the actuals are fed back as injected cardinalities and
+/// the Volcano optimizer re-runs over the remainder of the plan — which
+/// may flip operators between middleware and DBMS — pinned to the
+/// delivery order the original plan promised, so results stay
+/// byte-identical. The new remainder is spliced over the already
+/// materialized outputs and execution continues. A breaker that already
+/// degraded due to a wire fault mid-drain is never re-planned a second
+/// time over the same observation.
+///
+/// Always traced: the monitor reads actuals from the spans.
+pub fn execute_adaptive(
+    conn: &Connection,
+    plan: &PhysNode,
+    cache: Option<&Arc<MidCache>>,
+    cfg: AdaptiveOptions,
+) -> Result<AdaptiveRun> {
+    if plan.algo.site() != Site::Middleware {
+        return Err(TangoError::Exec(
+            "plan root must be middleware-resident (delivery to the client)".into(),
+        ));
+    }
+    let AdaptiveOptions { mut catalog, factors, opt: options, residency, ratio, histogram_buckets } =
+        cfg;
+    let naive = options.naive_overlaps;
+    let wire_before = conn.wire_time();
+    let mut ctx = Ctx::new(conn, true, cache);
+    let mut work = plan.clone();
+    let mut mat_orders: HashMap<String, SortSpec> = HashMap::new();
+    let mut replans = 0usize;
+    // the delivery order the chosen plan promised — every re-optimized
+    // remainder is pinned to it so the splice cannot change the result
+    let pinned = delivered_order(&work, &mat_orders).project_onto(&work.schema);
+    let started = Instant::now();
+    let result = (|| -> Result<Relation> {
+        for mat_seq in 0..MAX_STAGES {
+            let Some(path) = find_breaker(&work, true) else { break };
+            let breaker = node_at(&work, &path).clone();
+            // what the optimizer believes this breaker will produce,
+            // given everything observed so far
+            let est_rows = session::estimate_plan_nodes_with(&breaker, &catalog, &factors, naive)
+                .ok()
+                .and_then(|v| v.first().map(|e| e.est_rows));
+            // run the breaker to completion and materialize its output
+            let (mut cur, breaker_idx) = ctx.build_mid_indexed(&breaker)?;
+            cur.open()?;
+            let schema = cur.schema().clone();
+            let mut rows = Vec::new();
+            while let Some(b) = cur.next_batch()? {
+                rows.extend(b.into_rows());
+            }
+            cur.close()?;
+            let slot = ctx.collector.slot(breaker_idx).clone();
+            let actual = rows.len();
+            let rel = Relation::new(schema.clone(), rows);
+
+            // register the materialization: observed statistics, the
+            // order it holds, and the span that will serve it (created
+            // now so span order stays the post-order of the final plan)
+            let name = format!("#MAT{mat_seq}");
+            let order = delivered_order(&breaker, &mat_orders);
+            catalog.insert(
+                name.to_uppercase(),
+                (schema.clone(), RelationStats::from_relation(&rel, histogram_buckets)),
+            );
+            mat_orders.insert(name.clone(), order);
+            let span = Some(ctx.new_slot(Algo::MatScanM(name.clone()), vec![breaker_idx]));
+            ctx.mats.insert(name.clone(), MatEntry { rel, span });
+            replace_at(
+                &mut work,
+                &path,
+                PhysNode {
+                    algo: Algo::MatScanM(name),
+                    schema: breaker.schema.clone(),
+                    children: vec![breaker],
+                },
+            );
+
+            // the misestimate monitor — unless a wire fault already
+            // re-planned this breaker mid-drain (never re-plan twice
+            // over one observation)
+            let divergence = est_rows.map(|est| {
+                let e = est.max(1.0);
+                let a = (actual as f64).max(1.0);
+                (a / e).max(e / a)
+            });
+            let triggered =
+                !slot.has_event("replan") && divergence.map(|d| d >= ratio).unwrap_or(false);
+            if !triggered {
+                continue;
+            }
+            let old_cost =
+                session::estimate_plan_with(&remainder_only(&work), &catalog, &factors, naive).ok();
+            let logical = phys_to_logical(&work)?;
+            let Ok(new) = opt::reoptimize(
+                &logical,
+                pinned.clone(),
+                catalog.clone(),
+                factors,
+                options,
+                residency.clone(),
+                mat_orders.clone(),
+            ) else {
+                // no feasible alternative: keep the running plan
+                continue;
+            };
+            replans += 1;
+            let gain = old_cost.map(|c| (c - new.cost).max(0.0)).unwrap_or(0.0);
+            slot.add_event(
+                "cardinality-replan",
+                format!(
+                    "est {est:.1} rows, actual {actual} ({div:.1}x off): \
+                     remainder re-optimized, est gain {gain:.0}us",
+                    est = est_rows.unwrap_or(0.0),
+                    div = divergence.unwrap_or(0.0),
+                ),
+            );
+            slot.add_counter("replans", 1);
+            slot.add_counter("replan_gain_est", gain as u64);
+            ctx.spliced = true;
+            // splice: the optimizer returns bare MATSCAN^M leaves;
+            // re-attach each one's consumed subtree for rendering
+            let mut subtrees = HashMap::new();
+            collect_mat_subtrees(&work, &mut subtrees);
+            work = attach_mat_subtrees(new.plan, &subtrees);
+        }
+        // run what remains of the plan
+        let mut root = ctx.build_mid(&work)?;
+        root.open()?;
+        let schema = root.schema().clone();
+        let mut rows = Vec::new();
+        while let Some(b) = root.next_batch()? {
+            rows.extend(b.into_rows());
+        }
+        root.close()?;
+        Ok(Relation::new(schema, rows))
+    })();
+    let wall = started.elapsed();
+    for t in &ctx.temp_tables {
+        let _ = conn.execute(&format!("DROP TABLE IF EXISTS {t}"));
+    }
+    let rel = result?;
+    let wire = conn.wire_time().saturating_sub(wire_before);
+    let steps = resolve_steps(ctx.collector, ctx.algos);
+    let report = ExecReport { rows: rel.len(), wall, wire, steps };
+    Ok(AdaptiveRun { rel, report, plan: work, catalog, replans })
+}
+
+/// Pipeline breakers: operators that buffer (or can cheaply stage) their
+/// entire output before the consumer reads a row.
+fn is_breaker(a: &Algo) -> bool {
+    matches!(a, Algo::TransferM | Algo::SortM(_) | Algo::SortXM(..) | Algo::TAggrM { .. })
+}
+
+/// Path of child indices to the first post-order pipeline breaker that
+/// (a) is not the plan root, (b) has only middleware-resident ancestors
+/// (the materialization must feed middleware operators for a splice to
+/// be well-defined), and (c) has not already been consumed.
+fn find_breaker(n: &PhysNode, is_root: bool) -> Option<Vec<usize>> {
+    if matches!(n.algo, Algo::MatScanM(_)) || n.algo.site() != Site::Middleware {
+        return None;
+    }
+    for (i, c) in n.children.iter().enumerate() {
+        if let Some(mut p) = find_breaker(c, false) {
+            p.insert(0, i);
+            return Some(p);
+        }
+    }
+    (!is_root && is_breaker(&n.algo)).then(Vec::new)
+}
+
+fn node_at<'p>(mut n: &'p PhysNode, path: &[usize]) -> &'p PhysNode {
+    for &i in path {
+        n = &n.children[i];
+    }
+    n
+}
+
+fn replace_at(n: &mut PhysNode, path: &[usize], new: PhysNode) {
+    match path.split_first() {
+        None => *n = new,
+        Some((&i, rest)) => replace_at(&mut n.children[i], rest, new),
+    }
+}
+
+/// The sort order a plan node's output is known to arrive in — a
+/// conservative derivation (`none` when unknown) used to pin the
+/// delivery order across a re-plan and to record what order each
+/// materialization holds.
+fn delivered_order(n: &PhysNode, mats: &HashMap<String, SortSpec>) -> SortSpec {
+    let child = |i: usize| n.children.get(i).map(|c| delivered_order(c, mats)).unwrap_or_default();
+    match &n.algo {
+        Algo::SortM(s) | Algo::SortXM(s, _) | Algo::SortD(s) => s.clone(),
+        Algo::TAggrM { group_by, .. } | Algo::TAggrD { group_by, .. } => {
+            let mut cols = group_by.clone();
+            cols.push("T1".into());
+            SortSpec::by(cols)
+        }
+        Algo::MergeJoinM(eq) | Algo::TMergeJoinM(eq) => {
+            SortSpec::by(eq.iter().map(|(l, _)| l.clone()))
+        }
+        Algo::MatScanM(name) => mats.get(name).cloned().unwrap_or_default(),
+        // order-preserving pass-throughs
+        Algo::TransferM
+        | Algo::TransferD
+        | Algo::FilterM(_)
+        | Algo::FilterD(_)
+        | Algo::DupElimM
+        | Algo::DupElimD
+        | Algo::CoalesceM
+        | Algo::TDiffM => child(0),
+        Algo::ProjectM(_) | Algo::ProjectD(_) => child(0).project_onto(&n.schema),
+        _ => SortSpec::none(),
+    }
+}
+
+/// Copy of the working plan with each `MATSCAN^M`'s rendered subtree
+/// stripped, leaving only operators that still have work to do — the
+/// basis for estimating the cost of the unexecuted remainder.
+fn remainder_only(n: &PhysNode) -> PhysNode {
+    let children = if matches!(n.algo, Algo::MatScanM(_)) {
+        vec![]
+    } else {
+        n.children.iter().map(remainder_only).collect()
+    };
+    PhysNode { algo: n.algo.clone(), schema: n.schema.clone(), children }
+}
+
+/// Translate the unexecuted remainder of a physical plan back into a
+/// logical tree for re-optimization. Transfers and sorts are physical
+/// concerns the optimizer re-derives (the delivery order is pinned
+/// separately); materializations become `Get`s that only the
+/// `MATSCAN^M` implementation can resolve.
+fn phys_to_logical(n: &PhysNode) -> Result<Logical> {
+    let child =
+        |i: usize| -> Result<Box<Logical>> { Ok(Box::new(phys_to_logical(&n.children[i])?)) };
+    Ok(match &n.algo {
+        Algo::MatScanM(t) | Algo::ScanD(t) => Logical::Get { table: t.clone() },
+        Algo::TransferM | Algo::TransferD | Algo::SortM(_) | Algo::SortXM(..) | Algo::SortD(_) => {
+            phys_to_logical(&n.children[0])?
+        }
+        Algo::FilterM(p) | Algo::FilterD(p) => {
+            Logical::Select { pred: p.clone(), input: child(0)? }
+        }
+        Algo::ProjectM(items) | Algo::ProjectD(items) => {
+            Logical::Project { items: items.clone(), input: child(0)? }
+        }
+        Algo::MergeJoinM(eq) | Algo::JoinD(eq) => {
+            Logical::Join { eq: eq.clone(), left: child(0)?, right: child(1)? }
+        }
+        Algo::TMergeJoinM(eq) | Algo::TJoinD(eq) => {
+            Logical::TJoin { eq: eq.clone(), left: child(0)?, right: child(1)? }
+        }
+        Algo::TAggrM { group_by, aggs } | Algo::TAggrD { group_by, aggs } => {
+            Logical::TAggr { group_by: group_by.clone(), aggs: aggs.clone(), input: child(0)? }
+        }
+        Algo::DupElimM | Algo::DupElimD => Logical::DupElim { input: child(0)? },
+        Algo::CoalesceM => Logical::Coalesce { input: child(0)? },
+        Algo::TDiffM => Logical::Diff { left: child(0)?, right: child(1)? },
+        Algo::ProductD => Logical::Product { left: child(0)?, right: child(1)? },
+    })
+}
+
+/// Record each `MATSCAN^M` node (with its rendered subtree) by name.
+fn collect_mat_subtrees(n: &PhysNode, out: &mut HashMap<String, PhysNode>) {
+    if let Algo::MatScanM(name) = &n.algo {
+        out.insert(name.clone(), n.clone());
+        return;
+    }
+    for c in &n.children {
+        collect_mat_subtrees(c, out);
+    }
+}
+
+/// Replace each bare `MATSCAN^M` leaf in a freshly optimized remainder
+/// with the recorded node that keeps the consumed subtree as its child.
+fn attach_mat_subtrees(n: PhysNode, subtrees: &HashMap<String, PhysNode>) -> PhysNode {
+    if let Algo::MatScanM(name) = &n.algo {
+        if let Some(full) = subtrees.get(name) {
+            return full.clone();
+        }
+        return n;
+    }
+    let PhysNode { algo, schema, children } = n;
+    PhysNode {
+        algo,
+        schema,
+        children: children.into_iter().map(|c| attach_mat_subtrees(c, subtrees)).collect(),
+    }
 }
 
 /// Deferred cursor constructor: builds a cursor once its span's
@@ -261,6 +601,23 @@ struct Ctx<'a> {
     trace: bool,
     /// The middleware relation cache, when this execution runs with one.
     cache: Option<Arc<MidCache>>,
+    /// Mid-query materializations produced by the adaptive driver, by
+    /// name — what a `MATSCAN^M` leaf serves.
+    mats: HashMap<String, MatEntry>,
+    /// Set once a cardinality-triggered re-plan has spliced the running
+    /// plan: spans created after that point are annotated so the
+    /// cost-factor feedback loop skips their (mixed-plan) observations.
+    spliced: bool,
+}
+
+/// One mid-query materialization held by the engine.
+struct MatEntry {
+    /// The drained breaker output.
+    rel: Relation,
+    /// The `MATSCAN^M` span that will serve it, created eagerly at
+    /// materialization time so span order stays the post-order of the
+    /// final plan (`None` on the untraced path).
+    span: Option<(usize, Arc<SpanSlot>)>,
 }
 
 /// What the cache decided for one `TRANSFER^M`, resolved at plan-build
@@ -284,7 +641,21 @@ enum CacheDecision {
     },
 }
 
-impl Ctx<'_> {
+impl<'a> Ctx<'a> {
+    fn new(conn: &'a Connection, trace: bool, cache: Option<&Arc<MidCache>>) -> Ctx<'a> {
+        Ctx {
+            conn,
+            temp_tables: Vec::new(),
+            collector: Collector::new(),
+            algos: Vec::new(),
+            temp_seq: 0,
+            trace,
+            cache: cache.cloned(),
+            mats: HashMap::new(),
+            spliced: false,
+        }
+    }
+
     fn new_slot(&mut self, algo: Algo, children: Vec<usize>) -> (usize, Arc<SpanSlot>) {
         let site = match algo.site() {
             Site::Middleware => SpanSite::Middleware,
@@ -292,7 +663,11 @@ impl Ctx<'_> {
         };
         let label = algo.label();
         self.algos.push(algo);
-        self.collector.span(label, site, children)
+        let (idx, slot) = self.collector.span(label, site, children);
+        if self.spliced {
+            slot.add_annotation("replan", "spliced");
+        }
+        (idx, slot)
     }
 
     /// Build the cursor for a middleware-resident node. Returns the cursor
@@ -421,6 +796,30 @@ impl Ctx<'_> {
                 let (l, lid) = self.build_mid_indexed(&node.children[0])?;
                 let (r, rid) = self.build_mid_indexed(&node.children[1])?;
                 (Box::new(TemporalDiff::new(l, r)?) as BoxCursor, vec![lid, rid])
+            }
+            // serve a mid-query materialization; its span was created
+            // eagerly when the breaker drained, so reuse it rather than
+            // appending a new one (children are kept for rendering only)
+            Algo::MatScanM(name) => {
+                let entry = self.mats.get(name).ok_or_else(|| {
+                    TangoError::Exec(format!("unknown mid-query materialization {name}"))
+                })?;
+                let cursor: BoxCursor = Box::new(VecScan::from_parts(
+                    entry.rel.schema().clone(),
+                    entry.rel.tuples().to_vec(),
+                ));
+                return Ok(match (&entry.span, self.trace) {
+                    (Some((idx, slot)), true) => {
+                        let wrapped = Instrumented {
+                            inner: cursor,
+                            slot: slot.clone(),
+                            conn: self.conn.clone(),
+                            batches: 0,
+                        };
+                        (Box::new(wrapped) as BoxCursor, *idx)
+                    }
+                    _ => (cursor, 0),
+                });
             }
             other => {
                 return Err(TangoError::Exec(format!(

@@ -185,7 +185,13 @@ fn render_node(
                     annots.push(format!("{k} {v}"));
                 }
                 for (k, v) in &s.counters {
-                    annots.push(format!("{k} {v}"));
+                    // the estimated replan gain is a duration, so it is
+                    // redacted along with the measured timings
+                    if redact && *k == "replan_gain_est" {
+                        annots.push(format!("{k} ?"));
+                    } else {
+                        annots.push(format!("{k} {v}"));
+                    }
                 }
                 if !s.events.is_empty() {
                     // aggregate by kind, first-appearance order, so the

@@ -35,6 +35,12 @@ pub fn apply_feedback(factors: &mut CostFactors, report: &ExecReport, alpha: f64
         if step.annotation("cache") == Some("hit") {
             continue;
         }
+        // steps downstream of a mid-query re-plan splice ran over a
+        // mixed old/new plan; their actuals would poison the
+        // per-operator refit
+        if step.annotation("replan") == Some("spliced") {
+            continue;
+        }
         // TRANSFER^M's exclusive time contains the DBMS's own execution
         // of the translated SQL; the transfer factor models only the
         // shipping, so subtract the server part.
@@ -106,6 +112,16 @@ mod tests {
         let mut f = CostFactors { p_tm: 1.0, ..Default::default() };
         let n = apply_feedback(&mut f, &report(10.0, 1, 10), 0.5);
         assert_eq!(n, 0);
+        assert_eq!(f.p_tm, 1.0);
+    }
+
+    #[test]
+    fn spliced_steps_are_skipped() {
+        let mut f = CostFactors { p_tm: 1.0, ..Default::default() };
+        let mut r = report(20_000.0, 100, 10_000);
+        r.steps[0].annotations.push(("replan", "spliced".into()));
+        let n = apply_feedback(&mut f, &r, 0.5);
+        assert_eq!(n, 0, "spliced step must not refit factors");
         assert_eq!(f.p_tm, 1.0);
     }
 

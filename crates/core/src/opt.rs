@@ -59,11 +59,28 @@ pub struct OptOptions {
     /// sort `XSORT^M` instead of the in-memory `SORT^M`. `None` (the
     /// default) means unbounded memory, i.e. always sort in memory.
     pub mid_sort_budget: Option<u64>,
+    /// Mid-query re-optimization trigger: when the actual row count at a
+    /// pipeline breaker diverges from the estimate by at least this
+    /// ratio (in either direction), the engine re-optimizes the
+    /// unexecuted remainder of the plan over the materialized actuals.
+    /// `None` disables adaptivity entirely.
+    pub replan_ratio: Option<f64>,
+    /// Use the naive independent-conjunct estimate for `Overlaps`-style
+    /// temporal predicates instead of the joint Section 3.3 estimator —
+    /// deliberately reproducing the ~40× misestimate, to seed the
+    /// adaptivity tests and benchmarks with a plausibly-bad plan.
+    pub naive_overlaps: bool,
 }
 
 impl Default for OptOptions {
     fn default() -> Self {
-        OptOptions { approx_rules: true, pushdown_rules: true, mid_sort_budget: None }
+        OptOptions {
+            approx_rules: true,
+            pushdown_rules: true,
+            mid_sort_budget: None,
+            replan_ratio: Some(8.0),
+            naive_overlaps: false,
+        }
     }
 }
 
@@ -83,11 +100,24 @@ pub struct TangoSem {
     /// (the Figure 10 "one argument already resides" scenario), while
     /// staying strictly positive so transfers are never free.
     pub residency: Residency,
+    /// Mid-query materialized intermediates available to this run, by
+    /// name (normally `#MATn`), with the order each was materialized in.
+    /// A `Get` over one of these becomes `MATSCAN^M` at the middleware
+    /// (delivering the stored order for free) and is *excluded* from
+    /// `SCAN^D` — the DBMS has no such table. Empty outside mid-query
+    /// re-optimization.
+    pub materialized: HashMap<String, SortSpec>,
+    /// Estimation mode (see [`OptOptions::naive_overlaps`]).
+    pub naive_overlaps: bool,
 }
 
 impl TangoSem {
     fn table(&self, name: &str) -> Option<&(Arc<Schema>, RelationStats)> {
         self.catalog.get(&name.to_uppercase())
+    }
+
+    fn mat_order(&self, name: &str) -> Option<&SortSpec> {
+        self.materialized.get(&name.to_uppercase())
     }
 
     /// Order produced by `TAGGR^M`: grouping attributes then `T1`.
@@ -148,7 +178,13 @@ impl Semantics for TangoSem {
             }
             _ => {
                 let child_stats: Vec<&RelationStats> = children.iter().map(|p| &p.stats).collect();
-                tango_stats::derive_stats(&op.as_logical(), &child_stats, &child_schemas, &schema)
+                tango_stats::derive_stats_with(
+                    &op.as_logical(),
+                    &child_stats,
+                    &child_schemas,
+                    &schema,
+                    self.naive_overlaps,
+                )
             }
         };
         let child_sigs: Vec<String> = children.iter().map(|p| p.signature.clone()).collect();
@@ -179,7 +215,9 @@ impl Semantics for TangoSem {
                 let dbms = Req::any(Site::Dbms);
                 match op {
                     TOp::Get { table } => {
-                        if self.table(table).is_some() {
+                        // mid-query materializations live only in the
+                        // middleware — the DBMS has no table to scan
+                        if self.table(table).is_some() && self.mat_order(table).is_none() {
                             let algo = Algo::ScanD(table.clone());
                             // scan cost is over its own output
                             let c = self.factors.cost(&algo, &[&props.stats], &props.stats);
@@ -250,8 +288,18 @@ impl Semantics for TangoSem {
             // ---------------- middleware (XXL) algorithms -------------
             Site::Middleware => match op {
                 // base relations live in the DBMS; reachable only via the
-                // TRANSFER^M enforcer
-                TOp::Get { .. } => {}
+                // TRANSFER^M enforcer. Mid-query materializations are the
+                // exception: they already sit in middleware memory, in
+                // the order they were drained in.
+                TOp::Get { table } => {
+                    if let Some(stored) = self.mat_order(table) {
+                        if stored.satisfies(&required.order) {
+                            let algo = Algo::MatScanM(table.clone());
+                            let c = self.factors.cost(&algo, &[], &props.stats);
+                            out.push(Implementation { algo, child_required: vec![], cost: c });
+                        }
+                    }
+                }
                 TOp::Select { pred } => {
                     // FILTER^M is order-preserving: pass the requirement
                     // through to the child (rule-E4 behaviour).
@@ -486,8 +534,52 @@ pub fn optimize_resident(
     options: OptOptions,
     residency: Residency,
 ) -> Result<Optimized> {
+    optimize_with(logical, None, catalog, factors, options, residency, HashMap::new())
+}
+
+/// Mid-query re-optimization entry point: optimize the unexecuted
+/// *remainder* of a running plan, where some inputs are already
+/// materialized in the middleware.
+///
+/// `root_order` pins the delivery order the original plan guaranteed (so
+/// the spliced plan returns byte-identical results); `materialized` names
+/// the available mid-query materializations and the order each holds,
+/// and `catalog` must contain their schemas and *actual* (observed)
+/// statistics alongside the base tables.
+pub fn reoptimize(
+    logical: &Logical,
+    root_order: SortSpec,
+    catalog: Catalog,
+    factors: CostFactors,
+    options: OptOptions,
+    residency: Residency,
+    materialized: HashMap<String, SortSpec>,
+) -> Result<Optimized> {
+    optimize_with(logical, Some(root_order), catalog, factors, options, residency, materialized)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn optimize_with(
+    logical: &Logical,
+    pinned_order: Option<SortSpec>,
+    catalog: Catalog,
+    factors: CostFactors,
+    options: OptOptions,
+    residency: Residency,
+    materialized: HashMap<String, SortSpec>,
+) -> Result<Optimized> {
     let (tree, order) = to_initial(logical)?;
-    let sem = TangoSem { catalog, factors, mid_sort_budget: options.mid_sort_budget, residency };
+    let order = pinned_order.unwrap_or(order);
+    let materialized =
+        materialized.into_iter().map(|(k, v)| (k.to_uppercase(), v)).collect::<HashMap<_, _>>();
+    let sem = TangoSem {
+        catalog,
+        factors,
+        mid_sort_budget: options.mid_sort_budget,
+        residency,
+        materialized,
+        naive_overlaps: options.naive_overlaps,
+    };
     let mut memo = Memo::new(sem);
     let root = memo.insert_root(tree);
     memo.explore(&rules::rule_set(options));
@@ -511,7 +603,7 @@ fn annotate(plan: &PhysPlan<Algo>, memo: &Memo<TangoSem>) -> Result<PhysNode> {
         let children: Vec<PhysNode> =
             p.children.iter().map(|c| go(c, sem)).collect::<Result<_>>()?;
         let schema = match &p.algo {
-            Algo::ScanD(t) => sem
+            Algo::ScanD(t) | Algo::MatScanM(t) => sem
                 .table(t)
                 .map(|(s, _)| s.clone())
                 .ok_or_else(|| TangoError::Optimizer(format!("unknown table {t}")))?,

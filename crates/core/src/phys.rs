@@ -197,6 +197,12 @@ pub enum Algo {
     TDiffM,
     /// DBMS → middleware: issues a SELECT (Figure 5's `TRANSFER^M`).
     TransferM,
+    /// Middleware scan over a mid-query materialized intermediate (the
+    /// already-drained output of a pipeline breaker, by name). In a final
+    /// executed plan the consumed breaker subtree is kept as this node's
+    /// child for EXPLAIN ANALYZE; during re-optimization the node is a
+    /// leaf.
+    MatScanM(String),
     /// middleware → DBMS: CREATE TABLE + direct-path load (`TRANSFER^D`).
     TransferD,
     // -- generic DBMS algorithms (become SQL via the Translator) --
@@ -239,7 +245,8 @@ impl Algo {
             | Algo::DupElimM
             | Algo::CoalesceM
             | Algo::TDiffM
-            | Algo::TransferM => Site::Middleware,
+            | Algo::TransferM
+            | Algo::MatScanM(_) => Site::Middleware,
             Algo::TransferD
             | Algo::ScanD(_)
             | Algo::FilterD(_)
@@ -267,6 +274,7 @@ impl Algo {
             Algo::CoalesceM => "COALESCE^M".into(),
             Algo::TDiffM => "TDIFF^M".into(),
             Algo::TransferM => "TRANSFER^M".into(),
+            Algo::MatScanM(name) => format!("MATSCAN^M {name}"),
             Algo::TransferD => "TRANSFER^D".into(),
             Algo::ScanD(t) => format!("SCAN^D {t}"),
             Algo::FilterD(_) => "FILTER^D".into(),
@@ -309,6 +317,14 @@ impl Algo {
                     "ScanD schema must come from the catalog".into(),
                 ))
             }
+            Algo::MatScanM(name) => match children.first() {
+                Some(c) => (*c).clone(),
+                None => {
+                    return Err(tango_algebra::AlgebraError::Schema(format!(
+                        "MatScanM {name} schema must come from the materialized relation"
+                    )))
+                }
+            },
         })
     }
 }

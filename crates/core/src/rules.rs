@@ -873,6 +873,8 @@ mod tests {
             factors: CostFactors::default(),
             mid_sort_budget: None,
             residency: Default::default(),
+            materialized: Default::default(),
+            naive_overlaps: false,
         }
     }
 

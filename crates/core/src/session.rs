@@ -360,7 +360,8 @@ impl Tango {
             opt::optimize_resident(&logical, catalog.clone(), factors, options, residency)?;
         let optimize_time = t0.elapsed();
         let node_estimates =
-            estimate_plan_nodes(&optimized.plan, &catalog, &factors).unwrap_or_default();
+            estimate_plan_nodes_with(&optimized.plan, &catalog, &factors, options.naive_overlaps)
+                .unwrap_or_default();
         Ok(OptimizedQuery {
             logical,
             plan: optimized.plan,
@@ -400,10 +401,51 @@ impl Tango {
 
     /// Parse, optimize, execute. Returns the result relation and a full
     /// report; applies cost-factor feedback if enabled.
+    ///
+    /// When `OptOptions::replan_ratio` is set (the default), execution is
+    /// *adaptive*: pipeline breakers are staged one at a time, actual
+    /// cardinalities are checked against the optimizer's estimates, and a
+    /// misestimate past the threshold re-optimizes the unexecuted
+    /// remainder mid-query (see `docs/ADAPTIVITY.md`). The reported plan
+    /// is then the plan as actually executed, with each staged breaker
+    /// under a `MATSCAN^M` node.
     pub fn query(&mut self, sql: &str) -> Result<(Relation, QueryReport)> {
-        let optimized = self.optimize(sql)?;
-        let (rel, exec) =
-            engine::execute_cached(&self.conn, &optimized.plan, true, self.active_cache())?;
+        let mut optimized = self.optimize(sql)?;
+        let (rel, exec) = match self.options.opt.replan_ratio {
+            Some(ratio) => {
+                let cfg = engine::AdaptiveOptions {
+                    catalog: self.catalog()?.clone(),
+                    factors: self.factors,
+                    opt: self.options.opt,
+                    residency: self.residency(),
+                    ratio,
+                    histogram_buckets: if self.options.use_histograms {
+                        tango_minidb::catalog::HISTOGRAM_BUCKETS
+                    } else {
+                        0
+                    },
+                };
+                let run = engine::execute_adaptive(
+                    &self.conn,
+                    &optimized.plan,
+                    self.active_cache(),
+                    cfg,
+                )?;
+                // the executed plan differs from the optimized one (staged
+                // breakers became MATSCAN^M nodes; a re-plan may have
+                // spliced): adopt it so EXPLAIN ANALYZE shows what ran
+                optimized.node_estimates = estimate_plan_nodes_with(
+                    &run.plan,
+                    &run.catalog,
+                    &self.factors,
+                    self.options.opt.naive_overlaps,
+                )
+                .unwrap_or_default();
+                optimized.plan = run.plan;
+                (run.rel, run.report)
+            }
+            None => engine::execute_cached(&self.conn, &optimized.plan, true, self.active_cache())?,
+        };
         if self.options.feedback {
             feedback::apply_feedback(&mut self.factors, &exec, self.options.feedback_alpha);
         }
@@ -431,19 +473,32 @@ impl Tango {
 /// Bottom-up cost estimate of a physical plan: derive statistics per node
 /// (using the same machinery as the optimizer) and sum the formula costs.
 fn estimate_plan(plan: &PhysNode, catalog: &Catalog, factors: &CostFactors) -> Result<f64> {
+    estimate_plan_with(plan, catalog, factors, false)
+}
+
+/// [`estimate_plan`] with the optimizer's `naive_overlaps` mode threaded
+/// through, so the engine's re-plan driver prices remainders exactly as
+/// the (possibly deliberately naive) optimizer would.
+pub(crate) fn estimate_plan_with(
+    plan: &PhysNode,
+    catalog: &Catalog,
+    factors: &CostFactors,
+    naive_overlaps: bool,
+) -> Result<f64> {
     let mut out = vec![NodeEstimate::default(); plan.node_count()];
-    go_estimate(plan, 0, catalog, factors, &mut out).map(|(_, c)| c)
+    go_estimate(plan, 0, catalog, factors, naive_overlaps, &mut out).map(|(_, c)| c)
 }
 
 /// Per-node predictions for the plan, indexed in pre-order (the numbering
 /// `EXPLAIN` renders against).
-fn estimate_plan_nodes(
+pub(crate) fn estimate_plan_nodes_with(
     plan: &PhysNode,
     catalog: &Catalog,
     factors: &CostFactors,
+    naive_overlaps: bool,
 ) -> Result<Vec<NodeEstimate>> {
     let mut out = vec![NodeEstimate::default(); plan.node_count()];
-    go_estimate(plan, 0, catalog, factors, &mut out)?;
+    go_estimate(plan, 0, catalog, factors, naive_overlaps, &mut out)?;
     Ok(out)
 }
 
@@ -452,6 +507,7 @@ fn go_estimate(
     pre: usize,
     catalog: &Catalog,
     factors: &CostFactors,
+    naive_overlaps: bool,
     out: &mut [NodeEstimate],
 ) -> Result<(tango_stats::RelationStats, f64)> {
     use crate::phys::Algo;
@@ -460,19 +516,27 @@ fn go_estimate(
         let mut child_cost = 0.0;
         let mut cpre = pre + 1;
         for c in &n.children {
-            let (s, cost) = go_estimate(c, cpre, catalog, factors, out)?;
+            let (s, cost) = go_estimate(c, cpre, catalog, factors, naive_overlaps, out)?;
             cpre += c.node_count();
             child_stats.push(s);
             child_cost += cost;
         }
         let stats = match &n.algo {
-            Algo::ScanD(t) => catalog
+            // MATSCAN^M estimates come from the *observed* statistics the
+            // re-plan driver registered under the materialization's name,
+            // not from the consumed subtree kept for rendering.
+            Algo::ScanD(t) | Algo::MatScanM(t) => catalog
                 .get(&t.to_uppercase())
                 .map(|(_, s)| s.clone())
                 .ok_or_else(|| TangoError::Optimizer(format!("no statistics for {t}")))?,
             Algo::FilterM(p) | Algo::FilterD(p) => {
                 let schema = &n.children[0].schema;
-                tango_stats::cardinality::derive_select(p, &child_stats[0], schema)
+                tango_stats::cardinality::derive_select_with(
+                    p,
+                    &child_stats[0],
+                    schema,
+                    naive_overlaps,
+                )
             }
             Algo::TAggrM { group_by, aggs } | Algo::TAggrD { group_by, aggs } => {
                 let op = tango_algebra::Logical::TAggr {
@@ -480,11 +544,12 @@ fn go_estimate(
                     aggs: aggs.clone(),
                     input: Box::new(tango_algebra::Logical::Get { table: "_".into() }),
                 };
-                tango_stats::derive_stats(
+                tango_stats::derive_stats_with(
                     &op,
                     &[&child_stats[0]],
                     &[n.children[0].schema.as_ref()],
                     &n.schema,
+                    naive_overlaps,
                 )
             }
             Algo::MergeJoinM(eq) | Algo::JoinD(eq) => {
@@ -493,11 +558,12 @@ fn go_estimate(
                     left: Box::new(tango_algebra::Logical::Get { table: "_".into() }),
                     right: Box::new(tango_algebra::Logical::Get { table: "_".into() }),
                 };
-                tango_stats::derive_stats(
+                tango_stats::derive_stats_with(
                     &op,
                     &[&child_stats[0], &child_stats[1]],
                     &[n.children[0].schema.as_ref(), n.children[1].schema.as_ref()],
                     &n.schema,
+                    naive_overlaps,
                 )
             }
             Algo::TMergeJoinM(eq) | Algo::TJoinD(eq) => {
@@ -506,20 +572,22 @@ fn go_estimate(
                     left: Box::new(tango_algebra::Logical::Get { table: "_".into() }),
                     right: Box::new(tango_algebra::Logical::Get { table: "_".into() }),
                 };
-                tango_stats::derive_stats(
+                tango_stats::derive_stats_with(
                     &op,
                     &[&child_stats[0], &child_stats[1]],
                     &[n.children[0].schema.as_ref(), n.children[1].schema.as_ref()],
                     &n.schema,
+                    naive_overlaps,
                 )
             }
             // size-preserving (transfers, sorts) and the rest: inherit
             _ => child_stats.first().cloned().unwrap_or_default(),
         };
         let in_refs: Vec<&tango_stats::RelationStats> = child_stats.iter().collect();
-        let own = if in_refs.is_empty() && !matches!(n.algo, Algo::ScanD(_)) {
+        let leaf_like = matches!(n.algo, Algo::ScanD(_) | Algo::MatScanM(_));
+        let own = if in_refs.is_empty() && !leaf_like {
             0.0
-        } else if matches!(n.algo, Algo::ScanD(_)) {
+        } else if leaf_like {
             factors.cost(&n.algo, &[&stats], &stats)
         } else {
             factors.cost(&n.algo, &in_refs, &stats)

@@ -6,7 +6,7 @@
 //! formulas), and per-attribute statistics propagated where meaningful.
 
 use crate::stats::{AttrStats, RelationStats};
-use crate::std_sel::select_cardinality;
+use crate::std_sel::select_cardinality_with;
 use tango_algebra::{AggFunc, Expr, Logical, Schema};
 
 /// Derive the statistics of `op`'s output.
@@ -21,13 +21,30 @@ pub fn derive_stats(
     input_schemas: &[&Schema],
     out_schema: &Schema,
 ) -> RelationStats {
+    derive_stats_with(op, input_stats, input_schemas, out_schema, false)
+}
+
+/// [`derive_stats`] with an explicit estimation mode.
+///
+/// `naive_overlaps` disables the joint `Overlaps`-pattern estimator in
+/// selections (see [`crate::std_sel::select_cardinality_with`]) so the
+/// Section 3.3 misestimate can be reproduced deliberately.
+pub fn derive_stats_with(
+    op: &Logical,
+    input_stats: &[&RelationStats],
+    input_schemas: &[&Schema],
+    out_schema: &Schema,
+    naive_overlaps: bool,
+) -> RelationStats {
     match op {
         Logical::Get { .. } => RelationStats {
             rows: 1000.0,
             avg_tuple_bytes: out_schema.est_tuple_bytes() as f64,
             ..Default::default()
         },
-        Logical::Select { pred, .. } => derive_select(pred, input_stats[0], input_schemas[0]),
+        Logical::Select { pred, .. } => {
+            derive_select_with(pred, input_stats[0], input_schemas[0], naive_overlaps)
+        }
         Logical::Sort { .. } | Logical::TransferM { .. } | Logical::TransferD { .. } => {
             input_stats[0].clone()
         }
@@ -93,9 +110,20 @@ pub fn derive_stats(
 /// Derive statistics for a selection, applying the temporal analyzer when
 /// the input schema is temporal.
 pub fn derive_select(pred: &Expr, input: &RelationStats, schema: &Schema) -> RelationStats {
+    derive_select_with(pred, input, schema, false)
+}
+
+/// [`derive_select`] with an explicit estimation mode (see
+/// [`derive_stats_with`]).
+pub fn derive_select_with(
+    pred: &Expr,
+    input: &RelationStats,
+    schema: &Schema,
+    naive_overlaps: bool,
+) -> RelationStats {
     let period =
         schema.period().map(|(i, j)| (schema.attr(i).name.as_str(), schema.attr(j).name.as_str()));
-    let rows = select_cardinality(pred, input, period);
+    let rows = select_cardinality_with(pred, input, period, naive_overlaps);
     let mut out = input.clone();
     out.rows = rows;
     cap_distincts(&mut out);

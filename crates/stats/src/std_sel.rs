@@ -117,10 +117,27 @@ pub fn selectivity(pred: &Expr, stats: &RelationStats) -> f64 {
 /// estimates it *jointly* with [`temporal_sel::overlaps_cardinality`];
 /// remaining conjuncts are estimated conventionally and multiplied in.
 pub fn select_cardinality(pred: &Expr, stats: &RelationStats, period: Option<(&str, &str)>) -> f64 {
+    select_cardinality_with(pred, stats, period, false)
+}
+
+/// [`select_cardinality`] with an explicit estimation mode.
+///
+/// With `naive_overlaps` set, the joint `Overlaps`-pattern analyzer is
+/// bypassed and every temporal conjunct is estimated independently — the
+/// naive approach Section 3.3 shows to be ~40× wrong. This mode exists to
+/// seed misestimates on purpose (adaptivity tests and benchmarks); normal
+/// optimization always uses the joint estimator.
+pub fn select_cardinality_with(
+    pred: &Expr,
+    stats: &RelationStats,
+    period: Option<(&str, &str)>,
+    naive_overlaps: bool,
+) -> f64 {
     let conjuncts = pred.conjuncts();
     let mut consumed = vec![false; conjuncts.len()];
     let mut card = stats.rows;
 
+    let period = if naive_overlaps { None } else { period };
     if let Some((t1, t2)) = period {
         let is_attr = |name: &str, attr: &str| {
             name.rsplit('.').next().unwrap_or(name).eq_ignore_ascii_case(attr)

@@ -152,6 +152,24 @@ impl SpanSlot {
         }
     }
 
+    /// Add `value` to the named counter, appending it if absent. Unlike
+    /// [`SpanSlot::set_counters`] (which replaces the whole list when a
+    /// cursor is polled at close), this merges — used by the engine to
+    /// attach driver-level counters (e.g. `replans`) to a span whose
+    /// cursor has already closed and reported its own.
+    pub fn add_counter(&self, name: &'static str, value: u64) {
+        let mut c = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        match c.iter_mut().find(|(k, _)| *k == name) {
+            Some((_, v)) => *v += value,
+            None => c.push((name, value)),
+        }
+    }
+
+    /// Has an event of the given kind been recorded on this span?
+    pub fn has_event(&self, kind: &str) -> bool {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).iter().any(|e| e.kind == kind)
+    }
+
     /// Append a discrete event (fault, retry, replan, ...) to this span.
     pub fn add_event(&self, kind: impl Into<String>, detail: impl Into<String>) {
         self.events
@@ -239,6 +257,11 @@ impl Collector {
         });
         self.slots.push(slot.clone());
         (self.slots.len() - 1, slot)
+    }
+
+    /// The live slot of a span created earlier in this execution.
+    pub fn slot(&self, index: usize) -> &Arc<SpanSlot> {
+        &self.slots[index]
     }
 
     /// Number of spans created so far.

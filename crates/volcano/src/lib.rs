@@ -203,3 +203,121 @@ mod toy_tests {
         assert_eq!(fires["commute-add"], 2); // original + commuted form
     }
 }
+
+#[cfg(test)]
+mod enforcer_cycle_tests {
+    //! Regression: bidirectional enforcers (TANGO's `T^M`/`T^D` site
+    //! transfers) create cycles in the `(group, required)` graph. A frame
+    //! truncated by the cycle guard is evaluated *relative to the
+    //! requirements on the stack* — memoizing its answer used to poison
+    //! later lookups of the same pair from clean contexts, hiding
+    //! feasible (and cheaper) plans.
+
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq, Hash)]
+    enum Op {
+        /// Lives natively at `Home` only (like a mid-query
+        /// materialization residing in the middleware).
+        Leaf,
+        Wrap,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Props;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    enum Req {
+        /// `Home`, plus an ordering only the `sort` enforcer delivers.
+        HomeSorted,
+        Home,
+        Away,
+    }
+
+    struct Sites;
+
+    impl Semantics for Sites {
+        type Op = Op;
+        type Props = Props;
+        type PhysProps = Req;
+        type Algo = String;
+
+        fn derive_props(&self, _op: &Op, _children: &[&Props]) -> Props {
+            Props
+        }
+
+        fn implementations(
+            &self,
+            op: &Op,
+            _child_props: &[&Props],
+            _props: &Props,
+            required: &Req,
+        ) -> Vec<Implementation<Self>> {
+            match (op, required) {
+                (Op::Leaf, Req::Home | Req::HomeSorted) => {
+                    vec![Implementation { algo: "leaf".into(), child_required: vec![], cost: 1.0 }]
+                }
+                // the away-side wrap is far cheaper than the home-side
+                // one — reachable only if `(Leaf, Away)` stays feasible
+                (Op::Wrap, Req::Home) => vec![Implementation {
+                    algo: "wrap_home".into(),
+                    child_required: vec![Req::Home],
+                    cost: 100.0,
+                }],
+                (Op::Wrap, Req::Away) => vec![Implementation {
+                    algo: "wrap_away".into(),
+                    child_required: vec![Req::Away],
+                    cost: 0.5,
+                }],
+                _ => vec![],
+            }
+        }
+
+        fn enforcers(&self, _props: &Props, required: &Req) -> Vec<Enforcer<Self>> {
+            match required {
+                Req::HomeSorted => {
+                    vec![Enforcer { algo: "sort".into(), inner_required: Req::Home, cost: 0.1 }]
+                }
+                Req::Home => {
+                    vec![Enforcer {
+                        algo: "ship_home".into(),
+                        inner_required: Req::Away,
+                        cost: 5.0,
+                    }]
+                }
+                Req::Away => {
+                    vec![Enforcer {
+                        algo: "ship_away".into(),
+                        inner_required: Req::Home,
+                        cost: 5.0,
+                    }]
+                }
+            }
+        }
+    }
+
+    /// `(Leaf, Away)` is first reached through the in-progress chain
+    /// `(Leaf, Home) → ship_home → (Leaf, Away) → ship_away → (Leaf,
+    /// Home)` and pruned; when `wrap_away` later asks for the same pair
+    /// from a clean stack, the answer must be recomputed, not replayed.
+    #[test]
+    fn cycle_prune_is_not_memoized() {
+        let tree = NewExpr::Op(Op::Wrap, vec![NewExpr::Op(Op::Leaf, vec![])]);
+        let mut memo = Memo::new(Sites);
+        let root = memo.insert_root(tree);
+        let mut stats = SearchStats::default();
+        let best = optimize(&memo, root, Req::HomeSorted, &mut stats).expect("plan");
+        assert!(stats.cycles_pruned > 0, "fixture never exercised the cycle guard");
+        // sort(ship_home(wrap_away(ship_away(leaf)))) = 0.1+5+0.5+5+1
+        assert!(
+            (best.cost - 11.6).abs() < 1e-9,
+            "poisoned memo hid the away-side plan: cost {} plan {:?}",
+            best.cost,
+            best.plan
+        );
+        assert_eq!(best.plan.algo, "sort");
+        assert_eq!(best.plan.children[0].algo, "ship_home");
+        assert_eq!(best.plan.children[0].children[0].algo, "wrap_away");
+        assert_eq!(best.plan.children[0].children[0].children[0].algo, "ship_away");
+    }
+}

@@ -63,6 +63,8 @@ pub struct SearchStats {
     /// `(group, required)` pairs answered from the memoization table
     /// without a fresh search.
     pub cache_hits: usize,
+    /// Enforcer cycles pruned during the search.
+    pub cycles_pruned: usize,
 }
 
 /// Find the cheapest physical plan for `group` delivering `required`.
@@ -72,7 +74,7 @@ pub fn optimize<S: Semantics>(
     required: S::PhysProps,
     stats: &mut SearchStats,
 ) -> Option<Best<S>> {
-    let mut ctx = Ctx { memo, table: HashMap::new(), in_progress: Vec::new(), stats };
+    let mut ctx = Ctx { memo, table: HashMap::new(), in_progress: Vec::new(), pruned: 0, stats };
     ctx.optimize(group, required)
 }
 
@@ -81,6 +83,9 @@ struct Ctx<'a, S: Semantics> {
     table: HashMap<(GroupId, S::PhysProps), Option<Best<S>>>,
     /// Guard against enforcer cycles.
     in_progress: Vec<(GroupId, S::PhysProps)>,
+    /// Total cycle prunes so far; frames compare before/after to learn
+    /// whether their own evaluation was truncated by a prune.
+    pruned: usize,
     stats: &'a mut SearchStats,
 }
 
@@ -92,10 +97,16 @@ impl<S: Semantics> Ctx<'_, S> {
             return hit.clone();
         }
         if self.in_progress.contains(&key) {
-            return None; // cycle via enforcers: prune
+            // cycle via enforcers: prune this path. The outcome of every
+            // frame on the stack now depends on the truncation, so none
+            // of them may be memoized (see below).
+            self.pruned += 1;
+            self.stats.cycles_pruned += 1;
+            return None;
         }
         self.in_progress.push(key.clone());
         self.stats.optimize_calls += 1;
+        let pruned_before = self.pruned;
 
         let mut best: Option<Best<S>> = None;
         let props = self.memo.props(group);
@@ -155,7 +166,15 @@ impl<S: Semantics> Ctx<'_, S> {
         }
 
         self.in_progress.pop();
-        self.table.insert(key, best.clone());
+        // Memoize only results computed from a clean stack. A frame that
+        // saw a cycle prune anywhere beneath it was evaluated *relative
+        // to the requirements currently in progress*: the pruned branch
+        // may be perfectly feasible (and cheaper) when the same
+        // `(group, required)` pair is reached from a different context,
+        // so caching the truncated answer would poison later lookups.
+        if self.pruned == pruned_before {
+            self.table.insert(key, best.clone());
+        }
         best
     }
 }

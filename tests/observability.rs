@@ -3,7 +3,8 @@
 //! `EXPLAIN ANALYZE` rendering, and the zero-overhead untraced path.
 
 use std::sync::Arc;
-use tango::algebra::Expr;
+use tango::algebra::{tup, Attr, Expr, Schema, Type, Value};
+use tango::core::cost::CostFactors;
 use tango::core::engine::{self, ExecReport};
 use tango::core::phys::{Algo, PhysNode, Site};
 use tango::core::tsql::{strip_explain, Explain};
@@ -204,6 +205,109 @@ PROJECT^M  (middleware, est rows 2.4, actual rows 4, exclusive ?, batches 1)
           SCAN^D POSITION  (dbms, est rows 3.0, in SQL)
 total: 4 rows, wall ?, wire ?, wall+wire ?
 ";
+    assert_eq!(text, expected, "got:\n{text}");
+}
+
+/// Versioned `POSITION` joined against the wide per-position `POSINFO`
+/// dossier table — the misestimate-rescue shape of
+/// `tests/adaptive_replan.rs` at golden scale. The naive `Overlaps`
+/// estimator believes the 20-day window keeps ~25% of `POSITION`; the
+/// truth is a handful of rows, so the misestimate monitor fires at the
+/// first pipeline breaker and flips the join into the DBMS.
+fn replan_setup() -> Database {
+    let db = Database::new(Link::new(LinkProfile::instant()));
+    let position = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    db.create_table("POSITION", position).unwrap();
+    let posinfo = Schema::new(vec![Attr::new("PosID", Type::Int), Attr::new("Info", Type::Str)]);
+    db.create_table("POSINFO", posinfo).unwrap();
+
+    // deterministic xorshift: the fixture (and hence the golden) can
+    // never drift
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut step = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    const POSITIONS: i64 = 40;
+    const VERSIONS: i64 = 10;
+    const DOMAIN: i64 = 5_000;
+    let stride = DOMAIN / VERSIONS;
+    let mut rows = Vec::new();
+    for p in 0..POSITIONS {
+        for v in 0..VERSIONS {
+            // one version per stratum of the domain, so (PosID, T1) is
+            // unique and the ORDER BY below is a total order
+            let t1 = v * stride + (step() % (stride as u64 - 40)) as i64;
+            let t2 = t1 + 1 + (step() % 39) as i64;
+            rows.push(tup![p, (step() % 80) as i64, t1, t2]);
+        }
+    }
+    db.insert_rows("POSITION", rows).unwrap();
+    let dossier: Vec<_> = (0..POSITIONS)
+        .map(|p| tup![p, Value::Str(format!("dossier-{p:06}-{}", "x".repeat(140)))])
+        .collect();
+    db.insert_rows("POSINFO", dossier).unwrap();
+    let conn = Connection::new(db.clone());
+    conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
+    conn.execute("ANALYZE TABLE POSINFO COMPUTE STATISTICS").unwrap();
+    db
+}
+
+const REPLAN_QUERY: &str = "SELECT P.PosID, P.T1, I.Info FROM POSITION P, POSINFO I \
+     WHERE P.PosID = I.PosID AND P.T1 <= 2520 AND P.T2 >= 2500 \
+     ORDER BY P.PosID, P.T1";
+
+/// Golden output: `EXPLAIN ANALYZE` after a mid-query cardinality
+/// re-plan. Pins the `cardinality-replan` event line, the `replans`
+/// counter, the est-vs-actual rows at the triggering breaker, and the
+/// `replan spliced` annotations on the re-optimized remainder. Cost
+/// factors are pinned (not calibrated) so the placement decisions — and
+/// hence the rendered plan — are reproducible.
+#[test]
+fn explain_analyze_golden_cardinality_replan() {
+    let db = replan_setup();
+    let mut tango = Tango::connect(db);
+    tango.options_mut().cache_budget = None;
+    tango.options_mut().opt.naive_overlaps = true; // seed the misestimate
+    tango.set_factors(CostFactors {
+        p_tm: 5.0,
+        p_td: 4.5,
+        p_td_fixed: 200.0,
+        p_jd: 0.06,
+        p_mjm: 0.02,
+        ..Default::default()
+    });
+    let (rel, report) = tango.query(REPLAN_QUERY).unwrap();
+    let text = report.optimized.explain_analyze(&report.exec, true);
+    // The triggering breaker is the TRANSFER^M over the naive window
+    // selection: est rows 102 vs actual rows 2 (51× off, past the
+    // default 8× threshold). The remainder above it was re-optimized —
+    // the join flipped into the DBMS behind a TRANSFER^D of the
+    // materialized breaker output — and every spliced step is annotated.
+    let expected = "\
+TRANSFER^M  (middleware, est rows 2.0, actual rows 2, exclusive ?, server ?, replan spliced, sql_round_trips 1, batches 1)
+  SORT^D [PosID, T1]  (dbms, est rows 2.0, in SQL)
+    PROJECT^D  (dbms, est rows 2.0, in SQL)
+      PROJECT^D  (dbms, est rows 2.0, in SQL)
+        JOIN^D [PosID=PosID]  (dbms, est rows 2.0, in SQL)
+          SCAN^D POSINFO  (dbms, est rows 40.0, in SQL)
+          TRANSFER^D  (dbms, est rows 2.0, actual rows 0, exclusive ?, replan spliced, rows_loaded 2, sql_round_trips 1)
+            MATSCAN^M #MAT0  (middleware, est rows 2.0, actual rows 2, exclusive ?, batches 1)
+              TRANSFER^M  (middleware, est rows 102, actual rows 2, exclusive ?, server ?, sql_round_trips 1, batches 1, replans 1, replan_gain_est ?, events: cardinality-replan)
+                SORT^D [PosID]  (dbms, est rows 102, in SQL)
+                  PROJECT^D  (dbms, est rows 102, in SQL)
+                    FILTER^D [((T1 <= 2520) AND (T2 >= 2500))]  (dbms, est rows 102, in SQL)
+                      SCAN^D POSITION  (dbms, est rows 400, in SQL)
+total: 2 rows, wall ?, wire ?, wall+wire ?
+";
+    assert_eq!(rel.len(), 2);
     assert_eq!(text, expected, "got:\n{text}");
 }
 
