@@ -5,6 +5,7 @@
 //! optimizer, and SQL rendering in the Translator-To-SQL (the `Display`
 //! impl emits valid SQL for the mini-DBMS dialect).
 
+use crate::batch::{Batch, Bitmap, Column};
 use crate::date::format_date;
 use crate::error::{AlgebraError, Result};
 use crate::schema::Schema;
@@ -13,6 +14,7 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::Arc;
 
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -299,6 +301,159 @@ impl Expr {
     pub fn matches(&self, t: &Tuple) -> Result<bool> {
         Ok(self.eval_bool(t)?.unwrap_or(false))
     }
+
+    /// Vectorized three-valued predicate evaluation over a columnar batch:
+    /// one tri-state per row (0 = FALSE, 1 = TRUE, 2 = UNKNOWN), agreeing
+    /// with [`Expr::eval_bool`] row by row. Returns `None` when the batch
+    /// is row-layout or the expression shape has no columnar kernel
+    /// (callers fall back to row-at-a-time evaluation). Kernels cover the
+    /// filter shapes the optimizer pushes into the middleware: column-vs-
+    /// literal comparisons, AND/OR/NOT over them, and `IS [NOT] NULL`.
+    pub fn eval_batch_tri(&self, b: &Batch) -> Option<Vec<u8>> {
+        let (cols, offset, len) = b.columns()?;
+        self.tri_kernel(cols, offset, len)
+    }
+
+    fn tri_kernel(&self, cols: &[Column], offset: usize, len: usize) -> Option<Vec<u8>> {
+        match self {
+            Expr::Lit(v) => {
+                let t = match v {
+                    Value::Null => 2,
+                    Value::Int(i) => (*i != 0) as u8,
+                    Value::Double(d) => (*d != 0.0) as u8,
+                    _ => 2,
+                };
+                Some(vec![t; len])
+            }
+            Expr::Cmp(op, l, r) => {
+                let (i, lit, op) = match (&**l, &**r) {
+                    (Expr::Col { index: Some(i), .. }, Expr::Lit(v)) => (*i, v, *op),
+                    (Expr::Lit(v), Expr::Col { index: Some(i), .. }) => (*i, v, op.flip()),
+                    _ => return None,
+                };
+                Some(cmp_col_lit(&cols[i], offset, len, op, lit))
+            }
+            Expr::And(l, r) => {
+                let a = l.tri_kernel(cols, offset, len)?;
+                let b = r.tri_kernel(cols, offset, len)?;
+                Some(
+                    a.iter()
+                        .zip(&b)
+                        .map(|(&x, &y)| {
+                            if x == 0 || y == 0 {
+                                0
+                            } else if x == 2 || y == 2 {
+                                2
+                            } else {
+                                1
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            Expr::Or(l, r) => {
+                let a = l.tri_kernel(cols, offset, len)?;
+                let b = r.tri_kernel(cols, offset, len)?;
+                Some(
+                    a.iter()
+                        .zip(&b)
+                        .map(|(&x, &y)| {
+                            if x == 1 || y == 1 {
+                                1
+                            } else if x == 2 || y == 2 {
+                                2
+                            } else {
+                                0
+                            }
+                        })
+                        .collect(),
+                )
+            }
+            Expr::Not(e) => {
+                let mut a = e.tri_kernel(cols, offset, len)?;
+                for t in &mut a {
+                    *t = match *t {
+                        0 => 1,
+                        1 => 0,
+                        other => other,
+                    };
+                }
+                Some(a)
+            }
+            Expr::IsNull(e, negated) => match &**e {
+                Expr::Col { index: Some(i), .. } => {
+                    let col = &cols[*i];
+                    Some((0..len).map(|r| (col.is_valid(offset + r) == *negated) as u8).collect())
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Compare every row of `col` in `[offset, offset + len)` against a
+/// literal, reproducing [`Value::sql_cmp`] + [`CmpOp::eval`] per row.
+fn cmp_col_lit(col: &Column, offset: usize, len: usize, op: CmpOp, lit: &Value) -> Vec<u8> {
+    if lit.is_null() {
+        return vec![2; len];
+    }
+    let tri = |o: Ordering| op.eval(o) as u8;
+    fn mask_nulls(mut out: Vec<u8>, valid: &Option<Arc<Bitmap>>, offset: usize) -> Vec<u8> {
+        if let Some(bm) = valid {
+            for (r, slot) in out.iter_mut().enumerate() {
+                if !bm.get(offset + r) {
+                    *slot = 2;
+                }
+            }
+        }
+        out
+    }
+    match col {
+        Column::Int { vals, valid } | Column::Date { vals, valid } => {
+            let range = &vals[offset..offset + len];
+            let out = match lit.as_int() {
+                // Both sides integer-like: exact i64 comparison.
+                Some(k) => range.iter().map(|v| tri(v.cmp(&k))).collect(),
+                None => match lit {
+                    Value::Double(d) => {
+                        range.iter().map(|v| tri((*v as f64).total_cmp(d))).collect()
+                    }
+                    _ => vec![2; len], // strings never compare with numbers
+                },
+            };
+            mask_nulls(out, valid, offset)
+        }
+        Column::Double { vals, valid } => {
+            let out = match lit.as_f64() {
+                Some(y) => {
+                    vals[offset..offset + len].iter().map(|x| tri(x.total_cmp(&y))).collect()
+                }
+                None => vec![2; len],
+            };
+            mask_nulls(out, valid, offset)
+        }
+        Column::Str { codes, dict, valid } => {
+            let out = match lit {
+                // Compare each distinct dictionary entry once, then fan the
+                // verdicts out over the codes.
+                Value::Str(s) => {
+                    let per: Vec<u8> =
+                        dict.iter().map(|e| tri(e.as_str().cmp(s.as_str()))).collect();
+                    codes[offset..offset + len].iter().map(|&c| per[c as usize]).collect()
+                }
+                _ => vec![2; len],
+            };
+            mask_nulls(out, valid, offset)
+        }
+        Column::Mixed { vals } => vals[offset..offset + len]
+            .iter()
+            .map(|v| match v.sql_cmp(lit) {
+                Some(o) => tri(o),
+                None => 2,
+            })
+            .collect(),
+    }
 }
 
 fn tvl(b: Option<bool>) -> Value {
@@ -438,5 +593,54 @@ mod tests {
     fn unbound_eval_errors() {
         let e = Expr::col("A");
         assert!(e.eval(&tup![1]).is_err());
+    }
+
+    #[test]
+    fn batch_tri_matches_eval_bool() {
+        use crate::batch::Batch;
+        use std::sync::Arc;
+        let schema = schema();
+        let mut rows = Vec::new();
+        let mut x: u64 = 3;
+        for _ in 0..123 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = match x % 5 {
+                0 => Value::Null,
+                _ => Value::Int(((x >> 20) % 10) as i64),
+            };
+            let b = Value::Int(((x >> 7) % 10) as i64);
+            let s = match (x >> 11) % 4 {
+                0 => Value::Null,
+                k => Value::Str(format!("s{k}")),
+            };
+            rows.push(Tuple::new(vec![a, b, s]));
+        }
+        let preds = vec![
+            Expr::cmp(CmpOp::Lt, Expr::col("A"), Expr::lit(5)),
+            Expr::cmp(CmpOp::Ge, Expr::lit(4), Expr::col("B")),
+            Expr::eq(Expr::col("S"), Expr::lit("s2")),
+            Expr::and(
+                Expr::cmp(CmpOp::Gt, Expr::col("A"), Expr::lit(1)),
+                Expr::not(Expr::eq(Expr::col("S"), Expr::lit("s1"))),
+            ),
+            Expr::or(
+                Expr::IsNull(Box::new(Expr::col("A")), false),
+                Expr::cmp(CmpOp::Ne, Expr::col("B"), Expr::lit(3)),
+            ),
+            Expr::cmp(CmpOp::Le, Expr::col("A"), Expr::lit(Value::Double(3.5))),
+        ];
+        let batch = Batch::new(Arc::new(schema.clone()), rows.clone()).columnarize();
+        for p in preds {
+            let p = p.bound(&schema).unwrap();
+            let tri = p.eval_batch_tri(&batch).expect("kernel supported");
+            for (r, t) in rows.iter().enumerate() {
+                let want = match p.eval_bool(t).unwrap() {
+                    Some(true) => 1,
+                    Some(false) => 0,
+                    None => 2,
+                };
+                assert_eq!(tri[r], want, "{p} row {r}");
+            }
+        }
     }
 }

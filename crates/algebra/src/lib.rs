@@ -43,13 +43,13 @@ pub mod schema;
 pub mod tuple;
 pub mod value;
 
-pub use batch::{Batch, DEFAULT_BATCH_ROWS};
+pub use batch::{Batch, Bitmap, Column, DEFAULT_BATCH_ROWS};
 pub use date::Day;
 pub use error::{AlgebraError, Result};
 pub use expr::{ArithOp, CmpOp, Expr};
 pub use interval::Period;
 pub use logical::{AggFunc, AggSpec, Logical, ProjItem, SchemaSource};
-pub use order::{sort_tuples, SortKey, SortSpec};
+pub use order::{sort_tuples, BatchKeys, SortKey, SortSpec};
 pub use relation::Relation;
 pub use schema::{Attr, Schema};
 pub use tuple::{IntoValue, Tuple};

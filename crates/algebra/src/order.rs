@@ -1,7 +1,9 @@
 //! Sort orders and the `IsPrefixOf` predicate used by rules T10–T12.
 
+use crate::batch::Batch;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
+use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
@@ -209,6 +211,155 @@ pub fn sort_tuples(tuples: &mut Vec<Tuple>, spec: &SortSpec, schema: &Schema) {
     tuples.extend(order.into_iter().map(|i| src[i as usize].take().unwrap()));
 }
 
+/// Sort keys extracted once from a (usually columnar) batch: the flat-array
+/// equivalent of [`sort_tuples`]'s per-row key extraction. Comparisons,
+/// permutation sorts and parallel chunk merges all run over these arrays
+/// without touching tuples.
+///
+/// Ordering semantics are identical to [`SortSpec::comparator`]
+/// (`total_cmp`, stable on ties), so a permutation produced here applied
+/// via [`Batch::gather`] yields exactly the rows `sort_tuples` would.
+pub struct BatchKeys {
+    cols: Vec<(KeyVals, bool)>,
+}
+
+enum KeyVals {
+    /// All rows integer-like (`Int`/`Date`): exact `i64` ordering.
+    Ints(Vec<i64>),
+    /// Anything else: materialized values compared with `total_cmp`.
+    Vals(Vec<Value>),
+}
+
+impl BatchKeys {
+    /// Extract the key columns of `spec` from `batch` (resolved against
+    /// `schema`, which may differ from `batch.schema()` for qualified
+    /// names). Unresolvable keys are dropped, mirroring
+    /// [`SortSpec::resolve`].
+    pub fn extract(batch: &Batch, spec: &SortSpec, schema: &Schema) -> BatchKeys {
+        let n = batch.len();
+        let cols = spec
+            .resolve(schema)
+            .into_iter()
+            .map(|(i, desc)| {
+                if let Some(flat) = batch.int_col(i) {
+                    return (KeyVals::Ints(flat.to_vec()), desc);
+                }
+                let mut ints = Vec::with_capacity(n);
+                for r in 0..n {
+                    match batch.value_at(r, i).as_int() {
+                        Some(v) => ints.push(v),
+                        None => {
+                            let vals = (0..n).map(|r| batch.value_at(r, i)).collect();
+                            return (KeyVals::Vals(vals), desc);
+                        }
+                    }
+                }
+                (KeyVals::Ints(ints), desc)
+            })
+            .collect();
+        BatchKeys { cols }
+    }
+
+    /// No usable sort keys: the permutation is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Compare rows `a` and `b` under the extracted keys.
+    pub fn cmp(&self, a: usize, b: usize) -> Ordering {
+        for (col, desc) in &self.cols {
+            let o = match col {
+                KeyVals::Ints(v) => v[a].cmp(&v[b]),
+                KeyVals::Vals(v) => v[a].total_cmp(&v[b]),
+            };
+            let o = if *desc { o.reverse() } else { o };
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Stable sort permutation of rows `[lo, hi)`: returned indices applied
+    /// in order visit the range's rows in key order, ties in input order.
+    pub fn sort_range(&self, lo: usize, hi: usize) -> Vec<u32> {
+        // Packed one- and two-key all-integer sorts mirror the hot shapes
+        // of `sort_tuples` (descending keys negate; i64::MIN can't negate,
+        // so it falls back to the index sort).
+        let packed = |col: &(KeyVals, bool)| match col {
+            (KeyVals::Ints(v), false) => Some(v[lo..hi].to_vec()),
+            (KeyVals::Ints(v), true) if v[lo..hi].iter().all(|&x| x != i64::MIN) => {
+                Some(v[lo..hi].iter().map(|&x| -x).collect())
+            }
+            _ => None,
+        };
+        match &self.cols[..] {
+            [a] => {
+                if let Some(k) = packed(a) {
+                    let mut keyed: Vec<(i64, u32)> = k.into_iter().zip(lo as u32..).collect();
+                    keyed.sort_unstable();
+                    return keyed.into_iter().map(|(_, i)| i).collect();
+                }
+            }
+            [a, b] => {
+                if let (Some(ka), Some(kb)) = (packed(a), packed(b)) {
+                    let mut keyed: Vec<(i64, i64, u32)> = ka
+                        .into_iter()
+                        .zip(kb)
+                        .zip(lo as u32..)
+                        .map(|((a, b), i)| (a, b, i))
+                        .collect();
+                    keyed.sort_unstable();
+                    return keyed.into_iter().map(|(_, _, i)| i).collect();
+                }
+            }
+            _ => {}
+        }
+        let mut order: Vec<u32> = (lo as u32..hi as u32).collect();
+        order.sort_unstable_by(|&a, &b| self.cmp(a as usize, b as usize).then_with(|| a.cmp(&b)));
+        order
+    }
+
+    /// Merge sorted chunk permutations into one, breaking key ties by
+    /// global row index. For chunks covering contiguous ascending ranges
+    /// this reproduces the exact stable permutation [`Self::sort_range`]
+    /// would produce over the union — the invariant that makes parallel
+    /// chunked sorts byte-identical to sequential ones.
+    pub fn merge(&self, chunks: Vec<Vec<u32>>) -> Vec<u32> {
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut pos = vec![0usize; chunks.len()];
+        let mut out: Vec<u32> = Vec::with_capacity(total);
+        loop {
+            let mut best: Option<(usize, u32)> = None;
+            for (c, ch) in chunks.iter().enumerate() {
+                if pos[c] < ch.len() {
+                    let idx = ch[pos[c]];
+                    best = match best {
+                        None => Some((c, idx)),
+                        Some((bc, bi)) => {
+                            if self.cmp(idx as usize, bi as usize).then(idx.cmp(&bi))
+                                == Ordering::Less
+                            {
+                                Some((c, idx))
+                            } else {
+                                Some((bc, bi))
+                            }
+                        }
+                    };
+                }
+            }
+            match best {
+                Some((c, i)) => {
+                    out.push(i);
+                    pos[c] += 1;
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +383,38 @@ mod tests {
         let asc = SortSpec::by(["A"]);
         let desc = SortSpec(vec![SortKey::desc("A")]);
         assert!(!asc.is_prefix_of(&desc));
+    }
+
+    #[test]
+    fn batch_keys_match_sort_tuples() {
+        use crate::schema::Attr;
+        use crate::value::Type;
+        use std::sync::Arc;
+        let schema =
+            Arc::new(Schema::new(vec![Attr::new("A", Type::Int), Attr::new("B", Type::Str)]));
+        let mut x: u64 = 7;
+        let mut rows = Vec::new();
+        for _ in 0..257 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let a = ((x >> 33) % 17) as i64;
+            let b = format!("s{}", (x >> 13) % 5);
+            rows.push(Tuple(vec![Value::Int(a), Value::Str(b)]));
+        }
+        for spec in [
+            SortSpec(vec![SortKey::asc("A"), SortKey::desc("B")]),
+            SortSpec(vec![SortKey::desc("A")]),
+            SortSpec::by(["B", "A"]),
+        ] {
+            let mut expect = rows.clone();
+            sort_tuples(&mut expect, &spec, &schema);
+            let b = Batch::new(schema.clone(), rows.clone()).columnarize();
+            let keys = BatchKeys::extract(&b, &spec, &schema);
+            let perm = keys.sort_range(0, b.len());
+            assert_eq!(b.gather(&perm).into_rows(), expect);
+            // Chunked sorts + merge reproduce the sequential permutation.
+            let chunks =
+                vec![keys.sort_range(0, 100), keys.sort_range(100, 200), keys.sort_range(200, 257)];
+            assert_eq!(keys.merge(chunks), perm);
+        }
     }
 }

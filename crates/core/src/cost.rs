@@ -69,7 +69,11 @@ pub struct CostFactors {
 impl Default for CostFactors {
     /// Uncalibrated ballpark defaults (order-of-magnitude sane for an
     /// in-process engine talking over a LAN-profile wire). Calibration
-    /// replaces the load-bearing ones.
+    /// replaces the load-bearing ones — and because the calibration
+    /// probes drain the real `tango-xxl` cursors, the fitted middleware
+    /// factors automatically reflect the columnar batch loops (and any
+    /// `workers` setting) of the session being calibrated; the defaults
+    /// here stay fixed so uncalibrated plans are reproducible.
     fn default() -> Self {
         CostFactors {
             p_tm: 0.30,

@@ -25,7 +25,7 @@ use tango_minidb::{Connection, DbCursor, ErrorClass};
 use tango_stats::RelationStats;
 use tango_trace::{Collector, SpanEvent, SpanSite, SpanSlot, Stopwatch};
 use tango_xxl::{
-    BoxCursor, CachedScan, Coalesce, Cursor, DupElim, ExternalSort, Filter, MergeJoin,
+    BoxCursor, CachedScan, Coalesce, Cursor, DupElim, ExecOpts, ExternalSort, Filter, MergeJoin,
     NestedLoopJoin, Project, Sort, TemporalAggregate, TemporalDiff, TemporalMergeJoin, VecScan,
 };
 
@@ -186,6 +186,19 @@ pub fn execute_cached(
     trace: bool,
     cache: Option<&Arc<MidCache>>,
 ) -> Result<(Relation, ExecReport)> {
+    execute_cached_opts(conn, plan, trace, cache, ExecOpts::default())
+}
+
+/// [`execute_cached`] with explicit per-execution knobs (batch size and
+/// worker-pool width for the morsel-parallel operators). The default
+/// `ExecOpts` reproduces [`execute_cached`] exactly.
+pub fn execute_cached_opts(
+    conn: &Connection,
+    plan: &PhysNode,
+    trace: bool,
+    cache: Option<&Arc<MidCache>>,
+    exec: ExecOpts,
+) -> Result<(Relation, ExecReport)> {
     if plan.algo.site() != Site::Middleware {
         return Err(TangoError::Exec(
             "plan root must be middleware-resident (delivery to the client)".into(),
@@ -194,7 +207,7 @@ pub fn execute_cached(
     // meter this session's wire alone — the link clock is shared with
     // every other session on the database and would cross-charge
     let wire_before = conn.wire_time();
-    let mut ctx = Ctx::new(conn, trace, cache);
+    let mut ctx = Ctx::new(conn, trace, cache, exec);
     let started = Instant::now();
     let result = (|| -> Result<Relation> {
         let mut root = ctx.build_mid(plan)?;
@@ -203,7 +216,7 @@ pub fn execute_cached(
         let mut rows = Vec::new();
         // drive the root batch-at-a-time: one virtual dispatch per batch
         // instead of one per row
-        while let Some(b) = root.next_batch()? {
+        while let Some(b) = root.next_batch_of(exec.batch_rows)? {
             rows.extend(b.into_rows());
         }
         root.close()?;
@@ -264,6 +277,8 @@ pub struct AdaptiveOptions {
     /// Histogram buckets for statistics derived from materializations
     /// (0 disables histograms).
     pub histogram_buckets: usize,
+    /// Per-execution knobs (batch size, morsel-parallel worker pool).
+    pub exec: ExecOpts,
 }
 
 /// The outcome of one adaptive execution.
@@ -318,11 +333,18 @@ pub fn execute_adaptive(
             "plan root must be middleware-resident (delivery to the client)".into(),
         ));
     }
-    let AdaptiveOptions { mut catalog, factors, opt: options, residency, ratio, histogram_buckets } =
-        cfg;
+    let AdaptiveOptions {
+        mut catalog,
+        factors,
+        opt: options,
+        residency,
+        ratio,
+        histogram_buckets,
+        exec,
+    } = cfg;
     let naive = options.naive_overlaps;
     let wire_before = conn.wire_time();
-    let mut ctx = Ctx::new(conn, true, cache);
+    let mut ctx = Ctx::new(conn, true, cache, exec);
     let mut work = plan.clone();
     let mut mat_orders: HashMap<String, SortSpec> = HashMap::new();
     let mut replans = 0usize;
@@ -344,7 +366,7 @@ pub fn execute_adaptive(
             cur.open()?;
             let schema = cur.schema().clone();
             let mut rows = Vec::new();
-            while let Some(b) = cur.next_batch()? {
+            while let Some(b) = cur.next_batch_of(exec.batch_rows)? {
                 rows.extend(b.into_rows());
             }
             cur.close()?;
@@ -427,7 +449,7 @@ pub fn execute_adaptive(
         root.open()?;
         let schema = root.schema().clone();
         let mut rows = Vec::new();
-        while let Some(b) = root.next_batch()? {
+        while let Some(b) = root.next_batch_of(exec.batch_rows)? {
             rows.extend(b.into_rows());
         }
         root.close()?;
@@ -608,6 +630,8 @@ struct Ctx<'a> {
     /// plan: spans created after that point are annotated so the
     /// cost-factor feedback loop skips their (mixed-plan) observations.
     spliced: bool,
+    /// Per-execution knobs threaded into every operator constructor.
+    exec: ExecOpts,
 }
 
 /// One mid-query materialization held by the engine.
@@ -642,7 +666,12 @@ enum CacheDecision {
 }
 
 impl<'a> Ctx<'a> {
-    fn new(conn: &'a Connection, trace: bool, cache: Option<&Arc<MidCache>>) -> Ctx<'a> {
+    fn new(
+        conn: &'a Connection,
+        trace: bool,
+        cache: Option<&Arc<MidCache>>,
+        exec: ExecOpts,
+    ) -> Ctx<'a> {
         Ctx {
             conn,
             temp_tables: Vec::new(),
@@ -653,6 +682,7 @@ impl<'a> Ctx<'a> {
             cache: cache.cloned(),
             mats: HashMap::new(),
             spliced: false,
+            exec,
         }
     }
 
@@ -760,27 +790,38 @@ impl<'a> Ctx<'a> {
             }
             Algo::SortM(spec) => {
                 let (c, id) = self.build_mid_indexed(&node.children[0])?;
-                (Box::new(Sort::new(c, spec.clone())) as BoxCursor, vec![id])
+                (Box::new(Sort::with_opts(c, spec.clone(), self.exec)) as BoxCursor, vec![id])
             }
             Algo::SortXM(spec, run_rows) => {
                 let (c, id) = self.build_mid_indexed(&node.children[0])?;
-                (Box::new(ExternalSort::new(c, spec.clone(), *run_rows)) as BoxCursor, vec![id])
+                (
+                    Box::new(ExternalSort::with_opts(c, spec.clone(), *run_rows, self.exec))
+                        as BoxCursor,
+                    vec![id],
+                )
             }
             Algo::MergeJoinM(eq) => {
                 let (l, lid) = self.build_mid_indexed(&node.children[0])?;
                 let (r, rid) = self.build_mid_indexed(&node.children[1])?;
-                (Box::new(MergeJoin::new(l, r, eq)?) as BoxCursor, vec![lid, rid])
+                (Box::new(MergeJoin::with_opts(l, r, eq, self.exec)?) as BoxCursor, vec![lid, rid])
             }
             Algo::TMergeJoinM(eq) => {
                 let (l, lid) = self.build_mid_indexed(&node.children[0])?;
                 let (r, rid) = self.build_mid_indexed(&node.children[1])?;
-                (Box::new(TemporalMergeJoin::new(l, r, eq)?) as BoxCursor, vec![lid, rid])
+                (
+                    Box::new(TemporalMergeJoin::with_opts(l, r, eq, self.exec)?) as BoxCursor,
+                    vec![lid, rid],
+                )
             }
             Algo::TAggrM { group_by, aggs } => {
                 let (c, id) = self.build_mid_indexed(&node.children[0])?;
                 (
-                    Box::new(TemporalAggregate::new(c, group_by.clone(), aggs.clone())?)
-                        as BoxCursor,
+                    Box::new(TemporalAggregate::with_opts(
+                        c,
+                        group_by.clone(),
+                        aggs.clone(),
+                        self.exec,
+                    )?) as BoxCursor,
                     vec![id],
                 )
             }
@@ -790,7 +831,7 @@ impl<'a> Ctx<'a> {
             }
             Algo::CoalesceM => {
                 let (c, id) = self.build_mid_indexed(&node.children[0])?;
-                (Box::new(Coalesce::new(c)?) as BoxCursor, vec![id])
+                (Box::new(Coalesce::with_opts(c, self.exec)?) as BoxCursor, vec![id])
             }
             Algo::TDiffM => {
                 let (l, lid) = self.build_mid_indexed(&node.children[0])?;

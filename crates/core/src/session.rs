@@ -67,6 +67,16 @@ pub struct TangoOptions {
     /// be admitted. `false` restores admit-everything behavior, relying
     /// on GreedyDual-Size eviction alone. Default `true`.
     pub cache_admission: bool,
+    /// Rows per batch pulled between operators, per session. `None` (the
+    /// default) falls back to the deprecated process-wide
+    /// [`tango_xxl::set_batch_rows`] knob.
+    pub batch_rows: Option<usize>,
+    /// Worker threads for the morsel-parallel middleware operators
+    /// (sorts, joins, TAGGR). `1` (the default) runs everything
+    /// sequentially — today's exact plans, traces and golden EXPLAIN
+    /// ANALYZE output; `0` auto-sizes to the host's available
+    /// parallelism.
+    pub workers: usize,
 }
 
 impl Default for TangoOptions {
@@ -79,6 +89,23 @@ impl Default for TangoOptions {
             cache_budget: Some(DEFAULT_CACHE_BUDGET),
             cache_shards: DEFAULT_CACHE_SHARDS,
             cache_admission: true,
+            batch_rows: None,
+            workers: 1,
+        }
+    }
+}
+
+impl TangoOptions {
+    /// Resolve the per-execution knobs: the session's `batch_rows`
+    /// (falling back to the process-wide default) and the worker-pool
+    /// width (`0` = the host's available parallelism).
+    pub fn exec_opts(&self) -> tango_xxl::ExecOpts {
+        tango_xxl::ExecOpts {
+            batch_rows: self.batch_rows.unwrap_or_else(tango_xxl::batch_rows).max(1),
+            workers: match self.workers {
+                0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+                n => n,
+            },
         }
     }
 }
@@ -424,6 +451,7 @@ impl Tango {
                     } else {
                         0
                     },
+                    exec: self.options.exec_opts(),
                 };
                 let run = engine::execute_adaptive(
                     &self.conn,
@@ -444,7 +472,13 @@ impl Tango {
                 optimized.plan = run.plan;
                 (run.rel, run.report)
             }
-            None => engine::execute_cached(&self.conn, &optimized.plan, true, self.active_cache())?,
+            None => engine::execute_cached_opts(
+                &self.conn,
+                &optimized.plan,
+                true,
+                self.active_cache(),
+                self.options.exec_opts(),
+            )?,
         };
         if self.options.feedback {
             feedback::apply_feedback(&mut self.factors, &exec, self.options.feedback_alpha);
@@ -455,7 +489,13 @@ impl Tango {
     /// Execute a hand-built physical plan (the performance study runs
     /// the paper's fixed Plans 1..n this way).
     pub fn execute_physical(&mut self, plan: &PhysNode) -> Result<(Relation, ExecReport)> {
-        let (rel, exec) = engine::execute_cached(&self.conn, plan, true, self.active_cache())?;
+        let (rel, exec) = engine::execute_cached_opts(
+            &self.conn,
+            plan,
+            true,
+            self.active_cache(),
+            self.options.exec_opts(),
+        )?;
         if self.options.feedback {
             feedback::apply_feedback(&mut self.factors, &exec, self.options.feedback_alpha);
         }

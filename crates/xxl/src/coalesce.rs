@@ -7,7 +7,7 @@
 //! The input must be sorted on (all non-temporal attributes, `T1`); the
 //! output is sorted the same way.
 
-use crate::cursor::{BatchBuffered, BoxCursor, Cursor, ExecError, Result};
+use crate::cursor::{BatchBuffered, BoxCursor, Cursor, ExecError, ExecOpts, Result};
 use std::sync::Arc;
 use tango_algebra::{Period, Schema, Tuple, Type, Value};
 
@@ -29,7 +29,13 @@ impl Coalesce {
     /// Build over `input`, which must be temporal and sorted on (value
     /// attributes, `T1`).
     pub fn new(input: BoxCursor) -> Result<Self> {
-        let input = BatchBuffered::new(input);
+        Self::with_opts(input, ExecOpts::default())
+    }
+
+    /// Like [`Coalesce::new`] with explicit execution knobs (the merge
+    /// scan is inherently sequential, so only `batch_rows` applies).
+    pub fn with_opts(input: BoxCursor, opts: ExecOpts) -> Result<Self> {
+        let input = BatchBuffered::with_rows(input, opts.batch_rows);
         let schema = input.schema();
         let period = schema
             .period()

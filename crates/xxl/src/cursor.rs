@@ -24,10 +24,33 @@ pub fn batch_rows() -> usize {
 }
 
 /// Set the process-wide target batch size (clamped to at least 1).
-/// Intended for benchmarks and tests; concurrent executions in the same
-/// process share the setting.
+///
+/// **Deprecated default**: concurrent sessions in one process share this
+/// atomic, so prefer the per-session knob (`TangoOptions::batch_rows` in
+/// `tango-core`, threaded to operators as [`ExecOpts::batch_rows`]). The
+/// global remains as the default for sessions that don't set their own.
 pub fn set_batch_rows(n: usize) {
     BATCH_ROWS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Per-execution knobs threaded from the session options through the
+/// engine into every operator constructor (`with_opts`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOpts {
+    /// Rows per batch pulled between operators. Captured once per
+    /// execution so concurrent sessions cannot race on the process-wide
+    /// [`set_batch_rows`] knob.
+    pub batch_rows: usize,
+    /// Worker threads for morsel-driven parallel pipeline breakers
+    /// (sorts, joins, TAGGR). `1` = sequential execution — today's exact
+    /// plans, traces and golden EXPLAIN ANALYZE output.
+    pub workers: usize,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts { batch_rows: batch_rows(), workers: 1 }
+    }
 }
 
 /// Errors raised during pipelined execution.
@@ -184,6 +207,25 @@ pub fn drain(c: &mut dyn Cursor) -> Result<Vec<Tuple>> {
     Ok(tuples)
 }
 
+/// Like [`drain`] with an explicit per-pull batch-size target.
+pub fn drain_of(c: &mut dyn Cursor, rows: usize) -> Result<Vec<Tuple>> {
+    let mut tuples = Vec::new();
+    while let Some(b) = c.next_batch_of(rows)? {
+        tuples.extend(b.into_rows());
+    }
+    Ok(tuples)
+}
+
+/// Drain an already-open cursor into whole batches (no materialization),
+/// for pipeline breakers that columnarize their input.
+pub fn drain_batches(c: &mut dyn Cursor, rows: usize) -> Result<Vec<Batch>> {
+    let mut out = Vec::new();
+    while let Some(b) = c.next_batch_of(rows)? {
+        out.push(b);
+    }
+    Ok(out)
+}
+
 /// Buffers an input cursor batch-at-a-time while exposing a cheap
 /// per-row [`BatchBuffered::next`]. Stream-merging operators (joins,
 /// aggregation, coalescing) hold their inputs in this adapter: their
@@ -194,12 +236,21 @@ pub struct BatchBuffered {
     inner: BoxCursor,
     buf: VecDeque<Tuple>,
     done: bool,
+    rows: usize,
 }
 
 impl BatchBuffered {
     /// Wrap `inner`; rows are pulled through the wrapper from `open` on.
+    /// The per-refill batch size is captured from the process-wide default
+    /// at construction; use [`BatchBuffered::with_rows`] for a per-session
+    /// size.
     pub fn new(inner: BoxCursor) -> Self {
-        BatchBuffered { inner, buf: VecDeque::new(), done: false }
+        Self::with_rows(inner, batch_rows())
+    }
+
+    /// Wrap `inner` with an explicit per-refill batch-size target.
+    pub fn with_rows(inner: BoxCursor, rows: usize) -> Self {
+        BatchBuffered { inner, buf: VecDeque::new(), done: false, rows: rows.max(1) }
     }
 
     /// The wrapped cursor's schema.
@@ -230,7 +281,7 @@ impl BatchBuffered {
         if self.done {
             return Ok(None);
         }
-        match self.inner.next_batch()? {
+        match self.inner.next_batch_of(self.rows)? {
             Some(b) => {
                 self.buf.extend(b.into_rows());
                 Ok(self.buf.pop_front())

@@ -63,6 +63,39 @@ impl Cursor for Filter {
             let Some(b) = self.input.next_batch_of(max_rows)? else {
                 return Ok(None);
             };
+            if b.is_columnar() {
+                // Vectorized path: a tri-state kernel over the flat columns
+                // where the predicate shape supports one, per-row
+                // materialization where it doesn't; survivors are gathered
+                // into a fresh columnar batch (or the input batch is passed
+                // through untouched when nothing drops).
+                let n = b.len();
+                let sel: Vec<u32> = match pred.eval_batch_tri(&b) {
+                    Some(tri) => tri
+                        .iter()
+                        .enumerate()
+                        .filter(|&(_, &t)| t == 1)
+                        .map(|(i, _)| i as u32)
+                        .collect(),
+                    None => {
+                        let mut sel = Vec::new();
+                        for i in 0..n {
+                            if pred.matches(&b.tuple_at(i))? {
+                                sel.push(i as u32);
+                            }
+                        }
+                        sel
+                    }
+                };
+                self.dropped += (n - sel.len()) as u64;
+                if sel.len() == n {
+                    return Ok(Some(b));
+                }
+                if !sel.is_empty() {
+                    return Ok(Some(b.gather(&sel)));
+                }
+                continue;
+            }
             let mut rows = b.into_rows();
             let mut kept = 0usize;
             for i in 0..rows.len() {

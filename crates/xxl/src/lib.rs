@@ -13,11 +13,18 @@
 //! Cursors also support *batch-at-a-time* pulls via
 //! [`Cursor::next_batch`]: every algorithm answers batch requests (a
 //! default implementation loops `next`), the bulk operators (scan,
-//! filter, project, sort, dedup, aggregation) produce batches natively,
-//! and the stream-merging operators amortize their input dispatch with
-//! [`cursor::BatchBuffered`]. The process-wide batch size is read by
-//! [`cursor::batch_rows`] and set by [`cursor::set_batch_rows`]; size 1
-//! degenerates to row-at-a-time execution.
+//! filter, project, sort, dedup, aggregation) produce batches natively
+//! over tango-algebra's columnar `Batch` layout, and the stream-merging
+//! operators amortize their input dispatch with
+//! [`cursor::BatchBuffered`]. Execution knobs travel per operator
+//! instance as [`ExecOpts`] (every algorithm has a `with_opts`
+//! constructor): `batch_rows` sets the batch size (1 degenerates to
+//! row-at-a-time execution; the process-wide
+//! [`cursor::batch_rows`]/[`cursor::set_batch_rows`] knob survives as
+//! the deprecated default) and `workers` sizes the morsel-driven worker
+//! pool of the [`par`] module — the heavy stages (sorts, the merge
+//! joins, `TAGGR^M`) split into ~64k-row morsels, execute on scoped
+//! threads and merge order-preserving, byte-identical to `workers = 1`.
 //!
 //! Inventory:
 //!
@@ -71,6 +78,7 @@ pub mod dedup;
 pub mod filter;
 pub mod merge_join;
 pub mod nested_loop;
+pub mod par;
 pub mod project;
 pub mod scan;
 pub mod set_ops;
@@ -81,13 +89,14 @@ pub mod temporal_join;
 
 pub use coalesce::Coalesce;
 pub use cursor::{
-    batch_rows, collect, collect_batched, set_batch_rows, BatchBuffered, BoxCursor, Cursor,
-    ExecError, Result,
+    batch_rows, collect, collect_batched, drain_batches, drain_of, set_batch_rows, BatchBuffered,
+    BoxCursor, Cursor, ExecError, ExecOpts, Result,
 };
 pub use dedup::DupElim;
 pub use filter::Filter;
 pub use merge_join::MergeJoin;
 pub use nested_loop::NestedLoopJoin;
+pub use par::{morsel_ranges, run_ordered, ParStats, MORSEL_ROWS};
 pub use project::Project;
 pub use scan::{CachedScan, VecScan};
 pub use set_ops::{ExceptAll, IntersectAll, UnionAll};

@@ -14,6 +14,10 @@ pub struct Project {
     items: Vec<ProjItem>,
     schema: Arc<Schema>,
     bound: Vec<Expr>,
+    /// When every projection item is a bare column reference, the resolved
+    /// indices: columnar input batches are answered by a zero-copy column
+    /// pick instead of per-row expression evaluation.
+    col_pick: Option<Vec<usize>>,
 }
 
 impl Project {
@@ -26,7 +30,7 @@ impl Project {
             attrs.push(Attr::new(it.alias.clone(), infer_type(&it.expr, in_schema)?));
         }
         let schema = Arc::new(Schema::with_inferred_period(attrs));
-        Ok(Project { input, items, schema, bound: Vec::new() })
+        Ok(Project { input, items, schema, bound: Vec::new(), col_pick: None })
     }
 
     /// Projection onto plain columns.
@@ -47,6 +51,14 @@ impl Cursor for Project {
             .iter()
             .map(|it| it.expr.bound(self.input.schema()))
             .collect::<tango_algebra::Result<_>>()?;
+        self.col_pick = self
+            .bound
+            .iter()
+            .map(|e| match e {
+                Expr::Col { index: Some(i), .. } => Some(*i),
+                _ => None,
+            })
+            .collect();
         Ok(())
     }
 
@@ -73,8 +85,14 @@ impl Cursor for Project {
         let Some(b) = self.input.next_batch_of(max_rows)? else {
             return Ok(None);
         };
-        let mut rows = Vec::with_capacity(b.len());
-        for t in b.rows() {
+        if let Some(pick) = &self.col_pick {
+            if let Some(out) = b.select_columns(pick, self.schema.clone()) {
+                return Ok(Some(out));
+            }
+        }
+        let in_rows = b.into_rows();
+        let mut rows = Vec::with_capacity(in_rows.len());
+        for t in &in_rows {
             let mut out = Vec::with_capacity(self.bound.len());
             for e in &self.bound {
                 out.push(e.eval(t)?);

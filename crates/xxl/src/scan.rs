@@ -137,8 +137,8 @@ mod tests {
         c.open().unwrap();
         let mut n = 0;
         while let Some(b) = c.next_batch_of(2).unwrap() {
-            assert!(!b.rows().is_empty());
-            n += b.rows().len();
+            assert!(!b.is_empty());
+            n += b.len();
         }
         assert_eq!(n, rows.len());
     }

@@ -2,39 +2,55 @@
 //!
 //! Two implementations share the operator interface:
 //!
-//! * [`Sort`] materializes its input and sorts in memory (the default; the
-//!   paper's prototype worked in memory and listed very-large-relation
-//!   support as future work), and
+//! * [`Sort`] materializes its input, columnarizes it, and sorts by
+//!   permutation over flat key arrays (the default; the paper's prototype
+//!   worked in memory and listed very-large-relation support as future
+//!   work). With `workers > 1` the permutation is computed over
+//!   morsel-sized chunks in parallel and stable-merged — byte-identical
+//!   to the sequential sort.
 //! * [`ExternalSort`] is that future work: it spills sorted runs to
 //!   temporary files using the binary tuple codec and k-way merges them,
-//!   bounding memory by the run size.
+//!   bounding memory by the run size. With `workers > 1`, up to `workers`
+//!   run chunks are sorted concurrently before being spilled in input
+//!   order, so the run files are identical to a sequential spill.
 //!
 //! Both sorts are stable, so they refine any pre-existing order — a
 //! property rule T12 (`sort_A(sort_B(r)) → sort_A(r)` when
 //! `IsPrefixOf(B, A)`) depends on.
 
-use crate::cursor::{drain, BoxCursor, Cursor, ExecError, Result};
+use crate::cursor::{drain_batches, BoxCursor, Cursor, ExecError, ExecOpts, Result};
+use crate::par::{morsel_ranges, run_ordered, ParStats};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tango_algebra::codec::{encode_tuple, Decoder};
-use tango_algebra::{sort_tuples, Batch, Schema, SortSpec, Tuple};
+use tango_algebra::{sort_tuples, Batch, BatchKeys, Schema, SortSpec, Tuple};
 
-/// In-memory sort.
+/// In-memory sort: columnar permutation sort with an optional parallel
+/// chunk phase.
 pub struct Sort {
     input: BoxCursor,
     spec: SortSpec,
-    out: Option<std::vec::IntoIter<Tuple>>,
+    opts: ExecOpts,
+    sorted: Option<Batch>,
+    pos: usize,
     buffered: u64,
+    par: Option<ParStats>,
 }
 
 impl Sort {
     /// Sort `input` by `spec` (stable; materializes at open).
     pub fn new(input: BoxCursor, spec: SortSpec) -> Self {
-        Sort { input, spec, out: None, buffered: 0 }
+        Self::with_opts(input, spec, ExecOpts::default())
+    }
+
+    /// Like [`Sort::new`] with explicit execution knobs (batch size and
+    /// worker-pool width).
+    pub fn with_opts(input: BoxCursor, spec: SortSpec, opts: ExecOpts) -> Self {
+        Sort { input, spec, opts, sorted: None, pos: 0, buffered: 0, par: None }
     }
 }
 
@@ -45,39 +61,68 @@ impl Cursor for Sort {
 
     fn open(&mut self) -> Result<()> {
         self.input.open()?;
-        let mut tuples = drain(self.input.as_mut())?;
-        self.buffered = tuples.len() as u64;
-        sort_tuples(&mut tuples, &self.spec, self.input.schema());
-        self.out = Some(tuples.into_iter());
+        let schema = self.input.schema().clone();
+        let batches = drain_batches(self.input.as_mut(), self.opts.batch_rows)?;
+        let data = Batch::concat(schema.clone(), batches);
+        self.buffered = data.len() as u64;
+        self.pos = 0;
+        let keys = BatchKeys::extract(&data, &self.spec, &schema);
+        if data.is_empty() || keys.is_empty() {
+            self.sorted = Some(data);
+            return Ok(());
+        }
+        let n = data.len();
+        let ranges = morsel_ranges(n, self.opts.workers);
+        let perm = if ranges.len() > 1 {
+            let keys_ref = &keys;
+            let jobs: Vec<_> =
+                ranges.into_iter().map(|(lo, hi)| move || keys_ref.sort_range(lo, hi)).collect();
+            let (chunks, stats) = run_ordered(self.opts.workers, jobs);
+            self.par = Some(stats);
+            keys.merge(chunks)
+        } else {
+            keys.sort_range(0, n)
+        };
+        self.sorted = Some(data.gather(&perm));
         Ok(())
     }
 
     fn next(&mut self) -> Result<Option<Tuple>> {
-        match &mut self.out {
-            Some(it) => Ok(it.next()),
-            None => Err(ExecError::State("sort not opened".into())),
+        let Some(s) = self.sorted.as_ref() else {
+            return Err(ExecError::State("sort not opened".into()));
+        };
+        if self.pos >= s.len() {
+            return Ok(None);
         }
+        let t = s.tuple_at(self.pos);
+        self.pos += 1;
+        Ok(Some(t))
     }
 
     fn next_batch_of(&mut self, max_rows: usize) -> Result<Option<Batch>> {
-        let Some(it) = self.out.as_mut() else {
+        let Some(s) = self.sorted.as_ref() else {
             return Err(ExecError::State("sort not opened".into()));
         };
-        let rows: Vec<Tuple> = it.by_ref().take(max_rows.max(1)).collect();
-        if rows.is_empty() {
-            Ok(None)
-        } else {
-            Ok(Some(Batch::new(self.input.schema().clone(), rows)))
+        let n = (s.len() - self.pos).min(max_rows.max(1));
+        if n == 0 {
+            return Ok(None);
         }
+        let b = s.slice(self.pos, n);
+        self.pos += n;
+        Ok(Some(b))
     }
 
     fn close(&mut self) -> Result<()> {
-        self.out = None;
+        self.sorted = None;
         self.input.close()
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![("rows_buffered", self.buffered)]
+        let mut out = vec![("rows_buffered", self.buffered)];
+        if let Some(par) = &self.par {
+            out.extend(par.counters());
+        }
+        out
     }
 }
 
@@ -87,9 +132,11 @@ pub struct ExternalSort {
     input: BoxCursor,
     spec: SortSpec,
     run_size: usize,
+    opts: ExecOpts,
     merge: Option<MergeState>,
     runs_spilled: u64,
     rows_spilled: u64,
+    par: Option<ParStats>,
 }
 
 struct Run {
@@ -118,6 +165,27 @@ impl Run {
             .map_err(|e| ExecError::State(format!("spill read: {e}")))?;
         Ok(Some(Decoder::new(&buf).decode_tuple()?))
     }
+}
+
+/// Write one already-sorted run to a fresh spill file.
+fn spill_run(chunk: Vec<Tuple>, dir: &Path) -> Result<Run> {
+    static RUN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let id = RUN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let path = dir.join(format!("tango-sort-{}-{id}.run", std::process::id()));
+    let file = File::create(&path).map_err(|e| ExecError::State(format!("spill create: {e}")))?;
+    let mut w = BufWriter::new(file);
+    let mut buf = Vec::new();
+    for t in chunk {
+        buf.clear();
+        encode_tuple(&t, &mut buf);
+        w.write_all(&(buf.len() as u32).to_le_bytes())
+            .and_then(|_| w.write_all(&buf))
+            .map_err(|e| ExecError::State(format!("spill write: {e}")))?;
+    }
+    w.flush().map_err(|e| ExecError::State(format!("spill flush: {e}")))?;
+    drop(w);
+    let file = File::open(&path).map_err(|e| ExecError::State(format!("spill open: {e}")))?;
+    Ok(Run { reader: BufReader::new(file), path })
 }
 
 struct HeapEntry {
@@ -167,13 +235,24 @@ impl ExternalSort {
     /// Sort `input` by `spec`, spilling sorted runs of `run_size` tuples
     /// to temporary files and merging them on demand.
     pub fn new(input: BoxCursor, spec: SortSpec, run_size: usize) -> Self {
+        Self::with_opts(input, spec, run_size, ExecOpts::default())
+    }
+
+    /// Like [`ExternalSort::new`] with explicit execution knobs. With
+    /// `workers > 1`, run chunks accumulate until the pool is full and are
+    /// then sorted concurrently; spilling stays in input order so the run
+    /// files (and all downstream results) are byte-identical to a
+    /// sequential spill.
+    pub fn with_opts(input: BoxCursor, spec: SortSpec, run_size: usize, opts: ExecOpts) -> Self {
         ExternalSort {
             input,
             spec,
             run_size: run_size.max(2),
+            opts,
             merge: None,
             runs_spilled: 0,
             rows_spilled: 0,
+            par: None,
         }
     }
 }
@@ -189,42 +268,52 @@ impl Cursor for ExternalSort {
         let schema = self.input.schema().clone();
         let keys = self.spec.resolve(self.input.schema());
         let dir = std::env::temp_dir();
-        let mut runs = Vec::new();
+        let workers = self.opts.workers.max(1);
+        let mut runs: Vec<Run> = Vec::new();
+        let mut par = ParStats::default();
+        let mut pending: Vec<Vec<Tuple>> = Vec::new();
         let mut chunk: Vec<Tuple> = Vec::with_capacity(self.run_size);
-        let mut spill = |chunk: &mut Vec<Tuple>| -> Result<()> {
-            if chunk.is_empty() {
+        let flush = |pending: &mut Vec<Vec<Tuple>>,
+                     runs: &mut Vec<Run>,
+                     par: &mut ParStats|
+         -> Result<()> {
+            if pending.is_empty() {
                 return Ok(());
             }
-            sort_tuples(chunk, &spec, &schema);
-            static RUN_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-            let id = RUN_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            let path = dir.join(format!("tango-sort-{}-{id}.run", std::process::id()));
-            let file =
-                File::create(&path).map_err(|e| ExecError::State(format!("spill create: {e}")))?;
-            let mut w = BufWriter::new(file);
-            let mut buf = Vec::new();
-            for t in chunk.drain(..) {
-                buf.clear();
-                encode_tuple(&t, &mut buf);
-                w.write_all(&(buf.len() as u32).to_le_bytes())
-                    .and_then(|_| w.write_all(&buf))
-                    .map_err(|e| ExecError::State(format!("spill write: {e}")))?;
+            let (spec, schema) = (&spec, &schema);
+            let jobs: Vec<_> = std::mem::take(pending)
+                .into_iter()
+                .map(|mut c| {
+                    move || {
+                        sort_tuples(&mut c, spec, schema);
+                        c
+                    }
+                })
+                .collect();
+            let (sorted, stats) = run_ordered(workers, jobs);
+            par.absorb(&stats);
+            for c in sorted {
+                runs.push(spill_run(c, &dir)?);
             }
-            w.flush().map_err(|e| ExecError::State(format!("spill flush: {e}")))?;
-            drop(w);
-            let file =
-                File::open(&path).map_err(|e| ExecError::State(format!("spill open: {e}")))?;
-            runs.push(Run { reader: BufReader::new(file), path });
             Ok(())
         };
         while let Some(t) = self.input.next()? {
             self.rows_spilled += 1;
             chunk.push(t);
             if chunk.len() >= self.run_size {
-                spill(&mut chunk)?;
+                pending.push(std::mem::take(&mut chunk));
+                if pending.len() >= workers {
+                    flush(&mut pending, &mut runs, &mut par)?;
+                }
             }
         }
-        spill(&mut chunk)?;
+        if !chunk.is_empty() {
+            pending.push(chunk);
+        }
+        flush(&mut pending, &mut runs, &mut par)?;
+        if workers > 1 {
+            self.par = Some(par);
+        }
         self.runs_spilled = runs.len() as u64;
         let mut heap = BinaryHeap::with_capacity(runs.len());
         let mut seq = 0usize;
@@ -284,7 +373,12 @@ impl Cursor for ExternalSort {
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![("runs_spilled", self.runs_spilled), ("rows_spilled", self.rows_spilled)]
+        let mut out =
+            vec![("runs_spilled", self.runs_spilled), ("rows_spilled", self.rows_spilled)];
+        if let Some(par) = &self.par {
+            out.extend(par.counters());
+        }
+        out
     }
 }
 
@@ -323,6 +417,31 @@ mod tests {
         assert_eq!(got.tuples()[2][1], Value::Str("second".into()));
     }
 
+    #[test]
+    fn parallel_sort_matches_sequential() {
+        let mut x = 9u64;
+        let vals: Vec<(i64, i64)> = (0..5000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (((x >> 33) % 100) as i64, ((x >> 11) % 100) as i64)
+            })
+            .collect();
+        let spec = SortSpec::by(["A", "B"]);
+        let seq =
+            collect(Box::new(Sort::new(Box::new(VecScan::new(rel(vals.clone()))), spec.clone())))
+                .unwrap();
+        for workers in [2, 8] {
+            let opts = ExecOpts { workers, ..ExecOpts::default() };
+            let par = collect(Box::new(Sort::with_opts(
+                Box::new(VecScan::new(rel(vals.clone()))),
+                spec.clone(),
+                opts,
+            )))
+            .unwrap();
+            assert!(seq.list_eq(&par), "parallel sort diverged at workers={workers}");
+        }
+    }
+
     proptest! {
         #[test]
         fn external_sort_matches_in_memory(vals in proptest::collection::vec((0i64..50, 0i64..50), 0..200), run in 2usize..40) {
@@ -330,6 +449,15 @@ mod tests {
             let mem = collect(Box::new(Sort::new(Box::new(VecScan::new(rel(vals.clone()))), spec.clone()))).unwrap();
             let ext = collect(Box::new(ExternalSort::new(Box::new(VecScan::new(rel(vals))), spec, run))).unwrap();
             prop_assert!(mem.list_eq(&ext), "external sort diverged from in-memory sort");
+        }
+
+        #[test]
+        fn parallel_external_sort_matches(vals in proptest::collection::vec((0i64..50, 0i64..50), 0..300), run in 2usize..40) {
+            let spec = SortSpec::by(["A", "B"]);
+            let seq = collect(Box::new(ExternalSort::new(Box::new(VecScan::new(rel(vals.clone()))), spec.clone(), run))).unwrap();
+            let opts = ExecOpts { workers: 4, ..ExecOpts::default() };
+            let par = collect(Box::new(ExternalSort::with_opts(Box::new(VecScan::new(rel(vals))), spec, run, opts))).unwrap();
+            prop_assert!(seq.list_eq(&par), "parallel external sort diverged");
         }
     }
 }

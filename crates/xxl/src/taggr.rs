@@ -4,52 +4,79 @@
 //! algorithm internally sorts a second copy of each group on `T2` and
 //! traverses both "similarly to sort-merge join", computing aggregate
 //! values group by group over the *constant periods* induced by the
-//! period endpoints. Each input tuple is read once and only one group is
-//! resident at a time.
+//! period endpoints.
+//!
+//! TAGGR is a pipeline breaker, so the cursor materializes its input as
+//! one columnar batch at `open` and runs the sweep over flat arrays:
+//! group boundaries come from extracted key columns, period endpoints
+//! from a flat `(start, end)` pair of `i64` vectors, and output rows are
+//! built column-at-a-time. With `workers > 1` the groups are partitioned
+//! into ~morsel-sized chunks (groups never span a chunk) and swept
+//! concurrently; chunk outputs are concatenated in group order, so the
+//! result is byte-identical to the sequential sweep.
 //!
 //! The output is ordered on (grouping attributes, `T1`), which is why
 //! Query 1's best plan needs no final sort (Figure 7, Plan 1).
 
-use crate::cursor::{BatchBuffered, BoxCursor, Cursor, ExecError, Result};
+use crate::cursor::{drain_batches, BoxCursor, Cursor, ExecError, ExecOpts, Result};
+use crate::par::{run_ordered, ParStats, MORSEL_ROWS};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use tango_algebra::logical::taggr_schema;
 use tango_algebra::value::Key;
-use tango_algebra::{AggFunc, AggSpec, Batch, Day, Schema, Tuple, Type, Value};
+use tango_algebra::{
+    AggFunc, AggSpec, Batch, BatchKeys, Column, Day, Schema, SortSpec, Tuple, Type, Value,
+};
+
+/// Sentinel for "no valid day" in the flattened period-endpoint arrays
+/// (no valid day is ever `i64::MIN`; days fit in `i32`).
+const NO_DAY: i64 = i64::MIN;
 
 /// The `TAGGR^M` cursor: temporal aggregation by a sweep over each
 /// group's constant periods (Section 3.4 of the paper). Input must be
 /// sorted on (group attributes, `T1`).
 pub struct TemporalAggregate {
-    input: BatchBuffered,
+    input: BoxCursor,
+    opts: ExecOpts,
+    group_by: Vec<String>,
     group_idx: Vec<usize>,
     agg_arg_idx: Vec<Option<usize>>,
+    aggs: Vec<AggSpec>,
     period: (usize, usize),
     date_typed: bool,
     schema: Arc<Schema>,
-    /// Lookahead tuple belonging to the *next* group.
-    pending: Option<Tuple>,
-    /// Constant-period rows not yet handed out; `out_pos` marks the next
-    /// one (already-emitted slots hold empty husk tuples).
-    out: Vec<Tuple>,
+    /// The whole input, columnar, resident from `open` on.
+    data: Option<Batch>,
+    /// Row ranges of the input's groups, in input order.
+    bounds: Vec<(u32, u32)>,
+    /// Next `bounds` entry the lazy sequential path will sweep.
+    next_group: usize,
+    /// Flat period endpoints per input row ([`NO_DAY`] = empty/null).
+    starts_all: Vec<i64>,
+    ends_all: Vec<i64>,
+    /// Computed output not yet handed out (`out_pos` = next row).
+    out: Option<Batch>,
     out_pos: usize,
     opened: bool,
-    done: bool,
     groups: u64,
     constant_periods: u64,
-    // Per-group scratch, reused across groups so a run with many small
-    // groups doesn't reallocate per group.
-    group: Vec<Tuple>,
-    starts: Vec<Day>,
-    ends: Vec<Day>,
-    by_end: Vec<usize>,
-    states: Vec<Box<dyn AggState>>,
+    par: Option<ParStats>,
 }
 
 impl TemporalAggregate {
     /// Aggregate `input` per `group_by` combination over every constant
     /// period; `aggs` define the computed columns.
     pub fn new(input: BoxCursor, group_by: Vec<String>, aggs: Vec<AggSpec>) -> Result<Self> {
+        Self::with_opts(input, group_by, aggs, ExecOpts::default())
+    }
+
+    /// Like [`TemporalAggregate::new`] with explicit execution knobs.
+    pub fn with_opts(
+        input: BoxCursor,
+        group_by: Vec<String>,
+        aggs: Vec<AggSpec>,
+        opts: ExecOpts,
+    ) -> Result<Self> {
         let in_schema = input.schema();
         let period = in_schema
             .period()
@@ -67,126 +94,127 @@ impl TemporalAggregate {
         }
         let date_typed = matches!(in_schema.attr(period.0).ty, Type::Date);
         let schema = Arc::new(taggr_schema(&group_by, &aggs, in_schema)?);
-        let input = BatchBuffered::new(input);
-        let states = aggs.iter().map(|a| new_state(a.func)).collect();
         Ok(TemporalAggregate {
             input,
+            opts,
+            group_by,
             group_idx,
             agg_arg_idx,
+            aggs,
             period,
             date_typed,
             schema,
-            pending: None,
-            out: Vec::new(),
+            data: None,
+            bounds: Vec::new(),
+            next_group: 0,
+            starts_all: Vec::new(),
+            ends_all: Vec::new(),
+            out: None,
             out_pos: 0,
             opened: false,
-            done: false,
             groups: 0,
             constant_periods: 0,
-            group: Vec::new(),
-            starts: Vec::new(),
-            ends: Vec::new(),
-            by_end: Vec::new(),
-            states,
+            par: None,
         })
     }
 
-    fn same_group(&self, a: &Tuple, b: &Tuple) -> bool {
-        self.group_idx.iter().all(|&i| a[i].total_cmp(&b[i]) == std::cmp::Ordering::Equal)
+    /// Sweep all groups in parallel morsels and stage the whole output.
+    fn run_parallel(&mut self) -> Result<()> {
+        let data = self.data.as_ref().expect("opened");
+        let total_rows = data.len();
+        let target = MORSEL_ROWS.min(total_rows.div_ceil(self.opts.workers)).max(1);
+        // Chunk whole groups by accumulated input rows so no group spans
+        // two morsels.
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
+        let (mut start, mut acc) = (0usize, 0usize);
+        for (i, &(lo, hi)) in self.bounds.iter().enumerate() {
+            acc += (hi - lo) as usize;
+            if acc >= target {
+                chunks.push((start, i + 1));
+                start = i + 1;
+                acc = 0;
+            }
+        }
+        if start < self.bounds.len() {
+            chunks.push((start, self.bounds.len()));
+        }
+        let ctx = SweepCtx {
+            data,
+            group_idx: &self.group_idx,
+            agg_arg_idx: &self.agg_arg_idx,
+            aggs: &self.aggs,
+            date_typed: self.date_typed,
+            starts_all: &self.starts_all,
+            ends_all: &self.ends_all,
+        };
+        let bounds = &self.bounds;
+        let width = self.schema.len();
+        let ctx_ref = &ctx;
+        let jobs: Vec<_> = chunks
+            .into_iter()
+            .map(|(a, b)| {
+                move || {
+                    let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::new()).collect();
+                    let (_, g, cp) = sweep_groups(ctx_ref, &bounds[a..b], &mut cols, usize::MAX);
+                    (cols, g, cp)
+                }
+            })
+            .collect();
+        let (results, stats) = run_ordered(self.opts.workers, jobs);
+        let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::new()).collect();
+        let (mut groups, mut cps) = (0u64, 0u64);
+        for (chunk_cols, g, cp) in results {
+            groups += g;
+            cps += cp;
+            for (dst, src) in cols.iter_mut().zip(chunk_cols) {
+                dst.extend(src);
+            }
+        }
+        self.groups += groups;
+        self.constant_periods += cps;
+        self.par = Some(stats);
+        self.out = Some(Batch::from_columns(
+            self.schema.clone(),
+            cols.into_iter().map(Column::from_values).collect(),
+        ));
+        self.out_pos = 0;
+        self.next_group = self.bounds.len();
+        Ok(())
     }
 
-    /// Read the next group from the input and compute its constant-period
-    /// rows into `sink`. Returns `false` at end of input.
-    fn process_next_group(&mut self, sink: &mut Vec<Tuple>) -> Result<bool> {
-        let first = match self.pending.take() {
-            Some(t) => t,
-            None => match self.input.next()? {
-                Some(t) => t,
-                None => return Ok(false),
-            },
+    /// Sequential path: sweep groups until at least `min_rows` output rows
+    /// are staged (or the input is exhausted).
+    fn refill(&mut self, min_rows: usize) -> Result<()> {
+        let width = self.schema.len();
+        let mut cols: Vec<Vec<Value>> = (0..width).map(|_| Vec::new()).collect();
+        let data = self
+            .data
+            .as_ref()
+            .ok_or_else(|| ExecError::State("temporal aggregation not opened".into()))?;
+        let ctx = SweepCtx {
+            data,
+            group_idx: &self.group_idx,
+            agg_arg_idx: &self.agg_arg_idx,
+            aggs: &self.aggs,
+            date_typed: self.date_typed,
+            starts_all: &self.starts_all,
+            ends_all: &self.ends_all,
         };
-        // First copy: the group's tuples ordered by T1 (input order).
-        self.group.clear();
-        self.group.push(first);
-        loop {
-            match self.input.next()? {
-                Some(t) if self.same_group(&self.group[0], &t) => self.group.push(t),
-                other => {
-                    self.pending = other;
-                    break;
-                }
-            }
-        }
-        let (it1, it2) = self.period;
-        // Drop tuples with empty or null periods: they hold at no time
-        // point and contribute nothing.
-        self.group.retain(|t| match (t[it1].as_day(), t[it2].as_day()) {
-            (Some(a), Some(b)) => a < b,
-            _ => false,
-        });
-        if self.group.is_empty() {
-            return Ok(true); // an empty group produces no constant periods
-        }
-        self.groups += 1;
-        let group = &self.group[..];
-        // Parse the period endpoints once per group; the sweep below
-        // consults them repeatedly in its loop conditions.
-        self.starts.clear();
-        self.starts.extend(group.iter().map(|t| t[it1].as_day().unwrap()));
-        self.ends.clear();
-        self.ends.extend(group.iter().map(|t| t[it2].as_day().unwrap()));
-        let (starts, ends) = (&self.starts[..], &self.ends[..]);
-        // Second copy, sorted on T2 (the algorithm's internal sort).
-        self.by_end.clear();
-        self.by_end.extend(0..group.len());
-        self.by_end.sort_unstable_by_key(|&i| ends[i]);
-        let by_end = &self.by_end[..];
-
-        let states = &mut self.states;
-        for s in states.iter_mut() {
-            s.reset();
-        }
-        let group_vals: Vec<Value> = self.group_idx.iter().map(|&i| group[0][i].clone()).collect();
-
-        let mut i = 0usize; // next start event (group is sorted by T1)
-        let mut j = 0usize; // next end event (via by_end)
-        let mut active = 0usize;
-        let mut prev: Option<Day> = None;
-        while j < group.len() {
-            let end_t = ends[by_end[j]];
-            let t = if i < group.len() { end_t.min(starts[i]) } else { end_t };
-            if let Some(p) = prev {
-                if p < t && active > 0 {
-                    let mut row = Vec::with_capacity(group_vals.len() + 2 + states.len());
-                    row.extend(group_vals.iter().cloned());
-                    row.push(if self.date_typed { Value::Date(p) } else { Value::Int(p as i64) });
-                    row.push(if self.date_typed { Value::Date(t) } else { Value::Int(t as i64) });
-                    for s in states.iter() {
-                        row.push(s.current());
-                    }
-                    sink.push(Tuple::new(row));
-                    self.constant_periods += 1;
-                }
-            }
-            while i < group.len() && starts[i] == t {
-                let tup = &group[i];
-                for (s, arg) in states.iter_mut().zip(&self.agg_arg_idx) {
-                    s.add(arg.map(|a| &tup[a]));
-                }
-                active += 1;
-                i += 1;
-            }
-            while j < group.len() && ends[by_end[j]] == t {
-                let tup = &group[by_end[j]];
-                for (s, arg) in states.iter_mut().zip(&self.agg_arg_idx) {
-                    s.remove(arg.map(|a| &tup[a]));
-                }
-                active -= 1;
-                j += 1;
-            }
-            prev = Some(t);
-        }
-        Ok(true)
+        let (processed, g, cp) =
+            sweep_groups(&ctx, &self.bounds[self.next_group..], &mut cols, min_rows.max(1));
+        self.next_group += processed;
+        self.groups += g;
+        self.constant_periods += cp;
+        self.out = if cols.first().map(|c| c.is_empty()).unwrap_or(true) {
+            None
+        } else {
+            Some(Batch::from_columns(
+                self.schema.clone(),
+                cols.into_iter().map(Column::from_values).collect(),
+            ))
+        };
+        self.out_pos = 0;
+        Ok(())
     }
 }
 
@@ -197,7 +225,37 @@ impl Cursor for TemporalAggregate {
 
     fn open(&mut self) -> Result<()> {
         self.input.open()?;
+        let in_schema = self.input.schema().clone();
+        let batches = drain_batches(self.input.as_mut(), self.opts.batch_rows)?;
+        let data = Batch::concat(in_schema.clone(), batches);
+        let n = data.len();
+        self.bounds.clear();
+        if n > 0 {
+            let spec = SortSpec::by(self.group_by.iter().map(String::as_str));
+            let keys = BatchKeys::extract(&data, &spec, &in_schema);
+            if keys.is_empty() {
+                self.bounds.push((0, n as u32));
+            } else {
+                let mut lo = 0usize;
+                for r in 1..n {
+                    if keys.cmp(r - 1, r) != std::cmp::Ordering::Equal {
+                        self.bounds.push((lo as u32, r as u32));
+                        lo = r;
+                    }
+                }
+                self.bounds.push((lo as u32, n as u32));
+            }
+        }
+        self.starts_all = day_col(&data, self.period.0);
+        self.ends_all = day_col(&data, self.period.1);
+        self.next_group = 0;
+        self.out = None;
+        self.out_pos = 0;
+        self.data = Some(data);
         self.opened = true;
+        if self.opts.workers > 1 && !self.bounds.is_empty() {
+            self.run_parallel()?;
+        }
         Ok(())
     }
 
@@ -206,21 +264,19 @@ impl Cursor for TemporalAggregate {
             return Err(ExecError::State("temporal aggregation not opened".into()));
         }
         loop {
-            if self.out_pos < self.out.len() {
-                let t = std::mem::replace(&mut self.out[self.out_pos], Tuple::new(Vec::new()));
-                self.out_pos += 1;
-                return Ok(Some(t));
+            if let Some(out) = &self.out {
+                if self.out_pos < out.len() {
+                    let t = out.tuple_at(self.out_pos);
+                    self.out_pos += 1;
+                    return Ok(Some(t));
+                }
             }
-            if self.done {
+            if self.next_group >= self.bounds.len() {
                 return Ok(None);
             }
-            self.out.clear();
-            self.out_pos = 0;
-            let mut out = std::mem::take(&mut self.out);
-            let more = self.process_next_group(&mut out);
-            self.out = out;
-            if !more? {
-                self.done = true;
+            self.refill(1)?;
+            if self.out.is_none() {
+                return Ok(None);
             }
         }
     }
@@ -230,40 +286,204 @@ impl Cursor for TemporalAggregate {
             return Err(ExecError::State("temporal aggregation not opened".into()));
         }
         let max = max_rows.max(1);
-        let mut rows: Vec<Tuple> = Vec::new();
-        // leftovers stashed by a previous call (or row-path use) first
-        while self.out_pos < self.out.len() && rows.len() < max {
-            rows.push(std::mem::replace(&mut self.out[self.out_pos], Tuple::new(Vec::new())));
-            self.out_pos += 1;
-        }
-        // then aggregate whole groups straight into the outgoing batch
-        while rows.len() < max && !self.done {
-            if !self.process_next_group(&mut rows)? {
-                self.done = true;
+        loop {
+            if let Some(out) = &self.out {
+                let rem = out.len() - self.out_pos;
+                if rem > 0 {
+                    let n = rem.min(max);
+                    let b = out.slice(self.out_pos, n);
+                    self.out_pos += n;
+                    return Ok(Some(b));
+                }
             }
-        }
-        if rows.len() > max {
-            // a group straddled the batch boundary: stash the overflow
-            self.out.clear();
-            self.out_pos = 0;
-            self.out.extend(rows.drain(max..));
-        }
-        if rows.is_empty() {
-            Ok(None)
-        } else {
-            Ok(Some(Batch::new(self.schema.clone(), rows)))
+            if self.next_group >= self.bounds.len() {
+                return Ok(None);
+            }
+            self.refill(max)?;
+            if self.out.is_none() {
+                return Ok(None);
+            }
         }
     }
 
     fn close(&mut self) -> Result<()> {
-        self.out.clear();
+        self.data = None;
+        self.out = None;
         self.out_pos = 0;
+        self.starts_all = Vec::new();
+        self.ends_all = Vec::new();
         self.input.close()
     }
 
     fn counters(&self) -> Vec<(&'static str, u64)> {
-        vec![("groups", self.groups), ("constant_periods", self.constant_periods)]
+        let mut out = vec![("groups", self.groups), ("constant_periods", self.constant_periods)];
+        if let Some(par) = &self.par {
+            out.extend(par.counters());
+        }
+        out
     }
+}
+
+/// Flatten a period-endpoint column to `i64` days ([`NO_DAY`] for rows
+/// with no valid day: nulls, non-numeric values, ints outside `i32`).
+fn day_col(data: &Batch, col: usize) -> Vec<i64> {
+    if let Some((cols, offset, len)) = data.columns() {
+        match &cols[col] {
+            Column::Date { vals, valid } => {
+                return (0..len)
+                    .map(|r| {
+                        if valid.as_ref().map(|b| b.get(offset + r)).unwrap_or(true) {
+                            vals[offset + r]
+                        } else {
+                            NO_DAY
+                        }
+                    })
+                    .collect();
+            }
+            Column::Int { vals, valid } => {
+                return (0..len)
+                    .map(|r| {
+                        let ok = valid.as_ref().map(|b| b.get(offset + r)).unwrap_or(true);
+                        let v = vals[offset + r];
+                        if ok && i32::try_from(v).is_ok() {
+                            v
+                        } else {
+                            NO_DAY
+                        }
+                    })
+                    .collect();
+            }
+            _ => {}
+        }
+    }
+    (0..data.len())
+        .map(|r| data.value_at(r, col).as_day().map(|d| d as i64).unwrap_or(NO_DAY))
+        .collect()
+}
+
+fn mk_t(date_typed: bool, v: i64) -> Value {
+    if date_typed {
+        Value::Date(v as Day)
+    } else {
+        Value::Int(v)
+    }
+}
+
+/// Shared read-only view a sweep job needs.
+struct SweepCtx<'a> {
+    data: &'a Batch,
+    group_idx: &'a [usize],
+    agg_arg_idx: &'a [Option<usize>],
+    aggs: &'a [AggSpec],
+    date_typed: bool,
+    starts_all: &'a [i64],
+    ends_all: &'a [i64],
+}
+
+/// Sweep whole groups from `bounds` into the per-column output vectors
+/// until at least `min_rows` rows are produced (or `bounds` is
+/// exhausted). Returns (groups processed, non-empty groups, constant
+/// periods). The per-group algorithm — retain non-empty periods, sort a
+/// second index copy by `T2`, advance start/end events emitting one row
+/// per constant period — is the exact sweep of Section 3.4.
+fn sweep_groups(
+    ctx: &SweepCtx<'_>,
+    bounds: &[(u32, u32)],
+    out: &mut [Vec<Value>],
+    min_rows: usize,
+) -> (usize, u64, u64) {
+    let mut states: Vec<Box<dyn AggState>> = ctx.aggs.iter().map(|a| new_state(a.func)).collect();
+    let width_g = ctx.group_idx.len();
+    let mut kept: Vec<u32> = Vec::new();
+    let mut starts: Vec<i64> = Vec::new();
+    let mut ends: Vec<i64> = Vec::new();
+    let mut by_end: Vec<u32> = Vec::new();
+    let (mut groups, mut cps) = (0u64, 0u64);
+    let mut processed = 0usize;
+    for &(lo, hi) in bounds {
+        if out[0].len() >= min_rows {
+            break;
+        }
+        processed += 1;
+        // Drop tuples with empty or null periods: they hold at no time
+        // point and contribute nothing.
+        kept.clear();
+        for r in lo..hi {
+            let (s, e) = (ctx.starts_all[r as usize], ctx.ends_all[r as usize]);
+            if s != NO_DAY && e != NO_DAY && s < e {
+                kept.push(r);
+            }
+        }
+        if kept.is_empty() {
+            continue; // an empty group produces no constant periods
+        }
+        groups += 1;
+        let k = kept.len();
+        starts.clear();
+        starts.extend(kept.iter().map(|&r| ctx.starts_all[r as usize]));
+        ends.clear();
+        ends.extend(kept.iter().map(|&r| ctx.ends_all[r as usize]));
+        // Second copy, sorted on T2 (the algorithm's internal sort).
+        by_end.clear();
+        by_end.extend(0..k as u32);
+        by_end.sort_unstable_by_key(|&i| ends[i as usize]);
+        for s in states.iter_mut() {
+            s.reset();
+        }
+        let group_vals: Vec<Value> =
+            ctx.group_idx.iter().map(|&c| ctx.data.value_at(kept[0] as usize, c)).collect();
+        let mut i = 0usize; // next start event (group is sorted by T1)
+        let mut j = 0usize; // next end event (via by_end)
+        let mut active = 0usize;
+        let mut prev: Option<i64> = None;
+        while j < k {
+            let end_t = ends[by_end[j] as usize];
+            let t = if i < k { end_t.min(starts[i]) } else { end_t };
+            if let Some(p) = prev {
+                if p < t && active > 0 {
+                    for (c, v) in group_vals.iter().enumerate() {
+                        out[c].push(v.clone());
+                    }
+                    out[width_g].push(mk_t(ctx.date_typed, p));
+                    out[width_g + 1].push(mk_t(ctx.date_typed, t));
+                    for (c, s) in states.iter().enumerate() {
+                        out[width_g + 2 + c].push(s.current());
+                    }
+                    cps += 1;
+                }
+            }
+            while i < k && starts[i] == t {
+                let row = kept[i] as usize;
+                for (s, arg) in states.iter_mut().zip(ctx.agg_arg_idx) {
+                    match arg {
+                        Some(a) => {
+                            let v = ctx.data.value_at(row, *a);
+                            s.add(Some(&v));
+                        }
+                        None => s.add(None),
+                    }
+                }
+                active += 1;
+                i += 1;
+            }
+            while j < k && ends[by_end[j] as usize] == t {
+                let row = kept[by_end[j] as usize] as usize;
+                for (s, arg) in states.iter_mut().zip(ctx.agg_arg_idx) {
+                    match arg {
+                        Some(a) => {
+                            let v = ctx.data.value_at(row, *a);
+                            s.remove(Some(&v));
+                        }
+                        None => s.remove(None),
+                    }
+                }
+                active -= 1;
+                j += 1;
+            }
+            prev = Some(t);
+        }
+    }
+    (processed, groups, cps)
 }
 
 /// Incremental aggregate state with add/remove (the sweep enters and
@@ -272,8 +492,8 @@ trait AggState: Send {
     fn add(&mut self, v: Option<&Value>);
     fn remove(&mut self, v: Option<&Value>);
     fn current(&self) -> Value;
-    /// Return to the empty state (the cursor reuses one state box across
-    /// all groups).
+    /// Return to the empty state (one state box is reused across all the
+    /// groups a sweep covers).
     fn reset(&mut self);
 }
 
@@ -510,6 +730,40 @@ mod tests {
         Relation::new(s, vals.iter().map(|&(g, a, b)| tup![g, a, b]).collect())
     }
 
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut x = 11u64;
+        let vals: Vec<(i64, i32, i32)> = (0..4000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let g = ((x >> 33) % 64) as i64;
+                let t1 = ((x >> 11) % 50) as i32;
+                (g, t1, t1 + 1 + ((x >> 5) % 20) as i32)
+            })
+            .collect();
+        let mut rel = input_rel(&vals);
+        rel.sort_by(&SortSpec::by(["G", "T1"]));
+        let mk = |workers: usize| {
+            let opts = ExecOpts { workers, ..ExecOpts::default() };
+            TemporalAggregate::with_opts(
+                Box::new(VecScan::new(rel.clone())),
+                vec!["G".into()],
+                vec![
+                    AggSpec::count_star("C"),
+                    AggSpec::new(AggFunc::Sum, Some("T2"), "S"),
+                    AggSpec::new(AggFunc::Min, Some("T1"), "M"),
+                ],
+                opts,
+            )
+            .unwrap()
+        };
+        let seq = collect(Box::new(mk(1))).unwrap();
+        for workers in [2, 8] {
+            let par = collect(Box::new(mk(workers))).unwrap();
+            assert!(seq.list_eq(&par), "parallel TAGGR diverged at workers={workers}");
+        }
+    }
+
     proptest! {
         /// Invariant: at every time point, the COUNT reported by the
         /// constant-period output equals the number of input tuples of
@@ -561,6 +815,24 @@ mod tests {
             // cardinality bounds from Section 3.4
             let n = fixed.len();
             prop_assert!(got.len() < 2 * n);
+        }
+
+        /// Parallel sweep equals sequential on arbitrary inputs (including
+        /// empty periods and many tiny groups).
+        #[test]
+        fn parallel_matches_sequential_prop(vals in proptest::collection::vec((0i64..6, 0i32..30, 0i32..12), 0..80)) {
+            let fixed: Vec<(i64, i32, i32)> = vals.into_iter().map(|(g, t1, d)| (g, t1, t1 + d)).collect();
+            let mut rel = input_rel(&fixed);
+            rel.sort_by(&SortSpec::by(["G", "T1"]));
+            let mk = |workers: usize| TemporalAggregate::with_opts(
+                Box::new(VecScan::new(rel.clone())),
+                vec!["G".into()],
+                vec![AggSpec::count_star("C")],
+                ExecOpts { workers, ..ExecOpts::default() },
+            ).unwrap();
+            let seq = collect(Box::new(mk(1))).unwrap();
+            let par = collect(Box::new(mk(8))).unwrap();
+            prop_assert!(seq.list_eq(&par));
         }
     }
 }
