@@ -93,6 +93,9 @@ fn sum_stats(acc: &mut CacheStats, s: &CacheStats) {
     acc.rejections += s.rejections;
     acc.admission_rejects += s.admission_rejects;
     acc.duplicate_populates += s.duplicate_populates;
+    acc.refreshes += s.refreshes;
+    acc.refresh_bytes += s.refresh_bytes;
+    acc.refresh_bails += s.refresh_bails;
 }
 
 fn delta_stats(after: &CacheStats, before: &CacheStats) -> CacheStats {
@@ -106,6 +109,9 @@ fn delta_stats(after: &CacheStats, before: &CacheStats) -> CacheStats {
         rejections: after.rejections - before.rejections,
         admission_rejects: after.admission_rejects - before.admission_rejects,
         duplicate_populates: after.duplicate_populates - before.duplicate_populates,
+        refreshes: after.refreshes - before.refreshes,
+        refresh_bytes: after.refresh_bytes - before.refresh_bytes,
+        refresh_bails: after.refresh_bails - before.refresh_bails,
     }
 }
 

@@ -54,17 +54,34 @@
 //! cannot be represented in the key). The engine annotates such
 //! transfers `cache bypass`.
 //!
-//! # Invalidation — table write-versions
+//! # Staleness — no longer binary
 //!
 //! Every entry records the [write-version](tango_minidb::Database::table_version)
 //! of each base table it was computed from. `tango-minidb` bumps a
 //! table's version on every INSERT/DELETE/UPDATE, so `versions
 //! unchanged ⇒ contents unchanged`. Entries are validated lazily — at
-//! lookup and when the optimizer snapshots residency — and dropped the
-//! moment any dependency's version moved (an `invalidate` span event).
+//! lookup and when the optimizer snapshots residency — but a moved
+//! dependency no longer always drops the entry. Lookup is tri-state:
+//!
+//! * **Fresh** — every dependency version unchanged: a [`Lookup::Hit`].
+//! * **Stale** — versions moved but every moved table's
+//!   [delta log](tango_minidb::delta::DeltaLog) still covers the entry's
+//!   snapshot: the entry is *kept* and returned as [`Lookup::Stale`]
+//!   with the replay byte count, so the engine can price
+//!   **refresh-by-delta** against **refetch** against **drop**
+//!   ([`maintenance_choice`]) instead of always paying a cold refill.
+//! * **Gone** — some moved table's log no longer covers the snapshot
+//!   (compaction, in-place UPDATE, dropped table): the entry is dropped
+//!   exactly as before (an `invalidate` span event).
+//!
 //! Because versions are read *before* a fragment's SQL is issued, a
 //! write racing a populating query always invalidates the entry that
 //! query admits — cross-session invalidation needs no extra machinery.
+//! A successful refresh replaces the entry's rows and dependency
+//! versions in place ([`MidCache::refresh`], counted in
+//! [`CacheStats::refreshes`]/[`CacheStats::refresh_bytes`]); a bailed
+//! refresh ([`CacheStats::refresh_bails`]) degrades to the refetch
+//! path, which drops the stale entry first.
 //!
 //! # Admission — TinyLFU frequency gating
 //!
@@ -112,6 +129,7 @@
 //! likewise dropped (it lost a race against a fresher populate), while
 //! newer versions replace the incumbent.
 
+use crate::cost::CostFactors;
 use crate::phys::{Algo, PhysNode, TOp};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -262,6 +280,17 @@ pub struct CachedRelation {
 pub enum Lookup {
     /// A fresh entry with a satisfying order was found.
     Hit(CachedRelation),
+    /// A stale-but-refreshable entry was found: its base tables moved,
+    /// but every moved table's delta log still covers the entry's
+    /// snapshot. The entry stays resident; the engine prices
+    /// refresh-by-delta against refetch against drop
+    /// ([`maintenance_choice`]) using the carried [`StaleEntry`].
+    Stale {
+        /// The stale entry's contents and maintenance inputs.
+        entry: StaleEntry,
+        /// SQL texts of *other* entries invalidated during this lookup.
+        invalidated: Vec<String>,
+    },
     /// No usable entry. `invalidated` lists the SQL of same-signature
     /// entries dropped because a base table's version moved — the engine
     /// turns each into an `invalidate` span event.
@@ -269,6 +298,35 @@ pub enum Lookup {
         /// SQL texts of entries invalidated during this lookup.
         invalidated: Vec<String>,
     },
+}
+
+/// A stale cache entry surfaced by [`Lookup::Stale`]: everything the
+/// engine needs to price and execute refresh-by-delta without holding
+/// the shard lock.
+#[derive(Debug, Clone)]
+pub struct StaleEntry {
+    /// Output schema of the cached fragment.
+    pub schema: Arc<Schema>,
+    /// The stale base rows, shared with the store.
+    pub rows: Arc<Vec<Tuple>>,
+    /// Encoded byte size of the stale base.
+    pub bytes: u64,
+    /// Sort order the rows are stored in (the order a refresh must
+    /// restore, and the `order` to address the entry by on
+    /// [`MidCache::refresh`]/[`MidCache::remove`]).
+    pub order: SortSpec,
+    /// `(table, write-version)` dependencies recorded at fill time —
+    /// the versions a delta replay must start from.
+    pub deps: Vec<(String, u64)>,
+    /// Total replay bytes pending across all moved dependencies.
+    pub delta_bytes: u64,
+    /// Measured fill cost of the original populate (the refetch price).
+    pub fill_cost_us: f64,
+    /// Hits the entry has served — the demand signal in the
+    /// refresh-benefit estimate.
+    pub hits: u64,
+    /// The SQL the entry was filled from (for span events).
+    pub sql: String,
 }
 
 /// Why an [`MidCache::insert`] did or did not store its relation.
@@ -333,6 +391,15 @@ pub struct CacheStats {
     /// Insertions dropped because a concurrent session already
     /// populated the same (or a fresher) entry.
     pub duplicate_populates: u64,
+    /// Stale entries brought current by delta replay
+    /// ([`MidCache::refresh`]).
+    pub refreshes: u64,
+    /// Total delta bytes replayed by successful refreshes — the wire
+    /// traffic that replaced full refills.
+    pub refresh_bytes: u64,
+    /// Refresh attempts that bailed (unsupported shape, ambiguous
+    /// merge, racing write, wire fault) and degraded to refetch/drop.
+    pub refresh_bails: u64,
 }
 
 impl CacheStats {
@@ -346,6 +413,9 @@ impl CacheStats {
         self.rejections += o.rejections;
         self.admission_rejects += o.admission_rejects;
         self.duplicate_populates += o.duplicate_populates;
+        self.refreshes += o.refreshes;
+        self.refresh_bytes += o.refresh_bytes;
+        self.refresh_bails += o.refresh_bails;
     }
 
     /// Whether every counter is zero (the shard saw no activity).
@@ -372,6 +442,48 @@ struct Entry {
     hits: u64,
 }
 
+/// Freshness of an entry against current table versions and delta-log
+/// coverage. `Stale` carries the total replay bytes pending.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Freshness {
+    Fresh,
+    Stale(u64),
+    Gone,
+}
+
+impl Entry {
+    /// Classify this entry: `Fresh` if no dependency version moved,
+    /// `Stale(delta_bytes)` if every moved table's delta log still
+    /// covers the recorded snapshot version, `Gone` otherwise (dropped
+    /// table, compacted log, poisoned log, or no delta source at all).
+    fn freshness(
+        &self,
+        version_of: &dyn Fn(&str) -> Option<u64>,
+        delta_bytes_of: &dyn Fn(&str, u64) -> Option<u64>,
+    ) -> Freshness {
+        let mut delta = 0u64;
+        let mut stale = false;
+        for (t, v) in &self.deps {
+            match version_of(t) {
+                Some(cur) if cur == *v => {}
+                Some(_) => match delta_bytes_of(t, *v) {
+                    Some(b) => {
+                        stale = true;
+                        delta += b;
+                    }
+                    None => return Freshness::Gone,
+                },
+                None => return Freshness::Gone,
+            }
+        }
+        if stale {
+            Freshness::Stale(delta)
+        } else {
+            Freshness::Fresh
+        }
+    }
+}
+
 /// One lock's worth of the store.
 #[derive(Debug, Default)]
 struct Shard {
@@ -380,12 +492,15 @@ struct Shard {
 }
 
 impl Shard {
-    /// Drop entries whose dependencies are stale, appending their SQL to
-    /// `invalidated` and returning the bytes freed. `filter` restricts
-    /// which entries are checked.
+    /// Drop entries that are [`Freshness::Gone`] — stale with no delta
+    /// coverage — appending their SQL to `invalidated` and returning the
+    /// bytes freed. Stale-but-covered entries are kept (the engine
+    /// decides their fate via [`maintenance_choice`]). `filter`
+    /// restricts which entries are checked.
     fn validate(
         &mut self,
         version_of: &dyn Fn(&str) -> Option<u64>,
+        delta_bytes_of: &dyn Fn(&str, u64) -> Option<u64>,
         filter: impl Fn(&Entry) -> bool,
         invalidated: &mut Vec<String>,
     ) -> u64 {
@@ -393,7 +508,7 @@ impl Shard {
         let mut i = 0;
         while i < self.entries.len() {
             let e = &self.entries[i];
-            if filter(e) && e.deps.iter().any(|(t, v)| version_of(t) != Some(*v)) {
+            if filter(e) && e.freshness(version_of, delta_bytes_of) == Freshness::Gone {
                 let e = self.entries.remove(i);
                 freed += e.bytes;
                 self.stats.invalidations += 1;
@@ -500,6 +615,9 @@ pub struct MidCache {
     budget: AtomicU64,
     /// Whether the TinyLFU admission gate is active.
     admission: AtomicBool,
+    /// Whether lookups may surface stale-but-delta-covered entries for
+    /// refresh-by-delta (off = binary drop-on-write staleness).
+    refreshing: AtomicBool,
     /// GreedyDual-Size inflation clock `L` (f64 bits; non-negative, so
     /// integer `fetch_max` is order-preserving).
     clock: AtomicU64,
@@ -523,6 +641,7 @@ impl MidCache {
             bytes: AtomicU64::new(0),
             budget: AtomicU64::new(budget),
             admission: AtomicBool::new(true),
+            refreshing: AtomicBool::new(true),
             clock: AtomicU64::new(0f64.to_bits()),
             bypasses: AtomicU64::new(0),
             sketch: Mutex::new(FreqSketch::new()),
@@ -573,6 +692,21 @@ impl MidCache {
     /// behavior), relying on GreedyDual-Size eviction alone.
     pub fn set_admission(&self, on: bool) {
         self.admission.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether incremental maintenance is active (it is by default):
+    /// lookups surface stale-but-delta-covered entries as
+    /// [`Lookup::Stale`] and the engine prices refresh-by-delta against
+    /// refetch and drop.
+    pub fn refresh_enabled(&self) -> bool {
+        self.refreshing.load(Ordering::Relaxed)
+    }
+
+    /// Enable or disable incremental maintenance. Disabled, the engine
+    /// passes no delta source and every version-moved entry is dropped
+    /// at lookup — the pre-delta-log drop-on-write baseline.
+    pub fn set_refresh(&self, on: bool) {
+        self.refreshing.store(on, Ordering::Relaxed);
     }
 
     /// Total bytes currently stored, across all shards.
@@ -656,38 +790,84 @@ impl MidCache {
     /// Look up a fragment. A hit requires a fresh entry (every recorded
     /// table version unchanged per `version_of`) with the same signature
     /// and a stored order that [satisfies](SortSpec::satisfies) the
-    /// requested one. Hits refresh the entry's GreedyDual-Size priority;
-    /// every lookup (hit or miss) feeds the admission frequency sketch.
-    pub fn lookup(&self, key: &FragmentKey, version_of: &dyn Fn(&str) -> Option<u64>) -> Lookup {
+    /// requested one. A stale entry whose moved tables are all covered
+    /// by `delta_bytes_of` (delta-log replay bytes since the recorded
+    /// version, `None` = uncovered) is returned as [`Lookup::Stale`]
+    /// instead of being dropped; passing `&|_, _| None` restores the
+    /// binary drop-on-write behavior. Hits refresh the entry's
+    /// GreedyDual-Size priority; every lookup feeds the admission
+    /// frequency sketch. Stale lookups count as neither hit nor miss —
+    /// the engine's maintenance decision settles them
+    /// ([`CacheStats::refreshes`] or [`CacheStats::invalidations`]).
+    pub fn lookup(
+        &self,
+        key: &FragmentKey,
+        version_of: &dyn Fn(&str) -> Option<u64>,
+        delta_bytes_of: &dyn Fn(&str, u64) -> Option<u64>,
+    ) -> Lookup {
         let hash = sig_hash(&key.signature);
         self.sketch.lock().touch(hash);
         let mut g = self.shards[self.shard_of(hash)].write();
         let mut invalidated = Vec::new();
-        let freed = g.validate(version_of, |e| e.signature == key.signature, &mut invalidated);
+        let freed = g.validate(
+            version_of,
+            delta_bytes_of,
+            |e| e.signature == key.signature,
+            &mut invalidated,
+        );
         self.bytes.fetch_sub(freed, Ordering::Relaxed);
-        let found = g
-            .entries
-            .iter()
-            .position(|e| e.signature == key.signature && e.order.satisfies(&key.order));
-        match found {
-            Some(i) => {
-                g.stats.hits += 1;
-                let p = self.gds_priority(g.entries[i].fill_cost_us, g.entries[i].bytes);
-                let e = &mut g.entries[i];
-                e.priority = p;
-                e.hits += 1;
-                Lookup::Hit(CachedRelation {
+        // prefer a fresh entry; fall back to the cheapest stale one
+        let mut fresh: Option<usize> = None;
+        let mut stale: Option<(usize, u64)> = None;
+        for (i, e) in g.entries.iter().enumerate() {
+            if e.signature != key.signature || !e.order.satisfies(&key.order) {
+                continue;
+            }
+            match e.freshness(version_of, delta_bytes_of) {
+                Freshness::Fresh => {
+                    fresh = Some(i);
+                    break;
+                }
+                Freshness::Stale(d) => {
+                    if stale.map(|(j, dj)| d + e.bytes < dj + g.entries[j].bytes).unwrap_or(true) {
+                        stale = Some((i, d));
+                    }
+                }
+                Freshness::Gone => {} // validate already removed these
+            }
+        }
+        if let Some(i) = fresh {
+            g.stats.hits += 1;
+            let p = self.gds_priority(g.entries[i].fill_cost_us, g.entries[i].bytes);
+            let e = &mut g.entries[i];
+            e.priority = p;
+            e.hits += 1;
+            return Lookup::Hit(CachedRelation {
+                schema: e.schema.clone(),
+                rows: e.rows.clone(),
+                bytes: e.bytes,
+                order: e.order.clone(),
+            });
+        }
+        if let Some((i, delta_bytes)) = stale {
+            let e = &g.entries[i];
+            return Lookup::Stale {
+                entry: StaleEntry {
                     schema: e.schema.clone(),
                     rows: e.rows.clone(),
                     bytes: e.bytes,
                     order: e.order.clone(),
-                })
-            }
-            None => {
-                g.stats.misses += 1;
-                Lookup::Miss { invalidated }
-            }
+                    deps: e.deps.clone(),
+                    delta_bytes,
+                    fill_cost_us: e.fill_cost_us,
+                    hits: e.hits,
+                    sql: e.sql.clone(),
+                },
+                invalidated,
+            };
         }
+        g.stats.misses += 1;
+        Lookup::Miss { invalidated }
     }
 
     /// Admit a fully-materialized fragment result. `deps` are the
@@ -768,6 +948,99 @@ impl MidCache {
         Admission { admitted: true, outcome: AdmitOutcome::Admitted, evicted }
     }
 
+    /// Commit a refresh-by-delta: replace the entry addressed by
+    /// `key.signature` + `key.order` (the *stored* order from
+    /// [`StaleEntry::order`], not the requested one) with the merged
+    /// rows and the post-replay dependency versions. `delta_bytes` is
+    /// the replay traffic, counted in [`CacheStats::refresh_bytes`].
+    ///
+    /// Returns `false` without touching the store when the entry
+    /// vanished (evicted concurrently) or already carries newer deps (a
+    /// racing session refreshed or repopulated first) — the caller's
+    /// merged rows are still correct to serve, they just do not enter
+    /// the cache. Counted as a hit too: the query was served from
+    /// resident bytes plus a delta, not a refill.
+    pub fn refresh(
+        &self,
+        key: &FragmentKey,
+        rows: Arc<Vec<Tuple>>,
+        deps: Vec<(String, u64)>,
+        delta_bytes: u64,
+    ) -> bool {
+        let bytes: u64 = rows.iter().map(|t| t.byte_size() as u64).sum();
+        let hash = sig_hash(&key.signature);
+        {
+            let mut g = self.shards[self.shard_of(hash)].write();
+            let Some(i) =
+                g.entries.iter().position(|e| e.signature == key.signature && e.order == key.order)
+            else {
+                return false;
+            };
+            if !newer_deps(&deps, &g.entries[i].deps) {
+                return false;
+            }
+            let p = self.gds_priority(g.entries[i].fill_cost_us, bytes);
+            let e = &mut g.entries[i];
+            let old_bytes = e.bytes;
+            e.rows = rows;
+            e.bytes = bytes;
+            e.deps = deps;
+            e.priority = p;
+            e.hits += 1;
+            self.bytes.fetch_add(bytes, Ordering::Relaxed);
+            self.bytes.fetch_sub(old_bytes, Ordering::Relaxed);
+            g.stats.refreshes += 1;
+            g.stats.refresh_bytes += delta_bytes;
+            g.stats.hits += 1;
+        }
+        self.enforce_budget();
+        true
+    }
+
+    /// Drop the entry addressed by `key.signature` + `key.order`
+    /// exactly (counted as an invalidation). The engine calls this when
+    /// the maintenance decision for a stale entry is refetch or drop.
+    pub fn remove(&self, key: &FragmentKey) -> bool {
+        let hash = sig_hash(&key.signature);
+        let mut g = self.shards[self.shard_of(hash)].write();
+        if let Some(i) =
+            g.entries.iter().position(|e| e.signature == key.signature && e.order == key.order)
+        {
+            let e = g.entries.remove(i);
+            self.bytes.fetch_sub(e.bytes, Ordering::Relaxed);
+            g.stats.invalidations += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Peek at a resident entry by bare signature (any stored order),
+    /// returning its schema, rows and recorded deps. No validation, no
+    /// counter updates, no priority touch — the refresh path uses this
+    /// to find the *resident other side* of a delta join and checks the
+    /// returned deps against its own version snapshot itself.
+    #[allow(clippy::type_complexity)]
+    pub fn peek_by_signature(
+        &self,
+        signature: &str,
+    ) -> Option<(Arc<Schema>, Arc<Vec<Tuple>>, Vec<(String, u64)>)> {
+        let hash = sig_hash(signature);
+        let g = self.shards[self.shard_of(hash)].read();
+        g.entries
+            .iter()
+            .find(|e| e.signature == signature)
+            .map(|e| (e.schema.clone(), e.rows.clone(), e.deps.clone()))
+    }
+
+    /// Record that a refresh attempt bailed (unsupported shape,
+    /// ambiguous merge, racing write, wire fault) and degraded to the
+    /// refetch path.
+    pub fn note_refresh_bail(&self, key: &FragmentKey) {
+        let hash = sig_hash(&key.signature);
+        self.shards[self.shard_of(hash)].write().stats.refresh_bails += 1;
+    }
+
     /// Evict globally-minimum-priority entries, one shard lock at a
     /// time, until total bytes fit the budget again.
     fn enforce_budget(&self) -> Vec<(String, u64)> {
@@ -798,21 +1071,35 @@ impl MidCache {
         evicted
     }
 
-    /// Snapshot which fragments are resident and fresh, for the
-    /// optimizer. Stale entries are dropped (as at lookup) so the
-    /// snapshot never advertises residency the engine could not serve.
-    pub fn residency(&self, version_of: &dyn Fn(&str) -> Option<u64>) -> Residency {
-        let mut by_signature: HashMap<String, Vec<(SortSpec, u64)>> = HashMap::new();
+    /// Snapshot which fragments are resident, for the optimizer.
+    /// Uncoverable (`Gone`) entries are dropped (as at lookup); fresh
+    /// entries are advertised at served size, stale-but-covered ones
+    /// with their pending replay bytes so the enforcer can price
+    /// refresh-by-delta ([`Residency::transfer_cost`]). Pass
+    /// `&|_, _| None` for `delta_bytes_of` to advertise fresh entries
+    /// only (drop-on-write behavior).
+    pub fn residency(
+        &self,
+        version_of: &dyn Fn(&str) -> Option<u64>,
+        delta_bytes_of: &dyn Fn(&str, u64) -> Option<u64>,
+    ) -> Residency {
+        let mut by_signature: HashMap<String, Vec<ResidentFragment>> = HashMap::new();
         for s in &self.shards {
             let mut g = s.write();
             let mut dropped = Vec::new();
-            let freed = g.validate(version_of, |_| true, &mut dropped);
+            let freed = g.validate(version_of, delta_bytes_of, |_| true, &mut dropped);
             self.bytes.fetch_sub(freed, Ordering::Relaxed);
             for e in &g.entries {
-                by_signature
-                    .entry(e.signature.clone())
-                    .or_default()
-                    .push((e.order.clone(), e.bytes));
+                let delta_bytes = match e.freshness(version_of, delta_bytes_of) {
+                    Freshness::Fresh => None,
+                    Freshness::Stale(d) => Some(d),
+                    Freshness::Gone => continue, // removed above; unreachable
+                };
+                by_signature.entry(e.signature.clone()).or_default().push(ResidentFragment {
+                    order: e.order.clone(),
+                    bytes: e.bytes,
+                    delta_bytes,
+                });
             }
         }
         Residency { by_signature }
@@ -838,7 +1125,8 @@ impl MidCache {
             }
             s.push_str(&format!(
                 "  shard {i}: {} entries, hits {}, misses {}, evictions {}, \
-                 admission rejects {}, invalidations {}, duplicates {}\n",
+                 admission rejects {}, invalidations {}, duplicates {}, \
+                 refreshes {} ({} delta bytes, {} bails)\n",
                 lens[i],
                 st.hits,
                 st.misses,
@@ -846,6 +1134,9 @@ impl MidCache {
                 st.admission_rejects,
                 st.invalidations,
                 st.duplicate_populates,
+                st.refreshes,
+                st.refresh_bytes,
+                st.refresh_bails,
             ));
         }
         s
@@ -881,6 +1172,9 @@ fn stats_json_object(s: &CacheStats) -> String {
     o.number("rejections", s.rejections as f64);
     o.number("admission_rejects", s.admission_rejects as f64);
     o.number("duplicate_populates", s.duplicate_populates as f64);
+    o.number("refreshes", s.refreshes as f64);
+    o.number("refresh_bytes", s.refresh_bytes as f64);
+    o.number("refresh_bails", s.refresh_bails as f64);
     o.build()
 }
 
@@ -909,13 +1203,23 @@ fn newer_deps(new: &[(String, u64)], old: &[(String, u64)]) -> bool {
     any_newer
 }
 
+/// One resident fragment in a [`Residency`] snapshot: delivered order,
+/// stored size, and — when stale — the pending delta-replay bytes.
+#[derive(Debug, Clone)]
+struct ResidentFragment {
+    order: SortSpec,
+    bytes: u64,
+    /// `None` = fresh; `Some(d)` = stale with `d` replay bytes pending.
+    delta_bytes: Option<u64>,
+}
+
 /// An optimizer-facing snapshot of cache contents: which canonical
-/// fragment signatures are resident, in which orders, at what size.
-/// Taken once per optimization ([`MidCache::residency`]) so planning
-/// sees a consistent view.
+/// fragment signatures are resident, in which orders, at what size, and
+/// how stale. Taken once per optimization ([`MidCache::residency`]) so
+/// planning sees a consistent view.
 #[derive(Debug, Clone, Default)]
 pub struct Residency {
-    by_signature: HashMap<String, Vec<(SortSpec, u64)>>,
+    by_signature: HashMap<String, Vec<ResidentFragment>>,
 }
 
 impl Residency {
@@ -924,16 +1228,93 @@ impl Residency {
         self.by_signature.is_empty()
     }
 
-    /// If a fragment with this signature is resident in an order that
-    /// [satisfies](SortSpec::satisfies) `required`, the stored byte size
-    /// (smallest such entry); `None` otherwise.
+    /// If a *fresh* fragment with this signature is resident in an
+    /// order that [satisfies](SortSpec::satisfies) `required`, the
+    /// stored byte size (smallest such entry); `None` otherwise. Stale
+    /// entries are priced by [`Residency::transfer_cost`], not
+    /// advertised here.
     pub fn serves(&self, signature: &str, required: &SortSpec) -> Option<u64> {
         self.by_signature
             .get(signature)?
             .iter()
-            .filter(|(order, _)| order.satisfies(required))
-            .map(|(_, bytes)| *bytes)
+            .filter(|r| r.delta_bytes.is_none() && r.order.satisfies(required))
+            .map(|r| r.bytes)
             .min()
+    }
+
+    /// The cheapest cost (µs) of a `TRANSFER^M` served from residency:
+    /// `p_cached × bytes` for a fresh entry, delta replay + merge + the
+    /// cached serve for a stale one. `None` when nothing satisfying is
+    /// resident — the enforcer then pays the full transfer. Callers
+    /// still `min` the result with the full-transfer cost: a stale
+    /// entry's refresh may be priced worse than refetching, and the
+    /// engine will indeed refetch in that case.
+    pub fn transfer_cost(
+        &self,
+        signature: &str,
+        required: &SortSpec,
+        factors: &CostFactors,
+    ) -> Option<f64> {
+        self.by_signature
+            .get(signature)?
+            .iter()
+            .filter(|r| r.order.satisfies(required))
+            .map(|r| {
+                let serve = factors.p_cached * r.bytes.max(1) as f64;
+                match r.delta_bytes {
+                    None => serve,
+                    Some(d) => refresh_cost_us(factors, r.bytes, d) + serve,
+                }
+            })
+            .min_by(f64::total_cmp)
+    }
+}
+
+/// What to do with a stale-but-covered cache entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Maintenance {
+    /// Replay the delta log over the resident base and keep serving.
+    Refresh,
+    /// Drop the entry and refill it with a full transfer (the normal
+    /// miss + populate path).
+    Refetch,
+    /// Drop the entry and do *not* repopulate: the entry has not earned
+    /// its keep, so the transfer runs uncached without a populate.
+    Drop,
+}
+
+/// Estimated cost (µs) of refreshing a stale entry by delta: shipping
+/// `delta_bytes` over the wire ([`CostFactors::p_tm`]) plus merging the
+/// replay into the resident base ([`CostFactors::p_delta`] per byte of
+/// base + delta).
+pub fn refresh_cost_us(factors: &CostFactors, base_bytes: u64, delta_bytes: u64) -> f64 {
+    factors.p_tm * delta_bytes as f64 + factors.p_delta * (base_bytes + delta_bytes) as f64
+}
+
+/// Decide the fate of a stale entry by cost alone.
+///
+/// The demand signal is `benefit = fill_cost_us × hits` — what the
+/// entry's observed hit rate would save if it stayed warm. **Refresh**
+/// wins when it is supported and cheaper than both a refill and the
+/// benefit; otherwise **Refetch** when the refill is covered by the
+/// benefit; otherwise **Drop** (in particular, a never-hit entry has
+/// zero benefit and is always dropped).
+pub fn maintenance_choice(
+    factors: &CostFactors,
+    base_bytes: u64,
+    delta_bytes: u64,
+    fill_cost_us: f64,
+    hits: u64,
+    refresh_supported: bool,
+) -> Maintenance {
+    let benefit = fill_cost_us * hits as f64;
+    let refresh = refresh_cost_us(factors, base_bytes, delta_bytes);
+    if refresh_supported && refresh <= fill_cost_us && refresh <= benefit {
+        Maintenance::Refresh
+    } else if fill_cost_us <= benefit {
+        Maintenance::Refetch
+    } else {
+        Maintenance::Drop
     }
 }
 
@@ -957,6 +1338,12 @@ mod tests {
 
     fn rows(n: usize) -> Vec<Tuple> {
         (0..n as i64).map(|i| tup![i]).collect()
+    }
+
+    /// No delta source: every stale entry is `Gone`, restoring the
+    /// pre-maintenance drop-on-write behavior the older tests pin.
+    fn no_delta(_: &str, _: u64) -> Option<u64> {
+        None
     }
 
     /// The two signature computations — compositional over `TOp` and
@@ -1009,19 +1396,19 @@ mod tests {
         let versions = |_: &str| Some(1);
         let mut k = key("GET[T]()");
         k.order = SortSpec::by(["A"]);
-        assert!(matches!(cache.lookup(&k, &versions), Lookup::Miss { .. }));
+        assert!(matches!(cache.lookup(&k, &versions, &no_delta), Lookup::Miss { .. }));
         cache.insert(&k, schema(), rows(10), vec![("T".into(), 1)], 500.0);
         // stored order (A) satisfies both (A) and the unsorted request
-        assert!(matches!(cache.lookup(&k, &versions), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&k, &versions, &no_delta), Lookup::Hit(_)));
         let unordered = key("GET[T]()");
-        match cache.lookup(&unordered, &versions) {
+        match cache.lookup(&unordered, &versions, &no_delta) {
             Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 10),
             other => panic!("expected hit, got {other:?}"),
         }
         // but a different requested order misses
         let mut by_b = key("GET[T]()");
         by_b.order = SortSpec::by(["B"]);
-        assert!(matches!(cache.lookup(&by_b, &versions), Lookup::Miss { .. }));
+        assert!(matches!(cache.lookup(&by_b, &versions, &no_delta), Lookup::Miss { .. }));
         let s = cache.stats();
         assert_eq!((s.hits, s.misses), (2, 2));
     }
@@ -1033,8 +1420,8 @@ mod tests {
         let cache = MidCache::new(1 << 20);
         let k = key("GET[T]()");
         cache.insert(&k, schema(), rows(4), vec![("T".into(), 1)], 100.0);
-        assert!(matches!(cache.lookup(&k, &|_| Some(1)), Lookup::Hit(_)));
-        match cache.lookup(&k, &|_| Some(2)) {
+        assert!(matches!(cache.lookup(&k, &|_| Some(1), &no_delta), Lookup::Hit(_)));
+        match cache.lookup(&k, &|_| Some(2), &no_delta) {
             Lookup::Miss { invalidated } => assert_eq!(invalidated, vec![k.sql.clone()]),
             other => panic!("expected invalidating miss, got {other:?}"),
         }
@@ -1043,7 +1430,7 @@ mod tests {
         assert_eq!(cache.stats().invalidations, 1);
         // residency snapshots validate too
         cache.insert(&k, schema(), rows(4), vec![("T".into(), 2)], 100.0);
-        assert!(cache.residency(&|_| Some(3)).is_empty());
+        assert!(cache.residency(&|_| Some(3), &no_delta).is_empty());
         assert_eq!(cache.bytes(), 0);
     }
 
@@ -1067,8 +1454,8 @@ mod tests {
         assert!(cache.bytes() <= cache.budget());
         assert_eq!(cache.len(), 2);
         let v = |_: &str| Some(1);
-        assert!(matches!(cache.lookup(&dear, &v), Lookup::Hit(_)));
-        assert!(matches!(cache.lookup(&cheap, &v), Lookup::Miss { .. }));
+        assert!(matches!(cache.lookup(&dear, &v, &no_delta), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&cheap, &v, &no_delta), Lookup::Miss { .. }));
     }
 
     /// An entry larger than the whole budget is rejected outright rather
@@ -1104,7 +1491,7 @@ mod tests {
         cache.insert(&k, schema(), rows(4), vec![("T".into(), 3)], 1.0);
         let adm = cache.insert(&k, schema(), rows(8), vec![("T".into(), 2)], 1.0);
         assert_eq!(adm.outcome, AdmitOutcome::Duplicate);
-        match cache.lookup(&k, &|_| Some(3)) {
+        match cache.lookup(&k, &|_| Some(3), &no_delta) {
             Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 4, "stale populate replaced fresh"),
             other => panic!("expected hit, got {other:?}"),
         }
@@ -1134,17 +1521,17 @@ mod tests {
         let adm = cache.insert(&challenger, schema(), rows(8), vec![], 1_000.0);
         assert!(!adm.admitted);
         assert_eq!(adm.outcome, AdmitOutcome::Rejected);
-        assert!(matches!(cache.lookup(&incumbent, &v), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&incumbent, &v, &no_delta), Lookup::Hit(_)));
         assert!(cache.stats().admission_rejects >= 1);
 
         // demand for the challenger keeps arriving (missed lookups feed
         // the sketch) — eventually it outweighs the incumbent and enters
         for _ in 0..4 {
-            assert!(matches!(cache.lookup(&challenger, &v), Lookup::Miss { .. }));
+            assert!(matches!(cache.lookup(&challenger, &v, &no_delta), Lookup::Miss { .. }));
         }
         let adm = cache.insert(&challenger, schema(), rows(8), vec![], 1_000.0);
         assert!(adm.admitted, "a repeatedly-requested fragment must win admission");
-        assert!(matches!(cache.lookup(&challenger, &v), Lookup::Hit(_)));
+        assert!(matches!(cache.lookup(&challenger, &v, &no_delta), Lookup::Hit(_)));
     }
 
     /// Fragments cheaper to refetch than the space they occupy are
@@ -1185,7 +1572,7 @@ mod tests {
         cache.insert(&k, schema(), rows(8), vec![("T".into(), 1)], 1.0);
         cache.insert(&k, schema(), rows(4), vec![("T".into(), 2)], 1.0);
         assert_eq!(cache.len(), 1);
-        match cache.lookup(&k, &|_| Some(2)) {
+        match cache.lookup(&k, &|_| Some(2), &no_delta) {
             Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 4),
             other => panic!("expected hit, got {other:?}"),
         }
@@ -1224,7 +1611,7 @@ mod tests {
         sorted.order = SortSpec::by(["A"]);
         cache.insert(&sorted, schema(), rows(20), vec![("T".into(), 1)], 1.0);
         cache.insert(&key("GET[T]()"), schema(), rows(5), vec![("T".into(), 1)], 1.0);
-        let r = cache.residency(&|_| Some(1));
+        let r = cache.residency(&|_| Some(1), &no_delta);
         let small = r.serves("GET[T]()", &SortSpec::none()).unwrap();
         let ordered = r.serves("GET[T]()", &SortSpec::by(["A"])).unwrap();
         assert!(small < ordered, "unordered request should pick the smaller entry");
@@ -1249,7 +1636,7 @@ mod tests {
     fn report_renders_shards_and_json() {
         let cache = MidCache::with_shards(1 << 20, 4);
         cache.insert(&key("A"), schema(), rows(2), vec![("T".into(), 1)], 1.0);
-        let _ = cache.lookup(&key("A"), &|_| Some(1));
+        let _ = cache.lookup(&key("A"), &|_| Some(1), &no_delta);
         cache.note_bypass();
         let text = cache.render_report();
         assert!(text.starts_with("cache: 4 shards, 1 entries"), "{text}");
@@ -1274,8 +1661,9 @@ mod tests {
             handles.push(thread::spawn(move || {
                 for i in 0..200u64 {
                     let k = key(&format!("SIG{}", (t * 7 + i) % 10));
-                    match cache.lookup(&k, &|_| Some(1)) {
+                    match cache.lookup(&k, &|_| Some(1), &no_delta) {
                         Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 8),
+                        Lookup::Stale { .. } => unreachable!("no delta source"),
                         Lookup::Miss { .. } => {
                             cache.insert(&k, schema(), rows(8), vec![("T".into(), 1)], 500.0);
                         }
@@ -1292,10 +1680,104 @@ mod tests {
         assert!(cache.bytes() <= cache.budget());
         // recount from scratch: the atomic total must match the shards
         let recount: u64 = {
-            let r = cache.residency(&|_| Some(1));
+            let r = cache.residency(&|_| Some(1), &no_delta);
             let _ = r;
             cache.shard_lens().iter().sum::<usize>() as u64 * entry_bytes
         };
         assert_eq!(cache.bytes(), recount, "byte accounting drifted under concurrency");
+    }
+
+    /// With a covering delta source, a moved version surfaces the entry
+    /// as `Stale` (carrying replay bytes) instead of dropping it; an
+    /// uncovered table still degrades to the invalidating miss.
+    #[test]
+    fn covered_staleness_is_surfaced_not_dropped() {
+        let cache = MidCache::new(1 << 20);
+        let k = key("GET[T]()");
+        cache.insert(&k, schema(), rows(4), vec![("T".into(), 1)], 100.0);
+        let covered = |_: &str, since: u64| Some(since * 7);
+        match cache.lookup(&k, &|_| Some(3), &covered) {
+            Lookup::Stale { entry, invalidated } => {
+                assert_eq!(entry.rows.len(), 4);
+                assert_eq!(entry.delta_bytes, 7, "replay bytes since the recorded version");
+                assert_eq!(entry.deps, vec![("T".to_string(), 1)]);
+                assert!(invalidated.is_empty());
+            }
+            other => panic!("expected stale, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 1, "a covered stale entry must stay resident");
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (0, 0, 0));
+        // the same moved version without delta coverage: dropped as before
+        match cache.lookup(&k, &|_| Some(3), &no_delta) {
+            Lookup::Miss { invalidated } => assert_eq!(invalidated, vec![k.sql.clone()]),
+            other => panic!("expected invalidating miss, got {other:?}"),
+        }
+        assert!(cache.is_empty());
+    }
+
+    /// `refresh` replaces rows and deps in place, counts a refresh and
+    /// a hit, and keeps byte accounting exact; stale-deps refreshes and
+    /// refreshes of vanished entries are rejected.
+    #[test]
+    fn refresh_commits_in_place() {
+        let cache = MidCache::new(1 << 20);
+        let k = key("GET[T]()");
+        cache.insert(&k, schema(), rows(4), vec![("T".into(), 1)], 100.0);
+        assert!(cache.refresh(&k, Arc::new(rows(6)), vec![("T".into(), 3)], 42));
+        assert_eq!(cache.len(), 1);
+        let expected: u64 = rows(6).iter().map(|t| t.byte_size() as u64).sum();
+        assert_eq!(cache.bytes(), expected, "refresh must swap the byte accounting");
+        match cache.lookup(&k, &|_| Some(3), &no_delta) {
+            Lookup::Hit(rel) => assert_eq!(rel.rows.len(), 6),
+            other => panic!("expected hit on refreshed entry, got {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.refreshes, s.refresh_bytes), (1, 42));
+        assert_eq!(s.hits, 2, "the refresh itself serves the querying session");
+        // a racing refresh carrying older deps loses
+        assert!(!cache.refresh(&k, Arc::new(rows(1)), vec![("T".into(), 2)], 1));
+        // refreshing an entry that is no longer resident is a no-op
+        assert!(cache.remove(&k));
+        assert!(!cache.refresh(&k, Arc::new(rows(1)), vec![("T".into(), 9)], 1));
+        assert_eq!(cache.stats().invalidations, 1, "remove counts as an invalidation");
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    /// All three maintenance outcomes are reachable by cost alone.
+    #[test]
+    fn maintenance_choice_reaches_all_three() {
+        let f = CostFactors::default();
+        // hot entry, small delta: refresh is cheapest
+        assert_eq!(maintenance_choice(&f, 10_000, 100, 5_000.0, 3, true), Maintenance::Refresh);
+        // hot entry, but the shape has no delta rule: refetch
+        assert_eq!(maintenance_choice(&f, 10_000, 100, 5_000.0, 3, false), Maintenance::Refetch);
+        // hot entry, delta dwarfs the base refill: refetch wins on cost
+        assert_eq!(maintenance_choice(&f, 10_000, 40_000, 5_000.0, 3, true), Maintenance::Refetch);
+        // never-hit entry: zero benefit, drop
+        assert_eq!(maintenance_choice(&f, 10_000, 100, 5_000.0, 0, true), Maintenance::Drop);
+    }
+
+    /// Residency prices stale entries at replay + merge + serve, fresh
+    /// ones at the cached serve; `serves` stays fresh-only.
+    #[test]
+    fn residency_prices_stale_entries() {
+        let f = CostFactors::default();
+        let cache = MidCache::new(1 << 20);
+        let k = key("GET[T]()");
+        cache.insert(&k, schema(), rows(10), vec![("T".into(), 1)], 100.0);
+        let base: u64 = rows(10).iter().map(|t| t.byte_size() as u64).sum();
+
+        let fresh = cache.residency(&|_| Some(1), &no_delta);
+        let fresh_cost = fresh.transfer_cost("GET[T]()", &SortSpec::none(), &f).unwrap();
+        assert!((fresh_cost - f.p_cached * base as f64).abs() < 1e-9);
+
+        let covered = |_: &str, _: u64| Some(64);
+        let stale = cache.residency(&|_| Some(2), &covered);
+        assert!(stale.serves("GET[T]()", &SortSpec::none()).is_none(), "serves is fresh-only");
+        let stale_cost = stale.transfer_cost("GET[T]()", &SortSpec::none(), &f).unwrap();
+        let expected = refresh_cost_us(&f, base, 64) + f.p_cached * base as f64;
+        assert!((stale_cost - expected).abs() < 1e-9);
+        assert!(stale_cost > fresh_cost);
     }
 }

@@ -64,6 +64,10 @@ pub struct CostFactors {
     pub p_coal: f64,
     /// `TDIFF^M`: per byte.
     pub p_diff: f64,
+    /// Cache refresh-by-delta: per byte of base + delta merged (the CPU
+    /// side of [`crate::cache::refresh_cost_us`]; the delta's wire cost
+    /// is charged at `p_tm`).
+    pub p_delta: f64,
 }
 
 impl Default for CostFactors {
@@ -97,6 +101,7 @@ impl Default for CostFactors {
             p_dupd: 0.010,
             p_coal: 0.008,
             p_diff: 0.010,
+            p_delta: 0.008,
         }
     }
 }

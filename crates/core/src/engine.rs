@@ -16,7 +16,7 @@ use crate::cost::CostFactors;
 use crate::error::{Result, TangoError};
 use crate::opt::{self, Catalog, OptOptions};
 use crate::phys::{Algo, PhysNode, Site};
-use crate::{session, to_sql};
+use crate::{refresh, session, to_sql};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -199,6 +199,22 @@ pub fn execute_cached_opts(
     cache: Option<&Arc<MidCache>>,
     exec: ExecOpts,
 ) -> Result<(Relation, ExecReport)> {
+    execute_cached_full(conn, plan, trace, cache, exec, CostFactors::default())
+}
+
+/// [`execute_cached_opts`] with explicit cost factors — what the
+/// per-`TRANSFER^M` cache-maintenance decision (refresh-by-delta vs
+/// refetch vs drop, see [`cache::maintenance_choice`]) prices with. The
+/// session threads its calibrated/adapted factors through here; the
+/// default factors reproduce [`execute_cached_opts`] exactly.
+pub fn execute_cached_full(
+    conn: &Connection,
+    plan: &PhysNode,
+    trace: bool,
+    cache: Option<&Arc<MidCache>>,
+    exec: ExecOpts,
+    factors: CostFactors,
+) -> Result<(Relation, ExecReport)> {
     if plan.algo.site() != Site::Middleware {
         return Err(TangoError::Exec(
             "plan root must be middleware-resident (delivery to the client)".into(),
@@ -207,7 +223,7 @@ pub fn execute_cached_opts(
     // meter this session's wire alone — the link clock is shared with
     // every other session on the database and would cross-charge
     let wire_before = conn.wire_time();
-    let mut ctx = Ctx::new(conn, trace, cache, exec);
+    let mut ctx = Ctx::new(conn, trace, cache, exec, factors);
     let started = Instant::now();
     let result = (|| -> Result<Relation> {
         let mut root = ctx.build_mid(plan)?;
@@ -344,7 +360,7 @@ pub fn execute_adaptive(
     } = cfg;
     let naive = options.naive_overlaps;
     let wire_before = conn.wire_time();
-    let mut ctx = Ctx::new(conn, true, cache, exec);
+    let mut ctx = Ctx::new(conn, true, cache, exec, factors);
     let mut work = plan.clone();
     let mut mat_orders: HashMap<String, SortSpec> = HashMap::new();
     let mut replans = 0usize;
@@ -632,6 +648,9 @@ struct Ctx<'a> {
     spliced: bool,
     /// Per-execution knobs threaded into every operator constructor.
     exec: ExecOpts,
+    /// Cost factors for the cache-maintenance decision (refresh vs
+    /// refetch vs drop) at each `TRANSFER^M`.
+    factors: CostFactors,
 }
 
 /// One mid-query materialization held by the engine.
@@ -653,15 +672,28 @@ enum CacheDecision {
     Bypass,
     /// Resident and fresh: serve this relation, issue no SQL.
     Hit(cache::CachedRelation),
-    /// Not resident: stream normally and populate on clean completion.
-    /// `invalidated` lists stale same-signature entries dropped during
-    /// lookup; `deps` the `(table, version)` pairs read *before* the
-    /// fragment's SQL runs, so a concurrent write always invalidates.
+    /// Resident but stale, and refresh-by-delta succeeded at plan-build
+    /// time: serve the merged fragment, issue no fragment SQL (the delta
+    /// fetch was the only wire traffic).
+    Refresh { rows: Arc<Vec<Tuple>>, bytes: u64, delta_bytes: u64 },
+    /// Resident but stale, and the maintenance decision says the entry
+    /// does not earn its keep: it was dropped, and the query streams
+    /// normally *without* re-populating.
+    Drop,
+    /// Not resident (or stale and due a refetch): stream normally and
+    /// populate on clean completion. `label` says why we are streaming
+    /// (`miss` or `refetch`); `bail` carries the reason when a refresh
+    /// attempt degraded here. `invalidated` lists uncoverable
+    /// same-signature entries dropped during lookup; `deps` the
+    /// `(table, version)` pairs read *before* the fragment's SQL runs,
+    /// so a concurrent write always invalidates.
     Miss {
         cache: Arc<MidCache>,
         key: cache::FragmentKey,
         deps: Vec<(String, u64)>,
         invalidated: Vec<String>,
+        label: &'static str,
+        bail: Option<String>,
     },
 }
 
@@ -671,6 +703,7 @@ impl<'a> Ctx<'a> {
         trace: bool,
         cache: Option<&Arc<MidCache>>,
         exec: ExecOpts,
+        factors: CostFactors,
     ) -> Ctx<'a> {
         Ctx {
             conn,
@@ -683,6 +716,7 @@ impl<'a> Ctx<'a> {
             mats: HashMap::new(),
             spliced: false,
             exec,
+            factors,
         }
     }
 
@@ -729,15 +763,41 @@ impl<'a> Ctx<'a> {
                             }
                             return Box::new(CachedScan::new(schema, rel.rows, rel.bytes));
                         }
+                        CacheDecision::Refresh { rows, bytes, delta_bytes } => {
+                            // serve the delta-merged copy: no fragment SQL
+                            if let Some(s) = &sink {
+                                s.add_annotation("cache", "refresh");
+                                s.add_event(
+                                    "refresh",
+                                    format!("merged {delta_bytes} delta bytes in place"),
+                                );
+                            }
+                            return Box::new(CachedScan::new(schema, rows, bytes));
+                        }
                         CacheDecision::Off => {}
                         CacheDecision::Bypass => {
                             if let Some(s) = &sink {
                                 s.add_annotation("cache", "bypass");
                             }
                         }
-                        CacheDecision::Miss { cache, key, deps, invalidated } => {
+                        CacheDecision::Drop => {
+                            // the maintenance decision evicted the stale
+                            // entry and declined to refill it
                             if let Some(s) = &sink {
-                                s.add_annotation("cache", "miss");
+                                s.add_annotation("cache", "drop");
+                                s.add_event(
+                                    "invalidate",
+                                    "stale entry dropped: refill would outcost its future hits"
+                                        .to_string(),
+                                );
+                            }
+                        }
+                        CacheDecision::Miss { cache, key, deps, invalidated, label, bail } => {
+                            if let Some(s) = &sink {
+                                s.add_annotation("cache", label);
+                                if let Some(reason) = &bail {
+                                    s.add_event("refresh", format!("refresh bailed: {reason}"));
+                                }
                                 for stale in &invalidated {
                                     s.add_event(
                                         "invalidate",
@@ -886,10 +946,13 @@ impl<'a> Ctx<'a> {
         Ok((Box::new(Instrumented { inner, slot, conn, batches: 0 }), idx))
     }
 
-    /// Decide hit/miss/bypass for one `TRANSFER^M` fragment. Dependency
-    /// versions are read here — *before* the fragment's SQL is issued —
-    /// so a write racing the query always invalidates the entry we would
-    /// populate.
+    /// Decide hit/refresh/refetch/drop/miss/bypass for one `TRANSFER^M`
+    /// fragment. Dependency versions are read here — *before* the
+    /// fragment's SQL is issued — so a write racing the query always
+    /// invalidates the entry we would populate. A stale-but-delta-covered
+    /// entry is settled by [`cache::maintenance_choice`] under the
+    /// session's cost factors: the cheapest of refreshing it in place,
+    /// refetching it, or dropping it without refill.
     fn consult_cache(&self, clean: &PhysNode, sql: &str) -> CacheDecision {
         let Some(cache) = &self.cache else { return CacheDecision::Off };
         let is_temp = |t: &str| t.to_uppercase().starts_with("TANGO_TMP_");
@@ -898,26 +961,84 @@ impl<'a> Ctx<'a> {
             return CacheDecision::Bypass;
         };
         let version_of = |t: &str| self.conn.table_version(t);
-        match cache.lookup(&key, &version_of) {
+        let refreshing = cache.refresh_enabled();
+        let delta_bytes_of = |t: &str, since: u64| {
+            if refreshing {
+                self.conn.delta_bytes_since(t, since)
+            } else {
+                None
+            }
+        };
+        // the `(table, version)` snapshot a populate would record, read
+        // before any SQL; `None` = a referenced table has no version
+        // (dictionary view, dropped mid-build): don't populate
+        let read_deps = |key: &cache::FragmentKey| -> Option<Vec<(String, u64)>> {
+            key.tables.iter().map(|t| self.conn.table_version(t).map(|v| (t.clone(), v))).collect()
+        };
+        let miss = |cache: &Arc<MidCache>,
+                    key: cache::FragmentKey,
+                    invalidated: Vec<String>,
+                    label: &'static str,
+                    bail: Option<String>| {
+            match read_deps(&key) {
+                None => {
+                    cache.note_bypass();
+                    CacheDecision::Bypass
+                }
+                Some(deps) => CacheDecision::Miss {
+                    cache: cache.clone(),
+                    key,
+                    deps,
+                    invalidated,
+                    label,
+                    bail,
+                },
+            }
+        };
+        match cache.lookup(&key, &version_of, &delta_bytes_of) {
             cache::Lookup::Hit(rel) => CacheDecision::Hit(rel),
-            cache::Lookup::Miss { invalidated } => {
-                let deps: Option<Vec<(String, u64)>> = key
-                    .tables
-                    .iter()
-                    .map(|t| self.conn.table_version(t).map(|v| (t.clone(), v)))
-                    .collect();
-                match deps {
-                    // a referenced table has no version (dictionary view,
-                    // dropped mid-build): don't populate
-                    None => {
-                        cache.note_bypass();
-                        CacheDecision::Bypass
+            cache::Lookup::Stale { entry, invalidated } => {
+                // address the entry by its *stored* order for the commit
+                let mut addr = key.clone();
+                addr.order = entry.order.clone();
+                let supported = refresh::supported(clean, &entry.order);
+                let choice = cache::maintenance_choice(
+                    &self.factors,
+                    entry.bytes,
+                    entry.delta_bytes,
+                    entry.fill_cost_us,
+                    entry.hits,
+                    supported,
+                );
+                match choice {
+                    cache::Maintenance::Refresh => {
+                        match refresh::try_refresh(self.conn, cache, clean, &entry) {
+                            refresh::RefreshOutcome::Done { rows, new_deps, delta_bytes } => {
+                                let bytes: u64 = rows.iter().map(|t| t.byte_size() as u64).sum();
+                                // a losing race (entry evicted or already
+                                // refreshed by a peer) only means our rows
+                                // don't enter the cache; they are still
+                                // the correct current result to serve
+                                cache.refresh(&addr, rows.clone(), new_deps, delta_bytes);
+                                CacheDecision::Refresh { rows, bytes, delta_bytes }
+                            }
+                            refresh::RefreshOutcome::Bail(reason) => {
+                                cache.note_refresh_bail(&addr);
+                                miss(cache, key, invalidated, "miss", Some(reason))
+                            }
+                        }
                     }
-                    Some(deps) => {
-                        CacheDecision::Miss { cache: cache.clone(), key, deps, invalidated }
+                    cache::Maintenance::Refetch => {
+                        cache.remove(&addr);
+                        miss(cache, key, invalidated, "refetch", None)
+                    }
+                    cache::Maintenance::Drop => {
+                        cache.remove(&addr);
+                        CacheDecision::Drop
                     }
                 }
             }
+            cache::Lookup::Miss { invalidated } => miss(cache, key, invalidated, "miss", None),
         }
     }
 

@@ -42,6 +42,7 @@ pub mod explain;
 pub mod feedback;
 pub mod opt;
 pub mod phys;
+mod refresh;
 pub mod rules;
 pub mod session;
 pub mod to_sql;

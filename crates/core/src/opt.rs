@@ -422,13 +422,17 @@ impl Semantics for TangoSem {
                 // Plan 1). When the fragment is already resident in the
                 // middleware cache (in a satisfying order), the transfer
                 // ships no bytes — price it as a memory scan of the
-                // cached copy instead of a wire transfer. The estimate is
-                // conservative: the fragment below is still costed as if
-                // it ran, so residency can only *shrink* a plan's cost.
-                let cost = match self.residency.serves(&props.signature, &required.order) {
-                    Some(bytes) => self.factors.p_cached * (bytes as f64).max(1.0),
-                    None => self.factors.cost(&Algo::TransferM, &stats, &props.stats),
-                };
+                // cached copy instead of a wire transfer; a stale-but-
+                // delta-covered copy additionally pays its refresh (delta
+                // wire + merge CPU, see `cache::refresh_cost_us`). The
+                // estimate is conservative: the fragment below is still
+                // costed as if it ran, so residency can only *shrink* a
+                // plan's cost.
+                let full = self.factors.cost(&Algo::TransferM, &stats, &props.stats);
+                let cost = self
+                    .residency
+                    .transfer_cost(&props.signature, &required.order, &self.factors)
+                    .map_or(full, |c| c.min(full));
                 out.push(Enforcer {
                     cost,
                     algo: Algo::TransferM,

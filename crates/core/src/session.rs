@@ -67,6 +67,15 @@ pub struct TangoOptions {
     /// be admitted. `false` restores admit-everything behavior, relying
     /// on GreedyDual-Size eviction alone. Default `true`.
     pub cache_admission: bool,
+    /// Whether stale cache entries may be **refreshed by delta replay**
+    /// instead of dropped on write. `true` (the default) keeps
+    /// stale-but-covered entries resident and lets the engine pick the
+    /// cheapest of refresh / refetch / drop per entry
+    /// ([`crate::cache::maintenance_choice`]); `false` restores
+    /// drop-on-write (every write invalidates dependent entries at the
+    /// next lookup — the baseline the `cache_maintenance` bench
+    /// compares against).
+    pub cache_refresh: bool,
     /// Rows per batch pulled between operators, per session. `None` (the
     /// default) falls back to the deprecated process-wide
     /// [`tango_xxl::set_batch_rows`] knob.
@@ -89,6 +98,7 @@ impl Default for TangoOptions {
             cache_budget: Some(DEFAULT_CACHE_BUDGET),
             cache_shards: DEFAULT_CACHE_SHARDS,
             cache_admission: true,
+            cache_refresh: true,
             batch_rows: None,
             workers: 1,
         }
@@ -310,10 +320,16 @@ impl Tango {
 
     /// The serving report of this session's cache: totals plus one line
     /// per active shard (hits, misses, evictions, admission rejects,
-    /// invalidations). The same text [`Tango::explain_analyze`] appends
-    /// to its rendering.
+    /// invalidations, refreshes), followed by the database's pending
+    /// delta-log footprint. The same text [`Tango::explain_analyze`]
+    /// appends to its rendering; the REPL prints it as `\cache`.
     pub fn cache_report(&self) -> String {
-        self.cache.render_report()
+        let mut s = self.cache.render_report();
+        s.push_str(&format!(
+            "delta logs: {} bytes pending\n",
+            self.conn.database().delta_log_bytes()
+        ));
+        s
     }
 
     /// The cache to hand to the engine this query, with the configured
@@ -327,17 +343,28 @@ impl Tango {
         if self.cache.admission() != self.options.cache_admission {
             self.cache.set_admission(self.options.cache_admission);
         }
+        if self.cache.refresh_enabled() != self.options.cache_refresh {
+            self.cache.set_refresh(self.options.cache_refresh);
+        }
         Some(&self.cache)
     }
 
     /// Snapshot of which fragment signatures the cache can serve right
-    /// now, after dropping entries invalidated by writes — the
-    /// optimizer's view of middleware residency.
+    /// now — fresh entries at served size, stale-but-covered ones with
+    /// their pending delta bytes (when [`TangoOptions::cache_refresh`]
+    /// is on) — after dropping uncoverable entries. The optimizer's
+    /// view of middleware residency.
     fn residency(&self) -> Residency {
         match self.active_cache() {
             Some(cache) => {
                 let conn = &self.conn;
-                cache.residency(&|t| conn.table_version(t))
+                if self.options.cache_refresh {
+                    cache.residency(&|t| conn.table_version(t), &|t, since| {
+                        conn.delta_bytes_since(t, since)
+                    })
+                } else {
+                    cache.residency(&|t| conn.table_version(t), &|_, _| None)
+                }
             }
             None => Residency::default(),
         }
@@ -472,12 +499,13 @@ impl Tango {
                 optimized.plan = run.plan;
                 (run.rel, run.report)
             }
-            None => engine::execute_cached_opts(
+            None => engine::execute_cached_full(
                 &self.conn,
                 &optimized.plan,
                 true,
                 self.active_cache(),
                 self.options.exec_opts(),
+                self.factors,
             )?,
         };
         if self.options.feedback {
@@ -489,12 +517,13 @@ impl Tango {
     /// Execute a hand-built physical plan (the performance study runs
     /// the paper's fixed Plans 1..n this way).
     pub fn execute_physical(&mut self, plan: &PhysNode) -> Result<(Relation, ExecReport)> {
-        let (rel, exec) = engine::execute_cached_opts(
+        let (rel, exec) = engine::execute_cached_full(
             &self.conn,
             plan,
             true,
             self.active_cache(),
             self.options.exec_opts(),
+            self.factors,
         )?;
         if self.options.feedback {
             feedback::apply_feedback(&mut self.factors, &exec, self.options.feedback_alpha);

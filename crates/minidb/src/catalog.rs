@@ -1,6 +1,7 @@
 //! Catalog and storage: heap tables, B-tree indexes, ANALYZE statistics,
 //! and Oracle-style dictionary views.
 
+use crate::delta::{DeltaLog, DeltaOp, DeltaRecord, DEFAULT_DELTA_LOG_CAP};
 use crate::error::{DbError, Result};
 use crate::wire::Link;
 use parking_lot::RwLock;
@@ -47,12 +48,29 @@ pub struct IndexDef {
     pub map: BTreeMap<Key, Vec<usize>>,
 }
 
-#[derive(Default)]
 pub struct DbInner {
     pub tables: HashMap<String, Table>,
     pub indexes: Vec<IndexDef>,
     /// Database-wide monotonic version counter; see [`Table::version`].
     pub version_clock: u64,
+    /// Per-table DML delta logs (insert/delete tombstones) backing the
+    /// middleware cache's refresh-by-delta maintenance; see
+    /// [`crate::delta::DeltaLog`].
+    pub delta_logs: HashMap<String, DeltaLog>,
+    /// Byte cap applied to newly created delta logs.
+    pub delta_cap: usize,
+}
+
+impl Default for DbInner {
+    fn default() -> Self {
+        DbInner {
+            tables: HashMap::new(),
+            indexes: Vec::new(),
+            version_clock: 0,
+            delta_logs: HashMap::new(),
+            delta_cap: DEFAULT_DELTA_LOG_CAP,
+        }
+    }
 }
 
 impl DbInner {
@@ -175,10 +193,12 @@ impl Database {
         }
         inner.version_clock += 1;
         let version = inner.version_clock;
+        let cap = inner.delta_cap;
         inner.tables.insert(
-            key,
+            key.clone(),
             Table { schema: Arc::new(schema), rows: Vec::new(), stats: None, version },
         );
+        inner.delta_logs.insert(key, DeltaLog::new(version, cap));
         Ok(())
     }
 
@@ -188,6 +208,7 @@ impl Database {
         if inner.tables.remove(&key).is_none() && !if_exists {
             return Err(DbError::NoSuchTable(name.to_string()));
         }
+        inner.delta_logs.remove(&key);
         inner.indexes.retain(|ix| !ix.table.eq_ignore_ascii_case(name));
         Ok(())
     }
@@ -207,9 +228,13 @@ impl Database {
                 )));
             }
         }
-        table.rows.extend(rows);
+        table.rows.extend(rows.iter().cloned());
         table.stats = None; // stale until re-ANALYZEd
         inner.bump_version(name);
+        let v = inner.version_clock;
+        if let Some(log) = inner.delta_logs.get_mut(&key) {
+            log.record(v, DeltaOp::Insert, rows);
+        }
         inner.refresh_indexes_for(name)?;
         Ok(n)
     }
@@ -221,13 +246,19 @@ impl Database {
         let table =
             inner.tables.get_mut(&key).ok_or_else(|| DbError::NoSuchTable(name.to_string()))?;
         let before = table.rows.len();
+        let mut tombstones = Vec::new();
         match pred {
-            None => table.rows.clear(),
+            None => tombstones = std::mem::take(&mut table.rows),
             Some(p) => {
                 let bound = p.bound(&table.schema)?;
                 let mut err = None;
                 table.rows.retain(|t| match bound.matches(t) {
-                    Ok(m) => !m,
+                    Ok(m) => {
+                        if m {
+                            tombstones.push(t.clone());
+                        }
+                        !m
+                    }
                     Err(e) => {
                         err = Some(e);
                         true
@@ -241,6 +272,10 @@ impl Database {
         let removed = (before - table.rows.len()) as u64;
         table.stats = None;
         inner.bump_version(name);
+        let v = inner.version_clock;
+        if let Some(log) = inner.delta_logs.get_mut(&key) {
+            log.record(v, DeltaOp::Delete, tombstones);
+        }
         inner.refresh_indexes_for(name)?;
         Ok(removed)
     }
@@ -282,6 +317,14 @@ impl Database {
         }
         table.stats = None;
         inner.bump_version(name);
+        let v = inner.version_clock;
+        if n > 0 {
+            // in-place mutation has no delete/insert tombstone form —
+            // poison the log so stale copies degrade to refetch/drop
+            if let Some(log) = inner.delta_logs.get_mut(&key) {
+                log.poison(v);
+            }
+        }
         inner.refresh_indexes_for(name)?;
         Ok(n)
     }
@@ -342,10 +385,78 @@ impl Database {
         self.inner.read().tables.get(&name.to_uppercase()).map(|t| t.version)
     }
 
+    /// Bytes of delta-log records a snapshot of `name` taken at version
+    /// `since` must replay to reach the current state, or `None` when no
+    /// such replay is possible (unknown table, or the log's floor has
+    /// risen past `since` through compaction or an in-place UPDATE).
+    /// Like [`Database::table_version`], a catalog peek — no wire.
+    pub fn delta_bytes_since(&self, name: &str, since: u64) -> Option<u64> {
+        self.inner.read().delta_logs.get(&name.to_uppercase()).and_then(|l| l.bytes_since(since))
+    }
+
+    /// Total bytes currently held across all per-table delta logs.
+    pub fn delta_log_bytes(&self) -> u64 {
+        self.inner.read().delta_logs.values().map(|l| l.bytes() as u64).sum()
+    }
+
+    /// Set the per-table delta-log byte cap, applying it to existing
+    /// logs immediately (they compact if now over it).
+    pub fn set_delta_cap(&self, cap: usize) {
+        let mut inner = self.inner.write();
+        inner.delta_cap = cap;
+        for log in inner.delta_logs.values_mut() {
+            log.set_cap(cap);
+        }
+    }
+
+    /// Atomically read the delta records each `(table, since)` request
+    /// must replay **and** a consistent version vector of every base
+    /// table, all under one read lock — the snapshot a refresher needs
+    /// to bring cached fragments forward without racing concurrent
+    /// writers. Returns `None` if any requested table is unknown or its
+    /// log no longer covers `since`.
+    pub fn deltas_since_multi(&self, reqs: &[(String, u64)]) -> Option<DeltaSnapshot> {
+        let inner = self.inner.read();
+        let mut tables = Vec::with_capacity(reqs.len());
+        for (name, since) in reqs {
+            let log = inner.delta_logs.get(&name.to_uppercase())?;
+            tables.push((name.to_uppercase(), log.records_since(*since)?));
+        }
+        let mut versions: Vec<(String, u64)> =
+            inner.tables.iter().map(|(n, t)| (n.clone(), t.version)).collect();
+        versions.sort();
+        Some(DeltaSnapshot { tables, versions })
+    }
+
     pub fn table_names(&self) -> Vec<String> {
         let mut v: Vec<String> = self.inner.read().tables.keys().cloned().collect();
         v.sort();
         v
+    }
+}
+
+/// A consistent point-in-time read of delta logs plus the version
+/// vector they are consistent with; see [`Database::deltas_since_multi`].
+#[derive(Debug)]
+pub struct DeltaSnapshot {
+    /// Per requested table (uppercased): the records to replay, in
+    /// version order.
+    pub tables: Vec<(String, Vec<DeltaRecord>)>,
+    /// `(table, version)` for every base table, sorted by name, read
+    /// under the same lock as the records.
+    pub versions: Vec<(String, u64)>,
+}
+
+impl DeltaSnapshot {
+    /// The snapshot version of `table`, if it exists.
+    pub fn version_of(&self, table: &str) -> Option<u64> {
+        let key = table.to_uppercase();
+        self.versions.iter().find(|(n, _)| *n == key).map(|(_, v)| *v)
+    }
+
+    /// Total wire bytes of the carried records.
+    pub fn byte_size(&self) -> u64 {
+        self.tables.iter().flat_map(|(_, recs)| recs.iter()).map(|r| r.byte_size() as u64).sum()
     }
 }
 

@@ -367,6 +367,36 @@ impl Connection {
     pub fn table_version(&self, name: &str) -> Option<u64> {
         self.db.table_version(name)
     }
+
+    /// Bytes of delta-log records a fragment snapshot over `name` at
+    /// version `since` would have to replay; see
+    /// [`Database::delta_bytes_since`]. A client-side catalog peek (no
+    /// wire) — the middleware uses it to *price* refresh-by-delta before
+    /// deciding to fetch anything.
+    pub fn delta_bytes_since(&self, name: &str, since: u64) -> Option<u64> {
+        self.db.delta_bytes_since(name, since)
+    }
+
+    /// Fetch the delta records each `(table, since)` request must replay
+    /// plus a consistent all-table version vector, in one wire round
+    /// trip charged with the records' encoded bytes (retried under the
+    /// connection's [`RetryPolicy`] like any transfer). `Ok(None)` means
+    /// the logs no longer cover a requested snapshot — the caller should
+    /// fall back to a full refetch; `Err` is a wire failure and nothing
+    /// was charged beyond the failed attempts.
+    pub fn fetch_deltas_multi(
+        &self,
+        reqs: &[(String, u64)],
+    ) -> Result<Option<crate::catalog::DeltaSnapshot>> {
+        let start = Instant::now();
+        let snap = self.db.deltas_since_multi(reqs);
+        let bytes = snap.as_ref().map_or(0, |s| s.byte_size());
+        // one request/response round trip carrying the tombstones (an
+        // uncovered request still costs the empty round trip)
+        self.wire_transfer(Duration::ZERO, 1, bytes)?;
+        self.db.add_server_ns(start.elapsed().as_nanos() as u64);
+        Ok(snap)
+    }
 }
 
 /// A client-side cursor over a server-side result. Rows are encoded on

@@ -35,6 +35,7 @@
 pub mod ast;
 pub mod catalog;
 pub mod connection;
+pub mod delta;
 pub mod error;
 pub mod exec;
 pub mod fault;
@@ -44,8 +45,9 @@ pub mod planner;
 pub mod retry;
 pub mod wire;
 
-pub use catalog::Database;
+pub use catalog::{Database, DeltaSnapshot};
 pub use connection::{Connection, DbCursor};
+pub use delta::{DeltaOp, DeltaRecord, DEFAULT_DELTA_LOG_CAP};
 pub use error::{DbError, ErrorClass, Result};
 pub use fault::{Fault, FaultInjector, FaultPlan, WireFailure};
 pub use retry::RetryPolicy;

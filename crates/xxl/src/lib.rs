@@ -75,6 +75,7 @@
 pub mod coalesce;
 pub mod cursor;
 pub mod dedup;
+pub mod delta;
 pub mod filter;
 pub mod merge_join;
 pub mod nested_loop;
@@ -93,6 +94,7 @@ pub use cursor::{
     BoxCursor, Cursor, ExecError, ExecOpts, Result,
 };
 pub use dedup::DupElim;
+pub use delta::{delta_filter, delta_join, delta_project, DeltaApply, ZSet};
 pub use filter::Filter;
 pub use merge_join::MergeJoin;
 pub use nested_loop::NestedLoopJoin;

@@ -23,6 +23,8 @@
 //! * `\factors`         — show the current cost factors
 //! * `\workers [n]`     — show/set the morsel worker pool (0 = auto)
 //! * `\batch [n]`       — show/set this session's batch size
+//! * `\cache`           — relation-cache report (residency, hit/refresh
+//!   counters, pending delta-log bytes)
 //! * `\tables`          — list tables
 //! * `\quit`
 
@@ -156,6 +158,7 @@ fn handle_meta(line: &str, tango: &mut Tango, conn: &Connection) -> bool {
                 }
             }
         }
+        "\\cache" => print!("{}", tango.cache_report()),
         "\\tables" => {
             for t in conn.database().table_names() {
                 let rows = conn
@@ -185,7 +188,7 @@ fn handle_meta(line: &str, tango: &mut Tango, conn: &Connection) -> bool {
             }
             Err(e) => println!("error: {e}"),
         },
-        other => println!("unknown meta command {other} (try \\quit, \\plan, \\explain, \\calibrate, \\factors, \\workers, \\batch, \\tables)"),
+        other => println!("unknown meta command {other} (try \\quit, \\plan, \\explain, \\calibrate, \\factors, \\workers, \\batch, \\cache, \\tables)"),
     }
     false
 }

@@ -1,0 +1,490 @@
+//! Incremental cache maintenance, end to end: writes no longer simply
+//! evict — the engine prices refreshing a stale fragment by delta-log
+//! replay against refetching or dropping it, picks the cheapest, and a
+//! refreshed fragment is **byte-identical** to a cold refetch. The
+//! differential suites gate exactly that equivalence across the
+//! cacheable shapes (filter/project chains, the merge joins, `TAGGR`),
+//! write mixes and batch sizes, and the chaos test pins that a faulted
+//! refresh never corrupts or populates the cache.
+
+use proptest::prelude::*;
+use std::sync::{Arc, Barrier};
+use std::thread;
+use tango::algebra::{
+    tup, AggFunc, AggSpec, Attr, CmpOp, Expr, ProjItem, Schema, SortSpec, Type, Value,
+};
+use tango::core::cost::CostFactors;
+use tango::core::phys::{Algo, PhysNode};
+use tango::minidb::{Connection, Database, Fault, FaultPlan, Link, LinkProfile};
+use tango::Tango;
+
+const QUERY1: &str = "VALIDTIME SELECT PosID, COUNT(PosID) AS Cnt FROM POSITION \
+                      GROUP BY PosID ORDER BY PosID";
+
+/// POSITION plus a SALARY side table (for the two-table join shapes).
+fn make_db(profile: LinkProfile, rows: &[(i64, i64, f64, i32, i32)]) -> Database {
+    let db = Database::new(Link::new(profile));
+    let position = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("PayRate", Type::Double),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    db.create_table("POSITION", position).unwrap();
+    db.insert_rows(
+        "POSITION",
+        rows.iter().map(|&(p, e, pay, t1, t2)| tup![p, e, Value::Double(pay), t1, t2]).collect(),
+    )
+    .unwrap();
+    let salary = Schema::with_inferred_period(vec![
+        Attr::new("EmpID", Type::Int),
+        Attr::new("Amount", Type::Int),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    db.create_table("SALARY", salary).unwrap();
+    db.insert_rows("SALARY", (1..=20).map(|e| tup![e, 100 + 7 * e, 0, 60]).collect()).unwrap();
+    db.analyze("POSITION").unwrap();
+    db.analyze("SALARY").unwrap();
+    db.link().reset();
+    db
+}
+
+fn default_rows(n: usize) -> Vec<(i64, i64, f64, i32, i32)> {
+    // distinct PosID per row: the chain fragment's delivered order is a
+    // key, so every merge is provably order-determined
+    (0..n as i64).map(|i| (i, 1 + i % 20, (i % 37) as f64 / 3.0, 0, 30 + (i % 11) as i32)).collect()
+}
+
+fn scan(conn: &Connection, table: &str) -> PhysNode {
+    PhysNode {
+        algo: Algo::ScanD(table.into()),
+        schema: Arc::new(conn.table_schema(table).unwrap()),
+        children: vec![],
+    }
+}
+
+fn un(algo: Algo, child: PhysNode) -> PhysNode {
+    let schema = Arc::new(algo.output_schema(&[child.schema.as_ref()]).unwrap());
+    PhysNode { algo, schema, children: vec![child] }
+}
+
+fn bin(algo: Algo, l: PhysNode, r: PhysNode) -> PhysNode {
+    let schema = Arc::new(algo.output_schema(&[l.schema.as_ref(), r.schema.as_ref()]).unwrap());
+    PhysNode { algo, schema, children: vec![l, r] }
+}
+
+/// `SEL`-chain fragment: σ(PayRate ≥ 0) over POSITION, delivered sorted
+/// on every column (a key, so refresh is always order-determined).
+fn chain_plan(conn: &Connection) -> PhysNode {
+    let pred = Expr::cmp(CmpOp::Ge, Expr::col("PayRate"), Expr::lit(0.0));
+    let order = SortSpec::by(["PosID", "EmpID", "PayRate", "T1", "T2"]);
+    un(Algo::TransferM, un(Algo::SortD(order), un(Algo::FilterD(pred), scan(conn, "POSITION"))))
+}
+
+/// The SALARY side as its own cacheable fragment — querying this first
+/// makes it the *resident other side* a join delta can replay against.
+fn salary_plan(conn: &Connection) -> PhysNode {
+    un(Algo::TransferM, scan(conn, "SALARY"))
+}
+
+/// Temporal merge join POSITION ⋈ᵀ SALARY on EmpID, both sides linear
+/// chains over distinct tables.
+fn join_plan(conn: &Connection) -> PhysNode {
+    let eq = vec![("EmpID".to_string(), "EmpID".to_string())];
+    let order = SortSpec::by(["EmpID", "PosID", "PayRate", "Amount", "T1", "T2"]);
+    un(
+        Algo::TransferM,
+        un(Algo::SortD(order), bin(Algo::TJoinD(eq), scan(conn, "POSITION"), scan(conn, "SALARY"))),
+    )
+}
+
+/// `TAGGR^D` fragment: COUNT of POSITION rows per PosID, delivered on
+/// (PosID, T1) — unique over the aggregate's constant intervals.
+fn taggr_plan(conn: &Connection) -> PhysNode {
+    let group_by = vec!["PosID".to_string()];
+    let aggs = vec![AggSpec::new(AggFunc::Count, Some("PosID"), "Cnt")];
+    let arg = un(
+        Algo::ProjectD(["PosID", "T1", "T2"].iter().map(|c| ProjItem::col(*c)).collect()),
+        scan(conn, "POSITION"),
+    );
+    un(
+        Algo::TransferM,
+        un(Algo::SortD(SortSpec::by(["PosID", "T1"])), un(Algo::TAggrD { group_by, aggs }, arg)),
+    )
+}
+
+fn cache_annotations(exec: &tango::core::engine::ExecReport) -> Vec<Option<&str>> {
+    exec.steps
+        .iter()
+        .filter(|st| matches!(st.algo, Algo::TransferM))
+        .map(|st| st.annotation("cache"))
+        .collect()
+}
+
+fn control_run(db: &Database, plan: &PhysNode) -> tango::algebra::Relation {
+    let mut off = Tango::connect_private(db.clone());
+    off.options_mut().cache_budget = None;
+    off.execute_physical(plan).unwrap().0
+}
+
+/// A write no longer costs the warm speedup: the stale chain fragment is
+/// refreshed in place by replaying the table's tombstones — cheaper on
+/// the wire than the cold run — and the merged result is byte-identical
+/// to a cold refetch.
+#[test]
+fn chain_refresh_survives_writes_byte_identically() {
+    let db = make_db(LinkProfile::default(), &default_rows(150));
+    let mut tango = Tango::connect(db.clone());
+    let plan = chain_plan(tango.conn());
+
+    let rt0 = db.link().roundtrips();
+    tango.execute_physical(&plan).unwrap();
+    let cold_rts = db.link().roundtrips() - rt0;
+    tango.execute_physical(&plan).unwrap(); // hit: the entry earns its keep
+
+    db.insert_rows("POSITION", vec![tup![999, 9, Value::Double(3.5), 0, 40]]).unwrap();
+    let rt1 = db.link().roundtrips();
+    let (got, exec) = tango.execute_physical(&plan).unwrap();
+    let refresh_rts = db.link().roundtrips() - rt1;
+
+    let annots = cache_annotations(&exec);
+    assert_eq!(annots, vec![Some("refresh")], "{annots:?}");
+    let s = tango.cache().stats();
+    assert_eq!(s.refreshes, 1, "{s:?}");
+    assert!(s.refresh_bytes > 0, "{s:?}");
+    assert_eq!(s.invalidations, 0, "a refreshed entry must not be dropped: {s:?}");
+    assert!(
+        refresh_rts < cold_rts,
+        "refresh must beat a refetch on the wire: {refresh_rts} vs {cold_rts} round trips"
+    );
+    assert!(got.tuples().iter().any(|t| t[0] == Value::Int(999)), "{got}");
+    let expect = control_run(&db, &plan);
+    assert!(got.list_eq(&expect), "refresh diverged from cold\nexpected:\n{expect}\ngot:\n{got}");
+
+    // the refreshed entry keeps serving hits without the wire
+    let rt2 = db.link().roundtrips();
+    let (warm, _) = tango.execute_physical(&plan).unwrap();
+    assert_eq!(db.link().roundtrips(), rt2, "a post-refresh hit must not touch the wire");
+    assert!(warm.list_eq(&expect));
+}
+
+/// The maintenance decision is priced, not hard-coded: the *same* stale
+/// entry is refreshed under the default factors but refetched when
+/// `p_delta` makes replay merging prohibitive — flipped by cost alone.
+#[test]
+fn maintenance_picks_refetch_when_replay_outcosts_it() {
+    let db = make_db(LinkProfile::default(), &default_rows(150));
+    let mut tango = Tango::connect(db.clone());
+    let plan = chain_plan(tango.conn());
+    tango.execute_physical(&plan).unwrap();
+    tango.execute_physical(&plan).unwrap();
+
+    db.insert_rows("POSITION", vec![tup![999, 9, Value::Double(3.5), 0, 40]]).unwrap();
+    // replay CPU priced astronomically: refetching is now the cheapest
+    // way to keep the entry
+    tango.set_factors(CostFactors { p_delta: 1e9, ..Default::default() });
+    let (got, exec) = tango.execute_physical(&plan).unwrap();
+
+    let annots = cache_annotations(&exec);
+    assert_eq!(annots, vec![Some("refetch")], "{annots:?}");
+    let s = tango.cache().stats();
+    assert_eq!(s.refreshes, 0, "{s:?}");
+    assert!(s.invalidations >= 1, "{s:?}");
+    assert_eq!(s.insertions, 2, "the refetch must repopulate: {s:?}");
+    let expect = control_run(&db, &plan);
+    assert!(got.list_eq(&expect), "expected:\n{expect}\ngot:\n{got}");
+}
+
+/// A never-hit entry has no future benefit to amortize either a refresh
+/// or a refetch against: the write drops it and the query streams
+/// without repopulating.
+#[test]
+fn maintenance_drops_never_hit_entries() {
+    let db = make_db(LinkProfile::default(), &default_rows(150));
+    let mut tango = Tango::connect(db.clone());
+    let plan = chain_plan(tango.conn());
+    tango.execute_physical(&plan).unwrap(); // populate; zero hits so far
+
+    db.insert_rows("POSITION", vec![tup![999, 9, Value::Double(3.5), 0, 40]]).unwrap();
+    let (got, exec) = tango.execute_physical(&plan).unwrap();
+
+    let annots = cache_annotations(&exec);
+    assert_eq!(annots, vec![Some("drop")], "{annots:?}");
+    let s = tango.cache().stats();
+    assert_eq!((s.refreshes, s.insertions), (0, 1), "{s:?}");
+    assert!(s.invalidations >= 1, "{s:?}");
+    assert_eq!(tango.cache().len(), 0, "a dropped entry must not be refilled: {s:?}");
+    let expect = control_run(&db, &plan);
+    assert!(got.list_eq(&expect), "expected:\n{expect}\ngot:\n{got}");
+}
+
+/// The bilinear join rule: with the SALARY side resident fresh, a write
+/// to POSITION refreshes the join fragment by delta-joining the
+/// tombstones against the resident other side — no join SQL re-runs.
+#[test]
+fn join_refresh_replays_against_resident_other_side() {
+    let db = make_db(LinkProfile::default(), &default_rows(60));
+    let mut tango = Tango::connect(db.clone());
+    let jplan = join_plan(tango.conn());
+    let splan = salary_plan(tango.conn());
+
+    tango.execute_physical(&splan).unwrap(); // make the other side resident
+    tango.execute_physical(&jplan).unwrap();
+    tango.execute_physical(&jplan).unwrap(); // the join entry earns a hit
+
+    db.insert_rows("POSITION", vec![tup![999, 3, Value::Double(9.9), 5, 25]]).unwrap();
+    let (got, exec) = tango.execute_physical(&jplan).unwrap();
+
+    let annots = cache_annotations(&exec);
+    assert_eq!(annots, vec![Some("refresh")], "{annots:?}");
+    assert_eq!(tango.cache().stats().refreshes, 1, "{:?}", tango.cache().stats());
+    assert!(got.tuples().iter().any(|t| t[0] == Value::Int(999)), "{got}");
+    let expect = control_run(&db, &jplan);
+    assert!(got.list_eq(&expect), "expected:\n{expect}\ngot:\n{got}");
+
+    // without the resident other side the same write must *bail* to a
+    // refetch — and still produce identical bytes
+    let db2 = make_db(LinkProfile::default(), &default_rows(60));
+    let mut solo = Tango::connect(db2.clone());
+    let jplan2 = join_plan(solo.conn());
+    solo.execute_physical(&jplan2).unwrap();
+    solo.execute_physical(&jplan2).unwrap();
+    db2.insert_rows("POSITION", vec![tup![999, 3, Value::Double(9.9), 5, 25]]).unwrap();
+    let (got2, exec2) = solo.execute_physical(&jplan2).unwrap();
+    let annots2 = cache_annotations(&exec2);
+    assert_eq!(annots2, vec![Some("miss")], "{annots2:?}");
+    let s = solo.cache().stats();
+    assert!(s.refresh_bails >= 1, "{s:?}");
+    assert_eq!(s.refreshes, 0, "{s:?}");
+    let expect2 = control_run(&db2, &jplan2);
+    assert!(got2.list_eq(&expect2), "expected:\n{expect2}\ngot:\n{got2}");
+}
+
+/// Touched-group re-aggregation: a write to one group refreshes the
+/// `TAGGR` fragment by refetching only that group's rows and splicing
+/// them over the cached base.
+#[test]
+fn taggr_refresh_refetches_only_touched_groups() {
+    let db = make_db(LinkProfile::default(), &default_rows(150));
+    let mut tango = Tango::connect(db.clone());
+    let plan = taggr_plan(tango.conn());
+    tango.execute_physical(&plan).unwrap();
+    tango.execute_physical(&plan).unwrap();
+
+    // touch exactly one group (PosID 7)
+    db.insert_rows("POSITION", vec![tup![7, 9, Value::Double(3.5), 2, 50]]).unwrap();
+    let (got, exec) = tango.execute_physical(&plan).unwrap();
+
+    let annots = cache_annotations(&exec);
+    assert_eq!(annots, vec![Some("refresh")], "{annots:?}");
+    let s = tango.cache().stats();
+    assert_eq!(s.refreshes, 1, "{s:?}");
+    let expect = control_run(&db, &plan);
+    assert!(got.list_eq(&expect), "expected:\n{expect}\ngot:\n{got}");
+    // the touched-group refetch must move far less than the full result
+    let full_bytes: u64 = expect.tuples().iter().map(|t| t.byte_size() as u64).sum();
+    assert!(
+        s.refresh_bytes < full_bytes,
+        "refetched too much: {} vs {full_bytes}",
+        s.refresh_bytes
+    );
+}
+
+/// Chaos: a wire fault during the delta fetch makes the refresh bail —
+/// the query degrades to an ordinary streamed refetch, results stay
+/// byte-identical, and the faulted attempt neither corrupts nor
+/// populates the cache.
+#[test]
+fn faulted_refresh_never_corrupts_or_populates() {
+    let db = make_db(LinkProfile::default(), &default_rows(150));
+    let mut tango = Tango::connect(db.clone());
+    let plan = chain_plan(tango.conn());
+    tango.execute_physical(&plan).unwrap();
+    tango.execute_physical(&plan).unwrap();
+
+    db.insert_rows("POSITION", vec![tup![999, 9, Value::Double(3.5), 0, 40]]).unwrap();
+    let rt = db.link().roundtrips();
+    db.link().set_injector(Arc::new(FaultPlan::scripted([(
+        rt + 1,
+        Fault::Fatal("ORA-03113: end-of-file on delta channel".into()),
+    )])));
+    let (got, exec) = tango.execute_physical(&plan).unwrap();
+    db.link().clear_injector();
+
+    let annots = cache_annotations(&exec);
+    assert_eq!(annots, vec![Some("miss")], "the bail must degrade to a miss: {annots:?}");
+    let s = tango.cache().stats();
+    assert!(s.refresh_bails >= 1, "{s:?}");
+    assert_eq!(s.refreshes, 0, "a faulted refresh must not commit: {s:?}");
+    let expect = control_run(&db, &plan);
+    assert!(got.list_eq(&expect), "expected:\n{expect}\ngot:\n{got}");
+
+    // the fallback populate installed a fresh entry: warm again, and
+    // still identical
+    let rt2 = db.link().roundtrips();
+    let (warm, _) = tango.execute_physical(&plan).unwrap();
+    assert_eq!(db.link().roundtrips(), rt2, "the repopulated entry must serve hits");
+    assert!(warm.list_eq(&expect));
+}
+
+/// Write-heavy racing: concurrent writers against warm refresher
+/// sessions. No interleaving may serve stale or corrupt bytes, and once
+/// the dust settles a deterministic write must still be settled — as an
+/// in-place refresh or an invalidation, never ignored.
+#[test]
+fn racing_writers_vs_refreshers_stay_consistent() {
+    let db = make_db(LinkProfile::instant(), &default_rows(80));
+    let start = Arc::new(Barrier::new(4)); // 2 writers + 2 refreshers
+    let writers: Vec<_> = (0..2)
+        .map(|w| {
+            let db = db.clone();
+            let start = start.clone();
+            thread::spawn(move || {
+                let conn = Connection::new(db);
+                start.wait();
+                for i in 0..15 {
+                    let id = 2000 + w * 100 + i;
+                    conn.execute(&format!("INSERT INTO POSITION VALUES ({id}, 5, 1.5, 0, 30)"))
+                        .unwrap();
+                    if i % 3 == 0 {
+                        conn.execute(&format!("DELETE FROM POSITION WHERE PosID = {id}")).unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+    let refreshers: Vec<_> = (0..2)
+        .map(|_| {
+            let db = db.clone();
+            let start = start.clone();
+            thread::spawn(move || {
+                let mut tango = Tango::connect(db);
+                tango.refresh_statistics().unwrap();
+                let plan = chain_plan(tango.conn());
+                start.wait();
+                for _ in 0..15 {
+                    let (rel, _) = tango.execute_physical(&plan).unwrap();
+                    assert!(!rel.is_empty());
+                    let (rel2, _) = tango.query(QUERY1).unwrap();
+                    assert!(!rel2.is_empty());
+                }
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().unwrap();
+    }
+    for r in refreshers {
+        r.join().unwrap();
+    }
+
+    // quiesced: the warm answer must equal a cache-off session's over
+    // the final state
+    db.analyze("POSITION").unwrap();
+    let mut warm = Tango::connect(db.clone());
+    let plan = chain_plan(warm.conn());
+    let (got, _) = warm.execute_physical(&plan).unwrap();
+    let expect = control_run(&db, &plan);
+    assert!(got.list_eq(&expect), "a stale relation survived the race");
+
+    // deterministic post-race freshness: one more write must be settled
+    warm.execute_physical(&plan).unwrap(); // earn a hit so refresh can win
+    let before = warm.cache().stats();
+    db.insert_rows("POSITION", vec![tup![7777, 1, Value::Double(2.0), 0, 9]]).unwrap();
+    let (after, _) = warm.execute_physical(&plan).unwrap();
+    let s = warm.cache().stats();
+    assert!(
+        s.refreshes > before.refreshes || s.invalidations > before.invalidations,
+        "the post-race write was neither refreshed nor invalidated: {s:?}"
+    );
+    assert!(after.tuples().iter().any(|t| t[0] == Value::Int(7777)), "{after}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+    /// Differential gate: across the cacheable shapes, insert/delete/
+    /// mixed write batches and batch sizes 1 and 1024, a refresh-by-delta
+    /// session answers every query byte-identically to a drop-on-write
+    /// session *and* to a cache-off session over the same database state.
+    /// Refresh is an optimization that must be invisible or absent.
+    #[test]
+    fn refresh_by_delta_is_equivalent_to_refetch(
+        rows in proptest::collection::vec(
+            (0i64..40, 1i64..8, 0.0f64..20.0, 0i32..50, 1i32..30),
+            1..50,
+        ),
+        writes in proptest::collection::vec(
+            (0u8..3, 0i64..40, 1i64..8, 0i32..50, 1i32..30),
+            1..8,
+        ),
+        batch in proptest::sample::select(vec![1usize, 1024]),
+    ) {
+        let fixed: Vec<(i64, i64, f64, i32, i32)> =
+            rows.into_iter().map(|(p, e, pay, t1, d)| (p, e, pay, t1, t1 + d)).collect();
+        let db = make_db(LinkProfile::instant(), &fixed);
+
+        let mut refreshing = Tango::connect_private(db.clone());
+        refreshing.options_mut().batch_rows = Some(batch);
+        let mut dropping = Tango::connect_private(db.clone());
+        dropping.options_mut().cache_refresh = false;
+        dropping.options_mut().batch_rows = Some(batch);
+        let mut uncached = Tango::connect_private(db.clone());
+        uncached.options_mut().cache_budget = None;
+        uncached.options_mut().batch_rows = Some(batch);
+
+        let conn = Connection::new(db.clone());
+        let plans = [
+            salary_plan(&conn), // first: the join's resident other side
+            chain_plan(&conn),
+            join_plan(&conn),
+            taggr_plan(&conn),
+        ];
+        let mut check = |note: &str| {
+            for plan in &plans {
+                // twice: the second run exercises hit/refresh paths
+                for pass in ["cold", "warm"] {
+                    let (a, _) = refreshing.execute_physical(plan).unwrap();
+                    let (b, _) = dropping.execute_physical(plan).unwrap();
+                    let (c, _) = uncached.execute_physical(plan).unwrap();
+                    prop_assert!(
+                        a.list_eq(&c),
+                        "refresh-by-delta diverged ({note}, {pass})\nexpected:\n{c}\ngot:\n{a}"
+                    );
+                    prop_assert!(
+                        b.list_eq(&c),
+                        "drop-on-write diverged ({note}, {pass})\nexpected:\n{c}\ngot:\n{b}"
+                    );
+                }
+            }
+        };
+
+        check("pre-write");
+        for (i, &(kind, p, e, t1, d)) in writes.iter().enumerate() {
+            match kind {
+                0 => db
+                    .insert_rows(
+                        "POSITION",
+                        vec![tup![p, e, Value::Double(1.25), t1, t1 + d]],
+                    )
+                    .map(|_| ())
+                    .unwrap(),
+                1 => {
+                    conn.execute(&format!("DELETE FROM POSITION WHERE PosID = {p}")).map(|_| ()).unwrap()
+                }
+                _ => {
+                    db.insert_rows(
+                        "POSITION",
+                        vec![tup![p, e, Value::Double(0.5), t1, t1 + d]],
+                    )
+                    .unwrap();
+                    conn.execute(&format!("DELETE FROM POSITION WHERE EmpID = {e} AND T1 = {t1}"))
+                        .map(|_| ())
+                        .unwrap();
+                }
+            }
+            check(&format!("after write {i}"));
+        }
+    }
+}
