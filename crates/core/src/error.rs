@@ -26,6 +26,8 @@ pub enum TangoError {
     Exec(String),
     /// The optimizer could not produce a plan.
     Optimizer(String),
+    /// A rewrite rule pack failed to load or validate.
+    Rewrite(String),
 }
 
 impl TangoError {
@@ -47,6 +49,7 @@ impl fmt::Display for TangoError {
             TangoError::Wire { class, msg } => write!(f, "wire error ({class}): {msg}"),
             TangoError::Exec(m) => write!(f, "execution error: {m}"),
             TangoError::Optimizer(m) => write!(f, "optimizer error: {m}"),
+            TangoError::Rewrite(m) => write!(f, "rewrite error: {m}"),
         }
     }
 }

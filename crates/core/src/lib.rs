@@ -19,6 +19,7 @@
 //! | Paper component       | Module        |
 //! |-----------------------|---------------|
 //! | Parser                | [`tsql`]      |
+//! | (rewrite packs)       | [`rewrite`]   |
 //! | Optimizer             | [`opt`] + [`rules`] (on the generic [`volcano`] crate) |
 //! | Statistics Collector  | [`collector`] |
 //! | Cost Estimator        | [`calibrate`] (+ [`feedback`] for the adaptive loop) |
@@ -43,6 +44,7 @@ pub mod feedback;
 pub mod opt;
 pub mod phys;
 mod refresh;
+pub mod rewrite;
 pub mod rules;
 pub mod session;
 pub mod to_sql;

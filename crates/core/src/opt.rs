@@ -24,7 +24,7 @@ use crate::phys::{Algo, PhysNode, Req, Site, TOp};
 use crate::rules;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tango_algebra::{Logical, Schema, SortSpec};
+use tango_algebra::{Logical, Schema, SortKey, SortSpec};
 use tango_stats::RelationStats;
 use volcano::{Enforcer, Implementation, Memo, NewExpr, PhysPlan, SearchStats, Semantics};
 
@@ -311,15 +311,33 @@ impl Semantics for TangoSem {
                     });
                 }
                 TOp::Project { items } => {
-                    // order-preserving when the required order survives
-                    // the projection (precondition of rule E5)
-                    let order_ok = required.order.keys().iter().all(|k| props.schema.has(&k.col));
-                    if order_ok {
+                    // order-preserving when every required key is a plain
+                    // column the projection passes through (precondition
+                    // of rule E5). The requirement names *output* columns,
+                    // so remap each key through its item's alias before
+                    // pushing it below the projection; a key fed by a
+                    // computed item cannot be sorted early.
+                    let mapped: Option<Vec<SortKey>> = required
+                        .order
+                        .keys()
+                        .iter()
+                        .map(|k| {
+                            let item =
+                                items.iter().find(|it| it.alias.eq_ignore_ascii_case(&k.col))?;
+                            match &item.expr {
+                                tango_algebra::Expr::Col { name, .. } => {
+                                    Some(SortKey { col: name.clone(), desc: k.desc })
+                                }
+                                _ => None,
+                            }
+                        })
+                        .collect();
+                    if let Some(keys) = mapped {
                         let algo = Algo::ProjectM(items.clone());
                         out.push(Implementation {
                             cost: cost(&algo),
                             algo,
-                            child_required: vec![Req::mid(required.order.clone())],
+                            child_required: vec![Req::mid(SortSpec(keys))],
                         });
                     }
                 }

@@ -1,0 +1,1699 @@
+//! Config-driven query rewriting — the adaptable stage *before* the
+//! Volcano optimizer ever runs.
+//!
+//! The paper's middleware adapts after optimization (cost-model
+//! calibration, mid-query re-planning); this module adds the missing
+//! front door: declarative pattern → replacement rules, loaded from
+//! checked-in JSON rule packs (`rules/*.json`), applied to the logical
+//! algebra tree between the tsql parser and the optimizer. Rules fix
+//! queries the optimizer cannot — predicate spellings its estimator does
+//! not recognize, cartesian products hiding equi-joins, a second SQL
+//! surface that never mentions `VALIDTIME`.
+//!
+//! A pack mixes two rule kinds (see `docs/REWRITES.md` for the full
+//! format reference):
+//!
+//! * **`expr` rules** — declarative expression patterns with binding
+//!   variables (`"?a"` any expression, `"?c:col"` a column, `"?l:lit"` a
+//!   literal, `"?op"` a comparison operator) and a replacement template
+//!   that may transform bound operators (`["negate", "?op"]`,
+//!   `["flip", "?op"]`). Matched bottom-up against every predicate and
+//!   projection expression.
+//! * **`pass` rules** — named plan-level transformations implemented in
+//!   Rust and *selected and ordered* from the pack file:
+//!   [`PlanPass::ProductToJoin`], [`PlanPass::MergeSelects`],
+//!   [`PlanPass::SqlOverlapToTJoin`].
+//!
+//! Packs are applied to **fixpoint with a pass budget**: whole-tree
+//! sweeps repeat until nothing changes or the budget is hit (looping
+//! rule sets terminate and surface a `rewrite_budget_hit` counter
+//! instead of hanging). Every firing is recorded and reported as
+//! `rewrite` span events/counters in `EXPLAIN ANALYZE`, the optimizer
+//! trace, and JSON traces.
+//!
+//! Enable packs per session via
+//! [`TangoOptions::rewrite_packs`](crate::TangoOptions::rewrite_packs)
+//! or `\rewrites` in the REPL.
+
+use crate::error::{Result, TangoError};
+use std::path::{Path, PathBuf};
+use tango_algebra::logical::{concat_schemas, tjoin_schema};
+use tango_algebra::{CmpOp, Expr, Logical, ProjItem, SchemaSource};
+
+/// Default whole-tree sweep budget of [`Rewriter::apply`]; a pack file
+/// may lower it with a `"budget"` key.
+pub const DEFAULT_PASS_BUDGET: usize = 32;
+
+/// One loaded rule pack: a named, ordered list of rules.
+#[derive(Debug, Clone)]
+pub struct RulePack {
+    /// Pack name (the `"pack"` key; also the file stem under `rules/`).
+    pub name: String,
+    /// One-line human description.
+    pub description: String,
+    /// Sweep budget this pack is content with (a [`Rewriter`] running
+    /// several packs uses the smallest).
+    pub budget: usize,
+    /// Rules, in application order.
+    pub rules: Vec<Rule>,
+}
+
+/// One rule of a pack.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Rule name (reported in traces as `pack/rule`).
+    pub name: String,
+    /// What the rule does.
+    pub kind: RuleKind,
+}
+
+/// The two rule kinds a pack may mix.
+#[derive(Debug, Clone)]
+pub enum RuleKind {
+    /// Declarative expression rewrite: pattern → replacement template.
+    Expr {
+        /// Pattern matched against expression nodes.
+        pattern: Pat,
+        /// Template instantiated from the pattern's bindings.
+        replace: Template,
+    },
+    /// A named plan-level pass (Rust-implemented, config-selected).
+    Pass(PlanPass),
+}
+
+/// Named plan-level passes (the osm2streets-style `Transformation`
+/// enum: Rust implementations, selected and ordered from config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanPass {
+    /// `σ_p(A × B)` → `σ_rest(A ⋈_eq B)`: extract cross-input `Col = Col`
+    /// conjuncts of a selection over a cartesian product into an
+    /// equi-join (the output schema of `×` and `⋈` is the same
+    /// concatenation, so the rewrite is layout-preserving).
+    ProductToJoin,
+    /// `σ_p(σ_q(X))` → `σ_{q ∧ p}(X)` — collapse adjacent selections.
+    MergeSelects,
+    /// Recognize the plain-SQL spelling of a temporal join — the exact
+    /// shape `Translator-To-SQL` emits for `TJOIN^D` (Figure 5 of the
+    /// paper: `GREATEST`/`LEAST` intersection items over a strict
+    /// overlap `A.T1 < B.T2 AND B.T1 < A.T2`) — and map it back onto
+    /// the algebra's `TJoin`, opening the temporal operators and
+    /// estimators to queries that never said `VALIDTIME`.
+    SqlOverlapToTJoin,
+}
+
+impl PlanPass {
+    /// The config-file name of this pass.
+    pub fn config_name(self) -> &'static str {
+        match self {
+            PlanPass::ProductToJoin => "product-to-join",
+            PlanPass::MergeSelects => "merge-selects",
+            PlanPass::SqlOverlapToTJoin => "sql-overlap-to-tjoin",
+        }
+    }
+
+    fn from_config_name(s: &str) -> Option<PlanPass> {
+        match s {
+            "product-to-join" => Some(PlanPass::ProductToJoin),
+            "merge-selects" => Some(PlanPass::MergeSelects),
+            "sql-overlap-to-tjoin" => Some(PlanPass::SqlOverlapToTJoin),
+            _ => None,
+        }
+    }
+
+    const ALL: [PlanPass; 3] =
+        [PlanPass::ProductToJoin, PlanPass::MergeSelects, PlanPass::SqlOverlapToTJoin];
+}
+
+/// What a binding variable may match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindKind {
+    /// `"?x"` — any expression.
+    Any,
+    /// `"?x:col"` — a column reference.
+    Col,
+    /// `"?x:lit"` — a literal.
+    Lit,
+}
+
+/// An expression pattern (the `"match"` side of an `expr` rule).
+#[derive(Debug, Clone)]
+pub enum Pat {
+    /// A binding variable; a name repeated within one pattern must bind
+    /// equal expressions.
+    Bind(String, BindKind),
+    /// `["cmp", op, l, r]` — a comparison with an exact or bound operator.
+    Cmp(OpPat, Box<Pat>, Box<Pat>),
+    /// `["and", l, r]`
+    And(Box<Pat>, Box<Pat>),
+    /// `["or", l, r]`
+    Or(Box<Pat>, Box<Pat>),
+    /// `["not", p]`
+    Not(Box<Pat>),
+}
+
+/// Operator position of a [`Pat::Cmp`].
+#[derive(Debug, Clone)]
+pub enum OpPat {
+    /// A literal operator, e.g. `"<="`.
+    Exact(CmpOp),
+    /// `"?op"` — bind whatever operator is there.
+    Bind(String),
+}
+
+/// A replacement template (the `"replace"` side of an `expr` rule).
+#[derive(Debug, Clone)]
+pub enum Template {
+    /// `"?x"` — substitute the bound expression.
+    Var(String),
+    /// `["cmp", op, l, r]`
+    Cmp(OpTemplate, Box<Template>, Box<Template>),
+    /// `["and", l, r]`
+    And(Box<Template>, Box<Template>),
+    /// `["or", l, r]`
+    Or(Box<Template>, Box<Template>),
+    /// `["not", t]`
+    Not(Box<Template>),
+}
+
+/// Operator position of a [`Template::Cmp`].
+#[derive(Debug, Clone)]
+pub enum OpTemplate {
+    /// A literal operator.
+    Exact(CmpOp),
+    /// `"?op"` — the bound operator, unchanged.
+    Var(String),
+    /// `["flip", "?op"]` — mirror the bound operator (`<` → `>`, `<=` →
+    /// `>=`), for swapping comparison operands.
+    Flip(String),
+    /// `["negate", "?op"]` — the three-valued-logic negation (`<` → `>=`,
+    /// `=` → `<>`): `NOT (a op b)` ≡ `a negate(op) b` because both sides
+    /// are `UNKNOWN` exactly when a `NULL` is involved.
+    Negate(String),
+}
+
+/// The 3VL-sound negation of a comparison operator: `NOT (a op b)` ≡
+/// `a negate(op) b` (both are `UNKNOWN` on `NULL` operands).
+pub fn negate_op(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Ne,
+        CmpOp::Ne => CmpOp::Eq,
+        CmpOp::Lt => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Lt,
+        CmpOp::Le => CmpOp::Gt,
+        CmpOp::Gt => CmpOp::Le,
+    }
+}
+
+/// One rule's aggregate firing count over a query.
+#[derive(Debug, Clone)]
+pub struct RuleFire {
+    /// Pack name.
+    pub pack: String,
+    /// Rule name.
+    pub rule: String,
+    /// How many times it fired.
+    pub fires: u64,
+}
+
+/// What [`Rewriter::apply`] did to one query.
+#[derive(Debug, Clone, Default)]
+pub struct RewriteOutcome {
+    /// Per-rule firing counts (only rules that fired).
+    pub fires: Vec<RuleFire>,
+    /// Whole-tree sweeps taken.
+    pub passes: usize,
+    /// Whether the sweep budget stopped a still-changing rewrite (a
+    /// looping rule set); surfaced as a `rewrite_budget_hit` counter.
+    pub budget_hit: bool,
+}
+
+impl RewriteOutcome {
+    /// Total rule firings.
+    pub fn total_fires(&self) -> u64 {
+        self.fires.iter().map(|f| f.fires).sum()
+    }
+
+    /// `true` when nothing fired and no budget was hit.
+    pub fn is_empty(&self) -> bool {
+        self.fires.is_empty() && !self.budget_hit
+    }
+}
+
+/// A loaded, ordered set of rule packs, ready to rewrite plans.
+#[derive(Debug, Clone)]
+pub struct Rewriter {
+    packs: Vec<RulePack>,
+    budget: usize,
+}
+
+impl Rewriter {
+    /// Load packs by name (resolved under `rules/`, see
+    /// [`RulePack::load`]) or literal path, in the given order.
+    pub fn load(names: &[String]) -> Result<Rewriter> {
+        let mut packs = Vec::with_capacity(names.len());
+        for n in names {
+            packs.push(RulePack::load(n)?);
+        }
+        Ok(Rewriter::from_packs(packs))
+    }
+
+    /// Build a rewriter from already-parsed packs.
+    pub fn from_packs(packs: Vec<RulePack>) -> Rewriter {
+        let budget = packs.iter().map(|p| p.budget).min().unwrap_or(DEFAULT_PASS_BUDGET);
+        Rewriter { packs, budget }
+    }
+
+    /// The loaded packs, in application order.
+    pub fn packs(&self) -> &[RulePack] {
+        &self.packs
+    }
+
+    /// Rewrite a logical plan to fixpoint (bounded by the pass budget).
+    /// Returns the rewritten plan and the firing record; a plan no rule
+    /// matches comes back unchanged with an empty outcome.
+    pub fn apply(&self, mut plan: Logical, src: &dyn SchemaSource) -> (Logical, RewriteOutcome) {
+        let mut counts: Vec<Vec<u64>> =
+            self.packs.iter().map(|p| vec![0u64; p.rules.len()]).collect();
+        let mut passes = 0;
+        let mut budget_hit = false;
+        loop {
+            let mut sweep = Sweep { packs: &self.packs, counts: &mut counts, changed: false, src };
+            plan = sweep.plan(plan);
+            let changed = sweep.changed;
+            passes += 1;
+            if !changed {
+                break;
+            }
+            if passes >= self.budget {
+                budget_hit = true;
+                break;
+            }
+        }
+        let mut fires = Vec::new();
+        for (p, pack) in self.packs.iter().enumerate() {
+            for (r, rule) in pack.rules.iter().enumerate() {
+                if counts[p][r] > 0 {
+                    fires.push(RuleFire {
+                        pack: pack.name.clone(),
+                        rule: rule.name.clone(),
+                        fires: counts[p][r],
+                    });
+                }
+            }
+        }
+        (plan, RewriteOutcome { fires, passes, budget_hit })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pack loading: path resolution, JSON parsing, schema validation.
+// ---------------------------------------------------------------------------
+
+fn err(msg: impl Into<String>) -> TangoError {
+    TangoError::Rewrite(msg.into())
+}
+
+impl RulePack {
+    /// Load a pack by name or path. A bare name `x` resolves to
+    /// `rules/x.json` relative to the current directory, then relative
+    /// to the repository root (so tests and the REPL agree); anything
+    /// containing a path separator or `.json` is used verbatim.
+    pub fn load(name: &str) -> Result<RulePack> {
+        let mut candidates: Vec<PathBuf> = Vec::new();
+        if name.contains('/') || name.contains('\\') || name.ends_with(".json") {
+            candidates.push(PathBuf::from(name));
+        } else {
+            let file = format!("{name}.json");
+            candidates.push(Path::new("rules").join(&file));
+            candidates.push(
+                Path::new(env!("CARGO_MANIFEST_DIR"))
+                    .join("..")
+                    .join("..")
+                    .join("rules")
+                    .join(file),
+            );
+        }
+        for c in &candidates {
+            if c.is_file() {
+                let text =
+                    std::fs::read_to_string(c).map_err(|e| err(format!("{}: {e}", c.display())))?;
+                return RulePack::parse(&text, &c.display().to_string());
+            }
+        }
+        let tried: Vec<String> = candidates.iter().map(|c| c.display().to_string()).collect();
+        Err(err(format!("rule pack '{name}' not found (tried: {})", tried.join(", "))))
+    }
+
+    /// Parse a pack from JSON text; `origin` labels errors (a path or
+    /// `"<inline>"`). The schema is validated strictly — unknown keys,
+    /// missing fields, unbound template variables and unknown pass names
+    /// are all rejected with the offending name in the message.
+    pub fn parse(text: &str, origin: &str) -> Result<RulePack> {
+        let json = json::parse(text).map_err(|e| err(format!("{origin}: {e}")))?;
+        let obj = as_obj(&json, origin, "rule pack")?;
+        let mut name = None;
+        let mut description = None;
+        let mut budget = DEFAULT_PASS_BUDGET;
+        let mut rules = None;
+        for (k, v) in obj {
+            match k.as_str() {
+                "pack" => name = Some(as_str(v, origin, "pack")?.to_string()),
+                "description" => description = Some(as_str(v, origin, "description")?.to_string()),
+                "budget" => {
+                    let n = as_num(v, origin, "budget")?;
+                    if !(1.0..=10_000.0).contains(&n) || n.fract() != 0.0 {
+                        return Err(err(format!(
+                            "{origin}: \"budget\" must be an integer in 1..=10000, got {n}"
+                        )));
+                    }
+                    budget = n as usize;
+                }
+                "rules" => rules = Some(v),
+                other => {
+                    return Err(err(format!(
+                        "{origin}: unknown rule-pack key \"{other}\" \
+                         (expected \"pack\", \"description\", \"budget\", \"rules\")"
+                    )))
+                }
+            }
+        }
+        let name = name.ok_or_else(|| err(format!("{origin}: missing \"pack\" name")))?;
+        let description =
+            description.ok_or_else(|| err(format!("{origin}: missing \"description\"")))?;
+        let rules_json = match rules {
+            Some(json::Json::Arr(items)) if !items.is_empty() => items,
+            Some(json::Json::Arr(_)) => {
+                return Err(err(format!("{origin}: \"rules\" must not be empty")))
+            }
+            Some(_) => return Err(err(format!("{origin}: \"rules\" must be an array"))),
+            None => return Err(err(format!("{origin}: missing \"rules\" array"))),
+        };
+        let mut parsed = Vec::with_capacity(rules_json.len());
+        for (i, r) in rules_json.iter().enumerate() {
+            parsed.push(parse_rule(r, origin, i)?);
+        }
+        Ok(RulePack { name, description, budget, rules: parsed })
+    }
+
+    /// Canonical rendering of this pack — fixed key order, two-space
+    /// indent, patterns inline. Checked-in pack files must be byte-equal
+    /// to this (the `rule_pack_files_are_canonical` lint test), giving
+    /// rule packs the same "one true formatting" discipline `cargo fmt`
+    /// gives code.
+    pub fn canonical_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"pack\": {},\n", json::quote(&self.name)));
+        s.push_str(&format!("  \"description\": {},\n", json::quote(&self.description)));
+        if self.budget != DEFAULT_PASS_BUDGET {
+            s.push_str(&format!("  \"budget\": {},\n", self.budget));
+        }
+        s.push_str("  \"rules\": [\n");
+        for (i, r) in self.rules.iter().enumerate() {
+            s.push_str("    {\n");
+            s.push_str(&format!("      \"name\": {},\n", json::quote(&r.name)));
+            match &r.kind {
+                RuleKind::Expr { pattern, replace } => {
+                    s.push_str("      \"kind\": \"expr\",\n");
+                    s.push_str(&format!("      \"match\": {},\n", render_pat(pattern)));
+                    s.push_str(&format!("      \"replace\": {}\n", render_template(replace)));
+                }
+                RuleKind::Pass(p) => {
+                    s.push_str("      \"kind\": \"pass\",\n");
+                    s.push_str(&format!("      \"pass\": {}\n", json::quote(p.config_name())));
+                }
+            }
+            s.push_str(if i + 1 == self.rules.len() { "    }\n" } else { "    },\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+fn parse_rule(j: &json::Json, origin: &str, idx: usize) -> Result<Rule> {
+    let obj = as_obj(j, origin, &format!("rules[{idx}]"))?;
+    let mut name = None;
+    let mut kind = None;
+    let mut pattern = None;
+    let mut replace = None;
+    let mut pass = None;
+    for (k, v) in obj {
+        match k.as_str() {
+            "name" => name = Some(as_str(v, origin, "name")?.to_string()),
+            "kind" => kind = Some(as_str(v, origin, "kind")?.to_string()),
+            "match" => pattern = Some(v),
+            "replace" => replace = Some(v),
+            "pass" => pass = Some(as_str(v, origin, "pass")?.to_string()),
+            other => {
+                return Err(err(format!(
+                    "{origin}: rules[{idx}]: unknown key \"{other}\" \
+                     (expected \"name\", \"kind\", \"match\", \"replace\", \"pass\")"
+                )))
+            }
+        }
+    }
+    let name = name.ok_or_else(|| err(format!("{origin}: rules[{idx}]: missing \"name\"")))?;
+    let kind = kind.ok_or_else(|| err(format!("{origin}: rule '{name}': missing \"kind\"")))?;
+    let where_ = format!("{origin}: rule '{name}'");
+    match kind.as_str() {
+        "expr" => {
+            let p = pattern.ok_or_else(|| err(format!("{where_}: missing \"match\"")))?;
+            let r = replace.ok_or_else(|| err(format!("{where_}: missing \"replace\"")))?;
+            if pass.is_some() {
+                return Err(err(format!("{where_}: \"pass\" is only valid for kind \"pass\"")));
+            }
+            let pattern = parse_pat(p, &where_)?;
+            let replace = parse_template(r, &where_)?;
+            let mut bound = Vec::new();
+            pattern_binders(&pattern, &mut bound);
+            check_template_bound(&replace, &bound, &where_)?;
+            Ok(Rule { name, kind: RuleKind::Expr { pattern, replace } })
+        }
+        "pass" => {
+            if pattern.is_some() || replace.is_some() {
+                return Err(err(format!(
+                    "{where_}: \"match\"/\"replace\" are only valid for kind \"expr\""
+                )));
+            }
+            let p = pass.ok_or_else(|| err(format!("{where_}: missing \"pass\"")))?;
+            let pass = PlanPass::from_config_name(&p).ok_or_else(|| {
+                let known: Vec<&str> = PlanPass::ALL.iter().map(|p| p.config_name()).collect();
+                err(format!("{where_}: unknown pass \"{p}\" (known passes: {})", known.join(", ")))
+            })?;
+            Ok(Rule { name, kind: RuleKind::Pass(pass) })
+        }
+        other => {
+            Err(err(format!("{where_}: unknown kind \"{other}\" (expected \"expr\" or \"pass\")")))
+        }
+    }
+}
+
+fn as_obj<'a>(j: &'a json::Json, origin: &str, what: &str) -> Result<&'a [(String, json::Json)]> {
+    match j {
+        json::Json::Obj(kv) => Ok(kv),
+        _ => Err(err(format!("{origin}: {what} must be a JSON object"))),
+    }
+}
+
+fn as_str<'a>(j: &'a json::Json, origin: &str, what: &str) -> Result<&'a str> {
+    match j {
+        json::Json::Str(s) => Ok(s),
+        _ => Err(err(format!("{origin}: \"{what}\" must be a string"))),
+    }
+}
+
+fn as_num(j: &json::Json, origin: &str, what: &str) -> Result<f64> {
+    match j {
+        json::Json::Num(n) => Ok(*n),
+        _ => Err(err(format!("{origin}: \"{what}\" must be a number"))),
+    }
+}
+
+fn parse_binder(s: &str, where_: &str) -> Result<(String, BindKind)> {
+    let body = &s[1..];
+    let (name, kind) = match body.split_once(':') {
+        None => (body, BindKind::Any),
+        Some((n, "col")) => (n, BindKind::Col),
+        Some((n, "lit")) => (n, BindKind::Lit),
+        Some((_, k)) => {
+            return Err(err(format!(
+                "{where_}: unknown binder kind \"{k}\" in \"{s}\" (expected \"col\" or \"lit\")"
+            )))
+        }
+    };
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(err(format!("{where_}: bad binder name in \"{s}\"")));
+    }
+    Ok((name.to_string(), kind))
+}
+
+fn parse_cmp_op(s: &str) -> Option<CmpOp> {
+    match s {
+        "=" => Some(CmpOp::Eq),
+        "<>" => Some(CmpOp::Ne),
+        "<" => Some(CmpOp::Lt),
+        "<=" => Some(CmpOp::Le),
+        ">" => Some(CmpOp::Gt),
+        ">=" => Some(CmpOp::Ge),
+        _ => None,
+    }
+}
+
+fn parse_pat(j: &json::Json, where_: &str) -> Result<Pat> {
+    match j {
+        json::Json::Str(s) if s.starts_with('?') => {
+            let (name, kind) = parse_binder(s, where_)?;
+            Ok(Pat::Bind(name, kind))
+        }
+        json::Json::Str(s) => Err(err(format!(
+            "{where_}: pattern atom \"{s}\" is not a binder (binders start with '?')"
+        ))),
+        json::Json::Arr(items) => {
+            let head = match items.first() {
+                Some(json::Json::Str(s)) => s.as_str(),
+                _ => {
+                    return Err(err(format!("{where_}: pattern list must start with a form name")))
+                }
+            };
+            let arity = |n: usize| -> Result<()> {
+                if items.len() == n + 1 {
+                    Ok(())
+                } else {
+                    Err(err(format!(
+                        "{where_}: \"{head}\" takes {n} argument(s), got {}",
+                        items.len() - 1
+                    )))
+                }
+            };
+            match head {
+                "not" => {
+                    arity(1)?;
+                    Ok(Pat::Not(Box::new(parse_pat(&items[1], where_)?)))
+                }
+                "and" | "or" => {
+                    arity(2)?;
+                    let l = Box::new(parse_pat(&items[1], where_)?);
+                    let r = Box::new(parse_pat(&items[2], where_)?);
+                    Ok(if head == "and" { Pat::And(l, r) } else { Pat::Or(l, r) })
+                }
+                "cmp" => {
+                    arity(3)?;
+                    let op = match &items[1] {
+                        json::Json::Str(s) if s.starts_with('?') => {
+                            let (name, kind) = parse_binder(s, where_)?;
+                            if kind != BindKind::Any {
+                                return Err(err(format!(
+                                    "{where_}: operator binder \"{s}\" must be untyped"
+                                )));
+                            }
+                            OpPat::Bind(name)
+                        }
+                        json::Json::Str(s) => OpPat::Exact(parse_cmp_op(s).ok_or_else(|| {
+                            err(format!("{where_}: unknown comparison operator \"{s}\""))
+                        })?),
+                        _ => {
+                            return Err(err(format!(
+                                "{where_}: \"cmp\" operator must be a string or \"?op\" binder"
+                            )))
+                        }
+                    };
+                    let l = Box::new(parse_pat(&items[2], where_)?);
+                    let r = Box::new(parse_pat(&items[3], where_)?);
+                    Ok(Pat::Cmp(op, l, r))
+                }
+                other => Err(err(format!(
+                    "{where_}: unknown pattern form \"{other}\" \
+                     (expected \"cmp\", \"and\", \"or\", \"not\")"
+                ))),
+            }
+        }
+        _ => Err(err(format!("{where_}: pattern must be a binder string or a list"))),
+    }
+}
+
+fn parse_template(j: &json::Json, where_: &str) -> Result<Template> {
+    match j {
+        json::Json::Str(s) if s.starts_with('?') => {
+            let (name, kind) = parse_binder(s, where_)?;
+            if kind != BindKind::Any {
+                return Err(err(format!(
+                    "{where_}: template variable \"{s}\" must be untyped (types live on the pattern)"
+                )));
+            }
+            Ok(Template::Var(name))
+        }
+        json::Json::Arr(items) => {
+            let head = match items.first() {
+                Some(json::Json::Str(s)) => s.as_str(),
+                _ => {
+                    return Err(err(format!("{where_}: template list must start with a form name")))
+                }
+            };
+            let arity = |n: usize| -> Result<()> {
+                if items.len() == n + 1 {
+                    Ok(())
+                } else {
+                    Err(err(format!(
+                        "{where_}: \"{head}\" takes {n} argument(s), got {}",
+                        items.len() - 1
+                    )))
+                }
+            };
+            match head {
+                "not" => {
+                    arity(1)?;
+                    Ok(Template::Not(Box::new(parse_template(&items[1], where_)?)))
+                }
+                "and" | "or" => {
+                    arity(2)?;
+                    let l = Box::new(parse_template(&items[1], where_)?);
+                    let r = Box::new(parse_template(&items[2], where_)?);
+                    Ok(if head == "and" { Template::And(l, r) } else { Template::Or(l, r) })
+                }
+                "cmp" => {
+                    arity(3)?;
+                    let op = parse_op_template(&items[1], where_)?;
+                    let l = Box::new(parse_template(&items[2], where_)?);
+                    let r = Box::new(parse_template(&items[3], where_)?);
+                    Ok(Template::Cmp(op, l, r))
+                }
+                other => Err(err(format!(
+                    "{where_}: unknown template form \"{other}\" \
+                     (expected \"cmp\", \"and\", \"or\", \"not\")"
+                ))),
+            }
+        }
+        _ => Err(err(format!("{where_}: template must be a \"?var\" string or a list"))),
+    }
+}
+
+fn parse_op_template(j: &json::Json, where_: &str) -> Result<OpTemplate> {
+    match j {
+        json::Json::Str(s) if s.starts_with('?') => Ok(OpTemplate::Var(parse_binder(s, where_)?.0)),
+        json::Json::Str(s) => Ok(OpTemplate::Exact(
+            parse_cmp_op(s)
+                .ok_or_else(|| err(format!("{where_}: unknown comparison operator \"{s}\"")))?,
+        )),
+        json::Json::Arr(items) => {
+            let (f, v) = match items.as_slice() {
+                [json::Json::Str(f), json::Json::Str(v)] if v.starts_with('?') => {
+                    (f.as_str(), v.as_str())
+                }
+                _ => {
+                    return Err(err(format!(
+                        "{where_}: operator function must be [\"flip\"|\"negate\", \"?op\"]"
+                    )))
+                }
+            };
+            let name = parse_binder(v, where_)?.0;
+            match f {
+                "flip" => Ok(OpTemplate::Flip(name)),
+                "negate" => Ok(OpTemplate::Negate(name)),
+                other => Err(err(format!(
+                    "{where_}: unknown operator function \"{other}\" \
+                     (expected \"flip\" or \"negate\")"
+                ))),
+            }
+        }
+        _ => Err(err(format!("{where_}: bad operator position in template"))),
+    }
+}
+
+fn pattern_binders(p: &Pat, out: &mut Vec<String>) {
+    match p {
+        Pat::Bind(n, _) => out.push(n.clone()),
+        Pat::Cmp(op, l, r) => {
+            if let OpPat::Bind(n) = op {
+                out.push(n.clone());
+            }
+            pattern_binders(l, out);
+            pattern_binders(r, out);
+        }
+        Pat::And(l, r) | Pat::Or(l, r) => {
+            pattern_binders(l, out);
+            pattern_binders(r, out);
+        }
+        Pat::Not(i) => pattern_binders(i, out),
+    }
+}
+
+fn check_template_bound(t: &Template, bound: &[String], where_: &str) -> Result<()> {
+    let check = |n: &str| -> Result<()> {
+        if bound.iter().any(|b| b == n) {
+            Ok(())
+        } else {
+            Err(err(format!("{where_}: template variable \"?{n}\" is not bound by the pattern")))
+        }
+    };
+    match t {
+        Template::Var(n) => check(n),
+        Template::Cmp(op, l, r) => {
+            match op {
+                OpTemplate::Var(n) | OpTemplate::Flip(n) | OpTemplate::Negate(n) => check(n)?,
+                OpTemplate::Exact(_) => {}
+            }
+            check_template_bound(l, bound, where_)?;
+            check_template_bound(r, bound, where_)
+        }
+        Template::And(l, r) | Template::Or(l, r) => {
+            check_template_bound(l, bound, where_)?;
+            check_template_bound(r, bound, where_)
+        }
+        Template::Not(i) => check_template_bound(i, bound, where_),
+    }
+}
+
+fn render_pat(p: &Pat) -> String {
+    match p {
+        Pat::Bind(n, BindKind::Any) => json::quote(&format!("?{n}")),
+        Pat::Bind(n, BindKind::Col) => json::quote(&format!("?{n}:col")),
+        Pat::Bind(n, BindKind::Lit) => json::quote(&format!("?{n}:lit")),
+        Pat::Cmp(op, l, r) => {
+            let op = match op {
+                OpPat::Exact(o) => json::quote(o.sql()),
+                OpPat::Bind(n) => json::quote(&format!("?{n}")),
+            };
+            format!("[\"cmp\", {op}, {}, {}]", render_pat(l), render_pat(r))
+        }
+        Pat::And(l, r) => format!("[\"and\", {}, {}]", render_pat(l), render_pat(r)),
+        Pat::Or(l, r) => format!("[\"or\", {}, {}]", render_pat(l), render_pat(r)),
+        Pat::Not(i) => format!("[\"not\", {}]", render_pat(i)),
+    }
+}
+
+fn render_template(t: &Template) -> String {
+    match t {
+        Template::Var(n) => json::quote(&format!("?{n}")),
+        Template::Cmp(op, l, r) => {
+            let op = match op {
+                OpTemplate::Exact(o) => json::quote(o.sql()),
+                OpTemplate::Var(n) => json::quote(&format!("?{n}")),
+                OpTemplate::Flip(n) => format!("[\"flip\", {}]", json::quote(&format!("?{n}"))),
+                OpTemplate::Negate(n) => format!("[\"negate\", {}]", json::quote(&format!("?{n}"))),
+            };
+            format!("[\"cmp\", {op}, {}, {}]", render_template(l), render_template(r))
+        }
+        Template::And(l, r) => format!("[\"and\", {}, {}]", render_template(l), render_template(r)),
+        Template::Or(l, r) => format!("[\"or\", {}, {}]", render_template(l), render_template(r)),
+        Template::Not(i) => format!("[\"not\", {}]", render_template(i)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matching and application.
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Binds {
+    exprs: Vec<(String, Expr)>,
+    ops: Vec<(String, CmpOp)>,
+}
+
+/// Structural expression equality ignoring resolved column indexes
+/// (rewriting runs before binding; a repeated binder must not care).
+fn same_expr(a: &Expr, b: &Expr) -> bool {
+    match (a, b) {
+        (Expr::Col { name: an, .. }, Expr::Col { name: bn, .. }) => an.eq_ignore_ascii_case(bn),
+        (Expr::Lit(x), Expr::Lit(y)) => x == y,
+        (Expr::Cmp(ao, al, ar), Expr::Cmp(bo, bl, br)) => {
+            ao == bo && same_expr(al, bl) && same_expr(ar, br)
+        }
+        (Expr::And(al, ar), Expr::And(bl, br)) | (Expr::Or(al, ar), Expr::Or(bl, br)) => {
+            same_expr(al, bl) && same_expr(ar, br)
+        }
+        (Expr::Not(ai), Expr::Not(bi)) => same_expr(ai, bi),
+        (Expr::Arith(ao, al, ar), Expr::Arith(bo, bl, br)) => {
+            ao == bo && same_expr(al, bl) && same_expr(ar, br)
+        }
+        (Expr::Greatest(xs), Expr::Greatest(ys)) | (Expr::Least(xs), Expr::Least(ys)) => {
+            xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| same_expr(x, y))
+        }
+        (Expr::IsNull(ai, an), Expr::IsNull(bi, bn)) => an == bn && same_expr(ai, bi),
+        _ => false,
+    }
+}
+
+fn match_pat(p: &Pat, e: &Expr, b: &mut Binds) -> bool {
+    match p {
+        Pat::Bind(name, kind) => {
+            let ok = match kind {
+                BindKind::Any => true,
+                BindKind::Col => matches!(e, Expr::Col { .. }),
+                BindKind::Lit => matches!(e, Expr::Lit(_)),
+            };
+            if !ok {
+                return false;
+            }
+            if let Some((_, prev)) = b.exprs.iter().find(|(n, _)| n == name) {
+                return same_expr(prev, e);
+            }
+            b.exprs.push((name.clone(), e.clone()));
+            true
+        }
+        Pat::Cmp(op_pat, pl, pr) => match e {
+            Expr::Cmp(op, l, r) => {
+                match op_pat {
+                    OpPat::Exact(want) => {
+                        if want != op {
+                            return false;
+                        }
+                    }
+                    OpPat::Bind(name) => {
+                        if let Some((_, prev)) = b.ops.iter().find(|(n, _)| n == name) {
+                            if prev != op {
+                                return false;
+                            }
+                        } else {
+                            b.ops.push((name.clone(), *op));
+                        }
+                    }
+                }
+                match_pat(pl, l, b) && match_pat(pr, r, b)
+            }
+            _ => false,
+        },
+        Pat::And(pl, pr) => match e {
+            Expr::And(l, r) => match_pat(pl, l, b) && match_pat(pr, r, b),
+            _ => false,
+        },
+        Pat::Or(pl, pr) => match e {
+            Expr::Or(l, r) => match_pat(pl, l, b) && match_pat(pr, r, b),
+            _ => false,
+        },
+        Pat::Not(pi) => match e {
+            Expr::Not(i) => match_pat(pi, i, b),
+            _ => false,
+        },
+    }
+}
+
+fn instantiate(t: &Template, b: &Binds) -> Expr {
+    match t {
+        Template::Var(n) => {
+            b.exprs.iter().find(|(bn, _)| bn == n).map(|(_, e)| e.clone()).unwrap_or_else(|| {
+                // unreachable: load-time validation rejects unbound vars
+                Expr::lit(0i64)
+            })
+        }
+        Template::Cmp(op, l, r) => {
+            let bound = |n: &str| {
+                b.ops.iter().find(|(bn, _)| bn == n).map(|(_, o)| *o).unwrap_or(CmpOp::Eq)
+            };
+            let op = match op {
+                OpTemplate::Exact(o) => *o,
+                OpTemplate::Var(n) => bound(n),
+                OpTemplate::Flip(n) => bound(n).flip(),
+                OpTemplate::Negate(n) => negate_op(bound(n)),
+            };
+            Expr::cmp(op, instantiate(l, b), instantiate(r, b))
+        }
+        Template::And(l, r) => Expr::and(instantiate(l, b), instantiate(r, b)),
+        Template::Or(l, r) => Expr::or(instantiate(l, b), instantiate(r, b)),
+        Template::Not(i) => Expr::not(instantiate(i, b)),
+    }
+}
+
+/// One whole-tree sweep: expression rules bottom-up over every predicate
+/// and projection item, then plan passes bottom-up over the operator
+/// tree. `changed` records whether anything fired.
+struct Sweep<'a> {
+    packs: &'a [RulePack],
+    counts: &'a mut Vec<Vec<u64>>,
+    changed: bool,
+    src: &'a dyn SchemaSource,
+}
+
+impl Sweep<'_> {
+    fn expr(&mut self, e: &Expr) -> Expr {
+        // children first
+        let rebuilt = match e {
+            Expr::Col { .. } | Expr::Lit(_) => e.clone(),
+            Expr::Cmp(op, l, r) => Expr::cmp(*op, self.expr(l), self.expr(r)),
+            Expr::And(l, r) => Expr::and(self.expr(l), self.expr(r)),
+            Expr::Or(l, r) => Expr::or(self.expr(l), self.expr(r)),
+            Expr::Not(i) => Expr::not(self.expr(i)),
+            Expr::Arith(op, l, r) => {
+                Expr::Arith(*op, Box::new(self.expr(l)), Box::new(self.expr(r)))
+            }
+            Expr::Greatest(es) => Expr::Greatest(es.iter().map(|x| self.expr(x)).collect()),
+            Expr::Least(es) => Expr::Least(es.iter().map(|x| self.expr(x)).collect()),
+            Expr::IsNull(i, neg) => Expr::IsNull(Box::new(self.expr(i)), *neg),
+        };
+        // then this node: first matching rule fires once per sweep
+        for (pi, pack) in self.packs.iter().enumerate() {
+            for (ri, rule) in pack.rules.iter().enumerate() {
+                let RuleKind::Expr { pattern, replace } = &rule.kind else { continue };
+                let mut b = Binds::default();
+                if match_pat(pattern, &rebuilt, &mut b) {
+                    let new = instantiate(replace, &b);
+                    if !same_expr(&new, &rebuilt) {
+                        self.counts[pi][ri] += 1;
+                        self.changed = true;
+                        return new;
+                    }
+                }
+            }
+        }
+        rebuilt
+    }
+
+    fn plan(&mut self, node: Logical) -> Logical {
+        // children (and their expressions) first
+        let node = match node {
+            Logical::Get { .. } => node,
+            Logical::Select { pred, input } => {
+                Logical::Select { pred: self.expr(&pred), input: Box::new(self.plan(*input)) }
+            }
+            Logical::Project { items, input } => Logical::Project {
+                items: items
+                    .into_iter()
+                    .map(|it| ProjItem { expr: self.expr(&it.expr), alias: it.alias })
+                    .collect(),
+                input: Box::new(self.plan(*input)),
+            },
+            Logical::Sort { keys, input } => {
+                Logical::Sort { keys, input: Box::new(self.plan(*input)) }
+            }
+            Logical::Join { eq, left, right } => Logical::Join {
+                eq,
+                left: Box::new(self.plan(*left)),
+                right: Box::new(self.plan(*right)),
+            },
+            Logical::TJoin { eq, left, right } => Logical::TJoin {
+                eq,
+                left: Box::new(self.plan(*left)),
+                right: Box::new(self.plan(*right)),
+            },
+            Logical::Product { left, right } => Logical::Product {
+                left: Box::new(self.plan(*left)),
+                right: Box::new(self.plan(*right)),
+            },
+            Logical::TAggr { group_by, aggs, input } => {
+                Logical::TAggr { group_by, aggs, input: Box::new(self.plan(*input)) }
+            }
+            Logical::DupElim { input } => Logical::DupElim { input: Box::new(self.plan(*input)) },
+            Logical::Coalesce { input } => Logical::Coalesce { input: Box::new(self.plan(*input)) },
+            Logical::Diff { left, right } => Logical::Diff {
+                left: Box::new(self.plan(*left)),
+                right: Box::new(self.plan(*right)),
+            },
+            Logical::TransferM { input } => {
+                Logical::TransferM { input: Box::new(self.plan(*input)) }
+            }
+            Logical::TransferD { input } => {
+                Logical::TransferD { input: Box::new(self.plan(*input)) }
+            }
+        };
+        // then plan passes at this node: first firing pass wins the sweep
+        for (pi, pack) in self.packs.iter().enumerate() {
+            for (ri, rule) in pack.rules.iter().enumerate() {
+                let RuleKind::Pass(pass) = &rule.kind else { continue };
+                if let Some(new) = apply_pass(*pass, &node, self.src) {
+                    self.counts[pi][ri] += 1;
+                    self.changed = true;
+                    return new;
+                }
+            }
+        }
+        node
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan passes.
+// ---------------------------------------------------------------------------
+
+fn apply_pass(pass: PlanPass, node: &Logical, src: &dyn SchemaSource) -> Option<Logical> {
+    match pass {
+        PlanPass::ProductToJoin => pass_product_to_join(node, src),
+        PlanPass::MergeSelects => pass_merge_selects(node),
+        PlanPass::SqlOverlapToTJoin => pass_overlap_to_tjoin(node, src),
+    }
+}
+
+/// `σ_{q ∧ p}` keeps exactly the rows where both `q` and `p` are TRUE
+/// (Kleene AND), i.e. the rows `σ_p(σ_q(·))` keeps.
+fn pass_merge_selects(node: &Logical) -> Option<Logical> {
+    let Logical::Select { pred: p, input } = node else { return None };
+    let Logical::Select { pred: q, input: inner } = input.as_ref() else { return None };
+    Some(Logical::Select {
+        pred: Expr::and(q.clone(), p.clone()),
+        input: Box::new(inner.as_ref().clone()),
+    })
+}
+
+fn pass_product_to_join(node: &Logical, src: &dyn SchemaSource) -> Option<Logical> {
+    let Logical::Select { pred, input } = node else { return None };
+    let Logical::Product { left, right } = input.as_ref() else { return None };
+    let ls = left.output_schema(src).ok()?;
+    let rs = right.output_schema(src).ok()?;
+    let concat = concat_schemas(&ls, &rs);
+    let nl = ls.len();
+    let mut eq: Vec<(String, String)> = Vec::new();
+    let mut rest: Vec<Expr> = Vec::new();
+    for c in pred.conjuncts() {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = c {
+            if let (Expr::Col { name: an, .. }, Expr::Col { name: bn, .. }) =
+                (a.as_ref(), b.as_ref())
+            {
+                let ai = concat.index_of(an).ok();
+                let bi = concat.index_of(bn).ok();
+                if let (Some(ai), Some(bi)) = (ai, bi) {
+                    // a cross-input equality becomes a join key: the left
+                    // side by its (concatenated) output name, the right
+                    // side by the right input's own attribute name —
+                    // the convention `Logical::Join` uses everywhere
+                    if ai < nl && bi >= nl {
+                        eq.push((concat.attr(ai).name.clone(), rs.attr(bi - nl).name.clone()));
+                        continue;
+                    }
+                    if bi < nl && ai >= nl {
+                        eq.push((concat.attr(bi).name.clone(), rs.attr(ai - nl).name.clone()));
+                        continue;
+                    }
+                }
+            }
+        }
+        rest.push(c.clone());
+    }
+    if eq.is_empty() {
+        return None;
+    }
+    let join = Logical::Join {
+        eq,
+        left: Box::new(left.as_ref().clone()),
+        right: Box::new(right.as_ref().clone()),
+    };
+    // Join and Product share the concatenated output schema, so dropping
+    // the consumed conjuncts is layout-preserving by construction.
+    Some(match Expr::and_all(rest) {
+        Some(p) => join.select(p),
+        None => join,
+    })
+}
+
+/// The inverse of `Translator-To-SQL`'s `TJOIN^D` rendering (Figure 5):
+/// `π_{…, GREATEST(A.T1,B.T1), LEAST(A.T2,B.T2)}(σ_{A.T1<B.T2 ∧ B.T1<A.T2}(A ⋈_eq B))`
+/// → `π'(A ⋈ᵀ_eq B)`. Sound because `Period::intersect` is defined
+/// exactly when `start < end` — the same strict overlap the selection
+/// tests — and the intersection endpoints are exactly the
+/// `GREATEST`/`LEAST` items. Bails (no fire) unless the shape matches
+/// completely and the rewritten output schema is byte-identical.
+fn pass_overlap_to_tjoin(node: &Logical, src: &dyn SchemaSource) -> Option<Logical> {
+    let Logical::Project { items, input } = node else { return None };
+    let Logical::Select { pred, input: jin } = input.as_ref() else { return None };
+    let Logical::Join { eq, left, right } = jin.as_ref() else { return None };
+    if eq.is_empty() {
+        return None;
+    }
+    let ls = left.output_schema(src).ok()?;
+    let rs = right.output_schema(src).ok()?;
+    let (lp1, lp2) = ls.period()?;
+    let (rp1, rp2) = rs.period()?;
+    let concat = concat_schemas(&ls, &rs);
+    let nl = ls.len();
+    let cname = |i: usize| concat.attr(i).name.to_string();
+    let (lt1, lt2) = (cname(lp1), cname(lp2));
+    let (rt1, rt2) = (cname(nl + rp1), cname(nl + rp2));
+
+    // the two strict-overlap conjuncts, in either `<` or flipped `>` form
+    let mut start_before_rend = false; // A.T1 < B.T2
+    let mut rstart_before_end = false; // B.T1 < A.T2
+    let mut rest: Vec<Expr> = Vec::new();
+    for c in pred.conjuncts() {
+        let lt = match c {
+            Expr::Cmp(CmpOp::Lt, x, y) => Some((x.as_ref(), y.as_ref())),
+            Expr::Cmp(CmpOp::Gt, x, y) => Some((y.as_ref(), x.as_ref())),
+            _ => None,
+        };
+        if let Some((Expr::Col { name: x, .. }, Expr::Col { name: y, .. })) = lt {
+            if !start_before_rend && x.eq_ignore_ascii_case(&lt1) && y.eq_ignore_ascii_case(&rt2) {
+                start_before_rend = true;
+                continue;
+            }
+            if !rstart_before_end && x.eq_ignore_ascii_case(&rt1) && y.eq_ignore_ascii_case(&lt2) {
+                rstart_before_end = true;
+                continue;
+            }
+        }
+        rest.push(c.clone());
+    }
+    if !(start_before_rend && rstart_before_end) {
+        return None;
+    }
+
+    // join keys must not be period columns (TJoin drops the right keys
+    // and replaces both periods with the intersection)
+    for (ln, rn) in eq {
+        let li = ls.index_of(ln).ok()?;
+        let ri = rs.index_of(rn).ok()?;
+        if li == lp1 || li == lp2 || ri == rp1 || ri == rp2 {
+            return None;
+        }
+    }
+
+    let tjs = tjoin_schema(eq, &ls, &rs).ok()?;
+    let (tj1, tj2) = {
+        let (a, b) = tjs.period()?;
+        (tjs.attr(a).name.to_string(), tjs.attr(b).name.to_string())
+    };
+    // concatenated name → TJoin output name, for every non-period column
+    let mut map: Vec<(String, String)> = Vec::new();
+    for (i, a) in ls.attrs().iter().enumerate() {
+        if i != lp1 && i != lp2 {
+            map.push((a.name.clone(), a.name.clone()));
+        }
+    }
+    let left_kept = ls.len() - 2;
+    let mut k = 0usize;
+    for j in 0..rs.len() {
+        if j == rp1 || j == rp2 {
+            continue;
+        }
+        let concat_name = cname(nl + j);
+        let key = eq.iter().find(|(_, rc)| rs.index_of(rc).map(|x| x == j).unwrap_or(false));
+        match key {
+            // a dropped right key is still addressable through its left
+            // partner (they are equal on every output row)
+            Some((ln, _)) => map.push((concat_name, ln.clone())),
+            None => {
+                map.push((concat_name, tjs.attr(left_kept + k).name.clone()));
+                k += 1;
+            }
+        }
+    }
+    let is_period = |n: &str| [&lt1, &lt2, &rt1, &rt2].iter().any(|p| n.eq_ignore_ascii_case(p));
+    let remap = |e: &Expr| -> Option<Expr> {
+        let mut out = e.clone();
+        let mut ok = true;
+        rename_cols(&mut out, &mut |name: &mut String| {
+            if is_period(name) {
+                ok = false;
+                return;
+            }
+            match map.iter().find(|(from, _)| from.eq_ignore_ascii_case(name)) {
+                Some((_, to)) => *name = to.clone(),
+                None => ok = false,
+            }
+        });
+        ok.then_some(out)
+    };
+    let is_pair = |es: &[Expr], a: &str, b: &str| -> bool {
+        if es.len() != 2 {
+            return false;
+        }
+        let name = |e: &Expr| match e {
+            Expr::Col { name, .. } => Some(name.clone()),
+            _ => None,
+        };
+        match (name(&es[0]), name(&es[1])) {
+            (Some(x), Some(y)) => {
+                (x.eq_ignore_ascii_case(a) && y.eq_ignore_ascii_case(b))
+                    || (x.eq_ignore_ascii_case(b) && y.eq_ignore_ascii_case(a))
+            }
+            _ => false,
+        }
+    };
+
+    let mut new_items = Vec::with_capacity(items.len());
+    for it in items {
+        let e = match &it.expr {
+            Expr::Greatest(es) if is_pair(es, &lt1, &rt1) => Expr::col(tj1.clone()),
+            Expr::Least(es) if is_pair(es, &lt2, &rt2) => Expr::col(tj2.clone()),
+            other => remap(other)?,
+        };
+        new_items.push(ProjItem { expr: e, alias: it.alias.clone() });
+    }
+    let mut rest_mapped = Vec::with_capacity(rest.len());
+    for c in &rest {
+        rest_mapped.push(remap(c)?);
+    }
+
+    let tjoin = Logical::TJoin {
+        eq: eq.clone(),
+        left: Box::new(left.as_ref().clone()),
+        right: Box::new(right.as_ref().clone()),
+    };
+    let inner = match Expr::and_all(rest_mapped) {
+        Some(p) => tjoin.select(p),
+        None => tjoin,
+    };
+    let new = Logical::Project { items: new_items, input: Box::new(inner) };
+    // safety net: the rewrite must preserve the node's output schema
+    let before = node.output_schema(src).ok()?;
+    let after = new.output_schema(src).ok()?;
+    (before == after).then_some(new)
+}
+
+/// Apply `f` to every column name of `e`, in place.
+fn rename_cols(e: &mut Expr, f: &mut dyn FnMut(&mut String)) {
+    match e {
+        Expr::Col { name, .. } => f(name),
+        Expr::Lit(_) => {}
+        Expr::Cmp(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) | Expr::Arith(_, l, r) => {
+            rename_cols(l, f);
+            rename_cols(r, f);
+        }
+        Expr::Not(i) | Expr::IsNull(i, _) => rename_cols(i, f),
+        Expr::Greatest(es) | Expr::Least(es) => {
+            for x in es {
+                rename_cols(x, f);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader. The workspace deliberately has no JSON parser
+// (tango-trace only writes), and no new dependencies may be added — so
+// rule packs get a small, strict, offset-reporting recursive-descent one.
+// ---------------------------------------------------------------------------
+
+mod json {
+    /// A parsed JSON value; object keys keep file order (the canonical
+    /// formatter depends on it).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Json {
+        Obj(Vec<(String, Json)>),
+        Arr(Vec<Json>),
+        Str(String),
+        Num(f64),
+        Bool(bool),
+        Null,
+    }
+
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser { b: text.as_bytes(), i: 0 };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(p.fail("trailing characters after the top-level value"));
+        }
+        Ok(v)
+    }
+
+    /// Quote a string as a JSON literal.
+    pub fn quote(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn fail(&self, msg: &str) -> String {
+            let (mut line, mut col) = (1usize, 1usize);
+            for &c in &self.b[..self.i.min(self.b.len())] {
+                if c == b'\n' {
+                    line += 1;
+                    col = 1;
+                } else {
+                    col += 1;
+                }
+            }
+            format!("line {line}, col {col}: {msg}")
+        }
+
+        fn ws(&mut self) {
+            while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.b.get(self.i).copied()
+        }
+
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek() == Some(c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(self.fail(&format!("expected '{}'", c as char)))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.keyword("true", Json::Bool(true)),
+                Some(b'f') => self.keyword("false", Json::Bool(false)),
+                Some(b'n') => self.keyword("null", Json::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                _ => Err(self.fail("expected a JSON value")),
+            }
+        }
+
+        fn keyword(&mut self, word: &str, v: Json) -> Result<Json, String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(self.fail(&format!("expected '{word}'")))
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.eat(b'{')?;
+            let mut kv = Vec::new();
+            self.ws();
+            if self.peek() == Some(b'}') {
+                self.i += 1;
+                return Ok(Json::Obj(kv));
+            }
+            loop {
+                self.ws();
+                let key = self.string()?;
+                if kv.iter().any(|(k, _)| *k == key) {
+                    return Err(self.fail(&format!("duplicate key \"{key}\"")));
+                }
+                self.ws();
+                self.eat(b':')?;
+                self.ws();
+                let v = self.value()?;
+                kv.push((key, v));
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(kv));
+                    }
+                    _ => return Err(self.fail("expected ',' or '}' in object")),
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.eat(b'[')?;
+            let mut items = Vec::new();
+            self.ws();
+            if self.peek() == Some(b']') {
+                self.i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.ws();
+                items.push(self.value()?);
+                self.ws();
+                match self.peek() {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(self.fail("expected ',' or ']' in array")),
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err(self.fail("unterminated string")),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'u') => {
+                                if self.i + 4 >= self.b.len() {
+                                    return Err(self.fail("truncated \\u escape"));
+                                }
+                                let hex = std::str::from_utf8(&self.b[self.i + 1..self.i + 5])
+                                    .map_err(|_| self.fail("bad \\u escape"))?;
+                                let n = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| self.fail("bad \\u escape"))?;
+                                out.push(
+                                    char::from_u32(n)
+                                        .ok_or_else(|| self.fail("bad \\u code point"))?,
+                                );
+                                self.i += 4;
+                            }
+                            _ => return Err(self.fail("unknown escape")),
+                        }
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        // consume one UTF-8 scalar
+                        let rest = std::str::from_utf8(&self.b[self.i..])
+                            .map_err(|_| self.fail("invalid UTF-8"))?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.i += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            if self.peek() == Some(b'-') {
+                self.i += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.i += 1;
+            }
+            if self.peek() == Some(b'.') {
+                self.i += 1;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.i += 1;
+                }
+            }
+            let text = std::str::from_utf8(&self.b[start..self.i]).unwrap_or("");
+            text.parse::<f64>().map(Json::Num).map_err(|_| self.fail("bad number"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tango_algebra::{Attr, Schema, SortSpec, Type};
+
+    struct Schemas(Vec<(String, Schema)>);
+
+    impl SchemaSource for Schemas {
+        fn table_schema(&self, t: &str) -> tango_algebra::Result<Schema> {
+            self.0
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case(t))
+                .map(|(_, s)| s.clone())
+                .ok_or_else(|| tango_algebra::AlgebraError::Schema(format!("no table {t}")))
+        }
+    }
+
+    fn position() -> Schema {
+        Schema::with_inferred_period(vec![
+            Attr::new("PosID", Type::Int),
+            Attr::new("EmpID", Type::Int),
+            Attr::new("T1", Type::Int),
+            Attr::new("T2", Type::Int),
+        ])
+    }
+
+    fn src() -> Schemas {
+        Schemas(vec![("POSITION".into(), position())])
+    }
+
+    fn pack(text: &str) -> RulePack {
+        RulePack::parse(text, "<inline>").unwrap()
+    }
+
+    const NOT_CMP: &str = r#"{
+        "pack": "t", "description": "d",
+        "rules": [
+            {"name": "not-cmp", "kind": "expr",
+             "match": ["not", ["cmp", "?op", "?a", "?b"]],
+             "replace": ["cmp", ["negate", "?op"], "?a", "?b"]}
+        ]
+    }"#;
+
+    #[test]
+    fn not_cmp_fires_and_counts() {
+        let rw = Rewriter::from_packs(vec![pack(NOT_CMP)]);
+        let plan = Logical::Get { table: "POSITION".into() }.select(Expr::not(Expr::cmp(
+            CmpOp::Gt,
+            Expr::col("T1"),
+            Expr::lit(10i64),
+        )));
+        let (out, outcome) = rw.apply(plan, &src());
+        let Logical::Select { pred, .. } = &out else { panic!("expected select") };
+        assert!(same_expr(&pred.clone(), &Expr::cmp(CmpOp::Le, Expr::col("T1"), Expr::lit(10i64))));
+        assert_eq!(outcome.total_fires(), 1);
+        assert!(!outcome.budget_hit);
+        assert_eq!(outcome.fires[0].pack, "t");
+        assert_eq!(outcome.fires[0].rule, "not-cmp");
+    }
+
+    #[test]
+    fn no_match_leaves_plan_unchanged() {
+        let rw = Rewriter::from_packs(vec![pack(NOT_CMP)]);
+        let plan = Logical::Get { table: "POSITION".into() }
+            .select(Expr::cmp(CmpOp::Le, Expr::col("T1"), Expr::lit(10i64)))
+            .sort(SortSpec::by(["PosID"]));
+        let before = format!("{plan}");
+        let (out, outcome) = rw.apply(plan, &src());
+        assert_eq!(format!("{out}"), before);
+        assert!(outcome.is_empty());
+        assert_eq!(outcome.passes, 1);
+    }
+
+    #[test]
+    fn looping_rules_hit_budget_not_hang() {
+        // a comparison-flipper alone loops forever: budget must stop it
+        let looping = pack(
+            r#"{
+            "pack": "loop", "description": "d", "budget": 4,
+            "rules": [
+                {"name": "flip", "kind": "expr",
+                 "match": ["cmp", "?op", "?a", "?b"],
+                 "replace": ["cmp", ["flip", "?op"], "?b", "?a"]}
+            ]
+        }"#,
+        );
+        let rw = Rewriter::from_packs(vec![looping]);
+        let plan = Logical::Get { table: "POSITION".into() }.select(Expr::cmp(
+            CmpOp::Lt,
+            Expr::col("T1"),
+            Expr::lit(10i64),
+        ));
+        let (_, outcome) = rw.apply(plan, &src());
+        assert!(outcome.budget_hit);
+        assert_eq!(outcome.passes, 4);
+        assert_eq!(outcome.total_fires(), 4);
+    }
+
+    #[test]
+    fn binder_kinds_and_repeats() {
+        // ?x repeated must bind equal expressions; :lit must reject cols
+        let p = pack(
+            r#"{
+            "pack": "t", "description": "d",
+            "rules": [
+                {"name": "self-eq", "kind": "expr",
+                 "match": ["cmp", "=", "?x:col", "?x:col"],
+                 "replace": ["cmp", "<=", "?x", "?x"]}
+            ]
+        }"#,
+        );
+        let rw = Rewriter::from_packs(vec![p]);
+        let hit = Logical::Get { table: "POSITION".into() }
+            .select(Expr::eq(Expr::col("T1"), Expr::col("T1")));
+        let (_, o) = rw.apply(hit, &src());
+        assert_eq!(o.total_fires(), 1);
+        let miss = Logical::Get { table: "POSITION".into() }
+            .select(Expr::eq(Expr::col("T1"), Expr::col("T2")));
+        let (_, o) = rw.apply(miss, &src());
+        assert_eq!(o.total_fires(), 0);
+        let lit = Logical::Get { table: "POSITION".into() }
+            .select(Expr::eq(Expr::lit(1i64), Expr::lit(1i64)));
+        let (_, o) = rw.apply(lit, &src());
+        assert_eq!(o.total_fires(), 0, ":col must not match literals");
+    }
+
+    #[test]
+    fn product_to_join_extracts_cross_keys() {
+        let p = pack(
+            r#"{
+            "pack": "t", "description": "d",
+            "rules": [{"name": "p2j", "kind": "pass", "pass": "product-to-join"}]
+        }"#,
+        );
+        let rw = Rewriter::from_packs(vec![p]);
+        let plan = Logical::Product {
+            left: Box::new(Logical::Get { table: "POSITION".into() }),
+            right: Box::new(Logical::Get { table: "POSITION".into() }),
+        }
+        .select(Expr::and(
+            Expr::eq(Expr::col("PosID"), Expr::col("PosID_2")),
+            Expr::cmp(CmpOp::Lt, Expr::col("T1"), Expr::lit(10i64)),
+        ));
+        let before = plan.output_schema(&src()).unwrap();
+        let (out, o) = rw.apply(plan, &src());
+        assert_eq!(o.total_fires(), 1);
+        let after = out.output_schema(&src()).unwrap();
+        assert_eq!(before, after, "rewrite must preserve the output schema");
+        let rendered = format!("{out}");
+        assert!(rendered.contains("JOIN"), "{rendered}");
+        assert!(!rendered.contains("PRODUCT"), "{rendered}");
+    }
+
+    #[test]
+    fn malformed_packs_rejected_with_useful_errors() {
+        let cases: Vec<(&str, &str)> = vec![
+            ("{", "expected"),
+            (r#"{"pack": "x"}"#, "missing \"description\""),
+            (r#"{"pack": "x", "description": "d"}"#, "missing \"rules\""),
+            (r#"{"pack": "x", "description": "d", "rules": []}"#, "must not be empty"),
+            (r#"{"pack": "x", "description": "d", "typo": 1, "rules": []}"#, "unknown rule-pack key \"typo\""),
+            (
+                r#"{"pack": "x", "description": "d", "rules": [{"name": "r", "kind": "pass", "pass": "nope"}]}"#,
+                "unknown pass \"nope\" (known passes: product-to-join, merge-selects, sql-overlap-to-tjoin)",
+            ),
+            (
+                r#"{"pack": "x", "description": "d", "rules": [{"name": "r", "kind": "expr", "match": "?a", "replace": "?b"}]}"#,
+                "\"?b\" is not bound",
+            ),
+            (
+                r#"{"pack": "x", "description": "d", "rules": [{"name": "r", "kind": "expr", "match": ["wat", "?a"], "replace": "?a"}]}"#,
+                "unknown pattern form \"wat\"",
+            ),
+            (r#"{"pack": "x", "description": "d", "budget": 0, "rules": []}"#, "\"budget\" must be"),
+        ];
+        for (text, needle) in cases {
+            let e = RulePack::parse(text, "<inline>").unwrap_err().to_string();
+            assert!(e.contains(needle), "error {e:?} should contain {needle:?}");
+            assert!(e.contains("<inline>"), "error {e:?} should name its origin");
+        }
+        let e = Rewriter::load(&["no-such-pack".to_string()]).unwrap_err().to_string();
+        assert!(e.contains("no-such-pack") && e.contains("tried"), "{e}");
+    }
+
+    #[test]
+    fn canonical_json_round_trips() {
+        let p = pack(NOT_CMP);
+        let canon = p.canonical_json();
+        let reparsed = RulePack::parse(&canon, "<canon>").unwrap();
+        assert_eq!(reparsed.canonical_json(), canon, "canonical form must be a fixpoint");
+    }
+
+    /// The `cargo fmt`-style lint for rule packs: every checked-in file
+    /// under `rules/` must be byte-equal to its canonical rendering
+    /// (stable key order, two-space indent, patterns inline).
+    #[test]
+    fn rule_pack_files_are_canonical() {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..").join("rules");
+        let mut seen = 0;
+        for entry in std::fs::read_dir(&dir).expect("rules/ directory") {
+            let path = entry.unwrap().path();
+            if path.extension().and_then(|e| e.to_str()) != Some("json") {
+                continue;
+            }
+            seen += 1;
+            let text = std::fs::read_to_string(&path).unwrap();
+            let pack = RulePack::parse(&text, &path.display().to_string()).unwrap();
+            assert_eq!(
+                text,
+                pack.canonical_json(),
+                "{} is not canonically formatted — regenerate with RulePack::canonical_json()",
+                path.display()
+            );
+            assert_eq!(
+                Some(pack.name.as_str()),
+                path.file_stem().and_then(|s| s.to_str()),
+                "pack name must match its file stem"
+            );
+        }
+        assert!(seen >= 3, "expected the three shipped packs under rules/, found {seen}");
+    }
+}

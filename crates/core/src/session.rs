@@ -33,6 +33,7 @@ use crate::explain::{self, NodeEstimate};
 use crate::feedback;
 use crate::opt::{self, Catalog, OptOptions};
 use crate::phys::PhysNode;
+use crate::rewrite::{RewriteOutcome, Rewriter};
 use crate::tsql;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -41,7 +42,7 @@ use tango_minidb::{Connection, Database};
 use volcano::SearchStats;
 
 /// Session-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TangoOptions {
     /// Optimizer knobs (rule groups, search limits).
     pub opt: OptOptions,
@@ -86,6 +87,11 @@ pub struct TangoOptions {
     /// ANALYZE output; `0` auto-sizes to the host's available
     /// parallelism.
     pub workers: usize,
+    /// Rewrite rule packs applied between the parser and the optimizer,
+    /// in order — names resolved under `rules/` or literal paths (see
+    /// [`crate::rewrite`] and `docs/REWRITES.md`). Empty (the default)
+    /// skips the rewrite stage entirely.
+    pub rewrite_packs: Vec<String>,
 }
 
 impl Default for TangoOptions {
@@ -101,6 +107,7 @@ impl Default for TangoOptions {
             cache_refresh: true,
             batch_rows: None,
             workers: 1,
+            rewrite_packs: Vec::new(),
         }
     }
 }
@@ -142,6 +149,9 @@ pub struct OptimizedQuery {
     /// Per-node cardinality/cost predictions for the chosen plan, in
     /// pre-order (used by `EXPLAIN [ANALYZE]`).
     pub node_estimates: Vec<NodeEstimate>,
+    /// What the config-driven rewrite stage did before optimization
+    /// (empty when no [`TangoOptions::rewrite_packs`] are active).
+    pub rewrites: RewriteOutcome,
 }
 
 impl OptimizedQuery {
@@ -188,6 +198,21 @@ impl OptimizedQuery {
         if !fires.is_empty() {
             s.push_str(&format!("rules fired: {}\n", fires.join(", ")));
         }
+        if !self.rewrites.is_empty() {
+            let fired: Vec<String> = self
+                .rewrites
+                .fires
+                .iter()
+                .map(|f| format!("{}/{}×{}", f.pack, f.rule, f.fires))
+                .collect();
+            s.push_str(&format!(
+                "rewrite: {} ({} pass{}{})\n",
+                if fired.is_empty() { "-".to_string() } else { fired.join(", ") },
+                self.rewrites.passes,
+                if self.rewrites.passes == 1 { "" } else { "es" },
+                if self.rewrites.budget_hit { ", budget hit" } else { "" },
+            ));
+        }
         s
     }
 }
@@ -222,6 +247,9 @@ pub struct Tango {
     options: TangoOptions,
     catalog: Option<Catalog>,
     cache: Arc<MidCache>,
+    /// Loaded rewriter, cached per pack list (reloaded when
+    /// [`TangoOptions::rewrite_packs`] changes).
+    rewriter: Option<(Vec<String>, Rewriter)>,
 }
 
 impl Tango {
@@ -266,6 +294,7 @@ impl Tango {
             options,
             catalog: None,
             cache,
+            rewriter: None,
         }
     }
 
@@ -397,10 +426,45 @@ impl Tango {
         tsql::parse_tsql(sql, &move |t: &str| -> Option<Schema> { conn.table_schema(t) })
     }
 
-    /// Parse and optimize a temporal-SQL statement.
+    /// Parse, rewrite (when [`TangoOptions::rewrite_packs`] are active)
+    /// and optimize a temporal-SQL statement.
     pub fn optimize(&mut self, sql: &str) -> Result<OptimizedQuery> {
         let logical = self.parse(sql)?;
-        self.optimize_logical(logical)
+        let (logical, rewrites) = self.apply_rewrites(logical)?;
+        let mut optimized = self.optimize_logical(logical)?;
+        optimized.rewrites = rewrites;
+        Ok(optimized)
+    }
+
+    /// The loaded rewriter for the session's current pack list (packs
+    /// are parsed and validated once, then cached until the list
+    /// changes), or `None` when no packs are configured.
+    pub fn rewriter(&mut self) -> Result<Option<&Rewriter>> {
+        if self.options.rewrite_packs.is_empty() {
+            return Ok(None);
+        }
+        let stale = match &self.rewriter {
+            Some((packs, _)) => *packs != self.options.rewrite_packs,
+            None => true,
+        };
+        if stale {
+            let rw = Rewriter::load(&self.options.rewrite_packs)?;
+            self.rewriter = Some((self.options.rewrite_packs.clone(), rw));
+        }
+        Ok(self.rewriter.as_ref().map(|(_, rw)| rw))
+    }
+
+    /// Run the config-driven rewrite stage over a logical plan (a no-op
+    /// with an empty outcome when no packs are configured).
+    pub fn apply_rewrites(&mut self, logical: Logical) -> Result<(Logical, RewriteOutcome)> {
+        let conn = self.conn.clone();
+        match self.rewriter()? {
+            Some(rw) => {
+                let src = move |t: &str| -> Option<Schema> { conn.table_schema(t) };
+                Ok(rw.apply(logical, &tsql::SrcFn(&src)))
+            }
+            None => Ok((logical, RewriteOutcome::default())),
+        }
     }
 
     /// Optimize an already-built logical plan.
@@ -426,6 +490,7 @@ impl Tango {
             rule_fires: optimized.rule_fires,
             search: optimized.search,
             node_estimates,
+            rewrites: RewriteOutcome::default(),
         })
     }
 
@@ -510,6 +575,24 @@ impl Tango {
         };
         if self.options.feedback {
             feedback::apply_feedback(&mut self.factors, &exec, self.options.feedback_alpha);
+        }
+        let mut exec = exec;
+        // surface pre-optimization rewrites on the plan root, so EXPLAIN
+        // ANALYZE and the JSON trace carry them next to the execution
+        // counters (packs off ⇒ nothing changes, golden outputs intact)
+        if !optimized.rewrites.is_empty() {
+            if let Some(root) = exec.steps.last_mut() {
+                for f in &optimized.rewrites.fires {
+                    root.events.push(tango_trace::SpanEvent {
+                        kind: "rewrite".into(),
+                        detail: format!("{}/{}×{}", f.pack, f.rule, f.fires),
+                    });
+                }
+                root.counters.push(("rewrite_fires", optimized.rewrites.total_fires()));
+                if optimized.rewrites.budget_hit {
+                    root.counters.push(("rewrite_budget_hit", 1));
+                }
+            }
         }
         Ok((rel, QueryReport { optimized, exec }))
     }

@@ -23,6 +23,9 @@
 //! * `\factors`         — show the current cost factors
 //! * `\workers [n]`     — show/set the morsel worker pool (0 = auto)
 //! * `\batch [n]`       — show/set this session's batch size
+//! * `\rewrites [p,..]` — show/set the rewrite rule packs applied
+//!   between parse and optimize (`\rewrites none` clears; see
+//!   `docs/REWRITES.md`)
 //! * `\cache`           — relation-cache report (residency, hit/refresh
 //!   counters, pending delta-log bytes)
 //! * `\tables`          — list tables
@@ -158,6 +161,42 @@ fn handle_meta(line: &str, tango: &mut Tango, conn: &Connection) -> bool {
                 }
             }
         }
+        "\\rewrites" => {
+            let rest = rest.trim().trim_end_matches(';');
+            if !rest.is_empty() {
+                let packs: Vec<String> = if rest.eq_ignore_ascii_case("none")
+                    || rest.eq_ignore_ascii_case("off")
+                {
+                    Vec::new()
+                } else {
+                    rest.split(',').map(|p| p.trim().to_string()).filter(|p| !p.is_empty()).collect()
+                };
+                tango.options_mut().rewrite_packs = packs;
+            }
+            if tango.options().rewrite_packs.is_empty() {
+                println!("rewrites = off (try \\rewrites temporal-normalize,subquery-to-join,compat)");
+            } else {
+                match tango.rewriter() {
+                    Ok(Some(rw)) => {
+                        for p in rw.packs() {
+                            println!(
+                                "  {} ({} rule{}): {}",
+                                p.name,
+                                p.rules.len(),
+                                if p.rules.len() == 1 { "" } else { "s" },
+                                p.description
+                            );
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        println!("error: {e}");
+                        tango.options_mut().rewrite_packs = Vec::new();
+                        println!("rewrites = off");
+                    }
+                }
+            }
+        }
         "\\cache" => print!("{}", tango.cache_report()),
         "\\tables" => {
             for t in conn.database().table_names() {
@@ -188,7 +227,7 @@ fn handle_meta(line: &str, tango: &mut Tango, conn: &Connection) -> bool {
             }
             Err(e) => println!("error: {e}"),
         },
-        other => println!("unknown meta command {other} (try \\quit, \\plan, \\explain, \\calibrate, \\factors, \\workers, \\batch, \\cache, \\tables)"),
+        other => println!("unknown meta command {other} (try \\quit, \\plan, \\explain, \\calibrate, \\factors, \\workers, \\batch, \\rewrites, \\cache, \\tables)"),
     }
     false
 }

@@ -1,0 +1,243 @@
+//! Config-driven rewrite layer, end to end: the checked-in packs under
+//! `rules/` must load, fire on the spellings they exist to fix, surface
+//! their firings in EXPLAIN ANALYZE / the optimizer trace, and — the
+//! soundness contract — never change a query's result. The differential
+//! sweep runs every query with and without every pack combination at
+//! batch sizes 1 and 1024 and demands identical rows.
+
+use proptest::prelude::*;
+use tango::algebra::{tup, Attr, Relation, Schema, Type, Value};
+use tango::minidb::{Connection, Database, Link, LinkProfile};
+use tango::Tango;
+
+const ALL_PACKS: [&str; 3] = ["temporal-normalize", "subquery-to-join", "compat"];
+
+/// `POSITION` as in `tests/equivalence.rs`, plus one `POSINFO` dossier
+/// row per distinct PosID so the join spellings have a second table.
+fn make_db(rows: &[(i64, i64, f64, i32, i32)]) -> Database {
+    let db = Database::new(Link::new(LinkProfile::instant()));
+    let schema = Schema::with_inferred_period(vec![
+        Attr::new("PosID", Type::Int),
+        Attr::new("EmpID", Type::Int),
+        Attr::new("PayRate", Type::Double),
+        Attr::new("T1", Type::Int),
+        Attr::new("T2", Type::Int),
+    ]);
+    db.create_table("POSITION", schema).unwrap();
+    db.insert_rows(
+        "POSITION",
+        rows.iter().map(|&(p, e, pay, t1, t2)| tup![p, e, Value::Double(pay), t1, t2]).collect(),
+    )
+    .unwrap();
+    let posinfo = Schema::new(vec![Attr::new("PosID", Type::Int), Attr::new("Info", Type::Str)]);
+    db.create_table("POSINFO", posinfo).unwrap();
+    let mut ids: Vec<i64> = rows.iter().map(|r| r.0).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    db.insert_rows(
+        "POSINFO",
+        ids.into_iter().map(|p| tup![p, Value::Str(format!("info-{p}"))]).collect(),
+    )
+    .unwrap();
+    let conn = Connection::new(db.clone());
+    conn.execute("ANALYZE TABLE POSITION COMPUTE STATISTICS").unwrap();
+    conn.execute("ANALYZE TABLE POSINFO COMPUTE STATISTICS").unwrap();
+    db
+}
+
+fn run(db: &Database, packs: &[&str], batch: usize, sql: &str) -> Relation {
+    let mut tango = Tango::connect(db.clone());
+    tango.options_mut().rewrite_packs = packs.iter().map(|p| p.to_string()).collect();
+    tango.options_mut().batch_rows = Some(batch);
+    tango.query(sql).unwrap_or_else(|e| panic!("{e}\npacks: {packs:?}\nsql: {sql}")).0
+}
+
+/// The spellings each pack exists to fix. Every query carries an ORDER
+/// BY over all projected columns so results are compared byte-for-byte.
+fn target_queries() -> Vec<&'static str> {
+    vec![
+        // temporal-normalize: an Overlaps window hidden behind NOT
+        "SELECT P.PosID, P.T1, I.Info FROM POSITION P, POSINFO I \
+         WHERE P.PosID = I.PosID AND NOT (P.T1 > 40) AND NOT (P.T2 < 10) \
+         ORDER BY P.PosID, P.T1, I.Info",
+        // subquery-to-join: the join key hidden behind NOT (a <> b)
+        "SELECT P.PosID, P.T1, I.Info \
+         FROM (SELECT PosID, Info FROM POSINFO) I, POSITION P \
+         WHERE NOT (I.PosID <> P.PosID) ORDER BY P.PosID, P.T1, I.Info",
+        // compat: the Figure 5 plain-SQL rendering of TJOIN^D
+        "SELECT A.PosID, A.EmpID, B.EmpID AS EmpID2, \
+         GREATEST(A.T1, B.T1) AS S1, LEAST(A.T2, B.T2) AS S2 \
+         FROM POSITION A, POSITION B \
+         WHERE A.PosID = B.PosID AND A.T1 < B.T2 AND B.T1 < A.T2 \
+         ORDER BY A.PosID, A.EmpID, EmpID2, S1, S2",
+    ]
+}
+
+/// The `tests/equivalence.rs` figure-query family — queries the packs
+/// mostly do *not* fire on; the sweep proves they stay inert.
+fn figure_queries() -> Vec<&'static str> {
+    vec![
+        "VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION GROUP BY PosID ORDER BY PosID",
+        "VALIDTIME SELECT COUNT(EmpID) AS C, MIN(PayRate) AS MN, MAX(PayRate) AS MX \
+         FROM POSITION WHERE PosID < 3 GROUP BY PosID",
+        "VALIDTIME SELECT A.PosID, A.EmpID, B.EmpID FROM POSITION A, POSITION B \
+         WHERE A.PosID = B.PosID AND A.T1 < 40 AND B.T1 < 40 ORDER BY A.PosID",
+        "VALIDTIME SELECT P.PosID, C, P.EmpID FROM \
+           (VALIDTIME SELECT PosID, COUNT(PosID) AS C FROM POSITION GROUP BY PosID) A, \
+           POSITION P WHERE A.PosID = P.PosID AND P.PayRate > 5 ORDER BY P.PosID",
+        "SELECT EmpID, PosID FROM POSITION WHERE PayRate > 5 AND PosID < 4 ORDER BY EmpID, PosID",
+    ]
+}
+
+fn pack_sets() -> Vec<Vec<&'static str>> {
+    let mut sets: Vec<Vec<&'static str>> = ALL_PACKS.iter().map(|p| vec![*p]).collect();
+    sets.push(ALL_PACKS.to_vec());
+    sets
+}
+
+fn dataset() -> Database {
+    let rows: Vec<(i64, i64, f64, i32, i32)> = (0..48)
+        .map(|i| {
+            let t1 = ((i * 13) % 55) as i32;
+            (1 + i % 5, 1 + (i * 7) % 11, ((i * 3) % 17) as f64, t1, t1 + 2 + (i % 9) as i32)
+        })
+        .collect();
+    make_db(&rows)
+}
+
+// ---------------------------------------------------------------------
+// Firing + observability
+// ---------------------------------------------------------------------
+
+/// Each checked-in pack fires on its target spelling, and the firing is
+/// visible everywhere the issue promises: the report's rewrite outcome,
+/// the optimizer trace, the EXPLAIN ANALYZE annotations, and the JSON
+/// trace.
+#[test]
+fn packs_fire_and_surface_in_traces() {
+    let db = dataset();
+    for (pack, sql) in ALL_PACKS.iter().zip(target_queries()) {
+        let mut tango = Tango::connect(db.clone());
+        tango.options_mut().rewrite_packs = vec![pack.to_string()];
+        let (text, report) = tango.explain_analyze(sql).unwrap();
+        let fires = report.optimized.rewrites.total_fires();
+        assert!(fires >= 1, "pack {pack} never fired on its target query");
+        assert!(
+            report.optimized.rewrites.fires.iter().all(|f| f.pack == *pack),
+            "foreign pack name in fires for {pack}"
+        );
+        let trace = report.optimized.optimizer_trace();
+        assert!(
+            trace.contains(&format!("rewrite: {pack}/")),
+            "optimizer trace misses {pack}:\n{trace}"
+        );
+        assert!(
+            text.contains("rewrite_fires") && text.contains("events:") && text.contains("rewrite"),
+            "EXPLAIN ANALYZE misses the rewrite annotations for {pack}:\n{text}"
+        );
+        let json = report.exec.to_json();
+        assert!(json.contains("\"rewrite\""), "JSON trace misses rewrite events for {pack}");
+    }
+}
+
+/// Without packs the stage is off: no fires, no annotations.
+#[test]
+fn no_packs_means_no_rewrite_annotations() {
+    let db = dataset();
+    let mut tango = Tango::connect(db.clone());
+    let (text, report) = tango.explain_analyze(target_queries()[0]).unwrap();
+    assert!(report.optimized.rewrites.is_empty());
+    assert!(!text.contains("rewrite_fires"), "phantom rewrite annotation:\n{text}");
+    assert!(!report.optimized.optimizer_trace().contains("rewrite:"));
+}
+
+/// An unknown pack name fails the query with an error that names the
+/// paths tried, not a panic or a silent no-op.
+#[test]
+fn unknown_pack_is_a_useful_error() {
+    let db = dataset();
+    let mut tango = Tango::connect(db.clone());
+    tango.options_mut().rewrite_packs = vec!["no-such-pack".to_string()];
+    let err = match tango.query(target_queries()[0]) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("query with unknown pack unexpectedly succeeded"),
+    };
+    assert!(
+        err.contains("no-such-pack") && err.contains("tried"),
+        "unhelpful unknown-pack error: {err}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Differential: rewritten ≡ unrewritten
+// ---------------------------------------------------------------------
+
+/// Fixed dataset: every query × every pack set × batch 1 and 1024 must
+/// return exactly the rows of the pack-less run (byte-identical for the
+/// fully-ordered target spellings, multiset-identical for the figure
+/// family, whose ORDER BY keys do not pin a total order).
+#[test]
+fn differential_fixed_dataset() {
+    let db = dataset();
+    for batch in [1usize, 1024] {
+        for sql in target_queries() {
+            let baseline = run(&db, &[], batch, sql);
+            for packs in pack_sets() {
+                let got = run(&db, &packs, batch, sql);
+                assert_eq!(
+                    baseline.tuples(),
+                    got.tuples(),
+                    "rows differ: packs {packs:?}, batch {batch}\nsql: {sql}"
+                );
+            }
+        }
+        for sql in figure_queries() {
+            let baseline = run(&db, &[], batch, sql);
+            for packs in pack_sets() {
+                let got = run(&db, &packs, batch, sql);
+                assert!(
+                    baseline.multiset_eq(&got),
+                    "rows differ: packs {packs:?}, batch {batch}\nsql: {sql}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+    /// Randomized differential: for arbitrary temporal data, rewriting
+    /// with all three packs at once never changes any query's result,
+    /// at batch 1 and at batch 1024.
+    #[test]
+    fn differential_random_data(
+        rows in proptest::collection::vec(
+            (1i64..6, 1i64..8, 0.0f64..20.0, 0i32..50, 1i32..30),
+            1..32,
+        ),
+    ) {
+        let fixed: Vec<(i64, i64, f64, i32, i32)> =
+            rows.into_iter().map(|(p, e, pay, t1, d)| (p, e, pay, t1, t1 + d)).collect();
+        let db = make_db(&fixed);
+        let all: Vec<&str> = ALL_PACKS.to_vec();
+        for batch in [1usize, 1024] {
+            for sql in target_queries() {
+                let baseline = run(&db, &[], batch, sql);
+                let got = run(&db, &all, batch, sql);
+                prop_assert_eq!(
+                    baseline.tuples(),
+                    got.tuples(),
+                    "rows differ at batch {}\nsql: {}", batch, sql
+                );
+            }
+            for sql in figure_queries() {
+                let baseline = run(&db, &[], batch, sql);
+                let got = run(&db, &all, batch, sql);
+                prop_assert!(
+                    baseline.multiset_eq(&got),
+                    "rows differ at batch {}\nsql: {}", batch, sql
+                );
+            }
+        }
+    }
+}
